@@ -1,0 +1,139 @@
+// Ablation (DESIGN.md): design choices the paper motivates but does not
+// plot as separate figures.
+//
+//   (a) §5.4 inter-equivalence-class sharing: Advanced vs
+//       Advanced+InterClass ruleExec storage on a workload whose classes
+//       share path suffixes (many sources, few destinations).
+//   (b) Inline tree shipping (the alternative §2.2 argues against):
+//       ReferenceRecorder's bandwidth vs the distributed schemes.
+//   (c) Per-scheme storage breakdown (prov / ruleExec / event store /
+//       materialized tuples).
+#include <cstdio>
+
+#include "src/apps/dns.h"
+#include "src/apps/experiments.h"
+
+using namespace dpc;        // NOLINT(build/namespaces)
+using namespace dpc::apps;  // NOLINT(build/namespaces)
+
+namespace {
+
+void PrintBreakdown(const ExperimentResult& res) {
+  const StorageBreakdown& s = res.final_storage;
+  std::printf("%-22s %14s %14s %14s %14s %14s\n", res.scheme.c_str(),
+              FormatBytes(s.prov).c_str(), FormatBytes(s.rule_exec).c_str(),
+              FormatBytes(s.event_store).c_str(),
+              FormatBytes(s.tuple_store).c_str(),
+              FormatBytes(s.Total()).c_str());
+}
+
+}  // namespace
+
+int main() {
+  size_t sources = EnvSize("DPC_SOURCES", 30);
+
+  TransitStubTopology topo = MakeTransitStub();
+  PrintFigureHeader(
+      "Ablation: inter-class sharing (§5.4), inline shipping, breakdown",
+      "forwarding: many sources converging on 2 destinations");
+
+  // Workload: many sources, two destinations => classes share suffixes.
+  Rng rng(7);
+  ForwardingWorkload workload;
+  NodeId d1 = topo.stub_nodes[0];
+  NodeId d2 = topo.stub_nodes[1];
+  for (size_t i = 0; i < sources; ++i) {
+    NodeId s = topo.stub_nodes[2 + rng.NextBelow(topo.stub_nodes.size() - 2)];
+    NodeId d = (i % 2 == 0) ? d1 : d2;
+    if (s == d) continue;
+    workload.pairs.emplace_back(s, d);
+  }
+  uint64_t seq = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (auto [s, d] : workload.pairs) {
+      workload.items.push_back(WorkloadItem{
+          MakePacket(s, s, d, MakePayload(kDefaultPayloadLen, seq++)),
+          0.01 * static_cast<double>(seq)});
+    }
+  }
+
+  ExperimentConfig config;
+  config.duration_s = 0.01 * static_cast<double>(seq) + 1;
+  config.snapshot_interval_s = config.duration_s / 2;
+
+  std::printf("\n-- storage breakdown --\n");
+  std::printf("%-22s %14s %14s %14s %14s %14s\n", "scheme", "prov",
+              "ruleExec", "eventStore", "tupleStore", "total");
+  ExperimentResult ref =
+      RunForwarding(Scheme::kReference, topo, workload, config);
+  PrintBreakdown(ref);
+  std::vector<ExperimentResult> results;
+  for (Scheme scheme :
+       {Scheme::kExspan, Scheme::kBasic, Scheme::kAdvanced,
+        Scheme::kAdvancedInterClass}) {
+    results.push_back(RunForwarding(scheme, topo, workload, config));
+    PrintBreakdown(results.back());
+  }
+
+  // §5.4 pays off when many chains share a rule-execution node but differ
+  // in their next pointer. DNS is the extreme case: every client's chain
+  // passes the root server's delegation rows.
+  std::printf("\n-- §5.4 inter-class sharing (forwarding vs DNS) --\n");
+  const ExperimentResult& advanced = results[2];
+  const ExperimentResult& inter = results[3];
+  std::printf("forwarding ruleExec: Advanced %s -> +InterClass %s "
+              "(%+.1f%%)\n",
+              FormatBytes(advanced.final_storage.rule_exec).c_str(),
+              FormatBytes(inter.final_storage.rule_exec).c_str(),
+              100.0 * (static_cast<double>(inter.final_storage.rule_exec) /
+                           static_cast<double>(
+                               advanced.final_storage.rule_exec) -
+                       1.0));
+  {
+    DnsUniverse universe = MakeDnsUniverse();
+    auto dns_workload =
+        MakeDnsWorkload(universe, /*count=*/2000, /*rate_rps=*/200,
+                        /*zipf_theta=*/0.9, /*seed=*/5);
+    ExperimentConfig dns_config;
+    dns_config.duration_s = 12;
+    dns_config.snapshot_interval_s = 6;
+    ExperimentResult dns_adv =
+        RunDns(Scheme::kAdvanced, universe, dns_workload, dns_config);
+    ExperimentResult dns_inter = RunDns(Scheme::kAdvancedInterClass,
+                                        universe, dns_workload, dns_config);
+    std::printf("DNS ruleExec:        Advanced %s -> +InterClass %s "
+                "(%+.1f%%)\n",
+                FormatBytes(dns_adv.final_storage.rule_exec).c_str(),
+                FormatBytes(dns_inter.final_storage.rule_exec).c_str(),
+                100.0 * (static_cast<double>(
+                             dns_inter.final_storage.rule_exec) /
+                             static_cast<double>(
+                                 dns_adv.final_storage.rule_exec) -
+                         1.0));
+  }
+  std::printf(
+      "note: our ruleExec tables have set semantics over content-addressed\n"
+      "RIDs, so rows identical across equivalence classes are already\n"
+      "stored once in plain Advanced; the explicit §5.4 node/link split\n"
+      "only wins at rows sharing (RID, VIDS) but differing in NLoc/NRID\n"
+      "(high fan-in nodes) and pays a key-duplication tax elsewhere.\n");
+
+  std::printf("\n-- inline tree shipping (bandwidth) --\n");
+  std::printf("%-22s %16s %12s\n", "scheme", "network bytes", "vs ExSPAN");
+  double exspan_bytes = static_cast<double>(results[0].total_network_bytes);
+  auto print_bw = [&](const ExperimentResult& r) {
+    std::printf("%-22s %16s %+11.1f%%\n", r.scheme.c_str(),
+                FormatBytes(static_cast<double>(r.total_network_bytes))
+                    .c_str(),
+                100.0 * (static_cast<double>(r.total_network_bytes) -
+                         exspan_bytes) /
+                    exspan_bytes);
+  };
+  print_bw(results[0]);
+  print_bw(results[1]);
+  print_bw(results[2]);
+  ExperimentResult ref_named = std::move(ref);
+  ref_named.scheme = "Inline-shipping";
+  print_bw(ref_named);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared printing helpers for the figure-regeneration benches.
+#ifndef DPC_BENCH_BENCH_UTIL_H_
+#define DPC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/util/stats.h"
+
+namespace dpc::bench {
+
+// Prints a CDF as decile rows: "p10 .. p100" of the sample values.
+inline void PrintCdfRow(const std::string& label,
+                        const std::vector<double>& samples,
+                        const char* unit,
+                        double scale = 1.0) {
+  Cdf cdf(samples);
+  std::printf("%-22s", label.c_str());
+  for (int p = 10; p <= 100; p += 10) {
+    std::printf(" %9.2f", cdf.Quantile(p / 100.0) * scale);
+  }
+  std::printf("  (mean %.2f %s, median %.2f %s)\n", cdf.Mean() * scale, unit,
+              cdf.Median() * scale, unit);
+}
+
+inline void PrintCdfHeader(const char* metric) {
+  std::printf("%-22s", metric);
+  for (int p = 10; p <= 100; p += 10) std::printf("       p%02d", p);
+  std::printf("\n");
+}
+
+}  // namespace dpc::bench
+
+#endif  // DPC_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,65 @@
+// Figure 16: total DNS provenance storage under continuous requests. The
+// paper reports growth rates of 13.15 / 11.57 / 3.81 Mbps (ExSPAN / Basic /
+// Advanced), i.e. 1.32 / 1.16 / 0.38 GB after 100 s, and time-to-1TB of
+// 21 h / 24 h / ~3 days.
+//
+// Scale knobs: DPC_RATE (paper: 1000 req/s), DPC_DURATION (paper: 100 s).
+#include <cstdio>
+
+#include "src/apps/experiments.h"
+
+using namespace dpc;        // NOLINT(build/namespaces)
+using namespace dpc::apps;  // NOLINT(build/namespaces)
+
+int main() {
+  double rate = EnvDouble("DPC_RATE", 200);
+  double duration = EnvDouble("DPC_DURATION", 20);
+
+  DnsUniverse universe = MakeDnsUniverse();
+  char setup[256];
+  std::snprintf(setup, sizeof(setup),
+                "DNS: %.0f req/s for %.0f s, snapshots every %.1f s",
+                rate, duration, duration / 10);
+  PrintFigureHeader("Figure 16: total DNS provenance storage growth", setup);
+
+  auto workload = MakeDnsWorkload(
+      universe, static_cast<size_t>(rate * duration), rate,
+      /*zipf_theta=*/0.9, /*seed=*/42);
+  ExperimentConfig config;
+  config.duration_s = duration;
+  config.snapshot_interval_s = duration / 10;
+
+  std::vector<ExperimentResult> results;
+  for (Scheme scheme : kPaperSchemes) {
+    results.push_back(RunDns(scheme, universe, workload, config));
+  }
+
+  std::printf("%-10s", "time(s)");
+  for (const auto& r : results) std::printf(" %16s", r.scheme.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < results[0].snapshot_times.size(); ++i) {
+    std::printf("%-10.1f", results[0].snapshot_times[i]);
+    for (const auto& r : results) {
+      std::printf(" %16s", FormatBytes(r.TotalStorageAt(i)).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%-10s", "rate");
+  for (const auto& r : results) {
+    std::printf(" %14s/s", FormatBytes(r.TotalGrowthBytesPerSec()).c_str());
+  }
+  std::printf("\n%-10s", "1TB in");
+  for (const auto& r : results) {
+    double rate_bps = r.TotalGrowthBytesPerSec();
+    double hours = rate_bps > 0 ? 1e12 / rate_bps / 3600.0 : 0;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f h", hours);
+    std::printf(" %16s", buf);
+  }
+  std::printf("\n\nExSPAN/Advanced growth ratio: %.1fx (paper: ~3.5x)\n",
+              results[2].TotalGrowthBytesPerSec() > 0
+                  ? results[0].TotalGrowthBytesPerSec() /
+                        results[2].TotalGrowthBytesPerSec()
+                  : 0.0);
+  return 0;
+}

@@ -1,0 +1,121 @@
+// google-benchmark microbenchmarks for the hot paths of the runtime:
+// SHA-1 hashing, tuple encoding, rule firing, equivalence-key checking,
+// and provenance table insertion.
+#include <benchmark/benchmark.h>
+
+#include "src/apps/dns.h"
+#include "src/apps/forwarding.h"
+#include "src/util/logging.h"
+#include "src/core/advanced_recorder.h"
+#include "src/core/equivalence_keys.h"
+#include "src/core/prov_tables.h"
+#include "src/ndlog/eval.h"
+#include "src/util/rng.h"
+#include "src/util/sha1.h"
+
+namespace dpc {
+namespace {
+
+void BM_Sha1_64B(benchmark::State& state) {
+  std::string data(64, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::Hash(data));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Sha1_64B);
+
+void BM_Sha1_1KB(benchmark::State& state) {
+  std::string data(1024, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::Hash(data));
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha1_1KB);
+
+void BM_TupleVid(benchmark::State& state) {
+  Tuple t = apps::MakePacket(1, 1, 3, apps::MakePayload(500, 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.Vid());
+  }
+}
+BENCHMARK(BM_TupleVid);
+
+void BM_TupleSerialize(benchmark::State& state) {
+  Tuple t = apps::MakePacket(1, 1, 3, apps::MakePayload(500, 7));
+  for (auto _ : state) {
+    ByteWriter w;
+    t.Serialize(w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_TupleSerialize);
+
+void BM_FireRule(benchmark::State& state) {
+  auto program = apps::MakeForwardingProgram();
+  DPC_CHECK(program.ok());
+  const Rule& r1 = program->rules()[0];
+  Database db;
+  // A route table with several entries, as on a busy node.
+  for (int d = 0; d < state.range(0); ++d) {
+    db.Insert(apps::MakeRoute(1, 100 + d, 2));
+  }
+  FunctionRegistry fns = DefaultFunctions();
+  Tuple packet = apps::MakePacket(1, 1, 100, apps::MakePayload(500, 7));
+  for (auto _ : state) {
+    auto firings = FireRule(r1, packet, db, fns);
+    benchmark::DoNotOptimize(firings.ok());
+  }
+}
+BENCHMARK(BM_FireRule)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_EquivalenceKeyHash(benchmark::State& state) {
+  auto program = apps::MakeForwardingProgram();
+  DPC_CHECK(program.ok());
+  auto keys = ComputeEquivalenceKeys(*program);
+  DPC_CHECK(keys.ok());
+  Tuple packet = apps::MakePacket(1, 1, 100, apps::MakePayload(500, 7));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(keys->HashOf(packet));
+  }
+}
+BENCHMARK(BM_EquivalenceKeyHash);
+
+void BM_StaticAnalysis(benchmark::State& state) {
+  for (auto _ : state) {
+    auto program = apps::MakeDnsProgram();
+    DPC_CHECK(program.ok());
+    auto keys = ComputeEquivalenceKeys(*program);
+    benchmark::DoNotOptimize(keys.ok());
+  }
+}
+BENCHMARK(BM_StaticAnalysis);
+
+void BM_RuleExecInsert(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    RuleExecTable table(/*with_next=*/true);
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      RuleExecEntry e;
+      e.rloc = 1;
+      uint64_t x = rng.Next();
+      e.rid = Sha1::Hash(&x, sizeof(x));
+      e.rule_id = "r1";
+      e.vids.push_back(e.rid);
+      table.Insert(e);
+    }
+    benchmark::DoNotOptimize(table.SerializedBytes());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_RuleExecInsert);
+
+}  // namespace
+}  // namespace dpc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// ARP and DHCP as DELPs (§3.1 claims the model covers both): a switched
+// LAN where hosts resolve each other's MAC addresses and lease their IP
+// configuration, with equivalence-based provenance compression on.
+// Demonstrates that the same library machinery — static analysis,
+// compression, querying — applies beyond the paper's two applications.
+#include <cstdio>
+
+#include "src/apps/extras.h"
+#include "src/apps/testbed.h"
+#include "src/core/equivalence_keys.h"
+#include "src/core/query.h"
+
+using namespace dpc;        // NOLINT(build/namespaces)
+using namespace dpc::apps;  // NOLINT(build/namespaces)
+
+namespace {
+
+int RunApp(const char* title, Result<Program> program_or,
+           const LanFixture& lan,
+           const std::function<Status(System&)>& install,
+           const std::function<void(System&)>& workload,
+           const Tuple& query_target) {
+  std::printf("=== %s ===\n", title);
+  if (!program_or.ok()) {
+    std::fprintf(stderr, "%s\n", program_or.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", program_or->ToString().c_str());
+  auto keys = ComputeEquivalenceKeys(*program_or);
+  if (!keys.ok()) return 1;
+  std::printf("equivalence keys: %s\n\n", keys->ToString().c_str());
+
+  auto bed_or = Testbed::Create(std::move(program_or).value(), &lan.graph,
+                                Scheme::kAdvanced);
+  if (!bed_or.ok()) return 1;
+  auto bed = std::move(bed_or).value();
+  if (!install(bed->system()).ok()) return 1;
+  workload(bed->system());
+  bed->system().Run();
+
+  const SystemStats& stats = bed->system().stats();
+  StorageBreakdown storage = bed->TotalStorage();
+  std::printf("%llu events -> %llu replies; provenance storage %zu bytes "
+              "(%zu shared ruleExec)\n",
+              static_cast<unsigned long long>(stats.events_injected),
+              static_cast<unsigned long long>(stats.outputs),
+              storage.Total(), storage.rule_exec);
+
+  auto querier = bed->MakeQuerier();
+  auto res = querier->Query(query_target);
+  if (!res.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 res.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nprovenance of %s:\n%s\n", query_target.ToString().c_str(),
+              res->trees.front().ToString().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  LanFixture lan = MakeLan(6);
+  std::printf("LAN: switch n%d with %zu hosts\n\n", lan.switch_node,
+              lan.hosts.size());
+
+  // --- ARP: every host resolves every other host's IP, three times. ---
+  int rc = RunApp(
+      "ARP", MakeArpProgram(), lan,
+      [&lan](System& sys) { return InstallArpState(sys, lan); },
+      [&lan](System& sys) {
+        double t = 0;
+        for (int round = 0; round < 3; ++round) {
+          for (size_t i = 0; i < lan.hosts.size(); ++i) {
+            for (size_t j = 0; j < lan.hosts.size(); ++j) {
+              if (i == j) continue;
+              (void)sys.ScheduleInject(
+                  MakeArpQuery(lan.hosts[i],
+                               LanIpOfHost(static_cast<int>(j))),
+                  t += 0.001);
+            }
+          }
+        }
+      },
+      MakeArpReply(lan.hosts[0], LanIpOfHost(1), LanMacOfHost(1)));
+  if (rc != 0) return rc;
+
+  // --- DHCP: every host leases its address twice. ---
+  return RunApp(
+      "DHCP", MakeDhcpProgram(), lan,
+      [&lan](System& sys) { return InstallDhcpState(sys, lan); },
+      [&lan](System& sys) {
+        double t = 0;
+        for (int round = 0; round < 2; ++round) {
+          for (size_t i = 0; i < lan.hosts.size(); ++i) {
+            (void)sys.ScheduleInject(
+                MakeDhcpDiscover(lan.hosts[i],
+                                 LanMacOfHost(static_cast<int>(i))),
+                t += 0.001);
+          }
+        }
+      },
+      MakeDhcpOffer(lan.hosts[2], LanMacOfHost(2), LanIpOfHost(2)));
+}

@@ -1,0 +1,77 @@
+// Recursive DNS resolution (§6.2 / Appendix F): builds the synthetic
+// nameserver hierarchy, resolves Zipf-distributed URL requests under
+// equivalence-based compression, prints one resolution's provenance chain
+// (root delegation -> ... -> address record -> reply), and reports the
+// compression the URL-level equivalence classes achieve.
+#include <cstdio>
+
+#include "src/apps/experiments.h"
+#include "src/core/query.h"
+
+using namespace dpc;        // NOLINT(build/namespaces)
+using namespace dpc::apps;  // NOLINT(build/namespaces)
+
+int main() {
+  DnsUniverse universe = MakeDnsUniverse();
+  std::printf("DNS universe: %zu nameservers (max depth %d), %zu clients, "
+              "%zu URLs\n",
+              universe.servers.size(), universe.max_depth,
+              universe.clients.size(), universe.urls.size());
+  std::printf("sample URL: %s (held by server n%d)\n\n",
+              universe.urls[0].c_str(),
+              universe.servers[universe.url_holders[0]]);
+
+  auto program_or = MakeDnsProgram();
+  if (!program_or.ok()) {
+    std::fprintf(stderr, "%s\n", program_or.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("DELP program (Appendix F):\n%s\n",
+              program_or->ToString().c_str());
+
+  auto bed_or = Testbed::Create(std::move(program_or).value(),
+                                &universe.graph, Scheme::kAdvanced);
+  if (!bed_or.ok()) return 1;
+  auto bed = std::move(bed_or).value();
+  if (!InstallDnsState(bed->system(), universe).ok()) return 1;
+
+  auto workload = MakeDnsWorkload(universe, /*count=*/500, /*rate_rps=*/100,
+                                  /*zipf_theta=*/0.9, /*seed=*/11);
+  for (const WorkloadItem& item : workload) {
+    (void)bed->system().ScheduleInject(item.event, item.time_s);
+  }
+  bed->system().Run();
+
+  const SystemStats& stats = bed->system().stats();
+  std::printf("resolved %llu / %zu requests (%llu rule firings)\n",
+              static_cast<unsigned long long>(stats.outputs),
+              workload.size(),
+              static_cast<unsigned long long>(stats.rule_firings));
+
+  // Compression effect: ruleExec rows vs total requests.
+  size_t rule_exec_rows = 0;
+  for (NodeId n = 0; n < universe.graph.num_nodes(); ++n) {
+    rule_exec_rows += bed->advanced()->RuleExecAt(n).size();
+  }
+  std::printf("shared ruleExec rows: %zu for %zu requests "
+              "(one chain per client x URL class)\n\n",
+              rule_exec_rows, workload.size());
+
+  // Query the provenance of the first reply.
+  auto outputs = bed->system().AllOutputs();
+  if (outputs.empty()) return 1;
+  auto querier = bed->MakeQuerier();
+  Vid evid = outputs.front().meta.evid;
+  auto res = querier->Query(outputs.front().tuple, &evid);
+  if (!res.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 res.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("provenance of %s\n(query latency %.2f ms, %zu entries, "
+              "%d hops):\n%s",
+              outputs.front().tuple.ToString().c_str(),
+              res->latency_s * 1e3, res->entries_touched, res->hops,
+              res->trees.front().ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Slow-changing table updates (§5.5, Fig. 7): a network administrator
+// redirects traffic from n1 -> n2 -> n3 to n1 -> n4 -> n3 while packets of
+// the same equivalence class keep flowing. The example shows the sig
+// broadcast, the equivalence-cache reset, and that provenance queries
+// return the historically correct route for packets before and after the
+// change.
+#include <cstdio>
+
+#include "src/apps/forwarding.h"
+#include "src/apps/testbed.h"
+#include "src/core/query.h"
+
+using namespace dpc;        // NOLINT(build/namespaces)
+using namespace dpc::apps;  // NOLINT(build/namespaces)
+
+namespace {
+
+void QueryAndPrint(ProvenanceQuerier& querier, const Tuple& recv,
+                   const Tuple& packet) {
+  Vid evid = packet.Vid();
+  auto res = querier.Query(recv, &evid);
+  if (!res.ok()) {
+    std::printf("  %s -> query failed: %s\n", recv.ToString().c_str(),
+                res.status().ToString().c_str());
+    return;
+  }
+  const ProvTree& tree = res->trees.front();
+  std::printf("  %s routed via:", recv.ToString().c_str());
+  for (const ProvStep& step : tree.steps()) {
+    for (const Tuple& slow : step.slow_tuples) {
+      std::printf(" %s", slow.ToString().c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  // Fig. 7's diamond: n1 can reach n3 via n2 or via the new node n4.
+  Topology topo;
+  NodeId n1 = topo.AddNode(), n2 = topo.AddNode(), n3 = topo.AddNode(),
+         n4 = topo.AddNode();
+  LinkProps lp{0.002, 50e6};
+  (void)topo.AddLink(n1, n2, lp);
+  (void)topo.AddLink(n2, n3, lp);
+  (void)topo.AddLink(n1, n4, lp);
+  (void)topo.AddLink(n4, n3, lp);
+  topo.ComputeRoutes();
+
+  auto program_or = MakeForwardingProgram();
+  if (!program_or.ok()) return 1;
+  auto bed_or = Testbed::Create(std::move(program_or).value(), &topo,
+                                Scheme::kAdvanced);
+  if (!bed_or.ok()) return 1;
+  auto bed = std::move(bed_or).value();
+  System& sys = bed->system();
+
+  std::printf("initial routes: n1 -> n2 -> n3\n");
+  (void)sys.InsertSlowTuple(MakeRoute(n1, n3, n2));
+  (void)sys.InsertSlowTuple(MakeRoute(n2, n3, n3));
+  sys.Run();
+
+  (void)sys.ScheduleInject(MakePacket(n1, n1, n3, "before-1"), 1.0);
+  (void)sys.ScheduleInject(MakePacket(n1, n1, n3, "before-2"), 2.0);
+  sys.Run();
+
+  std::printf("\nadministrator redirects traffic through n4 (Fig. 7):\n");
+  std::printf("  - delete route(@n1, n3, n2)   (no broadcast needed)\n");
+  (void)sys.DeleteSlowTuple(MakeRoute(n1, n3, n2));
+  uint64_t sigs_before = sys.stats().control_signals;
+  std::printf("  - insert route(@n1, n3, n4)   (broadcasts sig)\n");
+  (void)sys.InsertSlowTuple(MakeRoute(n1, n3, n4));
+  std::printf("  - insert route(@n4, n3, n3)   (broadcasts sig)\n");
+  (void)sys.InsertSlowTuple(MakeRoute(n4, n3, n3));
+  sys.Run();
+  std::printf("  sig control messages delivered: %llu\n",
+              static_cast<unsigned long long>(sys.stats().control_signals -
+                                              sigs_before));
+
+  (void)sys.ScheduleInject(MakePacket(n1, n1, n3, "after-1"), 10.0);
+  (void)sys.ScheduleInject(MakePacket(n1, n1, n3, "after-2"), 11.0);
+  sys.Run();
+
+  std::printf("\nprovenance queries (history is preserved exactly):\n");
+  auto querier = bed->MakeQuerier();
+  for (const char* payload : {"before-1", "before-2", "after-1", "after-2"}) {
+    QueryAndPrint(*querier, MakeRecv(n3, n1, n3, payload),
+                  MakePacket(n1, n1, n3, payload));
+  }
+  return 0;
+}

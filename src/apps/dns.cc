@@ -1,0 +1,144 @@
+#include "src/apps/dns.h"
+
+#include "src/util/logging.h"
+
+namespace dpc::apps {
+
+const char kDnsProgramText[] = R"(
+  r1 request(@RT, URL, HST, RQID) :- url(@HST, URL, RQID),
+                                     rootServer(@HST, RT).
+  r2 request(@SV, URL, HST, RQID) :- request(@X, URL, HST, RQID),
+                                     nameServer(@X, DM, SV),
+                                     f_isSubDomain(DM, URL) == true.
+  r3 dnsResult(@X, URL, IPADDR, HST, RQID) :-
+                                     request(@X, URL, HST, RQID),
+                                     addressRecord(@X, URL, IPADDR).
+  r4 reply(@HST, URL, IPADDR, RQID) :-
+                                     dnsResult(@X, URL, IPADDR, HST, RQID).
+)";
+
+Result<Program> MakeDnsProgram() {
+  ProgramOptions options;
+  options.name = "dns-resolution";
+  options.relations_of_interest = {"reply"};
+  return Program::Parse(kDnsProgramText, std::move(options));
+}
+
+Tuple MakeUrlEvent(NodeId client, const std::string& url, int64_t rqid) {
+  return Tuple::Make("url", client, {Value::Str(url), Value::Int(rqid)});
+}
+
+DnsUniverse MakeDnsUniverse(const DnsParams& params) {
+  DPC_CHECK(params.num_servers >= 2);
+  DPC_CHECK(params.num_clients >= 0);
+  DPC_CHECK(params.num_urls >= 1);
+  DPC_CHECK(params.trunk_depth >= 1);
+
+  DnsUniverse u;
+  Rng rng(params.seed);
+
+  // Root nameserver: owns the DNS root (empty domain).
+  u.root_server = u.graph.AddNode();
+  u.servers.push_back(u.root_server);
+  u.domains.push_back("");
+  u.parents.push_back(-1);
+  std::vector<int> depth{0};
+
+  auto add_server = [&](int parent_idx) {
+    NodeId n = u.graph.AddNode();
+    int idx = static_cast<int>(u.servers.size());
+    u.servers.push_back(n);
+    u.parents.push_back(parent_idx);
+    std::string label = "d" + std::to_string(idx);
+    const std::string& parent_domain = u.domains[parent_idx];
+    u.domains.push_back(parent_domain.empty() ? label
+                                              : label + "." + parent_domain);
+    depth.push_back(depth[parent_idx] + 1);
+    u.max_depth = std::max(u.max_depth, depth.back());
+    DPC_CHECK(u.graph
+                  .AddLink(u.servers[parent_idx], n, params.server_link)
+                  .ok());
+    return idx;
+  };
+
+  // A trunk chain first (the paper's tree reaches depth 27), then the
+  // remaining servers attach to random existing servers.
+  int trunk_len =
+      std::min(params.trunk_depth, params.num_servers - 1);
+  int prev = 0;
+  for (int i = 0; i < trunk_len; ++i) prev = add_server(prev);
+  while (static_cast<int>(u.servers.size()) < params.num_servers) {
+    add_server(static_cast<int>(rng.NextBelow(u.servers.size())));
+  }
+
+  // Client hosts: co-located on distinct non-root nameservers (the paper's
+  // topology has 100 nameservers total), or dedicated attached nodes.
+  if (params.colocate_clients) {
+    DPC_CHECK(params.num_clients <
+              static_cast<int>(u.servers.size()));
+    std::vector<NodeId> candidates(u.servers.begin() + 1, u.servers.end());
+    rng.Shuffle(candidates);
+    size_t n_clients = params.num_clients > 0
+                           ? static_cast<size_t>(params.num_clients)
+                           : candidates.size();
+    u.clients.assign(candidates.begin(), candidates.begin() + n_clients);
+  } else {
+    int n_clients = params.num_clients > 0 ? params.num_clients : 10;
+    for (int c = 0; c < n_clients; ++c) {
+      NodeId n = u.graph.AddNode();
+      u.clients.push_back(n);
+      NodeId attach = u.servers[rng.NextBelow(u.servers.size())];
+      DPC_CHECK(u.graph.AddLink(n, attach, params.client_link).ok());
+    }
+  }
+
+  // URLs hosted by random non-root servers.
+  for (int k = 0; k < params.num_urls; ++k) {
+    int holder =
+        1 + static_cast<int>(rng.NextBelow(u.servers.size() - 1));
+    const std::string& dom = u.domains[holder];
+    std::string url = "www" + std::to_string(k);
+    if (!dom.empty()) url += "." + dom;
+    u.urls.push_back(url);
+    u.url_holders.push_back(holder);
+  }
+
+  u.graph.ComputeRoutes();
+  DPC_CHECK(u.graph.IsConnected());
+  return u;
+}
+
+Status InstallDnsState(System& system, const DnsUniverse& u) {
+  // rootServer(@client, root) at every client.
+  for (NodeId client : u.clients) {
+    DPC_RETURN_NOT_OK(system.InsertSlowTuple(Tuple::Make(
+        "rootServer", client, {Value::Int(u.root_server)})));
+  }
+  // nameServer(@parent, child_domain, child) delegations.
+  for (size_t i = 0; i < u.servers.size(); ++i) {
+    int parent = u.parents[i];
+    if (parent < 0) continue;
+    DPC_RETURN_NOT_OK(system.InsertSlowTuple(
+        Tuple::Make("nameServer", u.servers[parent],
+                    {Value::Str(u.domains[i]), Value::Int(u.servers[i])})));
+  }
+  // addressRecord(@holder, url, ip).
+  for (size_t k = 0; k < u.urls.size(); ++k) {
+    NodeId holder = u.servers[u.url_holders[k]];
+    int64_t ip = 0x0A000000 + static_cast<int64_t>(k);  // 10.0.0.k
+    DPC_RETURN_NOT_OK(system.InsertSlowTuple(Tuple::Make(
+        "addressRecord", holder, {Value::Str(u.urls[k]), Value::Int(ip)})));
+  }
+  return Status::OK();
+}
+
+std::vector<size_t> ZipfUrlSequence(const DnsUniverse& u, size_t count,
+                                    double theta, uint64_t seed) {
+  ZipfGenerator zipf(u.urls.size(), theta, seed);
+  std::vector<size_t> seq;
+  seq.reserve(count);
+  for (size_t i = 0; i < count; ++i) seq.push_back(zipf.Next());
+  return seq;
+}
+
+}  // namespace dpc::apps

@@ -1,0 +1,82 @@
+// Recursive DNS resolution (Appendix F): the paper's second evaluation
+// application.
+//
+//   r1 request(@RT, URL, HST, RQID)  :- url(@HST, URL, RQID),
+//                                       rootServer(@HST, RT).
+//   r2 request(@SV, URL, HST, RQID)  :- request(@X, URL, HST, RQID),
+//                                       nameServer(@X, DM, SV),
+//                                       f_isSubDomain(DM, URL) == true.
+//   r3 dnsResult(@X, URL, IPADDR, HST, RQID) :-
+//                                       request(@X, URL, HST, RQID),
+//                                       addressRecord(@X, URL, IPADDR).
+//   r4 reply(@HST, URL, IPADDR, RQID) :-
+//                                       dnsResult(@X, URL, IPADDR, HST, RQID).
+//
+// The synthetic universe mirrors §6.2: ~100 nameservers in a deep tree
+// (max depth 27), 38 distinct URLs, client hosts issuing Zipf-distributed
+// requests (Jung et al.).
+#ifndef DPC_APPS_DNS_H_
+#define DPC_APPS_DNS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/ndlog/program.h"
+#include "src/net/topology.h"
+#include "src/runtime/system.h"
+#include "src/util/rng.h"
+
+namespace dpc::apps {
+
+extern const char kDnsProgramText[];
+
+// Parses and validates the DNS program; `reply` is of interest.
+Result<Program> MakeDnsProgram();
+
+Tuple MakeUrlEvent(NodeId client, const std::string& url, int64_t rqid);
+
+struct DnsParams {
+  int num_servers = 100;
+  // 0 = every non-root nameserver also acts as a requesting client.
+  int num_clients = 0;
+  // The paper's topology is 100 nameservers total: client hosts are
+  // co-located on (randomly chosen, non-root) nameservers by default.
+  // When false, clients get dedicated nodes attached to random servers.
+  bool colocate_clients = true;
+  int num_urls = 38;
+  // Length of the trunk chain grown first; bounds the tree depth.
+  int trunk_depth = 27;
+  double zipf_theta = 0.9;
+  LinkProps server_link{0.005, 100e6};
+  LinkProps client_link{0.002, 50e6};
+  uint64_t seed = 7;
+};
+
+struct DnsUniverse {
+  Topology graph;  // routes computed
+  std::vector<NodeId> servers;
+  NodeId root_server = kNullNode;
+  std::vector<NodeId> clients;
+  // domain[i] is the domain managed by servers[i] ("" for the root).
+  std::vector<std::string> domains;
+  // parent[i] indexes servers; -1 for the root.
+  std::vector<int> parents;
+  std::vector<std::string> urls;
+  // url_holder[u] indexes servers: who owns urls[u]'s address record.
+  std::vector<int> url_holders;
+  int max_depth = 0;
+};
+
+// Builds the nameserver tree, client attachments, domains and URLs.
+DnsUniverse MakeDnsUniverse(const DnsParams& params = {});
+
+// Inserts rootServer / nameServer / addressRecord slow-changing tuples.
+Status InstallDnsState(System& system, const DnsUniverse& universe);
+
+// Draws a Zipf-distributed URL index sequence of length `count`.
+std::vector<size_t> ZipfUrlSequence(const DnsUniverse& universe, size_t count,
+                                    double theta, uint64_t seed);
+
+}  // namespace dpc::apps
+
+#endif  // DPC_APPS_DNS_H_

@@ -1,0 +1,222 @@
+#include "src/apps/experiments.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/logging.h"
+
+namespace dpc::apps {
+
+size_t ExperimentResult::TotalStorageAt(size_t i) const {
+  size_t total = 0;
+  for (size_t v : per_node_storage[i]) total += v;
+  return total;
+}
+
+std::vector<double> ExperimentResult::PerNodeGrowthBps() const {
+  std::vector<double> out;
+  if (snapshot_times.size() < 2) return out;
+  size_t nodes = per_node_storage.front().size();
+  double span = snapshot_times.back() - snapshot_times.front();
+  for (size_t n = 0; n < nodes; ++n) {
+    double delta =
+        static_cast<double>(per_node_storage.back()[n]) -
+        static_cast<double>(per_node_storage.front()[n]);
+    out.push_back(delta * 8.0 / span);
+  }
+  return out;
+}
+
+double ExperimentResult::TotalGrowthBytesPerSec() const {
+  if (snapshot_times.size() < 2) return 0;
+  double span = snapshot_times.back() - snapshot_times.front();
+  return (static_cast<double>(TotalStorageAt(snapshot_times.size() - 1)) -
+          static_cast<double>(TotalStorageAt(0))) /
+         span;
+}
+
+ExperimentResult RunExperiment(
+    Scheme scheme, Program program, const Topology* topology,
+    const std::vector<WorkloadItem>& workload, const ExperimentConfig& config,
+    const std::function<Status(System&)>& install,
+    const std::function<void(System&, double)>& periodic_update) {
+  auto bed_result = Testbed::Create(std::move(program), topology, scheme);
+  DPC_CHECK(bed_result.ok()) << bed_result.status().ToString();
+  auto bed = std::move(bed_result).value();
+
+  bed->network().set_bucket_width_s(config.bandwidth_bucket_s);
+
+  DPC_CHECK(install(bed->system()).ok());
+  // Drain setup traffic (e.g. §5.5 broadcasts) and zero the accounting so
+  // the measurement window only sees workload traffic.
+  bed->system().Run();
+  bed->network().ResetAccounting();
+
+  for (const WorkloadItem& item : workload) {
+    Status st = bed->system().ScheduleInject(item.event, item.time_s);
+    DPC_CHECK(st.ok()) << st.ToString();
+  }
+
+  ExperimentResult result;
+  result.scheme = SchemeName(scheme);
+
+  int num_nodes = topology->num_nodes();
+  auto snapshot = [&]() {
+    result.snapshot_times.push_back(bed->queue().now());
+    std::vector<size_t> row(num_nodes);
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      row[n] = bed->recorder().StorageAt(n).Total();
+    }
+    result.per_node_storage.push_back(std::move(row));
+  };
+
+  for (double t = 0; t <= config.duration_s + 1e-9;
+       t += config.snapshot_interval_s) {
+    bed->queue().ScheduleAt(t, snapshot);
+  }
+  if (periodic_update && config.route_update_interval_s > 0) {
+    for (double t = config.route_update_interval_s; t < config.duration_s;
+         t += config.route_update_interval_s) {
+      bed->queue().ScheduleAt(
+          t, [&bed, &periodic_update, t]() { periodic_update(bed->system(), t); });
+    }
+  }
+
+  bed->system().RunUntil(config.duration_s);
+  bed->system().Run();  // drain in-flight traffic past the window
+
+  result.final_storage = bed->TotalStorage();
+  result.total_network_bytes = bed->network().total_bytes_sent();
+  result.total_messages = bed->network().total_messages();
+  result.bandwidth_buckets = bed->network().bucket_bytes();
+  result.bandwidth_bucket_s = config.bandwidth_bucket_s;
+  result.events_injected = bed->system().stats().events_injected;
+  result.outputs = bed->system().stats().outputs;
+  return result;
+}
+
+ForwardingWorkload MakeForwardingWorkload(const TransitStubTopology& topo,
+                                          size_t pairs, double rate_pps,
+                                          double duration_s,
+                                          size_t payload_len, uint64_t seed) {
+  ForwardingWorkload w;
+  Rng rng(seed);
+  w.pairs = PickCommunicatingPairs(topo, pairs, rng);
+  uint64_t seq = 0;
+  for (size_t p = 0; p < w.pairs.size(); ++p) {
+    auto [s, d] = w.pairs[p];
+    double offset = rng.NextDouble() / rate_pps;  // stagger the pairs
+    for (double t = offset; t < duration_s; t += 1.0 / rate_pps) {
+      w.items.push_back(WorkloadItem{
+          MakePacket(s, s, d, MakePayload(payload_len, seq)), t});
+      ++seq;
+    }
+  }
+  return w;
+}
+
+ForwardingWorkload MakeFixedCountForwardingWorkload(
+    const TransitStubTopology& topo, size_t pairs, size_t total_packets,
+    double duration_s, size_t payload_len, uint64_t seed) {
+  ForwardingWorkload w;
+  Rng rng(seed);
+  w.pairs = PickCommunicatingPairs(topo, pairs, rng);
+  DPC_CHECK(!w.pairs.empty());
+  uint64_t seq = 0;
+  for (size_t i = 0; i < total_packets; ++i) {
+    auto [s, d] = w.pairs[i % w.pairs.size()];
+    double t = duration_s * static_cast<double>(i) /
+               static_cast<double>(total_packets);
+    w.items.push_back(
+        WorkloadItem{MakePacket(s, s, d, MakePayload(payload_len, seq)), t});
+    ++seq;
+  }
+  return w;
+}
+
+ExperimentResult RunForwarding(Scheme scheme,
+                               const TransitStubTopology& topo,
+                               const ForwardingWorkload& workload,
+                               const ExperimentConfig& config) {
+  auto program = MakeForwardingProgram();
+  DPC_CHECK(program.ok());
+  auto install = [&](System& sys) -> Status {
+    for (auto [s, d] : workload.pairs) {
+      DPC_RETURN_NOT_OK(InstallRoutesForPair(sys, topo.graph, s, d));
+    }
+    return Status::OK();
+  };
+  std::function<void(System&, double)> periodic;
+  if (config.route_update_interval_s > 0) {
+    // §6.1.2: update a route every interval. Toggling a fresh destination
+    // entry forces the §5.5 broadcast + cache reset path.
+    periodic = [&topo](System& sys, double t) {
+      Rng rng(static_cast<uint64_t>(t * 1000) + 99);
+      auto [s, d] = topo.stub_nodes.size() >= 2
+                        ? std::pair<NodeId, NodeId>{topo.stub_nodes[rng.NextBelow(
+                                                        topo.stub_nodes.size())],
+                                                    topo.stub_nodes[0]}
+                        : std::pair<NodeId, NodeId>{0, 1};
+      // A synthetic, otherwise-unused route entry: enough to trigger the
+      // §5.5 machinery without disturbing the measured traffic.
+      Status st = sys.InsertSlowTuple(
+          MakeRoute(s, static_cast<NodeId>(10000 + t), d));
+      DPC_CHECK(st.ok()) << st.ToString();
+    };
+  }
+  return RunExperiment(scheme, std::move(program).value(), &topo.graph,
+                       workload.items, config, install, periodic);
+}
+
+std::vector<WorkloadItem> MakeDnsWorkload(const DnsUniverse& universe,
+                                          size_t count, double rate_rps,
+                                          double zipf_theta, uint64_t seed,
+                                          int num_urls) {
+  size_t urls =
+      num_urls > 0
+          ? std::min<size_t>(num_urls, universe.urls.size())
+          : universe.urls.size();
+  ZipfGenerator zipf(urls, zipf_theta, seed);
+  Rng rng(seed + 17);
+  std::vector<WorkloadItem> items;
+  items.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    NodeId client = universe.clients[i % universe.clients.size()];
+    const std::string& url = universe.urls[zipf.Next()];
+    double t = static_cast<double>(i) / rate_rps;
+    items.push_back(WorkloadItem{
+        MakeUrlEvent(client, url, static_cast<int64_t>(i)), t});
+  }
+  return items;
+}
+
+ExperimentResult RunDns(Scheme scheme, const DnsUniverse& universe,
+                        const std::vector<WorkloadItem>& workload,
+                        const ExperimentConfig& config) {
+  auto program = MakeDnsProgram();
+  DPC_CHECK(program.ok());
+  auto install = [&](System& sys) -> Status {
+    return InstallDnsState(sys, universe);
+  };
+  return RunExperiment(scheme, std::move(program).value(), &universe.graph,
+                       workload, config, install);
+}
+
+double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : std::atof(v);
+}
+
+size_t EnvSize(const char* name, size_t def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : static_cast<size_t>(std::atoll(v));
+}
+
+void PrintFigureHeader(const std::string& figure, const std::string& setup) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("%s\n", setup.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace dpc::apps

@@ -1,0 +1,106 @@
+#include "src/apps/extras.h"
+
+#include "src/util/logging.h"
+
+namespace dpc::apps {
+
+const char kArpProgramText[] = R"(
+  a1 arpReq(@SW, IP, H)    :- arpQuery(@H, IP), uplink(@H, SW).
+  a2 arpReq(@OW, IP, H)    :- arpReq(@SW, IP, H), owner(@SW, IP, OW).
+  a3 arpReply(@H, IP, MAC) :- arpReq(@OW, IP, H), macOf(@OW, IP, MAC).
+)";
+
+const char kDhcpProgramText[] = R"(
+  d1 dhcpReq(@R, MAC, H)    :- dhcpDiscover(@H, MAC), relay(@H, R).
+  d2 dhcpReq(@S, MAC, H)    :- dhcpReq(@R, MAC, H), dhcpServer(@R, S).
+  d3 dhcpOffer(@H, MAC, IP) :- dhcpReq(@S, MAC, H), pool(@S, MAC, IP).
+)";
+
+Result<Program> MakeArpProgram() {
+  ProgramOptions options;
+  options.name = "arp";
+  options.relations_of_interest = {"arpReply"};
+  return Program::Parse(kArpProgramText, std::move(options));
+}
+
+Result<Program> MakeDhcpProgram() {
+  ProgramOptions options;
+  options.name = "dhcp";
+  options.relations_of_interest = {"dhcpOffer"};
+  return Program::Parse(kDhcpProgramText, std::move(options));
+}
+
+Tuple MakeArpQuery(NodeId host, int64_t ip) {
+  return Tuple::Make("arpQuery", host, {Value::Int(ip)});
+}
+
+Tuple MakeArpReply(NodeId host, int64_t ip, const std::string& mac) {
+  return Tuple::Make("arpReply", host, {Value::Int(ip), Value::Str(mac)});
+}
+
+Tuple MakeDhcpDiscover(NodeId host, const std::string& mac) {
+  return Tuple::Make("dhcpDiscover", host, {Value::Str(mac)});
+}
+
+Tuple MakeDhcpOffer(NodeId host, const std::string& mac, int64_t ip) {
+  return Tuple::Make("dhcpOffer", host, {Value::Str(mac), Value::Int(ip)});
+}
+
+int64_t LanIpOfHost(int host_index) { return 100 + host_index; }
+
+std::string LanMacOfHost(int host_index) {
+  return "aa:" + std::to_string(host_index);
+}
+
+LanFixture MakeLan(int hosts, LinkProps link) {
+  DPC_CHECK(hosts >= 2);
+  LanFixture lan;
+  lan.switch_node = lan.graph.AddNode();
+  for (int i = 0; i < hosts; ++i) {
+    NodeId h = lan.graph.AddNode();
+    lan.hosts.push_back(h);
+    DPC_CHECK(lan.graph.AddLink(lan.switch_node, h, link).ok());
+  }
+  lan.dhcp_server = lan.hosts.back();
+  lan.graph.ComputeRoutes();
+  return lan;
+}
+
+Status InstallArpState(System& system, const LanFixture& lan) {
+  for (size_t i = 0; i < lan.hosts.size(); ++i) {
+    NodeId h = lan.hosts[i];
+    // Every host knows its switch.
+    DPC_RETURN_NOT_OK(system.InsertSlowTuple(
+        Tuple::Make("uplink", h, {Value::Int(lan.switch_node)})));
+    // The switch knows which host owns each IP.
+    DPC_RETURN_NOT_OK(system.InsertSlowTuple(
+        Tuple::Make("owner", lan.switch_node,
+                    {Value::Int(LanIpOfHost(static_cast<int>(i))),
+                     Value::Int(h)})));
+    // Each host knows its own MAC binding.
+    DPC_RETURN_NOT_OK(system.InsertSlowTuple(Tuple::Make(
+        "macOf", h,
+        {Value::Int(LanIpOfHost(static_cast<int>(i))),
+         Value::Str(LanMacOfHost(static_cast<int>(i)))})));
+  }
+  return Status::OK();
+}
+
+Status InstallDhcpState(System& system, const LanFixture& lan) {
+  for (size_t i = 0; i < lan.hosts.size(); ++i) {
+    NodeId h = lan.hosts[i];
+    // Hosts relay through the switch; the switch forwards to the server.
+    DPC_RETURN_NOT_OK(system.InsertSlowTuple(
+        Tuple::Make("relay", h, {Value::Int(lan.switch_node)})));
+    // The pool statically binds each MAC to its IP.
+    DPC_RETURN_NOT_OK(system.InsertSlowTuple(Tuple::Make(
+        "pool", lan.dhcp_server,
+        {Value::Str(LanMacOfHost(static_cast<int>(i))),
+         Value::Int(LanIpOfHost(static_cast<int>(i)))})));
+  }
+  DPC_RETURN_NOT_OK(system.InsertSlowTuple(Tuple::Make(
+      "dhcpServer", lan.switch_node, {Value::Int(lan.dhcp_server)})));
+  return Status::OK();
+}
+
+}  // namespace dpc::apps

@@ -1,0 +1,65 @@
+// Additional DELP applications the paper names as expressible in the model
+// (§3.1): Address Resolution Protocol (ARP) and Dynamic Host Configuration
+// Protocol (DHCP), both simplified to their request/response cores.
+//
+// ARP: a host asks its switch for the MAC address owning an IP; the switch
+// forwards to the owning host, which replies.
+//
+//   a1 arpReq(@SW, IP, H)    :- arpQuery(@H, IP), uplink(@H, SW).
+//   a2 arpReq(@OW, IP, H)    :- arpReq(@SW, IP, H), owner(@SW, IP, OW).
+//   a3 arpReply(@H, IP, MAC) :- arpReq(@OW, IP, H), macOf(@OW, IP, MAC).
+//
+// DHCP: a discover is relayed to the DHCP server, which offers the address
+// bound to the client's MAC.
+//
+//   d1 dhcpReq(@R, MAC, H)    :- dhcpDiscover(@H, MAC), relay(@H, R).
+//   d2 dhcpReq(@S, MAC, H)    :- dhcpReq(@R, MAC, H), dhcpServer(@R, S).
+//   d3 dhcpOffer(@H, MAC, IP) :- dhcpReq(@S, MAC, H), pool(@S, MAC, IP).
+#ifndef DPC_APPS_EXTRAS_H_
+#define DPC_APPS_EXTRAS_H_
+
+#include <string>
+
+#include "src/ndlog/program.h"
+#include "src/runtime/system.h"
+
+namespace dpc::apps {
+
+extern const char kArpProgramText[];
+extern const char kDhcpProgramText[];
+
+// arpReply is of interest. Equivalence keys: (arpQuery:0, arpQuery:1).
+Result<Program> MakeArpProgram();
+
+// dhcpOffer is of interest. Equivalence keys: (dhcpDiscover:0,
+// dhcpDiscover:1).
+Result<Program> MakeDhcpProgram();
+
+Tuple MakeArpQuery(NodeId host, int64_t ip);
+Tuple MakeArpReply(NodeId host, int64_t ip, const std::string& mac);
+Tuple MakeDhcpDiscover(NodeId host, const std::string& mac);
+Tuple MakeDhcpOffer(NodeId host, const std::string& mac, int64_t ip);
+
+// A small switched LAN: one switch (node 0) with `hosts` hosts attached,
+// host i owning IP 100+i / MAC "aa:i". Fills uplink/owner/macOf for ARP and
+// relay/dhcpServer/pool for DHCP (the switch doubles as relay; the last
+// host doubles as the DHCP server).
+struct LanFixture {
+  Topology graph;
+  NodeId switch_node = 0;
+  std::vector<NodeId> hosts;
+  NodeId dhcp_server = kNullNode;
+};
+
+LanFixture MakeLan(int hosts, LinkProps link = LinkProps{0.001, 100e6});
+
+Status InstallArpState(System& system, const LanFixture& lan);
+Status InstallDhcpState(System& system, const LanFixture& lan);
+
+// The IP / MAC conventions used by the fixtures.
+int64_t LanIpOfHost(int host_index);
+std::string LanMacOfHost(int host_index);
+
+}  // namespace dpc::apps
+
+#endif  // DPC_APPS_EXTRAS_H_

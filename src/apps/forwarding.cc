@@ -1,0 +1,81 @@
+#include "src/apps/forwarding.h"
+
+#include <set>
+
+#include "src/util/logging.h"
+
+namespace dpc::apps {
+
+const char kForwardingProgramText[] = R"(
+  r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).
+  r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.
+)";
+
+Result<Program> MakeForwardingProgram() {
+  ProgramOptions options;
+  options.name = "packet-forwarding";
+  options.relations_of_interest = {"recv"};
+  return Program::Parse(kForwardingProgramText, std::move(options));
+}
+
+Tuple MakeRoute(NodeId at, NodeId dst, NodeId next_hop) {
+  return Tuple::Make("route", at,
+                     {Value::Int(dst), Value::Int(next_hop)});
+}
+
+Tuple MakePacket(NodeId at, NodeId src, NodeId dst, std::string payload) {
+  return Tuple::Make(
+      "packet", at,
+      {Value::Int(src), Value::Int(dst), Value::Str(std::move(payload))});
+}
+
+Tuple MakeRecv(NodeId at, NodeId src, NodeId dst, std::string payload) {
+  return Tuple::Make(
+      "recv", at,
+      {Value::Int(src), Value::Int(dst), Value::Str(std::move(payload))});
+}
+
+Status InstallRoutesForPair(System& system, const Topology& topology,
+                            NodeId src, NodeId dst) {
+  std::vector<NodeId> path = topology.Path(src, dst);
+  if (path.empty()) {
+    return Status::NotFound("no path from " + std::to_string(src) + " to " +
+                            std::to_string(dst));
+  }
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    DPC_RETURN_NOT_OK(
+        system.InsertSlowTuple(MakeRoute(path[i], dst, path[i + 1])));
+  }
+  return Status::OK();
+}
+
+std::vector<std::pair<NodeId, NodeId>> PickCommunicatingPairs(
+    const TransitStubTopology& topo, size_t count, Rng& rng) {
+  DPC_CHECK(topo.stub_nodes.size() >= 2);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  std::set<std::pair<NodeId, NodeId>> seen;
+  size_t distinct_limit =
+      topo.stub_nodes.size() * (topo.stub_nodes.size() - 1);
+  while (pairs.size() < count && seen.size() < distinct_limit) {
+    NodeId s = topo.stub_nodes[rng.NextBelow(topo.stub_nodes.size())];
+    NodeId d = topo.stub_nodes[rng.NextBelow(topo.stub_nodes.size())];
+    if (s == d) continue;
+    if (!seen.insert({s, d}).second) continue;
+    pairs.emplace_back(s, d);
+  }
+  return pairs;
+}
+
+std::string MakePayload(size_t len, uint64_t seq) {
+  std::string payload;
+  payload.reserve(len);
+  payload = "pkt-" + std::to_string(seq) + "-";
+  while (payload.size() < len) {
+    payload.push_back(
+        static_cast<char>('a' + (payload.size() * 31 + seq) % 26));
+  }
+  payload.resize(len);
+  return payload;
+}
+
+}  // namespace dpc::apps

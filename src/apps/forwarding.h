@@ -1,0 +1,50 @@
+// Packet forwarding (Fig. 1): the paper's first evaluation application.
+//
+//   r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).
+//   r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.
+//
+// Routes are installed along precomputed shortest paths (the paper ran a
+// declarative routing protocol offline for the same purpose); `recv` is the
+// relation of interest.
+#ifndef DPC_APPS_FORWARDING_H_
+#define DPC_APPS_FORWARDING_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/ndlog/program.h"
+#include "src/net/transit_stub.h"
+#include "src/runtime/system.h"
+#include "src/util/rng.h"
+
+namespace dpc::apps {
+
+// The DELP source text of Fig. 1.
+extern const char kForwardingProgramText[];
+
+// Parses and validates the forwarding program; `recv` is of interest.
+Result<Program> MakeForwardingProgram();
+
+Tuple MakeRoute(NodeId at, NodeId dst, NodeId next_hop);
+Tuple MakePacket(NodeId at, NodeId src, NodeId dst, std::string payload);
+Tuple MakeRecv(NodeId at, NodeId src, NodeId dst, std::string payload);
+
+// Installs route tuples along the shortest path from `src` to `dst`
+// (one per intermediate node, keyed by destination).
+Status InstallRoutesForPair(System& system, const Topology& topology,
+                            NodeId src, NodeId dst);
+
+// Draws `count` distinct (src, dst) stub-node pairs.
+std::vector<std::pair<NodeId, NodeId>> PickCommunicatingPairs(
+    const TransitStubTopology& topo, size_t count, Rng& rng);
+
+// A deterministic printable payload of `len` bytes, unique per `seq`
+// (the paper's packets carry 500-character payloads, §6.2.2).
+std::string MakePayload(size_t len, uint64_t seq);
+
+inline constexpr size_t kDefaultPayloadLen = 500;
+
+}  // namespace dpc::apps
+
+#endif  // DPC_APPS_FORWARDING_H_

@@ -1,0 +1,95 @@
+#include "src/apps/testbed.h"
+
+#include "src/util/logging.h"
+
+namespace dpc::apps {
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kReference: return "Reference";
+    case Scheme::kExspan: return "ExSPAN";
+    case Scheme::kBasic: return "Basic";
+    case Scheme::kAdvanced: return "Advanced";
+    case Scheme::kAdvancedInterClass: return "Advanced+InterClass";
+  }
+  return "?";
+}
+
+Testbed::Testbed(Program program, const Topology* topology, Scheme scheme,
+                 QueryCostModel query_cost)
+    : program_(std::move(program)),
+      topology_(topology),
+      scheme_(scheme),
+      query_cost_(query_cost),
+      network_(topology, &queue_) {}
+
+Result<std::unique_ptr<Testbed>> Testbed::Create(Program program,
+                                                 const Topology* topology,
+                                                 Scheme scheme,
+                                                 QueryCostModel query_cost) {
+  DPC_CHECK(topology != nullptr);
+  std::unique_ptr<Testbed> bed(
+      new Testbed(std::move(program), topology, scheme, query_cost));
+  int n = topology->num_nodes();
+
+  switch (scheme) {
+    case Scheme::kReference: {
+      auto rec = std::make_unique<ReferenceRecorder>(n);
+      bed->reference_ = rec.get();
+      bed->recorder_ = std::move(rec);
+      break;
+    }
+    case Scheme::kExspan: {
+      auto rec = std::make_unique<ExspanRecorder>(n);
+      bed->exspan_ = rec.get();
+      bed->recorder_ = std::move(rec);
+      break;
+    }
+    case Scheme::kBasic: {
+      auto rec = std::make_unique<BasicRecorder>(&bed->program_, n);
+      bed->basic_ = rec.get();
+      bed->recorder_ = std::move(rec);
+      break;
+    }
+    case Scheme::kAdvanced:
+    case Scheme::kAdvancedInterClass: {
+      DPC_ASSIGN_OR_RETURN(EquivalenceKeys keys,
+                           ComputeEquivalenceKeys(bed->program_));
+      AdvancedOptions options;
+      options.inter_class_sharing = (scheme == Scheme::kAdvancedInterClass);
+      auto rec = std::make_unique<AdvancedRecorder>(&bed->program_,
+                                                    std::move(keys), n,
+                                                    options);
+      bed->advanced_ = rec.get();
+      bed->recorder_ = std::move(rec);
+      break;
+    }
+  }
+
+  bed->system_ = std::make_unique<System>(&bed->program_, topology,
+                                          &bed->network_, &bed->queue_,
+                                          DefaultFunctions(),
+                                          bed->recorder_.get());
+  return bed;
+}
+
+std::unique_ptr<ProvenanceQuerier> Testbed::MakeQuerier() const {
+  switch (scheme_) {
+    case Scheme::kReference:
+      return nullptr;
+    case Scheme::kExspan:
+      return std::make_unique<ExspanQuerier>(exspan_, topology_, query_cost_);
+    case Scheme::kBasic:
+      return std::make_unique<BasicQuerier>(basic_, &program_,
+                                            &system_->functions(), topology_,
+                                            query_cost_);
+    case Scheme::kAdvanced:
+    case Scheme::kAdvancedInterClass:
+      return std::make_unique<AdvancedQuerier>(advanced_, &program_,
+                                               &system_->functions(),
+                                               topology_, query_cost_);
+  }
+  return nullptr;
+}
+
+}  // namespace dpc::apps

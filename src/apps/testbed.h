@@ -1,0 +1,85 @@
+// Testbed: wires up one complete deployment — program + topology + event
+// queue + network + provenance recorder + runtime — for a chosen
+// maintenance scheme. Tests, benches and examples all build on this.
+#ifndef DPC_APPS_TESTBED_H_
+#define DPC_APPS_TESTBED_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/advanced_recorder.h"
+#include "src/core/basic_recorder.h"
+#include "src/core/exspan_recorder.h"
+#include "src/core/query.h"
+#include "src/core/reference_recorder.h"
+#include "src/runtime/system.h"
+
+namespace dpc::apps {
+
+enum class Scheme {
+  kReference,          // ship whole trees inline (ground truth / ablation)
+  kExspan,             // uncompressed baseline (§2.2)
+  kBasic,              // intra-tree optimization (§4)
+  kAdvanced,           // equivalence-based compression (§5.3)
+  kAdvancedInterClass  // + inter-equivalence-class sharing (§5.4)
+};
+
+const char* SchemeName(Scheme scheme);
+
+// The three schemes the paper's evaluation compares, in its order.
+inline constexpr Scheme kPaperSchemes[] = {Scheme::kExspan, Scheme::kBasic,
+                                           Scheme::kAdvanced};
+
+class Testbed {
+ public:
+  // `topology` must outlive the Testbed; `program` is copied in.
+  static Result<std::unique_ptr<Testbed>> Create(
+      Program program, const Topology* topology, Scheme scheme,
+      QueryCostModel query_cost = {});
+
+  Scheme scheme() const { return scheme_; }
+  const Program& program() const { return program_; }
+  System& system() { return *system_; }
+  EventQueue& queue() { return queue_; }
+  Network& network() { return network_; }
+  const Topology& topology() const { return *topology_; }
+  ProvenanceRecorder& recorder() { return *recorder_; }
+
+  // Typed access; nullptr when the scheme does not match.
+  ReferenceRecorder* reference() { return reference_; }
+  ExspanRecorder* exspan() { return exspan_; }
+  BasicRecorder* basic() { return basic_; }
+  AdvancedRecorder* advanced() { return advanced_; }
+
+  // A querier for the scheme's storage; nullptr for kReference (its trees
+  // are read directly).
+  std::unique_ptr<ProvenanceQuerier> MakeQuerier() const;
+
+  StorageBreakdown TotalStorage() const {
+    return recorder_->TotalStorage(topology_->num_nodes());
+  }
+  StorageBreakdown StorageAt(NodeId node) const {
+    return recorder_->StorageAt(node);
+  }
+
+ private:
+  Testbed(Program program, const Topology* topology, Scheme scheme,
+          QueryCostModel query_cost);
+
+  Program program_;
+  const Topology* topology_;
+  Scheme scheme_;
+  QueryCostModel query_cost_;
+  EventQueue queue_;
+  Network network_;
+  std::unique_ptr<ProvenanceRecorder> recorder_;
+  ReferenceRecorder* reference_ = nullptr;
+  ExspanRecorder* exspan_ = nullptr;
+  BasicRecorder* basic_ = nullptr;
+  AdvancedRecorder* advanced_ = nullptr;
+  std::unique_ptr<System> system_;
+};
+
+}  // namespace dpc::apps
+
+#endif  // DPC_APPS_TESTBED_H_

@@ -1,0 +1,189 @@
+#include "src/core/advanced_recorder.h"
+
+#include "src/util/logging.h"
+
+namespace dpc {
+
+AdvancedRecorder::AdvancedRecorder(const Program* program,
+                                   EquivalenceKeys keys, int num_nodes,
+                                   AdvancedOptions options)
+    : program_(program), keys_(std::move(keys)), options_(options) {
+  DPC_CHECK(program_ != nullptr);
+  DPC_CHECK(keys_.event_relation() == program_->input_event_relation());
+  nodes_.resize(num_nodes);
+}
+
+Rid AdvancedRecorder::MakeRid(const std::string& rule_id,
+                              const std::vector<Vid>& slow_vids,
+                              uint64_t epoch) {
+  ByteWriter w;
+  w.PutString("adv-rid");
+  w.PutString(rule_id);
+  w.PutU64(epoch);
+  for (const Vid& v : slow_vids) w.PutDigest(v);
+  return Sha1::Hash(w.bytes().data(), w.size());
+}
+
+ProvMeta AdvancedRecorder::OnInject(NodeId node, const Tuple& event) {
+  NodeState& state = nodes_[node];
+  ProvMeta meta;
+  meta.evid = event.Vid();
+  meta.eqkey = keys_.HashOf(event);
+  // Stage 1: equivalence keys checking against htequi.
+  bool first_in_class = state.htequi.insert(meta.eqkey).second;
+  meta.exist_flag = !first_in_class;
+  meta.maintain = first_in_class;
+  // The event tuple itself is the per-tree delta (§5.1): always stored.
+  state.events.Put(event);
+  return meta;
+}
+
+void AdvancedRecorder::InsertRuleExecRow(NodeState& state, NodeId node,
+                                         const Rid& rid,
+                                         const std::string& rule_id,
+                                         const std::vector<Vid>& slow_vids,
+                                         const NodeRid& next) {
+  if (options_.inter_class_sharing) {
+    state.exec_nodes.Insert(RuleExecNodeEntry{node, rid, rule_id, slow_vids});
+    state.exec_links.Insert(RuleExecLinkEntry{node, rid, next});
+  } else {
+    state.rule_exec.Insert(
+        RuleExecEntry{node, rid, rule_id, slow_vids, next});
+  }
+}
+
+ProvMeta AdvancedRecorder::OnRuleFired(NodeId node, const Rule& rule,
+                                       const Tuple& /*event*/,
+                                       const ProvMeta& meta,
+                                       const std::vector<Tuple>& slow,
+                                       const Tuple& /*head*/) {
+  if (!meta.maintain) {
+    // Stage 2, existFlag = true: execute without recording anything.
+    return meta;
+  }
+  NodeState& state = nodes_[node];
+  std::vector<Vid> slow_vids;
+  slow_vids.reserve(slow.size());
+  for (const Tuple& t : slow) {
+    slow_vids.push_back(t.Vid());
+    state.tuples.Put(t);
+  }
+  Rid rid = MakeRid(rule.id, slow_vids, state.epoch);
+  InsertRuleExecRow(state, node, rid, rule.id, slow_vids, meta.prev);
+
+  ProvMeta out = meta;
+  out.prev = NodeRid{node, rid};
+  return out;
+}
+
+void AdvancedRecorder::OnOutput(NodeId node, const Tuple& output,
+                                const ProvMeta& meta) {
+  NodeState& state = nodes_[node];
+  bool of_interest = program_->IsOfInterest(output.relation());
+
+  if (meta.maintain) {
+    // Stage 3, first execution of the class: register the shared tree.
+    if (meta.prev.IsNull()) {
+      DPC_LOG(Warning) << "output " << output.ToString()
+                       << " emitted without any recorded rule execution";
+      return;
+    }
+    state.hmap[meta.eqkey] = meta.prev;
+    if (of_interest) {
+      state.prov.Insert(
+          ProvEntry{node, output.Vid(), meta.prev, meta.evid});
+    }
+    // Flush outputs of this class that overtook the shared tree.
+    auto it = state.pending.find(meta.eqkey);
+    if (it != state.pending.end()) {
+      for (const PendingOutput& p : it->second) {
+        state.prov.Insert(ProvEntry{node, p.vid, meta.prev, p.evid});
+      }
+      state.pending.erase(it);
+    }
+    return;
+  }
+
+  if (!of_interest) return;
+  auto ref = state.hmap.find(meta.eqkey);
+  if (ref != state.hmap.end()) {
+    state.prov.Insert(
+        ProvEntry{node, output.Vid(), ref->second, meta.evid});
+  } else {
+    // The shared tree's own output has not arrived yet: park the row.
+    state.pending[meta.eqkey].push_back(
+        PendingOutput{output.Vid(), meta.evid});
+  }
+}
+
+bool AdvancedRecorder::OnSlowInsert(NodeId node, const Tuple& t) {
+  nodes_[node].tuples.Put(t);
+  return true;  // §5.5: broadcast sig, reset equivalence caches everywhere
+}
+
+void AdvancedRecorder::OnControlSignal(NodeId node) {
+  // §5.5: provenance must be re-maintained for every class from now on.
+  // hmap is retained: existing associations describe past history; the next
+  // first-in-class execution overwrites the reference with the new tree.
+  // The epoch bump salts post-reset RIDs (see MakeRid).
+  nodes_[node].htequi.clear();
+  ++nodes_[node].epoch;
+}
+
+void AdvancedRecorder::SerializeMeta(const ProvMeta& meta,
+                                     ByteWriter& w) const {
+  uint8_t flags = 0;
+  if (meta.exist_flag) flags |= 1;
+  if (meta.maintain) flags |= 2;
+  bool has_prev = !meta.prev.IsNull();
+  if (has_prev) flags |= 4;
+  w.PutU8(flags);
+  w.PutDigest(meta.evid);
+  w.PutDigest(meta.eqkey);
+  if (has_prev) meta.prev.Serialize(w);
+}
+
+Result<ProvMeta> AdvancedRecorder::DeserializeMeta(ByteReader& r) const {
+  ProvMeta meta;
+  DPC_ASSIGN_OR_RETURN(uint8_t flags, r.GetU8());
+  meta.exist_flag = (flags & 1) != 0;
+  meta.maintain = (flags & 2) != 0;
+  DPC_ASSIGN_OR_RETURN(meta.evid, r.GetDigest());
+  DPC_ASSIGN_OR_RETURN(meta.eqkey, r.GetDigest());
+  if ((flags & 4) != 0) {
+    DPC_ASSIGN_OR_RETURN(meta.prev, NodeRid::Deserialize(r));
+  }
+  return meta;
+}
+
+NodeSnapshot AdvancedRecorder::SnapshotAt(NodeId node) const {
+  const NodeState& state = nodes_[node];
+  return SnapshotTables(
+      node, state.prov, /*prov_with_evid=*/true, state.rule_exec,
+      /*rule_exec_with_next=*/true, state.events, state.tuples,
+      options_.inter_class_sharing ? &state.exec_nodes : nullptr,
+      options_.inter_class_sharing ? &state.exec_links : nullptr);
+}
+
+StorageBreakdown AdvancedRecorder::StorageAt(NodeId node) const {
+  const NodeState& state = nodes_[node];
+  StorageBreakdown s;
+  s.prov = state.prov.SerializedBytes();
+  s.rule_exec = options_.inter_class_sharing
+                    ? state.exec_nodes.SerializedBytes() +
+                          state.exec_links.SerializedBytes()
+                    : state.rule_exec.SerializedBytes();
+  s.event_store = state.events.SerializedBytes();
+  s.tuple_store = state.tuples.SerializedBytes();
+  return s;
+}
+
+size_t AdvancedRecorder::PendingOutputs() const {
+  size_t n = 0;
+  for (const NodeState& state : nodes_) {
+    for (const auto& [_, v] : state.pending) n += v.size();
+  }
+  return n;
+}
+
+}  // namespace dpc

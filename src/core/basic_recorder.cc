@@ -1,0 +1,105 @@
+#include "src/core/basic_recorder.h"
+
+#include "src/util/logging.h"
+
+namespace dpc {
+
+BasicRecorder::BasicRecorder(const Program* program, int num_nodes)
+    : program_(program) {
+  DPC_CHECK(program_ != nullptr);
+  nodes_.resize(num_nodes);
+}
+
+Rid BasicRecorder::MakeRid(const std::string& rule_id, NodeId loc,
+                           const Vid& event_vid,
+                           const std::vector<Vid>& slow_vids) {
+  ByteWriter w;
+  w.PutString("basic-rid");
+  w.PutString(rule_id);
+  w.PutU32(static_cast<uint32_t>(loc));
+  w.PutDigest(event_vid);
+  for (const Vid& v : slow_vids) w.PutDigest(v);
+  return Sha1::Hash(w.bytes().data(), w.size());
+}
+
+ProvMeta BasicRecorder::OnInject(NodeId node, const Tuple& event) {
+  ProvMeta meta;
+  meta.evid = event.Vid();
+  nodes_[node].events.Put(event);
+  return meta;
+}
+
+ProvMeta BasicRecorder::OnRuleFired(NodeId node, const Rule& rule,
+                                    const Tuple& event, const ProvMeta& meta,
+                                    const std::vector<Tuple>& slow,
+                                    const Tuple& head) {
+  (void)head;
+  NodeState& state = nodes_[node];
+
+  std::vector<Vid> slow_vids;
+  slow_vids.reserve(slow.size());
+  for (const Tuple& t : slow) {
+    slow_vids.push_back(t.Vid());
+    // Keep referenced slow tuples resolvable even if later deleted from the
+    // live database (§5.5: deletions do not invalidate provenance).
+    state.tuples.Put(t);
+  }
+
+  Rid rid = MakeRid(rule.id, node, event.Vid(), slow_vids);
+
+  // The VIDS column: slow tuples always; the input event only on the leaf
+  // (first) rule, where reconstruction bottoms out (Table 2's rid1 row).
+  std::vector<Vid> column_vids;
+  bool is_leaf = meta.prev.IsNull();
+  if (is_leaf) column_vids.push_back(event.Vid());
+  column_vids.insert(column_vids.end(), slow_vids.begin(), slow_vids.end());
+
+  state.rule_exec.Insert(
+      RuleExecEntry{node, rid, rule.id, column_vids, meta.prev});
+
+  ProvMeta out = meta;
+  out.prev = NodeRid{node, rid};
+  return out;
+}
+
+void BasicRecorder::OnOutput(NodeId node, const Tuple& output,
+                             const ProvMeta& meta) {
+  if (!program_->IsOfInterest(output.relation())) return;
+  if (meta.prev.IsNull()) {
+    DPC_LOG(Warning) << "output " << output.ToString()
+                     << " emitted without any recorded rule execution";
+    return;
+  }
+  nodes_[node].prov.Insert(
+      ProvEntry{node, output.Vid(), meta.prev, Vid{}});
+}
+
+void BasicRecorder::SerializeMeta(const ProvMeta& meta, ByteWriter& w) const {
+  // Basic ships the previous rule execution's (RLoc, RID) with each event.
+  meta.prev.Serialize(w);
+}
+
+Result<ProvMeta> BasicRecorder::DeserializeMeta(ByteReader& r) const {
+  ProvMeta meta;
+  DPC_ASSIGN_OR_RETURN(meta.prev, NodeRid::Deserialize(r));
+  return meta;
+}
+
+NodeSnapshot BasicRecorder::SnapshotAt(NodeId node) const {
+  const NodeState& state = nodes_[node];
+  return SnapshotTables(node, state.prov, /*prov_with_evid=*/false,
+                        state.rule_exec, /*rule_exec_with_next=*/true,
+                        state.events, state.tuples);
+}
+
+StorageBreakdown BasicRecorder::StorageAt(NodeId node) const {
+  const NodeState& state = nodes_[node];
+  StorageBreakdown s;
+  s.prov = state.prov.SerializedBytes();
+  s.rule_exec = state.rule_exec.SerializedBytes();
+  s.event_store = state.events.SerializedBytes();
+  s.tuple_store = state.tuples.SerializedBytes();
+  return s;
+}
+
+}  // namespace dpc

@@ -1,0 +1,196 @@
+#include "src/core/dependency_graph.h"
+
+#include <deque>
+#include <unordered_map>
+
+namespace dpc {
+
+namespace {
+
+// Positions of every variable within a rule, across event atom, condition
+// atoms and head atom.
+struct VarPositions {
+  std::vector<AttrNode> event;      // positions in the event atom
+  std::vector<AttrNode> condition;  // positions in condition (slow) atoms
+  std::vector<AttrNode> head;       // positions in the head atom
+  std::vector<AttrNode> All() const {
+    std::vector<AttrNode> all = event;
+    all.insert(all.end(), condition.begin(), condition.end());
+    all.insert(all.end(), head.begin(), head.end());
+    return all;
+  }
+};
+
+std::unordered_map<std::string, VarPositions> CollectVarPositions(
+    const Rule& rule) {
+  std::unordered_map<std::string, VarPositions> pos;
+  const Atom& ev = rule.EventAtom();
+  for (size_t i = 0; i < ev.args.size(); ++i) {
+    if (ev.args[i].is_var()) {
+      pos[ev.args[i].var].event.push_back(AttrNode{ev.relation, i});
+    }
+  }
+  for (const Atom* cond : rule.ConditionAtoms()) {
+    for (size_t i = 0; i < cond->args.size(); ++i) {
+      if (cond->args[i].is_var()) {
+        pos[cond->args[i].var].condition.push_back(
+            AttrNode{cond->relation, i});
+      }
+    }
+  }
+  for (size_t i = 0; i < rule.head.args.size(); ++i) {
+    if (rule.head.args[i].is_var()) {
+      pos[rule.head.args[i].var].head.push_back(
+          AttrNode{rule.head.relation, i});
+    }
+  }
+  return pos;
+}
+
+}  // namespace
+
+DependencyGraph DependencyGraph::Build(const Program& program) {
+  DependencyGraph g;
+
+  // Ensure every attribute of every relation mentioned in the program has a
+  // vertex, even if isolated.
+  for (const Rule& rule : program.rules()) {
+    for (const Atom& atom : rule.atoms) {
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        g.AddNode(AttrNode{atom.relation, i});
+      }
+    }
+    for (size_t i = 0; i < rule.head.args.size(); ++i) {
+      g.AddNode(AttrNode{rule.head.relation, i});
+    }
+  }
+
+  for (const Rule& rule : program.rules()) {
+    auto positions = CollectVarPositions(rule);
+
+    // Conditions (1) and (2): connect same-variable attribute positions.
+    // We take the symmetric closure over all positions of each variable
+    // (a conservative superset of the paper's event-centric edges; see
+    // DESIGN.md §2). This lets reachability compose through joins.
+    for (const auto& [var, vp] : positions) {
+      std::vector<AttrNode> all = vp.All();
+      for (size_t i = 0; i < all.size(); ++i) {
+        for (size_t j = i + 1; j < all.size(); ++j) {
+          g.AddEdge(all[i], all[j]);
+        }
+      }
+    }
+
+    // Condition (3): attributes co-occurring in an arithmetic or UDF
+    // constraint are pairwise connected.
+    for (const Constraint& c : rule.constraints) {
+      std::vector<std::string> vars;
+      c.expr->CollectVars(vars);
+      std::vector<AttrNode> nodes;
+      for (const auto& v : vars) {
+        auto it = positions.find(v);
+        if (it == positions.end()) continue;
+        for (const auto& n : it->second.All()) nodes.push_back(n);
+      }
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        for (size_t j = i + 1; j < nodes.size(); ++j) {
+          g.AddEdge(nodes[i], nodes[j]);
+        }
+      }
+    }
+
+    // Condition (4): assignment rhs variables connect to the attributes
+    // that receive the assigned variable.
+    for (const Assignment& asn : rule.assignments) {
+      auto target_it = positions.find(asn.var);
+      if (target_it == positions.end()) continue;
+      std::vector<std::string> vars;
+      asn.expr->CollectVars(vars);
+      for (const auto& v : vars) {
+        auto src_it = positions.find(v);
+        if (src_it == positions.end()) continue;
+        for (const auto& src : src_it->second.All()) {
+          for (const auto& dst : target_it->second.All()) {
+            g.AddEdge(src, dst);
+          }
+        }
+      }
+    }
+  }
+  return g;
+}
+
+void DependencyGraph::AddNode(const AttrNode& n) { edges_[n]; }
+
+void DependencyGraph::AddEdge(const AttrNode& a, const AttrNode& b) {
+  if (a == b) return;
+  edges_[a].insert(b);
+  edges_[b].insert(a);
+}
+
+bool DependencyGraph::HasEdge(const AttrNode& a, const AttrNode& b) const {
+  auto it = edges_.find(a);
+  return it != edges_.end() && it->second.count(b) > 0;
+}
+
+const std::set<AttrNode>& DependencyGraph::NeighborsOf(
+    const AttrNode& n) const {
+  static const std::set<AttrNode> kEmpty;
+  auto it = edges_.find(n);
+  return it == edges_.end() ? kEmpty : it->second;
+}
+
+bool DependencyGraph::Reachable(const AttrNode& from, const AttrNode& to) const {
+  return ReachableSet(from).count(to) > 0;
+}
+
+std::set<AttrNode> DependencyGraph::ReachableSet(const AttrNode& from) const {
+  std::set<AttrNode> seen{from};
+  std::deque<AttrNode> frontier{from};
+  while (!frontier.empty()) {
+    AttrNode u = frontier.front();
+    frontier.pop_front();
+    for (const AttrNode& v : NeighborsOf(u)) {
+      if (seen.insert(v).second) frontier.push_back(v);
+    }
+  }
+  return seen;
+}
+
+bool DependencyGraph::TouchesSlowChanging(const AttrNode& n,
+                                          const Program& program) const {
+  if (program.IsSlowChanging(n.relation)) return true;
+  for (const AttrNode& nb : NeighborsOf(n)) {
+    if (program.IsSlowChanging(nb.relation)) return true;
+  }
+  return false;
+}
+
+std::vector<AttrNode> DependencyGraph::Nodes() const {
+  std::vector<AttrNode> out;
+  out.reserve(edges_.size());
+  for (const auto& [n, _] : edges_) out.push_back(n);
+  return out;
+}
+
+size_t DependencyGraph::NumEdges() const {
+  size_t n = 0;
+  for (const auto& [_, nbrs] : edges_) n += nbrs.size();
+  return n / 2;
+}
+
+std::string DependencyGraph::ToString() const {
+  std::string out;
+  for (const auto& [n, nbrs] : edges_) {
+    out += n.ToString();
+    out += " ->";
+    for (const auto& nb : nbrs) {
+      out += " ";
+      out += nb.ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dpc

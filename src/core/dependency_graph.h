@@ -1,0 +1,75 @@
+// Attribute-level dependency graph (§5.2, Appendix B/C).
+//
+// Nodes are (relation, attribute-index) pairs. Edges connect attributes
+// whose valuations are related by a rule:
+//   (1) an event attribute and a same-variable attribute of a slow-changing
+//       condition atom (a join with network state);
+//   (2) an event attribute and a same-variable head attribute (value flow);
+//   (3) attributes appearing together in the same arithmetic/UDF atom;
+//   (4) right-hand-side variables of an assignment and the head attribute
+//       receiving the assigned variable.
+//
+// Because graph nodes are keyed by (relation, index), value flow composes
+// across consecutive DELP rules automatically: the head attribute of r_i is
+// the event attribute of r_{i+1}.
+#ifndef DPC_CORE_DEPENDENCY_GRAPH_H_
+#define DPC_CORE_DEPENDENCY_GRAPH_H_
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/ndlog/program.h"
+
+namespace dpc {
+
+// A vertex: the i-th attribute of a relation, printed "rel:i".
+struct AttrNode {
+  std::string relation;
+  size_t index = 0;
+
+  bool operator==(const AttrNode&) const = default;
+  auto operator<=>(const AttrNode&) const = default;
+
+  std::string ToString() const {
+    return relation + ":" + std::to_string(index);
+  }
+};
+
+class DependencyGraph {
+ public:
+  // Builds the graph for `program` per the four edge conditions above.
+  static DependencyGraph Build(const Program& program);
+
+  bool HasNode(const AttrNode& n) const { return edges_.count(n) > 0; }
+  bool HasEdge(const AttrNode& a, const AttrNode& b) const;
+
+  const std::set<AttrNode>& NeighborsOf(const AttrNode& n) const;
+
+  // True iff a path exists from `from` to `to` (BFS; reflexive).
+  bool Reachable(const AttrNode& from, const AttrNode& to) const;
+
+  // All nodes reachable from `from`, including `from` itself.
+  std::set<AttrNode> ReachableSet(const AttrNode& from) const;
+
+  // joinSAttr(p:n) in Appendix B: the node has an edge to (or is itself) an
+  // attribute of a slow-changing relation of `program`.
+  bool TouchesSlowChanging(const AttrNode& n, const Program& program) const;
+
+  std::vector<AttrNode> Nodes() const;
+  size_t NumEdges() const;
+
+  std::string ToString() const;
+
+ private:
+  void AddNode(const AttrNode& n);
+  void AddEdge(const AttrNode& a, const AttrNode& b);
+
+  std::map<AttrNode, std::set<AttrNode>> edges_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_CORE_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,79 @@
+// Message-driven distributed provenance querying (§5.6): the query
+// actually travels the simulated network as kQuery messages, hop by hop
+// along the stored provenance chains, and the measured latency comes from
+// the event queue — propagation, per-link transfer of the accumulated
+// response, and processing delays all accrue in simulated time.
+//
+// Unlike the analytic model in query.h (which charges a sequential
+// depth-first walk), branch fan-outs here proceed in parallel, so the
+// completion time is the max over branches — what a real deployment would
+// observe. Trees returned are identical to the analytic querier's.
+#ifndef DPC_CORE_DISTRIBUTED_QUERY_H_
+#define DPC_CORE_DISTRIBUTED_QUERY_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/core/query.h"
+#include "src/net/event_queue.h"
+#include "src/net/network.h"
+
+namespace dpc {
+
+class DistributedQuerier {
+ public:
+  using Callback = std::function<void(Result<QueryResult>)>;
+
+  // The querier owns a dedicated Network on `topology`/`queue`, so query
+  // traffic is accounted separately from maintenance traffic.
+  static std::unique_ptr<DistributedQuerier> ForExspan(
+      const ExspanRecorder* recorder, const Topology* topology,
+      EventQueue* queue, QueryCostModel cost = {});
+  static std::unique_ptr<DistributedQuerier> ForBasic(
+      const BasicRecorder* recorder, const Program* program,
+      const FunctionRegistry* fns, const Topology* topology,
+      EventQueue* queue, QueryCostModel cost = {});
+  static std::unique_ptr<DistributedQuerier> ForAdvanced(
+      const AdvancedRecorder* recorder, const Program* program,
+      const FunctionRegistry* fns, const Topology* topology,
+      EventQueue* queue, QueryCostModel cost = {});
+
+  ~DistributedQuerier();
+
+  // Launches the query protocol at simulated time `when` from the output
+  // tuple's node; `cb` fires (from the event queue) on completion with the
+  // reconstructed trees and the measured latency.
+  void QueryAsync(const Tuple& output, const Vid* evid, SimTime when,
+                  Callback cb);
+
+  // Convenience: schedules now, drains the queue, returns the result.
+  Result<QueryResult> QueryAndWait(const Tuple& output,
+                                   const Vid* evid = nullptr);
+
+  // Accounting for the query traffic itself.
+  Network& network() { return net_; }
+
+  // Implementation detail (defined in the .cc); public so the protocol
+  // driver in the anonymous namespace can reach it.
+  struct Impl;
+
+ private:
+  DistributedQuerier(const Topology* topology, EventQueue* queue,
+                     QueryCostModel cost);
+
+  void HandleMessage(const Message& msg);
+
+  const Topology* topology_;
+  EventQueue* queue_;
+  QueryCostModel cost_;
+  Network net_;
+  // In-flight continuations keyed by the id embedded in message payloads.
+  std::unordered_map<uint64_t, std::function<void()>> continuations_;
+  uint64_t next_continuation_ = 1;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_CORE_DISTRIBUTED_QUERY_H_

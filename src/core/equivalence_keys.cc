@@ -1,0 +1,105 @@
+#include "src/core/equivalence_keys.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/serial.h"
+
+namespace dpc {
+
+bool EquivalenceKeys::Contains(size_t index) const {
+  return std::binary_search(indices_.begin(), indices_.end(), index);
+}
+
+Sha1Digest EquivalenceKeys::HashOf(const Tuple& event) const {
+  DPC_DCHECK(event.relation() == event_relation_)
+      << "expected " << event_relation_ << ", got " << event.relation();
+  ByteWriter w;
+  w.PutString(event_relation_);
+  for (size_t i : indices_) {
+    DPC_CHECK(i < event.arity());
+    event.at(i).Serialize(w);
+  }
+  return Sha1::Hash(w.bytes().data(), w.size());
+}
+
+bool EquivalenceKeys::Equivalent(const Tuple& a, const Tuple& b) const {
+  if (a.relation() != event_relation_ || b.relation() != event_relation_) {
+    return false;
+  }
+  for (size_t i : indices_) {
+    if (a.at(i) != b.at(i)) return false;
+  }
+  return true;
+}
+
+std::string EquivalenceKeys::ToString() const {
+  std::string out = "(";
+  for (size_t k = 0; k < indices_.size(); ++k) {
+    if (k > 0) out += ", ";
+    out += event_relation_ + ":" + std::to_string(indices_[k]);
+  }
+  out += ")";
+  return out;
+}
+
+Result<EquivalenceKeys> ComputeEquivalenceKeys(const Program& program) {
+  DependencyGraph graph = DependencyGraph::Build(program);
+  return ComputeEquivalenceKeys(program, graph);
+}
+
+Result<EquivalenceKeys> ComputeEquivalenceKeys(const Program& program,
+                                               const DependencyGraph& graph) {
+  EquivalenceKeys keys;
+  keys.event_relation_ = program.input_event_relation();
+
+  // Targets: attributes of slow-changing relations, plus attributes
+  // mentioned in comparison constraints (conservative strengthening).
+  std::set<AttrNode> targets;
+  for (const AttrNode& n : graph.Nodes()) {
+    if (program.IsSlowChanging(n.relation)) targets.insert(n);
+  }
+  for (const Rule& rule : program.rules()) {
+    for (const Constraint& c : rule.constraints) {
+      std::vector<std::string> vars;
+      c.expr->CollectVars(vars);
+      // Map constraint variables back to their attribute positions in this
+      // rule's atoms.
+      auto add_positions = [&](const Atom& atom) {
+        for (size_t i = 0; i < atom.args.size(); ++i) {
+          if (!atom.args[i].is_var()) continue;
+          if (std::find(vars.begin(), vars.end(), atom.args[i].var) !=
+              vars.end()) {
+            targets.insert(AttrNode{atom.relation, i});
+          }
+        }
+      };
+      for (const Atom& atom : rule.atoms) add_positions(atom);
+      add_positions(rule.head);
+    }
+  }
+
+  // The event relation's arity: take it from r1's event atom.
+  const Atom& ev_atom = program.rules().front().EventAtom();
+  for (size_t i = 0; i < ev_atom.args.size(); ++i) {
+    AttrNode node{keys.event_relation_, i};
+    if (i == 0) {
+      // The input location always participates (GetEquiKeys line 3): no two
+      // events injected at different nodes may share an equivalence class.
+      keys.indices_.push_back(i);
+      continue;
+    }
+    std::set<AttrNode> reach = graph.ReachableSet(node);
+    bool is_key = false;
+    for (const AttrNode& r : reach) {
+      if (targets.count(r) > 0) {
+        is_key = true;
+        break;
+      }
+    }
+    if (is_key) keys.indices_.push_back(i);
+  }
+  return keys;
+}
+
+}  // namespace dpc

@@ -1,0 +1,62 @@
+// GetEquiKeys (§5.2, Fig. 5): static identification of the input event
+// attributes whose values determine the shape of the provenance tree
+// (Theorem 1). Two events agreeing on the equivalence keys generate
+// equivalent (~) provenance trees, so the runtime only needs to compare
+// key values to detect tree equivalence.
+#ifndef DPC_CORE_EQUIVALENCE_KEYS_H_
+#define DPC_CORE_EQUIVALENCE_KEYS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/dependency_graph.h"
+#include "src/db/tuple.h"
+#include "src/ndlog/program.h"
+#include "src/util/result.h"
+#include "src/util/sha1.h"
+
+namespace dpc {
+
+class EquivalenceKeys {
+ public:
+  const std::string& event_relation() const { return event_relation_; }
+
+  // Sorted attribute indices of the input event relation; always contains
+  // index 0 (the location specifier).
+  const std::vector<size_t>& indices() const { return indices_; }
+
+  bool Contains(size_t index) const;
+
+  // SHA-1 over the key attribute values of `event` (which must be a tuple
+  // of the input event relation). This is the htequi / hmap key of §5.3.
+  Sha1Digest HashOf(const Tuple& event) const;
+
+  // Definition 2: event equivalence w.r.t. the keys.
+  bool Equivalent(const Tuple& a, const Tuple& b) const;
+
+  // e.g. "(packet:0, packet:2)".
+  std::string ToString() const;
+
+ private:
+  friend Result<EquivalenceKeys> ComputeEquivalenceKeys(
+      const Program& program);
+  friend Result<EquivalenceKeys> ComputeEquivalenceKeys(
+      const Program& program, const DependencyGraph& graph);
+
+  std::string event_relation_;
+  std::vector<size_t> indices_;
+};
+
+// Runs GetEquiKeys over `program`'s dependency graph. An input event
+// attribute is a key iff it is the location attribute (index 0), or it can
+// reach an attribute of a slow-changing relation, or it can reach an
+// attribute mentioned in a comparison constraint (the conservative
+// strengthening described in DESIGN.md §2: constraint outcomes gate rule
+// firing, hence tree shape).
+Result<EquivalenceKeys> ComputeEquivalenceKeys(const Program& program);
+Result<EquivalenceKeys> ComputeEquivalenceKeys(const Program& program,
+                                               const DependencyGraph& graph);
+
+}  // namespace dpc
+
+#endif  // DPC_CORE_EQUIVALENCE_KEYS_H_

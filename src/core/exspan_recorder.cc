@@ -1,0 +1,101 @@
+#include "src/core/exspan_recorder.h"
+
+#include "src/util/logging.h"
+
+namespace dpc {
+
+ExspanRecorder::ExspanRecorder(int num_nodes) { nodes_.resize(num_nodes); }
+
+Rid ExspanRecorder::MakeRid(const std::string& rule_id, NodeId loc,
+                            const std::vector<Vid>& vids) {
+  ByteWriter w;
+  w.PutString("exspan-rid");
+  w.PutString(rule_id);
+  w.PutU32(static_cast<uint32_t>(loc));
+  for (const Vid& v : vids) w.PutDigest(v);
+  return Sha1::Hash(w.bytes().data(), w.size());
+}
+
+ProvMeta ExspanRecorder::OnInject(NodeId node, const Tuple& event) {
+  ProvMeta meta;
+  meta.evid = event.Vid();
+  NodeState& state = nodes_[node];
+  state.events.Put(event);
+  // Input events are base tuples of the derivation: NULL rule reference.
+  state.prov.Insert(ProvEntry{node, meta.evid, NodeRid::Null(), Vid{}});
+  return meta;
+}
+
+bool ExspanRecorder::OnSlowInsert(NodeId node, const Tuple& t) {
+  NodeState& state = nodes_[node];
+  state.tuples.Put(t);
+  state.prov.Insert(ProvEntry{node, t.Vid(), NodeRid::Null(), Vid{}});
+  return false;  // no sig broadcast in ExSPAN
+}
+
+ProvMeta ExspanRecorder::OnRuleFired(NodeId node, const Rule& rule,
+                                     const Tuple& event, const ProvMeta& meta,
+                                     const std::vector<Tuple>& slow,
+                                     const Tuple& head) {
+  NodeState& state = nodes_[node];
+
+  std::vector<Vid> vids;
+  vids.reserve(slow.size() + 1);
+  vids.push_back(event.Vid());
+  for (const Tuple& t : slow) vids.push_back(t.Vid());
+
+  Rid rid = MakeRid(rule.id, node, vids);
+  state.rule_exec.Insert(RuleExecEntry{node, rid, rule.id, vids,
+                                       NodeRid::Null()});
+  // The event that triggered this rule is materialized here (it is either
+  // the locally injected input or an intermediate tuple shipped to us).
+  state.tuples.Put(event);
+
+  // The head's prov row lives at the head's location; the runtime ships
+  // (RLoc, RID) with the head tuple, which we model by carrying it in the
+  // metadata and writing the row eagerly.
+  NodeId head_loc = head.Location();
+  nodes_[head_loc].prov.Insert(
+      ProvEntry{head_loc, head.Vid(), NodeRid{node, rid}, Vid{}});
+  nodes_[head_loc].tuples.Put(head);
+
+  ProvMeta out = meta;
+  out.prev = NodeRid{node, rid};
+  return out;
+}
+
+void ExspanRecorder::OnOutput(NodeId, const Tuple&, const ProvMeta&) {
+  // The prov row and materialization were written when the deriving rule
+  // fired.
+}
+
+void ExspanRecorder::SerializeMeta(const ProvMeta& meta,
+                                   ByteWriter& w) const {
+  // ExSPAN ships the deriving rule execution's (RLoc, RID) with each tuple.
+  meta.prev.Serialize(w);
+}
+
+Result<ProvMeta> ExspanRecorder::DeserializeMeta(ByteReader& r) const {
+  ProvMeta meta;
+  DPC_ASSIGN_OR_RETURN(meta.prev, NodeRid::Deserialize(r));
+  return meta;
+}
+
+NodeSnapshot ExspanRecorder::SnapshotAt(NodeId node) const {
+  const NodeState& state = nodes_[node];
+  return SnapshotTables(node, state.prov, /*prov_with_evid=*/false,
+                        state.rule_exec, /*rule_exec_with_next=*/false,
+                        state.events, state.tuples);
+}
+
+StorageBreakdown ExspanRecorder::StorageAt(NodeId node) const {
+  const NodeState& state = nodes_[node];
+  StorageBreakdown s;
+  s.prov = state.prov.SerializedBytes();
+  s.rule_exec = state.rule_exec.SerializedBytes();
+  s.event_store = state.events.SerializedBytes();
+  s.tuple_store = state.tuples.SerializedBytes();
+  return s;
+}
+
+}  // namespace dpc

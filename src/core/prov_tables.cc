@@ -1,0 +1,233 @@
+#include "src/core/prov_tables.h"
+
+namespace dpc {
+
+namespace {
+
+// Content key for row-level deduplication.
+template <typename SerializeFn>
+Sha1Digest ContentKey(SerializeFn&& serialize) {
+  ByteWriter w;
+  serialize(w);
+  return Sha1::Hash(w.bytes().data(), w.size());
+}
+
+void PutNodeId(ByteWriter& w, NodeId n) {
+  w.PutU32(static_cast<uint32_t>(n));
+}
+
+}  // namespace
+
+void NodeRid::Serialize(ByteWriter& w) const {
+  PutNodeId(w, loc);
+  w.PutDigest(rid);
+}
+
+Result<NodeRid> NodeRid::Deserialize(ByteReader& r) {
+  NodeRid out;
+  DPC_ASSIGN_OR_RETURN(uint32_t loc, r.GetU32());
+  out.loc = static_cast<NodeId>(loc);
+  DPC_ASSIGN_OR_RETURN(out.rid, r.GetDigest());
+  return out;
+}
+
+std::string NodeRid::ToString() const {
+  if (IsNull()) return "(NULL, NULL)";
+  return "(n" + std::to_string(loc) + ", " + rid.ToHex(4) + ")";
+}
+
+void ProvEntry::Serialize(ByteWriter& w, bool with_evid) const {
+  PutNodeId(w, loc);
+  w.PutDigest(vid);
+  rule.Serialize(w);
+  if (with_evid) w.PutDigest(evid);
+}
+
+size_t ProvEntry::SerializedSize(bool with_evid) const {
+  ByteWriter w;
+  Serialize(w, with_evid);
+  return w.size();
+}
+
+Result<ProvEntry> ProvEntry::Deserialize(ByteReader& r, bool with_evid) {
+  ProvEntry e;
+  DPC_ASSIGN_OR_RETURN(uint32_t loc, r.GetU32());
+  e.loc = static_cast<NodeId>(loc);
+  DPC_ASSIGN_OR_RETURN(e.vid, r.GetDigest());
+  DPC_ASSIGN_OR_RETURN(e.rule, NodeRid::Deserialize(r));
+  if (with_evid) {
+    DPC_ASSIGN_OR_RETURN(e.evid, r.GetDigest());
+  }
+  return e;
+}
+
+void RuleExecEntry::Serialize(ByteWriter& w, bool with_next) const {
+  PutNodeId(w, rloc);
+  w.PutDigest(rid);
+  w.PutString(rule_id);
+  w.PutVarint(vids.size());
+  for (const Vid& v : vids) w.PutDigest(v);
+  if (with_next) next.Serialize(w);
+}
+
+size_t RuleExecEntry::SerializedSize(bool with_next) const {
+  ByteWriter w;
+  Serialize(w, with_next);
+  return w.size();
+}
+
+Result<RuleExecEntry> RuleExecEntry::Deserialize(ByteReader& r,
+                                                 bool with_next) {
+  RuleExecEntry e;
+  DPC_ASSIGN_OR_RETURN(uint32_t rloc, r.GetU32());
+  e.rloc = static_cast<NodeId>(rloc);
+  DPC_ASSIGN_OR_RETURN(e.rid, r.GetDigest());
+  DPC_ASSIGN_OR_RETURN(e.rule_id, r.GetString());
+  DPC_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  for (uint64_t i = 0; i < n; ++i) {
+    DPC_ASSIGN_OR_RETURN(Vid v, r.GetDigest());
+    e.vids.push_back(v);
+  }
+  if (with_next) {
+    DPC_ASSIGN_OR_RETURN(e.next, NodeRid::Deserialize(r));
+  }
+  return e;
+}
+
+void RuleExecNodeEntry::Serialize(ByteWriter& w) const {
+  PutNodeId(w, rloc);
+  w.PutDigest(rid);
+  w.PutString(rule_id);
+  w.PutVarint(vids.size());
+  for (const Vid& v : vids) w.PutDigest(v);
+}
+
+size_t RuleExecNodeEntry::SerializedSize() const {
+  ByteWriter w;
+  Serialize(w);
+  return w.size();
+}
+
+Result<RuleExecNodeEntry> RuleExecNodeEntry::Deserialize(ByteReader& r) {
+  RuleExecNodeEntry e;
+  DPC_ASSIGN_OR_RETURN(uint32_t rloc, r.GetU32());
+  e.rloc = static_cast<NodeId>(rloc);
+  DPC_ASSIGN_OR_RETURN(e.rid, r.GetDigest());
+  DPC_ASSIGN_OR_RETURN(e.rule_id, r.GetString());
+  DPC_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  for (uint64_t i = 0; i < n; ++i) {
+    DPC_ASSIGN_OR_RETURN(Vid v, r.GetDigest());
+    e.vids.push_back(v);
+  }
+  return e;
+}
+
+void RuleExecLinkEntry::Serialize(ByteWriter& w) const {
+  PutNodeId(w, rloc);
+  w.PutDigest(rid);
+  next.Serialize(w);
+}
+
+size_t RuleExecLinkEntry::SerializedSize() const {
+  ByteWriter w;
+  Serialize(w);
+  return w.size();
+}
+
+Result<RuleExecLinkEntry> RuleExecLinkEntry::Deserialize(ByteReader& r) {
+  RuleExecLinkEntry e;
+  DPC_ASSIGN_OR_RETURN(uint32_t rloc, r.GetU32());
+  e.rloc = static_cast<NodeId>(rloc);
+  DPC_ASSIGN_OR_RETURN(e.rid, r.GetDigest());
+  DPC_ASSIGN_OR_RETURN(e.next, NodeRid::Deserialize(r));
+  return e;
+}
+
+// --- ProvTable --------------------------------------------------------------
+
+bool ProvTable::Insert(const ProvEntry& e) {
+  Sha1Digest key =
+      ContentKey([&](ByteWriter& w) { e.Serialize(w, /*with_evid=*/true); });
+  if (!content_keys_.insert(key).second) return false;
+  by_vid_.emplace(e.vid, rows_.size());
+  bytes_ += e.SerializedSize(with_evid_);
+  rows_.push_back(e);
+  return true;
+}
+
+std::vector<const ProvEntry*> ProvTable::FindByVid(const Vid& vid) const {
+  std::vector<const ProvEntry*> out;
+  auto [lo, hi] = by_vid_.equal_range(vid);
+  for (auto it = lo; it != hi; ++it) out.push_back(&rows_[it->second]);
+  return out;
+}
+
+// --- RuleExecTable ----------------------------------------------------------
+
+bool RuleExecTable::Insert(const RuleExecEntry& e) {
+  Sha1Digest key =
+      ContentKey([&](ByteWriter& w) { e.Serialize(w, /*with_next=*/true); });
+  if (!content_keys_.insert(key).second) return false;
+  by_rid_.emplace(e.rid, rows_.size());
+  bytes_ += e.SerializedSize(with_next_);
+  rows_.push_back(e);
+  return true;
+}
+
+std::vector<const RuleExecEntry*> RuleExecTable::FindByRid(
+    const Rid& rid) const {
+  std::vector<const RuleExecEntry*> out;
+  auto [lo, hi] = by_rid_.equal_range(rid);
+  for (auto it = lo; it != hi; ++it) out.push_back(&rows_[it->second]);
+  return out;
+}
+
+// --- RuleExecNodeTable ------------------------------------------------------
+
+bool RuleExecNodeTable::Insert(const RuleExecNodeEntry& e) {
+  auto [it, inserted] = by_rid_.emplace(e.rid, rows_.size());
+  if (!inserted) return false;
+  bytes_ += e.SerializedSize();
+  rows_.push_back(e);
+  return true;
+}
+
+const RuleExecNodeEntry* RuleExecNodeTable::FindByRid(const Rid& rid) const {
+  auto it = by_rid_.find(rid);
+  return it == by_rid_.end() ? nullptr : &rows_[it->second];
+}
+
+// --- RuleExecLinkTable ------------------------------------------------------
+
+bool RuleExecLinkTable::Insert(const RuleExecLinkEntry& e) {
+  Sha1Digest key = ContentKey([&](ByteWriter& w) { e.Serialize(w); });
+  if (!content_keys_.insert(key).second) return false;
+  by_rid_.emplace(e.rid, rows_.size());
+  bytes_ += e.SerializedSize();
+  rows_.push_back(e);
+  return true;
+}
+
+std::vector<const RuleExecLinkEntry*> RuleExecLinkTable::FindByRid(
+    const Rid& rid) const {
+  std::vector<const RuleExecLinkEntry*> out;
+  auto [lo, hi] = by_rid_.equal_range(rid);
+  for (auto it = lo; it != hi; ++it) out.push_back(&rows_[it->second]);
+  return out;
+}
+
+// --- TupleStore -------------------------------------------------------------
+
+bool TupleStore::Put(const Tuple& t) {
+  Vid vid = t.Vid();
+  auto [it, inserted] = tuples_.emplace(vid, t);
+  if (inserted) bytes_ += 20 + t.SerializedSize();  // key digest + content
+  return inserted;
+}
+
+const Tuple* TupleStore::Find(const Vid& vid) const {
+  auto it = tuples_.find(vid);
+  return it == tuples_.end() ? nullptr : &it->second;
+}
+
+}  // namespace dpc

@@ -1,0 +1,31 @@
+#include "src/core/recorder.h"
+
+namespace dpc {
+
+StorageBreakdown& StorageBreakdown::operator+=(const StorageBreakdown& o) {
+  prov += o.prov;
+  rule_exec += o.rule_exec;
+  event_store += o.event_store;
+  tuple_store += o.tuple_store;
+  return *this;
+}
+
+bool ProvenanceRecorder::OnSlowInsert(NodeId, const Tuple&) { return false; }
+
+void ProvenanceRecorder::OnSlowDelete(NodeId, const Tuple&) {}
+
+void ProvenanceRecorder::OnControlSignal(NodeId) {}
+
+size_t ProvenanceRecorder::MetaWireSize(const ProvMeta& meta) const {
+  ByteWriter w;
+  SerializeMeta(meta, w);
+  return w.size();
+}
+
+StorageBreakdown ProvenanceRecorder::TotalStorage(int num_nodes) const {
+  StorageBreakdown total;
+  for (NodeId n = 0; n < num_nodes; ++n) total += StorageAt(n);
+  return total;
+}
+
+}  // namespace dpc

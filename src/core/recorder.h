@@ -1,0 +1,104 @@
+// ProvenanceRecorder: the strategy interface implemented by the paper's
+// three provenance-maintenance schemes (ExSPAN §2.2, Basic §4, Advanced
+// §5.3-5.5) plus the ReferenceRecorder that ships whole trees inline
+// (ground truth for correctness tests and the "no compression at all"
+// ablation).
+//
+// The runtime (src/runtime/system.*) invokes the hooks as a DELP executes;
+// recorders maintain their per-node prov/ruleExec tables and decide what
+// metadata rides along with each event message (whose serialized size is
+// charged to the simulated network).
+#ifndef DPC_CORE_RECORDER_H_
+#define DPC_CORE_RECORDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/prov_tables.h"
+#include "src/core/tree.h"
+#include "src/db/tuple.h"
+#include "src/ndlog/ast.h"
+#include "src/util/result.h"
+#include "src/util/serial.h"
+
+namespace dpc {
+
+// Metadata tagged onto an event tuple as it traverses the network.
+// Each scheme serializes only the fields it uses (see SerializeMeta).
+struct ProvMeta {
+  // VID of the original injected event tuple.
+  Vid evid{};
+  // Advanced: hash of the event's equivalence-key values (§5.3 stage 1).
+  Sha1Digest eqkey{};
+  // Advanced: the existFlag. True = an equivalent tree already exists.
+  bool exist_flag = false;
+  // Whether provenance rows are recorded for this execution.
+  bool maintain = true;
+  // Chain reference: the most recent rule-execution provenance node
+  // (ExSPAN: the rule that derived the carried tuple; Basic/Advanced: the
+  // NLoc/NRID target for the next firing).
+  NodeRid prev;
+  // ReferenceRecorder: the provenance tree accumulated so far.
+  std::shared_ptr<ProvTree> tree;
+};
+
+// Per-node storage occupied by a scheme, in serialized bytes.
+struct StorageBreakdown {
+  size_t prov = 0;
+  size_t rule_exec = 0;     // ruleExec, or ruleExecNode + ruleExecLink
+  size_t event_store = 0;   // materialized input events (delta information)
+  size_t tuple_store = 0;   // other materialized tuples (ExSPAN)
+
+  size_t Total() const {
+    return prov + rule_exec + event_store + tuple_store;
+  }
+  StorageBreakdown& operator+=(const StorageBreakdown& o);
+};
+
+class ProvenanceRecorder {
+ public:
+  virtual ~ProvenanceRecorder() = default;
+
+  virtual std::string name() const = 0;
+
+  // An event tuple is injected at `node`; returns the metadata to tag.
+  virtual ProvMeta OnInject(NodeId node, const Tuple& event) = 0;
+
+  // `rule` fired at `node`, triggered by `event` (carrying `meta`), joining
+  // the slow-changing tuples `slow` and deriving `head`. Returns the
+  // metadata to tag onto `head`.
+  virtual ProvMeta OnRuleFired(NodeId node, const Rule& rule,
+                               const Tuple& event, const ProvMeta& meta,
+                               const std::vector<Tuple>& slow,
+                               const Tuple& head) = 0;
+
+  // A terminal output tuple materialized at `node`.
+  virtual void OnOutput(NodeId node, const Tuple& output,
+                        const ProvMeta& meta) = 0;
+
+  // A slow-changing tuple was inserted at `node`. Returns true when the
+  // scheme requires a sig broadcast (§5.5).
+  virtual bool OnSlowInsert(NodeId node, const Tuple& t);
+
+  virtual void OnSlowDelete(NodeId node, const Tuple& t);
+
+  // A §5.5 sig control message arrived at `node`.
+  virtual void OnControlSignal(NodeId node);
+
+  // Scheme-specific wire encoding of the metadata; its size is what the
+  // scheme adds to every event message.
+  virtual void SerializeMeta(const ProvMeta& meta, ByteWriter& w) const = 0;
+  virtual Result<ProvMeta> DeserializeMeta(ByteReader& r) const = 0;
+
+  size_t MetaWireSize(const ProvMeta& meta) const;
+
+  virtual StorageBreakdown StorageAt(NodeId node) const = 0;
+
+  // Sum of StorageAt over all nodes.
+  StorageBreakdown TotalStorage(int num_nodes) const;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_CORE_RECORDER_H_

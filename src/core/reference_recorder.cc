@@ -1,0 +1,84 @@
+#include "src/core/reference_recorder.h"
+
+#include "src/util/logging.h"
+
+namespace dpc {
+
+ReferenceRecorder::ReferenceRecorder(int num_nodes) {
+  nodes_.resize(num_nodes);
+}
+
+ProvMeta ReferenceRecorder::OnInject(NodeId, const Tuple& event) {
+  ProvMeta meta;
+  meta.evid = event.Vid();
+  meta.tree = std::make_shared<ProvTree>();
+  meta.tree->set_event(event);
+  return meta;
+}
+
+ProvMeta ReferenceRecorder::OnRuleFired(NodeId, const Rule& rule,
+                                        const Tuple& /*event*/,
+                                        const ProvMeta& meta,
+                                        const std::vector<Tuple>& slow,
+                                        const Tuple& head) {
+  ProvMeta out = meta;
+  DPC_CHECK(meta.tree != nullptr);
+  out.tree = std::make_shared<ProvTree>(*meta.tree);
+  out.tree->AppendStep(ProvStep{rule.id, head, slow});
+  return out;
+}
+
+void ReferenceRecorder::OnOutput(NodeId node, const Tuple& output,
+                                 const ProvMeta& meta) {
+  DPC_CHECK(meta.tree != nullptr);
+  DPC_CHECK(!meta.tree->empty());
+  DPC_DCHECK(meta.tree->Output() == output)
+      << "tree root " << meta.tree->Output().ToString() << " vs output "
+      << output.ToString();
+  NodeState& state = nodes_[node];
+  state.bytes += meta.tree->SerializedSize();
+  state.trees.push_back(*meta.tree);
+}
+
+void ReferenceRecorder::SerializeMeta(const ProvMeta& meta,
+                                      ByteWriter& w) const {
+  w.PutDigest(meta.evid);
+  meta.tree->Serialize(w);
+}
+
+Result<ProvMeta> ReferenceRecorder::DeserializeMeta(ByteReader& r) const {
+  ProvMeta meta;
+  DPC_ASSIGN_OR_RETURN(meta.evid, r.GetDigest());
+  DPC_ASSIGN_OR_RETURN(ProvTree tree, ProvTree::Deserialize(r));
+  meta.tree = std::make_shared<ProvTree>(std::move(tree));
+  return meta;
+}
+
+StorageBreakdown ReferenceRecorder::StorageAt(NodeId node) const {
+  StorageBreakdown s;
+  s.prov = nodes_[node].bytes;  // whole trees stored with the output tuple
+  return s;
+}
+
+std::vector<const ProvTree*> ReferenceRecorder::FindTrees(
+    const Tuple& output, const Vid* evid) const {
+  std::vector<const ProvTree*> out;
+  NodeId node = output.Location();
+  if (node < 0 || node >= static_cast<NodeId>(nodes_.size())) return out;
+  for (const ProvTree& tree : nodes_[node].trees) {
+    if (tree.Output() != output) continue;
+    if (evid != nullptr && tree.event().Vid() != *evid) continue;
+    out.push_back(&tree);
+  }
+  return out;
+}
+
+std::vector<const ProvTree*> ReferenceRecorder::AllTrees() const {
+  std::vector<const ProvTree*> out;
+  for (const NodeState& state : nodes_) {
+    for (const ProvTree& tree : state.trees) out.push_back(&tree);
+  }
+  return out;
+}
+
+}  // namespace dpc

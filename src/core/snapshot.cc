@@ -1,0 +1,121 @@
+#include "src/core/snapshot.h"
+
+namespace dpc {
+
+namespace {
+constexpr uint32_t kSnapshotMagic = 0x44504353;  // "DPCS"
+}  // namespace
+
+void NodeSnapshot::Serialize(ByteWriter& w) const {
+  w.PutU32(kSnapshotMagic);
+  w.PutU32(static_cast<uint32_t>(node));
+  w.PutBool(prov_with_evid);
+  w.PutBool(rule_exec_with_next);
+  w.PutVarint(prov.size());
+  for (const ProvEntry& e : prov) e.Serialize(w, prov_with_evid);
+  w.PutVarint(rule_exec.size());
+  for (const RuleExecEntry& e : rule_exec) {
+    e.Serialize(w, rule_exec_with_next);
+  }
+  w.PutVarint(exec_nodes.size());
+  for (const RuleExecNodeEntry& e : exec_nodes) e.Serialize(w);
+  w.PutVarint(exec_links.size());
+  for (const RuleExecLinkEntry& e : exec_links) e.Serialize(w);
+  w.PutVarint(events.size());
+  for (const Tuple& t : events) t.Serialize(w);
+  w.PutVarint(tuples.size());
+  for (const Tuple& t : tuples) t.Serialize(w);
+}
+
+Result<NodeSnapshot> NodeSnapshot::Deserialize(ByteReader& r) {
+  NodeSnapshot s;
+  DPC_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kSnapshotMagic) {
+    return Status::ParseError("not a provenance snapshot");
+  }
+  DPC_ASSIGN_OR_RETURN(uint32_t node, r.GetU32());
+  s.node = static_cast<NodeId>(node);
+  DPC_ASSIGN_OR_RETURN(s.prov_with_evid, r.GetBool());
+  DPC_ASSIGN_OR_RETURN(s.rule_exec_with_next, r.GetBool());
+
+  DPC_ASSIGN_OR_RETURN(uint64_t n_prov, r.GetVarint());
+  for (uint64_t i = 0; i < n_prov; ++i) {
+    DPC_ASSIGN_OR_RETURN(ProvEntry e,
+                         ProvEntry::Deserialize(r, s.prov_with_evid));
+    s.prov.push_back(std::move(e));
+  }
+  DPC_ASSIGN_OR_RETURN(uint64_t n_exec, r.GetVarint());
+  for (uint64_t i = 0; i < n_exec; ++i) {
+    DPC_ASSIGN_OR_RETURN(
+        RuleExecEntry e,
+        RuleExecEntry::Deserialize(r, s.rule_exec_with_next));
+    s.rule_exec.push_back(std::move(e));
+  }
+  DPC_ASSIGN_OR_RETURN(uint64_t n_nodes, r.GetVarint());
+  for (uint64_t i = 0; i < n_nodes; ++i) {
+    DPC_ASSIGN_OR_RETURN(RuleExecNodeEntry e,
+                         RuleExecNodeEntry::Deserialize(r));
+    s.exec_nodes.push_back(std::move(e));
+  }
+  DPC_ASSIGN_OR_RETURN(uint64_t n_links, r.GetVarint());
+  for (uint64_t i = 0; i < n_links; ++i) {
+    DPC_ASSIGN_OR_RETURN(RuleExecLinkEntry e,
+                         RuleExecLinkEntry::Deserialize(r));
+    s.exec_links.push_back(std::move(e));
+  }
+  DPC_ASSIGN_OR_RETURN(uint64_t n_events, r.GetVarint());
+  for (uint64_t i = 0; i < n_events; ++i) {
+    DPC_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(r));
+    s.events.push_back(std::move(t));
+  }
+  DPC_ASSIGN_OR_RETURN(uint64_t n_tuples, r.GetVarint());
+  for (uint64_t i = 0; i < n_tuples; ++i) {
+    DPC_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(r));
+    s.tuples.push_back(std::move(t));
+  }
+  return s;
+}
+
+size_t NodeSnapshot::SerializedSize() const {
+  ByteWriter w;
+  Serialize(w);
+  return w.size();
+}
+
+NodeSnapshot SnapshotTables(NodeId node, const ProvTable& prov,
+                            bool prov_with_evid,
+                            const RuleExecTable& rule_exec,
+                            bool rule_exec_with_next,
+                            const TupleStore& events,
+                            const TupleStore& tuples,
+                            const RuleExecNodeTable* exec_nodes,
+                            const RuleExecLinkTable* exec_links) {
+  NodeSnapshot s;
+  s.node = node;
+  s.prov_with_evid = prov_with_evid;
+  s.rule_exec_with_next = rule_exec_with_next;
+  s.prov = prov.rows();
+  s.rule_exec = rule_exec.rows();
+  if (exec_nodes != nullptr) s.exec_nodes = exec_nodes->rows();
+  if (exec_links != nullptr) s.exec_links = exec_links->rows();
+  events.ForEach([&](const Tuple& t) { s.events.push_back(t); });
+  tuples.ForEach([&](const Tuple& t) { s.tuples.push_back(t); });
+  return s;
+}
+
+Result<RestoredTables> RestoreTables(const NodeSnapshot& snapshot) {
+  RestoredTables out(snapshot.prov_with_evid, snapshot.rule_exec_with_next);
+  for (const ProvEntry& e : snapshot.prov) out.prov.Insert(e);
+  for (const RuleExecEntry& e : snapshot.rule_exec) out.rule_exec.Insert(e);
+  for (const RuleExecNodeEntry& e : snapshot.exec_nodes) {
+    out.exec_nodes.Insert(e);
+  }
+  for (const RuleExecLinkEntry& e : snapshot.exec_links) {
+    out.exec_links.Insert(e);
+  }
+  for (const Tuple& t : snapshot.events) out.events.Put(t);
+  for (const Tuple& t : snapshot.tuples) out.tuples.Put(t);
+  return out;
+}
+
+}  // namespace dpc

@@ -1,0 +1,63 @@
+// Binary snapshots of a recorder's per-node provenance state. The paper
+// measures storage by serializing the per-node prov/ruleExec tables to
+// binary files; this module makes that operation a first-class feature so
+// a deployment can checkpoint provenance and reload it after a restart
+// (queries over a reloaded snapshot return the same trees).
+#ifndef DPC_CORE_SNAPSHOT_H_
+#define DPC_CORE_SNAPSHOT_H_
+
+#include <vector>
+
+#include "src/core/prov_tables.h"
+#include "src/util/result.h"
+#include "src/util/serial.h"
+
+namespace dpc {
+
+// A node's provenance storage in portable form.
+struct NodeSnapshot {
+  NodeId node = kNullNode;
+  bool prov_with_evid = false;
+  bool rule_exec_with_next = false;
+  std::vector<ProvEntry> prov;
+  std::vector<RuleExecEntry> rule_exec;
+  std::vector<RuleExecNodeEntry> exec_nodes;
+  std::vector<RuleExecLinkEntry> exec_links;
+  std::vector<Tuple> events;
+  std::vector<Tuple> tuples;
+
+  void Serialize(ByteWriter& w) const;
+  static Result<NodeSnapshot> Deserialize(ByteReader& r);
+  size_t SerializedSize() const;
+};
+
+// Collects a snapshot from per-node tables. `exec_nodes`/`exec_links` are
+// only used by the §5.4 inter-class-sharing scheme and may be null.
+NodeSnapshot SnapshotTables(NodeId node, const ProvTable& prov,
+                            bool prov_with_evid,
+                            const RuleExecTable& rule_exec,
+                            bool rule_exec_with_next,
+                            const TupleStore& events,
+                            const TupleStore& tuples,
+                            const RuleExecNodeTable* exec_nodes = nullptr,
+                            const RuleExecLinkTable* exec_links = nullptr);
+
+// Restores table contents from a snapshot (into freshly constructed
+// tables).
+struct RestoredTables {
+  ProvTable prov;
+  RuleExecTable rule_exec;
+  RuleExecNodeTable exec_nodes;
+  RuleExecLinkTable exec_links;
+  TupleStore events;
+  TupleStore tuples;
+
+  RestoredTables(bool prov_with_evid, bool rule_exec_with_next)
+      : prov(prov_with_evid), rule_exec(rule_exec_with_next) {}
+};
+
+Result<RestoredTables> RestoreTables(const NodeSnapshot& snapshot);
+
+}  // namespace dpc
+
+#endif  // DPC_CORE_SNAPSHOT_H_

@@ -1,0 +1,127 @@
+#include "src/core/tree.h"
+
+#include "src/util/logging.h"
+
+namespace dpc {
+
+const Tuple& ProvTree::Output() const {
+  DPC_CHECK(!steps_.empty());
+  return steps_.back().head;
+}
+
+bool ProvTree::EquivalentTo(const ProvTree& other) const {
+  if (steps_.size() != other.steps_.size()) return false;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    if (steps_[i].rule_id != other.steps_[i].rule_id) return false;
+    if (steps_[i].slow_tuples != other.steps_[i].slow_tuples) return false;
+  }
+  return true;
+}
+
+void ProvTree::Serialize(ByteWriter& w) const {
+  event_.Serialize(w);
+  w.PutVarint(steps_.size());
+  for (const ProvStep& s : steps_) {
+    w.PutString(s.rule_id);
+    s.head.Serialize(w);
+    w.PutVarint(s.slow_tuples.size());
+    for (const Tuple& t : s.slow_tuples) t.Serialize(w);
+  }
+}
+
+Result<ProvTree> ProvTree::Deserialize(ByteReader& r) {
+  DPC_ASSIGN_OR_RETURN(Tuple event, Tuple::Deserialize(r));
+  DPC_ASSIGN_OR_RETURN(uint64_t nsteps, r.GetVarint());
+  std::vector<ProvStep> steps;
+  steps.reserve(nsteps);
+  for (uint64_t i = 0; i < nsteps; ++i) {
+    ProvStep step;
+    DPC_ASSIGN_OR_RETURN(step.rule_id, r.GetString());
+    DPC_ASSIGN_OR_RETURN(step.head, Tuple::Deserialize(r));
+    DPC_ASSIGN_OR_RETURN(uint64_t nslow, r.GetVarint());
+    step.slow_tuples.reserve(nslow);
+    for (uint64_t j = 0; j < nslow; ++j) {
+      DPC_ASSIGN_OR_RETURN(Tuple t, Tuple::Deserialize(r));
+      step.slow_tuples.push_back(std::move(t));
+    }
+    steps.push_back(std::move(step));
+  }
+  return ProvTree(std::move(event), std::move(steps));
+}
+
+size_t ProvTree::SerializedSize() const {
+  ByteWriter w;
+  Serialize(w);
+  return w.size();
+}
+
+std::string ProvTree::ToString() const {
+  // Render from the root downwards.
+  std::string out;
+  std::string indent;
+  for (size_t i = steps_.size(); i-- > 0;) {
+    const ProvStep& s = steps_[i];
+    // A rule executes at the location of the tuple that triggered it.
+    NodeId rule_loc =
+        (i == 0 ? event_ : steps_[i - 1].head).Location();
+    out += indent + "[" + s.head.ToString() + "]\n";
+    out += indent + "  (" + s.rule_id + "@n" + std::to_string(rule_loc) +
+           ")";
+    for (const Tuple& t : s.slow_tuples) {
+      out += "  [" + t.ToString() + "]";
+    }
+    out += "\n";
+    indent += "    ";
+  }
+  out += indent + "[" + event_.ToString() + "]\n";
+  return out;
+}
+
+namespace {
+
+// DOT string literal escaping for tuple payloads.
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ProvTree::ToDot(const std::string& graph_name) const {
+  std::string out = "digraph " + graph_name + " {\n";
+  out += "  rankdir=BT;\n";
+  out += "  node [fontsize=10];\n";
+  // Tuple nodes: the event, every head, and every slow-changing tuple.
+  out += "  ev [shape=box, label=\"" + DotEscape(event_.ToString()) +
+         "\"];\n";
+  std::string prev = "ev";
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const ProvStep& s = steps_[i];
+    NodeId rule_loc = (i == 0 ? event_ : steps_[i - 1].head).Location();
+    std::string rule_node = "r" + std::to_string(i);
+    std::string head_node = "t" + std::to_string(i);
+    out += "  " + rule_node + " [shape=ellipse, label=\"" + s.rule_id +
+           "@n" + std::to_string(rule_loc) + "\"];\n";
+    out += "  " + head_node + " [shape=box, label=\"" +
+           DotEscape(s.head.ToString()) + "\"];\n";
+    out += "  " + prev + " -> " + rule_node + ";\n";
+    for (size_t j = 0; j < s.slow_tuples.size(); ++j) {
+      std::string slow_node =
+          "s" + std::to_string(i) + "_" + std::to_string(j);
+      out += "  " + slow_node + " [shape=box, label=\"" +
+             DotEscape(s.slow_tuples[j].ToString()) + "\"];\n";
+      out += "  " + slow_node + " -> " + rule_node + ";\n";
+    }
+    out += "  " + rule_node + " -> " + head_node + ";\n";
+    prev = head_node;
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace dpc

@@ -1,0 +1,82 @@
+// Provenance trees (Appendix A).
+//
+// A DELP provenance tree is linear: it is the chain of rule executions from
+// the input event to the output tuple,
+//
+//   tr ::= <rID, P, ev,  B_1::...::B_n>      (base: first rule)
+//        | <rID, P, tr', B_1::...::B_n>      (inductive step)
+//
+// We represent it as the input event plus the ordered list of steps; each
+// step carries the rule id, the derived head tuple, and the slow-changing
+// tuples that joined.
+#ifndef DPC_CORE_TREE_H_
+#define DPC_CORE_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/db/tuple.h"
+#include "src/util/result.h"
+#include "src/util/serial.h"
+
+namespace dpc {
+
+struct ProvStep {
+  std::string rule_id;
+  Tuple head;
+  std::vector<Tuple> slow_tuples;  // in body-atom order
+
+  bool operator==(const ProvStep&) const = default;
+};
+
+class ProvTree {
+ public:
+  ProvTree() = default;
+  ProvTree(Tuple event, std::vector<ProvStep> steps)
+      : event_(std::move(event)), steps_(std::move(steps)) {}
+
+  const Tuple& event() const { return event_; }
+  const std::vector<ProvStep>& steps() const { return steps_; }
+  bool empty() const { return steps_.empty(); }
+  size_t depth() const { return steps_.size(); }
+
+  // The root of the tree: the tuple whose provenance this is.
+  const Tuple& Output() const;
+
+  void set_event(Tuple ev) { event_ = std::move(ev); }
+  void AppendStep(ProvStep step) { steps_.push_back(std::move(step)); }
+
+  bool operator==(const ProvTree&) const = default;
+
+  // The ~ equivalence of §5.1 / Appendix A: identical rule sequences and
+  // identical slow-changing tuples at every step; the event and the
+  // intermediate/output tuples may differ.
+  bool EquivalentTo(const ProvTree& other) const;
+
+  // Total equality is operator==; this checks only output + event identity,
+  // useful in tests.
+  bool SameDerivation(const ProvTree& other) const {
+    return *this == other;
+  }
+
+  void Serialize(ByteWriter& w) const;
+  static Result<ProvTree> Deserialize(ByteReader& r);
+  size_t SerializedSize() const;
+
+  // Multi-line rendering in the style of Fig. 3: the chain of rule nodes
+  // (ovals) and tuple nodes (squares) from the output down to the event.
+  std::string ToString() const;
+
+  // Graphviz DOT rendering: oval rule nodes and boxed tuple nodes, exactly
+  // as the paper draws provenance trees (Fig. 3). `graph_name` must be a
+  // valid DOT identifier.
+  std::string ToDot(const std::string& graph_name = "provenance") const;
+
+ private:
+  Tuple event_;
+  std::vector<ProvStep> steps_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_CORE_TREE_H_

@@ -1,0 +1,101 @@
+#include "src/db/table.h"
+
+#include <algorithm>
+
+namespace dpc {
+
+bool Table::Insert(const Tuple& t) {
+  Sha1Digest vid = t.Vid();
+  auto it = index_.find(vid);
+  if (it != index_.end()) {
+    Slot& slot = rows_[it->second];
+    if (slot.live) return false;
+    slot.live = true;
+    ++live_count_;
+    return true;
+  }
+  index_.emplace(vid, rows_.size());
+  rows_.push_back(Slot{t, true});
+  ++live_count_;
+  return true;
+}
+
+bool Table::Erase(const Tuple& t) {
+  auto it = index_.find(t.Vid());
+  if (it == index_.end() || !rows_[it->second].live) return false;
+  rows_[it->second].live = false;
+  --live_count_;
+  return true;
+}
+
+bool Table::Contains(const Tuple& t) const {
+  auto it = index_.find(t.Vid());
+  return it != index_.end() && rows_[it->second].live;
+}
+
+std::vector<Tuple> Table::Snapshot() const {
+  std::vector<Tuple> out;
+  out.reserve(live_count_);
+  for (const auto& slot : rows_) {
+    if (slot.live) out.push_back(slot.tuple);
+  }
+  return out;
+}
+
+void Table::Serialize(ByteWriter& w) const {
+  w.PutString(name_);
+  w.PutVarint(live_count_);
+  for (const auto& slot : rows_) {
+    if (slot.live) slot.tuple.Serialize(w);
+  }
+}
+
+size_t Table::SerializedSize() const {
+  ByteWriter w;
+  Serialize(w);
+  return w.size();
+}
+
+Table& Database::GetOrCreate(const std::string& relation) {
+  auto it = tables_.find(relation);
+  if (it == tables_.end()) {
+    it = tables_.emplace(relation, Table(relation)).first;
+  }
+  return it->second;
+}
+
+const Table* Database::Find(const std::string& relation) const {
+  auto it = tables_.find(relation);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Table* Database::Find(const std::string& relation) {
+  auto it = tables_.find(relation);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+bool Database::Erase(const Tuple& t) {
+  Table* table = Find(t.relation());
+  return table != nullptr && table->Erase(t);
+}
+
+bool Database::Contains(const Tuple& t) const {
+  const Table* table = Find(t.relation());
+  return table != nullptr && table->Contains(t);
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [_, table] : tables_) n += table.size();
+  return n;
+}
+
+}  // namespace dpc

@@ -1,0 +1,85 @@
+// Table: an in-memory relation instance with set semantics and stable
+// iteration order. Per-node databases are small (route entries, name-server
+// delegations), so matching scans linearly; a digest index provides O(1)
+// duplicate detection and deletion.
+#ifndef DPC_DB_TABLE_H_
+#define DPC_DB_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/db/tuple.h"
+
+namespace dpc {
+
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // Inserts `t`; returns false if an equal tuple was already present.
+  bool Insert(const Tuple& t);
+
+  // Removes `t`; returns false if it was not present.
+  bool Erase(const Tuple& t);
+
+  bool Contains(const Tuple& t) const;
+
+  // Live tuples, in insertion order.
+  std::vector<Tuple> Snapshot() const;
+
+  // Applies `fn` to each live tuple; `fn` returns false to stop early.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& slot : rows_) {
+      if (!slot.live) continue;
+      if (!fn(slot.tuple)) return;
+    }
+  }
+
+  size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+  void Serialize(ByteWriter& w) const;
+  size_t SerializedSize() const;
+
+ private:
+  struct Slot {
+    Tuple tuple;
+    bool live;
+  };
+
+  std::string name_;
+  std::vector<Slot> rows_;
+  // Tuple digest -> index into rows_.
+  std::unordered_map<Sha1Digest, size_t, Sha1DigestHash> index_;
+  size_t live_count_ = 0;
+};
+
+// Database: the per-node collection of tables, keyed by relation name.
+class Database {
+ public:
+  // Returns the table for `relation`, creating it if absent.
+  Table& GetOrCreate(const std::string& relation);
+
+  // Returns nullptr if the relation has no table yet.
+  const Table* Find(const std::string& relation) const;
+  Table* Find(const std::string& relation);
+
+  bool Insert(const Tuple& t) { return GetOrCreate(t.relation()).Insert(t); }
+  bool Erase(const Tuple& t);
+  bool Contains(const Tuple& t) const;
+
+  std::vector<std::string> RelationNames() const;
+
+  size_t TotalTuples() const;
+
+ private:
+  std::unordered_map<std::string, Table> tables_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_DB_TABLE_H_

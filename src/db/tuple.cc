@@ -1,0 +1,63 @@
+#include "src/db/tuple.h"
+
+#include "src/util/logging.h"
+
+namespace dpc {
+
+Tuple Tuple::Make(std::string relation, NodeId loc, std::vector<Value> rest) {
+  std::vector<Value> values;
+  values.reserve(rest.size() + 1);
+  values.push_back(Value::Int(loc));
+  for (auto& v : rest) values.push_back(std::move(v));
+  return Tuple(std::move(relation), std::move(values));
+}
+
+NodeId Tuple::Location() const {
+  DPC_CHECK(!values_.empty() && values_[0].is_int())
+      << "tuple " << relation_ << " has no integer location attribute";
+  return static_cast<NodeId>(values_[0].AsInt());
+}
+
+Sha1Digest Tuple::Vid() const {
+  ByteWriter w;
+  Serialize(w);
+  return Sha1::Hash(w.bytes().data(), w.size());
+}
+
+void Tuple::Serialize(ByteWriter& w) const {
+  w.PutString(relation_);
+  w.PutVarint(values_.size());
+  for (const auto& v : values_) v.Serialize(w);
+}
+
+Result<Tuple> Tuple::Deserialize(ByteReader& r) {
+  DPC_ASSIGN_OR_RETURN(std::string rel, r.GetString());
+  DPC_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  std::vector<Value> values;
+  values.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    DPC_ASSIGN_OR_RETURN(Value v, Value::Deserialize(r));
+    values.push_back(std::move(v));
+  }
+  return Tuple(std::move(rel), std::move(values));
+}
+
+size_t Tuple::SerializedSize() const {
+  ByteWriter w;
+  Serialize(w);
+  return w.size();
+}
+
+std::string Tuple::ToString() const {
+  std::string out = relation_;
+  out += "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i == 0) out += "@";
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace dpc

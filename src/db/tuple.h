@@ -1,0 +1,68 @@
+// Tuple: an instance of an NDlog relation. By NDlog convention the first
+// attribute carries the location specifier ("@" attribute): the node id at
+// which the tuple lives.
+#ifndef DPC_DB_TUPLE_H_
+#define DPC_DB_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/db/value.h"
+#include "src/util/result.h"
+#include "src/util/sha1.h"
+#include "src/util/serial.h"
+
+namespace dpc {
+
+// Node identifier within the simulated distributed system.
+using NodeId = int32_t;
+inline constexpr NodeId kNullNode = -1;
+
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::string relation, std::vector<Value> values)
+      : relation_(std::move(relation)), values_(std::move(values)) {}
+
+  // Convenience constructor: location + remaining attributes.
+  static Tuple Make(std::string relation, NodeId loc,
+                    std::vector<Value> rest);
+
+  const std::string& relation() const { return relation_; }
+  const std::vector<Value>& values() const { return values_; }
+  size_t arity() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+
+  // Location specifier: the first attribute, which must be an integer node
+  // id for any tuple that participates in distributed execution.
+  NodeId Location() const;
+
+  bool operator==(const Tuple& other) const = default;
+  auto operator<=>(const Tuple& other) const = default;
+
+  // VID in the paper's storage model: sha1 over the canonical encoding.
+  Sha1Digest Vid() const;
+
+  void Serialize(ByteWriter& w) const;
+  static Result<Tuple> Deserialize(ByteReader& r);
+  size_t SerializedSize() const;
+
+  // e.g. packet(@1, 1, 3, "data")
+  std::string ToString() const;
+
+ private:
+  std::string relation_;
+  std::vector<Value> values_;
+};
+
+// Hash functor over the canonical encoding, for unordered containers.
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    return static_cast<size_t>(t.Vid().Prefix64());
+  }
+};
+
+}  // namespace dpc
+
+#endif  // DPC_DB_TUPLE_H_

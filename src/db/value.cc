@@ -1,0 +1,45 @@
+#include "src/db/value.h"
+
+namespace dpc {
+
+bool Value::Truthy() const {
+  if (is_int()) return AsInt() != 0;
+  return !AsString().empty();
+}
+
+void Value::Serialize(ByteWriter& w) const {
+  w.PutU8(static_cast<uint8_t>(kind()));
+  if (is_int()) {
+    w.PutVarintSigned(AsInt());
+  } else {
+    w.PutString(AsString());
+  }
+}
+
+Result<Value> Value::Deserialize(ByteReader& r) {
+  DPC_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+  switch (static_cast<Kind>(tag)) {
+    case Kind::kInt: {
+      DPC_ASSIGN_OR_RETURN(int64_t v, r.GetVarintSigned());
+      return Value::Int(v);
+    }
+    case Kind::kString: {
+      DPC_ASSIGN_OR_RETURN(std::string s, r.GetString());
+      return Value::Str(std::move(s));
+    }
+  }
+  return Status::ParseError("bad Value kind tag");
+}
+
+size_t Value::SerializedSize() const {
+  ByteWriter w;
+  Serialize(w);
+  return w.size();
+}
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(AsInt());
+  return "\"" + AsString() + "\"";
+}
+
+}  // namespace dpc

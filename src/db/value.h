@@ -1,0 +1,60 @@
+// Value: the dynamically-typed attribute value of NDlog tuples.
+// NDlog programs in this repo manipulate 64-bit integers (node identifiers,
+// request ids, numeric payloads) and strings (URLs, packet payloads).
+#ifndef DPC_DB_VALUE_H_
+#define DPC_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/util/result.h"
+#include "src/util/serial.h"
+
+namespace dpc {
+
+class Value {
+ public:
+  enum class Kind : uint8_t { kInt = 0, kString = 1 };
+
+  Value() : rep_(int64_t{0}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+  explicit Value(const char* v) : rep_(std::string(v)) {}
+  explicit Value(bool b) : rep_(int64_t{b ? 1 : 0}) {}
+
+  static Value Int(int64_t v) { return Value(v); }
+  static Value Str(std::string v) { return Value(std::move(v)); }
+  static Value Bool(bool b) { return Value(b); }
+
+  Kind kind() const {
+    return std::holds_alternative<int64_t>(rep_) ? Kind::kInt : Kind::kString;
+  }
+  bool is_int() const { return kind() == Kind::kInt; }
+  bool is_string() const { return kind() == Kind::kString; }
+
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  // Truthiness for boolean contexts: nonzero int / nonempty string.
+  bool Truthy() const;
+
+  bool operator==(const Value& other) const = default;
+  auto operator<=>(const Value& other) const = default;
+
+  // Canonical binary encoding (kind tag + payload); used for hashing and
+  // for storage-size accounting.
+  void Serialize(ByteWriter& w) const;
+  static Result<Value> Deserialize(ByteReader& r);
+  size_t SerializedSize() const;
+
+  // Display form: integers verbatim, strings double-quoted.
+  std::string ToString() const;
+
+ private:
+  std::variant<int64_t, std::string> rep_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_DB_VALUE_H_

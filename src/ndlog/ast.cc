@@ -1,0 +1,158 @@
+#include "src/ndlog/ast.h"
+
+namespace dpc {
+
+std::string Term::ToString() const {
+  if (is_var()) return var;
+  return constant.ToString();
+}
+
+std::string Atom::ToString() const {
+  std::string out = relation;
+  out += "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i == 0) out += "@";
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+ExprPtr Expr::MakeVar(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kVar;
+  e->var = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::MakeConst(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kConst;
+  e->constant = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::MakeBinary(Op op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::MakeCall(std::string fn, std::vector<ExprPtr> args) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Kind::kCall;
+  e->fn = std::move(fn);
+  e->args = std::move(args);
+  return e;
+}
+
+void Expr::CollectVars(std::vector<std::string>& out) const {
+  switch (kind) {
+    case Kind::kVar:
+      out.push_back(var);
+      break;
+    case Kind::kConst:
+      break;
+    case Kind::kBinary:
+      lhs->CollectVars(out);
+      rhs->CollectVars(out);
+      break;
+    case Kind::kCall:
+      for (const auto& a : args) a->CollectVars(out);
+      break;
+  }
+}
+
+const char* OpName(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::kAdd: return "+";
+    case Expr::Op::kSub: return "-";
+    case Expr::Op::kMul: return "*";
+    case Expr::Op::kDiv: return "/";
+    case Expr::Op::kMod: return "%";
+    case Expr::Op::kEq: return "==";
+    case Expr::Op::kNe: return "!=";
+    case Expr::Op::kLt: return "<";
+    case Expr::Op::kLe: return "<=";
+    case Expr::Op::kGt: return ">";
+    case Expr::Op::kGe: return ">=";
+  }
+  return "?";
+}
+
+bool IsComparisonOp(Expr::Op op) {
+  switch (op) {
+    case Expr::Op::kEq:
+    case Expr::Op::kNe:
+    case Expr::Op::kLt:
+    case Expr::Op::kLe:
+    case Expr::Op::kGt:
+    case Expr::Op::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kVar:
+      return var;
+    case Kind::kConst:
+      return constant.ToString();
+    case Kind::kBinary:
+      return "(" + lhs->ToString() + " " + OpName(op) + " " +
+             rhs->ToString() + ")";
+    case Kind::kCall: {
+      std::string out = fn;
+      out += "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+std::vector<const Atom*> Rule::ConditionAtoms() const {
+  std::vector<const Atom*> out;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    if (i != event_index) out.push_back(&atoms[i]);
+  }
+  return out;
+}
+
+std::string Rule::ToString() const {
+  std::string out = id;
+  out += " ";
+  out += head.ToString();
+  out += " :- ";
+  bool first = true;
+  auto sep = [&out, &first]() {
+    if (!first) out += ", ";
+    first = false;
+  };
+  for (const auto& a : atoms) {
+    sep();
+    out += a.ToString();
+  }
+  for (const auto& asn : assignments) {
+    sep();
+    out += asn.ToString();
+  }
+  for (const auto& c : constraints) {
+    sep();
+    out += c.ToString();
+  }
+  out += ".";
+  return out;
+}
+
+}  // namespace dpc

@@ -1,0 +1,123 @@
+// Abstract syntax for the restricted NDlog dialect of the paper (§2.1, §3.1).
+//
+// A rule has the shape
+//     rID  head(@L, ...) :- event(@L, ...), cond_1, ..., cond_n.
+// where each cond is a slow-changing relational atom, an arithmetic
+// constraint (e.g. D == L), an assignment (N := L + 2), or a user-defined
+// function call used inside a constraint (f_isSubDomain(DM, URL) == true).
+#ifndef DPC_NDLOG_AST_H_
+#define DPC_NDLOG_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/db/value.h"
+
+namespace dpc {
+
+// A term in a relational atom: either a variable or a constant.
+struct Term {
+  enum class Kind { kVar, kConst };
+
+  static Term Var(std::string name) {
+    Term t;
+    t.kind = Kind::kVar;
+    t.var = std::move(name);
+    return t;
+  }
+  static Term Const(Value v) {
+    Term t;
+    t.kind = Kind::kConst;
+    t.constant = std::move(v);
+    return t;
+  }
+
+  bool is_var() const { return kind == Kind::kVar; }
+
+  std::string ToString() const;
+
+  Kind kind = Kind::kVar;
+  std::string var;
+  Value constant;
+};
+
+// A relational atom rel(@a0, a1, ..., an). args[0] is the location term.
+struct Atom {
+  std::string relation;
+  std::vector<Term> args;
+
+  std::string ToString() const;
+};
+
+// Expression AST for constraints and assignments.
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind { kVar, kConst, kBinary, kCall };
+  enum class Op {
+    kAdd, kSub, kMul, kDiv, kMod,
+    kEq, kNe, kLt, kLe, kGt, kGe,
+  };
+
+  static ExprPtr MakeVar(std::string name);
+  static ExprPtr MakeConst(Value v);
+  static ExprPtr MakeBinary(Op op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr MakeCall(std::string fn, std::vector<ExprPtr> args);
+
+  // Collects the names of all variables mentioned in the expression.
+  void CollectVars(std::vector<std::string>& out) const;
+
+  std::string ToString() const;
+
+  Kind kind = Kind::kConst;
+  std::string var;          // kVar
+  Value constant;           // kConst
+  Op op = Op::kAdd;         // kBinary
+  ExprPtr lhs, rhs;         // kBinary
+  std::string fn;           // kCall
+  std::vector<ExprPtr> args;  // kCall
+};
+
+const char* OpName(Expr::Op op);
+bool IsComparisonOp(Expr::Op op);
+
+// A boolean condition in a rule body; the rule fires only when it evaluates
+// truthy under the candidate bindings.
+struct Constraint {
+  ExprPtr expr;
+
+  std::string ToString() const { return expr->ToString(); }
+};
+
+// var := expr. Introduces (or must agree with) a binding for `var`.
+struct Assignment {
+  std::string var;
+  ExprPtr expr;
+
+  std::string ToString() const { return var + " := " + expr->ToString(); }
+};
+
+// One NDlog rule. `atoms[event_index]` is the designated event atom
+// (by DELP convention the first body atom); all other atoms are
+// slow-changing conditions.
+struct Rule {
+  std::string id;
+  Atom head;
+  std::vector<Atom> atoms;
+  std::vector<Constraint> constraints;
+  std::vector<Assignment> assignments;
+  size_t event_index = 0;
+
+  const Atom& EventAtom() const { return atoms[event_index]; }
+
+  // Body atoms other than the event atom, in body order.
+  std::vector<const Atom*> ConditionAtoms() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_NDLOG_AST_H_

@@ -1,0 +1,54 @@
+// Single-rule evaluation: the building block of pipelined semi-naïve
+// evaluation (§3.1). Given an event tuple and the local database of
+// slow-changing tables, FireRule produces every head tuple derivable by one
+// application of the rule, together with the slow-changing tuples that
+// joined (which become the provenance of the firing).
+#ifndef DPC_NDLOG_EVAL_H_
+#define DPC_NDLOG_EVAL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/db/table.h"
+#include "src/db/tuple.h"
+#include "src/ndlog/ast.h"
+#include "src/ndlog/functions.h"
+#include "src/util/result.h"
+
+namespace dpc {
+
+// Variable name -> value environment built during matching.
+using Bindings = std::unordered_map<std::string, Value>;
+
+// Evaluates `expr` under `env`. Arithmetic requires integer operands;
+// comparisons work on either type (ordered lexicographically for strings).
+Result<Value> EvalExpr(const Expr& expr, const Bindings& env,
+                       const FunctionRegistry& fns);
+
+// Unifies `atom` against `tuple`. On success extends `env` (consistently
+// with existing bindings) and returns true. `env` may be partially extended
+// on failure; callers pass a scratch copy.
+bool MatchAtom(const Atom& atom, const Tuple& tuple, Bindings& env);
+
+// Instantiates `atom` under a complete `env`; fails if any variable is
+// unbound.
+Result<Tuple> InstantiateAtom(const Atom& atom, const Bindings& env);
+
+// One derivation produced by a rule firing.
+struct RuleFiring {
+  Tuple head;
+  // The slow-changing condition tuples that joined, in body-atom order.
+  std::vector<Tuple> slow_tuples;
+};
+
+// Fires `rule` with `event` as the instance of the rule's event atom,
+// joining condition atoms against `db` and applying assignments and
+// constraints. Returns every derivation (possibly none).
+Result<std::vector<RuleFiring>> FireRule(const Rule& rule, const Tuple& event,
+                                         const Database& db,
+                                         const FunctionRegistry& fns);
+
+}  // namespace dpc
+
+#endif  // DPC_NDLOG_EVAL_H_

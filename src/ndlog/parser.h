@@ -1,0 +1,33 @@
+// Recursive-descent parser for NDlog rule text.
+#ifndef DPC_NDLOG_PARSER_H_
+#define DPC_NDLOG_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/db/tuple.h"
+#include "src/ndlog/ast.h"
+#include "src/util/result.h"
+
+namespace dpc {
+
+// Parses a sequence of rules, e.g.
+//
+//   r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).
+//   r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.
+//
+// The leading rule identifier is optional; absent ids are generated as
+// "r1", "r2", ... by position. By DELP convention the first relational atom
+// of each body is the event atom. `true`/`false` parse as integer constants
+// 1/0; other lowercase identifiers in atom arguments parse as symbolic
+// string constants.
+Result<std::vector<Rule>> ParseRules(std::string_view source);
+
+// Parses a ground atom — e.g. `route(@1, 3, 2)` or
+// `packet(@0, 0, 2, "data")` — into a Tuple. Variables are rejected; the
+// location argument must be an integer.
+Result<Tuple> ParseTuple(std::string_view source);
+
+}  // namespace dpc
+
+#endif  // DPC_NDLOG_PARSER_H_

@@ -1,0 +1,216 @@
+#include "src/ndlog/program.h"
+
+#include <algorithm>
+
+#include "src/ndlog/parser.h"
+
+namespace dpc {
+
+const char* RelationRoleName(RelationRole role) {
+  switch (role) {
+    case RelationRole::kInputEvent: return "input-event";
+    case RelationRole::kSlowChanging: return "slow-changing";
+    case RelationRole::kDerived: return "derived";
+    case RelationRole::kTerminal: return "terminal";
+  }
+  return "?";
+}
+
+Result<Program> Program::Parse(std::string_view source,
+                               ProgramOptions options) {
+  DPC_ASSIGN_OR_RETURN(std::vector<Rule> rules, ParseRules(source));
+  return FromRules(std::move(rules), std::move(options));
+}
+
+Result<Program> Program::FromRules(std::vector<Rule> rules,
+                                   ProgramOptions options) {
+  Program prog;
+  prog.rules_ = std::move(rules);
+  prog.options_ = std::move(options);
+  DPC_RETURN_NOT_OK(prog.Validate());
+  prog.ComputeRoles();
+  return prog;
+}
+
+Status Program::Validate() {
+  if (rules_.empty()) {
+    return Status::InvalidArgument("a DELP must contain at least one rule");
+  }
+
+  std::unordered_set<std::string> rule_ids;
+  std::unordered_set<std::string> head_relations;
+  std::unordered_set<std::string> event_relations;
+  for (const Rule& r : rules_) {
+    if (!rule_ids.insert(r.id).second) {
+      return Status::InvalidArgument("duplicate rule id " + r.id);
+    }
+    if (r.atoms.empty()) {
+      return Status::InvalidArgument("rule " + r.id + " has no event atom");
+    }
+    head_relations.insert(r.head.relation);
+    event_relations.insert(r.EventAtom().relation);
+  }
+
+  // Condition 3: head relations never appear as non-event body atoms.
+  for (const Rule& r : rules_) {
+    for (const Atom* cond : r.ConditionAtoms()) {
+      if (head_relations.count(cond->relation) > 0) {
+        return Status::InvalidArgument(
+            "rule " + r.id + ": head relation " + cond->relation +
+            " used as a non-event (condition) atom; DELP condition 3 "
+            "requires head relations to appear only as event atoms");
+      }
+    }
+  }
+
+  // Condition 2: consecutive rules are dependent.
+  for (size_t i = 0; i + 1 < rules_.size(); ++i) {
+    const std::string& head = rules_[i].head.relation;
+    const std::string& next_event = rules_[i + 1].EventAtom().relation;
+    if (head != next_event) {
+      return Status::InvalidArgument(
+          "rules " + rules_[i].id + " and " + rules_[i + 1].id +
+          " are not dependent: head relation " + head +
+          " differs from the next rule's event relation " + next_event);
+    }
+  }
+
+  // Safety: every head variable must be bound by a body atom or an
+  // assignment.
+  for (const Rule& r : rules_) {
+    std::unordered_set<std::string> bound;
+    for (const Atom& atom : r.atoms) {
+      for (const Term& t : atom.args) {
+        if (t.is_var()) bound.insert(t.var);
+      }
+    }
+    for (const Assignment& asn : r.assignments) bound.insert(asn.var);
+    for (const Term& t : r.head.args) {
+      if (t.is_var() && bound.count(t.var) == 0) {
+        return Status::InvalidArgument("rule " + r.id + ": head variable " +
+                                       t.var + " is unbound");
+      }
+    }
+    // Constraints and assignments may only mention bound variables.
+    auto check_expr_vars = [&](const ExprPtr& e,
+                               const char* what) -> Status {
+      std::vector<std::string> vars;
+      e->CollectVars(vars);
+      for (const auto& v : vars) {
+        if (bound.count(v) == 0) {
+          return Status::InvalidArgument("rule " + r.id + ": variable " + v +
+                                         " in " + what + " is unbound");
+        }
+      }
+      return Status::OK();
+    };
+    for (const Constraint& c : r.constraints) {
+      DPC_RETURN_NOT_OK(check_expr_vars(c.expr, "constraint"));
+    }
+    for (const Assignment& asn : r.assignments) {
+      DPC_RETURN_NOT_OK(check_expr_vars(asn.expr, "assignment"));
+    }
+  }
+
+  // The input event relation (event of r1) must not be a slow-changing
+  // relation anywhere; events flow, they are not joined against.
+  const std::string& input = rules_.front().EventAtom().relation;
+  for (const Rule& r : rules_) {
+    for (const Atom* cond : r.ConditionAtoms()) {
+      if (cond->relation == input) {
+        return Status::InvalidArgument(
+            "input event relation " + input +
+            " is used as a condition atom in rule " + r.id);
+      }
+    }
+  }
+
+  return Status::OK();
+}
+
+void Program::ComputeRoles() {
+  std::unordered_set<std::string> heads;
+  std::unordered_set<std::string> events;
+  for (const Rule& r : rules_) {
+    heads.insert(r.head.relation);
+    events.insert(r.EventAtom().relation);
+  }
+
+  input_event_ = rules_.front().EventAtom().relation;
+  roles_[input_event_] = RelationRole::kInputEvent;
+
+  for (const Rule& r : rules_) {
+    for (const Atom* cond : r.ConditionAtoms()) {
+      roles_.emplace(cond->relation, RelationRole::kSlowChanging);
+    }
+  }
+
+  for (const Rule& r : rules_) {
+    const std::string& hd = r.head.relation;
+    if (hd == input_event_) continue;  // e.g. packet derives packet
+    if (events.count(hd) > 0) {
+      roles_.emplace(hd, RelationRole::kDerived);
+    } else {
+      roles_.emplace(hd, RelationRole::kTerminal);
+      if (std::find(terminal_relations_.begin(), terminal_relations_.end(),
+                    hd) == terminal_relations_.end()) {
+        terminal_relations_.push_back(hd);
+      }
+    }
+  }
+
+  relations_of_interest_ = options_.relations_of_interest.empty()
+                               ? terminal_relations_
+                               : options_.relations_of_interest;
+  interest_set_.insert(relations_of_interest_.begin(),
+                       relations_of_interest_.end());
+}
+
+const Rule* Program::FindRule(const std::string& id) const {
+  for (const Rule& r : rules_) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+RelationRole Program::RoleOf(const std::string& relation) const {
+  auto it = roles_.find(relation);
+  // Unknown relations are treated as slow-changing state: they can only be
+  // base tuples inserted by the operator.
+  return it == roles_.end() ? RelationRole::kSlowChanging : it->second;
+}
+
+bool Program::IsSlowChanging(const std::string& relation) const {
+  return RoleOf(relation) == RelationRole::kSlowChanging;
+}
+
+bool Program::IsEventRelation(const std::string& relation) const {
+  for (const Rule& r : rules_) {
+    if (r.EventAtom().relation == relation) return true;
+  }
+  return false;
+}
+
+bool Program::IsOfInterest(const std::string& relation) const {
+  return interest_set_.count(relation) > 0;
+}
+
+std::vector<const Rule*> Program::RulesTriggeredBy(
+    const std::string& relation) const {
+  std::vector<const Rule*> out;
+  for (const Rule& r : rules_) {
+    if (r.EventAtom().relation == relation) out.push_back(&r);
+  }
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& r : rules_) {
+    out += r.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace dpc

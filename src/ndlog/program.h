@@ -1,0 +1,98 @@
+// Program: a validated Distributed Event-driven Linear Program (DELP),
+// Definition 1 of the paper:
+//
+//   1. every rule is event-driven:  head :- event, conditions;
+//   2. consecutive rules are dependent: head(r_i) == event(r_{i+1});
+//   3. head relations only ever appear as event relations in rule bodies
+//      (so every condition relation is slow-changing).
+//
+// The Program also classifies relations into roles used by the runtime,
+// the static analysis and the provenance recorders.
+#ifndef DPC_NDLOG_PROGRAM_H_
+#define DPC_NDLOG_PROGRAM_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/ndlog/ast.h"
+#include "src/util/result.h"
+
+namespace dpc {
+
+enum class RelationRole {
+  kInputEvent,    // the externally injected event relation (event of r1)
+  kSlowChanging,  // non-event condition relations (network state)
+  kDerived,       // head relations also consumed as events downstream
+  kTerminal,      // head relations never consumed as events (outputs)
+};
+
+const char* RelationRoleName(RelationRole role);
+
+struct ProgramOptions {
+  // Program name used in diagnostics and provenance displays.
+  std::string name = "delp";
+  // Relations whose provenance is materialized (§3.2 "relations of
+  // interest"). Empty means: all terminal relations.
+  std::vector<std::string> relations_of_interest;
+};
+
+class Program {
+ public:
+  // Parses and validates `source` as a DELP.
+  static Result<Program> Parse(std::string_view source,
+                               ProgramOptions options = {});
+
+  // Validates pre-parsed rules as a DELP.
+  static Result<Program> FromRules(std::vector<Rule> rules,
+                                   ProgramOptions options = {});
+
+  const std::string& name() const { return options_.name; }
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  // nullptr when no rule carries `id`.
+  const Rule* FindRule(const std::string& id) const;
+
+  RelationRole RoleOf(const std::string& relation) const;
+  bool IsSlowChanging(const std::string& relation) const;
+  bool IsEventRelation(const std::string& relation) const;
+
+  // The relation whose tuples are injected from outside (event of r1).
+  const std::string& input_event_relation() const { return input_event_; }
+
+  // Head relations never consumed as events; the program's outputs.
+  const std::vector<std::string>& terminal_relations() const {
+    return terminal_relations_;
+  }
+
+  // Relations whose provenance is concretely maintained (§3.2).
+  const std::vector<std::string>& relations_of_interest() const {
+    return relations_of_interest_;
+  }
+  bool IsOfInterest(const std::string& relation) const;
+
+  // Rules whose event atom matches `relation`, in program order.
+  std::vector<const Rule*> RulesTriggeredBy(const std::string& relation) const;
+
+  std::string ToString() const;
+
+ private:
+  Program() = default;
+
+  Status Validate();
+  void ComputeRoles();
+
+  std::vector<Rule> rules_;
+  ProgramOptions options_;
+  std::string input_event_;
+  std::unordered_map<std::string, RelationRole> roles_;
+  std::vector<std::string> terminal_relations_;
+  std::vector<std::string> relations_of_interest_;
+  std::unordered_set<std::string> interest_set_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_NDLOG_PROGRAM_H_

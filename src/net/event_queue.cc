@@ -1,0 +1,40 @@
+#include "src/net/event_queue.h"
+
+#include "src/util/logging.h"
+
+namespace dpc {
+
+void EventQueue::ScheduleAt(SimTime t, Callback fn) {
+  DPC_DCHECK(t >= now_) << "scheduling into the past: " << t << " < " << now_;
+  queue_.push(Entry{t < now_ ? now_ : t, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::RunNext() {
+  if (queue_.empty()) return false;
+  // Move the callback out before popping so it may schedule new events.
+  Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = entry.time;
+  entry.fn();
+  return true;
+}
+
+void EventQueue::RunUntil(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    RunNext();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void EventQueue::RunAll(size_t max_events) {
+  size_t n = 0;
+  while (RunNext()) {
+    if (max_events != 0 && ++n >= max_events) {
+      DPC_LOG(Warning) << "EventQueue::RunAll stopped after " << n
+                       << " events with " << queue_.size() << " pending";
+      return;
+    }
+  }
+}
+
+}  // namespace dpc

@@ -1,0 +1,64 @@
+// Discrete-event simulation core (the repo's ns-3 substitute).
+// Events are (time, sequence) ordered callbacks; sequence numbers break
+// ties deterministically in schedule order.
+#ifndef DPC_NET_EVENT_QUEUE_H_
+#define DPC_NET_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dpc {
+
+// Simulated time in seconds.
+using SimTime = double;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `fn` at absolute time `t` (>= now).
+  void ScheduleAt(SimTime t, Callback fn);
+
+  // Schedules `fn` `delay` seconds from now.
+  void ScheduleAfter(SimTime delay, Callback fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  SimTime now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+
+  // Runs the earliest event; returns false when the queue is empty.
+  bool RunNext();
+
+  // Runs events until the queue empties or simulated time would exceed
+  // `t`; `now()` advances to `t` afterwards.
+  void RunUntil(SimTime t);
+
+  // Drains the queue. `max_events` guards against runaway loops
+  // (0 = unlimited).
+  void RunAll(size_t max_events = 0);
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_NET_EVENT_QUEUE_H_

@@ -1,0 +1,80 @@
+#include "src/net/network.h"
+
+#include "src/util/logging.h"
+
+namespace dpc {
+
+size_t Message::WireSize() const {
+  return kMessageHeaderBytes + payload.size();
+}
+
+Network::Network(const Topology* topology, EventQueue* queue)
+    : topology_(topology), queue_(queue) {
+  DPC_CHECK(topology_ != nullptr);
+  DPC_CHECK(queue_ != nullptr);
+}
+
+void Network::ChargeBytes(double time, size_t bytes) {
+  total_bytes_ += bytes;
+  size_t bucket = static_cast<size_t>(time / bucket_width_s_);
+  if (bucket_bytes_.size() <= bucket) bucket_bytes_.resize(bucket + 1, 0);
+  bucket_bytes_[bucket] += bytes;
+}
+
+void Network::Send(Message msg) {
+  DPC_CHECK(msg.src >= 0 && msg.src < topology_->num_nodes());
+  DPC_CHECK(msg.dst >= 0 && msg.dst < topology_->num_nodes());
+  ++total_messages_;
+  if (msg.src == msg.dst) {
+    queue_->ScheduleAfter(local_delay_s_, [this, m = std::move(msg)]() {
+      if (handler_) handler_(m);
+    });
+    return;
+  }
+  NodeId src = msg.src;
+  Forward(std::move(msg), src);
+}
+
+void Network::SetLossRate(double rate, uint64_t seed) {
+  DPC_CHECK(rate >= 0 && rate < 1);
+  loss_rate_ = rate;
+  loss_rng_ = rate > 0 ? std::make_unique<Rng>(seed) : nullptr;
+}
+
+void Network::Forward(Message msg, NodeId at) {
+  NodeId next = topology_->NextHop(at, msg.dst);
+  DPC_CHECK(next != kNullNode) << "no route from " << at << " to " << msg.dst;
+  const LinkProps& link = topology_->Link(at, next);
+  size_t wire = msg.WireSize();
+  ChargeBytes(queue_->now(), wire);
+  if (loss_rng_ != nullptr && loss_rng_->NextDouble() < loss_rate_) {
+    ++dropped_messages_;
+    return;  // the traversal consumed bandwidth but never arrives
+  }
+  double delay = link.latency_s +
+                 static_cast<double>(wire) * 8.0 / link.bandwidth_bps;
+  queue_->ScheduleAfter(delay, [this, m = std::move(msg), next]() mutable {
+    if (next == m.dst) {
+      if (handler_) handler_(m);
+    } else {
+      Forward(std::move(m), next);
+    }
+  });
+}
+
+void Network::Broadcast(NodeId from, Message msg) {
+  for (NodeId n = 0; n < topology_->num_nodes(); ++n) {
+    Message copy = msg;
+    copy.src = from;
+    copy.dst = n;
+    Send(std::move(copy));
+  }
+}
+
+void Network::ResetAccounting() {
+  total_bytes_ = 0;
+  total_messages_ = 0;
+  bucket_bytes_.clear();
+}
+
+}  // namespace dpc

@@ -1,0 +1,100 @@
+// Network: message delivery over a Topology driven by the EventQueue.
+// Messages are forwarded hop-by-hop along shortest paths; every traversed
+// link contributes latency + serialization delay and is charged to the
+// bandwidth accounting that the paper's Figures 11 and 15 report.
+#ifndef DPC_NET_NETWORK_H_
+#define DPC_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/db/tuple.h"
+#include "src/net/event_queue.h"
+#include "src/net/topology.h"
+#include "src/util/rng.h"
+#include "src/util/stats.h"
+
+namespace dpc {
+
+enum class MessageKind : uint8_t {
+  kEvent = 0,    // an event tuple propagating through a DELP
+  kControl = 1,  // slow-changing-update sig broadcast (§5.5)
+  kQuery = 2,    // distributed provenance query traffic
+};
+
+struct Message {
+  MessageKind kind = MessageKind::kEvent;
+  NodeId src = kNullNode;
+  NodeId dst = kNullNode;
+  std::vector<uint8_t> payload;
+
+  size_t WireSize() const;
+};
+
+// Fixed per-message framing overhead charged on every hop (addresses,
+// kind tag, length), mimicking a UDP-style header.
+inline constexpr size_t kMessageHeaderBytes = 28;
+
+class Network {
+ public:
+  using DeliveryHandler = std::function<void(const Message& msg)>;
+
+  Network(const Topology* topology, EventQueue* queue);
+
+  // Installs the handler invoked when a message reaches its destination.
+  void SetDeliveryHandler(DeliveryHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  // Sends `msg` from msg.src to msg.dst. Local sends (src == dst) deliver
+  // after `local_delay_s` with no bandwidth charge.
+  void Send(Message msg);
+
+  // Unicasts a copy of `msg` from `from` to every other node (§5.5 sig).
+  void Broadcast(NodeId from, Message msg);
+
+  // --- accounting ---
+  uint64_t total_bytes_sent() const { return total_bytes_; }
+  uint64_t total_messages() const { return total_messages_; }
+
+  // Bytes charged per `bucket` seconds of simulated time since t=0.
+  // bandwidth(t) = bucket_bytes[i] / bucket for t in bucket i.
+  const std::vector<uint64_t>& bucket_bytes() const { return bucket_bytes_; }
+  double bucket_width_s() const { return bucket_width_s_; }
+  void set_bucket_width_s(double w) { bucket_width_s_ = w; }
+
+  // Resets counters (not pending traffic).
+  void ResetAccounting();
+
+  // Delay before a locally-addressed message is delivered.
+  void set_local_delay_s(double d) { local_delay_s_ = d; }
+
+  // Failure injection: drop each link traversal independently with
+  // probability `rate` (deterministic given `seed`). Local deliveries are
+  // never dropped. Dropped traversals are still charged to bandwidth (the
+  // bytes were sent), and counted in dropped_messages().
+  void SetLossRate(double rate, uint64_t seed = 1);
+  uint64_t dropped_messages() const { return dropped_messages_; }
+
+ private:
+  void Forward(Message msg, NodeId at);
+  void ChargeBytes(double time, size_t bytes);
+
+  const Topology* topology_;
+  EventQueue* queue_;
+  DeliveryHandler handler_;
+  double local_delay_s_ = 1e-6;
+  uint64_t total_bytes_ = 0;
+  uint64_t total_messages_ = 0;
+  double bucket_width_s_ = 1.0;
+  std::vector<uint64_t> bucket_bytes_;
+  double loss_rate_ = 0;
+  uint64_t dropped_messages_ = 0;
+  std::unique_ptr<Rng> loss_rng_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_NET_NETWORK_H_

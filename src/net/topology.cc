@@ -1,0 +1,159 @@
+#include "src/net/topology.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "src/util/logging.h"
+
+namespace dpc {
+
+namespace {
+uint64_t PackPair(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+}  // namespace
+
+NodeId Topology::AddNode() {
+  adjacency_.emplace_back();
+  routes_valid_ = false;
+  return static_cast<NodeId>(adjacency_.size() - 1);
+}
+
+NodeId Topology::AddNodes(int count) {
+  DPC_CHECK(count > 0);
+  NodeId first = AddNode();
+  for (int i = 1; i < count; ++i) AddNode();
+  return first;
+}
+
+Status Topology::AddLink(NodeId a, NodeId b, LinkProps props) {
+  if (a == b) return Status::InvalidArgument("self link");
+  if (a < 0 || b < 0 || a >= num_nodes() || b >= num_nodes()) {
+    return Status::InvalidArgument("link endpoint out of range");
+  }
+  if (HasLink(a, b)) {
+    return Status::AlreadyExists("duplicate link");
+  }
+  link_index_.emplace_back(PackPair(a, b), static_cast<int>(links_.size()));
+  std::sort(link_index_.begin(), link_index_.end());
+  links_.push_back(StoredLink{a, b, props});
+  adjacency_[a].push_back(b);
+  adjacency_[b].push_back(a);
+  routes_valid_ = false;
+  return Status::OK();
+}
+
+int Topology::LinkIndex(NodeId a, NodeId b) const {
+  uint64_t key = PackPair(a, b);
+  auto it = std::lower_bound(
+      link_index_.begin(), link_index_.end(), key,
+      [](const std::pair<uint64_t, int>& e, uint64_t k) { return e.first < k; });
+  if (it == link_index_.end() || it->first != key) return -1;
+  return it->second;
+}
+
+bool Topology::HasLink(NodeId a, NodeId b) const {
+  return LinkIndex(a, b) >= 0;
+}
+
+const LinkProps& Topology::Link(NodeId a, NodeId b) const {
+  int idx = LinkIndex(a, b);
+  DPC_CHECK(idx >= 0) << "no link between " << a << " and " << b;
+  return links_[idx].props;
+}
+
+void Topology::ComputeRoutes() {
+  int n = num_nodes();
+  dist_.assign(n, std::vector<int>(n, -1));
+  next_hop_.assign(n, std::vector<NodeId>(n, kNullNode));
+  for (NodeId src = 0; src < n; ++src) {
+    // BFS from src; record each node's parent to derive the *first* hop.
+    auto& dist = dist_[src];
+    std::vector<NodeId> first_hop(n, kNullNode);
+    dist[src] = 0;
+    std::deque<NodeId> frontier{src};
+    while (!frontier.empty()) {
+      NodeId u = frontier.front();
+      frontier.pop_front();
+      for (NodeId v : adjacency_[u]) {
+        if (dist[v] != -1) continue;
+        dist[v] = dist[u] + 1;
+        first_hop[v] = (u == src) ? v : first_hop[u];
+        frontier.push_back(v);
+      }
+    }
+    next_hop_[src] = std::move(first_hop);
+  }
+  routes_valid_ = true;
+}
+
+int Topology::Distance(NodeId from, NodeId to) const {
+  DPC_CHECK(routes_valid_) << "call ComputeRoutes() first";
+  return dist_[from][to];
+}
+
+NodeId Topology::NextHop(NodeId from, NodeId to) const {
+  DPC_CHECK(routes_valid_) << "call ComputeRoutes() first";
+  if (from == to) return kNullNode;
+  return next_hop_[from][to];
+}
+
+std::vector<NodeId> Topology::Path(NodeId from, NodeId to) const {
+  std::vector<NodeId> path;
+  if (Distance(from, to) < 0) return path;
+  path.push_back(from);
+  NodeId cur = from;
+  while (cur != to) {
+    cur = NextHop(cur, to);
+    DPC_CHECK(cur != kNullNode);
+    path.push_back(cur);
+  }
+  return path;
+}
+
+bool Topology::IsConnected() const {
+  DPC_CHECK(routes_valid_);
+  if (num_nodes() == 0) return true;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (dist_[0][v] < 0) return false;
+  }
+  return true;
+}
+
+int Topology::Diameter() const {
+  DPC_CHECK(routes_valid_);
+  int d = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v = 0; v < num_nodes(); ++v) {
+      d = std::max(d, dist_[u][v]);
+    }
+  }
+  return d;
+}
+
+double Topology::AverageDistance() const {
+  DPC_CHECK(routes_valid_);
+  double sum = 0;
+  int64_t count = 0;
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (NodeId v = 0; v < num_nodes(); ++v) {
+      if (u == v || dist_[u][v] < 0) continue;
+      sum += dist_[u][v];
+      ++count;
+    }
+  }
+  return count == 0 ? 0 : sum / static_cast<double>(count);
+}
+
+double Topology::PathLatency(NodeId from, NodeId to) const {
+  std::vector<NodeId> path = Path(from, to);
+  double total = 0;
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    total += Link(path[i], path[i + 1]).latency_s;
+  }
+  return total;
+}
+
+}  // namespace dpc

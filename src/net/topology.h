@@ -1,0 +1,87 @@
+// Topology: the undirected graph G = (V, E) modelling the distributed
+// system (§3), with per-link latency and bandwidth, and hop-count shortest
+// paths used both for packet routing tables and for query-latency
+// accounting.
+#ifndef DPC_NET_TOPOLOGY_H_
+#define DPC_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/db/tuple.h"
+#include "src/util/result.h"
+
+namespace dpc {
+
+struct LinkProps {
+  double latency_s = 0.001;        // one-way propagation delay
+  double bandwidth_bps = 1e9;      // capacity in bits/second
+
+  bool operator==(const LinkProps&) const = default;
+};
+
+class Topology {
+ public:
+  // Adds a node; ids are dense and assigned in creation order.
+  NodeId AddNode();
+
+  // Adds `count` nodes, returning the id of the first.
+  NodeId AddNodes(int count);
+
+  // Adds an undirected link. Duplicate links are rejected.
+  Status AddLink(NodeId a, NodeId b, LinkProps props);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  size_t num_links() const { return links_.size(); }
+
+  bool HasLink(NodeId a, NodeId b) const;
+  // Properties of link (a, b); requires the link to exist.
+  const LinkProps& Link(NodeId a, NodeId b) const;
+
+  const std::vector<NodeId>& Neighbors(NodeId n) const {
+    return adjacency_[n];
+  }
+
+  // Recomputes all-pairs hop-count shortest paths (BFS from every node;
+  // neighbor order breaks ties deterministically). Must be called after the
+  // last AddLink and before any routing query below.
+  void ComputeRoutes();
+
+  // Hop distance; -1 when unreachable.
+  int Distance(NodeId from, NodeId to) const;
+
+  // First hop on a shortest path from `from` to `to`; kNullNode when
+  // unreachable or from == to.
+  NodeId NextHop(NodeId from, NodeId to) const;
+
+  // Full node sequence [from, ..., to]; empty when unreachable.
+  std::vector<NodeId> Path(NodeId from, NodeId to) const;
+
+  bool IsConnected() const;
+  int Diameter() const;
+  double AverageDistance() const;
+
+  // Sum of per-link latencies along the shortest path.
+  double PathLatency(NodeId from, NodeId to) const;
+
+ private:
+  int LinkIndex(NodeId a, NodeId b) const;
+
+  struct StoredLink {
+    NodeId a, b;
+    LinkProps props;
+  };
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<StoredLink> links_;
+  // links keyed by (min, max) packed into 64 bits -> index into links_.
+  std::vector<std::pair<uint64_t, int>> link_index_;
+  bool routes_valid_ = false;
+  // dist_[u][v] and next_hop_[u][v].
+  std::vector<std::vector<int>> dist_;
+  std::vector<std::vector<NodeId>> next_hop_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_NET_TOPOLOGY_H_

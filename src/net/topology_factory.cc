@@ -1,0 +1,74 @@
+#include "src/net/topology_factory.h"
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace dpc {
+
+Topology MakeLineTopology(int n, LinkProps link) {
+  DPC_CHECK(n >= 1);
+  Topology t;
+  t.AddNodes(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    DPC_CHECK(t.AddLink(i, i + 1, link).ok());
+  }
+  t.ComputeRoutes();
+  return t;
+}
+
+Topology MakeRingTopology(int n, LinkProps link) {
+  DPC_CHECK(n >= 3);
+  Topology t;
+  t.AddNodes(n);
+  for (int i = 0; i < n; ++i) {
+    DPC_CHECK(t.AddLink(i, (i + 1) % n, link).ok());
+  }
+  t.ComputeRoutes();
+  return t;
+}
+
+Topology MakeStarTopology(int n, LinkProps link) {
+  DPC_CHECK(n >= 2);
+  Topology t;
+  t.AddNodes(n);
+  for (int i = 1; i < n; ++i) {
+    DPC_CHECK(t.AddLink(0, i, link).ok());
+  }
+  t.ComputeRoutes();
+  return t;
+}
+
+Topology MakeGridTopology(int rows, int cols, LinkProps link) {
+  DPC_CHECK(rows >= 1 && cols >= 1);
+  Topology t;
+  t.AddNodes(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        DPC_CHECK(t.AddLink(id(r, c), id(r, c + 1), link).ok());
+      }
+      if (r + 1 < rows) {
+        DPC_CHECK(t.AddLink(id(r, c), id(r + 1, c), link).ok());
+      }
+    }
+  }
+  t.ComputeRoutes();
+  return t;
+}
+
+Topology MakeRandomTreeTopology(int n, uint64_t seed, LinkProps link) {
+  DPC_CHECK(n >= 1);
+  Topology t;
+  t.AddNodes(n);
+  Rng rng(seed);
+  for (int i = 1; i < n; ++i) {
+    NodeId parent =
+        static_cast<NodeId>(rng.NextBelow(static_cast<uint64_t>(i)));
+    DPC_CHECK(t.AddLink(i, parent, link).ok());
+  }
+  t.ComputeRoutes();
+  return t;
+}
+
+}  // namespace dpc

@@ -1,0 +1,28 @@
+// Convenience topology constructors used by tests, examples and property
+// sweeps: lines, rings, stars, grids, and random trees, all with uniform
+// link properties and routes precomputed.
+#ifndef DPC_NET_TOPOLOGY_FACTORY_H_
+#define DPC_NET_TOPOLOGY_FACTORY_H_
+
+#include "src/net/topology.h"
+
+namespace dpc {
+
+// n nodes: 0 - 1 - 2 - ... - (n-1).
+Topology MakeLineTopology(int n, LinkProps link = {});
+
+// n nodes in a cycle (n >= 3).
+Topology MakeRingTopology(int n, LinkProps link = {});
+
+// A hub (node 0) with n-1 spokes.
+Topology MakeStarTopology(int n, LinkProps link = {});
+
+// rows x cols mesh; node ids row-major.
+Topology MakeGridTopology(int rows, int cols, LinkProps link = {});
+
+// A uniformly random recursive tree over n nodes rooted at 0.
+Topology MakeRandomTreeTopology(int n, uint64_t seed, LinkProps link = {});
+
+}  // namespace dpc
+
+#endif  // DPC_NET_TOPOLOGY_FACTORY_H_

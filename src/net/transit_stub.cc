@@ -1,0 +1,78 @@
+#include "src/net/transit_stub.h"
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace dpc {
+
+TransitStubTopology MakeTransitStub(const TransitStubParams& params) {
+  DPC_CHECK(params.num_transit >= 1);
+  DPC_CHECK(params.stubs_per_transit >= 1);
+  DPC_CHECK(params.nodes_per_stub >= 1);
+
+  TransitStubTopology out;
+  Rng rng(params.seed);
+  Topology& g = out.graph;
+
+  // Transit core: ring + chords (full mesh for <= 4 transit nodes).
+  for (int i = 0; i < params.num_transit; ++i) {
+    out.transit_nodes.push_back(g.AddNode());
+  }
+  int nt = params.num_transit;
+  if (nt > 1) {
+    for (int i = 0; i < nt; ++i) {
+      Status st = g.AddLink(out.transit_nodes[i],
+                            out.transit_nodes[(i + 1) % nt],
+                            params.transit_transit);
+      (void)st;  // ring edge may duplicate for nt == 2
+    }
+    if (nt <= 4) {
+      for (int i = 0; i < nt; ++i) {
+        for (int j = i + 2; j < nt; ++j) {
+          if (!g.HasLink(out.transit_nodes[i], out.transit_nodes[j])) {
+            DPC_CHECK(g.AddLink(out.transit_nodes[i], out.transit_nodes[j],
+                                params.transit_transit)
+                          .ok());
+          }
+        }
+      }
+    }
+  }
+
+  // Stub domains.
+  for (int t = 0; t < nt; ++t) {
+    for (int s = 0; s < params.stubs_per_transit; ++s) {
+      std::vector<NodeId> domain;
+      for (int k = 0; k < params.nodes_per_stub; ++k) {
+        NodeId n = g.AddNode();
+        domain.push_back(n);
+        out.stub_nodes.push_back(n);
+      }
+      // Random spanning tree: attach node k to a random earlier node.
+      for (int k = 1; k < params.nodes_per_stub; ++k) {
+        NodeId parent = domain[rng.NextBelow(static_cast<uint64_t>(k))];
+        DPC_CHECK(g.AddLink(domain[k], parent, params.stub_stub).ok());
+      }
+      // Extra intra-domain edges for path diversity.
+      for (int i = 0; i < params.nodes_per_stub; ++i) {
+        for (int j = i + 1; j < params.nodes_per_stub; ++j) {
+          if (g.HasLink(domain[i], domain[j])) continue;
+          if (rng.NextDouble() < params.extra_stub_edge_prob) {
+            DPC_CHECK(g.AddLink(domain[i], domain[j], params.stub_stub).ok());
+          }
+        }
+      }
+      // Gateway: the domain's first node attaches to the transit node.
+      DPC_CHECK(
+          g.AddLink(domain[0], out.transit_nodes[t], params.transit_stub)
+              .ok());
+      out.stub_domains.push_back(std::move(domain));
+    }
+  }
+
+  g.ComputeRoutes();
+  DPC_CHECK(g.IsConnected());
+  return out;
+}
+
+}  // namespace dpc

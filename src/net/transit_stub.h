@@ -1,0 +1,42 @@
+// GT-ITM-style transit-stub topology generator (the paper's §6.1 setup:
+// 4 transit nodes, 3 stub domains per transit node, 8 nodes per stub
+// domain = 100 nodes; transit-transit 50ms/1Gbps, transit-stub
+// 10ms/100Mbps, stub-stub 2ms/50Mbps).
+#ifndef DPC_NET_TRANSIT_STUB_H_
+#define DPC_NET_TRANSIT_STUB_H_
+
+#include <vector>
+
+#include "src/net/topology.h"
+
+namespace dpc {
+
+struct TransitStubParams {
+  int num_transit = 4;
+  int stubs_per_transit = 3;
+  int nodes_per_stub = 8;
+  // Probability of each extra intra-stub edge beyond the spanning tree.
+  double extra_stub_edge_prob = 0.15;
+  LinkProps transit_transit{0.050, 1e9};
+  LinkProps transit_stub{0.010, 100e6};
+  LinkProps stub_stub{0.002, 50e6};
+  uint64_t seed = 42;
+};
+
+struct TransitStubTopology {
+  Topology graph;  // routes already computed
+  std::vector<NodeId> transit_nodes;
+  // stub_nodes[i] lists the members of stub domain i.
+  std::vector<std::vector<NodeId>> stub_domains;
+  // All stub nodes, flattened (the traffic sources/sinks).
+  std::vector<NodeId> stub_nodes;
+};
+
+// Generates a connected transit-stub graph. Transit nodes form a ring plus
+// chords; each stub domain is a random connected subgraph whose gateway
+// node attaches to its transit node.
+TransitStubTopology MakeTransitStub(const TransitStubParams& params = {});
+
+}  // namespace dpc
+
+#endif  // DPC_NET_TRANSIT_STUB_H_

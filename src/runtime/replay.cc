@@ -1,0 +1,109 @@
+#include "src/runtime/replay.h"
+
+#include "src/core/reference_recorder.h"
+#include "src/runtime/system.h"
+#include "src/util/logging.h"
+
+namespace dpc {
+
+void ReplayLog::Append(Kind kind, double time, const Tuple& t) {
+  entries_.push_back(Entry{kind, time, t});
+  bytes_ += 1 + 8 + t.SerializedSize();  // kind + time + tuple
+}
+
+void ReplayLog::Serialize(ByteWriter& w) const {
+  w.PutVarint(entries_.size());
+  for (const Entry& e : entries_) {
+    w.PutU8(static_cast<uint8_t>(e.kind));
+    // Times are encoded as microseconds to stay integral.
+    w.PutVarintSigned(static_cast<int64_t>(e.time * 1e6));
+    e.tuple.Serialize(w);
+  }
+}
+
+Result<ReplayLog> ReplayLog::Deserialize(ByteReader& r) {
+  ReplayLog log;
+  DPC_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  for (uint64_t i = 0; i < n; ++i) {
+    DPC_ASSIGN_OR_RETURN(uint8_t kind, r.GetU8());
+    if (kind > static_cast<uint8_t>(Kind::kInject)) {
+      return Status::ParseError("bad replay entry kind");
+    }
+    DPC_ASSIGN_OR_RETURN(int64_t micros, r.GetVarintSigned());
+    DPC_ASSIGN_OR_RETURN(Tuple tuple, Tuple::Deserialize(r));
+    log.Append(static_cast<Kind>(kind), static_cast<double>(micros) / 1e6,
+               tuple);
+  }
+  return log;
+}
+
+Replayer::Replayer(const Program* program, const Topology* topology)
+    : program_(program), topology_(topology) {
+  DPC_CHECK(program_ != nullptr);
+  DPC_CHECK(topology_ != nullptr);
+}
+
+Result<std::vector<ProvTree>> Replayer::AllTrees(const ReplayLog& log) const {
+  EventQueue queue;
+  Network network(topology_, &queue);
+  ReferenceRecorder recorder(topology_->num_nodes());
+  System system(program_, topology_, &network, &queue, DefaultFunctions(),
+                &recorder);
+
+  // Apply the log in time order: slow-changing operations execute at their
+  // recorded instants (so mid-stream updates replay faithfully), events
+  // re-inject at their original times.
+  for (const ReplayLog::Entry& entry : log.entries()) {
+    switch (entry.kind) {
+      case ReplayLog::Kind::kSlowInsert:
+        queue.ScheduleAt(entry.time, [&system, t = entry.tuple]() {
+          Status st = system.InsertSlowTuple(t);
+          DPC_CHECK(st.ok()) << st.ToString();
+        });
+        break;
+      case ReplayLog::Kind::kSlowDelete:
+        queue.ScheduleAt(entry.time, [&system, t = entry.tuple]() {
+          Status st = system.DeleteSlowTuple(t);
+          if (!st.ok()) {
+            DPC_LOG(Warning) << "replayed deletion failed: " << st.ToString();
+          }
+        });
+        break;
+      case ReplayLog::Kind::kInject: {
+        DPC_RETURN_NOT_OK(system.ScheduleInject(entry.tuple, entry.time));
+        break;
+      }
+    }
+  }
+  system.Run();
+
+  std::vector<ProvTree> trees;
+  for (const ProvTree* tree : recorder.AllTrees()) trees.push_back(*tree);
+  return trees;
+}
+
+Result<std::vector<ProvTree>> Replayer::ProvenanceOf(
+    const ReplayLog& log, const Tuple& target) const {
+  DPC_ASSIGN_OR_RETURN(std::vector<ProvTree> all, AllTrees(log));
+
+  std::vector<ProvTree> out;
+  for (const ProvTree& tree : all) {
+    // The target may be any head along the chain: cut the prefix that
+    // derives it.
+    for (size_t i = 0; i < tree.steps().size(); ++i) {
+      if (tree.steps()[i].head != target) continue;
+      ProvTree prefix(tree.event(),
+                      std::vector<ProvStep>(tree.steps().begin(),
+                                            tree.steps().begin() + i + 1));
+      if (std::find(out.begin(), out.end(), prefix) == out.end()) {
+        out.push_back(std::move(prefix));
+      }
+    }
+  }
+  if (out.empty()) {
+    return Status::NotFound("replay never derived " + target.ToString());
+  }
+  return out;
+}
+
+}  // namespace dpc

@@ -1,0 +1,84 @@
+// Reactive provenance maintenance (§3.2): instead of materializing
+// provenance for relations of less interest, record only the
+// non-deterministic inputs — injected events and slow-changing table
+// updates — and re-execute the (deterministic) DELP at query time to
+// reconstruct the provenance of *any* tuple, including intermediate event
+// tuples that none of the storage schemes materialize. This is the DTaP
+// strategy the paper adopts for tuples outside the relations of interest.
+#ifndef DPC_RUNTIME_REPLAY_H_
+#define DPC_RUNTIME_REPLAY_H_
+
+#include <vector>
+
+#include "src/core/tree.h"
+#include "src/db/tuple.h"
+#include "src/ndlog/program.h"
+#include "src/net/topology.h"
+#include "src/util/result.h"
+#include "src/util/serial.h"
+
+namespace dpc {
+
+// Ordered log of every non-deterministic input to an execution.
+class ReplayLog {
+ public:
+  enum class Kind : uint8_t { kSlowInsert = 0, kSlowDelete = 1, kInject = 2 };
+
+  struct Entry {
+    Kind kind;
+    double time;
+    Tuple tuple;
+
+    bool operator==(const Entry&) const = default;
+  };
+
+  void RecordSlowInsert(double time, const Tuple& t) {
+    Append(Kind::kSlowInsert, time, t);
+  }
+  void RecordSlowDelete(double time, const Tuple& t) {
+    Append(Kind::kSlowDelete, time, t);
+  }
+  void RecordInject(double time, const Tuple& t) {
+    Append(Kind::kInject, time, t);
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // The log is itself persistable: this is the storage the reactive
+  // strategy pays instead of materialized provenance.
+  void Serialize(ByteWriter& w) const;
+  static Result<ReplayLog> Deserialize(ByteReader& r);
+  size_t SerializedBytes() const { return bytes_; }
+
+ private:
+  void Append(Kind kind, double time, const Tuple& t);
+
+  std::vector<Entry> entries_;
+  size_t bytes_ = 0;
+};
+
+// Re-executes a log against a fresh deployment and extracts provenance.
+class Replayer {
+ public:
+  // Both pointers must outlive the Replayer.
+  Replayer(const Program* program, const Topology* topology);
+
+  // Replays `log` and returns every derivation whose root is `target`.
+  // `target` may be of any derived relation — terminal or intermediate.
+  // NotFound when the replay never derives it.
+  Result<std::vector<ProvTree>> ProvenanceOf(const ReplayLog& log,
+                                             const Tuple& target) const;
+
+  // Replays `log` and returns all full trees (roots are terminal outputs).
+  Result<std::vector<ProvTree>> AllTrees(const ReplayLog& log) const;
+
+ private:
+  const Program* program_;
+  const Topology* topology_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_RUNTIME_REPLAY_H_

@@ -1,0 +1,200 @@
+#include "src/runtime/system.h"
+
+#include "src/util/logging.h"
+
+namespace dpc {
+
+System::System(const Program* program, const Topology* topology,
+               Network* network, EventQueue* queue,
+               FunctionRegistry functions, ProvenanceRecorder* recorder)
+    : program_(program),
+      topology_(topology),
+      network_(network),
+      queue_(queue),
+      functions_(std::move(functions)),
+      recorder_(recorder) {
+  DPC_CHECK(program_ != nullptr);
+  DPC_CHECK(topology_ != nullptr);
+  DPC_CHECK(network_ != nullptr);
+  DPC_CHECK(queue_ != nullptr);
+  dbs_.resize(topology_->num_nodes());
+  outputs_.resize(topology_->num_nodes());
+  network_->SetDeliveryHandler(
+      [this](const Message& msg) { HandleMessage(msg); });
+}
+
+Status System::InsertSlowTuple(const Tuple& t) {
+  if (!program_->IsSlowChanging(t.relation())) {
+    return Status::InvalidArgument("relation " + t.relation() +
+                                   " is not slow-changing in program " +
+                                   program_->name());
+  }
+  NodeId node = t.Location();
+  if (node < 0 || node >= topology_->num_nodes()) {
+    return Status::OutOfRange("tuple located at unknown node " +
+                              std::to_string(node));
+  }
+  if (!dbs_[node].Insert(t)) {
+    return Status::OK();  // already present: no state change, no broadcast
+  }
+  if (replay_log_ != nullptr) {
+    replay_log_->RecordSlowInsert(queue_->now(), t);
+  }
+  if (recorder_ != nullptr && recorder_->OnSlowInsert(node, t)) {
+    // §5.5: broadcast a sig so every node resets its equivalence cache.
+    Message sig;
+    sig.kind = MessageKind::kControl;
+    network_->Broadcast(node, std::move(sig));
+  }
+  return Status::OK();
+}
+
+Status System::DeleteSlowTuple(const Tuple& t) {
+  NodeId node = t.Location();
+  if (node < 0 || node >= topology_->num_nodes()) {
+    return Status::OutOfRange("tuple located at unknown node " +
+                              std::to_string(node));
+  }
+  if (!dbs_[node].Erase(t)) {
+    return Status::NotFound("tuple not present: " + t.ToString());
+  }
+  if (replay_log_ != nullptr) {
+    replay_log_->RecordSlowDelete(queue_->now(), t);
+  }
+  // Deletions never invalidate stored provenance (§5.5): provenance is
+  // monotone execution history.
+  if (recorder_ != nullptr) recorder_->OnSlowDelete(node, t);
+  return Status::OK();
+}
+
+Status System::ScheduleInject(const Tuple& event, SimTime when) {
+  if (event.relation() != program_->input_event_relation()) {
+    return Status::InvalidArgument(
+        "injected relation " + event.relation() +
+        " is not the program's input event relation " +
+        program_->input_event_relation());
+  }
+  NodeId node = event.Location();
+  if (node < 0 || node >= topology_->num_nodes()) {
+    return Status::OutOfRange("event located at unknown node " +
+                              std::to_string(node));
+  }
+  if (replay_log_ != nullptr) {
+    replay_log_->RecordInject(when, event);
+  }
+  queue_->ScheduleAt(when, [this, event, node]() {
+    ++stats_.events_injected;
+    ProvMeta meta;
+    if (recorder_ != nullptr) meta = recorder_->OnInject(node, event);
+    ProcessEvent(node, event, meta);
+  });
+  return Status::OK();
+}
+
+void System::ProcessEvent(NodeId node, const Tuple& tuple,
+                          const ProvMeta& meta) {
+  std::vector<const Rule*> rules = program_->RulesTriggeredBy(tuple.relation());
+  for (const Rule* rule : rules) {
+    Result<std::vector<RuleFiring>> firings =
+        FireRule(*rule, tuple, dbs_[node], functions_);
+    if (!firings.ok()) {
+      DPC_LOG(Error) << "rule " << rule->id
+                     << " failed: " << firings.status().ToString();
+      continue;
+    }
+    for (const RuleFiring& f : *firings) {
+      ++stats_.rule_firings;
+      ProvMeta head_meta = meta;
+      if (recorder_ != nullptr) {
+        head_meta = recorder_->OnRuleFired(node, *rule, tuple, meta,
+                                           f.slow_tuples, f.head);
+      }
+      NodeId head_loc = f.head.Location();
+      bool head_is_event =
+          !program_->RulesTriggeredBy(f.head.relation()).empty();
+      if (head_is_event) {
+        // The pipeline continues: ship (or locally deliver) the new event.
+        SendEvent(node, f.head, head_meta);
+      } else if (head_loc == node) {
+        EmitOutput(node, f.head, head_meta);
+      } else {
+        // Terminal output materialized remotely (e.g. DNS r4's reply).
+        SendEvent(node, f.head, head_meta);
+      }
+    }
+  }
+}
+
+void System::EmitOutput(NodeId node, const Tuple& tuple,
+                        const ProvMeta& meta) {
+  ++stats_.outputs;
+  dbs_[node].Insert(tuple);
+  if (recorder_ != nullptr) recorder_->OnOutput(node, tuple, meta);
+  outputs_[node].push_back(OutputRecord{tuple, meta, queue_->now()});
+  if (output_callback_) output_callback_(node, outputs_[node].back());
+}
+
+std::vector<uint8_t> System::EncodeEventPayload(const Tuple& tuple,
+                                                const ProvMeta& meta) const {
+  ByteWriter w;
+  tuple.Serialize(w);
+  if (recorder_ != nullptr) recorder_->SerializeMeta(meta, w);
+  return w.Take();
+}
+
+void System::SendEvent(NodeId from, const Tuple& tuple,
+                       const ProvMeta& meta) {
+  Message msg;
+  msg.kind = MessageKind::kEvent;
+  msg.src = from;
+  msg.dst = tuple.Location();
+  msg.payload = EncodeEventPayload(tuple, meta);
+  network_->Send(std::move(msg));
+}
+
+void System::HandleMessage(const Message& msg) {
+  switch (msg.kind) {
+    case MessageKind::kControl: {
+      ++stats_.control_signals;
+      if (recorder_ != nullptr) recorder_->OnControlSignal(msg.dst);
+      return;
+    }
+    case MessageKind::kEvent: {
+      ByteReader r(msg.payload);
+      Result<Tuple> tuple = Tuple::Deserialize(r);
+      if (!tuple.ok()) {
+        DPC_LOG(Error) << "bad event payload: " << tuple.status().ToString();
+        return;
+      }
+      ProvMeta meta;
+      if (recorder_ != nullptr) {
+        Result<ProvMeta> m = recorder_->DeserializeMeta(r);
+        if (!m.ok()) {
+          DPC_LOG(Error) << "bad meta payload: " << m.status().ToString();
+          return;
+        }
+        meta = std::move(m).value();
+      }
+      NodeId node = msg.dst;
+      if (!program_->RulesTriggeredBy(tuple->relation()).empty()) {
+        ProcessEvent(node, *tuple, meta);
+      } else {
+        EmitOutput(node, *tuple, meta);
+      }
+      return;
+    }
+    case MessageKind::kQuery:
+      DPC_LOG(Warning) << "unexpected query message in System";
+      return;
+  }
+}
+
+std::vector<OutputRecord> System::AllOutputs() const {
+  std::vector<OutputRecord> out;
+  for (const auto& per_node : outputs_) {
+    out.insert(out.end(), per_node.begin(), per_node.end());
+  }
+  return out;
+}
+
+}  // namespace dpc

@@ -1,0 +1,117 @@
+// System: the distributed DELP runtime (§3.1). One Program runs at every
+// node of a Topology; events injected at a node trigger rules by pipelined
+// semi-naïve evaluation, and derived head tuples travel as network messages
+// to the node named by their location specifier. A ProvenanceRecorder
+// observes every injection / rule firing / output and maintains the
+// provenance storage under its scheme.
+#ifndef DPC_RUNTIME_SYSTEM_H_
+#define DPC_RUNTIME_SYSTEM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/recorder.h"
+#include "src/db/table.h"
+#include "src/ndlog/eval.h"
+#include "src/ndlog/program.h"
+#include "src/net/event_queue.h"
+#include "src/net/network.h"
+#include "src/runtime/replay.h"
+#include "src/util/result.h"
+
+namespace dpc {
+
+// A terminal output tuple together with the provenance metadata it arrived
+// with (used by tests and provenance queries).
+struct OutputRecord {
+  Tuple tuple;
+  ProvMeta meta;
+  SimTime time = 0;
+};
+
+struct SystemStats {
+  uint64_t events_injected = 0;
+  uint64_t rule_firings = 0;
+  uint64_t outputs = 0;
+  uint64_t control_signals = 0;
+};
+
+class System {
+ public:
+  // All pointers must outlive the System. The recorder may be null (run
+  // without provenance).
+  System(const Program* program, const Topology* topology, Network* network,
+         EventQueue* queue, FunctionRegistry functions,
+         ProvenanceRecorder* recorder);
+
+  // --- state management -----------------------------------------------
+
+  // Inserts a slow-changing (base) tuple into its node's database. If the
+  // recorder requests it (§5.5), broadcasts a sig control message.
+  Status InsertSlowTuple(const Tuple& t);
+  Status DeleteSlowTuple(const Tuple& t);
+
+  // --- execution --------------------------------------------------------
+
+  // Schedules the injection of `event` (a tuple of the program's input
+  // event relation, located at its injection node) at simulated time
+  // `when`.
+  Status ScheduleInject(const Tuple& event, SimTime when);
+
+  // Runs the simulation until the queue drains (bounded by `max_events`).
+  void Run(size_t max_events = 0) { queue_->RunAll(max_events); }
+  void RunUntil(SimTime t) { queue_->RunUntil(t); }
+
+  // --- observation -------------------------------------------------------
+
+  Database& DbAt(NodeId node) { return dbs_[node]; }
+  const Database& DbAt(NodeId node) const { return dbs_[node]; }
+
+  const std::vector<OutputRecord>& OutputsAt(NodeId node) const {
+    return outputs_[node];
+  }
+  std::vector<OutputRecord> AllOutputs() const;
+
+  // Invoked on every terminal output (after the recorder hook).
+  void SetOutputCallback(std::function<void(NodeId, const OutputRecord&)> cb) {
+    output_callback_ = std::move(cb);
+  }
+
+  // When set, every non-deterministic input (slow-table operation, event
+  // injection) is appended to `log` for §3.2-style replay. Must outlive
+  // the System.
+  void SetReplayLog(ReplayLog* log) { replay_log_ = log; }
+
+  const SystemStats& stats() const { return stats_; }
+  const Program& program() const { return *program_; }
+  const FunctionRegistry& functions() const { return functions_; }
+  ProvenanceRecorder* recorder() const { return recorder_; }
+  const Topology& topology() const { return *topology_; }
+  EventQueue& queue() { return *queue_; }
+
+ private:
+  void HandleMessage(const Message& msg);
+  void ProcessEvent(NodeId node, const Tuple& tuple, const ProvMeta& meta);
+  void EmitOutput(NodeId node, const Tuple& tuple, const ProvMeta& meta);
+  void SendEvent(NodeId from, const Tuple& tuple, const ProvMeta& meta);
+  std::vector<uint8_t> EncodeEventPayload(const Tuple& tuple,
+                                          const ProvMeta& meta) const;
+
+  const Program* program_;
+  const Topology* topology_;
+  Network* network_;
+  EventQueue* queue_;
+  FunctionRegistry functions_;
+  ProvenanceRecorder* recorder_;
+
+  ReplayLog* replay_log_ = nullptr;
+  std::vector<Database> dbs_;
+  std::vector<std::vector<OutputRecord>> outputs_;
+  std::function<void(NodeId, const OutputRecord&)> output_callback_;
+  SystemStats stats_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_RUNTIME_SYSTEM_H_

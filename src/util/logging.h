@@ -1,0 +1,75 @@
+// Minimal leveled logging + check macros. Hot paths use DPC_DCHECK (debug
+// only); invariant violations in release builds abort with a message.
+#ifndef DPC_UTIL_LOGGING_H_
+#define DPC_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace dpc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global minimum level; messages below it are discarded.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace dpc
+
+#define DPC_LOG(level)                                                 \
+  if (::dpc::LogLevel::k##level < ::dpc::GetLogLevel()) {              \
+  } else                                                               \
+    ::dpc::internal::LogMessage(::dpc::LogLevel::k##level, __FILE__,   \
+                                __LINE__)                              \
+        .stream()
+
+#define DPC_CHECK(cond)                                              \
+  if (cond) {                                                        \
+  } else                                                             \
+    ::dpc::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#ifdef NDEBUG
+#define DPC_DCHECK(cond) \
+  if (true) {            \
+  } else                 \
+    ::dpc::internal::NullStream()
+#else
+#define DPC_DCHECK(cond) DPC_CHECK(cond)
+#endif
+
+#endif  // DPC_UTIL_LOGGING_H_

@@ -1,0 +1,68 @@
+// Result<T>: a value-or-Status type in the style of arrow::Result.
+#ifndef DPC_UTIL_RESULT_H_
+#define DPC_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/util/status.h"
+
+namespace dpc {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions from both T and Status make `return value;` and
+  // `return Status::...;` both work inside functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value, or `alt` if this Result holds an error.
+  T ValueOr(T alt) const& { return ok() ? *value_ : std::move(alt); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dpc
+
+// Assigns the value of a Result expression to `lhs`, or propagates its error.
+#define DPC_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#define DPC_ASSIGN_OR_RETURN(lhs, rexpr) \
+  DPC_ASSIGN_OR_RETURN_IMPL(             \
+      DPC_CONCAT_(_dpc_result_, __LINE__), lhs, rexpr)
+
+#define DPC_CONCAT_INNER_(a, b) a##b
+#define DPC_CONCAT_(a, b) DPC_CONCAT_INNER_(a, b)
+
+#endif  // DPC_UTIL_RESULT_H_

@@ -1,0 +1,79 @@
+#include "src/util/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dpc {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  // xoshiro256**
+  uint64_t result = RotL(s_[1] * 5, 7) * 9;
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = RotL(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - n) % n;
+  while (true) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBelow(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+ZipfGenerator::ZipfGenerator(size_t n, double theta, uint64_t seed)
+    : rng_(seed), cdf_(n) {
+  assert(n > 0);
+  double sum = 0;
+  for (size_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[k] = sum;
+  }
+  for (size_t k = 0; k < n; ++k) cdf_[k] /= sum;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfGenerator::Next() {
+  double u = rng_.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace dpc

@@ -1,0 +1,58 @@
+// Deterministic PRNG (splitmix64-seeded xoshiro256**) and the Zipfian
+// sampler used by the DNS workload (the paper cites Jung et al.: requested
+// domain names follow a Zipf distribution).
+#ifndef DPC_UTIL_RNG_H_
+#define DPC_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dpc {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  uint64_t Next();
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Shuffles `v` in place (Fisher-Yates).
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+// Samples ranks 0..n-1 with P(k) proportional to 1/(k+1)^theta.
+// Precomputes the CDF once; sampling is O(log n).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(size_t n, double theta, uint64_t seed);
+
+  size_t Next();
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_UTIL_RNG_H_

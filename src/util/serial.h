@@ -1,0 +1,149 @@
+// Compact binary serialization used both as the wire format for simulated
+// messages and as the storage format whose size the experiments measure
+// (the paper used boost::serialization for the same purpose).
+//
+// Encoding: fixed-width little-endian integers for u8/u32/u64, LEB128-style
+// varints for lengths and general integers, length-prefixed byte strings.
+#ifndef DPC_UTIL_SERIAL_H_
+#define DPC_UTIL_SERIAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/sha1.h"
+#include "src/util/status.h"
+
+namespace dpc {
+
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  // Unsigned LEB128 varint.
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  // Zigzag-encoded signed varint.
+  void PutVarintSigned(int64_t v) {
+    PutVarint((static_cast<uint64_t>(v) << 1) ^
+              static_cast<uint64_t>(v >> 63));
+  }
+
+  // Length-prefixed byte string.
+  void PutString(std::string_view sv) {
+    PutVarint(sv.size());
+    buf_.insert(buf_.end(), sv.begin(), sv.end());
+  }
+
+  void PutDigest(const Sha1Digest& d) {
+    buf_.insert(buf_.end(), d.bytes.begin(), d.bytes.end());
+  }
+
+  void PutBool(bool b) { PutU8(b ? 1 : 0); }
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<uint8_t>& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint8_t> GetU8() {
+    if (pos_ + 1 > size_) return Truncated("u8");
+    return data_[pos_++];
+  }
+
+  Result<uint32_t> GetU32() {
+    if (pos_ + 4 > size_) return Truncated("u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  Result<uint64_t> GetU64() {
+    if (pos_ + 8 > size_) return Truncated("u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  Result<uint64_t> GetVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= size_) return Truncated("varint");
+      if (shift > 63) return Status::ParseError("varint too long");
+      uint8_t b = data_[pos_++];
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) break;
+      shift += 7;
+    }
+    return v;
+  }
+
+  Result<int64_t> GetVarintSigned() {
+    DPC_ASSIGN_OR_RETURN(uint64_t z, GetVarint());
+    return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  Result<std::string> GetString() {
+    DPC_ASSIGN_OR_RETURN(uint64_t len, GetVarint());
+    if (pos_ + len > size_) return Truncated("string body");
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return s;
+  }
+
+  Result<Sha1Digest> GetDigest() {
+    if (pos_ + 20 > size_) return Truncated("digest");
+    Sha1Digest d;
+    std::memcpy(d.bytes.data(), data_ + pos_, 20);
+    pos_ += 20;
+    return d;
+  }
+
+  Result<bool> GetBool() {
+    DPC_ASSIGN_OR_RETURN(uint8_t b, GetU8());
+    return b != 0;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Status Truncated(const char* what) {
+    return Status::ParseError(std::string("truncated input reading ") + what);
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_UTIL_SERIAL_H_

@@ -1,0 +1,160 @@
+#include "src/util/sha1.h"
+
+#include <cstring>
+
+namespace dpc {
+
+namespace {
+
+inline uint32_t RotL(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+}  // namespace
+
+uint64_t Sha1Digest::Prefix64() const {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::string Sha1Digest::ToHex(size_t truncate) const {
+  size_t n = (truncate == 0 || truncate > bytes.size()) ? bytes.size()
+                                                        : truncate;
+  std::string out;
+  out.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(kHexDigits[bytes[i] >> 4]);
+    out.push_back(kHexDigits[bytes[i] & 0xf]);
+  }
+  return out;
+}
+
+bool Sha1Digest::IsZero() const {
+  for (uint8_t b : bytes) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+Sha1::Sha1() { Reset(); }
+
+void Sha1::Reset() {
+  h_[0] = 0x67452301;
+  h_[1] = 0xEFCDAB89;
+  h_[2] = 0x98BADCFE;
+  h_[3] = 0x10325476;
+  h_[4] = 0xC3D2E1F0;
+  total_len_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha1::Update(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  total_len_ += len;
+  if (buffer_len_ > 0) {
+    size_t take = std::min(len, sizeof(buffer_) - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == sizeof(buffer_)) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, p, len);
+    buffer_len_ = len;
+  }
+}
+
+void Sha1::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
+           (static_cast<uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = RotL(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    uint32_t tmp = RotL(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = RotL(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+Sha1Digest Sha1::Finish() {
+  uint64_t bit_len = total_len_ * 8;
+  // Padding: 0x80, zeros, then 64-bit big-endian bit length.
+  uint8_t pad = 0x80;
+  Update(&pad, 1);
+  uint8_t zero = 0;
+  while (buffer_len_ != 56) {
+    Update(&zero, 1);
+  }
+  uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  // Write the length bytes directly: Update would perturb total_len_, which
+  // no longer matters, but must not re-pad.
+  std::memcpy(buffer_ + 56, len_bytes, 8);
+  ProcessBlock(buffer_);
+  buffer_len_ = 0;
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest.bytes[4 * i] = static_cast<uint8_t>(h_[i] >> 24);
+    digest.bytes[4 * i + 1] = static_cast<uint8_t>(h_[i] >> 16);
+    digest.bytes[4 * i + 2] = static_cast<uint8_t>(h_[i] >> 8);
+    digest.bytes[4 * i + 3] = static_cast<uint8_t>(h_[i]);
+  }
+  return digest;
+}
+
+Sha1Digest Sha1::Hash(std::string_view data) {
+  return Hash(data.data(), data.size());
+}
+
+Sha1Digest Sha1::Hash(const void* data, size_t len) {
+  Sha1 hasher;
+  hasher.Update(data, len);
+  return hasher.Finish();
+}
+
+}  // namespace dpc

@@ -1,0 +1,71 @@
+// From-scratch SHA-1 (FIPS 180-1). The paper's storage model identifies
+// tuples (VIDs) and rule executions (RIDs) by SHA-1 digests; we reproduce
+// that faithfully so serialized table sizes match the paper's accounting.
+#ifndef DPC_UTIL_SHA1_H_
+#define DPC_UTIL_SHA1_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dpc {
+
+// A 160-bit SHA-1 digest. Hashable and totally ordered so it can key
+// standard containers.
+struct Sha1Digest {
+  std::array<uint8_t, 20> bytes{};
+
+  bool operator==(const Sha1Digest& other) const = default;
+  auto operator<=>(const Sha1Digest& other) const = default;
+
+  // First 8 bytes as a little-endian integer; used as a cheap in-memory
+  // hash-table key. The full digest is what gets serialized.
+  uint64_t Prefix64() const;
+
+  // Lowercase hex, e.g. "da39a3ee...". `truncate` limits the output to the
+  // first `truncate` bytes (0 = full digest) for compact display.
+  std::string ToHex(size_t truncate = 0) const;
+
+  bool IsZero() const;
+};
+
+// Incremental SHA-1 hasher.
+class Sha1 {
+ public:
+  Sha1();
+
+  // Appends `data` to the message.
+  void Update(const void* data, size_t len);
+  void Update(std::string_view sv) { Update(sv.data(), sv.size()); }
+
+  // Finalizes and returns the digest. The hasher must not be reused
+  // afterwards without calling Reset().
+  Sha1Digest Finish();
+
+  void Reset();
+
+  // One-shot convenience.
+  static Sha1Digest Hash(std::string_view data);
+  static Sha1Digest Hash(const void* data, size_t len);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t h_[5];
+  uint64_t total_len_ = 0;
+  uint8_t buffer_[64];
+  size_t buffer_len_ = 0;
+};
+
+// std::hash support for Sha1Digest.
+struct Sha1DigestHash {
+  size_t operator()(const Sha1Digest& d) const {
+    return static_cast<size_t>(d.Prefix64());
+  }
+};
+
+}  // namespace dpc
+
+#endif  // DPC_UTIL_SHA1_H_

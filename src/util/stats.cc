@@ -1,0 +1,98 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace dpc {
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::FractionAtOrBelow(double x) const {
+  if (sorted_.empty()) return 0;
+  auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Cdf::Quantile(double q) const {
+  assert(!sorted_.empty());
+  q = std::clamp(q, 0.0, 1.0);
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted_.size())));
+  if (rank > 0) --rank;
+  return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
+double Cdf::Min() const {
+  assert(!sorted_.empty());
+  return sorted_.front();
+}
+
+double Cdf::Max() const {
+  assert(!sorted_.empty());
+  return sorted_.back();
+}
+
+double Cdf::Mean() const {
+  if (sorted_.empty()) return 0;
+  return std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+         static_cast<double>(sorted_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::Curve(size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || points < 2) return out;
+  double lo = Min(), hi = Max();
+  for (size_t i = 0; i < points; ++i) {
+    double x = lo + (hi - lo) * static_cast<double>(i) /
+                        static_cast<double>(points - 1);
+    out.emplace_back(x, FractionAtOrBelow(x));
+  }
+  return out;
+}
+
+double TimeSeries::GrowthRate() const {
+  assert(times.size() >= 2);
+  double n = static_cast<double>(times.size());
+  double sum_t = std::accumulate(times.begin(), times.end(), 0.0);
+  double sum_v = std::accumulate(values.begin(), values.end(), 0.0);
+  double sum_tt = 0, sum_tv = 0;
+  for (size_t i = 0; i < times.size(); ++i) {
+    sum_tt += times[i] * times[i];
+    sum_tv += times[i] * values[i];
+  }
+  double denom = n * sum_tt - sum_t * sum_t;
+  if (denom == 0) return 0;
+  return (n * sum_tv - sum_t * sum_v) / denom;
+}
+
+std::string FormatBytes(double bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bytes, units[u]);
+  return buf;
+}
+
+std::string FormatBitRate(double bits_per_sec) {
+  const char* units[] = {"bps", "Kbps", "Mbps", "Gbps"};
+  int u = 0;
+  while (bits_per_sec >= 1000.0 && u < 3) {
+    bits_per_sec /= 1000.0;
+    ++u;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", bits_per_sec, units[u]);
+  return buf;
+}
+
+}  // namespace dpc

@@ -1,0 +1,63 @@
+// Small statistics helpers for the evaluation harness: CDFs (the paper's
+// Figures 8, 12, 13), percentiles, means, and time-series growth rates.
+#ifndef DPC_UTIL_STATS_H_
+#define DPC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dpc {
+
+// Empirical cumulative distribution over a sample set.
+class Cdf {
+ public:
+  explicit Cdf(std::vector<double> samples);
+
+  // Fraction of samples <= x, in [0, 1].
+  double FractionAtOrBelow(double x) const;
+
+  // Value at quantile q in [0, 1] (nearest-rank).
+  double Quantile(double q) const;
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double Median() const { return Quantile(0.5); }
+
+  size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+  // Evenly spaced (value, fraction) points suitable for printing a CDF
+  // curve; `points` >= 2.
+  std::vector<std::pair<double, double>> Curve(size_t points) const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// (time, value) series; used for storage-growth and bandwidth figures.
+struct TimeSeries {
+  std::vector<double> times;   // seconds
+  std::vector<double> values;  // bytes, bytes/s, ...
+
+  void Add(double t, double v) {
+    times.push_back(t);
+    values.push_back(v);
+  }
+
+  // Least-squares slope (value units per second). Requires >= 2 points.
+  double GrowthRate() const;
+
+  size_t size() const { return times.size(); }
+};
+
+// Formats a byte count as a human-readable string ("11.8 GB").
+std::string FormatBytes(double bytes);
+
+// Formats a rate in bits/second ("30.0 Mbps").
+std::string FormatBitRate(double bits_per_sec);
+
+}  // namespace dpc
+
+#endif  // DPC_UTIL_STATS_H_

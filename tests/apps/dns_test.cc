@@ -1,0 +1,163 @@
+// DNS application helpers: universe generation, state installation,
+// workloads.
+#include "src/apps/dns.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/apps/experiments.h"
+#include "src/apps/testbed.h"
+#include "src/ndlog/functions.h"
+
+namespace dpc {
+namespace {
+
+TEST(DnsProgramTest, ParsesFourRules) {
+  auto p = apps::MakeDnsProgram();
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->rules().size(), 4u);
+  EXPECT_TRUE(p->IsOfInterest("reply"));
+}
+
+TEST(DnsUniverseTest, PaperConfiguration) {
+  apps::DnsUniverse u = apps::MakeDnsUniverse();
+  EXPECT_EQ(u.servers.size(), 100u);
+  EXPECT_EQ(u.urls.size(), 38u);
+  EXPECT_GE(u.max_depth, 27);
+  EXPECT_TRUE(u.graph.IsConnected());
+  // Clients are co-located on distinct non-root servers by default.
+  EXPECT_EQ(u.clients.size(), 99u);
+  std::set<NodeId> client_set(u.clients.begin(), u.clients.end());
+  EXPECT_EQ(client_set.size(), u.clients.size());
+  EXPECT_EQ(client_set.count(u.root_server), 0u);
+}
+
+TEST(DnsUniverseTest, DomainsAreSuffixNested) {
+  apps::DnsUniverse u = apps::MakeDnsUniverse();
+  EXPECT_EQ(u.domains[0], "");  // root
+  for (size_t i = 1; i < u.servers.size(); ++i) {
+    int parent = u.parents[i];
+    ASSERT_GE(parent, 0);
+    // A child's domain is a sub-domain of (strictly below) its parent's.
+    EXPECT_TRUE(IsSubDomain(u.domains[parent], u.domains[i]))
+        << u.domains[i] << " under " << u.domains[parent];
+    EXPECT_NE(u.domains[i], u.domains[parent]);
+    // Tree edges exist in the graph.
+    EXPECT_TRUE(u.graph.HasLink(u.servers[parent], u.servers[i]));
+  }
+}
+
+TEST(DnsUniverseTest, UrlsBelongToTheirHolders) {
+  apps::DnsUniverse u = apps::MakeDnsUniverse();
+  for (size_t k = 0; k < u.urls.size(); ++k) {
+    EXPECT_TRUE(IsSubDomain(u.domains[u.url_holders[k]], u.urls[k]))
+        << u.urls[k];
+  }
+}
+
+TEST(DnsUniverseTest, UrlsAreDistinct) {
+  apps::DnsUniverse u = apps::MakeDnsUniverse();
+  std::set<std::string> urls(u.urls.begin(), u.urls.end());
+  EXPECT_EQ(urls.size(), u.urls.size());
+}
+
+TEST(DnsUniverseTest, DedicatedClientMode) {
+  apps::DnsParams params;
+  params.colocate_clients = false;
+  params.num_clients = 7;
+  apps::DnsUniverse u = apps::MakeDnsUniverse(params);
+  EXPECT_EQ(u.graph.num_nodes(), 107);
+  EXPECT_EQ(u.clients.size(), 7u);
+  EXPECT_TRUE(u.graph.IsConnected());
+}
+
+TEST(DnsUniverseTest, DeterministicForSeed) {
+  apps::DnsUniverse a = apps::MakeDnsUniverse();
+  apps::DnsUniverse b = apps::MakeDnsUniverse();
+  EXPECT_EQ(a.domains, b.domains);
+  EXPECT_EQ(a.urls, b.urls);
+  EXPECT_EQ(a.clients, b.clients);
+}
+
+TEST(DnsInstallTest, InsertsAllSlowState) {
+  apps::DnsParams params;
+  params.num_servers = 15;
+  params.num_clients = 3;
+  params.num_urls = 5;
+  params.trunk_depth = 4;
+  apps::DnsUniverse u = apps::MakeDnsUniverse(params);
+
+  auto program = apps::MakeDnsProgram();
+  ASSERT_TRUE(program.ok());
+  auto bed = apps::Testbed::Create(std::move(program).value(), &u.graph,
+                                   apps::Scheme::kReference);
+  ASSERT_TRUE(bed.ok());
+  ASSERT_TRUE(apps::InstallDnsState((*bed)->system(), u).ok());
+
+  // Every client knows the root.
+  for (NodeId client : u.clients) {
+    EXPECT_TRUE((*bed)->system().DbAt(client).Contains(
+        Tuple::Make("rootServer", client, {Value::Int(u.root_server)})));
+  }
+  // Every non-root server is delegated from its parent.
+  for (size_t i = 1; i < u.servers.size(); ++i) {
+    EXPECT_TRUE((*bed)->system().DbAt(u.servers[u.parents[i]]).Contains(
+        Tuple::Make("nameServer", u.servers[u.parents[i]],
+                    {Value::Str(u.domains[i]), Value::Int(u.servers[i])})));
+  }
+  // Every URL has an address record at its holder.
+  for (size_t k = 0; k < u.urls.size(); ++k) {
+    const Table* records =
+        (*bed)->system().DbAt(u.servers[u.url_holders[k]]).Find(
+            "addressRecord");
+    ASSERT_NE(records, nullptr);
+    bool found = false;
+    records->ForEach([&](const Tuple& t) {
+      if (t.at(1) == Value::Str(u.urls[k])) found = true;
+      return true;
+    });
+    EXPECT_TRUE(found) << u.urls[k];
+  }
+}
+
+TEST(DnsWorkloadTest, RespectsCountRateAndUrlCap) {
+  apps::DnsUniverse u = apps::MakeDnsUniverse();
+  auto items = apps::MakeDnsWorkload(u, 100, 50, 0.9, 1, /*num_urls=*/3);
+  EXPECT_EQ(items.size(), 100u);
+  std::set<std::string> used;
+  for (size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].event.relation(), "url");
+    EXPECT_NEAR(items[i].time_s, static_cast<double>(i) / 50, 1e-9);
+    used.insert(items[i].event.at(1).AsString());
+  }
+  EXPECT_LE(used.size(), 3u);
+}
+
+TEST(DnsWorkloadTest, RequestIdsAreUnique) {
+  apps::DnsUniverse u = apps::MakeDnsUniverse();
+  auto items = apps::MakeDnsWorkload(u, 50, 50, 0.9, 1);
+  std::set<int64_t> ids;
+  for (const auto& item : items) ids.insert(item.event.at(2).AsInt());
+  EXPECT_EQ(ids.size(), 50u);
+}
+
+TEST(DnsExperimentTest, EveryRequestResolves) {
+  apps::DnsParams params;
+  params.num_servers = 20;
+  params.num_clients = 4;
+  params.num_urls = 6;
+  params.trunk_depth = 6;
+  apps::DnsUniverse u = apps::MakeDnsUniverse(params);
+  auto items = apps::MakeDnsWorkload(u, 60, 30, 0.9, 1);
+  apps::ExperimentConfig config;
+  config.duration_s = 3;
+  config.snapshot_interval_s = 1;
+  auto res = apps::RunDns(apps::Scheme::kAdvanced, u, items, config);
+  EXPECT_EQ(res.events_injected, 60u);
+  EXPECT_EQ(res.outputs, 60u);
+  EXPECT_GT(res.final_storage.Total(), 0u);
+}
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,153 @@
+// §5.5 on the DNS application: re-homing a URL's address record
+// mid-stream. Historical resolutions keep their original provenance; new
+// resolutions reflect the new holder, including for equivalence classes
+// that existed before the change.
+#include <gtest/gtest.h>
+
+#include "src/apps/dns.h"
+#include "src/apps/testbed.h"
+#include "src/core/query.h"
+#include "src/runtime/replay.h"
+
+namespace dpc {
+namespace {
+
+using apps::Scheme;
+using apps::Testbed;
+
+class DnsUpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    apps::DnsParams params;
+    params.num_servers = 16;
+    params.num_clients = 3;
+    params.num_urls = 4;
+    params.trunk_depth = 5;
+    universe_ = apps::MakeDnsUniverse(params);
+    auto program = apps::MakeDnsProgram();
+    ASSERT_TRUE(program.ok());
+    program_ = std::make_unique<Program>(std::move(program).value());
+    auto bed = Testbed::Create(*program_, &universe_.graph,
+                               Scheme::kAdvanced);
+    ASSERT_TRUE(bed.ok());
+    bed_ = std::move(bed).value();
+    bed_->system().SetReplayLog(&log_);
+    ASSERT_TRUE(apps::InstallDnsState(bed_->system(), universe_).ok());
+    bed_->system().Run();
+  }
+
+  Tuple AddressRecord(int url_index, NodeId holder) {
+    int64_t ip = 0x0A000000 + static_cast<int64_t>(url_index);
+    return Tuple::Make("addressRecord", holder,
+                       {Value::Str(universe_.urls[url_index]),
+                        Value::Int(ip)});
+  }
+
+  apps::DnsUniverse universe_;
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<Testbed> bed_;
+  ReplayLog log_;
+};
+
+TEST_F(DnsUpdateTest, RehomedUrlKeepsHistoryAndServesNewChain) {
+  System& sys = bed_->system();
+  NodeId client = universe_.clients[0];
+  const std::string& url = universe_.urls[0];
+  NodeId old_holder = universe_.servers[universe_.url_holders[0]];
+
+  // Resolve twice before the change (the second hit is existFlag=true).
+  ASSERT_TRUE(
+      sys.ScheduleInject(apps::MakeUrlEvent(client, url, 1), 1.0).ok());
+  ASSERT_TRUE(
+      sys.ScheduleInject(apps::MakeUrlEvent(client, url, 2), 2.0).ok());
+  sys.Run();
+  ASSERT_EQ(sys.OutputsAt(client).size(), 2u);
+
+  // Re-home the URL: the record moves from its holder to that holder's
+  // parent (always present: holders are non-root).
+  int old_idx = universe_.url_holders[0];
+  NodeId new_holder = universe_.servers[universe_.parents[old_idx]];
+  ASSERT_NE(new_holder, old_holder);
+  ASSERT_TRUE(sys.DeleteSlowTuple(AddressRecord(0, old_holder)).ok());
+  ASSERT_TRUE(sys.InsertSlowTuple(AddressRecord(0, new_holder)).ok());
+  sys.Run();
+
+  // Resolve again after the change: same equivalence class (client, url).
+  ASSERT_TRUE(
+      sys.ScheduleInject(apps::MakeUrlEvent(client, url, 3), 10.0).ok());
+  sys.Run();
+  ASSERT_EQ(sys.OutputsAt(client).size(), 3u);
+
+  auto querier = bed_->MakeQuerier();
+  auto holder_of = [](const ProvTree& tree) {
+    // The r3 (addressRecord join) firing location.
+    for (const ProvStep& step : tree.steps()) {
+      if (step.rule_id == "r3") {
+        return step.slow_tuples.at(0).Location();
+      }
+    }
+    return kNullNode;
+  };
+
+  // Historical resolutions answer with the OLD holder.
+  for (int64_t rqid : {1, 2}) {
+    const OutputRecord& out = sys.OutputsAt(client)[rqid - 1];
+    Vid evid = out.meta.evid;
+    auto res = querier->Query(out.tuple, &evid);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    ASSERT_EQ(res->trees.size(), 1u);
+    EXPECT_EQ(holder_of(res->trees[0]), old_holder) << "rqid " << rqid;
+  }
+  // The post-update resolution answers with the NEW holder even though its
+  // equivalence class predates the change (§5.5's cache reset).
+  {
+    const OutputRecord& out = sys.OutputsAt(client)[2];
+    Vid evid = out.meta.evid;
+    auto res = querier->Query(out.tuple, &evid);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    ASSERT_EQ(res->trees.size(), 1u);
+    EXPECT_EQ(holder_of(res->trees[0]), new_holder);
+  }
+}
+
+TEST_F(DnsUpdateTest, ReplayCoversNonInterestRequestTuples) {
+  System& sys = bed_->system();
+  NodeId client = universe_.clients[1];
+  const std::string& url = universe_.urls[1];
+  ASSERT_TRUE(
+      sys.ScheduleInject(apps::MakeUrlEvent(client, url, 7), 1.0).ok());
+  sys.Run();
+  ASSERT_EQ(sys.OutputsAt(client).size(), 1u);
+
+  // The intermediate `request` tuple at the root nameserver has no prov
+  // row anywhere; §3.2 replay reconstructs its derivation.
+  Tuple root_request = Tuple::Make(
+      "request", universe_.root_server,
+      {Value::Str(url), Value::Int(client), Value::Int(7)});
+  Replayer replayer(program_.get(), &universe_.graph);
+  auto trees = replayer.ProvenanceOf(log_, root_request);
+  ASSERT_TRUE(trees.ok()) << trees.status().ToString();
+  ASSERT_EQ(trees->size(), 1u);
+  EXPECT_EQ((*trees)[0].depth(), 1u);  // just r1 at the client
+  EXPECT_EQ((*trees)[0].steps()[0].rule_id, "r1");
+  EXPECT_EQ((*trees)[0].event(), apps::MakeUrlEvent(client, url, 7));
+}
+
+TEST_F(DnsUpdateTest, DelegationInsertionResetsCaches) {
+  System& sys = bed_->system();
+  uint64_t sigs = sys.stats().control_signals;
+  uint64_t epoch = bed_->advanced()->EpochAt(universe_.root_server);
+  // Delegating a brand-new (synthetic) subdomain is a slow-table insert:
+  // every node must receive a sig and bump its epoch.
+  ASSERT_TRUE(sys.InsertSlowTuple(Tuple::Make(
+                     "nameServer", universe_.root_server,
+                     {Value::Str("brandnew"), Value::Int(universe_.servers[1])}))
+                  .ok());
+  sys.Run();
+  EXPECT_EQ(sys.stats().control_signals,
+            sigs + static_cast<uint64_t>(universe_.graph.num_nodes()));
+  EXPECT_EQ(bed_->advanced()->EpochAt(universe_.root_server), epoch + 1);
+}
+
+}  // namespace
+}  // namespace dpc

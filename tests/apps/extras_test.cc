@@ -1,0 +1,197 @@
+// ARP and DHCP as DELPs (§3.1's claim that the model covers them):
+// validation, equivalence keys, end-to-end execution, compression, and
+// query reconstruction under every scheme.
+#include "src/apps/extras.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/testbed.h"
+#include "src/core/equivalence_keys.h"
+#include "src/core/query.h"
+
+namespace dpc {
+namespace {
+
+using apps::Scheme;
+using apps::Testbed;
+
+TEST(ArpProgramTest, ValidatesAsDelp) {
+  auto p = apps::MakeArpProgram();
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->input_event_relation(), "arpQuery");
+  EXPECT_EQ(p->RoleOf("arpReply"), RelationRole::kTerminal);
+  EXPECT_EQ(p->RoleOf("uplink"), RelationRole::kSlowChanging);
+  EXPECT_EQ(p->RoleOf("owner"), RelationRole::kSlowChanging);
+  EXPECT_EQ(p->RoleOf("macOf"), RelationRole::kSlowChanging);
+}
+
+TEST(ArpProgramTest, EquivalenceKeysAreLocationAndIp) {
+  auto p = apps::MakeArpProgram();
+  ASSERT_TRUE(p.ok());
+  auto keys = ComputeEquivalenceKeys(*p);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->indices(), (std::vector<size_t>{0, 1}));
+}
+
+TEST(DhcpProgramTest, ValidatesAsDelp) {
+  auto p = apps::MakeDhcpProgram();
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->input_event_relation(), "dhcpDiscover");
+  EXPECT_EQ(p->RoleOf("dhcpOffer"), RelationRole::kTerminal);
+}
+
+TEST(DhcpProgramTest, EquivalenceKeysAreLocationAndMac) {
+  auto p = apps::MakeDhcpProgram();
+  ASSERT_TRUE(p.ok());
+  auto keys = ComputeEquivalenceKeys(*p);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->indices(), (std::vector<size_t>{0, 1}));
+}
+
+TEST(LanFixtureTest, ShapeAndConnectivity) {
+  apps::LanFixture lan = apps::MakeLan(5);
+  EXPECT_EQ(lan.graph.num_nodes(), 6);
+  EXPECT_EQ(lan.hosts.size(), 5u);
+  EXPECT_TRUE(lan.graph.IsConnected());
+  EXPECT_EQ(lan.graph.Diameter(), 2);  // star
+  EXPECT_EQ(lan.dhcp_server, lan.hosts.back());
+}
+
+class ExtrasSchemeTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(ExtrasSchemeTest, ArpResolvesAndReconstructs) {
+  apps::LanFixture lan = apps::MakeLan(4);
+  auto program = apps::MakeArpProgram();
+  ASSERT_TRUE(program.ok());
+  auto bed = Testbed::Create(std::move(program).value(), &lan.graph,
+                             GetParam());
+  ASSERT_TRUE(bed.ok());
+  ASSERT_TRUE(apps::InstallArpState((*bed)->system(), lan).ok());
+
+  // Host 0 resolves every other host's IP, twice (one equivalence class
+  // per (host, IP), two members each).
+  double t = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 1; i < 4; ++i) {
+      ASSERT_TRUE((*bed)
+                      ->system()
+                      .ScheduleInject(apps::MakeArpQuery(lan.hosts[0],
+                                                         apps::LanIpOfHost(i)),
+                                      t += 0.01)
+                      .ok());
+    }
+  }
+  (*bed)->system().Run();
+
+  ASSERT_EQ((*bed)->system().stats().outputs, 6u);
+  for (const OutputRecord& out : (*bed)->system().OutputsAt(lan.hosts[0])) {
+    ASSERT_EQ(out.tuple.relation(), "arpReply");
+    int64_t ip = out.tuple.at(1).AsInt();
+    EXPECT_EQ(out.tuple.at(2).AsString(),
+              apps::LanMacOfHost(static_cast<int>(ip - 100)));
+  }
+
+  if (GetParam() == Scheme::kReference) return;
+  auto querier = (*bed)->MakeQuerier();
+  Tuple reply = apps::MakeArpReply(lan.hosts[0], apps::LanIpOfHost(2),
+                                   apps::LanMacOfHost(2));
+  auto res = querier->Query(reply);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_GE(res->trees.size(), 1u);
+  const ProvTree& tree = res->trees[0];
+  ASSERT_EQ(tree.depth(), 3u);  // a1, a2, a3
+  EXPECT_EQ(tree.event(),
+            apps::MakeArpQuery(lan.hosts[0], apps::LanIpOfHost(2)));
+  EXPECT_EQ(tree.steps()[0].rule_id, "a1");
+  EXPECT_EQ(tree.steps()[1].rule_id, "a2");
+  EXPECT_EQ(tree.steps()[2].rule_id, "a3");
+}
+
+TEST_P(ExtrasSchemeTest, DhcpOffersCorrectAddresses) {
+  apps::LanFixture lan = apps::MakeLan(4);
+  auto program = apps::MakeDhcpProgram();
+  ASSERT_TRUE(program.ok());
+  auto bed = Testbed::Create(std::move(program).value(), &lan.graph,
+                             GetParam());
+  ASSERT_TRUE(bed.ok());
+  ASSERT_TRUE(apps::InstallDhcpState((*bed)->system(), lan).ok());
+
+  double t = 0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE((*bed)
+                    ->system()
+                    .ScheduleInject(
+                        apps::MakeDhcpDiscover(lan.hosts[i],
+                                               apps::LanMacOfHost(i)),
+                        t += 0.01)
+                    .ok());
+  }
+  (*bed)->system().Run();
+
+  ASSERT_EQ((*bed)->system().stats().outputs, 4u);
+  for (int i = 0; i < 4; ++i) {
+    const auto& outs = (*bed)->system().OutputsAt(lan.hosts[i]);
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_EQ(outs[0].tuple,
+              apps::MakeDhcpOffer(lan.hosts[i], apps::LanMacOfHost(i),
+                                  apps::LanIpOfHost(i)));
+  }
+
+  if (GetParam() == Scheme::kReference) return;
+  auto querier = (*bed)->MakeQuerier();
+  Tuple offer = apps::MakeDhcpOffer(lan.hosts[1], apps::LanMacOfHost(1),
+                                    apps::LanIpOfHost(1));
+  auto res = querier->Query(offer);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_GE(res->trees.size(), 1u);
+  EXPECT_EQ(res->trees[0].depth(), 3u);  // d1, d2, d3
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, ExtrasSchemeTest,
+    ::testing::Values(Scheme::kReference, Scheme::kExspan, Scheme::kBasic,
+                      Scheme::kAdvanced, Scheme::kAdvancedInterClass),
+    [](const auto& info) {
+      std::string name = apps::SchemeName(info.param);
+      for (char& c : name) {
+        if (c == '+') c = '_';
+      }
+      return name;
+    });
+
+TEST(ExtrasCompressionTest, ArpClassesCompressRepeatedQueries) {
+  apps::LanFixture lan = apps::MakeLan(3);
+  auto program = apps::MakeArpProgram();
+  ASSERT_TRUE(program.ok());
+  auto bed = Testbed::Create(std::move(program).value(), &lan.graph,
+                             Scheme::kAdvanced);
+  ASSERT_TRUE(bed.ok());
+  ASSERT_TRUE(apps::InstallArpState((*bed)->system(), lan).ok());
+
+  // The same (host, IP) query 20 times: one shared tree.
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*bed)
+                    ->system()
+                    .ScheduleInject(apps::MakeArpQuery(lan.hosts[0],
+                                                       apps::LanIpOfHost(1)),
+                                    0.01 * (i + 1))
+                    .ok());
+  }
+  (*bed)->system().Run();
+
+  size_t rule_exec_rows = 0;
+  for (NodeId n = 0; n < lan.graph.num_nodes(); ++n) {
+    rule_exec_rows += (*bed)->advanced()->RuleExecAt(n).size();
+  }
+  EXPECT_EQ(rule_exec_rows, 3u);  // a1 + a2 + a3, shared by all 20 queries
+  // Identical queries yield identical output tuples, so even the prov
+  // table collapses to a single row.
+  size_t prov_rows = 0;
+  for (NodeId n = 0; n < lan.graph.num_nodes(); ++n) {
+    prov_rows += (*bed)->advanced()->ProvAt(n).size();
+  }
+  EXPECT_EQ(prov_rows, 1u);
+}
+
+}  // namespace
+}  // namespace dpc

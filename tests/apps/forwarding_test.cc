@@ -1,0 +1,148 @@
+// Packet forwarding application helpers: program text, route installation,
+// workload generation.
+#include "src/apps/forwarding.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/apps/experiments.h"
+#include "src/apps/testbed.h"
+
+namespace dpc {
+namespace {
+
+TEST(ForwardingProgramTest, ParsesAndDesignatesRecv) {
+  auto p = apps::MakeForwardingProgram();
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->rules().size(), 2u);
+  EXPECT_EQ(p->name(), "packet-forwarding");
+  EXPECT_TRUE(p->IsOfInterest("recv"));
+}
+
+TEST(ForwardingTest, TupleConstructors) {
+  EXPECT_EQ(apps::MakeRoute(1, 3, 2).ToString(), "route(@1, 3, 2)");
+  EXPECT_EQ(apps::MakePacket(1, 1, 3, "d").ToString(),
+            "packet(@1, 1, 3, \"d\")");
+  EXPECT_EQ(apps::MakeRecv(3, 1, 3, "d").ToString(),
+            "recv(@3, 1, 3, \"d\")");
+}
+
+TEST(ForwardingTest, InstallRoutesFollowsShortestPath) {
+  TransitStubParams params;
+  params.num_transit = 2;
+  params.stubs_per_transit = 2;
+  params.nodes_per_stub = 3;
+  TransitStubTopology topo = MakeTransitStub(params);
+
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+  auto bed = apps::Testbed::Create(std::move(program).value(), &topo.graph,
+                                   apps::Scheme::kReference);
+  ASSERT_TRUE(bed.ok());
+
+  NodeId s = topo.stub_nodes.front(), d = topo.stub_nodes.back();
+  ASSERT_TRUE(
+      apps::InstallRoutesForPair((*bed)->system(), topo.graph, s, d).ok());
+  std::vector<NodeId> path = topo.graph.Path(s, d);
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    EXPECT_TRUE((*bed)->system().DbAt(path[i]).Contains(
+        apps::MakeRoute(path[i], d, path[i + 1])));
+  }
+  // The destination itself holds no route for d.
+  const Table* table = (*bed)->system().DbAt(d).Find("route");
+  if (table != nullptr) {
+    table->ForEach([&](const Tuple& t) {
+      EXPECT_NE(t.at(1), Value::Int(d));
+      return true;
+    });
+  }
+}
+
+TEST(ForwardingTest, PairsAreDistinctAndStubOnly) {
+  TransitStubTopology topo = MakeTransitStub();
+  Rng rng(3);
+  auto pairs = apps::PickCommunicatingPairs(topo, 50, rng);
+  EXPECT_EQ(pairs.size(), 50u);
+  std::set<std::pair<NodeId, NodeId>> seen;
+  std::set<NodeId> stub_set(topo.stub_nodes.begin(), topo.stub_nodes.end());
+  for (auto [s, d] : pairs) {
+    EXPECT_NE(s, d);
+    EXPECT_TRUE(seen.insert({s, d}).second);
+    EXPECT_TRUE(stub_set.count(s));
+    EXPECT_TRUE(stub_set.count(d));
+  }
+}
+
+TEST(ForwardingTest, PairCountClampsToUniverse) {
+  TransitStubParams params;
+  params.num_transit = 1;
+  params.stubs_per_transit = 1;
+  params.nodes_per_stub = 2;  // 2 stub nodes -> 2 ordered pairs
+  TransitStubTopology topo = MakeTransitStub(params);
+  Rng rng(3);
+  auto pairs = apps::PickCommunicatingPairs(topo, 100, rng);
+  EXPECT_EQ(pairs.size(), 2u);
+}
+
+TEST(ForwardingTest, PayloadLengthAndUniqueness) {
+  std::string a = apps::MakePayload(500, 1);
+  std::string b = apps::MakePayload(500, 2);
+  EXPECT_EQ(a.size(), 500u);
+  EXPECT_EQ(b.size(), 500u);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(apps::MakePayload(8, 123).size(), 8u);
+}
+
+TEST(ForwardingWorkloadTest, RateWorkloadHasExpectedCount) {
+  TransitStubTopology topo = MakeTransitStub();
+  auto w = apps::MakeForwardingWorkload(topo, 10, 5, 4.0, 100, 1);
+  EXPECT_EQ(w.pairs.size(), 10u);
+  // ~5 pkt/s x 4 s x 10 pairs = 200, modulo stagger offsets.
+  EXPECT_NEAR(static_cast<double>(w.items.size()), 200.0, 10.0);
+  for (const auto& item : w.items) {
+    EXPECT_GE(item.time_s, 0.0);
+    EXPECT_LT(item.time_s, 4.0);
+    EXPECT_EQ(item.event.relation(), "packet");
+  }
+}
+
+TEST(ForwardingWorkloadTest, FixedCountIsExact) {
+  TransitStubTopology topo = MakeTransitStub();
+  auto w = apps::MakeFixedCountForwardingWorkload(topo, 7, 321, 10.0, 100, 1);
+  EXPECT_EQ(w.items.size(), 321u);
+  // Packets are spread evenly across pairs.
+  std::map<std::pair<NodeId, NodeId>, int> counts;
+  for (const auto& item : w.items) {
+    counts[{item.event.Location(),
+            static_cast<NodeId>(item.event.at(2).AsInt())}]++;
+  }
+  for (const auto& [_, c] : counts) {
+    EXPECT_GE(c, 321 / 7);
+    EXPECT_LE(c, 321 / 7 + 1);
+  }
+}
+
+TEST(ExperimentTest, RunForwardingProducesMonotoneStorage) {
+  TransitStubParams params;
+  params.num_transit = 2;
+  params.stubs_per_transit = 2;
+  params.nodes_per_stub = 4;
+  TransitStubTopology topo = MakeTransitStub(params);
+  auto w = apps::MakeFixedCountForwardingWorkload(topo, 5, 100, 5.0, 64, 1);
+  apps::ExperimentConfig config;
+  config.duration_s = 5;
+  config.snapshot_interval_s = 1;
+  auto res = apps::RunForwarding(apps::Scheme::kExspan, topo, w, config);
+  ASSERT_GE(res.snapshot_times.size(), 5u);
+  for (size_t i = 1; i < res.snapshot_times.size(); ++i) {
+    EXPECT_GE(res.TotalStorageAt(i), res.TotalStorageAt(i - 1));
+  }
+  EXPECT_EQ(res.events_injected, 100u);
+  EXPECT_EQ(res.outputs, 100u);
+  EXPECT_GT(res.total_network_bytes, 0u);
+  EXPECT_GT(res.TotalGrowthBytesPerSec(), 0.0);
+}
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,113 @@
+// Testbed wiring: each scheme produces the matching recorder, querier and
+// accounting surfaces; environment scaling helpers.
+#include "src/apps/testbed.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/apps/experiments.h"
+#include "src/apps/forwarding.h"
+#include "src/net/topology_factory.h"
+
+namespace dpc {
+namespace {
+
+using apps::Scheme;
+using apps::Testbed;
+
+TEST(SchemeNameTest, AllNamed) {
+  EXPECT_STREQ(apps::SchemeName(Scheme::kReference), "Reference");
+  EXPECT_STREQ(apps::SchemeName(Scheme::kExspan), "ExSPAN");
+  EXPECT_STREQ(apps::SchemeName(Scheme::kBasic), "Basic");
+  EXPECT_STREQ(apps::SchemeName(Scheme::kAdvanced), "Advanced");
+  EXPECT_STREQ(apps::SchemeName(Scheme::kAdvancedInterClass),
+               "Advanced+InterClass");
+}
+
+class TestbedWiringTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(TestbedWiringTest, RecorderAndQuerierMatchScheme) {
+  Topology topo = MakeLineTopology(3);
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+  auto bed = Testbed::Create(std::move(program).value(), &topo, GetParam());
+  ASSERT_TRUE(bed.ok());
+
+  Scheme scheme = GetParam();
+  EXPECT_EQ((*bed)->scheme(), scheme);
+  EXPECT_EQ((*bed)->reference() != nullptr, scheme == Scheme::kReference);
+  EXPECT_EQ((*bed)->exspan() != nullptr, scheme == Scheme::kExspan);
+  EXPECT_EQ((*bed)->basic() != nullptr, scheme == Scheme::kBasic);
+  EXPECT_EQ((*bed)->advanced() != nullptr,
+            scheme == Scheme::kAdvanced ||
+                scheme == Scheme::kAdvancedInterClass);
+  EXPECT_EQ((*bed)->MakeQuerier() == nullptr, scheme == Scheme::kReference);
+  EXPECT_EQ((*bed)->recorder().name(),
+            std::string(apps::SchemeName(scheme)) == "Reference"
+                ? "Reference"
+                : apps::SchemeName(scheme));
+  // Fresh deployments hold no provenance.
+  EXPECT_EQ((*bed)->TotalStorage().Total(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, TestbedWiringTest,
+    ::testing::Values(Scheme::kReference, Scheme::kExspan, Scheme::kBasic,
+                      Scheme::kAdvanced, Scheme::kAdvancedInterClass),
+    [](const auto& info) {
+      std::string name = apps::SchemeName(info.param);
+      for (char& c : name) {
+        if (c == '+') c = '_';
+      }
+      return name;
+    });
+
+TEST(TestbedTest, AdvancedInterClassUsesSplitTables) {
+  Topology topo = MakeLineTopology(3);
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+  auto bed = Testbed::Create(*program, &topo, Scheme::kAdvancedInterClass);
+  ASSERT_TRUE(bed.ok());
+  ASSERT_NE((*bed)->advanced(), nullptr);
+  EXPECT_TRUE((*bed)->advanced()->inter_class_sharing());
+  EXPECT_EQ((*bed)->advanced()->name(), "Advanced+InterClass");
+}
+
+TEST(TestbedTest, InvalidProgramPropagatesError) {
+  Topology topo = MakeLineTopology(2);
+  auto bad = Program::Parse("a(@X) :- e(@X), e(@X).");
+  ASSERT_FALSE(bad.ok());  // rejected before Testbed is even involved
+}
+
+TEST(EnvScalingTest, DoubleAndSizeFallBackAndParse) {
+  unsetenv("DPC_TEST_KNOB");
+  EXPECT_DOUBLE_EQ(apps::EnvDouble("DPC_TEST_KNOB", 2.5), 2.5);
+  EXPECT_EQ(apps::EnvSize("DPC_TEST_KNOB", 7u), 7u);
+  setenv("DPC_TEST_KNOB", "123.5", 1);
+  EXPECT_DOUBLE_EQ(apps::EnvDouble("DPC_TEST_KNOB", 2.5), 123.5);
+  EXPECT_EQ(apps::EnvSize("DPC_TEST_KNOB", 7u), 123u);
+  setenv("DPC_TEST_KNOB", "1000000", 1);
+  EXPECT_EQ(apps::EnvSize("DPC_TEST_KNOB", 7u), 1000000u);
+  unsetenv("DPC_TEST_KNOB");
+}
+
+TEST(TestbedTest, SameProgramCanDriveMultipleBeds) {
+  Topology topo = MakeLineTopology(3);
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+  // The Testbed copies the program: several schemes can be deployed from
+  // the same parsed instance (as the benches do).
+  auto a = Testbed::Create(*program, &topo, Scheme::kExspan);
+  auto b = Testbed::Create(*program, &topo, Scheme::kAdvanced);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE((*a)->system()
+                  .InsertSlowTuple(apps::MakeRoute(0, 2, 1))
+                  .ok());
+  // Independent databases.
+  EXPECT_EQ((*b)->system().DbAt(0).TotalTuples(), 0u);
+}
+
+}  // namespace
+}  // namespace dpc

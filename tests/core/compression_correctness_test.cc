@@ -1,0 +1,205 @@
+// Theorem 3 (lossless compression) and Theorem 5 (query correctness) as
+// property tests: over randomized topologies, route tables and event
+// streams, the trees reconstructed from each scheme's distributed tables
+// must equal — derivation for derivation — the trees captured by the
+// ReferenceRecorder, which ships every tree inline.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/apps/dns.h"
+#include "src/apps/forwarding.h"
+#include "src/apps/testbed.h"
+
+namespace dpc {
+namespace {
+
+using apps::Scheme;
+using apps::Testbed;
+
+struct Case {
+  Scheme scheme;
+  uint64_t seed;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = apps::SchemeName(info.param.scheme);
+  for (char& c : name) {
+    if (c == '+') c = '_';
+  }
+  return name + "_seed" + std::to_string(info.param.seed);
+}
+
+class ForwardingCompressionTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ForwardingCompressionTest, AllOutputsReconstructExactly) {
+  const Case& param = GetParam();
+  TransitStubParams tparams;
+  tparams.num_transit = 2;
+  tparams.stubs_per_transit = 2;
+  tparams.nodes_per_stub = 4;
+  tparams.seed = param.seed;
+  TransitStubTopology topo = MakeTransitStub(tparams);
+
+  Rng rng(param.seed * 977 + 13);
+  auto pairs = apps::PickCommunicatingPairs(topo, 6, rng);
+
+  auto make_bed = [&](Scheme scheme) {
+    auto program = apps::MakeForwardingProgram();
+    EXPECT_TRUE(program.ok());
+    auto bed = Testbed::Create(std::move(program).value(), &topo.graph,
+                               scheme);
+    EXPECT_TRUE(bed.ok());
+    return std::move(bed).value();
+  };
+
+  auto run_workload = [&](Testbed& bed) {
+    for (auto [s, d] : pairs) {
+      ASSERT_TRUE(
+          apps::InstallRoutesForPair(bed.system(), topo.graph, s, d).ok());
+    }
+    double t = 0;
+    // Several packets per pair so equivalence classes have real members,
+    // plus interleaving across pairs.
+    for (int round = 0; round < 4; ++round) {
+      for (size_t p = 0; p < pairs.size(); ++p) {
+        auto [s, d] = pairs[p];
+        std::string payload = apps::MakePayload(
+            24, param.seed * 1000 + round * 100 + p);
+        ASSERT_TRUE(bed.system()
+                        .ScheduleInject(
+                            apps::MakePacket(s, s, d, payload), t += 0.001)
+                        .ok());
+      }
+    }
+    bed.system().Run();
+  };
+
+  auto ref_bed = make_bed(Scheme::kReference);
+  run_workload(*ref_bed);
+  auto bed = make_bed(param.scheme);
+  run_workload(*bed);
+
+  // Identical executions.
+  EXPECT_EQ(bed->system().stats().rule_firings,
+            ref_bed->system().stats().rule_firings);
+  EXPECT_EQ(bed->system().stats().outputs,
+            ref_bed->system().stats().outputs);
+  ASSERT_GT(ref_bed->system().stats().outputs, 0u);
+
+  auto querier = bed->MakeQuerier();
+  ASSERT_NE(querier, nullptr);
+  size_t checked = 0;
+  for (NodeId n = 0; n < topo.graph.num_nodes(); ++n) {
+    for (const OutputRecord& out : ref_bed->system().OutputsAt(n)) {
+      Vid evid = out.meta.evid;
+      auto expected = ref_bed->reference()->FindTrees(out.tuple, &evid);
+      ASSERT_GE(expected.size(), 1u);
+
+      auto res = querier->Query(out.tuple, &evid);
+      ASSERT_TRUE(res.ok())
+          << apps::SchemeName(param.scheme) << " failed on "
+          << out.tuple.ToString() << ": " << res.status().ToString();
+      ASSERT_EQ(res->trees.size(), expected.size());
+      EXPECT_EQ(res->trees[0], *expected[0]);
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+
+  if (bed->advanced() != nullptr) {
+    EXPECT_EQ(bed->advanced()->PendingOutputs(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ForwardingCompressionTest,
+    ::testing::Values(Case{Scheme::kExspan, 1}, Case{Scheme::kExspan, 2},
+                      Case{Scheme::kBasic, 1}, Case{Scheme::kBasic, 2},
+                      Case{Scheme::kBasic, 3}, Case{Scheme::kAdvanced, 1},
+                      Case{Scheme::kAdvanced, 2}, Case{Scheme::kAdvanced, 3},
+                      Case{Scheme::kAdvanced, 4},
+                      Case{Scheme::kAdvancedInterClass, 1},
+                      Case{Scheme::kAdvancedInterClass, 2},
+                      Case{Scheme::kAdvancedInterClass, 3}),
+    CaseName);
+
+class DnsCompressionTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DnsCompressionTest, AllRepliesReconstructExactly) {
+  const Case& param = GetParam();
+  apps::DnsParams dparams;
+  dparams.num_servers = 24;
+  dparams.num_clients = 4;
+  dparams.num_urls = 10;
+  dparams.trunk_depth = 8;
+  dparams.seed = param.seed;
+  apps::DnsUniverse universe = apps::MakeDnsUniverse(dparams);
+
+  auto make_bed = [&](Scheme scheme) {
+    auto program = apps::MakeDnsProgram();
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    auto bed = Testbed::Create(std::move(program).value(), &universe.graph,
+                               scheme);
+    EXPECT_TRUE(bed.ok());
+    return std::move(bed).value();
+  };
+
+  auto urls = apps::ZipfUrlSequence(universe, 40, 0.9, param.seed + 5);
+  auto run_workload = [&](Testbed& bed) {
+    ASSERT_TRUE(apps::InstallDnsState(bed.system(), universe).ok());
+    double t = 0;
+    for (size_t i = 0; i < urls.size(); ++i) {
+      NodeId client = universe.clients[i % universe.clients.size()];
+      ASSERT_TRUE(bed.system()
+                      .ScheduleInject(
+                          apps::MakeUrlEvent(client, universe.urls[urls[i]],
+                                             static_cast<int64_t>(i)),
+                          t += 0.002)
+                      .ok());
+    }
+    bed.system().Run();
+  };
+
+  auto ref_bed = make_bed(Scheme::kReference);
+  run_workload(*ref_bed);
+  auto bed = make_bed(param.scheme);
+  run_workload(*bed);
+
+  ASSERT_EQ(ref_bed->system().stats().outputs, urls.size())
+      << "every request must resolve";
+  EXPECT_EQ(bed->system().stats().outputs, urls.size());
+
+  auto querier = bed->MakeQuerier();
+  size_t checked = 0;
+  for (NodeId n = 0; n < universe.graph.num_nodes(); ++n) {
+    for (const OutputRecord& out : ref_bed->system().OutputsAt(n)) {
+      Vid evid = out.meta.evid;
+      auto expected = ref_bed->reference()->FindTrees(out.tuple, &evid);
+      ASSERT_EQ(expected.size(), 1u);
+      auto res = querier->Query(out.tuple, &evid);
+      ASSERT_TRUE(res.ok())
+          << apps::SchemeName(param.scheme) << " failed on "
+          << out.tuple.ToString() << ": " << res.status().ToString();
+      ASSERT_EQ(res->trees.size(), 1u);
+      EXPECT_EQ(res->trees[0], *expected[0])
+          << "got:\n"
+          << res->trees[0].ToString() << "expected:\n"
+          << expected[0]->ToString();
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, urls.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DnsCompressionTest,
+    ::testing::Values(Case{Scheme::kExspan, 1}, Case{Scheme::kBasic, 1},
+                      Case{Scheme::kBasic, 2}, Case{Scheme::kAdvanced, 1},
+                      Case{Scheme::kAdvanced, 2},
+                      Case{Scheme::kAdvancedInterClass, 1},
+                      Case{Scheme::kAdvancedInterClass, 2}),
+    CaseName);
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,110 @@
+// Attribute-level dependency graph construction (§5.2, Appendix C).
+#include "src/core/dependency_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/dns.h"
+#include "src/apps/forwarding.h"
+
+namespace dpc {
+namespace {
+
+TEST(DependencyGraphTest, ForwardingMatchesAppendixC) {
+  auto p = apps::MakeForwardingProgram();
+  ASSERT_TRUE(p.ok());
+  DependencyGraph g = DependencyGraph::Build(*p);
+
+  // Condition (1): event attrs join same-variable slow-changing attrs.
+  EXPECT_TRUE(g.HasEdge({"packet", 0}, {"route", 0}));  // L
+  EXPECT_TRUE(g.HasEdge({"packet", 2}, {"route", 1}));  // D
+  // Condition (2): event attrs connect to same-variable head attrs.
+  EXPECT_TRUE(g.HasEdge({"packet", 1}, {"recv", 1}));   // S
+  EXPECT_TRUE(g.HasEdge({"packet", 3}, {"recv", 3}));   // DT
+  // Condition (3): D == L connects packet:0 and packet:2 (paper's example).
+  EXPECT_TRUE(g.HasEdge({"packet", 0}, {"packet", 2}));
+  // Head attr fed by a slow tuple: packet:0 (N in r1) joins route:2.
+  EXPECT_TRUE(g.HasEdge({"packet", 0}, {"route", 2}));
+
+  // Non-edges: the payload never touches routing state.
+  EXPECT_FALSE(g.HasEdge({"packet", 3}, {"route", 0}));
+  EXPECT_FALSE(g.HasEdge({"packet", 3}, {"route", 1}));
+  EXPECT_FALSE(g.HasEdge({"packet", 1}, {"route", 1}));
+}
+
+TEST(DependencyGraphTest, ReachabilityIsTransitive) {
+  auto p = apps::MakeDnsProgram();
+  ASSERT_TRUE(p.ok());
+  DependencyGraph g = DependencyGraph::Build(*p);
+  // url:1 (URL) -> request:1 -> nameServer:1 (via the f_isSubDomain
+  // constraint) across two rules.
+  EXPECT_TRUE(g.Reachable({"url", 1}, {"nameServer", 1}));
+  EXPECT_TRUE(g.Reachable({"url", 1}, {"addressRecord", 1}));
+  // The request id never reaches any slow-changing attribute.
+  EXPECT_FALSE(g.Reachable({"url", 2}, {"nameServer", 1}));
+  EXPECT_FALSE(g.Reachable({"url", 2}, {"rootServer", 1}));
+}
+
+TEST(DependencyGraphTest, ReachableSetIncludesSelf) {
+  auto p = apps::MakeForwardingProgram();
+  ASSERT_TRUE(p.ok());
+  DependencyGraph g = DependencyGraph::Build(*p);
+  auto reach = g.ReachableSet({"packet", 3});
+  EXPECT_TRUE(reach.count({"packet", 3}) > 0);
+  EXPECT_TRUE(reach.count({"recv", 3}) > 0);
+}
+
+TEST(DependencyGraphTest, AssignmentEdges) {
+  auto p = Program::Parse(
+      "a(@X, Y) :- e(@X, Z), s(@X), Y := Z * 2.");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  DependencyGraph g = DependencyGraph::Build(*p);
+  // Condition (4): rhs var Z connects to the receiving head attr a:1.
+  EXPECT_TRUE(g.HasEdge({"e", 1}, {"a", 1}));
+}
+
+TEST(DependencyGraphTest, ConstraintEdgesSpanEventAndSlow) {
+  auto p = Program::Parse(
+      "a(@X) :- e(@X, U), s(@X, D), f_isSubDomain(D, U) == true.");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  DependencyGraph g = DependencyGraph::Build(*p);
+  EXPECT_TRUE(g.HasEdge({"e", 1}, {"s", 1}));
+}
+
+TEST(DependencyGraphTest, IsolatedAttributesHaveNodes) {
+  auto p = Program::Parse("a(@X) :- e(@X, Dead), s(@X).");
+  ASSERT_TRUE(p.ok());
+  DependencyGraph g = DependencyGraph::Build(*p);
+  EXPECT_TRUE(g.HasNode({"e", 1}));
+  EXPECT_TRUE(g.NeighborsOf({"e", 1}).empty());
+}
+
+TEST(DependencyGraphTest, TouchesSlowChanging) {
+  auto p = apps::MakeForwardingProgram();
+  ASSERT_TRUE(p.ok());
+  DependencyGraph g = DependencyGraph::Build(*p);
+  EXPECT_TRUE(g.TouchesSlowChanging({"packet", 2}, *p));  // joins route:1
+  EXPECT_TRUE(g.TouchesSlowChanging({"route", 1}, *p));   // is slow itself
+  EXPECT_FALSE(g.TouchesSlowChanging({"packet", 3}, *p));
+}
+
+TEST(DependencyGraphTest, CountsAreSane) {
+  auto p = apps::MakeForwardingProgram();
+  ASSERT_TRUE(p.ok());
+  DependencyGraph g = DependencyGraph::Build(*p);
+  // packet(4) + route(3) + recv(4) attributes.
+  EXPECT_EQ(g.Nodes().size(), 11u);
+  EXPECT_GT(g.NumEdges(), 5u);
+  EXPECT_FALSE(g.ToString().empty());
+}
+
+TEST(DependencyGraphTest, NoSelfEdges) {
+  auto p = apps::MakeDnsProgram();
+  ASSERT_TRUE(p.ok());
+  DependencyGraph g = DependencyGraph::Build(*p);
+  for (const AttrNode& n : g.Nodes()) {
+    EXPECT_EQ(g.NeighborsOf(n).count(n), 0u) << n.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,216 @@
+// Theorem 1 / Lemma 2 as a property test: if two input events agree on the
+// equivalence keys computed by the static analysis, the provenance trees
+// they generate are ~-equivalent (same rule sequence, same slow-changing
+// tuples). Exercises both paper programs plus synthetic DELPs with
+// assignments and constraints.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/apps/dns.h"
+#include "src/apps/forwarding.h"
+#include "src/apps/testbed.h"
+#include "src/core/equivalence_keys.h"
+
+namespace dpc {
+namespace {
+
+using apps::Scheme;
+using apps::Testbed;
+
+TEST(EquivalenceKeysTest, ForwardingKeysMatchPaper) {
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+  auto keys = ComputeEquivalenceKeys(*program);
+  ASSERT_TRUE(keys.ok());
+  // §5.2: (packet:0, packet:2) — the injection location and destination.
+  EXPECT_EQ(keys->event_relation(), "packet");
+  EXPECT_EQ(keys->indices(), (std::vector<size_t>{0, 2}));
+}
+
+TEST(EquivalenceKeysTest, DnsKeysAreHostAndUrl)
+{
+  auto program = apps::MakeDnsProgram();
+  ASSERT_TRUE(program.ok());
+  auto keys = ComputeEquivalenceKeys(*program);
+  ASSERT_TRUE(keys.ok());
+  // url(@HST, URL, RQID): HST joins rootServer, URL joins nameServer /
+  // addressRecord through the f_isSubDomain constraint; RQID joins nothing.
+  EXPECT_EQ(keys->event_relation(), "url");
+  EXPECT_EQ(keys->indices(), (std::vector<size_t>{0, 1}));
+}
+
+TEST(EquivalenceKeysTest, AssignmentPropagatesKeyMembership) {
+  // The paper's r2' variant: N := L + 2 makes recv:2 depend on packet:0.
+  // packet:1 (S) still reaches no slow attribute and stays a non-key.
+  const char* text = R"(
+    r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).
+    r2 recv(@L, S, N, DT)   :- packet(@L, S, D, DT), N := L + 2, D == L.
+  )";
+  auto program = Program::Parse(text);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  auto keys = ComputeEquivalenceKeys(*program);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->indices(), (std::vector<size_t>{0, 2}));
+}
+
+TEST(EquivalenceKeysTest, PureConstraintAttributeBecomesKey) {
+  // TTL joins no slow-changing relation but gates r2's firing; the
+  // conservative strengthening (DESIGN.md §2) must include it.
+  const char* text = R"(
+    r1 hop(@N, D, TTL)  :- hop(@L, D, TTL), link(@L, N).
+    r2 seen(@L, D, TTL) :- hop(@L, D, TTL), TTL > 3.
+  )";
+  auto program = Program::Parse(text);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  auto keys = ComputeEquivalenceKeys(*program);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_TRUE(keys->Contains(2)) << keys->ToString();
+}
+
+TEST(EquivalenceKeysTest, HashRespectsDefinition2) {
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+  auto keys = ComputeEquivalenceKeys(*program);
+  ASSERT_TRUE(keys.ok());
+
+  Tuple a = apps::MakePacket(1, 1, 3, "data");
+  Tuple b = apps::MakePacket(1, 1, 3, "url");   // same keys, diff payload
+  Tuple c = apps::MakePacket(1, 5, 3, "data");  // src is not a key
+  Tuple d = apps::MakePacket(1, 1, 4, "data");  // dst is a key
+  Tuple e = apps::MakePacket(2, 1, 3, "data");  // location is a key
+
+  EXPECT_TRUE(keys->Equivalent(a, b));
+  EXPECT_TRUE(keys->Equivalent(a, c));
+  EXPECT_FALSE(keys->Equivalent(a, d));
+  EXPECT_FALSE(keys->Equivalent(a, e));
+  EXPECT_EQ(keys->HashOf(a), keys->HashOf(b));
+  EXPECT_EQ(keys->HashOf(a), keys->HashOf(c));
+  EXPECT_NE(keys->HashOf(a), keys->HashOf(d));
+  EXPECT_NE(keys->HashOf(a), keys->HashOf(e));
+}
+
+// Theorem 1 end-to-end: equivalent events yield ~-equivalent trees.
+class ForwardingTheorem1Test : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ForwardingTheorem1Test, EquivalentEventsYieldEquivalentTrees) {
+  uint64_t seed = GetParam();
+  TransitStubParams tparams;
+  tparams.num_transit = 2;
+  tparams.stubs_per_transit = 2;
+  tparams.nodes_per_stub = 4;
+  tparams.seed = seed;
+  TransitStubTopology topo = MakeTransitStub(tparams);
+
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+  auto keys = ComputeEquivalenceKeys(*program);
+  ASSERT_TRUE(keys.ok());
+
+  auto bed_result =
+      Testbed::Create(std::move(program).value(), &topo.graph,
+                      Scheme::kReference);
+  ASSERT_TRUE(bed_result.ok());
+  auto bed = std::move(bed_result).value();
+
+  Rng rng(seed * 31 + 7);
+  auto pairs = apps::PickCommunicatingPairs(topo, 5, rng);
+  for (auto [s, d] : pairs) {
+    ASSERT_TRUE(
+        apps::InstallRoutesForPair(bed->system(), topo.graph, s, d).ok());
+  }
+  // Several events per pair, with varying payload and src attribute
+  // (both non-keys) so classes contain structurally diverse members.
+  double t = 0;
+  std::vector<Tuple> events;
+  for (int round = 0; round < 5; ++round) {
+    for (auto [s, d] : pairs) {
+      NodeId claimed_src =
+          (round % 2 == 0) ? s : static_cast<NodeId>(rng.NextBelow(10));
+      Tuple ev = apps::MakePacket(
+          s, claimed_src, d,
+          apps::MakePayload(16, seed * 100 + round));
+      events.push_back(ev);
+      ASSERT_TRUE(bed->system().ScheduleInject(ev, t += 0.001).ok());
+    }
+  }
+  bed->system().Run();
+
+  auto trees = bed->reference()->AllTrees();
+  ASSERT_GT(trees.size(), 0u);
+
+  // Group the trees by their event's equivalence-key hash; all members of
+  // a class must be pairwise ~-equivalent (Theorem 1).
+  std::map<std::string, std::vector<const ProvTree*>> classes;
+  for (const ProvTree* tree : trees) {
+    classes[keys->HashOf(tree->event()).ToHex()].push_back(tree);
+  }
+  EXPECT_EQ(classes.size(), pairs.size());
+  size_t comparisons = 0;
+  for (const auto& [_, members] : classes) {
+    for (size_t i = 1; i < members.size(); ++i) {
+      EXPECT_TRUE(members[0]->EquivalentTo(*members[i]))
+          << members[0]->ToString() << "\nvs\n"
+          << members[i]->ToString();
+      ++comparisons;
+    }
+  }
+  EXPECT_GT(comparisons, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ForwardingTheorem1Test,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// Theorem 1 on DNS: requests for the same URL from the same client are
+// equivalent regardless of request id.
+TEST(DnsTheorem1Test, SameUrlSameClientIsOneClass) {
+  apps::DnsParams dparams;
+  dparams.num_servers = 20;
+  dparams.num_clients = 2;
+  dparams.num_urls = 4;
+  dparams.trunk_depth = 6;
+  apps::DnsUniverse universe = apps::MakeDnsUniverse(dparams);
+
+  auto program = apps::MakeDnsProgram();
+  ASSERT_TRUE(program.ok());
+  auto keys = ComputeEquivalenceKeys(*program);
+  ASSERT_TRUE(keys.ok());
+
+  auto bed_result = Testbed::Create(std::move(program).value(),
+                                    &universe.graph, Scheme::kReference);
+  ASSERT_TRUE(bed_result.ok());
+  auto bed = std::move(bed_result).value();
+  ASSERT_TRUE(apps::InstallDnsState(bed->system(), universe).ok());
+
+  double t = 0;
+  int64_t rqid = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (NodeId client : universe.clients) {
+      for (const std::string& url : universe.urls) {
+        ASSERT_TRUE(bed->system()
+                        .ScheduleInject(
+                            apps::MakeUrlEvent(client, url, rqid++),
+                            t += 0.001)
+                        .ok());
+      }
+    }
+  }
+  bed->system().Run();
+
+  auto trees = bed->reference()->AllTrees();
+  std::map<std::string, std::vector<const ProvTree*>> classes;
+  for (const ProvTree* tree : trees) {
+    classes[keys->HashOf(tree->event()).ToHex()].push_back(tree);
+  }
+  // #classes = #clients x #urls; each class has 3 members (rounds).
+  EXPECT_EQ(classes.size(),
+            universe.clients.size() * universe.urls.size());
+  for (const auto& [_, members] : classes) {
+    ASSERT_EQ(members.size(), 3u);
+    EXPECT_TRUE(members[0]->EquivalentTo(*members[1]));
+    EXPECT_TRUE(members[0]->EquivalentTo(*members[2]));
+  }
+}
+
+}  // namespace
+}  // namespace dpc

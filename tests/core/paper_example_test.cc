@@ -1,0 +1,277 @@
+// The paper's worked example: the three-node deployment of Fig. 2 running
+// the packet-forwarding program of Fig. 1. Validates the provenance tree of
+// Fig. 3, the optimized tables of §4 (Table 2), the compressed tables of
+// §5.3 (Table 3), the §5.4 split (Table 4), and querying over each.
+#include <gtest/gtest.h>
+
+#include "src/apps/forwarding.h"
+#include "src/apps/testbed.h"
+#include "src/core/query.h"
+
+namespace dpc {
+namespace {
+
+using apps::Scheme;
+using apps::Testbed;
+
+// Fig. 2: n1 -- n2 -- n3 in a line; routes at n1 and n2 lead to n3.
+class PaperExampleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    n1_ = topo_.AddNode();
+    n2_ = topo_.AddNode();
+    n3_ = topo_.AddNode();
+    ASSERT_TRUE(topo_.AddLink(n1_, n2_, LinkProps{0.002, 50e6}).ok());
+    ASSERT_TRUE(topo_.AddLink(n2_, n3_, LinkProps{0.002, 50e6}).ok());
+    topo_.ComputeRoutes();
+  }
+
+  std::unique_ptr<Testbed> MakeBed(Scheme scheme) {
+    auto program = apps::MakeForwardingProgram();
+    EXPECT_TRUE(program.ok()) << program.status().ToString();
+    auto bed = Testbed::Create(std::move(program).value(), &topo_, scheme);
+    EXPECT_TRUE(bed.ok()) << bed.status().ToString();
+    return std::move(bed).value();
+  }
+
+  // Installs Fig. 2's routes and sends packet(@n1, n1, n3, payload).
+  void RunPackets(Testbed& bed, const std::vector<std::string>& payloads,
+                  NodeId src_node = -1) {
+    NodeId src = src_node < 0 ? n1_ : src_node;
+    ASSERT_TRUE(
+        bed.system().InsertSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+    ASSERT_TRUE(
+        bed.system().InsertSlowTuple(apps::MakeRoute(n2_, n3_, n3_)).ok());
+    double t = 0;
+    for (const auto& p : payloads) {
+      ASSERT_TRUE(bed.system()
+                      .ScheduleInject(apps::MakePacket(src, src, n3_, p),
+                                      t += 0.01)
+                      .ok());
+    }
+    bed.system().Run();
+  }
+
+  Topology topo_;
+  NodeId n1_, n2_, n3_;
+};
+
+TEST_F(PaperExampleTest, ReferenceTreeMatchesFig3) {
+  auto bed = MakeBed(Scheme::kReference);
+  RunPackets(*bed, {"data"});
+
+  // recv(@n3, n1, n3, "data") materialized at n3.
+  const auto& outputs = bed->system().OutputsAt(n3_);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].tuple, apps::MakeRecv(n3_, n1_, n3_, "data"));
+
+  // The provenance tree of Fig. 3: r1@n1, r1@n2, r2@n3.
+  auto trees = bed->reference()->FindTrees(outputs[0].tuple);
+  ASSERT_EQ(trees.size(), 1u);
+  const ProvTree& tree = *trees[0];
+  EXPECT_EQ(tree.event(), apps::MakePacket(n1_, n1_, n3_, "data"));
+  ASSERT_EQ(tree.depth(), 3u);
+  EXPECT_EQ(tree.steps()[0].rule_id, "r1");
+  EXPECT_EQ(tree.steps()[0].head, apps::MakePacket(n2_, n1_, n3_, "data"));
+  ASSERT_EQ(tree.steps()[0].slow_tuples.size(), 1u);
+  EXPECT_EQ(tree.steps()[0].slow_tuples[0], apps::MakeRoute(n1_, n3_, n2_));
+  EXPECT_EQ(tree.steps()[1].rule_id, "r1");
+  EXPECT_EQ(tree.steps()[1].head, apps::MakePacket(n3_, n1_, n3_, "data"));
+  EXPECT_EQ(tree.steps()[1].slow_tuples[0], apps::MakeRoute(n2_, n3_, n3_));
+  EXPECT_EQ(tree.steps()[2].rule_id, "r2");
+  EXPECT_EQ(tree.steps()[2].head, outputs[0].tuple);
+  EXPECT_TRUE(tree.steps()[2].slow_tuples.empty());
+}
+
+TEST_F(PaperExampleTest, ExspanTablesMatchTable1) {
+  auto bed = MakeBed(Scheme::kExspan);
+  RunPackets(*bed, {"data"});
+
+  // Table 1's prov rows: six entries across the three nodes.
+  // n1: route(@n1,n3,n2) and packet(@n1,n1,n3,"data"), both NULL-derived.
+  const ProvTable& prov1 = bed->exspan()->ProvAt(n1_);
+  EXPECT_EQ(prov1.size(), 2u);
+  for (const ProvEntry& row : prov1.rows()) {
+    EXPECT_TRUE(row.rule.IsNull());
+  }
+  // n2: route(@n2,n3,n3) NULL-derived and packet(@n2,...) derived by r1@n1.
+  const ProvTable& prov2 = bed->exspan()->ProvAt(n2_);
+  EXPECT_EQ(prov2.size(), 2u);
+  Tuple pkt2 = apps::MakePacket(n2_, n1_, n3_, "data");
+  auto rows2 = prov2.FindByVid(pkt2.Vid());
+  ASSERT_EQ(rows2.size(), 1u);
+  EXPECT_EQ(rows2[0]->rule.loc, n1_);
+  // n3: packet(@n3,...) derived by r1@n2 and recv(...) derived by r2@n3.
+  const ProvTable& prov3 = bed->exspan()->ProvAt(n3_);
+  EXPECT_EQ(prov3.size(), 2u);
+  Tuple recv = apps::MakeRecv(n3_, n1_, n3_, "data");
+  auto recv_rows = prov3.FindByVid(recv.Vid());
+  ASSERT_EQ(recv_rows.size(), 1u);
+  EXPECT_EQ(recv_rows[0]->rule.loc, n3_);
+
+  // Table 1's ruleExec rows: r1@n1 (2 vids), r1@n2 (2 vids), r2@n3 (1 vid).
+  EXPECT_EQ(bed->exspan()->RuleExecAt(n1_).size(), 1u);
+  EXPECT_EQ(bed->exspan()->RuleExecAt(n2_).size(), 1u);
+  EXPECT_EQ(bed->exspan()->RuleExecAt(n3_).size(), 1u);
+  const RuleExecEntry& r1n1 = bed->exspan()->RuleExecAt(n1_).rows()[0];
+  EXPECT_EQ(r1n1.rule_id, "r1");
+  EXPECT_EQ(r1n1.vids.size(), 2u);  // event packet + route
+  const RuleExecEntry& r2n3 = bed->exspan()->RuleExecAt(n3_).rows()[0];
+  EXPECT_EQ(r2n3.rule_id, "r2");
+  EXPECT_EQ(r2n3.vids.size(), 1u);  // event packet only (D == L condition)
+}
+
+TEST_F(PaperExampleTest, BasicTablesMatchTable2) {
+  auto bed = MakeBed(Scheme::kBasic);
+  RunPackets(*bed, {"data"});
+
+  // prov: only the recv output row, at n3.
+  EXPECT_EQ(bed->basic()->ProvAt(n1_).size(), 0u);
+  EXPECT_EQ(bed->basic()->ProvAt(n2_).size(), 0u);
+  const ProvTable& prov3 = bed->basic()->ProvAt(n3_);
+  ASSERT_EQ(prov3.size(), 1u);
+  Tuple recv = apps::MakeRecv(n3_, n1_, n3_, "data");
+  EXPECT_EQ(prov3.rows()[0].vid, recv.Vid());
+  EXPECT_EQ(prov3.rows()[0].rule.loc, n3_);
+
+  // ruleExec rows chain n3 -> n2 -> n1 through (NLoc, NRID).
+  ASSERT_EQ(bed->basic()->RuleExecAt(n3_).size(), 1u);
+  const RuleExecEntry& top = bed->basic()->RuleExecAt(n3_).rows()[0];
+  EXPECT_EQ(top.rule_id, "r2");
+  EXPECT_TRUE(top.vids.empty());  // Table 2: rid3 VIDS is NULL
+  EXPECT_EQ(top.next.loc, n2_);
+
+  ASSERT_EQ(bed->basic()->RuleExecAt(n2_).size(), 1u);
+  const RuleExecEntry& mid = bed->basic()->RuleExecAt(n2_).rows()[0];
+  EXPECT_EQ(mid.rule_id, "r1");
+  ASSERT_EQ(mid.vids.size(), 1u);  // the route tuple at n2
+  EXPECT_EQ(mid.vids[0], apps::MakeRoute(n2_, n3_, n3_).Vid());
+  EXPECT_EQ(mid.next.loc, n1_);
+  EXPECT_EQ(mid.next.rid, bed->basic()->RuleExecAt(n1_).rows()[0].rid);
+
+  ASSERT_EQ(bed->basic()->RuleExecAt(n1_).size(), 1u);
+  const RuleExecEntry& leaf = bed->basic()->RuleExecAt(n1_).rows()[0];
+  EXPECT_EQ(leaf.rule_id, "r1");
+  ASSERT_EQ(leaf.vids.size(), 2u);  // Table 2: (vid1, vid2) = event + route
+  EXPECT_EQ(leaf.vids[0], apps::MakePacket(n1_, n1_, n3_, "data").Vid());
+  EXPECT_EQ(leaf.vids[1], apps::MakeRoute(n1_, n3_, n2_).Vid());
+  EXPECT_TRUE(leaf.next.IsNull());
+}
+
+TEST_F(PaperExampleTest, AdvancedTablesMatchTable3) {
+  auto bed = MakeBed(Scheme::kAdvanced);
+  // The §5.3 walk-through: "data" first, then "url" in the same class.
+  RunPackets(*bed, {"data", "url"});
+
+  // The shared tree: exactly one ruleExec row per node despite two packets.
+  EXPECT_EQ(bed->advanced()->RuleExecAt(n1_).size(), 1u);
+  EXPECT_EQ(bed->advanced()->RuleExecAt(n2_).size(), 1u);
+  EXPECT_EQ(bed->advanced()->RuleExecAt(n3_).size(), 1u);
+
+  // Table 3: rid1 at n3 has NULL vids; rid2/rid3 reference the routes only.
+  const RuleExecEntry& top = bed->advanced()->RuleExecAt(n3_).rows()[0];
+  EXPECT_EQ(top.rule_id, "r2");
+  EXPECT_TRUE(top.vids.empty());
+  EXPECT_EQ(top.next.loc, n2_);
+  const RuleExecEntry& mid = bed->advanced()->RuleExecAt(n2_).rows()[0];
+  ASSERT_EQ(mid.vids.size(), 1u);
+  EXPECT_EQ(mid.vids[0], apps::MakeRoute(n2_, n3_, n3_).Vid());
+  const RuleExecEntry& leaf = bed->advanced()->RuleExecAt(n1_).rows()[0];
+  ASSERT_EQ(leaf.vids.size(), 1u);  // slow tuple only; the event is the delta
+  EXPECT_EQ(leaf.vids[0], apps::MakeRoute(n1_, n3_, n2_).Vid());
+  EXPECT_TRUE(leaf.next.IsNull());
+
+  // Table 3's prov rows: tid1/tid2 both reference the same shared tree and
+  // carry their own EVIDs.
+  const ProvTable& prov3 = bed->advanced()->ProvAt(n3_);
+  ASSERT_EQ(prov3.size(), 2u);
+  Tuple recv_data = apps::MakeRecv(n3_, n1_, n3_, "data");
+  Tuple recv_url = apps::MakeRecv(n3_, n1_, n3_, "url");
+  auto data_rows = prov3.FindByVid(recv_data.Vid());
+  auto url_rows = prov3.FindByVid(recv_url.Vid());
+  ASSERT_EQ(data_rows.size(), 1u);
+  ASSERT_EQ(url_rows.size(), 1u);
+  EXPECT_EQ(data_rows[0]->rule, url_rows[0]->rule);  // shared (RLoc, RID)
+  EXPECT_EQ(data_rows[0]->evid,
+            apps::MakePacket(n1_, n1_, n3_, "data").Vid());
+  EXPECT_EQ(url_rows[0]->evid, apps::MakePacket(n1_, n1_, n3_, "url").Vid());
+  EXPECT_EQ(bed->advanced()->PendingOutputs(), 0u);
+}
+
+TEST_F(PaperExampleTest, InterClassSharingMatchesTable4) {
+  auto bed = MakeBed(Scheme::kAdvancedInterClass);
+  RunPackets(*bed, {"data", "url"});
+  // A third packet from n2 shares the rid1/rid2 suffix (§5.4's example).
+  ASSERT_TRUE(bed->system()
+                  .ScheduleInject(apps::MakePacket(n2_, n2_, n3_, "ack"), 1.0)
+                  .ok());
+  bed->system().Run();
+
+  // ruleExecNode: one concrete node per (rloc, rid) even across classes.
+  EXPECT_EQ(bed->advanced()->RuleExecNodesAt(n3_).size(), 1u);
+  EXPECT_EQ(bed->advanced()->RuleExecNodesAt(n2_).size(), 1u);
+  EXPECT_EQ(bed->advanced()->RuleExecNodesAt(n1_).size(), 1u);
+
+  // ruleExecLink at n2: the (n1, rid3) edge from the n1-class and the
+  // NULL edge from the n2-class.
+  EXPECT_EQ(bed->advanced()->RuleExecLinksAt(n2_).size(), 2u);
+  // At n3 both classes share the same (n2, rid2) edge.
+  EXPECT_EQ(bed->advanced()->RuleExecLinksAt(n3_).size(), 1u);
+
+  // Both classes' outputs remain queryable with correct trees.
+  auto querier = bed->MakeQuerier();
+  Tuple recv_ack = apps::MakeRecv(n3_, n2_, n3_, "ack");
+  Vid evid = apps::MakePacket(n2_, n2_, n3_, "ack").Vid();
+  auto res = querier->Query(recv_ack, &evid);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res->trees.size(), 1u);
+  EXPECT_EQ(res->trees[0].event(), apps::MakePacket(n2_, n2_, n3_, "ack"));
+  EXPECT_EQ(res->trees[0].depth(), 2u);  // r1@n2, r2@n3
+}
+
+// Every queryable scheme reconstructs exactly the reference trees.
+class PaperExampleQueryTest
+    : public PaperExampleTest,
+      public ::testing::WithParamInterface<Scheme> {};
+
+TEST_P(PaperExampleQueryTest, QueryReturnsReferenceTree) {
+  auto ref_bed = MakeBed(Scheme::kReference);
+  RunPackets(*ref_bed, {"data", "url", "xyz"});
+
+  auto bed = MakeBed(GetParam());
+  RunPackets(*bed, {"data", "url", "xyz"});
+
+  auto querier = bed->MakeQuerier();
+  ASSERT_NE(querier, nullptr);
+  for (const std::string payload : {"data", "url", "xyz"}) {
+    Tuple recv = apps::MakeRecv(n3_, n1_, n3_, payload);
+    Vid evid = apps::MakePacket(n1_, n1_, n3_, payload).Vid();
+    auto res = querier->Query(recv, &evid);
+    ASSERT_TRUE(res.ok()) << SchemeName(GetParam()) << ": "
+                          << res.status().ToString();
+    ASSERT_EQ(res->trees.size(), 1u);
+
+    auto expected = ref_bed->reference()->FindTrees(recv, &evid);
+    ASSERT_EQ(expected.size(), 1u);
+    EXPECT_EQ(res->trees[0], *expected[0])
+        << SchemeName(GetParam()) << " tree:\n"
+        << res->trees[0].ToString() << "\nexpected:\n"
+        << expected[0]->ToString();
+    EXPECT_GT(res->latency_s, 0);
+    EXPECT_GT(res->entries_touched, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, PaperExampleQueryTest,
+                         ::testing::Values(Scheme::kExspan, Scheme::kBasic,
+                                           Scheme::kAdvanced,
+                                           Scheme::kAdvancedInterClass),
+                         [](const auto& info) {
+                           return std::string(apps::SchemeName(info.param)) ==
+                                          "Advanced+InterClass"
+                                      ? "AdvancedInterClass"
+                                      : apps::SchemeName(info.param);
+                         });
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,130 @@
+// Provenance storage tables: deduplication, indexing, incremental
+// serialized-size accounting, schema-dependent row widths.
+#include "src/core/prov_tables.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/recorder.h"
+
+namespace dpc {
+namespace {
+
+Vid V(int i) { return Sha1::Hash("vid" + std::to_string(i)); }
+Rid R(int i) { return Sha1::Hash("rid" + std::to_string(i)); }
+
+TEST(NodeRidTest, NullAndEquality) {
+  NodeRid null = NodeRid::Null();
+  EXPECT_TRUE(null.IsNull());
+  NodeRid a{1, R(1)};
+  EXPECT_FALSE(a.IsNull());
+  EXPECT_EQ(a, (NodeRid{1, R(1)}));
+  EXPECT_NE(a, (NodeRid{2, R(1)}));
+  EXPECT_NE(a, (NodeRid{1, R(2)}));
+}
+
+TEST(NodeRidTest, RoundTrip) {
+  NodeRid a{7, R(3)};
+  ByteWriter w;
+  a.Serialize(w);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(NodeRid::Deserialize(r).value(), a);
+}
+
+TEST(ProvEntryTest, EvidChangesWidth) {
+  ProvEntry e{1, V(1), NodeRid{2, R(1)}, V(9)};
+  EXPECT_EQ(e.SerializedSize(true), e.SerializedSize(false) + 20);
+}
+
+TEST(RuleExecEntryTest, NextColumnsChangeWidth) {
+  RuleExecEntry e{1, R(1), "r1", {V(1), V(2)}, NodeRid{2, R(2)}};
+  EXPECT_EQ(e.SerializedSize(true), e.SerializedSize(false) + 24);
+}
+
+TEST(ProvTableTest, InsertAndFind) {
+  ProvTable t(/*with_evid=*/false);
+  EXPECT_TRUE(t.Insert(ProvEntry{1, V(1), NodeRid{2, R(1)}, Vid{}}));
+  EXPECT_FALSE(t.Insert(ProvEntry{1, V(1), NodeRid{2, R(1)}, Vid{}}));
+  EXPECT_TRUE(t.Insert(ProvEntry{1, V(1), NodeRid{3, R(2)}, Vid{}}));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.FindByVid(V(1)).size(), 2u);
+  EXPECT_TRUE(t.FindByVid(V(9)).empty());
+}
+
+TEST(ProvTableTest, EvidDistinguishesRows) {
+  ProvTable t(/*with_evid=*/true);
+  EXPECT_TRUE(t.Insert(ProvEntry{1, V(1), NodeRid{2, R(1)}, V(5)}));
+  EXPECT_TRUE(t.Insert(ProvEntry{1, V(1), NodeRid{2, R(1)}, V(6)}));
+  EXPECT_EQ(t.size(), 2u);
+}
+
+TEST(ProvTableTest, BytesAccumulateIncrementally) {
+  ProvTable t(/*with_evid=*/true);
+  EXPECT_EQ(t.SerializedBytes(), 0u);
+  ProvEntry e{1, V(1), NodeRid{2, R(1)}, V(5)};
+  t.Insert(e);
+  EXPECT_EQ(t.SerializedBytes(), e.SerializedSize(true));
+  t.Insert(e);  // duplicate: no growth
+  EXPECT_EQ(t.SerializedBytes(), e.SerializedSize(true));
+}
+
+TEST(RuleExecTableTest, MultipleRowsPerRid) {
+  RuleExecTable t(/*with_next=*/true);
+  EXPECT_TRUE(t.Insert(RuleExecEntry{1, R(1), "r1", {V(1)}, NodeRid{2, R(2)}}));
+  EXPECT_TRUE(t.Insert(RuleExecEntry{1, R(1), "r1", {V(1)}, NodeRid{3, R(3)}}));
+  EXPECT_FALSE(
+      t.Insert(RuleExecEntry{1, R(1), "r1", {V(1)}, NodeRid{3, R(3)}}));
+  EXPECT_EQ(t.FindByRid(R(1)).size(), 2u);
+  EXPECT_TRUE(t.FindByRid(R(5)).empty());
+}
+
+TEST(RuleExecTableTest, BytesUseSchemaWidth) {
+  RuleExecTable narrow(/*with_next=*/false);
+  RuleExecTable wide(/*with_next=*/true);
+  RuleExecEntry e{1, R(1), "r1", {V(1)}, NodeRid::Null()};
+  narrow.Insert(e);
+  wide.Insert(e);
+  EXPECT_EQ(wide.SerializedBytes(), narrow.SerializedBytes() + 24);
+}
+
+TEST(RuleExecNodeTableTest, UniquePerRid) {
+  RuleExecNodeTable t;
+  EXPECT_TRUE(t.Insert(RuleExecNodeEntry{1, R(1), "r1", {V(1)}}));
+  EXPECT_FALSE(t.Insert(RuleExecNodeEntry{1, R(1), "r1", {V(1)}}));
+  ASSERT_NE(t.FindByRid(R(1)), nullptr);
+  EXPECT_EQ(t.FindByRid(R(1))->rule_id, "r1");
+  EXPECT_EQ(t.FindByRid(R(2)), nullptr);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(RuleExecLinkTableTest, DedupByFullContent) {
+  RuleExecLinkTable t;
+  EXPECT_TRUE(t.Insert(RuleExecLinkEntry{1, R(1), NodeRid{2, R(2)}}));
+  EXPECT_TRUE(t.Insert(RuleExecLinkEntry{1, R(1), NodeRid{3, R(3)}}));
+  EXPECT_FALSE(t.Insert(RuleExecLinkEntry{1, R(1), NodeRid{3, R(3)}}));
+  EXPECT_EQ(t.FindByRid(R(1)).size(), 2u);
+  EXPECT_GT(t.SerializedBytes(), 0u);
+}
+
+TEST(TupleStoreTest, PutFindAndBytes) {
+  TupleStore store;
+  Tuple t = Tuple::Make("route", 1, {Value::Int(3), Value::Int(2)});
+  EXPECT_TRUE(store.Put(t));
+  EXPECT_FALSE(store.Put(t));
+  EXPECT_EQ(store.size(), 1u);
+  ASSERT_NE(store.Find(t.Vid()), nullptr);
+  EXPECT_EQ(*store.Find(t.Vid()), t);
+  EXPECT_EQ(store.Find(Sha1::Hash("other")), nullptr);
+  EXPECT_EQ(store.SerializedBytes(), 20 + t.SerializedSize());
+}
+
+TEST(StorageBreakdownTest, TotalsAndAccumulation) {
+  StorageBreakdown a{1, 2, 3, 4};
+  EXPECT_EQ(a.Total(), 10u);
+  StorageBreakdown b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.prov, 11u);
+  EXPECT_EQ(a.Total(), 110u);
+}
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,232 @@
+// Query machinery unit tests: ReExecuteRule, error paths, multiple
+// derivations, latency accounting, and cross-scheme agreement beyond what
+// the paper-example and property suites cover.
+#include "src/core/query.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/apps/forwarding.h"
+#include "src/apps/testbed.h"
+#include "src/ndlog/parser.h"
+
+namespace dpc {
+namespace {
+
+using apps::Scheme;
+using apps::Testbed;
+
+class ReExecuteRuleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto program = apps::MakeForwardingProgram();
+    ASSERT_TRUE(program.ok());
+    program_ = std::make_unique<Program>(std::move(program).value());
+  }
+  const Rule& r1() { return *program_->FindRule("r1"); }
+  const Rule& r2() { return *program_->FindRule("r2"); }
+
+  std::unique_ptr<Program> program_;
+  FunctionRegistry fns_ = DefaultFunctions();
+};
+
+TEST_F(ReExecuteRuleTest, DerivesForwardingStep) {
+  auto head = ReExecuteRule(r1(), apps::MakePacket(1, 1, 3, "d"),
+                            {apps::MakeRoute(1, 3, 2)}, fns_);
+  ASSERT_TRUE(head.ok()) << head.status().ToString();
+  EXPECT_EQ(*head, apps::MakePacket(2, 1, 3, "d"));
+}
+
+TEST_F(ReExecuteRuleTest, DerivesConstraintStep) {
+  auto head = ReExecuteRule(r2(), apps::MakePacket(3, 1, 3, "d"), {}, fns_);
+  ASSERT_TRUE(head.ok());
+  EXPECT_EQ(*head, apps::MakeRecv(3, 1, 3, "d"));
+}
+
+TEST_F(ReExecuteRuleTest, FailsWhenConstraintUnsatisfied) {
+  // r2 at an intermediate node: D != L.
+  auto head = ReExecuteRule(r2(), apps::MakePacket(2, 1, 3, "d"), {}, fns_);
+  EXPECT_TRUE(head.status().IsFailedPrecondition());
+}
+
+TEST_F(ReExecuteRuleTest, FailsOnWrongEventRelation) {
+  auto head = ReExecuteRule(r1(), apps::MakeRecv(1, 1, 3, "d"),
+                            {apps::MakeRoute(1, 3, 2)}, fns_);
+  EXPECT_TRUE(head.status().IsFailedPrecondition());
+}
+
+TEST_F(ReExecuteRuleTest, FailsOnConditionCountMismatch) {
+  auto head = ReExecuteRule(r1(), apps::MakePacket(1, 1, 3, "d"), {}, fns_);
+  EXPECT_TRUE(head.status().IsFailedPrecondition());
+}
+
+TEST_F(ReExecuteRuleTest, FailsOnNonJoiningSlowTuple) {
+  // A route for a different destination cannot have joined.
+  auto head = ReExecuteRule(r1(), apps::MakePacket(1, 1, 3, "d"),
+                            {apps::MakeRoute(1, 9, 2)}, fns_);
+  EXPECT_TRUE(head.status().IsFailedPrecondition());
+}
+
+TEST_F(ReExecuteRuleTest, FailsOnWrongLocationSlowTuple) {
+  auto head = ReExecuteRule(r1(), apps::MakePacket(1, 1, 3, "d"),
+                            {apps::MakeRoute(5, 3, 2)}, fns_);
+  EXPECT_TRUE(head.status().IsFailedPrecondition());
+}
+
+TEST_F(ReExecuteRuleTest, AssignmentRuleReExecutes) {
+  auto rules = ParseRules("r out(@L, N) :- in(@L, D), s(@L), N := D + 5.");
+  ASSERT_TRUE(rules.ok());
+  Tuple s = Tuple::Make("s", 1, {});
+  auto head = ReExecuteRule(rules->front(),
+                            Tuple::Make("in", 1, {Value::Int(2)}), {s}, fns_);
+  ASSERT_TRUE(head.ok()) << head.status().ToString();
+  EXPECT_EQ(*head, Tuple::Make("out", 1, {Value::Int(7)}));
+}
+
+// --- end-to-end query behaviours ---------------------------------------
+
+class QueryBehaviorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    n1_ = topo_.AddNode();
+    n2_ = topo_.AddNode();
+    n3_ = topo_.AddNode();
+    n4_ = topo_.AddNode();
+    LinkProps lp{0.001, 1e9};
+    ASSERT_TRUE(topo_.AddLink(n1_, n2_, lp).ok());
+    ASSERT_TRUE(topo_.AddLink(n2_, n3_, lp).ok());
+    ASSERT_TRUE(topo_.AddLink(n1_, n4_, lp).ok());
+    ASSERT_TRUE(topo_.AddLink(n4_, n3_, lp).ok());
+    topo_.ComputeRoutes();
+  }
+
+  std::unique_ptr<Testbed> MakeBed(Scheme scheme) {
+    auto program = apps::MakeForwardingProgram();
+    EXPECT_TRUE(program.ok());
+    auto bed = Testbed::Create(std::move(program).value(), &topo_, scheme);
+    EXPECT_TRUE(bed.ok());
+    return std::move(bed).value();
+  }
+
+  Topology topo_;
+  NodeId n1_, n2_, n3_, n4_;
+};
+
+TEST_F(QueryBehaviorTest, UnknownTupleIsNotFound) {
+  auto bed = MakeBed(Scheme::kAdvanced);
+  auto querier = bed->MakeQuerier();
+  auto res = querier->Query(apps::MakeRecv(n3_, n1_, n3_, "ghost"));
+  EXPECT_TRUE(res.status().IsNotFound());
+}
+
+TEST_F(QueryBehaviorTest, MulticastYieldsTwoDerivations) {
+  // Two routes at n1 for destination n3 (via n2 and via n4): the same
+  // recv tuple is derived twice; ExSPAN must return both proofs.
+  auto bed = MakeBed(Scheme::kExspan);
+  System& sys = bed->system();
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n1_, n3_, n4_)).ok());
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n2_, n3_, n3_)).ok());
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n4_, n3_, n3_)).ok());
+  ASSERT_TRUE(
+      sys.ScheduleInject(apps::MakePacket(n1_, n1_, n3_, "m"), 0.1).ok());
+  sys.Run();
+  EXPECT_EQ(sys.stats().outputs, 2u);  // same tuple arrives twice
+
+  auto querier = bed->MakeQuerier();
+  auto res = querier->Query(apps::MakeRecv(n3_, n1_, n3_, "m"));
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res->trees.size(), 2u);
+  // One derivation through each intermediate node.
+  std::set<NodeId> intermediates;
+  for (const ProvTree& tree : res->trees) {
+    ASSERT_EQ(tree.depth(), 3u);
+    intermediates.insert(tree.steps()[0].head.Location());
+  }
+  EXPECT_EQ(intermediates, (std::set<NodeId>{n2_, n4_}));
+}
+
+TEST_F(QueryBehaviorTest, EvidFilterSelectsOneDerivation) {
+  auto bed = MakeBed(Scheme::kBasic);
+  System& sys = bed->system();
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n2_, n3_, n3_)).ok());
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n4_, n3_, n3_)).ok());
+  // The same recv content reachable from two different injected events
+  // (different sources claiming the same src attribute).
+  Tuple ev1 = apps::MakePacket(n1_, n1_, n3_, "x");
+  Tuple ev2 = apps::MakePacket(n4_, n1_, n3_, "x");
+  ASSERT_TRUE(sys.ScheduleInject(ev1, 0.1).ok());
+  ASSERT_TRUE(sys.ScheduleInject(ev2, 0.2).ok());
+  sys.Run();
+  EXPECT_EQ(sys.stats().outputs, 2u);
+
+  auto querier = bed->MakeQuerier();
+  Tuple recv = apps::MakeRecv(n3_, n1_, n3_, "x");
+  auto all = querier->Query(recv);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->trees.size(), 2u);
+
+  Vid evid1 = ev1.Vid();
+  auto only1 = querier->Query(recv, &evid1);
+  ASSERT_TRUE(only1.ok());
+  ASSERT_EQ(only1->trees.size(), 1u);
+  EXPECT_EQ(only1->trees[0].event(), ev1);
+}
+
+TEST_F(QueryBehaviorTest, LatencyGrowsWithPathLength) {
+  auto bed = MakeBed(Scheme::kAdvanced);
+  System& sys = bed->system();
+  // Long path n1 -> n2 -> n3 vs short local delivery at n3.
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n2_, n3_, n3_)).ok());
+  // The near output lands at n4: its r2 row cannot share a (node, RID)
+  // with the far class's rows at n1/n2/n3, so no branch exploration mixes
+  // the two queries.
+  ASSERT_TRUE(
+      sys.ScheduleInject(apps::MakePacket(n1_, n1_, n3_, "far"), 0.1).ok());
+  ASSERT_TRUE(
+      sys.ScheduleInject(apps::MakePacket(n4_, n4_, n4_, "near"), 0.2).ok());
+  sys.Run();
+
+  auto querier = bed->MakeQuerier();
+  auto far = querier->Query(apps::MakeRecv(n3_, n1_, n3_, "far"));
+  auto near = querier->Query(apps::MakeRecv(n4_, n4_, n4_, "near"));
+  ASSERT_TRUE(far.ok());
+  ASSERT_TRUE(near.ok());
+  EXPECT_GT(far->latency_s, near->latency_s);
+  EXPECT_GT(far->hops, near->hops);
+  EXPECT_GT(far->entries_touched, near->entries_touched);
+}
+
+TEST_F(QueryBehaviorTest, CostModelScalesLatency) {
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+  QueryCostModel slow_cost;
+  slow_cost.per_entry_s *= 10;
+  auto bed_fast = Testbed::Create(*program, &topo_, Scheme::kBasic);
+  auto bed_slow =
+      Testbed::Create(*program, &topo_, Scheme::kBasic, slow_cost);
+  ASSERT_TRUE(bed_fast.ok());
+  ASSERT_TRUE(bed_slow.ok());
+  for (auto& bed : {bed_fast->get(), bed_slow->get()}) {
+    System& sys = bed->system();
+    ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+    ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n2_, n3_, n3_)).ok());
+    ASSERT_TRUE(
+        sys.ScheduleInject(apps::MakePacket(n1_, n1_, n3_, "c"), 0.1).ok());
+    sys.Run();
+  }
+  Tuple recv = apps::MakeRecv(n3_, n1_, n3_, "c");
+  auto fast = (*bed_fast)->MakeQuerier()->Query(recv);
+  auto slow = (*bed_slow)->MakeQuerier()->Query(recv);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_GT(slow->latency_s, 2 * fast->latency_s);
+  EXPECT_EQ(slow->entries_touched, fast->entries_touched);
+  EXPECT_EQ(slow->trees, fast->trees);
+}
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,200 @@
+// Recorder-level unit tests: per-scheme metadata wire formats and sizes
+// (what each scheme adds to every message, §6.1.2/§6.2.2), storage
+// breakdowns, and the out-of-order pending-output path of AdvancedRecorder.
+#include "src/core/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/forwarding.h"
+#include "src/apps/testbed.h"
+#include "src/core/advanced_recorder.h"
+#include "src/core/basic_recorder.h"
+#include "src/core/exspan_recorder.h"
+#include "src/core/reference_recorder.h"
+
+namespace dpc {
+namespace {
+
+using apps::Scheme;
+using apps::Testbed;
+
+class MetaRoundTripTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto program = apps::MakeForwardingProgram();
+    ASSERT_TRUE(program.ok());
+    program_ = std::make_unique<Program>(std::move(program).value());
+    auto keys = ComputeEquivalenceKeys(*program_);
+    ASSERT_TRUE(keys.ok());
+    keys_ = std::make_unique<EquivalenceKeys>(*keys);
+  }
+
+  ProvMeta SampleMeta(bool with_prev) {
+    ProvMeta meta;
+    meta.evid = Sha1::Hash("event");
+    meta.eqkey = Sha1::Hash("class");
+    meta.exist_flag = true;
+    meta.maintain = false;
+    if (with_prev) meta.prev = NodeRid{3, Sha1::Hash("rid")};
+    return meta;
+  }
+
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<EquivalenceKeys> keys_;
+};
+
+TEST_F(MetaRoundTripTest, ExspanCarriesOnlyTheRuleRef) {
+  ExspanRecorder rec(4);
+  ProvMeta meta = SampleMeta(true);
+  ByteWriter w;
+  rec.SerializeMeta(meta, w);
+  EXPECT_EQ(w.size(), 24u);  // NodeRid only
+  ByteReader r(w.bytes());
+  auto back = rec.DeserializeMeta(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->prev, meta.prev);
+}
+
+TEST_F(MetaRoundTripTest, BasicCarriesOnlyTheChainRef) {
+  BasicRecorder rec(program_.get(), 4);
+  ProvMeta meta = SampleMeta(true);
+  EXPECT_EQ(rec.MetaWireSize(meta), 24u);
+  ByteWriter w;
+  rec.SerializeMeta(meta, w);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(rec.DeserializeMeta(r)->prev, meta.prev);
+}
+
+TEST_F(MetaRoundTripTest, AdvancedCarriesFlagsHashesAndOptionalRef) {
+  AdvancedRecorder rec(program_.get(), *keys_, 4);
+  ProvMeta with_prev = SampleMeta(true);
+  ProvMeta without_prev = SampleMeta(false);
+  // flags(1) + evid(20) + eqkey(20) [+ prev(24)]
+  EXPECT_EQ(rec.MetaWireSize(without_prev), 41u);
+  EXPECT_EQ(rec.MetaWireSize(with_prev), 65u);
+
+  for (const ProvMeta& meta : {with_prev, without_prev}) {
+    ByteWriter w;
+    rec.SerializeMeta(meta, w);
+    ByteReader r(w.bytes());
+    auto back = rec.DeserializeMeta(r);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->evid, meta.evid);
+    EXPECT_EQ(back->eqkey, meta.eqkey);
+    EXPECT_EQ(back->exist_flag, meta.exist_flag);
+    EXPECT_EQ(back->maintain, meta.maintain);
+    EXPECT_EQ(back->prev, meta.prev);
+  }
+}
+
+TEST_F(MetaRoundTripTest, ReferenceShipsTheWholeTree) {
+  ReferenceRecorder rec(4);
+  ProvMeta meta = rec.OnInject(0, apps::MakePacket(0, 0, 2, "data"));
+  size_t size_at_injection = rec.MetaWireSize(meta);
+  const Rule& r1 = program_->rules()[0];
+  ProvMeta grown =
+      rec.OnRuleFired(0, r1, apps::MakePacket(0, 0, 2, "data"), meta,
+                      {apps::MakeRoute(0, 2, 1)},
+                      apps::MakePacket(1, 0, 2, "data"));
+  // The inline tree grows with every hop: the §2.3 argument against
+  // shipping provenance with tuples.
+  EXPECT_GT(rec.MetaWireSize(grown), size_at_injection);
+
+  ByteWriter w;
+  rec.SerializeMeta(grown, w);
+  ByteReader r(w.bytes());
+  auto back = rec.DeserializeMeta(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back->tree, *grown.tree);
+}
+
+TEST_F(MetaRoundTripTest, CorruptMetaFailsCleanly) {
+  AdvancedRecorder rec(program_.get(), *keys_, 4);
+  std::vector<uint8_t> garbage{0x07, 0x01};
+  ByteReader r(garbage);
+  EXPECT_FALSE(rec.DeserializeMeta(r).ok());
+}
+
+TEST(RecorderStorageTest, BreakdownReflectsSchemeShape) {
+  Topology topo;
+  NodeId n1 = topo.AddNode(), n2 = topo.AddNode(), n3 = topo.AddNode();
+  LinkProps lp{0.001, 1e9};
+  ASSERT_TRUE(topo.AddLink(n1, n2, lp).ok());
+  ASSERT_TRUE(topo.AddLink(n2, n3, lp).ok());
+  topo.ComputeRoutes();
+
+  auto run = [&](Scheme scheme) {
+    auto program = apps::MakeForwardingProgram();
+    EXPECT_TRUE(program.ok());
+    auto bed =
+        Testbed::Create(std::move(program).value(), &topo, scheme).value();
+    EXPECT_TRUE(
+        bed->system().InsertSlowTuple(apps::MakeRoute(n1, n3, n2)).ok());
+    EXPECT_TRUE(
+        bed->system().InsertSlowTuple(apps::MakeRoute(n2, n3, n3)).ok());
+    for (int i = 0; i < 5; ++i) {
+      EXPECT_TRUE(bed->system()
+                      .ScheduleInject(apps::MakePacket(
+                                          n1, n1, n3,
+                                          "p" + std::to_string(i)),
+                                      0.1 * (i + 1))
+                      .ok());
+    }
+    bed->system().Run();
+    return bed->TotalStorage();
+  };
+
+  StorageBreakdown exspan = run(Scheme::kExspan);
+  StorageBreakdown basic = run(Scheme::kBasic);
+  StorageBreakdown advanced = run(Scheme::kAdvanced);
+
+  // ExSPAN materializes intermediates: its tuple store dominates.
+  EXPECT_GT(exspan.tuple_store, basic.tuple_store);
+  // Basic drops per-intermediate prov rows.
+  EXPECT_GT(exspan.prov, basic.prov);
+  // Advanced shares one tree across the 5 packets: its ruleExec storage is
+  // several times below Basic's.
+  EXPECT_GT(basic.rule_exec, 3 * advanced.rule_exec);
+  // But each scheme keeps every input event (the irreducible delta).
+  EXPECT_EQ(basic.event_store, advanced.event_store);
+  EXPECT_GT(advanced.event_store, 0u);
+  // Totals are ordered as in the paper.
+  EXPECT_GT(exspan.Total(), basic.Total());
+  EXPECT_GT(basic.Total(), advanced.Total());
+}
+
+TEST(RecorderStorageTest, PendingOutputFlushes) {
+  // Drive the Advanced out-of-order path directly: an existFlag=true
+  // output arriving before the shared tree registers must be parked and
+  // flushed, not dropped.
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+  auto keys = ComputeEquivalenceKeys(*program);
+  ASSERT_TRUE(keys.ok());
+  AdvancedRecorder rec(&*program, *keys, 3);
+  const Rule& r2 = program->FindRule("r2") != nullptr
+                       ? *program->FindRule("r2")
+                       : program->rules()[1];
+
+  // First event (maintains) fires r2 but its output is delayed.
+  Tuple ev1 = apps::MakePacket(2, 0, 2, "first");
+  ProvMeta m1 = rec.OnInject(2, ev1);
+  ASSERT_TRUE(m1.maintain);
+  m1 = rec.OnRuleFired(2, r2, ev1, m1, {}, apps::MakeRecv(2, 0, 2, "first"));
+
+  // Second event of the same class overtakes: existFlag set, no hmap yet.
+  Tuple ev2 = apps::MakePacket(2, 0, 2, "second");
+  ProvMeta m2 = rec.OnInject(2, ev2);
+  ASSERT_TRUE(m2.exist_flag);
+  rec.OnOutput(2, apps::MakeRecv(2, 0, 2, "second"), m2);
+  EXPECT_EQ(rec.PendingOutputs(), 1u);
+  EXPECT_EQ(rec.ProvAt(2).size(), 0u);
+
+  // The first output lands: both prov rows appear, pending drains.
+  rec.OnOutput(2, apps::MakeRecv(2, 0, 2, "first"), m1);
+  EXPECT_EQ(rec.PendingOutputs(), 0u);
+  EXPECT_EQ(rec.ProvAt(2).size(), 2u);
+}
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,168 @@
+// Checkpoint/restore of per-node provenance tables: snapshots round-trip
+// byte-exactly and queries over restored tables return the original trees
+// (a restart scenario).
+#include "src/core/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/forwarding.h"
+#include "src/apps/testbed.h"
+#include "src/core/query.h"
+
+namespace dpc {
+namespace {
+
+using apps::Scheme;
+using apps::Testbed;
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    n1_ = topo_.AddNode();
+    n2_ = topo_.AddNode();
+    n3_ = topo_.AddNode();
+    LinkProps lp{0.001, 1e9};
+    ASSERT_TRUE(topo_.AddLink(n1_, n2_, lp).ok());
+    ASSERT_TRUE(topo_.AddLink(n2_, n3_, lp).ok());
+    topo_.ComputeRoutes();
+  }
+
+  std::unique_ptr<Testbed> RunScenario(Scheme scheme) {
+    auto program = apps::MakeForwardingProgram();
+    EXPECT_TRUE(program.ok());
+    auto bed =
+        Testbed::Create(std::move(program).value(), &topo_, scheme).value();
+    EXPECT_TRUE(
+        bed->system().InsertSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+    EXPECT_TRUE(
+        bed->system().InsertSlowTuple(apps::MakeRoute(n2_, n3_, n3_)).ok());
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_TRUE(bed->system()
+                      .ScheduleInject(apps::MakePacket(
+                                          n1_, n1_, n3_,
+                                          "p" + std::to_string(i)),
+                                      0.1 * (i + 1))
+                      .ok());
+    }
+    bed->system().Run();
+    return bed;
+  }
+
+  Topology topo_;
+  NodeId n1_, n2_, n3_;
+};
+
+TEST_F(SnapshotTest, RoundTripsByteExactly) {
+  auto bed = RunScenario(Scheme::kAdvanced);
+  for (NodeId n : {n1_, n2_, n3_}) {
+    NodeSnapshot snap = bed->advanced()->SnapshotAt(n);
+    ByteWriter w;
+    snap.Serialize(w);
+    EXPECT_EQ(w.size(), snap.SerializedSize());
+    ByteReader r(w.bytes());
+    auto back = NodeSnapshot::Deserialize(r);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->node, n);
+    EXPECT_EQ(back->prov, snap.prov);
+    EXPECT_EQ(back->rule_exec, snap.rule_exec);
+    EXPECT_EQ(back->events.size(), snap.events.size());
+    EXPECT_EQ(back->tuples.size(), snap.tuples.size());
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST_F(SnapshotTest, DeserializeRejectsGarbage) {
+  std::vector<uint8_t> garbage{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  ByteReader r(garbage);
+  auto snap = NodeSnapshot::Deserialize(r);
+  EXPECT_FALSE(snap.ok());
+}
+
+TEST_F(SnapshotTest, RestoredTablesAnswerLookups) {
+  auto bed = RunScenario(Scheme::kBasic);
+  NodeSnapshot snap = bed->basic()->SnapshotAt(n3_);
+  auto restored = RestoreTables(snap);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->prov.size(), bed->basic()->ProvAt(n3_).size());
+  EXPECT_EQ(restored->rule_exec.size(),
+            bed->basic()->RuleExecAt(n3_).size());
+  // A specific lookup survives the round trip.
+  Tuple recv = apps::MakeRecv(n3_, n1_, n3_, "p0");
+  auto rows = restored->prov.FindByVid(recv.Vid());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0]->rule.loc, n3_);
+}
+
+TEST_F(SnapshotTest, RestartScenarioKeepsQueriesWorking) {
+  // Run under Advanced, snapshot every node, restore into a fresh
+  // recorder-like table set, and reconstruct a tree manually via the
+  // restored chain to prove nothing depends on in-memory state.
+  auto bed = RunScenario(Scheme::kAdvanced);
+  std::vector<std::vector<uint8_t>> files;
+  for (NodeId n : {n1_, n2_, n3_}) {
+    ByteWriter w;
+    bed->advanced()->SnapshotAt(n).Serialize(w);
+    files.push_back(w.Take());
+  }
+
+  // "Restart": everything below uses only the serialized bytes.
+  std::vector<RestoredTables> nodes;
+  for (const auto& bytes : files) {
+    ByteReader r(bytes);
+    auto snap = NodeSnapshot::Deserialize(r);
+    ASSERT_TRUE(snap.ok());
+    auto restored = RestoreTables(*snap);
+    ASSERT_TRUE(restored.ok());
+    nodes.push_back(std::move(restored).value());
+  }
+
+  Tuple recv = apps::MakeRecv(n3_, n1_, n3_, "p2");
+  auto prov_rows = nodes[2].prov.FindByVid(recv.Vid());
+  ASSERT_EQ(prov_rows.size(), 1u);
+  // Follow the chain n3 -> n2 -> n1 across the restored tables.
+  NodeRid at = prov_rows[0]->rule;
+  std::vector<std::string> rules;
+  int guard = 0;
+  while (!at.IsNull() && guard++ < 10) {
+    auto rows = nodes[at.loc].rule_exec.FindByRid(at.rid);
+    ASSERT_EQ(rows.size(), 1u);
+    rules.push_back(rows[0]->rule_id);
+    at = rows[0]->next;
+  }
+  EXPECT_EQ(rules, (std::vector<std::string>{"r2", "r1", "r1"}));
+  // The event is retrievable from the restored event store at n1.
+  EXPECT_NE(nodes[0].events.Find(prov_rows[0]->evid), nullptr);
+}
+
+TEST_F(SnapshotTest, InterClassSnapshotsIncludeSplitTables) {
+  auto bed = RunScenario(Scheme::kAdvancedInterClass);
+  NodeSnapshot snap = bed->advanced()->SnapshotAt(n2_);
+  EXPECT_TRUE(snap.rule_exec.empty());
+  EXPECT_FALSE(snap.exec_nodes.empty());
+  EXPECT_FALSE(snap.exec_links.empty());
+  ByteWriter w;
+  snap.Serialize(w);
+  ByteReader r(w.bytes());
+  auto back = NodeSnapshot::Deserialize(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->exec_nodes, snap.exec_nodes);
+  EXPECT_EQ(back->exec_links, snap.exec_links);
+}
+
+TEST_F(SnapshotTest, SnapshotSizeTracksStorageBreakdown) {
+  auto bed = RunScenario(Scheme::kExspan);
+  for (NodeId n : {n1_, n2_, n3_}) {
+    NodeSnapshot snap = bed->exspan()->SnapshotAt(n);
+    StorageBreakdown breakdown = bed->exspan()->StorageAt(n);
+    // The snapshot adds framing (magic, counts, schema flags) but its row
+    // payload matches the breakdown's accounting to within that overhead.
+    EXPECT_GE(snap.SerializedSize() + 20 * snap.events.size() +
+                  20 * snap.tuples.size(),
+              breakdown.Total());
+    EXPECT_LT(snap.SerializedSize(),
+              breakdown.Total() + 64 + 8 * snap.prov.size());
+  }
+}
+
+}  // namespace
+}  // namespace dpc

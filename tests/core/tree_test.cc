@@ -1,0 +1,126 @@
+// Provenance trees: the ~ equivalence relation (Appendix A), equality,
+// serialization, rendering.
+#include "src/core/tree.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/forwarding.h"
+
+namespace dpc {
+namespace {
+
+ProvTree SampleTree(const std::string& payload, NodeId via = 1) {
+  ProvTree tree;
+  tree.set_event(apps::MakePacket(0, 0, 2, payload));
+  tree.AppendStep(ProvStep{"r1", apps::MakePacket(via, 0, 2, payload),
+                           {apps::MakeRoute(0, 2, via)}});
+  tree.AppendStep(ProvStep{"r1", apps::MakePacket(2, 0, 2, payload),
+                           {apps::MakeRoute(via, 2, 2)}});
+  tree.AppendStep(
+      ProvStep{"r2", apps::MakeRecv(2, 0, 2, payload), {}});
+  return tree;
+}
+
+TEST(ProvTreeTest, OutputIsLastHead) {
+  ProvTree tree = SampleTree("data");
+  EXPECT_EQ(tree.Output(), apps::MakeRecv(2, 0, 2, "data"));
+  EXPECT_EQ(tree.depth(), 3u);
+  EXPECT_FALSE(tree.empty());
+}
+
+TEST(ProvTreeTest, EqualityIsFull) {
+  EXPECT_EQ(SampleTree("data"), SampleTree("data"));
+  EXPECT_NE(SampleTree("data"), SampleTree("url"));
+}
+
+TEST(ProvTreeTest, EquivalenceIgnoresEventAndHeads) {
+  // Same rules, same slow tuples, different payload => equivalent (§5.1).
+  EXPECT_TRUE(SampleTree("data").EquivalentTo(SampleTree("url")));
+  EXPECT_TRUE(SampleTree("url").EquivalentTo(SampleTree("data")));
+}
+
+TEST(ProvTreeTest, EquivalenceRequiresSameSlowTuples) {
+  // Different route => different class.
+  EXPECT_FALSE(SampleTree("data", 1).EquivalentTo(SampleTree("data", 3)));
+}
+
+TEST(ProvTreeTest, EquivalenceRequiresSameRuleSequence) {
+  ProvTree a = SampleTree("data");
+  ProvTree b = SampleTree("data");
+  // Truncate one step.
+  ProvTree shorter(b.event(),
+                   {b.steps()[0], b.steps()[1]});
+  EXPECT_FALSE(a.EquivalentTo(shorter));
+}
+
+TEST(ProvTreeTest, EquivalenceDiffersOnRuleId) {
+  ProvTree a = SampleTree("data");
+  ProvTree b(a.event(), {ProvStep{"rX", a.steps()[0].head,
+                                  a.steps()[0].slow_tuples},
+                         a.steps()[1], a.steps()[2]});
+  EXPECT_FALSE(a.EquivalentTo(b));
+}
+
+TEST(ProvTreeTest, SerializationRoundTrip) {
+  ProvTree tree = SampleTree("data");
+  ByteWriter w;
+  tree.Serialize(w);
+  EXPECT_EQ(w.size(), tree.SerializedSize());
+  ByteReader r(w.bytes());
+  auto back = ProvTree::Deserialize(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, tree);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ProvTreeTest, EmptyTreeRoundTrip) {
+  ProvTree tree;
+  tree.set_event(apps::MakePacket(0, 0, 2, "x"));
+  ByteWriter w;
+  tree.Serialize(w);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(ProvTree::Deserialize(r).value(), tree);
+}
+
+TEST(ProvTreeTest, DeserializeRejectsGarbage) {
+  std::vector<uint8_t> garbage{1, 2, 3};
+  ByteReader r(garbage);
+  EXPECT_FALSE(ProvTree::Deserialize(r).ok());
+}
+
+TEST(ProvTreeTest, ToStringShowsChain) {
+  std::string s = SampleTree("data").ToString();
+  // Root first, event last; rule nodes annotated with firing location.
+  EXPECT_NE(s.find("recv(@2, 0, 2, \"data\")"), std::string::npos);
+  EXPECT_NE(s.find("(r2@n2)"), std::string::npos);
+  EXPECT_NE(s.find("(r1@n0)"), std::string::npos);
+  EXPECT_NE(s.find("route(@0, 2, 1)"), std::string::npos);
+  EXPECT_LT(s.find("recv"), s.find("packet(@0"));
+}
+
+TEST(ProvTreeTest, ToDotRendersPaperShapes) {
+  std::string dot = SampleTree("data").ToDot("fig3");
+  EXPECT_NE(dot.find("digraph fig3 {"), std::string::npos);
+  // Tuple nodes are boxes, rule nodes are ellipses, as in Fig. 3.
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);
+  EXPECT_NE(dot.find("r2@n2"), std::string::npos);
+  // Quotes in payloads are escaped.
+  EXPECT_NE(dot.find("\\\"data\\\""), std::string::npos);
+  // One edge into each rule node per body tuple + one out to the head:
+  // r1 steps have 2 in + 1 out, r2 has 1 in + 1 out => 8 edges.
+  size_t edges = 0;
+  for (size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1)) {
+    ++edges;
+  }
+  EXPECT_EQ(edges, 8u);
+}
+
+TEST(ProvTreeTest, SerializedSizeGrowsWithPayload) {
+  EXPECT_GT(SampleTree(std::string(500, 'x')).SerializedSize(),
+            SampleTree("x").SerializedSize() + 4 * 490);
+}
+
+}  // namespace
+}  // namespace dpc

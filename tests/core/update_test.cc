@@ -1,0 +1,138 @@
+// §5.5: updates to slow-changing tables. Reproduces the Fig. 7 scenario —
+// the route at n1 is switched from n2 to a new node n4 mid-stream — and
+// checks that (a) the insertion broadcasts a sig that resets every node's
+// equivalence cache, (b) provenance for the new path is maintained even
+// though the equivalence keys were already known, and (c) pre-update and
+// post-update outputs both reconstruct their true trees.
+#include <gtest/gtest.h>
+
+#include "src/apps/forwarding.h"
+#include "src/apps/testbed.h"
+
+namespace dpc {
+namespace {
+
+using apps::Scheme;
+using apps::Testbed;
+
+class SlowUpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    n1_ = topo_.AddNode();
+    n2_ = topo_.AddNode();
+    n3_ = topo_.AddNode();
+    n4_ = topo_.AddNode();
+    LinkProps lp{0.002, 50e6};
+    ASSERT_TRUE(topo_.AddLink(n1_, n2_, lp).ok());
+    ASSERT_TRUE(topo_.AddLink(n2_, n3_, lp).ok());
+    ASSERT_TRUE(topo_.AddLink(n1_, n4_, lp).ok());
+    ASSERT_TRUE(topo_.AddLink(n4_, n3_, lp).ok());
+    topo_.ComputeRoutes();
+  }
+
+  std::unique_ptr<Testbed> MakeBed(Scheme scheme) {
+    auto program = apps::MakeForwardingProgram();
+    EXPECT_TRUE(program.ok());
+    auto bed = Testbed::Create(std::move(program).value(), &topo_, scheme);
+    EXPECT_TRUE(bed.ok());
+    return std::move(bed).value();
+  }
+
+  Topology topo_;
+  NodeId n1_, n2_, n3_, n4_;
+};
+
+TEST_F(SlowUpdateTest, Fig7RouteChangeKeepsProvenanceCorrect) {
+  auto bed = MakeBed(Scheme::kAdvanced);
+  System& sys = bed->system();
+
+  // Initial Fig. 2 state: n1 -> n2 -> n3.
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n2_, n3_, n3_)).ok());
+  sys.Run();  // drain the §5.5 broadcasts caused by setup
+
+  // Two packets traverse the old path; the second is existFlag=true.
+  ASSERT_TRUE(
+      sys.ScheduleInject(apps::MakePacket(n1_, n1_, n3_, "old-1"), 1.0).ok());
+  ASSERT_TRUE(
+      sys.ScheduleInject(apps::MakePacket(n1_, n1_, n3_, "old-2"), 2.0).ok());
+  sys.Run();
+  uint64_t sigs_before = sys.stats().control_signals;
+
+  // Fig. 7: the administrator redirects traffic through n4.
+  ASSERT_TRUE(sys.DeleteSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n1_, n3_, n4_)).ok());
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n4_, n3_, n3_)).ok());
+  sys.Run();
+  // Each insertion broadcast a sig to all four nodes; the deletion did not.
+  EXPECT_EQ(sys.stats().control_signals, sigs_before + 2u * 4u);
+
+  // A post-update packet of the same equivalence class (n1, n3): without
+  // the §5.5 reset its provenance would be silently dropped.
+  ASSERT_TRUE(
+      sys.ScheduleInject(apps::MakePacket(n1_, n1_, n3_, "new-1"), 10.0).ok());
+  ASSERT_TRUE(
+      sys.ScheduleInject(apps::MakePacket(n1_, n1_, n3_, "new-2"), 11.0).ok());
+  sys.Run();
+
+  ASSERT_EQ(sys.OutputsAt(n3_).size(), 4u);
+  auto querier = bed->MakeQuerier();
+
+  // Old packets resolve through n2.
+  {
+    Tuple recv = apps::MakeRecv(n3_, n1_, n3_, "old-1");
+    Vid evid = apps::MakePacket(n1_, n1_, n3_, "old-1").Vid();
+    auto res = querier->Query(recv, &evid);
+    ASSERT_TRUE(res.ok()) << res.status().ToString();
+    ASSERT_EQ(res->trees.size(), 1u);
+    EXPECT_EQ(res->trees[0].steps()[0].slow_tuples[0],
+              apps::MakeRoute(n1_, n3_, n2_))
+        << "history must keep the old route even after its deletion";
+  }
+  // New packets resolve through n4 — both the cache-resetting first one and
+  // the existFlag=true follower.
+  for (const char* payload : {"new-1", "new-2"}) {
+    Tuple recv = apps::MakeRecv(n3_, n1_, n3_, payload);
+    Vid evid = apps::MakePacket(n1_, n1_, n3_, payload).Vid();
+    auto res = querier->Query(recv, &evid);
+    ASSERT_TRUE(res.ok()) << payload << ": " << res.status().ToString();
+    ASSERT_EQ(res->trees.size(), 1u);
+    EXPECT_EQ(res->trees[0].steps()[0].slow_tuples[0],
+              apps::MakeRoute(n1_, n3_, n4_));
+    EXPECT_EQ(res->trees[0].steps()[1].slow_tuples[0],
+              apps::MakeRoute(n4_, n3_, n3_));
+  }
+}
+
+TEST_F(SlowUpdateTest, DeletionAloneDoesNotBroadcast) {
+  auto bed = MakeBed(Scheme::kAdvanced);
+  System& sys = bed->system();
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+  sys.Run();
+  uint64_t sigs = sys.stats().control_signals;
+  ASSERT_TRUE(sys.DeleteSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+  sys.Run();
+  EXPECT_EQ(sys.stats().control_signals, sigs);
+}
+
+TEST_F(SlowUpdateTest, ReinsertingExistingRouteDoesNotBroadcast) {
+  auto bed = MakeBed(Scheme::kAdvanced);
+  System& sys = bed->system();
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+  sys.Run();
+  uint64_t sigs = sys.stats().control_signals;
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+  sys.Run();
+  EXPECT_EQ(sys.stats().control_signals, sigs);
+}
+
+TEST_F(SlowUpdateTest, ExspanIgnoresUpdatesWithoutBroadcast) {
+  auto bed = MakeBed(Scheme::kExspan);
+  System& sys = bed->system();
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+  sys.Run();
+  EXPECT_EQ(sys.stats().control_signals, 0u);
+}
+
+}  // namespace
+}  // namespace dpc

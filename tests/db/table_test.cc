@@ -1,0 +1,122 @@
+// Table / Database: set semantics, tombstoned deletion, iteration order,
+// serialization size accounting.
+#include "src/db/table.h"
+
+#include <gtest/gtest.h>
+
+namespace dpc {
+namespace {
+
+Tuple Route(NodeId at, NodeId dst, NodeId next) {
+  return Tuple::Make("route", at, {Value::Int(dst), Value::Int(next)});
+}
+
+TEST(TableTest, InsertDeduplicates) {
+  Table t("route");
+  EXPECT_TRUE(t.Insert(Route(1, 3, 2)));
+  EXPECT_FALSE(t.Insert(Route(1, 3, 2)));
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TableTest, EraseAndReinsert) {
+  Table t("route");
+  Tuple r = Route(1, 3, 2);
+  EXPECT_FALSE(t.Erase(r));  // not present yet
+  t.Insert(r);
+  EXPECT_TRUE(t.Erase(r));
+  EXPECT_FALSE(t.Contains(r));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.Insert(r));  // reinsertion after erase
+  EXPECT_TRUE(t.Contains(r));
+}
+
+TEST(TableTest, SnapshotPreservesInsertionOrder) {
+  Table t("route");
+  t.Insert(Route(1, 3, 2));
+  t.Insert(Route(1, 4, 2));
+  t.Insert(Route(1, 5, 2));
+  t.Erase(Route(1, 4, 2));
+  auto snap = t.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0], Route(1, 3, 2));
+  EXPECT_EQ(snap[1], Route(1, 5, 2));
+}
+
+TEST(TableTest, ForEachEarlyStop) {
+  Table t("route");
+  for (int d = 0; d < 10; ++d) t.Insert(Route(1, d, 2));
+  int visited = 0;
+  t.ForEach([&](const Tuple&) { return ++visited < 3; });
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(TableTest, ForEachSkipsErased) {
+  Table t("route");
+  t.Insert(Route(1, 3, 2));
+  t.Insert(Route(1, 4, 2));
+  t.Erase(Route(1, 3, 2));
+  int visited = 0;
+  t.ForEach([&](const Tuple& tup) {
+    EXPECT_EQ(tup, Route(1, 4, 2));
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+TEST(TableTest, SerializeCountsLiveTuplesOnly) {
+  Table t("route");
+  t.Insert(Route(1, 3, 2));
+  size_t one = t.SerializedSize();
+  t.Insert(Route(1, 4, 2));
+  size_t two = t.SerializedSize();
+  EXPECT_GT(two, one);
+  t.Erase(Route(1, 4, 2));
+  EXPECT_EQ(t.SerializedSize(), one);
+}
+
+TEST(DatabaseTest, GetOrCreateIsIdempotent) {
+  Database db;
+  Table& a = db.GetOrCreate("route");
+  Table& b = db.GetOrCreate("route");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(DatabaseTest, FindReturnsNullForMissing) {
+  Database db;
+  EXPECT_EQ(db.Find("nope"), nullptr);
+  const Database& cdb = db;
+  EXPECT_EQ(cdb.Find("nope"), nullptr);
+}
+
+TEST(DatabaseTest, InsertRoutesToRightTable) {
+  Database db;
+  db.Insert(Route(1, 3, 2));
+  db.Insert(Tuple::Make("link", 1, {Value::Int(2)}));
+  EXPECT_EQ(db.Find("route")->size(), 1u);
+  EXPECT_EQ(db.Find("link")->size(), 1u);
+  EXPECT_EQ(db.TotalTuples(), 2u);
+}
+
+TEST(DatabaseTest, EraseAndContains) {
+  Database db;
+  Tuple r = Route(1, 3, 2);
+  EXPECT_FALSE(db.Erase(r));
+  db.Insert(r);
+  EXPECT_TRUE(db.Contains(r));
+  EXPECT_TRUE(db.Erase(r));
+  EXPECT_FALSE(db.Contains(r));
+}
+
+TEST(DatabaseTest, RelationNamesSorted) {
+  Database db;
+  db.GetOrCreate("zeta");
+  db.GetOrCreate("alpha");
+  db.GetOrCreate("mid");
+  EXPECT_EQ(db.RelationNames(),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,86 @@
+// Tuple: location specifier, VIDs, serialization, display.
+#include "src/db/tuple.h"
+
+#include <gtest/gtest.h>
+
+namespace dpc {
+namespace {
+
+Tuple SamplePacket() {
+  return Tuple::Make("packet", 1,
+                     {Value::Int(1), Value::Int(3), Value::Str("data")});
+}
+
+TEST(TupleTest, MakePrependsLocation) {
+  Tuple t = SamplePacket();
+  EXPECT_EQ(t.relation(), "packet");
+  EXPECT_EQ(t.arity(), 4u);
+  EXPECT_EQ(t.Location(), 1);
+  EXPECT_EQ(t.at(0), Value::Int(1));
+  EXPECT_EQ(t.at(3), Value::Str("data"));
+}
+
+TEST(TupleTest, EqualityIsStructural) {
+  EXPECT_EQ(SamplePacket(), SamplePacket());
+  Tuple other = Tuple::Make("packet", 1,
+                            {Value::Int(1), Value::Int(3), Value::Str("x")});
+  EXPECT_NE(SamplePacket(), other);
+  Tuple renamed =
+      Tuple::Make("pkt", 1, {Value::Int(1), Value::Int(3), Value::Str("data")});
+  EXPECT_NE(SamplePacket(), renamed);
+}
+
+TEST(TupleTest, VidIsContentHash) {
+  EXPECT_EQ(SamplePacket().Vid(), SamplePacket().Vid());
+  Tuple other = Tuple::Make("packet", 1,
+                            {Value::Int(1), Value::Int(3), Value::Str("url")});
+  EXPECT_NE(SamplePacket().Vid(), other.Vid());
+}
+
+TEST(TupleTest, VidDependsOnRelationName) {
+  Tuple a("r1", {Value::Int(0)});
+  Tuple b("r2", {Value::Int(0)});
+  EXPECT_NE(a.Vid(), b.Vid());
+}
+
+TEST(TupleTest, RoundTrip) {
+  Tuple t = SamplePacket();
+  ByteWriter w;
+  t.Serialize(w);
+  EXPECT_EQ(w.size(), t.SerializedSize());
+  ByteReader r(w.bytes());
+  auto back = Tuple::Deserialize(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(TupleTest, RoundTripEmptyValues) {
+  Tuple t("nullary", {Value::Int(0)});
+  ByteWriter w;
+  t.Serialize(w);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(Tuple::Deserialize(r).value(), t);
+}
+
+TEST(TupleTest, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(SamplePacket().ToString(), "packet(@1, 1, 3, \"data\")");
+}
+
+TEST(TupleTest, HashFunctorConsistentWithEquality) {
+  TupleHash h;
+  EXPECT_EQ(h(SamplePacket()), h(SamplePacket()));
+}
+
+TEST(TupleTest, SerializedSizeScalesWithPayload) {
+  Tuple small = Tuple::Make("packet", 1, {Value::Str("x")});
+  Tuple big = Tuple::Make("packet", 1, {Value::Str(std::string(500, 'x'))});
+  EXPECT_GT(big.SerializedSize(), small.SerializedSize() + 490);
+}
+
+TEST(TupleDeathTest, LocationRequiresIntFirstAttribute) {
+  Tuple bad("rel", {Value::Str("not-a-node")});
+  EXPECT_DEATH((void)bad.Location(), "location");
+}
+
+}  // namespace
+}  // namespace dpc

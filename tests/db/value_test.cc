@@ -1,0 +1,86 @@
+// Value: typing, ordering, truthiness, serialization.
+#include "src/db/value.h"
+
+#include <gtest/gtest.h>
+
+namespace dpc {
+namespace {
+
+TEST(ValueTest, Kinds) {
+  EXPECT_TRUE(Value::Int(1).is_int());
+  EXPECT_TRUE(Value::Str("x").is_string());
+  EXPECT_TRUE(Value::Bool(true).is_int());  // booleans are 0/1 integers
+  EXPECT_EQ(Value::Bool(true).AsInt(), 1);
+  EXPECT_EQ(Value::Bool(false).AsInt(), 0);
+}
+
+TEST(ValueTest, DefaultIsZeroInt) {
+  Value v;
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.AsInt(), 0);
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Int(5), Value::Int(5));
+  EXPECT_NE(Value::Int(5), Value::Int(6));
+  EXPECT_EQ(Value::Str("a"), Value::Str("a"));
+  EXPECT_NE(Value::Str("a"), Value::Str("b"));
+  // Cross-type values never compare equal, even "5" vs 5.
+  EXPECT_NE(Value::Int(5), Value::Str("5"));
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Str("a"), Value::Str("b"));
+  // Variant ordering: all ints sort before all strings (index order).
+  EXPECT_LT(Value::Int(999), Value::Str("a"));
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_TRUE(Value::Int(1).Truthy());
+  EXPECT_TRUE(Value::Int(-1).Truthy());
+  EXPECT_FALSE(Value::Int(0).Truthy());
+  EXPECT_TRUE(Value::Str("x").Truthy());
+  EXPECT_FALSE(Value::Str("").Truthy());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Int(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Str("data").ToString(), "\"data\"");
+}
+
+class ValueRoundTrip : public ::testing::TestWithParam<Value> {};
+
+TEST_P(ValueRoundTrip, SerializeDeserialize) {
+  ByteWriter w;
+  GetParam().Serialize(w);
+  EXPECT_EQ(w.size(), GetParam().SerializedSize());
+  ByteReader r(w.bytes());
+  auto v = Value::Deserialize(r);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, GetParam());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, ValueRoundTrip,
+    ::testing::Values(Value::Int(0), Value::Int(-1), Value::Int(1),
+                      Value::Int(1LL << 40), Value::Int(-(1LL << 40)),
+                      Value::Str(""), Value::Str("hello"),
+                      Value::Str(std::string(1000, 'x')),
+                      Value::Bool(true)));
+
+TEST(ValueTest, DeserializeRejectsBadTag) {
+  std::vector<uint8_t> bytes{0x77};
+  ByteReader r(bytes);
+  EXPECT_FALSE(Value::Deserialize(r).ok());
+}
+
+TEST(ValueTest, SerializedSizeIsCompact) {
+  EXPECT_LE(Value::Int(5).SerializedSize(), 2u);      // tag + 1 varint byte
+  EXPECT_LE(Value::Str("ab").SerializedSize(), 4u);   // tag + len + 2
+}
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,102 @@
+// UDF registry and the built-in functions, especially f_isSubDomain which
+// drives DNS delegation matching.
+#include "src/ndlog/functions.h"
+
+#include <gtest/gtest.h>
+
+namespace dpc {
+namespace {
+
+TEST(IsSubDomainTest, BasicSuffixMatching) {
+  EXPECT_TRUE(IsSubDomain("com", "www.hello.com"));
+  EXPECT_TRUE(IsSubDomain("hello.com", "www.hello.com"));
+  EXPECT_TRUE(IsSubDomain("www.hello.com", "www.hello.com"));
+  EXPECT_FALSE(IsSubDomain("x.www.hello.com", "www.hello.com"));
+  EXPECT_FALSE(IsSubDomain("org", "www.hello.com"));
+}
+
+TEST(IsSubDomainTest, LabelBoundaryRespected) {
+  // "ello.com" is a string suffix but not a domain suffix.
+  EXPECT_FALSE(IsSubDomain("ello.com", "www.hello.com"));
+  EXPECT_FALSE(IsSubDomain("llo.com", "hello.com"));
+}
+
+TEST(IsSubDomainTest, RootMatchesEverything) {
+  EXPECT_TRUE(IsSubDomain("", "anything.at.all"));
+  EXPECT_TRUE(IsSubDomain(".", "anything.at.all"));
+}
+
+TEST(IsSubDomainTest, GeneratedDnsDomains) {
+  // The shapes MakeDnsUniverse produces.
+  EXPECT_TRUE(IsSubDomain("d1", "www3.d9.d4.d1"));
+  EXPECT_TRUE(IsSubDomain("d4.d1", "www3.d9.d4.d1"));
+  EXPECT_TRUE(IsSubDomain("d9.d4.d1", "www3.d9.d4.d1"));
+  EXPECT_FALSE(IsSubDomain("d9.d4.d1", "www3.d8.d4.d1"));
+  EXPECT_FALSE(IsSubDomain("d11", "www3.d1"));
+}
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  FunctionRegistry reg_ = DefaultFunctions();
+};
+
+TEST_F(RegistryTest, ContainsDefaults) {
+  for (const char* fn :
+       {"f_isSubDomain", "f_size", "f_concat", "f_min", "f_max"}) {
+    EXPECT_TRUE(reg_.Contains(fn)) << fn;
+  }
+  EXPECT_FALSE(reg_.Contains("f_missing"));
+}
+
+TEST_F(RegistryTest, CallDispatches) {
+  auto v = reg_.Call("f_size", {Value::Str("abcd")});
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, Value::Int(4));
+}
+
+TEST_F(RegistryTest, UnknownFunctionIsNotFound) {
+  auto v = reg_.Call("f_missing", {});
+  EXPECT_TRUE(v.status().IsNotFound());
+}
+
+TEST_F(RegistryTest, ArityErrors) {
+  EXPECT_FALSE(reg_.Call("f_isSubDomain", {Value::Str("a")}).ok());
+  EXPECT_FALSE(reg_.Call("f_size", {}).ok());
+  EXPECT_FALSE(
+      reg_.Call("f_concat", {Value::Str("a"), Value::Str("b"),
+                             Value::Str("c")})
+          .ok());
+}
+
+TEST_F(RegistryTest, TypeErrors) {
+  EXPECT_FALSE(reg_.Call("f_isSubDomain", {Value::Int(1), Value::Int(2)})
+                   .ok());
+  EXPECT_FALSE(reg_.Call("f_size", {Value::Int(1)}).ok());
+}
+
+TEST_F(RegistryTest, MinMaxWorkOnBothTypes) {
+  EXPECT_EQ(reg_.Call("f_min", {Value::Int(2), Value::Int(1)}).value(),
+            Value::Int(1));
+  EXPECT_EQ(
+      reg_.Call("f_max", {Value::Str("a"), Value::Str("b")}).value(),
+      Value::Str("b"));
+}
+
+TEST_F(RegistryTest, RegisterOverrides) {
+  reg_.Register("f_size", [](const std::vector<Value>&) -> Result<Value> {
+    return Value::Int(-1);
+  });
+  EXPECT_EQ(reg_.Call("f_size", {Value::Str("abcd")}).value(),
+            Value::Int(-1));
+}
+
+TEST_F(RegistryTest, CustomFunction) {
+  reg_.Register("f_double",
+                [](const std::vector<Value>& args) -> Result<Value> {
+                  return Value::Int(args[0].AsInt() * 2);
+                });
+  EXPECT_EQ(reg_.Call("f_double", {Value::Int(21)}).value(), Value::Int(42));
+}
+
+}  // namespace
+}  // namespace dpc

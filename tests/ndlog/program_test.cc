@@ -1,0 +1,166 @@
+// Program: DELP validation (Definition 1), relation roles, relations of
+// interest.
+#include "src/ndlog/program.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/dns.h"
+#include "src/apps/forwarding.h"
+
+namespace dpc {
+namespace {
+
+TEST(ProgramTest, ForwardingRoles) {
+  auto p = apps::MakeForwardingProgram();
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->input_event_relation(), "packet");
+  EXPECT_EQ(p->RoleOf("packet"), RelationRole::kInputEvent);
+  EXPECT_EQ(p->RoleOf("route"), RelationRole::kSlowChanging);
+  EXPECT_EQ(p->RoleOf("recv"), RelationRole::kTerminal);
+  EXPECT_TRUE(p->IsSlowChanging("route"));
+  EXPECT_FALSE(p->IsSlowChanging("packet"));
+  EXPECT_TRUE(p->IsEventRelation("packet"));
+  EXPECT_FALSE(p->IsEventRelation("recv"));
+  EXPECT_EQ(p->terminal_relations(), (std::vector<std::string>{"recv"}));
+  EXPECT_TRUE(p->IsOfInterest("recv"));
+  EXPECT_FALSE(p->IsOfInterest("packet"));
+}
+
+TEST(ProgramTest, DnsRoles) {
+  auto p = apps::MakeDnsProgram();
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->input_event_relation(), "url");
+  EXPECT_EQ(p->RoleOf("request"), RelationRole::kDerived);
+  EXPECT_EQ(p->RoleOf("dnsResult"), RelationRole::kDerived);
+  EXPECT_EQ(p->RoleOf("reply"), RelationRole::kTerminal);
+  EXPECT_EQ(p->RoleOf("rootServer"), RelationRole::kSlowChanging);
+  EXPECT_EQ(p->RoleOf("nameServer"), RelationRole::kSlowChanging);
+  EXPECT_EQ(p->RoleOf("addressRecord"), RelationRole::kSlowChanging);
+}
+
+TEST(ProgramTest, RulesTriggeredBy) {
+  auto p = apps::MakeDnsProgram();
+  ASSERT_TRUE(p.ok());
+  auto by_request = p->RulesTriggeredBy("request");
+  ASSERT_EQ(by_request.size(), 2u);  // r2 and r3
+  EXPECT_EQ(by_request[0]->id, "r2");
+  EXPECT_EQ(by_request[1]->id, "r3");
+  EXPECT_TRUE(p->RulesTriggeredBy("reply").empty());
+}
+
+TEST(ProgramTest, FindRule) {
+  auto p = apps::MakeForwardingProgram();
+  ASSERT_TRUE(p.ok());
+  ASSERT_NE(p->FindRule("r1"), nullptr);
+  EXPECT_EQ(p->FindRule("r1")->head.relation, "packet");
+  EXPECT_EQ(p->FindRule("r99"), nullptr);
+}
+
+TEST(ProgramTest, DefaultInterestIsTerminals) {
+  auto p = Program::Parse("a(@X) :- e(@X), s(@X).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->relations_of_interest(), (std::vector<std::string>{"a"}));
+}
+
+TEST(ProgramTest, ExplicitInterestOverrides) {
+  ProgramOptions opts;
+  opts.relations_of_interest = {"e"};
+  auto p = Program::Parse("a(@X) :- e(@X), s(@X).", opts);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->IsOfInterest("e"));
+  EXPECT_FALSE(p->IsOfInterest("a"));
+}
+
+TEST(ProgramTest, UnknownRelationDefaultsToSlowChanging) {
+  auto p = apps::MakeForwardingProgram();
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->RoleOf("linkState"), RelationRole::kSlowChanging);
+}
+
+// --- Definition 1 violations ------------------------------------------------
+
+TEST(DelpValidationTest, EmptyProgramRejected) {
+  EXPECT_FALSE(Program::Parse("").ok());
+}
+
+TEST(DelpValidationTest, NonDependentConsecutiveRulesRejected) {
+  auto p = Program::Parse(R"(
+    r1 a(@X) :- e(@X), s(@X).
+    r2 b(@X) :- f(@X), s(@X).
+  )");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("not dependent"), std::string::npos);
+}
+
+TEST(DelpValidationTest, HeadUsedAsConditionRejected) {
+  // Condition 3: head relation `a` appears as a non-event body atom.
+  auto p = Program::Parse(R"(
+    r1 a(@X) :- e(@X), s(@X).
+    r2 b(@X) :- a(@X), a(@X).
+  )");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("condition 3"), std::string::npos);
+}
+
+TEST(DelpValidationTest, InputEventAsConditionRejected) {
+  auto p = Program::Parse(R"(
+    r1 a(@X) :- e(@X), e(@X).
+  )");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(DelpValidationTest, UnboundHeadVariableRejected) {
+  auto p = Program::Parse("a(@X, Y) :- e(@X).");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("unbound"), std::string::npos);
+}
+
+TEST(DelpValidationTest, UnboundConstraintVariableRejected) {
+  auto p = Program::Parse("a(@X) :- e(@X), Z == 1.");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(DelpValidationTest, UnboundAssignmentVariableRejected) {
+  auto p = Program::Parse("a(@X, Y) :- e(@X), Y := Z + 1.");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(DelpValidationTest, AssignmentBindingHeadVarAccepted) {
+  auto p = Program::Parse("a(@X, Y) :- e(@X), Y := X + 1.");
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+}
+
+TEST(DelpValidationTest, DuplicateRuleIdsRejected) {
+  auto p = Program::Parse(R"(
+    r1 a(@X) :- e(@X).
+    r1 b(@X) :- a(@X).
+  )");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(DelpValidationTest, SelfRecursiveEventRuleAccepted) {
+  // DNS r2's shape: request derives request.
+  auto p = Program::Parse(R"(
+    r1 req(@Y, U) :- url(@X, U), root(@X, Y).
+    r2 req(@Z, U) :- req(@Y, U), deleg(@Y, Z).
+  )");
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+}
+
+TEST(DelpValidationTest, PaperProgramsValidate) {
+  EXPECT_TRUE(apps::MakeForwardingProgram().ok());
+  EXPECT_TRUE(apps::MakeDnsProgram().ok());
+}
+
+TEST(ProgramTest, ToStringContainsAllRules) {
+  auto p = apps::MakeDnsProgram();
+  ASSERT_TRUE(p.ok());
+  std::string s = p->ToString();
+  for (const char* id : {"r1", "r2", "r3", "r4"}) {
+    EXPECT_NE(s.find(id), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,93 @@
+// Discrete-event queue: ordering, tie-breaking, time advancement.
+#include "src/net/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dpc {
+namespace {
+
+TEST(EventQueueTest, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueTest, TiesBreakInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.ScheduleAt(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, CallbacksCanScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] {
+    ++fired;
+    q.ScheduleAfter(1.0, [&] { ++fired; });
+  });
+  q.RunAll();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueueTest, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAt(1.0, [&] { ++fired; });
+  q.ScheduleAt(5.0, [&] { ++fired; });
+  q.RunUntil(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, RunUntilAdvancesTimeWhenIdle) {
+  EventQueue q;
+  q.RunUntil(10.0);
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueueTest, RunNextOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.RunNext());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  double fired_at = -1;
+  q.ScheduleAt(2.0, [&] {
+    q.ScheduleAfter(0.5, [&] { fired_at = q.now(); });
+  });
+  q.RunAll();
+  EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(EventQueueTest, MaxEventsGuardStops) {
+  EventQueue q;
+  int fired = 0;
+  // A self-perpetuating event chain.
+  std::function<void()> tick = [&] {
+    ++fired;
+    q.ScheduleAfter(1.0, tick);
+  };
+  q.ScheduleAt(0.0, tick);
+  q.RunAll(/*max_events=*/100);
+  EXPECT_EQ(fired, 100);
+}
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,125 @@
+// Network: hop-by-hop delivery, latency accrual, bandwidth accounting,
+// broadcast.
+#include "src/net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace dpc {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    topo_.AddNodes(4);
+    // 0 -- 1 -- 2 -- 3 with 10 ms / 1 Mbps links.
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(topo_.AddLink(i, i + 1, LinkProps{0.010, 1e6}).ok());
+    }
+    topo_.ComputeRoutes();
+    net_ = std::make_unique<Network>(&topo_, &queue_);
+  }
+
+  Message MakeMsg(NodeId src, NodeId dst, size_t payload_len) {
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    m.payload.assign(payload_len, 0xCD);
+    return m;
+  }
+
+  Topology topo_;
+  EventQueue queue_;
+  std::unique_ptr<Network> net_;
+};
+
+TEST_F(NetworkTest, DeliversToDestination) {
+  std::vector<Message> delivered;
+  net_->SetDeliveryHandler([&](const Message& m) { delivered.push_back(m); });
+  net_->Send(MakeMsg(0, 3, 100));
+  queue_.RunAll();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].dst, 3);
+  EXPECT_EQ(delivered[0].payload.size(), 100u);
+}
+
+TEST_F(NetworkTest, LatencyAccruesPerHop) {
+  double arrival = -1;
+  net_->SetDeliveryHandler([&](const Message&) { arrival = queue_.now(); });
+  // 128-byte wire size (100 + 28 header): 3 hops of 10ms + 1.024ms tx.
+  net_->Send(MakeMsg(0, 3, 100));
+  queue_.RunAll();
+  double per_hop = 0.010 + (100 + kMessageHeaderBytes) * 8.0 / 1e6;
+  EXPECT_NEAR(arrival, 3 * per_hop, 1e-9);
+}
+
+TEST_F(NetworkTest, LocalDeliveryIsFastAndFree) {
+  int delivered = 0;
+  net_->SetDeliveryHandler([&](const Message&) { ++delivered; });
+  net_->Send(MakeMsg(2, 2, 50));
+  queue_.RunAll();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net_->total_bytes_sent(), 0u);
+  EXPECT_LT(queue_.now(), 0.001);
+}
+
+TEST_F(NetworkTest, BytesChargedPerTraversedLink) {
+  net_->SetDeliveryHandler([](const Message&) {});
+  net_->Send(MakeMsg(0, 3, 100));
+  queue_.RunAll();
+  EXPECT_EQ(net_->total_bytes_sent(), 3 * (100 + kMessageHeaderBytes));
+  EXPECT_EQ(net_->total_messages(), 1u);
+}
+
+TEST_F(NetworkTest, BucketsSplitByTime) {
+  net_->set_bucket_width_s(0.02);
+  net_->SetDeliveryHandler([](const Message&) {});
+  net_->Send(MakeMsg(0, 2, 0));  // hop at t=0 and t~=0.0102
+  queue_.RunAll();
+  const auto& buckets = net_->bucket_bytes();
+  ASSERT_GE(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0], 2u * kMessageHeaderBytes);
+}
+
+TEST_F(NetworkTest, BroadcastReachesEveryone) {
+  std::vector<NodeId> destinations;
+  net_->SetDeliveryHandler(
+      [&](const Message& m) { destinations.push_back(m.dst); });
+  Message m;
+  m.kind = MessageKind::kControl;
+  net_->Broadcast(1, std::move(m));
+  queue_.RunAll();
+  std::sort(destinations.begin(), destinations.end());
+  EXPECT_EQ(destinations, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST_F(NetworkTest, ResetAccountingClearsCounters) {
+  net_->SetDeliveryHandler([](const Message&) {});
+  net_->Send(MakeMsg(0, 3, 10));
+  queue_.RunAll();
+  ASSERT_GT(net_->total_bytes_sent(), 0u);
+  net_->ResetAccounting();
+  EXPECT_EQ(net_->total_bytes_sent(), 0u);
+  EXPECT_EQ(net_->total_messages(), 0u);
+  EXPECT_TRUE(net_->bucket_bytes().empty());
+}
+
+TEST_F(NetworkTest, InFlightOrderPreservedOnSamePath) {
+  std::vector<int> order;
+  net_->SetDeliveryHandler([&](const Message& m) {
+    order.push_back(static_cast<int>(m.payload.size()));
+  });
+  net_->Send(MakeMsg(0, 3, 1));
+  net_->Send(MakeMsg(0, 3, 2));
+  net_->Send(MakeMsg(0, 3, 3));
+  queue_.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(MessageTest, WireSizeIncludesHeader) {
+  Message m;
+  m.payload.assign(100, 0);
+  EXPECT_EQ(m.WireSize(), 100 + kMessageHeaderBytes);
+}
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,81 @@
+// Topology constructors: structure, connectivity, distances.
+#include "src/net/topology_factory.h"
+
+#include <gtest/gtest.h>
+
+namespace dpc {
+namespace {
+
+TEST(TopologyFactoryTest, Line) {
+  Topology t = MakeLineTopology(5);
+  EXPECT_EQ(t.num_nodes(), 5);
+  EXPECT_EQ(t.num_links(), 4u);
+  EXPECT_TRUE(t.IsConnected());
+  EXPECT_EQ(t.Diameter(), 4);
+  EXPECT_EQ(t.Distance(0, 4), 4);
+}
+
+TEST(TopologyFactoryTest, SingleNodeLine) {
+  Topology t = MakeLineTopology(1);
+  EXPECT_EQ(t.num_nodes(), 1);
+  EXPECT_EQ(t.num_links(), 0u);
+  EXPECT_TRUE(t.IsConnected());
+  EXPECT_EQ(t.Diameter(), 0);
+}
+
+TEST(TopologyFactoryTest, Ring) {
+  Topology t = MakeRingTopology(6);
+  EXPECT_EQ(t.num_links(), 6u);
+  EXPECT_TRUE(t.IsConnected());
+  EXPECT_EQ(t.Diameter(), 3);          // opposite nodes
+  EXPECT_EQ(t.Distance(0, 5), 1);      // wraps around
+}
+
+TEST(TopologyFactoryTest, Star) {
+  Topology t = MakeStarTopology(7);
+  EXPECT_EQ(t.num_links(), 6u);
+  EXPECT_EQ(t.Diameter(), 2);
+  for (NodeId i = 1; i < 7; ++i) {
+    EXPECT_EQ(t.Distance(0, i), 1);
+    EXPECT_EQ(t.NextHop(i, (i % 6) + 1 == i ? 1 : (i % 6) + 1), 0);
+  }
+}
+
+TEST(TopologyFactoryTest, Grid) {
+  Topology t = MakeGridTopology(3, 4);
+  EXPECT_EQ(t.num_nodes(), 12);
+  // 3 rows x 3 horizontal + 2 x 4 vertical = 9 + 8 = 17 links.
+  EXPECT_EQ(t.num_links(), 17u);
+  EXPECT_TRUE(t.IsConnected());
+  // Manhattan distance between corners.
+  EXPECT_EQ(t.Distance(0, 11), 5);
+  EXPECT_EQ(t.Diameter(), 5);
+}
+
+TEST(TopologyFactoryTest, DegenerateGrid) {
+  Topology t = MakeGridTopology(1, 5);
+  EXPECT_EQ(t.num_links(), 4u);
+  EXPECT_EQ(t.Diameter(), 4);
+}
+
+class RandomTreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomTreeSweep, TreesAreTrees) {
+  Topology t = MakeRandomTreeTopology(GetParam(), /*seed=*/GetParam() * 7);
+  EXPECT_EQ(t.num_nodes(), GetParam());
+  EXPECT_EQ(t.num_links(), static_cast<size_t>(GetParam() - 1));
+  EXPECT_TRUE(t.IsConnected());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomTreeSweep,
+                         ::testing::Values(1, 2, 3, 10, 50, 200));
+
+TEST(TopologyFactoryTest, CustomLinkPropsApply) {
+  LinkProps fast{0.0001, 10e9};
+  Topology t = MakeLineTopology(3, fast);
+  EXPECT_EQ(t.Link(0, 1), fast);
+  EXPECT_DOUBLE_EQ(t.PathLatency(0, 2), 0.0002);
+}
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,118 @@
+// Topology: link bookkeeping, BFS routing, path/latency metrics.
+#include "src/net/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace dpc {
+namespace {
+
+class LineTopologyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) topo_.AddNode();
+    ASSERT_TRUE(topo_.AddLink(0, 1, LinkProps{0.010, 1e9}).ok());
+    ASSERT_TRUE(topo_.AddLink(1, 2, LinkProps{0.020, 1e9}).ok());
+    ASSERT_TRUE(topo_.AddLink(2, 3, LinkProps{0.030, 1e9}).ok());
+    topo_.ComputeRoutes();
+  }
+  Topology topo_;
+};
+
+TEST_F(LineTopologyTest, Distances) {
+  EXPECT_EQ(topo_.Distance(0, 0), 0);
+  EXPECT_EQ(topo_.Distance(0, 3), 3);
+  EXPECT_EQ(topo_.Distance(3, 0), 3);
+  EXPECT_EQ(topo_.Distance(1, 2), 1);
+}
+
+TEST_F(LineTopologyTest, NextHopAndPath) {
+  EXPECT_EQ(topo_.NextHop(0, 3), 1);
+  EXPECT_EQ(topo_.NextHop(3, 0), 2);
+  EXPECT_EQ(topo_.NextHop(0, 0), kNullNode);
+  EXPECT_EQ(topo_.Path(0, 3), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(topo_.Path(2, 2), (std::vector<NodeId>{2}));
+}
+
+TEST_F(LineTopologyTest, PathLatencySumsLinks) {
+  EXPECT_DOUBLE_EQ(topo_.PathLatency(0, 3), 0.060);
+  EXPECT_DOUBLE_EQ(topo_.PathLatency(1, 1), 0);
+}
+
+TEST_F(LineTopologyTest, DiameterAndAverage) {
+  EXPECT_EQ(topo_.Diameter(), 3);
+  EXPECT_TRUE(topo_.IsConnected());
+  // Pairwise distances: 1,2,3,1,2,1 each counted twice; avg = 20/12.
+  EXPECT_NEAR(topo_.AverageDistance(), 20.0 / 12.0, 1e-12);
+}
+
+TEST_F(LineTopologyTest, LinkLookup) {
+  EXPECT_TRUE(topo_.HasLink(0, 1));
+  EXPECT_TRUE(topo_.HasLink(1, 0));  // undirected
+  EXPECT_FALSE(topo_.HasLink(0, 2));
+  EXPECT_DOUBLE_EQ(topo_.Link(2, 1).latency_s, 0.020);
+}
+
+TEST(TopologyTest, RejectsBadLinks) {
+  Topology t;
+  t.AddNodes(2);
+  EXPECT_TRUE(t.AddLink(0, 0, {}).IsInvalidArgument());
+  EXPECT_TRUE(t.AddLink(0, 5, {}).IsInvalidArgument());
+  EXPECT_TRUE(t.AddLink(0, 1, {}).ok());
+  EXPECT_TRUE(t.AddLink(1, 0, {}).IsAlreadyExists());
+}
+
+TEST(TopologyTest, DisconnectedGraphs) {
+  Topology t;
+  t.AddNodes(4);
+  ASSERT_TRUE(t.AddLink(0, 1, {}).ok());
+  ASSERT_TRUE(t.AddLink(2, 3, {}).ok());
+  t.ComputeRoutes();
+  EXPECT_FALSE(t.IsConnected());
+  EXPECT_EQ(t.Distance(0, 2), -1);
+  EXPECT_EQ(t.NextHop(0, 2), kNullNode);
+  EXPECT_TRUE(t.Path(0, 2).empty());
+}
+
+TEST(TopologyTest, ShortestPathPrefersFewerHops) {
+  // Square with a diagonal: 0-1-2 vs 0-2 direct.
+  Topology t;
+  t.AddNodes(3);
+  ASSERT_TRUE(t.AddLink(0, 1, {}).ok());
+  ASSERT_TRUE(t.AddLink(1, 2, {}).ok());
+  ASSERT_TRUE(t.AddLink(0, 2, {}).ok());
+  t.ComputeRoutes();
+  EXPECT_EQ(t.Distance(0, 2), 1);
+  EXPECT_EQ(t.Path(0, 2), (std::vector<NodeId>{0, 2}));
+}
+
+TEST(TopologyTest, NextHopConsistentWithDistance) {
+  // On any graph, following NextHop must decrease distance by exactly 1.
+  Topology t;
+  t.AddNodes(6);
+  ASSERT_TRUE(t.AddLink(0, 1, {}).ok());
+  ASSERT_TRUE(t.AddLink(1, 2, {}).ok());
+  ASSERT_TRUE(t.AddLink(2, 3, {}).ok());
+  ASSERT_TRUE(t.AddLink(3, 4, {}).ok());
+  ASSERT_TRUE(t.AddLink(4, 5, {}).ok());
+  ASSERT_TRUE(t.AddLink(0, 5, {}).ok());
+  t.ComputeRoutes();
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = 0; v < 6; ++v) {
+      if (u == v) continue;
+      NodeId next = t.NextHop(u, v);
+      ASSERT_NE(next, kNullNode);
+      EXPECT_EQ(t.Distance(next, v), t.Distance(u, v) - 1)
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(TopologyTest, AddNodesReturnsFirstId) {
+  Topology t;
+  EXPECT_EQ(t.AddNodes(3), 0);
+  EXPECT_EQ(t.AddNodes(2), 3);
+  EXPECT_EQ(t.num_nodes(), 5);
+}
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,98 @@
+// Transit-stub generator: structure, connectivity, link classes, and the
+// paper's 100-node configuration.
+#include "src/net/transit_stub.h"
+
+#include <gtest/gtest.h>
+
+namespace dpc {
+namespace {
+
+TEST(TransitStubTest, PaperConfiguration) {
+  TransitStubTopology topo = MakeTransitStub();
+  EXPECT_EQ(topo.graph.num_nodes(), 100);  // 4 + 4*3*8
+  EXPECT_EQ(topo.transit_nodes.size(), 4u);
+  EXPECT_EQ(topo.stub_domains.size(), 12u);
+  EXPECT_EQ(topo.stub_nodes.size(), 96u);
+  EXPECT_TRUE(topo.graph.IsConnected());
+  // The paper reports diameter 12 and average distance 5.3 for GT-ITM's
+  // output; our generator should land in the same regime.
+  EXPECT_GE(topo.graph.Diameter(), 5);
+  EXPECT_LE(topo.graph.Diameter(), 14);
+  EXPECT_GT(topo.graph.AverageDistance(), 3.0);
+  EXPECT_LT(topo.graph.AverageDistance(), 7.0);
+}
+
+TEST(TransitStubTest, TransitCoreIsFullMesh) {
+  TransitStubTopology topo = MakeTransitStub();
+  for (size_t i = 0; i < topo.transit_nodes.size(); ++i) {
+    for (size_t j = i + 1; j < topo.transit_nodes.size(); ++j) {
+      EXPECT_TRUE(
+          topo.graph.HasLink(topo.transit_nodes[i], topo.transit_nodes[j]));
+    }
+  }
+}
+
+TEST(TransitStubTest, LinkClassesCarryConfiguredProps) {
+  TransitStubParams params;
+  TransitStubTopology topo = MakeTransitStub(params);
+  // Transit-transit.
+  EXPECT_EQ(topo.graph.Link(topo.transit_nodes[0], topo.transit_nodes[1]),
+            params.transit_transit);
+  // Gateway (first stub node of domain 0) to its transit node.
+  EXPECT_EQ(topo.graph.Link(topo.stub_domains[0][0], topo.transit_nodes[0]),
+            params.transit_stub);
+  // Intra-stub spanning-tree edge.
+  const auto& domain = topo.stub_domains[0];
+  bool found = false;
+  for (size_t i = 1; i < domain.size() && !found; ++i) {
+    for (size_t j = 0; j < i && !found; ++j) {
+      if (topo.graph.HasLink(domain[i], domain[j])) {
+        EXPECT_EQ(topo.graph.Link(domain[i], domain[j]), params.stub_stub);
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TransitStubTest, DeterministicForSeed) {
+  TransitStubTopology a = MakeTransitStub();
+  TransitStubTopology b = MakeTransitStub();
+  EXPECT_EQ(a.graph.num_links(), b.graph.num_links());
+  EXPECT_EQ(a.graph.Diameter(), b.graph.Diameter());
+}
+
+TEST(TransitStubTest, DifferentSeedsDiffer) {
+  TransitStubParams p1, p2;
+  p2.seed = 777;
+  TransitStubTopology a = MakeTransitStub(p1);
+  TransitStubTopology b = MakeTransitStub(p2);
+  // Same node count, (almost surely) different wiring.
+  EXPECT_EQ(a.graph.num_nodes(), b.graph.num_nodes());
+  EXPECT_NE(a.graph.num_links(), b.graph.num_links());
+}
+
+class TransitStubSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TransitStubSweep, ArbitraryShapesStayConnected) {
+  auto [nt, spt, nps] = GetParam();
+  TransitStubParams params;
+  params.num_transit = nt;
+  params.stubs_per_transit = spt;
+  params.nodes_per_stub = nps;
+  TransitStubTopology topo = MakeTransitStub(params);
+  EXPECT_EQ(topo.graph.num_nodes(), nt + nt * spt * nps);
+  EXPECT_TRUE(topo.graph.IsConnected());
+  EXPECT_EQ(topo.stub_nodes.size(),
+            static_cast<size_t>(nt * spt * nps));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TransitStubSweep,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 2, 4),
+                      std::make_tuple(2, 1, 8), std::make_tuple(3, 3, 3),
+                      std::make_tuple(6, 2, 5), std::make_tuple(8, 1, 2)));
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,165 @@
+// §3.2 reactive provenance: replaying the non-deterministic input log
+// reconstructs the provenance of any tuple — including intermediate event
+// tuples that no storage scheme materializes — and survives mid-stream
+// slow-table updates.
+#include "src/runtime/replay.h"
+
+#include <gtest/gtest.h>
+
+#include "src/apps/forwarding.h"
+#include "src/apps/testbed.h"
+
+namespace dpc {
+namespace {
+
+using apps::Scheme;
+using apps::Testbed;
+
+class ReplayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    n1_ = topo_.AddNode();
+    n2_ = topo_.AddNode();
+    n3_ = topo_.AddNode();
+    ASSERT_TRUE(topo_.AddLink(n1_, n2_, LinkProps{0.002, 50e6}).ok());
+    ASSERT_TRUE(topo_.AddLink(n2_, n3_, LinkProps{0.002, 50e6}).ok());
+    topo_.ComputeRoutes();
+    auto program = apps::MakeForwardingProgram();
+    ASSERT_TRUE(program.ok());
+    program_ = std::make_unique<Program>(std::move(program).value());
+    auto bed = Testbed::Create(*program_, &topo_, Scheme::kAdvanced);
+    ASSERT_TRUE(bed.ok());
+    bed_ = std::move(bed).value();
+    bed_->system().SetReplayLog(&log_);
+  }
+
+  void RunBaseScenario() {
+    System& sys = bed_->system();
+    ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+    ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n2_, n3_, n3_)).ok());
+    ASSERT_TRUE(
+        sys.ScheduleInject(apps::MakePacket(n1_, n1_, n3_, "data"), 1.0).ok());
+    ASSERT_TRUE(
+        sys.ScheduleInject(apps::MakePacket(n1_, n1_, n3_, "url"), 2.0).ok());
+    sys.Run();
+  }
+
+  Topology topo_;
+  NodeId n1_, n2_, n3_;
+  std::unique_ptr<Program> program_;
+  std::unique_ptr<Testbed> bed_;
+  ReplayLog log_;
+};
+
+TEST_F(ReplayTest, LogCapturesAllInputs) {
+  RunBaseScenario();
+  ASSERT_EQ(log_.size(), 4u);  // 2 slow inserts + 2 injections
+  EXPECT_EQ(log_.entries()[0].kind, ReplayLog::Kind::kSlowInsert);
+  EXPECT_EQ(log_.entries()[2].kind, ReplayLog::Kind::kInject);
+  EXPECT_DOUBLE_EQ(log_.entries()[2].time, 1.0);
+  EXPECT_EQ(log_.entries()[3].tuple,
+            apps::MakePacket(n1_, n1_, n3_, "url"));
+}
+
+TEST_F(ReplayTest, LogSerializationRoundTrips) {
+  RunBaseScenario();
+  ByteWriter w;
+  log_.Serialize(w);
+  ByteReader r(w.bytes());
+  auto back = ReplayLog::Deserialize(r);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->entries(), log_.entries());
+  EXPECT_GT(log_.SerializedBytes(), 0u);
+}
+
+TEST_F(ReplayTest, ReplayReconstructsTerminalOutputs) {
+  RunBaseScenario();
+  Replayer replayer(program_.get(), &topo_);
+  auto trees =
+      replayer.ProvenanceOf(log_, apps::MakeRecv(n3_, n1_, n3_, "data"));
+  ASSERT_TRUE(trees.ok()) << trees.status().ToString();
+  ASSERT_EQ(trees->size(), 1u);
+  EXPECT_EQ((*trees)[0].event(), apps::MakePacket(n1_, n1_, n3_, "data"));
+  EXPECT_EQ((*trees)[0].depth(), 3u);
+}
+
+TEST_F(ReplayTest, ReplayReconstructsIntermediateTuples) {
+  RunBaseScenario();
+  Replayer replayer(program_.get(), &topo_);
+  // The intermediate packet at n2 has no prov row in any scheme; only
+  // replay can answer for it.
+  Tuple intermediate = apps::MakePacket(n2_, n1_, n3_, "url");
+  auto trees = replayer.ProvenanceOf(log_, intermediate);
+  ASSERT_TRUE(trees.ok()) << trees.status().ToString();
+  ASSERT_EQ(trees->size(), 1u);
+  EXPECT_EQ((*trees)[0].Output(), intermediate);
+  EXPECT_EQ((*trees)[0].depth(), 1u);  // just r1@n1
+  ASSERT_EQ((*trees)[0].steps()[0].slow_tuples.size(), 1u);
+  EXPECT_EQ((*trees)[0].steps()[0].slow_tuples[0],
+            apps::MakeRoute(n1_, n3_, n2_));
+}
+
+TEST_F(ReplayTest, UnknownTupleIsNotFound) {
+  RunBaseScenario();
+  Replayer replayer(program_.get(), &topo_);
+  auto trees =
+      replayer.ProvenanceOf(log_, apps::MakeRecv(n3_, n1_, n3_, "never"));
+  EXPECT_TRUE(trees.status().IsNotFound());
+}
+
+TEST_F(ReplayTest, MidStreamUpdateReplaysFaithfully) {
+  System& sys = bed_->system();
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n2_, n3_, n3_)).ok());
+  ASSERT_TRUE(
+      sys.ScheduleInject(apps::MakePacket(n1_, n1_, n3_, "old"), 1.0).ok());
+  sys.RunUntil(5.0);
+  // Reroute directly over the n1-n2 link's reverse direction is impossible
+  // in this line topology, so simply retarget the first hop via n2 again
+  // after a delete/insert pair — the replay must apply both at t>=5.
+  ASSERT_TRUE(sys.DeleteSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+  ASSERT_TRUE(sys.InsertSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+  ASSERT_TRUE(
+      sys.ScheduleInject(apps::MakePacket(n1_, n1_, n3_, "new"), 6.0).ok());
+  sys.Run();
+
+  Replayer replayer(program_.get(), &topo_);
+  auto all = replayer.AllTrees(log_);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 2u);
+  for (const ProvTree& tree : *all) {
+    EXPECT_EQ(tree.depth(), 3u);
+  }
+}
+
+TEST_F(ReplayTest, ReplayedTreesMatchReferenceRecorder) {
+  RunBaseScenario();
+  // An independent reference run over the same inputs.
+  auto ref_bed = Testbed::Create(*program_, &topo_, Scheme::kReference);
+  ASSERT_TRUE(ref_bed.ok());
+  System& ref_sys = (*ref_bed)->system();
+  ASSERT_TRUE(ref_sys.InsertSlowTuple(apps::MakeRoute(n1_, n3_, n2_)).ok());
+  ASSERT_TRUE(ref_sys.InsertSlowTuple(apps::MakeRoute(n2_, n3_, n3_)).ok());
+  ASSERT_TRUE(ref_sys
+                  .ScheduleInject(apps::MakePacket(n1_, n1_, n3_, "data"),
+                                  1.0)
+                  .ok());
+  ASSERT_TRUE(ref_sys
+                  .ScheduleInject(apps::MakePacket(n1_, n1_, n3_, "url"),
+                                  2.0)
+                  .ok());
+  ref_sys.Run();
+
+  Replayer replayer(program_.get(), &topo_);
+  auto replayed = replayer.AllTrees(log_);
+  ASSERT_TRUE(replayed.ok());
+  auto expected = (*ref_bed)->reference()->AllTrees();
+  ASSERT_EQ(replayed->size(), expected.size());
+  for (const ProvTree* tree : expected) {
+    EXPECT_NE(std::find(replayed->begin(), replayed->end(), *tree),
+              replayed->end());
+  }
+}
+
+}  // namespace
+}  // namespace dpc

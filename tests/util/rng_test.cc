@@ -1,0 +1,127 @@
+// Rng determinism/range properties and the Zipf sampler's distribution.
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace dpc {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (uint64_t n : {1ULL, 2ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBelow(n), n);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRoughlyUniform) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[rng.NextBelow(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleActuallyPermutes) {
+  Rng rng(5);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+TEST(ZipfTest, RanksWithinBounds) {
+  ZipfGenerator zipf(38, 0.9, 3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.Next(), 38u);
+  }
+}
+
+TEST(ZipfTest, PopularityIsMonotone) {
+  ZipfGenerator zipf(20, 0.9, 3);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.Next()];
+  // Rank 0 must dominate; counts decrease (allowing sampling noise) with
+  // rank.
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[5], counts[19]);
+  // Rank 0's share under theta=0.9 over 20 items is roughly 25%.
+  EXPECT_GT(counts[0], 200000 / 8);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfGenerator zipf(10, 0.0, 3);
+  std::map<size_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next()];
+  for (const auto& [_, c] : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(ZipfTest, SingleItem) {
+  ZipfGenerator zipf(1, 0.9, 3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Next(), 0u);
+}
+
+}  // namespace
+}  // namespace dpc

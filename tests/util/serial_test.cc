@@ -1,0 +1,130 @@
+// ByteWriter/ByteReader round-trips and malformed-input handling.
+#include "src/util/serial.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace dpc {
+namespace {
+
+TEST(SerialTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetU8().value(), 0xAB);
+  EXPECT_EQ(r.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VarintRoundTrip, Unsigned) {
+  ByteWriter w;
+  w.PutVarint(GetParam());
+  ByteReader r(w.bytes());
+  auto v = r.GetVarint();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, GetParam());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, VarintRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 16383ULL,
+                      16384ULL, (1ULL << 32), (1ULL << 56),
+                      std::numeric_limits<uint64_t>::max()));
+
+class SignedVarintRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SignedVarintRoundTrip, Signed) {
+  ByteWriter w;
+  w.PutVarintSigned(GetParam());
+  ByteReader r(w.bytes());
+  auto v = r.GetVarintSigned();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, SignedVarintRoundTrip,
+    ::testing::Values(0LL, 1LL, -1LL, 63LL, -64LL, 64LL, -65LL, 1000000LL,
+                      -1000000LL, std::numeric_limits<int64_t>::max(),
+                      std::numeric_limits<int64_t>::min()));
+
+TEST(SerialTest, StringRoundTrip) {
+  ByteWriter w;
+  w.PutString("");
+  w.PutString("hello");
+  std::string binary("\x00\x01\xff", 3);
+  w.PutString(binary);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetString().value(), "");
+  EXPECT_EQ(r.GetString().value(), "hello");
+  EXPECT_EQ(r.GetString().value(), binary);
+}
+
+TEST(SerialTest, DigestRoundTrip) {
+  Sha1Digest d = Sha1::Hash("digest");
+  ByteWriter w;
+  w.PutDigest(d);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.GetDigest().value(), d);
+}
+
+TEST(SerialTest, BoolRoundTrip) {
+  ByteWriter w;
+  w.PutBool(true);
+  w.PutBool(false);
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.GetBool().value());
+  EXPECT_FALSE(r.GetBool().value());
+}
+
+TEST(SerialTest, TruncatedReadsFail) {
+  ByteWriter w;
+  w.PutU32(7);
+  std::vector<uint8_t> bytes = w.Take();
+  bytes.pop_back();
+  ByteReader r(bytes);
+  auto v = r.GetU32();
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsParseError());
+}
+
+TEST(SerialTest, TruncatedStringBodyFails) {
+  ByteWriter w;
+  w.PutVarint(100);  // claims a 100-byte string follows
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(r.GetString().ok());
+}
+
+TEST(SerialTest, OverlongVarintFails) {
+  std::vector<uint8_t> bytes(11, 0x80);  // never terminates within 64 bits
+  ByteReader r(bytes);
+  EXPECT_FALSE(r.GetVarint().ok());
+}
+
+TEST(SerialTest, EmptyReaderAtEnd) {
+  std::vector<uint8_t> empty;
+  ByteReader r(empty);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_FALSE(r.GetU8().ok());
+}
+
+TEST(SerialTest, RemainingTracksPosition) {
+  ByteWriter w;
+  w.PutU64(1);
+  w.PutU8(2);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.remaining(), 9u);
+  (void)r.GetU64();
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,103 @@
+// SHA-1 against FIPS 180-1 / RFC 3174 test vectors, plus incremental
+// hashing and digest utilities.
+#include "src/util/sha1.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+
+namespace dpc {
+namespace {
+
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(Sha1::Hash("").ToHex(),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(Sha1::Hash("abc").ToHex(),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha1::Hash("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+          .ToHex(),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, MillionAs) {
+  std::string a(1000000, 'a');
+  EXPECT_EQ(Sha1::Hash(a).ToHex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, ExactBlockBoundary) {
+  // 64-byte input exercises the padding-into-new-block path.
+  std::string block(64, 'x');
+  EXPECT_EQ(Sha1::Hash(block), Sha1::Hash(block.data(), block.size()));
+  std::string b55(55, 'y'), b56(56, 'y'), b57(57, 'y');
+  EXPECT_NE(Sha1::Hash(b55), Sha1::Hash(b56));
+  EXPECT_NE(Sha1::Hash(b56), Sha1::Hash(b57));
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  std::string data =
+      "the quick brown fox jumps over the lazy dog, repeatedly and at "
+      "odd chunk boundaries";
+  for (size_t chunk : {1u, 3u, 7u, 13u, 64u, 100u}) {
+    Sha1 hasher;
+    for (size_t i = 0; i < data.size(); i += chunk) {
+      hasher.Update(data.substr(i, chunk));
+    }
+    EXPECT_EQ(hasher.Finish(), Sha1::Hash(data)) << "chunk " << chunk;
+  }
+}
+
+TEST(Sha1Test, ResetAllowsReuse) {
+  Sha1 hasher;
+  hasher.Update("abc");
+  Sha1Digest first = hasher.Finish();
+  hasher.Reset();
+  hasher.Update("abc");
+  EXPECT_EQ(hasher.Finish(), first);
+}
+
+TEST(Sha1DigestTest, HexTruncation) {
+  Sha1Digest d = Sha1::Hash("abc");
+  EXPECT_EQ(d.ToHex(4), "a9993e36");
+  EXPECT_EQ(d.ToHex(0).size(), 40u);
+  EXPECT_EQ(d.ToHex(40).size(), 40u);  // clamped to digest size
+}
+
+TEST(Sha1DigestTest, OrderingAndEquality) {
+  Sha1Digest a = Sha1::Hash("a");
+  Sha1Digest b = Sha1::Hash("b");
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_EQ(a, Sha1::Hash("a"));
+}
+
+TEST(Sha1DigestTest, ZeroDetection) {
+  Sha1Digest zero{};
+  EXPECT_TRUE(zero.IsZero());
+  EXPECT_FALSE(Sha1::Hash("x").IsZero());
+}
+
+TEST(Sha1DigestTest, Prefix64IsStable) {
+  Sha1Digest d = Sha1::Hash("abc");
+  EXPECT_EQ(d.Prefix64(), Sha1::Hash("abc").Prefix64());
+  EXPECT_NE(d.Prefix64(), Sha1::Hash("abd").Prefix64());
+}
+
+TEST(Sha1DigestTest, NoCollisionsOverManyInputs) {
+  std::unordered_set<std::string> seen;
+  for (int i = 0; i < 10000; ++i) {
+    seen.insert(Sha1::Hash(std::to_string(i)).ToHex());
+  }
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+}  // namespace
+}  // namespace dpc

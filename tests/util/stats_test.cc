@@ -1,0 +1,85 @@
+// Cdf quantiles, TimeSeries regression slope, and byte/rate formatting.
+#include "src/util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace dpc {
+namespace {
+
+TEST(CdfTest, FractionAtOrBelow) {
+  Cdf cdf({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(1), 0.2);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(3), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(5), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionAtOrBelow(100), 1.0);
+}
+
+TEST(CdfTest, QuantilesNearestRank) {
+  Cdf cdf({10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.1), 10);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 50);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 100);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 10);
+  EXPECT_DOUBLE_EQ(cdf.Median(), 50);
+}
+
+TEST(CdfTest, UnsortedInputIsSorted) {
+  Cdf cdf({5, 1, 4, 2, 3});
+  EXPECT_DOUBLE_EQ(cdf.Min(), 1);
+  EXPECT_DOUBLE_EQ(cdf.Max(), 5);
+  EXPECT_DOUBLE_EQ(cdf.Mean(), 3);
+}
+
+TEST(CdfTest, SingleSample) {
+  Cdf cdf({7});
+  EXPECT_DOUBLE_EQ(cdf.Median(), 7);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.99), 7);
+  EXPECT_DOUBLE_EQ(cdf.Mean(), 7);
+}
+
+TEST(CdfTest, CurveEndpoints) {
+  Cdf cdf({0, 10});
+  auto curve = cdf.Curve(5);
+  ASSERT_EQ(curve.size(), 5u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 10);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(CdfTest, EmptyCurve) {
+  Cdf cdf(std::vector<double>{});
+  EXPECT_TRUE(cdf.Curve(5).empty());
+  EXPECT_EQ(cdf.size(), 0u);
+}
+
+TEST(TimeSeriesTest, LinearGrowthRate) {
+  TimeSeries ts;
+  for (int i = 0; i <= 10; ++i) ts.Add(i, 100.0 * i + 5);
+  EXPECT_NEAR(ts.GrowthRate(), 100.0, 1e-9);
+}
+
+TEST(TimeSeriesTest, FlatSeriesHasZeroRate) {
+  TimeSeries ts;
+  ts.Add(0, 42);
+  ts.Add(10, 42);
+  ts.Add(20, 42);
+  EXPECT_NEAR(ts.GrowthRate(), 0.0, 1e-12);
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(FormatBytes(512), "512.00 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KB");
+  EXPECT_EQ(FormatBytes(1024.0 * 1024 * 1.5), "1.50 MB");
+  EXPECT_EQ(FormatBytes(1024.0 * 1024 * 1024 * 11.8), "11.80 GB");
+}
+
+TEST(FormatTest, BitRate) {
+  EXPECT_EQ(FormatBitRate(500), "500.00 bps");
+  EXPECT_EQ(FormatBitRate(5e3), "5.00 Kbps");
+  EXPECT_EQ(FormatBitRate(30e6), "30.00 Mbps");
+  EXPECT_EQ(FormatBitRate(2.5e9), "2.50 Gbps");
+}
+
+}  // namespace
+}  // namespace dpc

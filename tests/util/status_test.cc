@@ -1,0 +1,99 @@
+// Status / Result plumbing and the propagation macros.
+#include "src/util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "src/util/result.h"
+
+namespace dpc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("no such tuple");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "no such tuple");
+  EXPECT_EQ(st.ToString(), "NotFound: no such tuple");
+}
+
+TEST(StatusTest, AllConstructorsSetMatchingCode) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyIsCheap) {
+  Status st = Status::Internal("boom");
+  Status copy = st;
+  EXPECT_EQ(copy.message(), "boom");
+  EXPECT_EQ(copy.code(), st.code());
+}
+
+Status FailsWhenNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  DPC_RETURN_NOT_OK(FailsWhenNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_TRUE(Chain(-1).IsInvalidArgument());
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("must be positive");
+  return x * 2;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+  EXPECT_EQ(r.ValueOr(7), 7);
+}
+
+TEST(ResultTest, ValueOrReturnsValueOnSuccess) {
+  EXPECT_EQ(ParsePositive(5).ValueOr(0), 10);
+}
+
+Result<int> UsesAssignOrReturn(int x) {
+  DPC_ASSIGN_OR_RETURN(int doubled, ParsePositive(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(UsesAssignOrReturn(3).value(), 7);
+  EXPECT_TRUE(UsesAssignOrReturn(-3).status().IsOutOfRange());
+}
+
+TEST(ResultTest, MoveOnlyFriendly) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 9);
+}
+
+}  // namespace
+}  // namespace dpc

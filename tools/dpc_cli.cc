@@ -1,0 +1,286 @@
+// dpc_cli: run any DELP from files, drive it with a trace, and query
+// provenance interactively — the adoptable front door to the library.
+//
+//   dpc_cli --program forwarding.ndlog --trace run.trace --scheme advanced
+//
+// The program file holds NDlog rules (see examples in src/apps). The trace
+// file holds one command per line ('#' starts a comment):
+//
+//   nodes N                      declare N nodes (ids 0..N-1)
+//   link A B LATENCY_S BW_BPS    add an undirected link
+//   interest REL                 add REL to the relations of interest
+//   slow route(@0, 2, 1)         insert a slow-changing tuple
+//   delete route(@0, 2, 1)       delete one (no provenance invalidation)
+//   inject 0.5 packet(@0, 0, 2, "x")   schedule an event at t=0.5s
+//   run                          drain the simulation
+//   keys                         print the computed equivalence keys
+//   stats                        print execution counters
+//   storage                      print per-scheme storage breakdown
+//   snapshot PREFIX              write per-node table snapshots to
+//                                PREFIX-nodeN.dpcs (exspan/basic/advanced)
+//   query recv(@2, 0, 2, "x")    print the tuple's provenance tree(s)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/apps/testbed.h"
+#include "src/core/equivalence_keys.h"
+#include "src/core/query.h"
+#include "src/core/snapshot.h"
+#include "src/ndlog/parser.h"
+#include "src/util/stats.h"
+
+namespace dpc {
+namespace {
+
+using apps::Scheme;
+using apps::Testbed;
+
+int Fail(const std::string& msg) {
+  std::fprintf(stderr, "dpc_cli: %s\n", msg.c_str());
+  return 1;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Result<Scheme> ParseScheme(const std::string& name) {
+  if (name == "reference") return Scheme::kReference;
+  if (name == "exspan") return Scheme::kExspan;
+  if (name == "basic") return Scheme::kBasic;
+  if (name == "advanced") return Scheme::kAdvanced;
+  if (name == "advanced-interclass") return Scheme::kAdvancedInterClass;
+  return Status::InvalidArgument(
+      "unknown scheme " + name +
+      " (reference|exspan|basic|advanced|advanced-interclass)");
+}
+
+struct TraceRunner {
+  std::unique_ptr<Testbed> bed;
+  std::unique_ptr<ProvenanceQuerier> querier;
+
+  int Execute(const std::string& line, int lineno) {
+    std::istringstream ss(line);
+    std::string cmd;
+    ss >> cmd;
+    if (cmd.empty() || cmd[0] == '#') return 0;
+
+    auto rest = [&ss]() {
+      std::string r;
+      std::getline(ss, r);
+      return r;
+    };
+    auto error = [lineno](const std::string& msg) {
+      return Fail("trace line " + std::to_string(lineno) + ": " + msg);
+    };
+
+    if (cmd == "slow" || cmd == "delete") {
+      auto tuple = ParseTuple(rest());
+      if (!tuple.ok()) return error(tuple.status().ToString());
+      Status st = cmd == "slow" ? bed->system().InsertSlowTuple(*tuple)
+                                : bed->system().DeleteSlowTuple(*tuple);
+      if (!st.ok()) return error(st.ToString());
+      return 0;
+    }
+    if (cmd == "inject") {
+      double when = 0;
+      ss >> when;
+      auto tuple = ParseTuple(rest());
+      if (!tuple.ok()) return error(tuple.status().ToString());
+      Status st = bed->system().ScheduleInject(*tuple, when);
+      if (!st.ok()) return error(st.ToString());
+      return 0;
+    }
+    if (cmd == "run") {
+      bed->system().Run();
+      return 0;
+    }
+    if (cmd == "keys") {
+      auto keys = ComputeEquivalenceKeys(bed->program());
+      if (!keys.ok()) return error(keys.status().ToString());
+      std::printf("equivalence keys: %s\n", keys->ToString().c_str());
+      return 0;
+    }
+    if (cmd == "stats") {
+      const SystemStats& s = bed->system().stats();
+      std::printf("events=%llu firings=%llu outputs=%llu sigs=%llu "
+                  "net=%s msgs=%llu\n",
+                  static_cast<unsigned long long>(s.events_injected),
+                  static_cast<unsigned long long>(s.rule_firings),
+                  static_cast<unsigned long long>(s.outputs),
+                  static_cast<unsigned long long>(s.control_signals),
+                  FormatBytes(static_cast<double>(
+                                  bed->network().total_bytes_sent()))
+                      .c_str(),
+                  static_cast<unsigned long long>(
+                      bed->network().total_messages()));
+      return 0;
+    }
+    if (cmd == "storage") {
+      StorageBreakdown s = bed->TotalStorage();
+      std::printf("storage: prov=%zu ruleExec=%zu events=%zu tuples=%zu "
+                  "total=%zu bytes\n",
+                  s.prov, s.rule_exec, s.event_store, s.tuple_store,
+                  s.Total());
+      return 0;
+    }
+    if (cmd == "snapshot") {
+      std::string prefix;
+      ss >> prefix;
+      if (prefix.empty()) return error("snapshot needs a file prefix");
+      int nodes = bed->topology().num_nodes();
+      size_t total = 0;
+      for (NodeId n = 0; n < nodes; ++n) {
+        NodeSnapshot snap;
+        if (bed->exspan() != nullptr) {
+          snap = bed->exspan()->SnapshotAt(n);
+        } else if (bed->basic() != nullptr) {
+          snap = bed->basic()->SnapshotAt(n);
+        } else if (bed->advanced() != nullptr) {
+          snap = bed->advanced()->SnapshotAt(n);
+        } else {
+          return error("the reference scheme has no snapshot support");
+        }
+        ByteWriter w;
+        snap.Serialize(w);
+        std::string path =
+            prefix + "-node" + std::to_string(n) + ".dpcs";
+        std::ofstream out(path, std::ios::binary);
+        if (!out) return error("cannot write " + path);
+        out.write(reinterpret_cast<const char*>(w.bytes().data()),
+                  static_cast<std::streamsize>(w.size()));
+        total += w.size();
+      }
+      std::printf("wrote %d snapshot files (%zu bytes)\n", nodes, total);
+      return 0;
+    }
+    if (cmd == "query") {
+      if (querier == nullptr) querier = bed->MakeQuerier();
+      if (querier == nullptr) {
+        return error("the reference scheme is not queryable; use its trees");
+      }
+      auto tuple = ParseTuple(rest());
+      if (!tuple.ok()) return error(tuple.status().ToString());
+      auto res = querier->Query(*tuple);
+      if (!res.ok()) return error(res.status().ToString());
+      std::printf("%zu derivation(s), latency %.3f ms, %zu entries, "
+                  "%d hops:\n",
+                  res->trees.size(), res->latency_s * 1e3,
+                  res->entries_touched, res->hops);
+      for (const ProvTree& tree : res->trees) {
+        std::printf("%s", tree.ToString().c_str());
+      }
+      return 0;
+    }
+    return error("unknown command " + cmd);
+  }
+};
+
+int Run(int argc, char** argv) {
+  std::string program_path, trace_path, scheme_name = "advanced";
+  std::vector<std::string> interests;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--program") {
+      const char* v = next();
+      if (!v) return Fail("--program needs a file");
+      program_path = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return Fail("--trace needs a file");
+      trace_path = v;
+    } else if (arg == "--scheme") {
+      const char* v = next();
+      if (!v) return Fail("--scheme needs a name");
+      scheme_name = v;
+    } else if (arg == "--interest") {
+      const char* v = next();
+      if (!v) return Fail("--interest needs a relation");
+      interests.push_back(v);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: dpc_cli --program FILE --trace FILE "
+                  "[--scheme NAME] [--interest REL]...\n");
+      return 0;
+    } else {
+      return Fail("unknown flag " + arg + " (try --help)");
+    }
+  }
+  if (program_path.empty() || trace_path.empty()) {
+    return Fail("--program and --trace are required (try --help)");
+  }
+
+  auto scheme = ParseScheme(scheme_name);
+  if (!scheme.ok()) return Fail(scheme.status().ToString());
+  auto source = ReadFile(program_path);
+  if (!source.ok()) return Fail(source.status().ToString());
+  auto trace_text = ReadFile(trace_path);
+  if (!trace_text.ok()) return Fail(trace_text.status().ToString());
+
+  ProgramOptions options;
+  options.name = program_path;
+  options.relations_of_interest = interests;
+  auto program = Program::Parse(*source, options);
+  if (!program.ok()) return Fail(program.status().ToString());
+
+  // First pass over the trace: topology declarations.
+  Topology topo;
+  std::vector<std::string> lines;
+  {
+    std::istringstream ss(*trace_text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(ss, line)) {
+      ++lineno;
+      std::istringstream ls(line);
+      std::string cmd;
+      ls >> cmd;
+      if (cmd == "nodes") {
+        int n = 0;
+        ls >> n;
+        if (n <= 0) return Fail("bad node count on line " +
+                                std::to_string(lineno));
+        topo.AddNodes(n);
+      } else if (cmd == "link") {
+        NodeId a, b;
+        LinkProps props;
+        ls >> a >> b >> props.latency_s >> props.bandwidth_bps;
+        Status st = topo.AddLink(a, b, props);
+        if (!st.ok()) return Fail("line " + std::to_string(lineno) + ": " +
+                                  st.ToString());
+      } else {
+        lines.push_back(line);
+      }
+    }
+  }
+  if (topo.num_nodes() == 0) return Fail("trace declares no nodes");
+  topo.ComputeRoutes();
+
+  auto bed = Testbed::Create(std::move(program).value(), &topo, *scheme);
+  if (!bed.ok()) return Fail(bed.status().ToString());
+
+  TraceRunner runner;
+  runner.bed = std::move(bed).value();
+  std::printf("# %s on %d nodes under %s\n", program_path.c_str(),
+              topo.num_nodes(), apps::SchemeName(*scheme));
+  int lineno = 0;
+  for (const std::string& line : lines) {
+    ++lineno;
+    int rc = runner.Execute(line, lineno);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dpc
+
+int main(int argc, char** argv) { return dpc::Run(argc, argv); }
