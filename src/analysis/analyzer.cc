@@ -1,0 +1,78 @@
+#include "src/analysis/analyzer.h"
+
+#include <cstdio>
+
+#include "src/analysis/passes.h"
+#include "src/ndlog/conformance.h"
+#include "src/ndlog/parser.h"
+
+namespace dpc {
+
+using analysis_internal::RunConstraintPass;
+using analysis_internal::RunEquiKeyPass;
+using analysis_internal::RunSchemaPass;
+using analysis_internal::RunVariableLintPass;
+
+SourceLoc ExtractLocFromMessage(const std::string& message) {
+  // Parser and lexer errors all end in "... at line L, column C"; take the
+  // last occurrence so embedded numbers earlier in the message don't
+  // confuse the scan.
+  size_t pos = message.rfind("line ");
+  if (pos == std::string::npos) return SourceLoc{};
+  int line = 0;
+  int column = 0;
+  if (std::sscanf(message.c_str() + pos, "line %d, column %d", &line,
+                  &column) == 2 &&
+      line > 0) {
+    return SourceLoc{line, column};
+  }
+  if (std::sscanf(message.c_str() + pos, "line %d", &line) == 1 && line > 0) {
+    return SourceLoc{line, 1};
+  }
+  return SourceLoc{};
+}
+
+AnalysisResult AnalyzeRules(std::vector<Rule> rules,
+                            const AnalyzerOptions& options) {
+  AnalysisResult res;
+
+  CheckDelpConformance(rules, res.diagnostics);
+  res.conformant = CountErrors(res.diagnostics) == 0;
+
+  RunSchemaPass(rules, options.program, res.diagnostics);
+  RunVariableLintPass(rules, res.diagnostics);
+  RunConstraintPass(rules, res.diagnostics);
+
+  // The soundness pass needs a constructible, schema-clean Program: keys
+  // derived from an ill-formed DELP would explain nothing.
+  if (options.explain_keys && CountErrors(res.diagnostics) == 0) {
+    auto prog = Program::FromRules(std::move(rules), options.program);
+    if (prog.ok()) {
+      RunEquiKeyPass(*prog, options.key_notes, res.diagnostics,
+                     res.key_explanations, res.key_summary);
+    } else {
+      AddDiag(res.diagnostics, Severity::kError, "E502", SourceLoc{},
+              "internal: conformance passed but Program construction "
+              "failed: " +
+                  prog.status().message());
+    }
+  }
+
+  SortByLocation(res.diagnostics);
+  return res;
+}
+
+AnalysisResult AnalyzeSource(std::string_view source,
+                             const AnalyzerOptions& options) {
+  auto rules = ParseRules(source);
+  if (!rules.ok()) {
+    AnalysisResult res;
+    AddDiag(res.diagnostics, Severity::kError, "E001",
+            ExtractLocFromMessage(rules.status().message()),
+            rules.status().message());
+    return res;
+  }
+  return AnalyzeRules(std::move(rules).value(), options);
+}
+
+}  // namespace dpc

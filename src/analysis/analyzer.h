@@ -1,0 +1,76 @@
+// Pass-based static analyzer over parsed DELPs. Unlike Program::Parse,
+// which collapses everything into a single Status, the analyzer runs every
+// pass and accumulates source-located diagnostics, so one run over a
+// defective program reports all of its defects:
+//
+//   1. DELP conformance (src/ndlog/conformance.h): Definition 1
+//      conditions plus rule safety.                       E100..E108
+//   2. Schema consistency: one arity per relation, consistent constant
+//      types per attribute, known relations of interest.  E201, W202, W203
+//   3. Variable lint: singleton variables, assignments shadowing atom
+//      bindings, duplicate assignments.                   W301, W302, W303
+//   4. Constraint satisfiability: constant folding flags always-true
+//      constraints (spurious equivalence-key attributes) and always-false
+//      rules (dead provenance).                           W401, W402, W403
+//   5. Equivalence-key soundness: per-attribute reachability explanations
+//      (src/core/equivalence_keys.h) cross-checked against GetEquiKeys;
+//      divergence is an internal error.                   N501, E502
+//
+// Parse failures surface as code E001. The `dpc_cli lint` subcommand
+// (src/analysis/lint.h) renders results as text or JSON.
+#ifndef DPC_ANALYSIS_ANALYZER_H_
+#define DPC_ANALYSIS_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/core/equivalence_keys.h"
+#include "src/ndlog/program.h"
+#include "src/util/diagnostics.h"
+
+namespace dpc {
+
+struct AnalyzerOptions {
+  // Program name and relations of interest (checked by the schema pass).
+  ProgramOptions program;
+  // Run the equivalence-key soundness pass (requires an error-free
+  // program).
+  bool explain_keys = true;
+  // Also emit one N501 note-severity diagnostic per input-event attribute.
+  bool key_notes = false;
+};
+
+struct AnalysisResult {
+  // All diagnostics, sorted by source location.
+  std::vector<Diagnostic> diagnostics;
+  // True when the conformance pass emitted no errors (the rules form a
+  // valid DELP, though warnings may remain).
+  bool conformant = false;
+
+  // Equivalence-key soundness report (empty unless pass 5 ran).
+  std::vector<KeyExplanation> key_explanations;
+  // EquivalenceKeys::ToString() of the derived keys, e.g.
+  // "(packet:0, packet:2)"; empty unless pass 5 ran.
+  std::string key_summary;
+
+  size_t errors() const { return CountErrors(diagnostics); }
+  size_t warnings() const { return CountWarnings(diagnostics); }
+};
+
+// Runs all passes over pre-parsed rules.
+AnalysisResult AnalyzeRules(std::vector<Rule> rules,
+                            const AnalyzerOptions& options = {});
+
+// Parses `source` and runs all passes. A parse failure yields a single
+// E001 diagnostic carrying the parser's line/column.
+AnalysisResult AnalyzeSource(std::string_view source,
+                             const AnalyzerOptions& options = {});
+
+// Best-effort extraction of "line L, column C" from a parser/lexer error
+// message; invalid SourceLoc when absent. Exposed for tests.
+SourceLoc ExtractLocFromMessage(const std::string& message);
+
+}  // namespace dpc
+
+#endif  // DPC_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,81 @@
+#include <map>
+#include <string>
+#include <utility>
+
+#include "src/analysis/passes.h"
+#include "src/ndlog/eval.h"
+
+namespace dpc {
+namespace analysis_internal {
+
+void RunConstraintPass(const std::vector<Rule>& rules,
+                       std::vector<Diagnostic>& out) {
+  // No user functions at analysis time: f_ calls simply make an expression
+  // non-foldable, which is the conservative outcome.
+  const FunctionRegistry no_functions;
+
+  for (const Rule& rule : rules) {
+    // Seed the environment with assignments whose right-hand sides fold to
+    // constants (in body order, so chains like N := 2, M := N + 1 fold).
+    Bindings env;
+    for (const Assignment& asn : rule.assignments) {
+      if (env.count(asn.var) > 0) continue;
+      Result<Value> v = EvalExpr(*asn.expr, env, no_functions);
+      if (v.ok()) env.emplace(asn.var, std::move(v).value());
+    }
+
+    // Constant-fold each constraint under the environment.
+    for (const Constraint& c : rule.constraints) {
+      Result<Value> v = EvalExpr(*c.expr, env, no_functions);
+      if (!v.ok()) continue;  // depends on event/join values: not foldable
+      if (v->Truthy()) {
+        AddDiag(out, Severity::kWarning, "W401", c.loc,
+                "rule " + rule.id + ": constraint " + c.ToString() +
+                    " is always true and never filters; it still forces "
+                    "its attributes into the equivalence keys");
+      } else {
+        AddDiag(out, Severity::kWarning, "W402", c.loc,
+                "rule " + rule.id + ": constraint " + c.ToString() +
+                    " is always false, so the rule can never fire "
+                    "(dead provenance)");
+      }
+    }
+
+    // Contradictory equality constraints: X == c1 and X == c2 with
+    // c1 != c2 can never hold together even though neither folds alone.
+    std::map<std::string, std::pair<Value, SourceLoc>> pinned;
+    for (const Constraint& c : rule.constraints) {
+      const Expr& e = *c.expr;
+      if (e.kind != Expr::Kind::kBinary || e.op != Expr::Op::kEq) continue;
+      const Expr* var_side = nullptr;
+      const Expr* const_side = nullptr;
+      if (e.lhs->kind == Expr::Kind::kVar &&
+          e.rhs->kind == Expr::Kind::kConst) {
+        var_side = e.lhs.get();
+        const_side = e.rhs.get();
+      } else if (e.rhs->kind == Expr::Kind::kVar &&
+                 e.lhs->kind == Expr::Kind::kConst) {
+        var_side = e.rhs.get();
+        const_side = e.lhs.get();
+      } else {
+        continue;
+      }
+      auto [it, inserted] = pinned.emplace(
+          var_side->var, std::make_pair(const_side->constant, c.loc));
+      if (!inserted && it->second.first != const_side->constant) {
+        Diagnostic& d = AddDiag(
+            out, Severity::kWarning, "W403", c.loc,
+            "rule " + rule.id + ": contradictory equality constraints pin " +
+                var_side->var + " to both " + it->second.first.ToString() +
+                " and " + const_side->constant.ToString() +
+                "; the rule can never fire");
+        AddDiag(d.notes, Severity::kNote, "W403", it->second.second,
+                var_side->var + " == " + it->second.first.ToString() +
+                    " required here");
+      }
+    }
+  }
+}
+
+}  // namespace analysis_internal
+}  // namespace dpc

@@ -1,0 +1,63 @@
+#include <string>
+#include <vector>
+
+#include "src/analysis/passes.h"
+#include "src/core/dependency_graph.h"
+
+namespace dpc {
+namespace analysis_internal {
+
+void RunEquiKeyPass(const Program& program, bool emit_notes,
+                    std::vector<Diagnostic>& out,
+                    std::vector<KeyExplanation>& explanations,
+                    std::string& summary) {
+  DependencyGraph graph = DependencyGraph::Build(program);
+  Result<EquivalenceKeys> keys = ComputeEquivalenceKeys(program, graph);
+  Result<std::vector<KeyExplanation>> expl =
+      ExplainEquivalenceKeys(program, graph);
+  if (!keys.ok() || !expl.ok()) {
+    const Status& st = keys.ok() ? expl.status() : keys.status();
+    AddDiag(out, Severity::kError, "E502", SourceLoc{},
+            "internal: equivalence-key derivation failed: " + st.message());
+    return;
+  }
+
+  summary = keys->ToString();
+  explanations = std::move(expl).value();
+
+  // Soundness cross-check: the explanation pass derives key status by
+  // shortest-path search, GetEquiKeys by reachable-set intersection. Any
+  // divergence means one of them is wrong — and with it Theorem 1's
+  // compression guarantee — so it is an error, not a warning.
+  std::vector<size_t> from_explanations;
+  for (const KeyExplanation& ex : explanations) {
+    if (ex.is_key) from_explanations.push_back(ex.attr.index);
+  }
+  if (from_explanations != keys->indices()) {
+    std::string derived = "(";
+    for (size_t k = 0; k < from_explanations.size(); ++k) {
+      if (k > 0) derived += ", ";
+      derived += keys->event_relation() + ":" +
+                 std::to_string(from_explanations[k]);
+    }
+    derived += ")";
+    AddDiag(out, Severity::kError, "E502", SourceLoc{},
+            "equivalence-key soundness cross-check failed: GetEquiKeys "
+            "derived " +
+                summary + " but the explanation pass derived " + derived);
+    return;
+  }
+
+  if (emit_notes) {
+    const Atom& ev_atom = program.rules().front().EventAtom();
+    for (const KeyExplanation& ex : explanations) {
+      SourceLoc loc = ex.attr.index < ev_atom.args.size()
+                          ? ev_atom.args[ex.attr.index].loc
+                          : SourceLoc{};
+      AddDiag(out, Severity::kNote, "N501", loc, ex.ToString());
+    }
+  }
+}
+
+}  // namespace analysis_internal
+}  // namespace dpc

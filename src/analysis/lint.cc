@@ -1,0 +1,154 @@
+#include "src/analysis/lint.h"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dpc {
+
+namespace {
+
+void AppendJsonLoc(std::string& out, const SourceLoc& loc) {
+  out += "\"line\":" + std::to_string(loc.line) +
+         ",\"column\":" + std::to_string(loc.column);
+}
+
+void AppendJsonDiagnostic(std::string& out, const Diagnostic& d) {
+  out += "{\"severity\":\"";
+  out += SeverityName(d.severity);
+  out += "\",\"code\":\"" + JsonEscape(d.code) + "\",";
+  AppendJsonLoc(out, d.loc);
+  out += ",\"message\":\"" + JsonEscape(d.message) + "\",\"notes\":[";
+  for (size_t i = 0; i < d.notes.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendJsonDiagnostic(out, d.notes[i]);
+  }
+  out += "]}";
+}
+
+void AppendJsonExplanation(std::string& out, const KeyExplanation& ex) {
+  out += "{\"attr\":\"" + JsonEscape(ex.attr.ToString()) + "\",\"var\":\"" +
+         JsonEscape(ex.var) + "\",\"is_key\":";
+  out += ex.is_key ? "true" : "false";
+  out += ",\"reason\":\"";
+  out += KeyReasonName(ex.reason);
+  out += "\",\"chain\":[";
+  for (size_t i = 0; i < ex.chain.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\"" + JsonEscape(ex.chain[i].ToString()) + "\"";
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+FileLint LintSource(std::string file, std::string_view source,
+                    const LintOptions& options) {
+  FileLint lint;
+  lint.file = std::move(file);
+  lint.result = AnalyzeSource(source, options.analyzer);
+  return lint;
+}
+
+std::string RenderText(const std::vector<FileLint>& results,
+                       const LintOptions& options) {
+  std::string out;
+  for (const FileLint& fl : results) {
+    for (const Diagnostic& d : fl.result.diagnostics) {
+      out += d.ToString(fl.file);
+      out += "\n";
+    }
+    if (options.print_keys && !fl.result.key_summary.empty()) {
+      out += fl.file + ": equivalence keys " + fl.result.key_summary + "\n";
+      for (const KeyExplanation& ex : fl.result.key_explanations) {
+        out += "  " + ex.ToString() + "\n";
+      }
+    }
+    size_t errors = fl.result.errors();
+    size_t warnings = fl.result.warnings();
+    out += fl.file + ": " + std::to_string(errors) + " error" +
+           (errors == 1 ? "" : "s") + ", " + std::to_string(warnings) +
+           " warning" + (warnings == 1 ? "" : "s") + "\n";
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<FileLint>& results) {
+  size_t total_errors = 0;
+  size_t total_warnings = 0;
+  std::string out = "{\"files\":[";
+  for (size_t f = 0; f < results.size(); ++f) {
+    const FileLint& fl = results[f];
+    if (f > 0) out += ",";
+    size_t errors = fl.result.errors();
+    size_t warnings = fl.result.warnings();
+    total_errors += errors;
+    total_warnings += warnings;
+    out += "{\"file\":\"" + JsonEscape(fl.file) +
+           "\",\"errors\":" + std::to_string(errors) +
+           ",\"warnings\":" + std::to_string(warnings) + ",\"diagnostics\":[";
+    for (size_t i = 0; i < fl.result.diagnostics.size(); ++i) {
+      if (i > 0) out += ",";
+      AppendJsonDiagnostic(out, fl.result.diagnostics[i]);
+    }
+    out += "]";
+    if (!fl.result.key_summary.empty()) {
+      out += ",\"equivalence_keys\":{\"summary\":\"" +
+             JsonEscape(fl.result.key_summary) + "\",\"attributes\":[";
+      for (size_t i = 0; i < fl.result.key_explanations.size(); ++i) {
+        if (i > 0) out += ",";
+        AppendJsonExplanation(out, fl.result.key_explanations[i]);
+      }
+      out += "]}";
+    }
+    out += "}";
+  }
+  out += "],\"errors\":" + std::to_string(total_errors) +
+         ",\"warnings\":" + std::to_string(total_warnings) + "}";
+  return out;
+}
+
+int LintExitCode(const std::vector<FileLint>& results,
+                 const LintOptions& options) {
+  for (const FileLint& fl : results) {
+    if (fl.result.errors() > 0) return 1;
+    if (options.werror && fl.result.warnings() > 0) return 1;
+  }
+  return 0;
+}
+
+}  // namespace dpc

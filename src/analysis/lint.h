@@ -1,0 +1,56 @@
+// dpc-lint: the file-oriented front end of the static analyzer, surfaced
+// as the `dpc_cli lint` subcommand. Lints one or more NDlog source files,
+// renders diagnostics as human-readable text or machine-readable JSON, and
+// maps the outcome to a process exit code (--werror promotes warnings).
+#ifndef DPC_ANALYSIS_LINT_H_
+#define DPC_ANALYSIS_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+
+namespace dpc {
+
+enum class LintFormat { kText, kJson };
+
+struct LintOptions {
+  AnalyzerOptions analyzer;
+  // Treat warnings as fatal for the exit code.
+  bool werror = false;
+  LintFormat format = LintFormat::kText;
+  // Include the per-attribute equivalence-key report in text output (the
+  // JSON output always carries it when the soundness pass ran).
+  bool print_keys = false;
+};
+
+// One linted file and its analysis result.
+struct FileLint {
+  std::string file;
+  AnalysisResult result;
+};
+
+// Analyzes `source` attributed to `file` (display name only; no I/O).
+FileLint LintSource(std::string file, std::string_view source,
+                    const LintOptions& options);
+
+// "file:line:col: severity: message [code]" lines plus a per-file summary.
+std::string RenderText(const std::vector<FileLint>& results,
+                       const LintOptions& options);
+
+// JSON object: {"files":[{"file","errors","warnings","diagnostics":[...],
+// "equivalence_keys":{...}?}],"errors":N,"warnings":M}. Stable schema,
+// documented in docs/analysis.md.
+std::string RenderJson(const std::vector<FileLint>& results);
+
+// 0 when clean; 1 when any file has errors (or warnings under --werror).
+int LintExitCode(const std::vector<FileLint>& results,
+                 const LintOptions& options);
+
+// JSON string escaping (exposed for tests).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace dpc
+
+#endif  // DPC_ANALYSIS_LINT_H_

@@ -1,0 +1,43 @@
+// Internal declarations of the individual analyzer passes; the public
+// entry point is Analyze{Rules,Source} in analyzer.h.
+#ifndef DPC_ANALYSIS_PASSES_H_
+#define DPC_ANALYSIS_PASSES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/equivalence_keys.h"
+#include "src/ndlog/program.h"
+#include "src/util/diagnostics.h"
+
+namespace dpc {
+namespace analysis_internal {
+
+// Pass 2: every relation used with a single arity and consistent constant
+// types per attribute position; relations of interest must appear in the
+// program (E201, W202, W203).
+void RunSchemaPass(const std::vector<Rule>& rules,
+                   const ProgramOptions& options,
+                   std::vector<Diagnostic>& out);
+
+// Pass 3: singleton variables, assignments shadowing atom bindings,
+// duplicate assignments (W301, W302, W303).
+void RunVariableLintPass(const std::vector<Rule>& rules,
+                         std::vector<Diagnostic>& out);
+
+// Pass 4: constant-folds constraints to flag always-true constraints,
+// always-false rules, and contradictory equalities (W401, W402, W403).
+void RunConstraintPass(const std::vector<Rule>& rules,
+                       std::vector<Diagnostic>& out);
+
+// Pass 5: per-attribute key explanations cross-checked against
+// ComputeEquivalenceKeys (N501 notes, E502 on divergence).
+void RunEquiKeyPass(const Program& program, bool emit_notes,
+                    std::vector<Diagnostic>& out,
+                    std::vector<KeyExplanation>& explanations,
+                    std::string& summary);
+
+}  // namespace analysis_internal
+}  // namespace dpc
+
+#endif  // DPC_ANALYSIS_PASSES_H_

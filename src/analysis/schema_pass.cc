@@ -1,0 +1,88 @@
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "src/analysis/passes.h"
+
+namespace dpc {
+namespace analysis_internal {
+
+namespace {
+
+const char* KindName(Value::Kind kind) {
+  return kind == Value::Kind::kInt ? "int" : "string";
+}
+
+struct FirstUse {
+  size_t arity;
+  SourceLoc loc;
+  std::string rule_id;
+};
+
+}  // namespace
+
+void RunSchemaPass(const std::vector<Rule>& rules,
+                   const ProgramOptions& options,
+                   std::vector<Diagnostic>& out) {
+  std::map<std::string, FirstUse> arities;
+  std::map<std::pair<std::string, size_t>, std::pair<Value::Kind, SourceLoc>>
+      attr_kinds;
+
+  auto check_atom = [&](const Rule& rule, const Atom& atom) {
+    auto [it, inserted] = arities.emplace(
+        atom.relation, FirstUse{atom.args.size(), atom.loc, rule.id});
+    if (!inserted && it->second.arity != atom.args.size()) {
+      Diagnostic& d = AddDiag(
+          out, Severity::kError, "E201", atom.loc,
+          "relation " + atom.relation + " used with arity " +
+              std::to_string(atom.args.size()) + " in rule " + rule.id +
+              " but with arity " + std::to_string(it->second.arity) +
+              " elsewhere");
+      AddDiag(d.notes, Severity::kNote, "E201", it->second.loc,
+              "first used with arity " + std::to_string(it->second.arity) +
+                  " in rule " + it->second.rule_id);
+    }
+    for (size_t i = 0; i < atom.args.size(); ++i) {
+      const Term& t = atom.args[i];
+      if (t.is_var()) continue;
+      Value::Kind kind = t.constant.kind();
+      auto [kit, kinserted] = attr_kinds.emplace(
+          std::make_pair(atom.relation, i), std::make_pair(kind, t.loc));
+      if (!kinserted && kit->second.first != kind) {
+        Diagnostic& d = AddDiag(
+            out, Severity::kWarning, "W202", t.loc,
+            "attribute " + atom.relation + ":" + std::to_string(i) +
+                " holds a " + KindName(kind) + " constant here but a " +
+                KindName(kit->second.first) + " constant elsewhere");
+        AddDiag(d.notes, Severity::kNote, "W202", kit->second.second,
+                std::string(KindName(kit->second.first)) +
+                    " constant first appears here");
+      }
+    }
+  };
+
+  std::set<std::string> mentioned;
+  for (const Rule& rule : rules) {
+    check_atom(rule, rule.head);
+    mentioned.insert(rule.head.relation);
+    for (const Atom& atom : rule.atoms) {
+      check_atom(rule, atom);
+      mentioned.insert(atom.relation);
+    }
+  }
+
+  // Undeclared relations of interest: Program::RoleOf silently treats any
+  // unknown relation as slow-changing, so a typo here would otherwise
+  // disable provenance materialization without a sound.
+  for (const std::string& rel : options.relations_of_interest) {
+    if (mentioned.count(rel) == 0) {
+      AddDiag(out, Severity::kWarning, "W203", SourceLoc{},
+              "relation of interest " + rel +
+                  " does not appear in the program");
+    }
+  }
+}
+
+}  // namespace analysis_internal
+}  // namespace dpc

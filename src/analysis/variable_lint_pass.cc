@@ -1,0 +1,108 @@
+#include <map>
+#include <string>
+
+#include "src/analysis/passes.h"
+
+namespace dpc {
+namespace analysis_internal {
+
+namespace {
+
+struct VarUse {
+  int count = 0;
+  SourceLoc first_loc;
+  bool only_in_head = true;
+  // The single occurrence (if count==1) is a body atom's location
+  // argument; dropping the location of a consumed event is idiomatic
+  // (e.g. DNS r4), so such singletons are not flagged.
+  bool sole_is_body_location = false;
+};
+
+}  // namespace
+
+void RunVariableLintPass(const std::vector<Rule>& rules,
+                         std::vector<Diagnostic>& out) {
+  for (const Rule& rule : rules) {
+    std::map<std::string, VarUse> uses;
+    auto touch = [&](const std::string& var, SourceLoc loc, bool in_head,
+                     bool body_location) {
+      VarUse& u = uses[var];
+      if (u.count == 0) {
+        u.first_loc = loc;
+        u.sole_is_body_location = body_location;
+      } else {
+        u.sole_is_body_location = false;
+      }
+      ++u.count;
+      u.only_in_head = u.only_in_head && in_head;
+    };
+
+    for (const Term& t : rule.head.args) {
+      if (t.is_var()) touch(t.var, t.loc, /*in_head=*/true, false);
+    }
+    for (const Atom& atom : rule.atoms) {
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        const Term& t = atom.args[i];
+        if (t.is_var()) touch(t.var, t.loc, false, /*body_location=*/i == 0);
+      }
+    }
+    for (const Constraint& c : rule.constraints) {
+      std::vector<std::string> vars;
+      c.expr->CollectVars(vars);
+      for (const auto& v : vars) touch(v, c.loc, false, false);
+    }
+
+    // Assignments: the assigned variable plus the right-hand side.
+    std::map<std::string, SourceLoc> assigned;
+    for (const Assignment& asn : rule.assignments) {
+      bool bound_by_atom = false;
+      SourceLoc atom_loc;
+      for (const Atom& atom : rule.atoms) {
+        for (const Term& t : atom.args) {
+          if (t.is_var() && t.var == asn.var) {
+            bound_by_atom = true;
+            atom_loc = t.loc;
+          }
+        }
+      }
+      if (bound_by_atom) {
+        Diagnostic& d = AddDiag(
+            out, Severity::kWarning, "W302", asn.loc,
+            "rule " + rule.id + ": assignment to " + asn.var +
+                " shadows its binding from a body atom; the assignment "
+                "acts as an equality filter");
+        AddDiag(d.notes, Severity::kNote, "W302", atom_loc,
+                asn.var + " is bound here");
+      }
+      auto [it, inserted] = assigned.emplace(asn.var, asn.loc);
+      if (!inserted) {
+        Diagnostic& d =
+            AddDiag(out, Severity::kWarning, "W303", asn.loc,
+                    "rule " + rule.id + ": variable " + asn.var +
+                        " is assigned more than once");
+        AddDiag(d.notes, Severity::kNote, "W303", it->second,
+                "first assigned here");
+      }
+      touch(asn.var, asn.loc, false, false);
+      std::vector<std::string> vars;
+      asn.expr->CollectVars(vars);
+      for (const auto& v : vars) touch(v, asn.loc, false, false);
+    }
+
+    for (const auto& [var, use] : uses) {
+      if (use.count != 1) continue;
+      if (!var.empty() && var[0] == '_') continue;  // intentional singleton
+      if (use.sole_is_body_location) continue;
+      // A variable occurring only in the head is unbound: the conformance
+      // pass already reports E106, so don't pile a lint warning on top.
+      if (use.only_in_head) continue;
+      AddDiag(out, Severity::kWarning, "W301", use.first_loc,
+              "rule " + rule.id + ": variable " + var +
+                  " occurs only once (singleton); prefix it with _ if "
+                  "intentional");
+    }
+  }
+}
+
+}  // namespace analysis_internal
+}  // namespace dpc

@@ -1,5 +1,6 @@
 #include "src/core/dependency_graph.h"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 
@@ -155,6 +156,32 @@ std::set<AttrNode> DependencyGraph::ReachableSet(const AttrNode& from) const {
     }
   }
   return seen;
+}
+
+std::vector<AttrNode> DependencyGraph::ShortestPathToAny(
+    const AttrNode& from, const std::set<AttrNode>& targets) const {
+  if (targets.count(from) > 0) return {from};
+  std::map<AttrNode, AttrNode> parent;
+  parent.emplace(from, from);
+  std::deque<AttrNode> frontier{from};
+  while (!frontier.empty()) {
+    AttrNode u = frontier.front();
+    frontier.pop_front();
+    for (const AttrNode& v : NeighborsOf(u)) {
+      if (!parent.emplace(v, u).second) continue;
+      if (targets.count(v) > 0) {
+        std::vector<AttrNode> path{v};
+        for (AttrNode at = u; !(at == from); at = parent.at(at)) {
+          path.push_back(at);
+        }
+        path.push_back(from);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push_back(v);
+    }
+  }
+  return {};
 }
 
 bool DependencyGraph::TouchesSlowChanging(const AttrNode& n,

@@ -54,6 +54,14 @@ class DependencyGraph {
   // All nodes reachable from `from`, including `from` itself.
   std::set<AttrNode> ReachableSet(const AttrNode& from) const;
 
+  // A shortest path (BFS) from `from` to the nearest member of `targets`,
+  // inclusive of both endpoints; [from] when `from` itself is a target,
+  // empty when no target is reachable. Used by the equivalence-key
+  // explanation API to produce the reachability chain witnessing why an
+  // attribute is a key.
+  std::vector<AttrNode> ShortestPathToAny(
+      const AttrNode& from, const std::set<AttrNode>& targets) const;
+
   // joinSAttr(p:n) in Appendix B: the node has an edge to (or is itself) an
   // attribute of a slow-changing relation of `program`.
   bool TouchesSlowChanging(const AttrNode& n, const Program& program) const;

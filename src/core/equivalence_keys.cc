@@ -7,8 +7,74 @@
 
 namespace dpc {
 
+namespace {
+
+// The key-forcing target attributes of GetEquiKeys, split by why they
+// force: attributes of slow-changing relations (joins against network
+// state) and attributes mentioned in constraints (outcomes gate rule
+// firing, hence tree shape; the conservative strengthening of DESIGN.md
+// §2).
+struct KeyTargets {
+  std::set<AttrNode> slow;
+  std::set<AttrNode> constrained;
+
+  std::set<AttrNode> All() const {
+    std::set<AttrNode> all = slow;
+    all.insert(constrained.begin(), constrained.end());
+    return all;
+  }
+};
+
+KeyTargets CollectKeyTargets(const Program& program,
+                             const DependencyGraph& graph) {
+  KeyTargets targets;
+  for (const AttrNode& n : graph.Nodes()) {
+    if (program.IsSlowChanging(n.relation)) targets.slow.insert(n);
+  }
+  for (const Rule& rule : program.rules()) {
+    for (const Constraint& c : rule.constraints) {
+      std::vector<std::string> vars;
+      c.expr->CollectVars(vars);
+      // Map constraint variables back to their attribute positions in this
+      // rule's atoms.
+      auto add_positions = [&](const Atom& atom) {
+        for (size_t i = 0; i < atom.args.size(); ++i) {
+          if (!atom.args[i].is_var()) continue;
+          if (std::find(vars.begin(), vars.end(), atom.args[i].var) !=
+              vars.end()) {
+            targets.constrained.insert(AttrNode{atom.relation, i});
+          }
+        }
+      };
+      for (const Atom& atom : rule.atoms) add_positions(atom);
+      add_positions(rule.head);
+    }
+  }
+  return targets;
+}
+
+}  // namespace
+
 bool EquivalenceKeys::Contains(size_t index) const {
   return std::binary_search(indices_.begin(), indices_.end(), index);
+}
+
+Status EquivalenceKeys::ValidateEvent(const Tuple& event) const {
+  if (event.relation() != event_relation_) {
+    return Status::InvalidArgument(
+        "equivalence keys are defined over relation " + event_relation_ +
+        ", got a tuple of " + event.relation());
+  }
+  for (size_t i : indices_) {
+    if (i >= event.arity()) {
+      return Status::InvalidArgument(
+          "event " + event.ToString() + " has arity " +
+          std::to_string(event.arity()) + " but equivalence key index " +
+          std::to_string(i) + " requires at least " + std::to_string(i + 1) +
+          " attributes");
+    }
+  }
+  return Status::OK();
 }
 
 Sha1Digest EquivalenceKeys::HashOf(const Tuple& event) const {
@@ -17,10 +83,18 @@ Sha1Digest EquivalenceKeys::HashOf(const Tuple& event) const {
   ByteWriter w;
   w.PutString(event_relation_);
   for (size_t i : indices_) {
-    DPC_CHECK(i < event.arity());
+    // Arity-mismatched events are rejected by ValidateEvent at ingest;
+    // skipping (rather than aborting) keeps a stale caller from taking the
+    // node down with it.
+    if (i >= event.arity()) continue;
     event.at(i).Serialize(w);
   }
   return Sha1::Hash(w.bytes().data(), w.size());
+}
+
+Result<Sha1Digest> EquivalenceKeys::CheckedHashOf(const Tuple& event) const {
+  DPC_RETURN_NOT_OK(ValidateEvent(event));
+  return HashOf(event);
 }
 
 bool EquivalenceKeys::Equivalent(const Tuple& a, const Tuple& b) const {
@@ -28,6 +102,9 @@ bool EquivalenceKeys::Equivalent(const Tuple& a, const Tuple& b) const {
     return false;
   }
   for (size_t i : indices_) {
+    if (i >= a.arity() || i >= b.arity()) {
+      return i >= a.arity() && i >= b.arity();
+    }
     if (a.at(i) != b.at(i)) return false;
   }
   return true;
@@ -53,31 +130,7 @@ Result<EquivalenceKeys> ComputeEquivalenceKeys(const Program& program,
   EquivalenceKeys keys;
   keys.event_relation_ = program.input_event_relation();
 
-  // Targets: attributes of slow-changing relations, plus attributes
-  // mentioned in comparison constraints (conservative strengthening).
-  std::set<AttrNode> targets;
-  for (const AttrNode& n : graph.Nodes()) {
-    if (program.IsSlowChanging(n.relation)) targets.insert(n);
-  }
-  for (const Rule& rule : program.rules()) {
-    for (const Constraint& c : rule.constraints) {
-      std::vector<std::string> vars;
-      c.expr->CollectVars(vars);
-      // Map constraint variables back to their attribute positions in this
-      // rule's atoms.
-      auto add_positions = [&](const Atom& atom) {
-        for (size_t i = 0; i < atom.args.size(); ++i) {
-          if (!atom.args[i].is_var()) continue;
-          if (std::find(vars.begin(), vars.end(), atom.args[i].var) !=
-              vars.end()) {
-            targets.insert(AttrNode{atom.relation, i});
-          }
-        }
-      };
-      for (const Atom& atom : rule.atoms) add_positions(atom);
-      add_positions(rule.head);
-    }
-  }
+  std::set<AttrNode> targets = CollectKeyTargets(program, graph).All();
 
   // The event relation's arity: take it from r1's event atom.
   const Atom& ev_atom = program.rules().front().EventAtom();
@@ -100,6 +153,75 @@ Result<EquivalenceKeys> ComputeEquivalenceKeys(const Program& program,
     if (is_key) keys.indices_.push_back(i);
   }
   return keys;
+}
+
+const char* KeyReasonName(KeyReason reason) {
+  switch (reason) {
+    case KeyReason::kLocation: return "location-specifier";
+    case KeyReason::kReachesSlowChanging: return "reaches-slow-changing";
+    case KeyReason::kReachesConstraint: return "reaches-constraint";
+    case KeyReason::kUnreachable: return "unreachable";
+  }
+  return "?";
+}
+
+std::string KeyExplanation::ToString() const {
+  std::string out = attr.ToString();
+  if (!var.empty()) out += " (" + var + ")";
+  out += is_key ? ": key, " : ": not a key, ";
+  out += KeyReasonName(reason);
+  if (!chain.empty()) {
+    out += " via ";
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (i > 0) out += " -> ";
+      out += chain[i].ToString();
+    }
+  }
+  return out;
+}
+
+Result<std::vector<KeyExplanation>> ExplainEquivalenceKeys(
+    const Program& program) {
+  DependencyGraph graph = DependencyGraph::Build(program);
+  return ExplainEquivalenceKeys(program, graph);
+}
+
+Result<std::vector<KeyExplanation>> ExplainEquivalenceKeys(
+    const Program& program, const DependencyGraph& graph) {
+  KeyTargets targets = CollectKeyTargets(program, graph);
+
+  std::vector<KeyExplanation> out;
+  const Atom& ev_atom = program.rules().front().EventAtom();
+  for (size_t i = 0; i < ev_atom.args.size(); ++i) {
+    KeyExplanation ex;
+    ex.attr = AttrNode{program.input_event_relation(), i};
+    if (ev_atom.args[i].is_var()) ex.var = ev_atom.args[i].var;
+    if (i == 0) {
+      ex.is_key = true;
+      ex.reason = KeyReason::kLocation;
+      out.push_back(std::move(ex));
+      continue;
+    }
+    // Prefer a slow-changing witness: it is the paper's primary
+    // key-forcing condition; the constraint form is the conservative
+    // strengthening.
+    std::vector<AttrNode> path =
+        graph.ShortestPathToAny(ex.attr, targets.slow);
+    if (!path.empty()) {
+      ex.is_key = true;
+      ex.reason = KeyReason::kReachesSlowChanging;
+      ex.chain = std::move(path);
+    } else {
+      path = graph.ShortestPathToAny(ex.attr, targets.constrained);
+      if (!path.empty()) {
+        ex.is_key = true;
+        ex.reason = KeyReason::kReachesConstraint;
+        ex.chain = std::move(path);
+      }
+    }
+    out.push_back(std::move(ex));
+  }
+  return out;
 }
 
 }  // namespace dpc

@@ -27,9 +27,20 @@ class EquivalenceKeys {
 
   bool Contains(size_t index) const;
 
+  // Checks that `event` is a tuple of the input event relation with enough
+  // attributes to cover every key index. Recorder ingest paths call this
+  // before hashing so a malformed event is rejected with a Status instead
+  // of crashing the node.
+  Status ValidateEvent(const Tuple& event) const;
+
   // SHA-1 over the key attribute values of `event` (which must be a tuple
   // of the input event relation). This is the htequi / hmap key of §5.3.
+  // The caller is responsible for prior ValidateEvent; key indices beyond
+  // the event's arity are skipped (never out-of-bounds reads).
   Sha1Digest HashOf(const Tuple& event) const;
+
+  // ValidateEvent + HashOf in one step.
+  Result<Sha1Digest> CheckedHashOf(const Tuple& event) const;
 
   // Definition 2: event equivalence w.r.t. the keys.
   bool Equivalent(const Tuple& a, const Tuple& b) const;
@@ -56,6 +67,44 @@ class EquivalenceKeys {
 Result<EquivalenceKeys> ComputeEquivalenceKeys(const Program& program);
 Result<EquivalenceKeys> ComputeEquivalenceKeys(const Program& program,
                                                const DependencyGraph& graph);
+
+// --- Equivalence-key explanations -------------------------------------
+
+// Why an input-event attribute is (or is not) an equivalence key.
+enum class KeyReason {
+  kLocation,             // index 0: the location specifier always participates
+  kReachesSlowChanging,  // reaches an attribute of a slow-changing relation
+  kReachesConstraint,    // reaches an attribute mentioned in a constraint
+  kUnreachable,          // no path to any key-forcing attribute: not a key
+};
+
+const char* KeyReasonName(KeyReason reason);
+
+// The per-attribute soundness report of GetEquiKeys: the dependency-graph
+// reachability chain witnessing why the attribute's value does (or cannot)
+// influence provenance-tree shape.
+struct KeyExplanation {
+  AttrNode attr;    // the input event attribute (relation = input event)
+  std::string var;  // variable name at that position in r1's event atom
+  bool is_key = false;
+  KeyReason reason = KeyReason::kUnreachable;
+  // Shortest witness chain from `attr` to the key-forcing attribute,
+  // inclusive. Empty for kLocation and kUnreachable.
+  std::vector<AttrNode> chain;
+
+  // e.g. "packet:2 (D): key, reaches-slow-changing via packet:2 -> route:1".
+  std::string ToString() const;
+};
+
+// Explains every attribute of the input event relation. Derives key status
+// independently of ComputeEquivalenceKeys (path search rather than
+// reachable-set intersection); the two must agree — the analysis layer's
+// soundness pass cross-checks them and reports any divergence as an
+// internal error.
+Result<std::vector<KeyExplanation>> ExplainEquivalenceKeys(
+    const Program& program);
+Result<std::vector<KeyExplanation>> ExplainEquivalenceKeys(
+    const Program& program, const DependencyGraph& graph);
 
 }  // namespace dpc
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/db/value.h"
+#include "src/util/diagnostics.h"
 
 namespace dpc {
 
@@ -40,12 +41,16 @@ struct Term {
   Kind kind = Kind::kVar;
   std::string var;
   Value constant;
+  // Position of the term's token in the source (unset for synthesized AST).
+  SourceLoc loc;
 };
 
 // A relational atom rel(@a0, a1, ..., an). args[0] is the location term.
 struct Atom {
   std::string relation;
   std::vector<Term> args;
+  // Position of the relation name in the source.
+  SourceLoc loc;
 
   std::string ToString() const;
 };
@@ -87,6 +92,8 @@ bool IsComparisonOp(Expr::Op op);
 // truthy under the candidate bindings.
 struct Constraint {
   ExprPtr expr;
+  // Position of the constraint's first token in the source.
+  SourceLoc loc;
 
   std::string ToString() const { return expr->ToString(); }
 };
@@ -95,6 +102,8 @@ struct Constraint {
 struct Assignment {
   std::string var;
   ExprPtr expr;
+  // Position of the assigned variable in the source.
+  SourceLoc loc;
 
   std::string ToString() const { return var + " := " + expr->ToString(); }
 };
@@ -109,6 +118,8 @@ struct Rule {
   std::vector<Constraint> constraints;
   std::vector<Assignment> assignments;
   size_t event_index = 0;
+  // Position of the rule's first token in the source.
+  SourceLoc loc;
 
   const Atom& EventAtom() const { return atoms[event_index]; }
 

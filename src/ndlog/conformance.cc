@@ -1,0 +1,119 @@
+#include "src/ndlog/conformance.h"
+
+#include <string>
+#include <unordered_set>
+
+namespace dpc {
+
+namespace {
+
+// Emits E107/E108 for every variable of `e` missing from `bound`.
+void CheckExprVarsBound(const Rule& rule, const ExprPtr& e, SourceLoc loc,
+                        const std::unordered_set<std::string>& bound,
+                        const char* what, const char* code,
+                        std::vector<Diagnostic>& out) {
+  std::vector<std::string> vars;
+  e->CollectVars(vars);
+  for (const auto& v : vars) {
+    if (bound.count(v) == 0) {
+      AddDiag(out, Severity::kError, code, loc,
+              "rule " + rule.id + ": variable " + v + " in " + what +
+                  " is unbound");
+    }
+  }
+}
+
+}  // namespace
+
+void CheckDelpConformance(const std::vector<Rule>& rules,
+                          std::vector<Diagnostic>& out) {
+  if (rules.empty()) {
+    AddDiag(out, Severity::kError, "E100", SourceLoc{},
+            "a DELP must contain at least one rule");
+    return;
+  }
+
+  std::unordered_set<std::string> rule_ids;
+  std::unordered_set<std::string> head_relations;
+  for (const Rule& r : rules) {
+    if (!rule_ids.insert(r.id).second) {
+      AddDiag(out, Severity::kError, "E101", r.loc,
+              "duplicate rule id " + r.id);
+    }
+    if (r.atoms.empty()) {
+      AddDiag(out, Severity::kError, "E102", r.loc,
+              "rule " + r.id + " has no event atom");
+    }
+    head_relations.insert(r.head.relation);
+  }
+
+  // Condition 3: head relations never appear as non-event body atoms.
+  for (const Rule& r : rules) {
+    if (r.atoms.empty()) continue;
+    for (const Atom* cond : r.ConditionAtoms()) {
+      if (head_relations.count(cond->relation) > 0) {
+        AddDiag(out, Severity::kError, "E104", cond->loc,
+                "rule " + r.id + ": head relation " + cond->relation +
+                    " used as a non-event (condition) atom; DELP condition 3 "
+                    "requires head relations to appear only as event atoms");
+      }
+    }
+  }
+
+  // Condition 2: consecutive rules are dependent.
+  for (size_t i = 0; i + 1 < rules.size(); ++i) {
+    if (rules[i + 1].atoms.empty()) continue;
+    const std::string& head = rules[i].head.relation;
+    const std::string& next_event = rules[i + 1].EventAtom().relation;
+    if (head != next_event) {
+      AddDiag(out, Severity::kError, "E103", rules[i + 1].EventAtom().loc,
+              "rules " + rules[i].id + " and " + rules[i + 1].id +
+                  " are not dependent: head relation " + head +
+                  " differs from the next rule's event relation " +
+                  next_event);
+    }
+  }
+
+  // Safety: every head variable must be bound by a body atom or an
+  // assignment; constraints and assignments may only mention bound
+  // variables.
+  for (const Rule& r : rules) {
+    std::unordered_set<std::string> bound;
+    for (const Atom& atom : r.atoms) {
+      for (const Term& t : atom.args) {
+        if (t.is_var()) bound.insert(t.var);
+      }
+    }
+    for (const Assignment& asn : r.assignments) bound.insert(asn.var);
+    for (const Term& t : r.head.args) {
+      if (t.is_var() && bound.count(t.var) == 0) {
+        AddDiag(out, Severity::kError, "E106", t.loc,
+                "rule " + r.id + ": head variable " + t.var + " is unbound");
+      }
+    }
+    for (const Constraint& c : r.constraints) {
+      CheckExprVarsBound(r, c.expr, c.loc, bound, "constraint", "E107", out);
+    }
+    for (const Assignment& asn : r.assignments) {
+      CheckExprVarsBound(r, asn.expr, asn.loc, bound, "assignment", "E108",
+                         out);
+    }
+  }
+
+  // The input event relation (event of r1) must not be a slow-changing
+  // relation anywhere; events flow, they are not joined against.
+  if (rules.front().atoms.empty()) return;
+  const std::string& input = rules.front().EventAtom().relation;
+  for (const Rule& r : rules) {
+    if (r.atoms.empty()) continue;
+    for (const Atom* cond : r.ConditionAtoms()) {
+      if (cond->relation == input) {
+        AddDiag(out, Severity::kError, "E105", cond->loc,
+                "input event relation " + input +
+                    " is used as a condition atom in rule " + r.id);
+      }
+    }
+  }
+}
+
+}  // namespace dpc

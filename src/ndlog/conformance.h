@@ -1,0 +1,33 @@
+// DELP conformance checking (Definition 1 of the paper, plus rule safety),
+// expressed as accumulated source-located diagnostics rather than a
+// fail-fast Status. Program::Validate() and the static analyzer
+// (src/analysis) both run this checker; a program is a valid DELP iff the
+// checker emits no error-severity diagnostics.
+//
+// Diagnostic codes (documented in docs/analysis.md):
+//   E100  program has no rules
+//   E101  duplicate rule id
+//   E102  rule has no relational body atom
+//   E103  consecutive rules not dependent (Definition 1, condition 2)
+//   E104  head relation used as a condition atom (condition 3)
+//   E105  input event relation used as a condition atom
+//   E106  unbound head variable
+//   E107  unbound variable in a constraint
+//   E108  unbound variable in an assignment
+#ifndef DPC_NDLOG_CONFORMANCE_H_
+#define DPC_NDLOG_CONFORMANCE_H_
+
+#include <vector>
+
+#include "src/ndlog/ast.h"
+#include "src/util/diagnostics.h"
+
+namespace dpc {
+
+// Appends one diagnostic per violation to `out`; never stops early.
+void CheckDelpConformance(const std::vector<Rule>& rules,
+                          std::vector<Diagnostic>& out);
+
+}  // namespace dpc
+
+#endif  // DPC_NDLOG_CONFORMANCE_H_

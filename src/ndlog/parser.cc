@@ -32,9 +32,13 @@ class Parser {
     return true;
   }
 
+  static SourceLoc LocOf(const Token& tok) {
+    return SourceLoc{tok.line, tok.column};
+  }
+
   Status ErrorAt(const Token& tok, const std::string& msg) {
-    return Status::ParseError(msg + ", got " + tok.Describe() + " at line " +
-                              std::to_string(tok.line));
+    return Status::ParseError(msg + ", got " + tok.Describe() + " at " +
+                              LocOf(tok).ToString());
   }
 
   Result<Token> Expect(TokenKind kind, const char* what) {
@@ -47,13 +51,14 @@ class Parser {
   Result<Rule> ParseRule(size_t ordinal) {
     Rule rule;
     DPC_ASSIGN_OR_RETURN(Token first, Expect(TokenKind::kIdent, "rule head"));
+    rule.loc = LocOf(first);
     if (Check(TokenKind::kIdent)) {
       // "r1 packet(...)": explicit rule id followed by the head relation.
       rule.id = first.text;
-      DPC_ASSIGN_OR_RETURN(rule.head, ParseAtomNamed(Advance().text));
+      DPC_ASSIGN_OR_RETURN(rule.head, ParseAtomNamed(Advance()));
     } else {
       rule.id = "r" + std::to_string(ordinal);
-      DPC_ASSIGN_OR_RETURN(rule.head, ParseAtomNamed(first.text));
+      DPC_ASSIGN_OR_RETURN(rule.head, ParseAtomNamed(first));
     }
 
     DPC_RETURN_NOT_OK(Expect(TokenKind::kImplies, "':-'").status());
@@ -67,7 +72,8 @@ class Parser {
     }
     if (!saw_relational_atom) {
       return Status::ParseError("rule " + rule.id +
-                                " has no relational body atom");
+                                " has no relational body atom at " +
+                                rule.loc.ToString());
     }
     rule.event_index = 0;  // DELP convention: first body atom is the event.
     return rule;
@@ -78,6 +84,7 @@ class Parser {
       const Token& tok = Peek();
       if (IsVariableName(tok.text) && Peek(1).kind == TokenKind::kAssign) {
         Assignment asn;
+        asn.loc = LocOf(tok);
         asn.var = Advance().text;
         Advance();  // ':='
         DPC_ASSIGN_OR_RETURN(asn.expr, ParseExpr());
@@ -86,21 +93,23 @@ class Parser {
       }
       if (!IsVariableName(tok.text) && !IsFunctionName(tok.text) &&
           Peek(1).kind == TokenKind::kLParen) {
-        DPC_ASSIGN_OR_RETURN(Atom atom, ParseAtomNamed(Advance().text));
+        DPC_ASSIGN_OR_RETURN(Atom atom, ParseAtomNamed(Advance()));
         rule.atoms.push_back(std::move(atom));
         return Status::OK();
       }
     }
     // Everything else is a constraint expression.
     Constraint c;
+    c.loc = LocOf(Peek());
     DPC_ASSIGN_OR_RETURN(c.expr, ParseExpr());
     rule.constraints.push_back(std::move(c));
     return Status::OK();
   }
 
-  Result<Atom> ParseAtomNamed(std::string relation) {
+  Result<Atom> ParseAtomNamed(const Token& name) {
     Atom atom;
-    atom.relation = std::move(relation);
+    atom.relation = name.text;
+    atom.loc = LocOf(name);
     DPC_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('").status());
     bool first = true;
     while (!Match(TokenKind::kRParen)) {
@@ -114,35 +123,44 @@ class Parser {
       first = false;
     }
     if (atom.args.empty()) {
-      return Status::ParseError("atom " + atom.relation + " has no arguments");
+      return Status::ParseError("atom " + atom.relation +
+                                " has no arguments at " +
+                                atom.loc.ToString());
     }
     return atom;
   }
 
   Result<Term> ParseTerm() {
     const Token& tok = Peek();
+    SourceLoc loc = LocOf(tok);
+    auto located = [&loc](Term t) {
+      t.loc = loc;
+      return t;
+    };
     switch (tok.kind) {
       case TokenKind::kIdent: {
         Advance();
-        if (IsVariableName(tok.text)) return Term::Var(tok.text);
-        if (tok.text == "true") return Term::Const(Value::Bool(true));
-        if (tok.text == "false") return Term::Const(Value::Bool(false));
+        if (IsVariableName(tok.text)) return located(Term::Var(tok.text));
+        if (tok.text == "true") return located(Term::Const(Value::Bool(true)));
+        if (tok.text == "false") {
+          return located(Term::Const(Value::Bool(false)));
+        }
         // Symbolic constant, e.g. protocol names.
-        return Term::Const(Value::Str(tok.text));
+        return located(Term::Const(Value::Str(tok.text)));
       }
       case TokenKind::kNumber: {
         Advance();
-        return Term::Const(Value::Int(tok.number));
+        return located(Term::Const(Value::Int(tok.number)));
       }
       case TokenKind::kString: {
         Advance();
-        return Term::Const(Value::Str(tok.text));
+        return located(Term::Const(Value::Str(tok.text)));
       }
       case TokenKind::kMinus: {
         Advance();
         DPC_ASSIGN_OR_RETURN(Token num,
                              Expect(TokenKind::kNumber, "number after '-'"));
-        return Term::Const(Value::Int(-num.number));
+        return located(Term::Const(Value::Int(-num.number)));
       }
       default:
         return ErrorAt(tok, "expected term");

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/ndlog/conformance.h"
 #include "src/ndlog/parser.h"
 
 namespace dpc {
@@ -33,99 +34,20 @@ Result<Program> Program::FromRules(std::vector<Rule> rules,
 }
 
 Status Program::Validate() {
-  if (rules_.empty()) {
-    return Status::InvalidArgument("a DELP must contain at least one rule");
+  // Definition 1 checking lives in the shared conformance pass so the
+  // static analyzer (src/analysis) reports the same violations with
+  // source locations. Here every error collapses into one Status; unlike
+  // the old fail-fast validator, all violations are reported at once.
+  std::vector<Diagnostic> diags;
+  CheckDelpConformance(rules_, diags);
+  std::string msg;
+  for (const Diagnostic& d : diags) {
+    if (d.severity != Severity::kError) continue;
+    if (!msg.empty()) msg += "; ";
+    msg += d.message;
   }
-
-  std::unordered_set<std::string> rule_ids;
-  std::unordered_set<std::string> head_relations;
-  std::unordered_set<std::string> event_relations;
-  for (const Rule& r : rules_) {
-    if (!rule_ids.insert(r.id).second) {
-      return Status::InvalidArgument("duplicate rule id " + r.id);
-    }
-    if (r.atoms.empty()) {
-      return Status::InvalidArgument("rule " + r.id + " has no event atom");
-    }
-    head_relations.insert(r.head.relation);
-    event_relations.insert(r.EventAtom().relation);
-  }
-
-  // Condition 3: head relations never appear as non-event body atoms.
-  for (const Rule& r : rules_) {
-    for (const Atom* cond : r.ConditionAtoms()) {
-      if (head_relations.count(cond->relation) > 0) {
-        return Status::InvalidArgument(
-            "rule " + r.id + ": head relation " + cond->relation +
-            " used as a non-event (condition) atom; DELP condition 3 "
-            "requires head relations to appear only as event atoms");
-      }
-    }
-  }
-
-  // Condition 2: consecutive rules are dependent.
-  for (size_t i = 0; i + 1 < rules_.size(); ++i) {
-    const std::string& head = rules_[i].head.relation;
-    const std::string& next_event = rules_[i + 1].EventAtom().relation;
-    if (head != next_event) {
-      return Status::InvalidArgument(
-          "rules " + rules_[i].id + " and " + rules_[i + 1].id +
-          " are not dependent: head relation " + head +
-          " differs from the next rule's event relation " + next_event);
-    }
-  }
-
-  // Safety: every head variable must be bound by a body atom or an
-  // assignment.
-  for (const Rule& r : rules_) {
-    std::unordered_set<std::string> bound;
-    for (const Atom& atom : r.atoms) {
-      for (const Term& t : atom.args) {
-        if (t.is_var()) bound.insert(t.var);
-      }
-    }
-    for (const Assignment& asn : r.assignments) bound.insert(asn.var);
-    for (const Term& t : r.head.args) {
-      if (t.is_var() && bound.count(t.var) == 0) {
-        return Status::InvalidArgument("rule " + r.id + ": head variable " +
-                                       t.var + " is unbound");
-      }
-    }
-    // Constraints and assignments may only mention bound variables.
-    auto check_expr_vars = [&](const ExprPtr& e,
-                               const char* what) -> Status {
-      std::vector<std::string> vars;
-      e->CollectVars(vars);
-      for (const auto& v : vars) {
-        if (bound.count(v) == 0) {
-          return Status::InvalidArgument("rule " + r.id + ": variable " + v +
-                                         " in " + what + " is unbound");
-        }
-      }
-      return Status::OK();
-    };
-    for (const Constraint& c : r.constraints) {
-      DPC_RETURN_NOT_OK(check_expr_vars(c.expr, "constraint"));
-    }
-    for (const Assignment& asn : r.assignments) {
-      DPC_RETURN_NOT_OK(check_expr_vars(asn.expr, "assignment"));
-    }
-  }
-
-  // The input event relation (event of r1) must not be a slow-changing
-  // relation anywhere; events flow, they are not joined against.
-  const std::string& input = rules_.front().EventAtom().relation;
-  for (const Rule& r : rules_) {
-    for (const Atom* cond : r.ConditionAtoms()) {
-      if (cond->relation == input) {
-        return Status::InvalidArgument(
-            "input event relation " + input +
-            " is used as a condition atom in rule " + r.id);
-      }
-    }
-  }
-
-  return Status::OK();
+  if (msg.empty()) return Status::OK();
+  return Status::InvalidArgument(std::move(msg));
 }
 
 void Program::ComputeRoles() {

@@ -74,6 +74,17 @@ Status System::ScheduleInject(const Tuple& event, SimTime when) {
         " is not the program's input event relation " +
         program_->input_event_relation());
   }
+  // Arity must match r1's event atom: recorders hash equivalence-key
+  // attribute positions of the event, and a short tuple must be rejected
+  // here with a Status rather than crashing the node at hash time.
+  const Atom& event_atom = program_->rules().front().EventAtom();
+  if (event.arity() != event_atom.args.size()) {
+    return Status::InvalidArgument(
+        "injected event " + event.ToString() + " has arity " +
+        std::to_string(event.arity()) + " but the program's event atom " +
+        event_atom.ToString() + " expects arity " +
+        std::to_string(event_atom.args.size()));
+  }
   NodeId node = event.Location();
   if (node < 0 || node >= topology_->num_nodes()) {
     return Status::OutOfRange("event located at unknown node " +

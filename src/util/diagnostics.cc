@@ -1,0 +1,81 @@
+#include "src/util/diagnostics.h"
+
+#include <algorithm>
+
+namespace dpc {
+
+std::string SourceLoc::ToString() const {
+  if (!valid()) return "<unknown>";
+  return "line " + std::to_string(line) + ", column " + std::to_string(column);
+}
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::ToString(const std::string& file) const {
+  std::string out;
+  if (!file.empty()) {
+    out += file;
+    out += ":";
+  }
+  if (loc.valid()) {
+    out += std::to_string(loc.line) + ":" + std::to_string(loc.column) + ":";
+  }
+  if (!out.empty()) out += " ";
+  out += SeverityName(severity);
+  out += ": ";
+  out += message;
+  if (!code.empty()) {
+    out += " [";
+    out += code;
+    out += "]";
+  }
+  for (const Diagnostic& note : notes) {
+    out += "\n    ";
+    out += note.ToString(file);
+  }
+  return out;
+}
+
+Diagnostic& AddDiag(std::vector<Diagnostic>& out, Severity severity,
+                    std::string code, SourceLoc loc, std::string message) {
+  Diagnostic d;
+  d.severity = severity;
+  d.code = std::move(code);
+  d.loc = loc;
+  d.message = std::move(message);
+  out.push_back(std::move(d));
+  return out.back();
+}
+
+size_t CountErrors(const std::vector<Diagnostic>& diags) {
+  size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+size_t CountWarnings(const std::vector<Diagnostic>& diags) {
+  size_t n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kWarning) ++n;
+  }
+  return n;
+}
+
+void SortByLocation(std::vector<Diagnostic>& diags) {
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.loc.valid() != b.loc.valid()) return a.loc.valid();
+                     return a.loc < b.loc;
+                   });
+}
+
+}  // namespace dpc

@@ -1,0 +1,63 @@
+// Source-located diagnostics: the vocabulary shared by the NDlog front end
+// and the static-analysis passes (src/analysis). A Diagnostic carries a
+// severity, a stable machine-readable code (e.g. "E103"), a human message,
+// a source location, and optional attached notes. Checkers accumulate
+// diagnostics into a plain vector instead of bailing on the first failure.
+#ifndef DPC_UTIL_DIAGNOSTICS_H_
+#define DPC_UTIL_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dpc {
+
+// A 1-based position in NDlog source text. line == 0 means "no location"
+// (e.g. rules constructed programmatically via Program::FromRules).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const { return line > 0; }
+  bool operator==(const SourceLoc&) const = default;
+  auto operator<=>(const SourceLoc&) const = default;
+
+  // "line L, column C"; "<unknown>" when invalid.
+  std::string ToString() const;
+};
+
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+// "note" / "warning" / "error".
+const char* SeverityName(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;     // stable identifier, e.g. "E103" (see docs/analysis.md)
+  std::string message;  // human-readable, no trailing newline
+  SourceLoc loc;
+  std::vector<Diagnostic> notes;  // attached context, severity kNote
+
+  // "file:line:col: severity: message [code]" (file and location omitted
+  // when absent). Notes render on their own indented lines.
+  std::string ToString(const std::string& file = "") const;
+};
+
+// Appends a diagnostic and returns a reference to it (for attaching notes).
+Diagnostic& AddDiag(std::vector<Diagnostic>& out, Severity severity,
+                    std::string code, SourceLoc loc, std::string message);
+
+size_t CountErrors(const std::vector<Diagnostic>& diags);
+size_t CountWarnings(const std::vector<Diagnostic>& diags);
+
+// Stable sort by (line, column); diagnostics without a location keep their
+// relative order at the end.
+void SortByLocation(std::vector<Diagnostic>& diags);
+
+}  // namespace dpc
+
+#endif  // DPC_UTIL_DIAGNOSTICS_H_

@@ -1,0 +1,177 @@
+// The analyzer must report every defect of a broken DELP in a single run,
+// each with a stable code and a source location — unlike Program::Parse,
+// which stops at the first error.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/analysis/analyzer.h"
+
+namespace dpc {
+namespace {
+
+const Diagnostic* FindCode(const AnalysisResult& result,
+                           const std::string& code) {
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Codes(const AnalysisResult& result) {
+  std::vector<std::string> codes;
+  for (const Diagnostic& d : result.diagnostics) codes.push_back(d.code);
+  return codes;
+}
+
+TEST(AnalyzerTest, ReportsAllDefectsOfABrokenProgramInOneRun) {
+  // Four distinct defects: an unbound head variable (E106), a broken
+  // dependency chain (E103), an arity clash on `link` (E201), and a
+  // singleton variable (W301).
+  AnalysisResult result = AnalyzeSource(
+      "r1 out(@N, X, Z) :- ev(@L, X, Y), link(@L, N).\n"
+      "r2 fwd(@M, X) :- other(@L, X, W), link(@L, M, M).\n");
+
+  const Diagnostic* unbound = FindCode(result, "E106");
+  ASSERT_NE(unbound, nullptr);
+  EXPECT_EQ(unbound->severity, Severity::kError);
+  EXPECT_EQ(unbound->loc.line, 1);
+  EXPECT_GT(unbound->loc.column, 0);
+  EXPECT_NE(unbound->message.find("unbound"), std::string::npos);
+
+  const Diagnostic* broken_chain = FindCode(result, "E103");
+  ASSERT_NE(broken_chain, nullptr);
+  EXPECT_EQ(broken_chain->loc.line, 2);
+  EXPECT_NE(broken_chain->message.find("not dependent"), std::string::npos);
+
+  const Diagnostic* arity = FindCode(result, "E201");
+  ASSERT_NE(arity, nullptr);
+  EXPECT_EQ(arity->loc.line, 2);
+  ASSERT_FALSE(arity->notes.empty());
+  EXPECT_EQ(arity->notes[0].loc.line, 1);  // first use of link/2
+
+  const Diagnostic* singleton = FindCode(result, "W301");
+  ASSERT_NE(singleton, nullptr);
+  EXPECT_NE(singleton->message.find("singleton"), std::string::npos);
+
+  EXPECT_FALSE(result.conformant);
+  EXPECT_GE(result.errors(), 3u);
+  EXPECT_GE(result.warnings(), 1u);
+
+  // Diagnostics are sorted by source location.
+  std::vector<SourceLoc> locs;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.loc.valid()) locs.push_back(d.loc);
+  }
+  EXPECT_TRUE(std::is_sorted(locs.begin(), locs.end()));
+
+  // An erroneous program gets no equivalence-key report.
+  EXPECT_TRUE(result.key_summary.empty());
+  EXPECT_TRUE(result.key_explanations.empty());
+}
+
+TEST(AnalyzerTest, CleanProgramIsConformantWithKeySummary) {
+  AnalysisResult result = AnalyzeSource(
+      "r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).\n"
+      "r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.\n");
+  EXPECT_TRUE(result.conformant);
+  EXPECT_EQ(result.errors(), 0u);
+  EXPECT_EQ(result.warnings(), 0u);
+  EXPECT_EQ(result.key_summary, "(packet:0, packet:2)");
+  ASSERT_EQ(result.key_explanations.size(), 4u);
+  EXPECT_TRUE(result.key_explanations[0].is_key);
+  EXPECT_FALSE(result.key_explanations[1].is_key);
+  EXPECT_TRUE(result.key_explanations[2].is_key);
+  EXPECT_FALSE(result.key_explanations[3].is_key);
+}
+
+TEST(AnalyzerTest, ParseFailureYieldsE001WithLocation) {
+  AnalysisResult result = AnalyzeSource("r1 out(@N :- ev(@L).\n");
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].code, "E001");
+  EXPECT_EQ(result.diagnostics[0].severity, Severity::kError);
+  EXPECT_EQ(result.diagnostics[0].loc.line, 1);
+  EXPECT_GT(result.diagnostics[0].loc.column, 0);
+  EXPECT_FALSE(result.conformant);
+}
+
+TEST(AnalyzerTest, SchemaPassFlagsConstantTypeClashAndUnknownInterest) {
+  AnalyzerOptions options;
+  options.program.relations_of_interest = {"recv", "nosuchrel"};
+  AnalysisResult result = AnalyzeSource(
+      "r1 recv(@N, X, 5) :- ev(@L, X, Y), s(@L, Y, N).\n"
+      "r2 ack(@L, X) :- recv(@L, X, \"five\"), t(@L, X).\n",
+      options);
+
+  const Diagnostic* kind_clash = FindCode(result, "W202");
+  ASSERT_NE(kind_clash, nullptr);
+  EXPECT_EQ(kind_clash->loc.line, 2);
+  ASSERT_FALSE(kind_clash->notes.empty());
+  EXPECT_EQ(kind_clash->notes[0].loc.line, 1);
+
+  const Diagnostic* unknown = FindCode(result, "W203");
+  ASSERT_NE(unknown, nullptr);
+  EXPECT_NE(unknown->message.find("nosuchrel"), std::string::npos);
+}
+
+TEST(AnalyzerTest, VariableLintFlagsShadowingAndDuplicateAssignments) {
+  AnalysisResult result = AnalyzeSource(
+      "r1 out(@N, M) :- ev(@L, X, Y), s(@L, X, N), "
+      "X := 1, M := Y, M := X.\n");
+  const Diagnostic* shadow = FindCode(result, "W302");
+  ASSERT_NE(shadow, nullptr);
+  EXPECT_NE(shadow->message.find("X"), std::string::npos);
+  ASSERT_FALSE(shadow->notes.empty());
+
+  const Diagnostic* dup = FindCode(result, "W303");
+  ASSERT_NE(dup, nullptr);
+  EXPECT_NE(dup->message.find("M"), std::string::npos);
+}
+
+TEST(AnalyzerTest, ConstraintPassFoldsConstantsAndSpotsContradictions) {
+  AnalysisResult result = AnalyzeSource(
+      "r1 out(@N, X) :- ev(@L, X, Y), s(@L, X, N), "
+      "K := 4, K >= 2, 1 == 2, Y == 3, Y == 7.\n");
+  EXPECT_NE(FindCode(result, "W401"), nullptr);  // K >= 2 always true
+  EXPECT_NE(FindCode(result, "W402"), nullptr);  // 1 == 2 always false
+  EXPECT_NE(FindCode(result, "W403"), nullptr);  // Y pinned to 3 and 7
+}
+
+TEST(AnalyzerTest, KeyNotesEmitOneN501PerEventAttribute) {
+  AnalyzerOptions options;
+  options.key_notes = true;
+  AnalysisResult result = AnalyzeSource(
+      "r1 recv(@N, X) :- ev(@L, X, Y), s(@L, X, N).\n", options);
+  EXPECT_EQ(result.errors(), 0u);
+  size_t notes = 0;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code == "N501") ++notes;
+  }
+  EXPECT_EQ(notes, 3u);  // ev(@L, X, Y)
+  EXPECT_EQ(result.key_summary, "(ev:0, ev:1)");
+}
+
+TEST(AnalyzerTest, ExtractLocFromMessageParsesParserErrors) {
+  SourceLoc loc = ExtractLocFromMessage(
+      "expected . at end of rule, got ':-' at line 3, column 14");
+  EXPECT_EQ(loc.line, 3);
+  EXPECT_EQ(loc.column, 14);
+
+  loc = ExtractLocFromMessage("something odd at line 7");
+  EXPECT_EQ(loc.line, 7);
+  EXPECT_EQ(loc.column, 1);
+
+  loc = ExtractLocFromMessage("no location here");
+  EXPECT_FALSE(loc.valid());
+}
+
+TEST(AnalyzerTest, EmptyRuleBodyIsE102NotACrash) {
+  AnalysisResult result = AnalyzeRules({Rule{}});
+  EXPECT_FALSE(result.conformant);
+  EXPECT_GE(result.errors(), 1u);
+  std::vector<std::string> codes = Codes(result);
+  EXPECT_NE(std::find(codes.begin(), codes.end(), "E102"), codes.end());
+}
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,299 @@
+// dpc-lint rendering: the JSON output must round-trip through a JSON
+// parser (a minimal one lives in this test), the text output must carry
+// file:line:column prefixes, and --werror must flip the exit code on
+// warnings.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/analysis/lint.h"
+
+namespace dpc {
+namespace {
+
+// --- A minimal recursive-descent JSON parser (objects, arrays, strings,
+// integers, booleans), enough to validate RenderJson's output shape. -----
+
+struct JsonValue {
+  enum class Kind { kObject, kArray, kString, kNumber, kBool } kind;
+  std::map<std::string, std::shared_ptr<JsonValue>> object;
+  std::vector<std::shared_ptr<JsonValue>> array;
+  std::string str;
+  long long number = 0;
+  bool boolean = false;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    EXPECT_NE(it, object.end()) << "missing key " << key;
+    static JsonValue empty{Kind::kObject, {}, {}, "", 0, false};
+    return it == object.end() ? empty : *it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::shared_ptr<JsonValue> Parse() {
+    auto v = ParseValue();
+    SkipWs();
+    EXPECT_EQ(pos_, text_.size()) << "trailing garbage";
+    return v;
+  }
+
+  bool failed() const { return failed_; }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                                   text_[pos_] == '\t' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    failed_ = true;
+    ADD_FAILURE() << "expected '" << c << "' at offset " << pos_;
+    return false;
+  }
+
+  std::shared_ptr<JsonValue> ParseValue() {
+    SkipWs();
+    auto v = std::make_shared<JsonValue>();
+    if (pos_ >= text_.size()) {
+      failed_ = true;
+      return v;
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      v->kind = JsonValue::Kind::kObject;
+      ++pos_;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        SkipWs();
+        std::string key = ParseString();
+        if (!Consume(':')) return v;
+        v->object[key] = ParseValue();
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        Consume('}');
+        return v;
+      }
+    }
+    if (c == '[') {
+      v->kind = JsonValue::Kind::kArray;
+      ++pos_;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return v;
+      }
+      while (true) {
+        v->array.push_back(ParseValue());
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        Consume(']');
+        return v;
+      }
+    }
+    if (c == '"') {
+      v->kind = JsonValue::Kind::kString;
+      v->str = ParseString();
+      return v;
+    }
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v->kind = JsonValue::Kind::kBool;
+      v->boolean = true;
+      pos_ += 4;
+      return v;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      v->kind = JsonValue::Kind::kBool;
+      v->boolean = false;
+      pos_ += 5;
+      return v;
+    }
+    v->kind = JsonValue::Kind::kNumber;
+    bool neg = c == '-';
+    if (neg) ++pos_;
+    long long n = 0;
+    bool any = false;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      n = n * 10 + (text_[pos_] - '0');
+      ++pos_;
+      any = true;
+    }
+    if (!any) {
+      failed_ = true;
+      ADD_FAILURE() << "bad value at offset " << pos_;
+    }
+    v->number = neg ? -n : n;
+    return v;
+  }
+
+  std::string ParseString() {
+    std::string out;
+    if (!Consume('"')) return out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          int code = 0;
+          for (int i = 0; i < 4 && pos_ < text_.size(); ++i) {
+            char h = text_[pos_++];
+            code = code * 16 + (h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          }
+          out += static_cast<char>(code);
+          break;
+        }
+        default: out += esc;
+      }
+    }
+    Consume('"');
+    return out;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+TEST(LintJsonTest, JsonOutputRoundTripsThroughAParser) {
+  LintOptions options;
+  std::vector<FileLint> results;
+  // Two errors + one warning, including a diagnostic with an attached note
+  // and a "quoted" relation name that needs escaping in messages.
+  results.push_back(LintSource(
+      "bad.ndlog",
+      "r1 out(@N, X, Z) :- ev(@L, X, Y), link(@L, N), Y == 1, Y == 2.\n"
+      "r2 fwd(@M, X) :- other(@L, X), hop(@L, M).\n",
+      options));
+  // A clean file contributing an equivalence-key report.
+  results.push_back(LintSource(
+      "good.ndlog", "r1 recv(@N, X) :- ev(@L, X, _Y), s(@L, X, N).\n",
+      options));
+
+  std::string json = RenderJson(results);
+  JsonParser parser(json);
+  auto root = parser.Parse();
+  ASSERT_FALSE(parser.failed()) << json;
+  ASSERT_EQ(root->kind, JsonValue::Kind::kObject);
+
+  EXPECT_EQ(root->at("errors").number, 2);
+  EXPECT_EQ(root->at("warnings").number, 1);
+
+  const JsonValue& files = root->at("files");
+  ASSERT_EQ(files.kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(files.array.size(), 2u);
+
+  const JsonValue& bad = *files.array[0];
+  EXPECT_EQ(bad.at("file").str, "bad.ndlog");
+  EXPECT_EQ(bad.at("errors").number, 2);
+  EXPECT_EQ(bad.at("warnings").number, 1);
+  const JsonValue& diags = bad.at("diagnostics");
+  ASSERT_EQ(diags.kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(diags.array.size(), 3u);
+  bool saw_note = false;
+  for (const auto& d : diags.array) {
+    EXPECT_FALSE(d->at("code").str.empty());
+    EXPECT_GT(d->at("line").number, 0);
+    EXPECT_GT(d->at("column").number, 0);
+    EXPECT_FALSE(d->at("message").str.empty());
+    const JsonValue& sev = d->at("severity");
+    EXPECT_TRUE(sev.str == "error" || sev.str == "warning");
+    for (const auto& note : d->at("notes").array) {
+      saw_note = true;
+      EXPECT_EQ(note->at("severity").str, "note");
+    }
+  }
+  EXPECT_TRUE(saw_note);  // W403 carries a "required here" note
+
+  const JsonValue& good = *files.array[1];
+  EXPECT_EQ(good.at("errors").number, 0);
+  const JsonValue& keys = good.at("equivalence_keys");
+  ASSERT_EQ(keys.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(keys.at("summary").str, "(ev:0, ev:1)");
+  const JsonValue& attrs = keys.at("attributes");
+  ASSERT_EQ(attrs.array.size(), 3u);
+  EXPECT_EQ(attrs.array[0]->at("attr").str, "ev:0");
+  EXPECT_TRUE(attrs.array[0]->at("is_key").boolean);
+  EXPECT_EQ(attrs.array[0]->at("reason").str, "location-specifier");
+  EXPECT_TRUE(attrs.array[1]->at("is_key").boolean);
+  const JsonValue& chain = attrs.array[1]->at("chain");
+  ASSERT_GE(chain.array.size(), 2u);
+  EXPECT_EQ(chain.array.front()->str, "ev:1");
+  EXPECT_FALSE(attrs.array[2]->at("is_key").boolean);
+}
+
+TEST(LintJsonTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("x\ny\tz"), "x\\ny\\tz");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(LintJsonTest, TextOutputCarriesFileLineColumnPrefixes) {
+  LintOptions options;
+  std::vector<FileLint> results;
+  results.push_back(
+      LintSource("p.ndlog",
+                 "r1 out(@N, X) :- ev(@L, X, Extra), link(@L, N).\n",
+                 options));
+  std::string text = RenderText(results, options);
+  EXPECT_NE(text.find("p.ndlog:1:"), std::string::npos) << text;
+  EXPECT_NE(text.find("warning:"), std::string::npos) << text;
+  EXPECT_NE(text.find("[W301]"), std::string::npos) << text;
+  EXPECT_NE(text.find("p.ndlog: 0 errors, 1 warning"), std::string::npos)
+      << text;
+}
+
+TEST(LintJsonTest, WerrorFlipsExitCodeOnWarnings) {
+  LintOptions options;
+  std::vector<FileLint> results;
+  results.push_back(
+      LintSource("w.ndlog",
+                 "r1 out(@N, X) :- ev(@L, X, Extra), link(@L, N).\n",
+                 options));
+  EXPECT_EQ(LintExitCode(results, options), 0);
+  options.werror = true;
+  EXPECT_EQ(LintExitCode(results, options), 1);
+
+  std::vector<FileLint> clean;
+  clean.push_back(LintSource(
+      "c.ndlog", "r1 out(@N, X) :- ev(@L, X, _B), link(@L, N).\n", options));
+  EXPECT_EQ(LintExitCode(clean, options), 0);
+
+  std::vector<FileLint> broken;
+  broken.push_back(LintSource("e.ndlog", "not ndlog at all", options));
+  options.werror = false;
+  EXPECT_EQ(LintExitCode(broken, options), 1);
+}
+
+}  // namespace
+}  // namespace dpc

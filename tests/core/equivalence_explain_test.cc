@@ -1,0 +1,201 @@
+// Exact equivalence-key index sets and per-attribute explanations for the
+// paper's two applications (§2 packet forwarding, §6 DNS resolution), plus
+// the hardened recorder-ingest path: arity-mismatched events must be
+// rejected with a Status instead of crashing the node.
+#include <gtest/gtest.h>
+
+#include "src/apps/dns.h"
+#include "src/apps/extras.h"
+#include "src/apps/forwarding.h"
+#include "src/apps/testbed.h"
+#include "src/core/equivalence_keys.h"
+
+namespace dpc {
+namespace {
+
+using apps::Scheme;
+using apps::Testbed;
+
+std::vector<size_t> KeyIndices(const std::vector<KeyExplanation>& expl) {
+  std::vector<size_t> out;
+  for (const KeyExplanation& ex : expl) {
+    if (ex.is_key) out.push_back(ex.attr.index);
+  }
+  return out;
+}
+
+TEST(EquivalenceExplainTest, ForwardingKeysAreLocationAndDestination) {
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+
+  auto keys = ComputeEquivalenceKeys(*program);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->event_relation(), "packet");
+  EXPECT_EQ(keys->indices(), (std::vector<size_t>{0, 2}));
+
+  auto expl = ExplainEquivalenceKeys(*program);
+  ASSERT_TRUE(expl.ok());
+  ASSERT_EQ(expl->size(), 4u);  // packet(@L, S, D, DT)
+  EXPECT_EQ(KeyIndices(*expl), keys->indices());
+
+  const KeyExplanation& loc = (*expl)[0];
+  EXPECT_EQ(loc.var, "L");
+  EXPECT_TRUE(loc.is_key);
+  EXPECT_EQ(loc.reason, KeyReason::kLocation);
+  EXPECT_TRUE(loc.chain.empty());
+
+  const KeyExplanation& src = (*expl)[1];
+  EXPECT_EQ(src.var, "S");
+  EXPECT_FALSE(src.is_key);
+  EXPECT_EQ(src.reason, KeyReason::kUnreachable);
+
+  // D is a key because it joins against the slow-changing route table; the
+  // witness chain is the one-hop edge packet:2 -> route:1.
+  const KeyExplanation& dst = (*expl)[2];
+  EXPECT_EQ(dst.var, "D");
+  EXPECT_TRUE(dst.is_key);
+  EXPECT_EQ(dst.reason, KeyReason::kReachesSlowChanging);
+  ASSERT_EQ(dst.chain.size(), 2u);
+  EXPECT_EQ(dst.chain.front().ToString(), "packet:2");
+  EXPECT_EQ(dst.chain.back().ToString(), "route:1");
+  EXPECT_EQ(dst.ToString(),
+            "packet:2 (D): key, reaches-slow-changing via "
+            "packet:2 -> route:1");
+
+  const KeyExplanation& payload = (*expl)[3];
+  EXPECT_EQ(payload.var, "DT");
+  EXPECT_FALSE(payload.is_key);
+  EXPECT_EQ(payload.reason, KeyReason::kUnreachable);
+}
+
+TEST(EquivalenceExplainTest, DnsKeysAreLocationAndUrl) {
+  auto program = apps::MakeDnsProgram();
+  ASSERT_TRUE(program.ok());
+
+  auto keys = ComputeEquivalenceKeys(*program);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->event_relation(), "url");
+  EXPECT_EQ(keys->indices(), (std::vector<size_t>{0, 1}));
+
+  auto expl = ExplainEquivalenceKeys(*program);
+  ASSERT_TRUE(expl.ok());
+  ASSERT_EQ(expl->size(), 3u);  // url(@HST, URL, RQID)
+  EXPECT_EQ(KeyIndices(*expl), keys->indices());
+
+  EXPECT_EQ((*expl)[0].var, "HST");
+  EXPECT_EQ((*expl)[0].reason, KeyReason::kLocation);
+
+  // URL reaches the slow-changing addressRecord table through the request
+  // chain; the witness must start at url:1 and end at a slow attribute.
+  const KeyExplanation& url = (*expl)[1];
+  EXPECT_EQ(url.var, "URL");
+  EXPECT_TRUE(url.is_key);
+  EXPECT_EQ(url.reason, KeyReason::kReachesSlowChanging);
+  ASSERT_GE(url.chain.size(), 2u);
+  EXPECT_EQ(url.chain.front().ToString(), "url:1");
+  EXPECT_EQ(url.chain.back().relation, "addressRecord");
+
+  EXPECT_EQ((*expl)[2].var, "RQID");
+  EXPECT_FALSE((*expl)[2].is_key);
+}
+
+TEST(EquivalenceExplainTest, ExplanationsMatchGetEquiKeysForAllInRepoApps) {
+  // Every bundled application: the independently-derived explanation keys
+  // must reproduce exactly the GetEquiKeys index set, with a witness chain
+  // behind every reachability-based key.
+  std::vector<Result<Program>> programs;
+  programs.push_back(apps::MakeForwardingProgram());
+  programs.push_back(apps::MakeDnsProgram());
+  programs.push_back(apps::MakeArpProgram());
+  programs.push_back(apps::MakeDhcpProgram());
+  for (auto& program : programs) {
+    ASSERT_TRUE(program.ok());
+    auto keys = ComputeEquivalenceKeys(*program);
+    ASSERT_TRUE(keys.ok()) << program->name();
+    auto expl = ExplainEquivalenceKeys(*program);
+    ASSERT_TRUE(expl.ok()) << program->name();
+    EXPECT_EQ(KeyIndices(*expl), keys->indices()) << program->name();
+    for (const KeyExplanation& ex : *expl) {
+      if (ex.reason == KeyReason::kReachesSlowChanging ||
+          ex.reason == KeyReason::kReachesConstraint) {
+        ASSERT_FALSE(ex.chain.empty()) << program->name() << ": "
+                                       << ex.ToString();
+        EXPECT_EQ(ex.chain.front(), ex.attr);
+      }
+    }
+  }
+}
+
+TEST(EquivalenceExplainTest, ConstraintReachabilityExplainsKey) {
+  // B reaches no slow-changing attribute but is compared in a constraint,
+  // so the conservative strengthening makes it a key.
+  auto program = Program::Parse(
+      "r1 out(@N, A) :- ev(@L, A, B), s(@L, A, N), B >= 3.\n");
+  ASSERT_TRUE(program.ok());
+
+  auto keys = ComputeEquivalenceKeys(*program);
+  ASSERT_TRUE(keys.ok());
+  EXPECT_EQ(keys->indices(), (std::vector<size_t>{0, 1, 2}));
+
+  auto expl = ExplainEquivalenceKeys(*program);
+  ASSERT_TRUE(expl.ok());
+  const KeyExplanation& b = (*expl)[2];
+  EXPECT_TRUE(b.is_key);
+  EXPECT_EQ(b.reason, KeyReason::kReachesConstraint);
+  ASSERT_FALSE(b.chain.empty());
+  EXPECT_EQ(b.chain.front().ToString(), "ev:2");
+}
+
+TEST(EquivalenceExplainTest, ValidateEventRejectsMalformedEvents) {
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+  auto keys = ComputeEquivalenceKeys(*program);
+  ASSERT_TRUE(keys.ok());
+
+  Tuple good = apps::MakePacket(0, 1, 2, "x");
+  EXPECT_TRUE(keys->ValidateEvent(good).ok());
+  EXPECT_TRUE(keys->CheckedHashOf(good).ok());
+
+  // Wrong relation.
+  Tuple wrong_rel = apps::MakeRoute(0, 2, 1);
+  Status st = keys->ValidateEvent(wrong_rel);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_FALSE(keys->CheckedHashOf(wrong_rel).ok());
+
+  // Arity too small to cover key index 2 (the destination).
+  Tuple short_event = Tuple::Make("packet", 0, {Value::Int(1)});
+  st = keys->ValidateEvent(short_event);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_FALSE(keys->CheckedHashOf(short_event).ok());
+
+  // HashOf on a short tuple must not read out of bounds (it skips missing
+  // indices); the checked path is the one that reports the problem.
+  (void)keys->HashOf(short_event);
+}
+
+TEST(EquivalenceExplainTest, ScheduleInjectRejectsArityMismatch) {
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+
+  Topology topo;
+  topo.AddNodes(2);
+  ASSERT_TRUE(topo.AddLink(0, 1, LinkProps{0.001, 1e9}).ok());
+  topo.ComputeRoutes();
+
+  auto bed = Testbed::Create(std::move(program).value(), &topo,
+                             Scheme::kAdvanced);
+  ASSERT_TRUE(bed.ok());
+
+  // packet has 4 attributes; a 2-attribute event must be rejected at
+  // ingest, before it can reach the recorder's key hashing.
+  Tuple bad = Tuple::Make("packet", 0, {Value::Int(1)});
+  Status st = (*bed)->system().ScheduleInject(bad, 0.1);
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+
+  Tuple good = apps::MakePacket(0, 0, 1, "x");
+  EXPECT_TRUE((*bed)->system().ScheduleInject(good, 0.2).ok());
+  (*bed)->system().Run();
+}
+
+}  // namespace
+}  // namespace dpc

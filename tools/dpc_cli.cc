@@ -19,11 +19,18 @@
 //   snapshot PREFIX              write per-node table snapshots to
 //                                PREFIX-nodeN.dpcs (exspan/basic/advanced)
 //   query recv(@2, 0, 2, "x")    print the tuple's provenance tree(s)
+//
+// The lint subcommand runs the static analyzer over NDlog files without
+// executing them:
+//
+//   dpc_cli lint [--werror] [-f text|json] [--keys] [--interest REL]...
+//                FILE...
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "src/analysis/lint.h"
 #include "src/apps/testbed.h"
 #include "src/core/equivalence_keys.h"
 #include "src/core/query.h"
@@ -182,7 +189,64 @@ struct TraceRunner {
   }
 };
 
+int RunLint(int argc, char** argv) {
+  LintOptions options;
+  std::vector<std::string> files;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--werror") {
+      options.werror = true;
+    } else if (arg == "-f" || arg == "--format") {
+      const char* v = next();
+      if (!v) return Fail("-f needs a format (text|json)");
+      if (std::strcmp(v, "text") == 0) {
+        options.format = LintFormat::kText;
+      } else if (std::strcmp(v, "json") == 0) {
+        options.format = LintFormat::kJson;
+      } else {
+        return Fail("unknown format " + std::string(v) + " (text|json)");
+      }
+    } else if (arg == "--keys") {
+      options.print_keys = true;
+      options.analyzer.key_notes = true;
+    } else if (arg == "--interest") {
+      const char* v = next();
+      if (!v) return Fail("--interest needs a relation");
+      options.analyzer.program.relations_of_interest.push_back(v);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: dpc_cli lint [--werror] [-f text|json] [--keys] "
+                  "[--interest REL]... FILE...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Fail("unknown lint flag " + arg + " (try dpc_cli lint --help)");
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return Fail("lint needs at least one NDlog file");
+
+  std::vector<FileLint> results;
+  for (const std::string& path : files) {
+    auto source = ReadFile(path);
+    if (!source.ok()) return Fail(source.status().ToString());
+    options.analyzer.program.name = path;
+    results.push_back(LintSource(path, *source, options));
+  }
+
+  std::string rendered = options.format == LintFormat::kJson
+                             ? RenderJson(results) + "\n"
+                             : RenderText(results, options);
+  std::fputs(rendered.c_str(), stdout);
+  return LintExitCode(results, options);
+}
+
 int Run(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "lint") == 0) {
+    return RunLint(argc, argv);
+  }
   std::string program_path, trace_path, scheme_name = "advanced";
   std::vector<std::string> interests;
   for (int i = 1; i < argc; ++i) {
@@ -208,7 +272,9 @@ int Run(int argc, char** argv) {
       interests.push_back(v);
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: dpc_cli --program FILE --trace FILE "
-                  "[--scheme NAME] [--interest REL]...\n");
+                  "[--scheme NAME] [--interest REL]...\n"
+                  "       dpc_cli lint [--werror] [-f text|json] [--keys] "
+                  "[--interest REL]... FILE...\n");
       return 0;
     } else {
       return Fail("unknown flag " + arg + " (try --help)");
