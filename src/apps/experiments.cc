@@ -40,7 +40,13 @@ ExperimentResult RunExperiment(
     const std::vector<WorkloadItem>& workload, const ExperimentConfig& config,
     const std::function<Status(System&)>& install,
     const std::function<void(System&, double)>& periodic_update) {
-  auto bed_result = Testbed::Create(std::move(program), topology, scheme);
+  TestbedOptions options;
+  options.loss_rate = config.loss_rate;
+  options.loss_seed = config.loss_seed;
+  options.reliable_transport = config.reliable_transport;
+  options.transport = config.transport;
+  auto bed_result =
+      Testbed::Create(std::move(program), topology, scheme, options);
   DPC_CHECK(bed_result.ok()) << bed_result.status().ToString();
   auto bed = std::move(bed_result).value();
 
@@ -92,6 +98,10 @@ ExperimentResult RunExperiment(
   result.bandwidth_bucket_s = config.bandwidth_bucket_s;
   result.events_injected = bed->system().stats().events_injected;
   result.outputs = bed->system().stats().outputs;
+  result.dropped_messages = bed->network().dropped_messages();
+  if (bed->transport() != nullptr) {
+    result.transport_stats = bed->transport()->stats();
+  }
   return result;
 }
 

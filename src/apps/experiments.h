@@ -31,6 +31,14 @@ struct ExperimentConfig {
   // When > 0, re-install a random communicating pair's first route entry
   // every this many seconds (the §6.1.2 slow-changing-update variant).
   double route_update_interval_s = 0;
+  // Fault injection: uniform per-traversal loss probability on the
+  // deployment's network (0 = lossless), with the seed that drives it.
+  double loss_rate = 0;
+  uint64_t loss_seed = 1;
+  // Run the System over a ReliableTransport so the workload converges to
+  // the loss-free outputs despite the injected loss.
+  bool reliable_transport = false;
+  TransportOptions transport;
 };
 
 struct ExperimentResult {
@@ -45,6 +53,9 @@ struct ExperimentResult {
   double bandwidth_bucket_s = 1.0;
   uint64_t events_injected = 0;
   uint64_t outputs = 0;
+  // Fault-injection accounting (zero on lossless runs).
+  uint64_t dropped_messages = 0;
+  TransportStats transport_stats;
 
   // Total storage across nodes at snapshot i.
   size_t TotalStorageAt(size_t i) const;

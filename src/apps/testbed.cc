@@ -16,20 +16,29 @@ const char* SchemeName(Scheme scheme) {
 }
 
 Testbed::Testbed(Program program, const Topology* topology, Scheme scheme,
-                 QueryCostModel query_cost)
+                 TestbedOptions options)
     : program_(std::move(program)),
       topology_(topology),
       scheme_(scheme),
-      query_cost_(query_cost),
+      options_(std::move(options)),
       network_(topology, &queue_) {}
 
 Result<std::unique_ptr<Testbed>> Testbed::Create(Program program,
                                                  const Topology* topology,
                                                  Scheme scheme,
                                                  QueryCostModel query_cost) {
+  TestbedOptions options;
+  options.query_cost = query_cost;
+  return Create(std::move(program), topology, scheme, std::move(options));
+}
+
+Result<std::unique_ptr<Testbed>> Testbed::Create(Program program,
+                                                 const Topology* topology,
+                                                 Scheme scheme,
+                                                 TestbedOptions options) {
   DPC_CHECK(topology != nullptr);
   std::unique_ptr<Testbed> bed(
-      new Testbed(std::move(program), topology, scheme, query_cost));
+      new Testbed(std::move(program), topology, scheme, std::move(options)));
   int n = topology->num_nodes();
 
   switch (scheme) {
@@ -66,9 +75,18 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(Program program,
     }
   }
 
-  bed->system_ = std::make_unique<System>(&bed->program_, topology,
-                                          &bed->network_, &bed->queue_,
-                                          DefaultFunctions(),
+  if (bed->options_.loss_rate > 0) {
+    bed->network_.SetLossRate(bed->options_.loss_rate,
+                              bed->options_.loss_seed);
+  }
+  MessageChannel* channel = &bed->network_;
+  if (bed->options_.reliable_transport) {
+    bed->transport_ = std::make_unique<ReliableTransport>(
+        &bed->network_, &bed->queue_, bed->options_.transport);
+    channel = bed->transport_.get();
+  }
+  bed->system_ = std::make_unique<System>(&bed->program_, topology, channel,
+                                          &bed->queue_, DefaultFunctions(),
                                           bed->recorder_.get());
   return bed;
 }
@@ -78,16 +96,17 @@ std::unique_ptr<ProvenanceQuerier> Testbed::MakeQuerier() const {
     case Scheme::kReference:
       return nullptr;
     case Scheme::kExspan:
-      return std::make_unique<ExspanQuerier>(exspan_, topology_, query_cost_);
+      return std::make_unique<ExspanQuerier>(exspan_, topology_,
+                                             options_.query_cost);
     case Scheme::kBasic:
       return std::make_unique<BasicQuerier>(basic_, &program_,
                                             &system_->functions(), topology_,
-                                            query_cost_);
+                                            options_.query_cost);
     case Scheme::kAdvanced:
     case Scheme::kAdvancedInterClass:
       return std::make_unique<AdvancedQuerier>(advanced_, &program_,
                                                &system_->functions(),
-                                               topology_, query_cost_);
+                                               topology_, options_.query_cost);
   }
   return nullptr;
 }

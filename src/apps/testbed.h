@@ -12,6 +12,7 @@
 #include "src/core/exspan_recorder.h"
 #include "src/core/query.h"
 #include "src/core/reference_recorder.h"
+#include "src/net/transport.h"
 #include "src/runtime/system.h"
 
 namespace dpc::apps {
@@ -26,6 +27,21 @@ enum class Scheme {
 
 const char* SchemeName(Scheme scheme);
 
+// Deployment knobs beyond the scheme choice: query cost model, fault
+// injection on the runtime network, and reliable delivery on top of it.
+struct TestbedOptions {
+  QueryCostModel query_cost;
+  // Uniform per-traversal loss probability on the runtime network
+  // (Network::SetLossRate); 0 = lossless.
+  double loss_rate = 0;
+  uint64_t loss_seed = 1;
+  // When true the System sends through a ReliableTransport (ack /
+  // retransmit / dedup) instead of the raw network, so the run converges
+  // to the loss-free outputs even under injected faults.
+  bool reliable_transport = false;
+  TransportOptions transport;
+};
+
 // The three schemes the paper's evaluation compares, in its order.
 inline constexpr Scheme kPaperSchemes[] = {Scheme::kExspan, Scheme::kBasic,
                                            Scheme::kAdvanced};
@@ -36,12 +52,19 @@ class Testbed {
   static Result<std::unique_ptr<Testbed>> Create(
       Program program, const Topology* topology, Scheme scheme,
       QueryCostModel query_cost = {});
+  static Result<std::unique_ptr<Testbed>> Create(Program program,
+                                                 const Topology* topology,
+                                                 Scheme scheme,
+                                                 TestbedOptions options);
 
   Scheme scheme() const { return scheme_; }
   const Program& program() const { return program_; }
   System& system() { return *system_; }
   EventQueue& queue() { return queue_; }
   Network& network() { return network_; }
+  // Null unless TestbedOptions::reliable_transport was set.
+  ReliableTransport* transport() { return transport_.get(); }
+  const TestbedOptions& options() const { return options_; }
   const Topology& topology() const { return *topology_; }
   ProvenanceRecorder& recorder() { return *recorder_; }
 
@@ -64,14 +87,15 @@ class Testbed {
 
  private:
   Testbed(Program program, const Topology* topology, Scheme scheme,
-          QueryCostModel query_cost);
+          TestbedOptions options);
 
   Program program_;
   const Topology* topology_;
   Scheme scheme_;
-  QueryCostModel query_cost_;
+  TestbedOptions options_;
   EventQueue queue_;
   Network network_;
+  std::unique_ptr<ReliableTransport> transport_;
   std::unique_ptr<ProvenanceRecorder> recorder_;
   ReferenceRecorder* reference_ = nullptr;
   ExspanRecorder* exspan_ = nullptr;

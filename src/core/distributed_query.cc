@@ -39,6 +39,9 @@ struct DistributedQuerier::Impl {
     SimTime start = 0;
     int pending = 0;  // active branch tokens
     bool failed = false;
+    // The callback fired (result, failure, or deadline); late branch
+    // completions must not fire it again.
+    bool completed = false;
     Status failure;
     std::vector<ProvTree> trees;
     size_t entries = 0;
@@ -67,6 +70,16 @@ DistributedQuerier::DistributedQuerier(const Topology* topology,
 }
 
 DistributedQuerier::~DistributedQuerier() = default;
+
+void DistributedQuerier::EnableReliableTransport(TransportOptions options) {
+  DPC_CHECK(!impl_->protocol)
+      << "EnableReliableTransport must precede the first query";
+  transport_ = std::make_unique<ReliableTransport>(&net_, queue_, options);
+  transport_->SetDeliveryHandler(
+      [this](const Message& msg) { HandleMessage(msg); });
+  transport_->SetFailureHandler(
+      [this](const Message& msg) { HandleDeliveryFailure(msg); });
+}
 
 std::unique_ptr<DistributedQuerier> DistributedQuerier::ForExspan(
     const ExspanRecorder* recorder, const Topology* topology,
@@ -121,9 +134,20 @@ void DistributedQuerier::HandleMessage(const Message& msg) {
     DPC_LOG(Error) << "unknown query continuation " << *id;
     return;
   }
-  auto fn = std::move(it->second);
+  auto fn = std::move(it->second.fn);
   continuations_.erase(it);
   fn();
+}
+
+void DistributedQuerier::HandleDeliveryFailure(const Message& msg) {
+  ByteReader r(msg.payload);
+  auto id = r.GetU64();
+  if (!id.ok()) return;
+  auto it = continuations_.find(*id);
+  if (it == continuations_.end()) return;
+  auto on_fail = std::move(it->second.on_fail);
+  continuations_.erase(it);
+  if (on_fail) on_fail();
 }
 
 namespace {
@@ -134,10 +158,11 @@ struct Protocol {
   DistributedQuerier* owner;
   const Topology* topo;
   EventQueue* queue;
-  Network* net;
+  MessageChannel* chan;
   const QueryCostModel* cost;
   DistributedQuerier::Impl* impl;
-  std::unordered_map<uint64_t, std::function<void()>>* continuations;
+  std::unordered_map<uint64_t, DistributedQuerier::Continuation>*
+      continuations;
   uint64_t* next_id;
 
   using Ctx = DistributedQuerier::Impl::Ctx;
@@ -145,10 +170,26 @@ struct Protocol {
 
   // --- plumbing -----------------------------------------------------------
 
+  // Fires the callback exactly once per query; late completions (after a
+  // deadline already fired it) are dropped.
+  void Finish(const CtxPtr& ctx, Result<QueryResult> res) {
+    if (ctx->completed) return;
+    ctx->completed = true;
+    ctx->cb(std::move(res));
+  }
+
   void Send(const CtxPtr& ctx, NodeId from, NodeId to, size_t carried,
             std::function<void()> fn) {
     uint64_t id = (*next_id)++;
-    (*continuations)[id] = std::move(fn);
+    DistributedQuerier::Continuation cont;
+    cont.fn = std::move(fn);
+    // The reliable transport reports an abandoned frame (partitioned or
+    // persistently lossy path): its branch fails the query cleanly.
+    cont.on_fail = [this, ctx]() {
+      Fail(ctx, Status::DeadlineExceeded(
+                    "query frame delivery abandoned by transport"));
+    };
+    (*continuations)[id] = std::move(cont);
     Message msg;
     msg.kind = MessageKind::kQuery;
     msg.src = from;
@@ -161,7 +202,7 @@ struct Protocol {
     msg.payload.resize(std::max<size_t>(msg.payload.size(),
                                         carried + cost->request_bytes));
     if (from != to) ctx->hops += topo->Distance(from, to);
-    net->Send(std::move(msg));
+    chan->Send(std::move(msg));
   }
 
   void After(double delay, std::function<void()> fn) {
@@ -191,7 +232,7 @@ struct Protocol {
     DPC_CHECK(ctx->pending > 0);
     if (--ctx->pending > 0) return;
     if (ctx->failed) {
-      ctx->cb(ctx->failure);
+      Finish(ctx, ctx->failure);
       return;
     }
     // Deduplicate identical derivations found through different branches.
@@ -205,8 +246,8 @@ struct Protocol {
     ctx->trees.erase(std::unique(ctx->trees.begin(), ctx->trees.end()),
                      ctx->trees.end());
     if (ctx->trees.empty()) {
-      ctx->cb(Status::NotFound("no derivation found for " +
-                               ctx->output.ToString()));
+      Finish(ctx, Status::NotFound("no derivation found for " +
+                                   ctx->output.ToString()));
       return;
     }
     QueryResult res;
@@ -215,7 +256,7 @@ struct Protocol {
     res.entries_touched = ctx->entries;
     res.bytes_transferred = ctx->bytes;
     res.hops = ctx->hops;
-    ctx->cb(std::move(res));
+    Finish(ctx, std::move(res));
   }
 
   // --- chain schemes (Basic / Advanced) ------------------------------------
@@ -311,8 +352,15 @@ struct Protocol {
       return;
     }
     ctx->pending += static_cast<int>(rows.size()) - 1;
+    // Charge what the rows actually occupy on the wire: a fixed ruleExec
+    // frame plus the serialized slow tuples (not their count).
     size_t row_bytes = 0;
-    for (const auto& [step, _] : rows) row_bytes += 64 + step.slow.size();
+    for (const auto& [step, _] : rows) {
+      row_bytes += 64;
+      for (const Tuple& st_tuple : step.slow) {
+        row_bytes += st_tuple.SerializedSize();
+      }
+    }
     double delay = ProcessingDelay(rows.size(), row_bytes);
 
     After(delay, [this, ctx, at, rows = std::move(rows),
@@ -414,7 +462,11 @@ struct Protocol {
       return;
     }
     bool with_evid = impl->kind == DistributedQuerier::Impl::Kind::kAdvanced;
-    Fetch(ctx, rows.size(), rows.size() * rows[0]->SerializedSize(with_evid));
+    // Rows are variable-length (per-row rule references and evids): charge
+    // each row's own serialized size rather than assuming uniformity.
+    for (const ProvEntry* row : rows) {
+      Fetch(ctx, 1, row->SerializedSize(with_evid));
+    }
     std::vector<const ProvEntry*> selected;
     for (const ProvEntry* row : rows) {
       if (with_evid && ctx->evid.has_value() && row->evid != *ctx->evid) {
@@ -463,8 +515,9 @@ struct Protocol {
       Fail(ctx, Status::NotFound("no prov entry for vid"));
       return;
     }
-    Fetch(ctx, prov_rows.size(),
-          prov_rows.size() * prov_rows[0]->SerializedSize(false));
+    for (const ProvEntry* row : prov_rows) {
+      Fetch(ctx, 1, row->SerializedSize(false));
+    }
     ctx->pending += static_cast<int>(prov_rows.size()) - 1;
     double delay = ProcessingDelay(1 + prov_rows.size(),
                                    tuple->SerializedSize());
@@ -562,16 +615,21 @@ struct Protocol {
 }  // namespace
 
 void DistributedQuerier::QueryAsync(const Tuple& output, const Vid* evid,
-                                    SimTime when, Callback cb) {
+                                    SimTime when, double deadline_s,
+                                    Callback cb) {
   auto ctx = std::make_shared<Impl::Ctx>();
   ctx->output = output;
   if (evid != nullptr) ctx->evid = *evid;
   ctx->origin = output.Location();
   ctx->cb = std::move(cb);
+  if (deadline_s <= 0) deadline_s = default_deadline_s_;
 
   if (!impl_->protocol) {
-    auto* proto = new Protocol{this,        topology_, queue_,
-                               &net_,       &cost_,    impl_.get(),
+    MessageChannel* chan =
+        transport_ != nullptr ? static_cast<MessageChannel*>(transport_.get())
+                              : &net_;
+    auto* proto = new Protocol{this,  topology_,       queue_,
+                               chan,  &cost_,          impl_.get(),
                                &continuations_, &next_continuation_};
     impl_->protocol = std::shared_ptr<void>(
         proto, [](void* p) { delete static_cast<Protocol*>(p); });
@@ -585,6 +643,17 @@ void DistributedQuerier::QueryAsync(const Tuple& output, const Vid* evid,
       proto->StartChain(ctx);
     }
   });
+  if (deadline_s > 0) {
+    // The deadline completes the callback even when loss or a partition
+    // orphans every branch; stragglers finishing later are dropped by
+    // the `completed` guard.
+    queue_->ScheduleAt(when + deadline_s, [ctx, deadline_s]() {
+      if (ctx->completed) return;
+      ctx->completed = true;
+      ctx->cb(Status::DeadlineExceeded(
+          "query missed its " + std::to_string(deadline_s) + "s deadline"));
+    });
+  }
 }
 
 Result<QueryResult> DistributedQuerier::QueryAndWait(const Tuple& output,
@@ -593,7 +662,13 @@ Result<QueryResult> DistributedQuerier::QueryAndWait(const Tuple& output,
   QueryAsync(output, evid, queue_->now(),
              [&out](Result<QueryResult> res) { out = std::move(res); });
   queue_->RunAll();
-  DPC_CHECK(out.has_value()) << "query did not complete";
+  if (!out.has_value()) {
+    // Lost query traffic orphaned every remaining branch and no deadline
+    // was set: report it instead of aborting the process.
+    return Status::DeadlineExceeded(
+        "query did not complete: query traffic was lost in transit for " +
+        output.ToString());
+  }
   return std::move(*out);
 }
 

@@ -8,6 +8,13 @@
 // depth-first walk), branch fan-outs here proceed in parallel, so the
 // completion time is the max over branches — what a real deployment would
 // observe. Trees returned are identical to the analytic querier's.
+//
+// Fault tolerance: by default query frames ride the raw (lossy) Network.
+// EnableReliableTransport() layers ack/retransmit/dedup delivery
+// (net/transport.h) underneath, and per-query deadlines guarantee the
+// callback always fires — with the result, or with DeadlineExceeded when
+// loss or a partition stalls the protocol. A query never hangs and never
+// aborts the process.
 #ifndef DPC_CORE_DISTRIBUTED_QUERY_H_
 #define DPC_CORE_DISTRIBUTED_QUERY_H_
 
@@ -18,6 +25,7 @@
 #include "src/core/query.h"
 #include "src/net/event_queue.h"
 #include "src/net/network.h"
+#include "src/net/transport.h"
 
 namespace dpc {
 
@@ -41,35 +49,67 @@ class DistributedQuerier {
 
   ~DistributedQuerier();
 
+  // Switches query traffic onto a ReliableTransport over the querier's
+  // network, so dropped kQuery frames are retransmitted and deduplicated.
+  // Must be called before the first query is launched.
+  void EnableReliableTransport(TransportOptions options = {});
+
+  // Deadline applied to every query that does not pass its own (seconds
+  // of simulated time from launch; 0 disables). When a query misses its
+  // deadline the callback fires with Status::DeadlineExceeded.
+  void set_default_deadline_s(double deadline_s) {
+    default_deadline_s_ = deadline_s;
+  }
+  double default_deadline_s() const { return default_deadline_s_; }
+
   // Launches the query protocol at simulated time `when` from the output
   // tuple's node; `cb` fires (from the event queue) on completion with the
-  // reconstructed trees and the measured latency.
+  // reconstructed trees and the measured latency, or with a Status —
+  // DeadlineExceeded after `deadline_s` (0 = default deadline) without
+  // completion.
   void QueryAsync(const Tuple& output, const Vid* evid, SimTime when,
-                  Callback cb);
+                  Callback cb) {
+    QueryAsync(output, evid, when, /*deadline_s=*/0, std::move(cb));
+  }
+  void QueryAsync(const Tuple& output, const Vid* evid, SimTime when,
+                  double deadline_s, Callback cb);
 
   // Convenience: schedules now, drains the queue, returns the result.
+  // Never aborts: a query orphaned by message loss yields
+  // Status::DeadlineExceeded instead.
   Result<QueryResult> QueryAndWait(const Tuple& output,
                                    const Vid* evid = nullptr);
 
   // Accounting for the query traffic itself.
   Network& network() { return net_; }
+  // Null until EnableReliableTransport is called.
+  ReliableTransport* transport() { return transport_.get(); }
 
-  // Implementation detail (defined in the .cc); public so the protocol
-  // driver in the anonymous namespace can reach it.
+  // Implementation details (defined in the .cc); public so the protocol
+  // driver in the anonymous namespace can reach them.
   struct Impl;
+  // A registered continuation for an in-flight kQuery frame: `fn` runs on
+  // delivery, `on_fail` when the transport abandons the frame.
+  struct Continuation {
+    std::function<void()> fn;
+    std::function<void()> on_fail;
+  };
 
  private:
   DistributedQuerier(const Topology* topology, EventQueue* queue,
                      QueryCostModel cost);
 
   void HandleMessage(const Message& msg);
+  void HandleDeliveryFailure(const Message& msg);
 
   const Topology* topology_;
   EventQueue* queue_;
   QueryCostModel cost_;
   Network net_;
+  std::unique_ptr<ReliableTransport> transport_;
+  double default_deadline_s_ = 0;
   // In-flight continuations keyed by the id embedded in message payloads.
-  std::unordered_map<uint64_t, std::function<void()>> continuations_;
+  std::unordered_map<uint64_t, Continuation> continuations_;
   uint64_t next_continuation_ = 1;
   std::unique_ptr<Impl> impl_;
 };

@@ -4,24 +4,44 @@
 
 namespace dpc {
 
-void EventQueue::ScheduleAt(SimTime t, Callback fn) {
+TimerId EventQueue::ScheduleAt(SimTime t, Callback fn) {
   DPC_DCHECK(t >= now_) << "scheduling into the past: " << t << " < " << now_;
-  queue_.push(Entry{t < now_ ? now_ : t, next_seq_++, std::move(fn)});
+  TimerId id = next_seq_++;
+  live_.insert(id);
+  queue_.push(Entry{t < now_ ? now_ : t, id, std::move(fn)});
+  return id;
+}
+
+void EventQueue::Cancel(TimerId id) {
+  if (live_.erase(id) == 0) return;  // already fired or canceled
+  canceled_.insert(id);
+  SkipCanceled();
+}
+
+void EventQueue::SkipCanceled() {
+  while (!queue_.empty() && canceled_.count(queue_.top().seq) > 0) {
+    canceled_.erase(queue_.top().seq);
+    queue_.pop();
+  }
 }
 
 bool EventQueue::RunNext() {
+  SkipCanceled();
   if (queue_.empty()) return false;
   // Move the callback out before popping so it may schedule new events.
   Entry entry = std::move(const_cast<Entry&>(queue_.top()));
   queue_.pop();
+  live_.erase(entry.seq);
   now_ = entry.time;
   entry.fn();
   return true;
 }
 
 void EventQueue::RunUntil(SimTime t) {
+  SkipCanceled();
   while (!queue_.empty() && queue_.top().time <= t) {
     RunNext();
+    SkipCanceled();
   }
   if (now_ < t) now_ = t;
 }
@@ -31,7 +51,7 @@ void EventQueue::RunAll(size_t max_events) {
   while (RunNext()) {
     if (max_events != 0 && ++n >= max_events) {
       DPC_LOG(Warning) << "EventQueue::RunAll stopped after " << n
-                       << " events with " << queue_.size() << " pending";
+                       << " events with " << pending() << " pending";
       return;
     }
   }

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace dpc {
@@ -14,23 +15,33 @@ namespace dpc {
 // Simulated time in seconds.
 using SimTime = double;
 
+// Handle for a scheduled event, usable with EventQueue::Cancel.
+using TimerId = uint64_t;
+
 class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  // Schedules `fn` at absolute time `t` (>= now).
-  void ScheduleAt(SimTime t, Callback fn);
+  // Schedules `fn` at absolute time `t` (>= now). The returned TimerId may
+  // be passed to Cancel before the event fires.
+  TimerId ScheduleAt(SimTime t, Callback fn);
 
   // Schedules `fn` `delay` seconds from now.
-  void ScheduleAfter(SimTime delay, Callback fn) {
-    ScheduleAt(now_ + delay, std::move(fn));
+  TimerId ScheduleAfter(SimTime delay, Callback fn) {
+    return ScheduleAt(now_ + delay, std::move(fn));
   }
 
-  SimTime now() const { return now_; }
-  bool empty() const { return queue_.empty(); }
-  size_t pending() const { return queue_.size(); }
+  // Cancels a scheduled event. Canceling an already-fired (or already
+  // canceled) timer is a no-op. Cancellation is lazy: the entry stays in
+  // the heap until its time comes but its callback is dropped then.
+  void Cancel(TimerId id);
 
-  // Runs the earliest event; returns false when the queue is empty.
+  SimTime now() const { return now_; }
+  bool empty() const { return live_.empty(); }
+  // Number of live (non-canceled) events still scheduled.
+  size_t pending() const { return live_.size(); }
+
+  // Runs the earliest live event; returns false when no live events remain.
   bool RunNext();
 
   // Runs events until the queue empties or simulated time would exceed
@@ -54,7 +65,14 @@ class EventQueue {
     }
   };
 
+  // Pops canceled entries off the top of the heap.
+  void SkipCanceled();
+
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  // Ids scheduled but not yet fired or canceled; keeps Cancel a no-op for
+  // stale ids and makes pending() an exact live count.
+  std::unordered_set<TimerId> live_;
+  std::unordered_set<TimerId> canceled_;
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
 };

@@ -4,6 +4,14 @@
 
 namespace dpc {
 
+namespace {
+uint64_t PackPair(NodeId a, NodeId b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+         static_cast<uint32_t>(b);
+}
+}  // namespace
+
 size_t Message::WireSize() const {
   return kMessageHeaderBytes + payload.size();
 }
@@ -38,7 +46,71 @@ void Network::Send(Message msg) {
 void Network::SetLossRate(double rate, uint64_t seed) {
   DPC_CHECK(rate >= 0 && rate < 1);
   loss_rate_ = rate;
-  loss_rng_ = rate > 0 ? std::make_unique<Rng>(seed) : nullptr;
+  loss_rng_ = std::make_unique<Rng>(seed);
+}
+
+Status Network::CheckLink(NodeId a, NodeId b) const {
+  if (!topology_->HasLink(a, b)) {
+    return Status::InvalidArgument("no link between " + std::to_string(a) +
+                                   " and " + std::to_string(b));
+  }
+  return Status::OK();
+}
+
+Rng& Network::LossRng() {
+  if (loss_rng_ == nullptr) loss_rng_ = std::make_unique<Rng>(1);
+  return *loss_rng_;
+}
+
+Status Network::SetLinkLossRate(NodeId a, NodeId b, double rate) {
+  DPC_RETURN_NOT_OK(CheckLink(a, b));
+  if (rate < 0 || rate >= 1) {
+    return Status::InvalidArgument("loss rate must be in [0, 1)");
+  }
+  link_loss_[PackPair(a, b)] = rate;
+  return Status::OK();
+}
+
+Status Network::SetLinkUp(NodeId a, NodeId b, bool up) {
+  DPC_RETURN_NOT_OK(CheckLink(a, b));
+  if (up) {
+    links_down_.erase(PackPair(a, b));
+  } else {
+    links_down_.insert(PackPair(a, b));
+  }
+  return Status::OK();
+}
+
+Status Network::ScheduleLinkUp(NodeId a, NodeId b, bool up, SimTime at) {
+  DPC_RETURN_NOT_OK(CheckLink(a, b));
+  queue_->ScheduleAt(at, [this, a, b, up]() { (void)SetLinkUp(a, b, up); });
+  return Status::OK();
+}
+
+Status Network::SetPartition(std::vector<int> group_of_node) {
+  if (!group_of_node.empty() &&
+      group_of_node.size() != static_cast<size_t>(topology_->num_nodes())) {
+    return Status::InvalidArgument(
+        "partition vector must name a group per node");
+  }
+  partition_ = std::move(group_of_node);
+  return Status::OK();
+}
+
+void Network::SchedulePartition(std::vector<int> group_of_node, SimTime at) {
+  queue_->ScheduleAt(at, [this, groups = std::move(group_of_node)]() {
+    Status st = SetPartition(groups);
+    DPC_CHECK(st.ok()) << st.ToString();
+  });
+}
+
+bool Network::TraversalDropped(NodeId at, NodeId next) {
+  if (links_down_.count(PackPair(at, next)) > 0) return true;
+  if (!partition_.empty() && partition_[at] != partition_[next]) return true;
+  double rate = loss_rate_;
+  auto it = link_loss_.find(PackPair(at, next));
+  if (it != link_loss_.end()) rate = it->second;
+  return rate > 0 && LossRng().NextDouble() < rate;
 }
 
 void Network::Forward(Message msg, NodeId at) {
@@ -47,7 +119,7 @@ void Network::Forward(Message msg, NodeId at) {
   const LinkProps& link = topology_->Link(at, next);
   size_t wire = msg.WireSize();
   ChargeBytes(queue_->now(), wire);
-  if (loss_rng_ != nullptr && loss_rng_->NextDouble() < loss_rate_) {
+  if (TraversalDropped(at, next)) {
     ++dropped_messages_;
     return;  // the traversal consumed bandwidth but never arrives
   }
@@ -64,6 +136,7 @@ void Network::Forward(Message msg, NodeId at) {
 
 void Network::Broadcast(NodeId from, Message msg) {
   for (NodeId n = 0; n < topology_->num_nodes(); ++n) {
+    if (n == from) continue;  // the originator already handled it locally
     Message copy = msg;
     copy.src = from;
     copy.dst = n;
@@ -74,6 +147,7 @@ void Network::Broadcast(NodeId from, Message msg) {
 void Network::ResetAccounting() {
   total_bytes_ = 0;
   total_messages_ = 0;
+  dropped_messages_ = 0;
   bucket_bytes_.clear();
 }
 

@@ -2,12 +2,19 @@
 // Messages are forwarded hop-by-hop along shortest paths; every traversed
 // link contributes latency + serialization delay and is charged to the
 // bandwidth accounting that the paper's Figures 11 and 15 report.
+//
+// Delivery is best-effort: the fault-injection API below (uniform or
+// per-link loss, links going down/up at a simulated time, node partitions)
+// drops traversals. Layer a ReliableTransport (transport.h) on top when a
+// workload must survive those faults.
 #ifndef DPC_NET_NETWORK_H_
 #define DPC_NET_NETWORK_H_
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/db/tuple.h"
@@ -22,6 +29,7 @@ enum class MessageKind : uint8_t {
   kEvent = 0,    // an event tuple propagating through a DELP
   kControl = 1,  // slow-changing-update sig broadcast (§5.5)
   kQuery = 2,    // distributed provenance query traffic
+  kAck = 3,      // transport-layer acknowledgement (transport.h)
 };
 
 struct Message {
@@ -37,23 +45,40 @@ struct Message {
 // kind tag, length), mimicking a UDP-style header.
 inline constexpr size_t kMessageHeaderBytes = 28;
 
-class Network {
+// Anything that can carry Messages between nodes: the raw (lossy) Network
+// or a ReliableTransport layered over it. System and DistributedQuerier
+// program against this seam so reliability is a deployment choice.
+class MessageChannel {
  public:
   using DeliveryHandler = std::function<void(const Message& msg)>;
 
-  Network(const Topology* topology, EventQueue* queue);
+  virtual ~MessageChannel() = default;
 
   // Installs the handler invoked when a message reaches its destination.
-  void SetDeliveryHandler(DeliveryHandler handler) {
+  virtual void SetDeliveryHandler(DeliveryHandler handler) = 0;
+
+  // Sends `msg` from msg.src to msg.dst.
+  virtual void Send(Message msg) = 0;
+
+  // Unicasts a copy of `msg` from `from` to every *other* node (§5.5 sig).
+  // The originator handles the signal synchronously at the send site, so
+  // it is not echoed a copy.
+  virtual void Broadcast(NodeId from, Message msg) = 0;
+};
+
+class Network : public MessageChannel {
+ public:
+  Network(const Topology* topology, EventQueue* queue);
+
+  void SetDeliveryHandler(DeliveryHandler handler) override {
     handler_ = std::move(handler);
   }
 
   // Sends `msg` from msg.src to msg.dst. Local sends (src == dst) deliver
   // after `local_delay_s` with no bandwidth charge.
-  void Send(Message msg);
+  void Send(Message msg) override;
 
-  // Unicasts a copy of `msg` from `from` to every other node (§5.5 sig).
-  void Broadcast(NodeId from, Message msg);
+  void Broadcast(NodeId from, Message msg) override;
 
   // --- accounting ---
   uint64_t total_bytes_sent() const { return total_bytes_; }
@@ -68,19 +93,46 @@ class Network {
   // Resets counters (not pending traffic).
   void ResetAccounting();
 
+  const Topology* topology() const { return topology_; }
+
   // Delay before a locally-addressed message is delivered.
   void set_local_delay_s(double d) { local_delay_s_ = d; }
 
-  // Failure injection: drop each link traversal independently with
-  // probability `rate` (deterministic given `seed`). Local deliveries are
-  // never dropped. Dropped traversals are still charged to bandwidth (the
-  // bytes were sent), and counted in dropped_messages().
+  // --- fault injection -------------------------------------------------
+  // All injected faults drop individual link traversals. Local deliveries
+  // (src == dst) are never dropped. Dropped traversals are still charged
+  // to bandwidth (the bytes were sent) and counted in dropped_messages().
+
+  // Uniform loss: drop each traversal independently with probability
+  // `rate` (deterministic given `seed`).
   void SetLossRate(double rate, uint64_t seed = 1);
+
+  // Per-link loss overriding the uniform rate on that link (either
+  // direction). Draws come from the same seeded stream as SetLossRate.
+  Status SetLinkLossRate(NodeId a, NodeId b, double rate);
+
+  // Takes link (a, b) down / back up. While down, every traversal of the
+  // link is dropped; routing is unchanged (the paper's routes are static),
+  // so recovery is the transport layer's job.
+  Status SetLinkUp(NodeId a, NodeId b, bool up);
+  // Same, at simulated time `at`.
+  Status ScheduleLinkUp(NodeId a, NodeId b, bool up, SimTime at);
+
+  // Partitions the nodes: a traversal is dropped when its endpoints are in
+  // different groups. `group_of_node[n]` is node n's group id; the vector
+  // must have one entry per node. An empty vector heals the partition.
+  Status SetPartition(std::vector<int> group_of_node);
+  void SchedulePartition(std::vector<int> group_of_node, SimTime at);
+
   uint64_t dropped_messages() const { return dropped_messages_; }
 
  private:
   void Forward(Message msg, NodeId at);
   void ChargeBytes(double time, size_t bytes);
+  // True when fault injection says this traversal never arrives.
+  bool TraversalDropped(NodeId at, NodeId next);
+  Status CheckLink(NodeId a, NodeId b) const;
+  Rng& LossRng();
 
   const Topology* topology_;
   EventQueue* queue_;
@@ -93,6 +145,10 @@ class Network {
   double loss_rate_ = 0;
   uint64_t dropped_messages_ = 0;
   std::unique_ptr<Rng> loss_rng_;
+  // Fault state keyed by the (min, max) node pair packed into 64 bits.
+  std::unordered_map<uint64_t, double> link_loss_;
+  std::unordered_set<uint64_t> links_down_;
+  std::vector<int> partition_;  // empty = no partition
 };
 
 }  // namespace dpc

@@ -1,0 +1,142 @@
+#include "src/net/transport.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/serial.h"
+
+namespace dpc {
+
+namespace {
+
+// Transport frame header prepended to the application payload.
+enum FrameType : uint8_t { kDataFrame = 0, kAckFrame = 1 };
+
+std::vector<uint8_t> WrapPayload(FrameType type, uint64_t seq,
+                                 const std::vector<uint8_t>& payload) {
+  ByteWriter w;
+  w.PutU8(type);
+  w.PutU64(seq);
+  std::vector<uint8_t> out = w.Take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+}  // namespace
+
+ReliableTransport::ReliableTransport(Network* network, EventQueue* queue,
+                                     TransportOptions options)
+    : network_(network), queue_(queue), options_(options) {
+  DPC_CHECK(network_ != nullptr);
+  DPC_CHECK(queue_ != nullptr);
+  DPC_CHECK(options_.initial_rto_s > 0);
+  DPC_CHECK(options_.backoff_factor >= 1);
+  network_->SetDeliveryHandler(
+      [this](const Message& msg) { OnNetworkDelivery(msg); });
+}
+
+void ReliableTransport::Send(Message msg) {
+  uint64_t seq = next_seq_++;
+  Pending p;
+  p.frame.kind = msg.kind;
+  p.frame.src = msg.src;
+  p.frame.dst = msg.dst;
+  p.frame.payload = WrapPayload(kDataFrame, seq, msg.payload);
+  p.original = std::move(msg);
+  p.rto_s = options_.initial_rto_s;
+  ++stats_.data_frames_sent;
+  TransmitFrame(p.frame);
+  pending_.emplace(seq, std::move(p));
+  ArmTimer(seq);
+}
+
+void ReliableTransport::Broadcast(NodeId from, Message msg) {
+  int num_nodes = network_->topology()->num_nodes();
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    if (n == from) continue;  // the originator already handled it locally
+    Message copy = msg;
+    copy.src = from;
+    copy.dst = n;
+    Send(std::move(copy));
+  }
+}
+
+void ReliableTransport::TransmitFrame(const Message& frame) {
+  Message copy = frame;
+  network_->Send(std::move(copy));
+}
+
+void ReliableTransport::ArmTimer(uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;
+  it->second.timer =
+      queue_->ScheduleAfter(it->second.rto_s, [this, seq]() { OnTimeout(seq); });
+}
+
+void ReliableTransport::OnTimeout(uint64_t seq) {
+  auto it = pending_.find(seq);
+  if (it == pending_.end()) return;  // acked in the meantime
+  Pending& p = it->second;
+  if (options_.max_attempts > 0 && p.attempts >= options_.max_attempts) {
+    ++stats_.delivery_failures;
+    Message original = std::move(p.original);
+    pending_.erase(it);
+    DPC_LOG(Warning) << "transport: abandoning message to node "
+                     << original.dst << " after " << options_.max_attempts
+                     << " attempts";
+    if (failure_handler_) failure_handler_(original);
+    return;
+  }
+  ++p.attempts;
+  ++stats_.retransmissions;
+  p.rto_s = std::min(p.rto_s * options_.backoff_factor, options_.max_rto_s);
+  TransmitFrame(p.frame);
+  ArmTimer(seq);
+}
+
+void ReliableTransport::OnNetworkDelivery(const Message& msg) {
+  ByteReader r(msg.payload);
+  auto type = r.GetU8();
+  auto seq = r.GetU64();
+  if (!type.ok() || !seq.ok()) {
+    DPC_LOG(Error) << "transport: malformed frame from node " << msg.src;
+    return;
+  }
+  if (*type == kAckFrame) {
+    auto it = pending_.find(*seq);
+    if (it == pending_.end()) return;  // duplicate ack
+    queue_->Cancel(it->second.timer);
+    pending_.erase(it);
+    return;
+  }
+  if (*type != kDataFrame) {
+    DPC_LOG(Error) << "transport: unknown frame type "
+                   << static_cast<int>(*type);
+    return;
+  }
+  // Acknowledge every data frame, duplicates included: the previous ack
+  // may have been the casualty.
+  Message ack;
+  ack.kind = MessageKind::kAck;
+  ack.src = msg.dst;
+  ack.dst = msg.src;
+  ByteWriter w;
+  w.PutU8(kAckFrame);
+  w.PutU64(*seq);
+  ack.payload = w.Take();
+  ++stats_.acks_sent;
+  network_->Send(std::move(ack));
+
+  if (!delivered_.insert(*seq).second) {
+    ++stats_.duplicates_suppressed;
+    return;
+  }
+  Message original;
+  original.kind = msg.kind;
+  original.src = msg.src;
+  original.dst = msg.dst;
+  original.payload.assign(msg.payload.begin() + 9, msg.payload.end());
+  if (handler_) handler_(original);
+}
+
+}  // namespace dpc

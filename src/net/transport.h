@@ -1,0 +1,107 @@
+// ReliableTransport: exactly-once message delivery over the lossy Network.
+//
+// The paper's prototype inherits reliable delivery from RapidNet/ns-3; our
+// simulator injects faults (network.h), so anything that must survive them
+// layers this transport over the raw Network:
+//
+//   * every data frame carries a transport sequence number and is
+//     acknowledged by the receiver with a small kAck frame;
+//   * the sender retransmits an unacknowledged frame after a timeout,
+//     doubling the timeout each attempt (exponential backoff, capped),
+//     until the ack arrives or `max_attempts` is exhausted;
+//   * the receiver deduplicates by sequence number, so a retransmitted
+//     kEvent/kControl/kQuery delivery is handed to the application exactly
+//     once — duplicates are re-acked (the previous ack may have been lost)
+//     but suppressed.
+//
+// Everything is driven by the shared EventQueue, so runs are deterministic
+// for a given loss seed. See docs/transport.md for the protocol write-up.
+#ifndef DPC_NET_TRANSPORT_H_
+#define DPC_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/net/network.h"
+
+namespace dpc {
+
+struct TransportOptions {
+  double initial_rto_s = 0.25;  // first retransmission timeout
+  double backoff_factor = 2.0;  // RTO multiplier per failed attempt
+  double max_rto_s = 8.0;       // backoff cap
+  // Total send attempts per frame before giving up (first transmission
+  // included). 0 retries forever — only safe when every fault heals.
+  int max_attempts = 16;
+};
+
+struct TransportStats {
+  uint64_t data_frames_sent = 0;      // first transmissions
+  uint64_t retransmissions = 0;       // timeout-triggered resends
+  uint64_t acks_sent = 0;             // receiver-side acknowledgements
+  uint64_t duplicates_suppressed = 0; // retransmits already applied
+  uint64_t delivery_failures = 0;     // frames abandoned after max_attempts
+};
+
+class ReliableTransport : public MessageChannel {
+ public:
+  // `network` and `queue` must outlive the transport. The transport takes
+  // over the network's delivery handler; applications install theirs on
+  // the transport instead.
+  ReliableTransport(Network* network, EventQueue* queue,
+                    TransportOptions options = {});
+
+  void SetDeliveryHandler(DeliveryHandler handler) override {
+    handler_ = std::move(handler);
+  }
+
+  // Invoked (from the event queue) with the original message when delivery
+  // is abandoned after `max_attempts`; the application decides whether
+  // that is fatal (e.g. a query failing with DeadlineExceeded).
+  using FailureHandler = std::function<void(const Message& msg)>;
+  void SetFailureHandler(FailureHandler handler) {
+    failure_handler_ = std::move(handler);
+  }
+
+  // Reliably sends `msg`; delivers to the destination's handler exactly
+  // once unless every attempt is exhausted.
+  void Send(Message msg) override;
+
+  // Reliable §5.5 broadcast: a unicast Send to every node but `from`.
+  void Broadcast(NodeId from, Message msg) override;
+
+  const TransportStats& stats() const { return stats_; }
+  // Frames sent but not yet acknowledged.
+  size_t in_flight() const { return pending_.size(); }
+  Network& network() { return *network_; }
+  const TransportOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    Message frame;     // wrapped message, ready to resend
+    Message original;  // what the caller passed, for the failure handler
+    int attempts = 1;
+    double rto_s = 0;
+    TimerId timer = 0;
+  };
+
+  void TransmitFrame(const Message& frame);
+  void ArmTimer(uint64_t seq);
+  void OnTimeout(uint64_t seq);
+  void OnNetworkDelivery(const Message& msg);
+
+  Network* network_;
+  EventQueue* queue_;
+  TransportOptions options_;
+  DeliveryHandler handler_;
+  FailureHandler failure_handler_;
+  uint64_t next_seq_ = 1;
+  std::unordered_map<uint64_t, Pending> pending_;
+  std::unordered_set<uint64_t> delivered_;
+  TransportStats stats_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_NET_TRANSPORT_H_

@@ -5,21 +5,21 @@
 namespace dpc {
 
 System::System(const Program* program, const Topology* topology,
-               Network* network, EventQueue* queue,
+               MessageChannel* channel, EventQueue* queue,
                FunctionRegistry functions, ProvenanceRecorder* recorder)
     : program_(program),
       topology_(topology),
-      network_(network),
+      channel_(channel),
       queue_(queue),
       functions_(std::move(functions)),
       recorder_(recorder) {
   DPC_CHECK(program_ != nullptr);
   DPC_CHECK(topology_ != nullptr);
-  DPC_CHECK(network_ != nullptr);
+  DPC_CHECK(channel_ != nullptr);
   DPC_CHECK(queue_ != nullptr);
   dbs_.resize(topology_->num_nodes());
   outputs_.resize(topology_->num_nodes());
-  network_->SetDeliveryHandler(
+  channel_->SetDeliveryHandler(
       [this](const Message& msg) { HandleMessage(msg); });
 }
 
@@ -42,14 +42,24 @@ Status System::InsertSlowTuple(const Tuple& t) {
   }
   if (recorder_ != nullptr && recorder_->OnSlowInsert(node, t)) {
     // §5.5: broadcast a sig so every node resets its equivalence cache.
+    // The inserting node resets synchronously — there must be no window
+    // where its own cache is stale — and the broadcast covers the rest
+    // (Network::Broadcast does not echo to the originator).
+    ++stats_.control_signals;
+    recorder_->OnControlSignal(node);
     Message sig;
     sig.kind = MessageKind::kControl;
-    network_->Broadcast(node, std::move(sig));
+    channel_->Broadcast(node, std::move(sig));
   }
   return Status::OK();
 }
 
 Status System::DeleteSlowTuple(const Tuple& t) {
+  if (!program_->IsSlowChanging(t.relation())) {
+    return Status::InvalidArgument("relation " + t.relation() +
+                                   " is not slow-changing in program " +
+                                   program_->name());
+  }
   NodeId node = t.Location();
   if (node < 0 || node >= topology_->num_nodes()) {
     return Status::OutOfRange("tuple located at unknown node " +
@@ -160,7 +170,7 @@ void System::SendEvent(NodeId from, const Tuple& tuple,
   msg.src = from;
   msg.dst = tuple.Location();
   msg.payload = EncodeEventPayload(tuple, meta);
-  network_->Send(std::move(msg));
+  channel_->Send(std::move(msg));
 }
 
 void System::HandleMessage(const Message& msg) {
@@ -196,6 +206,11 @@ void System::HandleMessage(const Message& msg) {
     }
     case MessageKind::kQuery:
       DPC_LOG(Warning) << "unexpected query message in System";
+      return;
+    case MessageKind::kAck:
+      // Transport acks are consumed by ReliableTransport; one arriving
+      // here means the channel is the raw Network — drop it.
+      DPC_LOG(Warning) << "unexpected transport ack in System";
       return;
   }
 }

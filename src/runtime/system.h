@@ -40,10 +40,12 @@ struct SystemStats {
 class System {
  public:
   // All pointers must outlive the System. The recorder may be null (run
-  // without provenance).
-  System(const Program* program, const Topology* topology, Network* network,
-         EventQueue* queue, FunctionRegistry functions,
-         ProvenanceRecorder* recorder);
+  // without provenance). `channel` is the message path between nodes —
+  // the raw (lossy) Network, or a ReliableTransport layered over it when
+  // the deployment must survive injected faults.
+  System(const Program* program, const Topology* topology,
+         MessageChannel* channel, EventQueue* queue,
+         FunctionRegistry functions, ProvenanceRecorder* recorder);
 
   // --- state management -----------------------------------------------
 
@@ -100,7 +102,7 @@ class System {
 
   const Program* program_;
   const Topology* topology_;
-  Network* network_;
+  MessageChannel* channel_;
   EventQueue* queue_;
   FunctionRegistry functions_;
   ProvenanceRecorder* recorder_;

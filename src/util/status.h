@@ -20,6 +20,7 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   kNotImplemented,
+  kDeadlineExceeded,
 };
 
 // Human-readable name of a status code, e.g. "InvalidArgument".
@@ -55,6 +56,9 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   Status(StatusCode code, std::string msg);
 
@@ -73,6 +77,9 @@ class Status {
   }
   bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   // "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -134,6 +134,110 @@ TEST_P(DistributedQueryTest, AsyncCompletionDeliversOnQueue) {
   EXPECT_TRUE(fired);
 }
 
+TEST_P(DistributedQueryTest, ReliableTransportMatchesAnalyticUnderLoss) {
+  // 20% per-traversal loss on the query network: with ack/retransmit the
+  // protocol must still reconstruct exactly the analytic trees.
+  auto distributed = MakeDistributed();
+  distributed->network().SetLossRate(0.2, /*seed=*/17);
+  TransportOptions retry_forever;
+  retry_forever.max_attempts = 0;  // loss is transient: never give up
+  distributed->EnableReliableTransport(retry_forever);
+  auto analytic = bed_->MakeQuerier();
+  bool use_evid = GetParam() == Scheme::kAdvanced ||
+                  GetParam() == Scheme::kAdvancedInterClass;
+  auto sorted = [](std::vector<ProvTree> trees) {
+    std::sort(trees.begin(), trees.end(),
+              [](const ProvTree& a, const ProvTree& b) {
+                ByteWriter wa, wb;
+                a.Serialize(wa);
+                b.Serialize(wb);
+                return wa.bytes() < wb.bytes();
+              });
+    return trees;
+  };
+  size_t checked = 0;
+  for (const OutputRecord& out : bed_->system().AllOutputs()) {
+    Vid evid = out.meta.evid;
+    const Vid* evid_ptr = use_evid ? &evid : nullptr;
+    auto expected = analytic->Query(out.tuple, evid_ptr);
+    ASSERT_TRUE(expected.ok());
+    auto got = distributed->QueryAndWait(out.tuple, evid_ptr);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(sorted(got->trees), sorted(expected->trees));
+    ++checked;
+  }
+  EXPECT_GT(checked, 10u);
+  EXPECT_GT(distributed->network().dropped_messages(), 0u);
+  EXPECT_GT(distributed->transport()->stats().retransmissions, 0u);
+  EXPECT_EQ(distributed->transport()->stats().delivery_failures, 0u);
+}
+
+TEST_P(DistributedQueryTest, LossyQueriesNeverHangOrAbort) {
+  // Raw lossy network, no transport: every query must still terminate —
+  // with the result, or with DeadlineExceeded once loss orphans it.
+  auto distributed = MakeDistributed();
+  distributed->network().SetLossRate(0.6, /*seed=*/23);
+  size_t ok = 0, deadline = 0;
+  for (const OutputRecord& out : bed_->system().AllOutputs()) {
+    auto res = distributed->QueryAndWait(out.tuple);
+    if (res.ok()) {
+      ++ok;
+    } else {
+      ASSERT_TRUE(res.status().IsDeadlineExceeded())
+          << res.status().ToString();
+      ++deadline;
+    }
+  }
+  EXPECT_EQ(ok + deadline, bed_->system().AllOutputs().size());
+  EXPECT_GT(deadline, 0u);  // 60% loss over many multi-hop queries
+}
+
+TEST_P(DistributedQueryTest, PartitionedQueryHitsTheDeadline) {
+  auto distributed = MakeDistributed();
+  distributed->set_default_deadline_s(0.5);
+  // Isolate every node: all remote query frames are dropped.
+  std::vector<int> groups(topo_.graph.num_nodes());
+  for (size_t i = 0; i < groups.size(); ++i) groups[i] = static_cast<int>(i);
+  ASSERT_TRUE(distributed->network().SetPartition(groups).ok());
+  size_t completions = 0, deadline = 0;
+  for (const OutputRecord& out : bed_->system().AllOutputs()) {
+    auto res = distributed->QueryAndWait(out.tuple);
+    ++completions;
+    if (!res.ok()) {
+      ASSERT_TRUE(res.status().IsDeadlineExceeded())
+          << res.status().ToString();
+      ++deadline;
+    }
+  }
+  EXPECT_EQ(completions, bed_->system().AllOutputs().size());
+  EXPECT_GT(deadline, 0u);
+}
+
+TEST_P(DistributedQueryTest, TransportGiveUpFailsQueryUnderPartition) {
+  // Reliable transport with bounded attempts across a permanent partition:
+  // the transport abandons the frame and the query fails cleanly instead
+  // of retrying forever.
+  auto distributed = MakeDistributed();
+  TransportOptions options;
+  options.initial_rto_s = 0.05;
+  options.max_attempts = 3;
+  distributed->EnableReliableTransport(options);
+  std::vector<int> groups(topo_.graph.num_nodes());
+  for (size_t i = 0; i < groups.size(); ++i) groups[i] = static_cast<int>(i);
+  ASSERT_TRUE(distributed->network().SetPartition(groups).ok());
+  size_t deadline = 0;
+  for (const OutputRecord& out : bed_->system().AllOutputs()) {
+    auto res = distributed->QueryAndWait(out.tuple);
+    if (!res.ok()) {
+      ASSERT_TRUE(res.status().IsDeadlineExceeded())
+          << res.status().ToString();
+      ++deadline;
+    }
+  }
+  EXPECT_GT(deadline, 0u);
+  EXPECT_GT(distributed->transport()->stats().delivery_failures, 0u);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Schemes, DistributedQueryTest,
     ::testing::Values(Scheme::kExspan, Scheme::kBasic, Scheme::kAdvanced,

@@ -1,0 +1,215 @@
+// End-to-end fault tolerance: with the reliable transport layered over a
+// lossy network, forwarding and DNS runs must converge to byte-identical
+// outputs and identical runtime stats versus the loss-free run — each
+// retransmitted delivery applied exactly once — and every provenance query
+// must terminate with a result or DeadlineExceeded, deterministically per
+// seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/apps/dns.h"
+#include "src/apps/experiments.h"
+#include "src/apps/forwarding.h"
+#include "src/apps/testbed.h"
+#include "src/core/distributed_query.h"
+
+namespace dpc {
+namespace {
+
+using apps::Scheme;
+using apps::Testbed;
+using apps::TestbedOptions;
+
+// Serialized output tuples per node, each node's multiset sorted so
+// arrival-order jitter from retransmission delays does not matter.
+std::vector<std::vector<std::vector<uint8_t>>> OutputBytes(Testbed& bed) {
+  std::vector<std::vector<std::vector<uint8_t>>> per_node;
+  for (NodeId n = 0; n < bed.topology().num_nodes(); ++n) {
+    std::vector<std::vector<uint8_t>> rows;
+    for (const OutputRecord& out : bed.system().OutputsAt(n)) {
+      ByteWriter w;
+      out.tuple.Serialize(w);
+      rows.push_back(w.Take());
+    }
+    std::sort(rows.begin(), rows.end());
+    per_node.push_back(std::move(rows));
+  }
+  return per_node;
+}
+
+TransitStubTopology SmallTransitStub() {
+  TransitStubParams params;
+  params.num_transit = 2;
+  params.stubs_per_transit = 2;
+  params.nodes_per_stub = 4;
+  return MakeTransitStub(params);
+}
+
+std::unique_ptr<Testbed> RunForwardingWorkload(const TransitStubTopology& topo,
+                                               Scheme scheme,
+                                               TestbedOptions options) {
+  auto program = apps::MakeForwardingProgram();
+  EXPECT_TRUE(program.ok());
+  auto bed = Testbed::Create(std::move(program).value(), &topo.graph, scheme,
+                             std::move(options));
+  EXPECT_TRUE(bed.ok());
+  Rng rng(5);
+  auto pairs = apps::PickCommunicatingPairs(topo, 6, rng);
+  for (auto [s, d] : pairs) {
+    EXPECT_TRUE(
+        apps::InstallRoutesForPair((*bed)->system(), topo.graph, s, d).ok());
+  }
+  double t = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (auto [s, d] : pairs) {
+      EXPECT_TRUE((*bed)
+                      ->system()
+                      .ScheduleInject(
+                          apps::MakePacket(
+                              s, s, d,
+                              apps::MakePayload(32, round * 100 + s)),
+                          t += 0.002)
+                      .ok());
+    }
+  }
+  (*bed)->system().Run();
+  return std::move(bed).value();
+}
+
+TEST(ReliableForwardingTest, TwentyPercentLossConvergesToLossFreeRun) {
+  TransitStubTopology topo = SmallTransitStub();
+  auto clean = RunForwardingWorkload(topo, Scheme::kAdvanced, {});
+  ASSERT_GT(clean->system().stats().outputs, 0u);
+
+  TestbedOptions lossy;
+  lossy.loss_rate = 0.2;
+  lossy.loss_seed = 42;
+  lossy.reliable_transport = true;
+  // Pure loss is transient: retry until delivered (bounded attempts are
+  // for permanent faults like partitions).
+  lossy.transport.max_attempts = 0;
+  auto survived = RunForwardingWorkload(topo, Scheme::kAdvanced, lossy);
+
+  // The network really did drop traffic, the transport really did resend.
+  EXPECT_GT(survived->network().dropped_messages(), 0u);
+  EXPECT_GT(survived->transport()->stats().retransmissions, 0u);
+  EXPECT_EQ(survived->transport()->stats().delivery_failures, 0u);
+
+  // Dedup applied every retransmitted delivery exactly once: the runtime
+  // stats and the outputs are identical to the loss-free run, byte for
+  // byte.
+  EXPECT_EQ(survived->system().stats().outputs,
+            clean->system().stats().outputs);
+  EXPECT_EQ(survived->system().stats().rule_firings,
+            clean->system().stats().rule_firings);
+  EXPECT_EQ(survived->system().stats().control_signals,
+            clean->system().stats().control_signals);
+  EXPECT_EQ(OutputBytes(*survived), OutputBytes(*clean));
+
+  // No pending stragglers: every class completed (§5.3 accounting).
+  EXPECT_EQ(survived->advanced()->PendingOutputs(), 0u);
+}
+
+TEST(ReliableForwardingTest, DeterministicPerSeed) {
+  TransitStubTopology topo = SmallTransitStub();
+  TestbedOptions lossy;
+  lossy.loss_rate = 0.25;
+  lossy.loss_seed = 7;
+  lossy.reliable_transport = true;
+  lossy.transport.max_attempts = 0;
+  auto a = RunForwardingWorkload(topo, Scheme::kBasic, lossy);
+  auto b = RunForwardingWorkload(topo, Scheme::kBasic, lossy);
+  EXPECT_EQ(a->network().dropped_messages(), b->network().dropped_messages());
+  EXPECT_EQ(a->transport()->stats().retransmissions,
+            b->transport()->stats().retransmissions);
+  EXPECT_EQ(a->transport()->stats().duplicates_suppressed,
+            b->transport()->stats().duplicates_suppressed);
+  EXPECT_EQ(OutputBytes(*a), OutputBytes(*b));
+}
+
+TEST(ReliableForwardingTest, QueriesSurviveLossEndToEnd) {
+  // Maintain under loss+transport, then query every output over a lossy
+  // query network with its own reliable transport: all trees must verify.
+  TransitStubTopology topo = SmallTransitStub();
+  TestbedOptions lossy;
+  lossy.loss_rate = 0.2;
+  lossy.loss_seed = 13;
+  lossy.reliable_transport = true;
+  lossy.transport.max_attempts = 0;
+  auto bed = RunForwardingWorkload(topo, Scheme::kAdvanced, lossy);
+  ASSERT_GT(bed->system().stats().outputs, 10u);
+
+  auto distributed = DistributedQuerier::ForAdvanced(
+      bed->advanced(), &bed->program(), &bed->system().functions(),
+      &topo.graph, &bed->queue());
+  distributed->network().SetLossRate(0.2, /*seed=*/14);
+  TransportOptions retry_forever;
+  retry_forever.max_attempts = 0;
+  distributed->EnableReliableTransport(retry_forever);
+  distributed->set_default_deadline_s(120.0);
+  auto analytic = bed->MakeQuerier();
+  for (const OutputRecord& out : bed->system().AllOutputs()) {
+    Vid evid = out.meta.evid;
+    auto expected = analytic->Query(out.tuple, &evid);
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    auto got = distributed->QueryAndWait(out.tuple, &evid);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(got->trees.size(), expected->trees.size());
+    EXPECT_EQ(got->trees[0].Output(), out.tuple);
+  }
+}
+
+TEST(ReliableDnsTest, DnsRunConvergesUnderLoss) {
+  apps::DnsParams params;
+  params.num_servers = 30;
+  params.num_urls = 12;
+  params.trunk_depth = 8;
+  apps::DnsUniverse universe = apps::MakeDnsUniverse(params);
+  auto workload =
+      apps::MakeDnsWorkload(universe, /*count=*/60, /*rate_rps=*/200,
+                            /*zipf_theta=*/0.9, /*seed=*/3);
+
+  // Basic stores every event's own chain (no cross-event sharing), so its
+  // storage totals are delivery-order independent and must match the
+  // loss-free run exactly.
+  apps::ExperimentConfig clean_config;
+  clean_config.duration_s = 2;
+  clean_config.snapshot_interval_s = 1;
+  auto clean = apps::RunDns(Scheme::kBasic, universe, workload, clean_config);
+  ASSERT_GT(clean.outputs, 0u);
+
+  apps::ExperimentConfig lossy_config = clean_config;
+  lossy_config.loss_rate = 0.2;
+  lossy_config.loss_seed = 21;
+  lossy_config.reliable_transport = true;
+  lossy_config.transport.max_attempts = 0;
+  auto survived = apps::RunDns(Scheme::kBasic, universe, workload,
+                               lossy_config);
+
+  EXPECT_GT(survived.dropped_messages, 0u);
+  EXPECT_GT(survived.transport_stats.retransmissions, 0u);
+  EXPECT_EQ(survived.transport_stats.delivery_failures, 0u);
+  // Exactly-once delivery: the lossy run produced the same work.
+  EXPECT_EQ(survived.events_injected, clean.events_injected);
+  EXPECT_EQ(survived.outputs, clean.outputs);
+  // And the same final provenance storage, byte for byte.
+  EXPECT_EQ(survived.final_storage.Total(), clean.final_storage.Total());
+}
+
+TEST(ReliableForwardingTest, UnreliableLossyRunStaysDegraded) {
+  // Control: without the transport the same loss rate loses outputs, so
+  // the convergence above is the transport's doing.
+  TransitStubTopology topo = SmallTransitStub();
+  auto clean = RunForwardingWorkload(topo, Scheme::kAdvanced, {});
+  TestbedOptions lossy;
+  lossy.loss_rate = 0.2;
+  lossy.loss_seed = 42;
+  auto degraded = RunForwardingWorkload(topo, Scheme::kAdvanced, lossy);
+  EXPECT_LT(degraded->system().stats().outputs,
+            clean->system().stats().outputs);
+}
+
+}  // namespace
+}  // namespace dpc

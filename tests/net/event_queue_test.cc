@@ -76,6 +76,49 @@ TEST(EventQueueTest, ScheduleAfterUsesCurrentTime) {
   EXPECT_DOUBLE_EQ(fired_at, 2.5);
 }
 
+TEST(EventQueueTest, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  TimerId id = q.ScheduleAt(1.0, [&] { ++fired; });
+  q.ScheduleAt(2.0, [&] { ++fired; });
+  q.Cancel(id);
+  EXPECT_EQ(q.pending(), 1u);
+  q.RunAll();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, CancelingAllEventsEmptiesQueue) {
+  EventQueue q;
+  TimerId a = q.ScheduleAt(1.0, [] {});
+  TimerId b = q.ScheduleAt(2.0, [] {});
+  q.Cancel(a);
+  q.Cancel(b);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.RunNext());
+}
+
+TEST(EventQueueTest, CancelAfterFiringIsANoOp) {
+  EventQueue q;
+  int fired = 0;
+  TimerId id = q.ScheduleAt(1.0, [&] { ++fired; });
+  q.RunAll();
+  EXPECT_EQ(fired, 1);
+  q.Cancel(id);  // already fired: must not disturb later scheduling
+  q.ScheduleAt(2.0, [&] { ++fired; });
+  q.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, CancelFromInsideCallback) {
+  EventQueue q;
+  int fired = 0;
+  TimerId victim = q.ScheduleAt(2.0, [&] { ++fired; });
+  q.ScheduleAt(1.0, [&] { q.Cancel(victim); });
+  q.RunAll();
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(q.empty());
+}
+
 TEST(EventQueueTest, MaxEventsGuardStops) {
   EventQueue q;
   int fired = 0;

@@ -80,7 +80,9 @@ TEST_F(NetworkTest, BucketsSplitByTime) {
   EXPECT_EQ(buckets[0], 2u * kMessageHeaderBytes);
 }
 
-TEST_F(NetworkTest, BroadcastReachesEveryone) {
+TEST_F(NetworkTest, BroadcastReachesEveryoneButTheOriginator) {
+  // §5.5: the inserting node resets its own cache synchronously; the
+  // broadcast must not echo the sig back to it.
   std::vector<NodeId> destinations;
   net_->SetDeliveryHandler(
       [&](const Message& m) { destinations.push_back(m.dst); });
@@ -89,7 +91,7 @@ TEST_F(NetworkTest, BroadcastReachesEveryone) {
   net_->Broadcast(1, std::move(m));
   queue_.RunAll();
   std::sort(destinations.begin(), destinations.end());
-  EXPECT_EQ(destinations, (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(destinations, (std::vector<NodeId>{0, 2, 3}));
 }
 
 TEST_F(NetworkTest, ResetAccountingClearsCounters) {
@@ -113,6 +115,100 @@ TEST_F(NetworkTest, InFlightOrderPreservedOnSamePath) {
   net_->Send(MakeMsg(0, 3, 3));
   queue_.RunAll();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(NetworkTest, DownedLinkDropsTraversals) {
+  int delivered = 0;
+  net_->SetDeliveryHandler([&](const Message&) { ++delivered; });
+  ASSERT_TRUE(net_->SetLinkUp(1, 2, false).ok());
+  net_->Send(MakeMsg(0, 3, 10));  // must cross 1--2
+  net_->Send(MakeMsg(0, 1, 10));  // unaffected
+  queue_.RunAll();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net_->dropped_messages(), 1u);
+}
+
+TEST_F(NetworkTest, SetLinkUpRestoresDelivery) {
+  int delivered = 0;
+  net_->SetDeliveryHandler([&](const Message&) { ++delivered; });
+  ASSERT_TRUE(net_->SetLinkUp(1, 2, false).ok());
+  ASSERT_TRUE(net_->SetLinkUp(1, 2, true).ok());
+  net_->Send(MakeMsg(0, 3, 10));
+  queue_.RunAll();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(NetworkTest, SetLinkUpRejectsUnknownLink) {
+  EXPECT_FALSE(net_->SetLinkUp(0, 3, false).ok());  // no direct 0--3 link
+}
+
+TEST_F(NetworkTest, ScheduleLinkUpTogglesAtSimTime) {
+  int delivered = 0;
+  net_->SetDeliveryHandler([&](const Message&) { ++delivered; });
+  ASSERT_TRUE(net_->ScheduleLinkUp(1, 2, false, 0.5).ok());
+  ASSERT_TRUE(net_->ScheduleLinkUp(1, 2, true, 2.0).ok());
+  // t=0: link still up, goes through. t=1: down, dropped. t=3: up again.
+  queue_.ScheduleAt(0.0, [&] { net_->Send(MakeMsg(0, 3, 10)); });
+  queue_.ScheduleAt(1.0, [&] { net_->Send(MakeMsg(0, 3, 10)); });
+  queue_.ScheduleAt(3.0, [&] { net_->Send(MakeMsg(0, 3, 10)); });
+  queue_.RunAll();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(net_->dropped_messages(), 1u);
+}
+
+TEST_F(NetworkTest, PartitionSplitsGroupsAndHeals) {
+  int delivered = 0;
+  net_->SetDeliveryHandler([&](const Message&) { ++delivered; });
+  ASSERT_TRUE(net_->SetPartition({0, 0, 1, 1}).ok());
+  net_->Send(MakeMsg(0, 1, 10));  // same group
+  net_->Send(MakeMsg(0, 3, 10));  // crosses the cut at 1--2
+  queue_.RunAll();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net_->dropped_messages(), 1u);
+  ASSERT_TRUE(net_->SetPartition({}).ok());  // heal
+  net_->Send(MakeMsg(0, 3, 10));
+  queue_.RunAll();
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST_F(NetworkTest, PartitionRejectsWrongSize) {
+  EXPECT_FALSE(net_->SetPartition({0, 1}).ok());
+}
+
+TEST_F(NetworkTest, PerLinkLossOverridesGlobalRate) {
+  int delivered = 0;
+  net_->SetDeliveryHandler([&](const Message&) { ++delivered; });
+  net_->SetLossRate(0.9, /*seed=*/7);
+  // Overriding every traversed link to 0 makes the path lossless even
+  // though the global rate is near-certain loss.
+  ASSERT_TRUE(net_->SetLinkLossRate(0, 1, 0.0).ok());
+  ASSERT_TRUE(net_->SetLinkLossRate(1, 2, 0.0).ok());
+  ASSERT_TRUE(net_->SetLinkLossRate(2, 3, 0.0).ok());
+  for (int i = 0; i < 20; ++i) net_->Send(MakeMsg(0, 3, 10));
+  queue_.RunAll();
+  EXPECT_EQ(delivered, 20);
+  EXPECT_EQ(net_->dropped_messages(), 0u);
+}
+
+TEST_F(NetworkTest, LossIsDeterministicPerSeed) {
+  auto run = [&](uint64_t seed) {
+    EventQueue q;
+    Network net(&topo_, &q);
+    int delivered = 0;
+    net.SetDeliveryHandler([&](const Message&) { ++delivered; });
+    net.SetLossRate(0.5, seed);
+    Message m;
+    for (int i = 0; i < 50; ++i) {
+      m.src = 0;
+      m.dst = 3;
+      net.Send(m);
+    }
+    q.RunAll();
+    return delivered;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_GT(run(42), 0);
+  EXPECT_LT(run(42), 50);
 }
 
 TEST(MessageTest, WireSizeIncludesHeader) {

@@ -56,6 +56,14 @@ TEST_F(SystemTest, DeleteMissingTupleIsNotFound) {
   EXPECT_TRUE(sys().DeleteSlowTuple(apps::MakeRoute(0, 2, 1)).IsNotFound());
 }
 
+TEST_F(SystemTest, RejectsNonSlowChangingDelete) {
+  // Delete must validate the relation exactly like insert does: a packet
+  // event is not slow-changing state, even if an equal-looking tuple
+  // happens to sit in the database.
+  Status st = sys().DeleteSlowTuple(apps::MakePacket(0, 0, 2, "x"));
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
 TEST_F(SystemTest, EndToEndForwarding) {
   ASSERT_TRUE(sys().InsertSlowTuple(apps::MakeRoute(0, 2, 1)).ok());
   ASSERT_TRUE(sys().InsertSlowTuple(apps::MakeRoute(1, 2, 2)).ok());

@@ -31,6 +31,12 @@ TEST(StatusTest, AllConstructorsSetMatchingCode) {
   EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
   EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+}
+
+TEST(StatusTest, DeadlineExceededPrintsItsName) {
+  EXPECT_EQ(Status::DeadlineExceeded("query timed out").ToString(),
+            "DeadlineExceeded: query timed out");
 }
 
 TEST(StatusTest, CopyIsCheap) {
