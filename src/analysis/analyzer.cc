@@ -1,6 +1,7 @@
 #include "src/analysis/analyzer.h"
 
 #include <cstdio>
+#include <optional>
 
 #include "src/analysis/passes.h"
 #include "src/ndlog/conformance.h"
@@ -10,6 +11,7 @@ namespace dpc {
 
 using analysis_internal::RunConstraintPass;
 using analysis_internal::RunEquiKeyPass;
+using analysis_internal::RunPlanPass;
 using analysis_internal::RunSchemaPass;
 using analysis_internal::RunVariableLintPass;
 
@@ -43,19 +45,34 @@ AnalysisResult AnalyzeRules(std::vector<Rule> rules,
   RunVariableLintPass(rules, res.diagnostics);
   RunConstraintPass(rules, res.diagnostics);
 
-  // The soundness pass needs a constructible, schema-clean Program: keys
-  // derived from an ill-formed DELP would explain nothing.
-  if (options.explain_keys && CountErrors(res.diagnostics) == 0) {
-    auto prog = Program::FromRules(std::move(rules), options.program);
+  // Passes 5 and 6 want an error-free front half: plans and keys derived
+  // from an ill-formed DELP (empty bodies, unbound variables, schema
+  // clashes) would explain nothing, and the planner assumes every rule
+  // has an event atom. The cost model additionally needs a constructible
+  // Program for its dependency graph.
+  bool clean = CountErrors(res.diagnostics) == 0;
+  std::optional<Program> program;
+  if (clean) {
+    auto prog = Program::FromRules(rules, options.program);
     if (prog.ok()) {
-      RunEquiKeyPass(*prog, options.key_notes, res.diagnostics,
-                     res.key_explanations, res.key_summary);
-    } else {
+      program = std::move(prog).value();
+    } else if (options.explain_keys) {
       AddDiag(res.diagnostics, Severity::kError, "E502", SourceLoc{},
               "internal: conformance passed but Program construction "
               "failed: " +
                   prog.status().message());
     }
+  }
+
+  if (clean) {
+    RunPlanPass(rules, program ? &*program : nullptr, options.plan_notes,
+                res.diagnostics,
+                options.plan_notes ? &res.plan_report : nullptr);
+  }
+
+  if (options.explain_keys && program) {
+    RunEquiKeyPass(*program, options.key_notes, res.diagnostics,
+                   res.key_explanations, res.key_summary);
   }
 
   SortByLocation(res.diagnostics);

@@ -15,6 +15,11 @@
 //   5. Equivalence-key soundness: per-attribute reachability explanations
 //      (src/core/equivalence_keys.h) cross-checked against GetEquiKeys;
 //      divergence is an internal error.                   N501, E502
+//   6. Join planning and cost: compiles each rule with the planner
+//      (src/analysis/planner.h) and flags unavoidable cross-product
+//      joins, unindexable probes and dead rules; with plan notes
+//      enabled it also emits a per-rule plan/cost report backed by
+//      the static cost model.                             W601-W603, N604
 //
 // Parse failures surface as code E001. The `dpc_cli lint` subcommand
 // (src/analysis/lint.h) renders results as text or JSON.
@@ -23,6 +28,7 @@
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "src/core/equivalence_keys.h"
@@ -39,6 +45,44 @@ struct AnalyzerOptions {
   bool explain_keys = true;
   // Also emit one N501 note-severity diagnostic per input-event attribute.
   bool key_notes = false;
+  // Emit one N604 note per rule carrying its join plan and cost estimate,
+  // and fill AnalysisResult::plan_report. The plan warnings (W601-W603)
+  // are always on.
+  bool plan_notes = false;
+};
+
+// One rule's compiled plan and cost estimate, as surfaced by pass 6 with
+// plan notes enabled (`dpc-lint --plan`).
+struct RulePlanReport {
+  std::string rule_id;
+  // Join-order display, e.g. "packet -> route[0,1]".
+  std::string join_order;
+  size_t indexed_probes = 0;
+  size_t scan_probes = 0;  // cross-products included
+  // Constraints evaluated before the final join position (pushdown wins).
+  size_t pushed_constraints = 0;
+  // Constraints constant-folded out of the plan (always true).
+  size_t folded_constraints = 0;
+  bool cross_product = false;
+  // The rule can never fire (always-false constraint) or its trigger is
+  // unreachable from the input event.
+  bool dead = false;
+  // From the static cost model; only meaningful when `has_cost` (the
+  // program was constructible).
+  bool has_cost = false;
+  double est_fanout = 0.0;
+  double est_comm_bytes = 0.0;
+};
+
+// Pass-6 report: per-rule plans plus the per-relation index signatures
+// the runtime will build.
+struct PlanReport {
+  std::vector<RulePlanReport> rules;
+  // relation -> "[c0,c1]"-style signature strings, both sorted.
+  std::vector<std::pair<std::string, std::vector<std::string>>>
+      index_signatures;
+
+  bool empty() const { return rules.empty() && index_signatures.empty(); }
 };
 
 struct AnalysisResult {
@@ -47,6 +91,9 @@ struct AnalysisResult {
   // True when the conformance pass emitted no errors (the rules form a
   // valid DELP, though warnings may remain).
   bool conformant = false;
+
+  // Per-rule plan/cost report (empty unless pass 6 ran with plan notes).
+  PlanReport plan_report;
 
   // Equivalence-key soundness report (empty unless pass 5 ran).
   std::vector<KeyExplanation> key_explanations;

@@ -1,0 +1,97 @@
+#include "src/analysis/cost_model.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "src/core/dependency_graph.h"
+#include "src/core/equivalence_keys.h"
+
+namespace dpc {
+
+namespace {
+
+// True when the head's location term can differ from the event's at
+// runtime: any pair other than the same variable or the same constant.
+bool HeadRelocates(const Rule& rule) {
+  if (rule.head.args.empty() || rule.EventAtom().args.empty()) return false;
+  const Term& head_loc = rule.head.args[0];
+  const Term& event_loc = rule.EventAtom().args[0];
+  if (head_loc.is_var() && event_loc.is_var()) {
+    return head_loc.var != event_loc.var;
+  }
+  if (!head_loc.is_var() && !event_loc.is_var()) {
+    return head_loc.constant != event_loc.constant;
+  }
+  return true;
+}
+
+}  // namespace
+
+ProgramCostEstimate EstimateCost(const Program& program,
+                                 const ProgramPlan& plan,
+                                 const CostParams& params) {
+  ProgramCostEstimate est;
+
+  // Union of attribute nodes reachable from any equivalence-key attribute
+  // of the input event: probes on these columns are key-driven.
+  DependencyGraph graph = DependencyGraph::Build(program);
+  std::set<AttrNode> key_reach;
+  if (auto keys = ComputeEquivalenceKeys(program, graph); keys.ok()) {
+    for (size_t index : keys->indices()) {
+      std::set<AttrNode> reach = graph.ReachableSet(
+          AttrNode{program.input_event_relation(), index});
+      key_reach.insert(reach.begin(), reach.end());
+    }
+  }
+
+  // Expected tuple count per event relation, per injected input event.
+  std::map<std::string, double> event_rate;
+  event_rate[program.input_event_relation()] = 1.0;
+
+  const std::vector<Rule>& rules = program.rules();
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r];
+    const RulePlan& rp = plan.rules[r];
+
+    RuleCostEstimate rc;
+    rc.rule_id = rule.id;
+    rc.fanout = rp.never_fires ? 0.0 : 1.0;
+    for (const PlanStep& step : rp.steps) {
+      const Atom& atom = rule.atoms[step.atom_index];
+      StepCostEstimate sc;
+      sc.atom_index = step.atom_index;
+      sc.indexed = !step.bound_columns.empty();
+      if (step.bound_columns.empty()) {
+        sc.est_matches = params.slow_table_rows;
+      } else {
+        double divisor = 1.0;
+        for (size_t col : step.bound_columns) {
+          divisor *= params.distinct_per_column;
+          if (key_reach.count(AttrNode{atom.relation, col}) > 0) {
+            divisor *= params.key_column_boost;
+          }
+        }
+        sc.est_matches = std::max(1.0, params.slow_table_rows / divisor);
+      }
+      if (!rp.never_fires) rc.fanout *= sc.est_matches;
+      rc.steps.push_back(sc);
+    }
+
+    auto rate = event_rate.find(rule.EventAtom().relation);
+    rc.trigger_rate = rate == event_rate.end() ? 0.0 : rate->second;
+    rc.relocates = HeadRelocates(rule);
+    if (rc.relocates) {
+      rc.comm_bytes =
+          rc.fanout * static_cast<double>(rule.head.args.size()) *
+          params.bytes_per_value;
+    }
+    est.total_comm_bytes += rc.trigger_rate * rc.comm_bytes;
+    event_rate[rule.head.relation] += rc.trigger_rate * rc.fanout;
+
+    est.rules.push_back(std::move(rc));
+  }
+  return est;
+}
+
+}  // namespace dpc

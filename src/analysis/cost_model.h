@@ -1,0 +1,83 @@
+// Static cost model over compiled rule plans (src/analysis/planner.h).
+//
+// With no table statistics at analysis time, the model prices every
+// slow-changing table at a configurable assumed cardinality and every
+// bound probe column at an assumed number of distinct values, then
+// estimates per rule:
+//
+//   * join fan-out — expected firings per triggering event, the product
+//     of the per-step match estimates along the planned join order;
+//   * communication cost — expected bytes shipped per firing for rules
+//     whose head relocates (its location term differs from the event's),
+//     weighted by the fan-out;
+//   * chain-weighted totals — the DELP is linear, so each rule's expected
+//     trigger count per injected input event is the product of upstream
+//     fan-outs; the program estimate folds that in.
+//
+// The attribute DependencyGraph and the equivalence keys (§5.2) sharpen
+// the estimate: a probe column reachable from an equivalence-key input
+// attribute is driven by a value that partitions executions, so it is
+// credited extra selectivity (`key_column_boost`). The lint pass surfaces
+// the result as N604 plan/cost notes.
+#ifndef DPC_ANALYSIS_COST_MODEL_H_
+#define DPC_ANALYSIS_COST_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/planner.h"
+#include "src/ndlog/program.h"
+
+namespace dpc {
+
+struct CostParams {
+  // Assumed live rows per slow-changing table.
+  double slow_table_rows = 1000.0;
+  // Assumed distinct values per bound probe column.
+  double distinct_per_column = 16.0;
+  // Extra selectivity factor for a probe column the dependency graph
+  // links to an equivalence-key attribute of the input event.
+  double key_column_boost = 2.0;
+  // Assumed serialized bytes per tuple attribute.
+  double bytes_per_value = 12.0;
+};
+
+struct StepCostEstimate {
+  size_t atom_index = 0;
+  // Expected matching tuples per probe of this step.
+  double est_matches = 1.0;
+  bool indexed = false;
+};
+
+struct RuleCostEstimate {
+  std::string rule_id;
+  std::vector<StepCostEstimate> steps;
+  // Expected firings per triggering event (product of step estimates).
+  double fanout = 1.0;
+  // Expected triggering events per injected input event (product of
+  // upstream fan-outs along the chain; 0 for unreachable rules).
+  double trigger_rate = 1.0;
+  // True when the head's location term differs from the event's: every
+  // firing ships a message.
+  bool relocates = false;
+  // Expected bytes shipped per triggering event (0 when not relocating).
+  double comm_bytes = 0.0;
+};
+
+struct ProgramCostEstimate {
+  std::vector<RuleCostEstimate> rules;  // parallel to the program's rules
+  // Chain-weighted expected bytes shipped per injected input event.
+  double total_comm_bytes = 0.0;
+};
+
+// Estimates costs for `plan`, which must have been compiled from
+// `program`. Builds the dependency graph and equivalence keys internally;
+// a program whose keys cannot be derived still gets estimates, just
+// without the key-selectivity credit.
+ProgramCostEstimate EstimateCost(const Program& program,
+                                 const ProgramPlan& plan,
+                                 const CostParams& params = {});
+
+}  // namespace dpc
+
+#endif  // DPC_ANALYSIS_COST_MODEL_H_

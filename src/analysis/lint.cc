@@ -41,6 +41,51 @@ void AppendJsonExplanation(std::string& out, const KeyExplanation& ex) {
   out += "]}";
 }
 
+std::string JsonDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+void AppendJsonPlanRule(std::string& out, const RulePlanReport& r) {
+  out += "{\"rule\":\"" + JsonEscape(r.rule_id) + "\",\"join_order\":\"" +
+         JsonEscape(r.join_order) +
+         "\",\"indexed_probes\":" + std::to_string(r.indexed_probes) +
+         ",\"scan_probes\":" + std::to_string(r.scan_probes) +
+         ",\"pushed_constraints\":" + std::to_string(r.pushed_constraints) +
+         ",\"folded_constraints\":" + std::to_string(r.folded_constraints) +
+         ",\"cross_product\":";
+  out += r.cross_product ? "true" : "false";
+  out += ",\"dead\":";
+  out += r.dead ? "true" : "false";
+  if (r.has_cost) {
+    out += ",\"est_fanout\":" + JsonDouble(r.est_fanout) +
+           ",\"est_comm_bytes\":" + JsonDouble(r.est_comm_bytes);
+  }
+  out += "}";
+}
+
+void AppendJsonPlan(std::string& out, const PlanReport& plan) {
+  out += "\"plans\":{\"rules\":[";
+  for (size_t i = 0; i < plan.rules.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendJsonPlanRule(out, plan.rules[i]);
+  }
+  out += "],\"index_signatures\":[";
+  for (size_t i = 0; i < plan.index_signatures.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"relation\":\"" + JsonEscape(plan.index_signatures[i].first) +
+           "\",\"signatures\":[";
+    const auto& sigs = plan.index_signatures[i].second;
+    for (size_t s = 0; s < sigs.size(); ++s) {
+      if (s > 0) out += ",";
+      out += "\"" + JsonEscape(sigs[s]) + "\"";
+    }
+    out += "]}";
+  }
+  out += "]}";
+}
+
 }  // namespace
 
 std::string JsonEscape(std::string_view s) {
@@ -98,6 +143,23 @@ std::string RenderText(const std::vector<FileLint>& results,
         out += "  " + ex.ToString() + "\n";
       }
     }
+    if (options.print_plan && !fl.result.plan_report.empty()) {
+      out += fl.file + ": rule plans\n";
+      for (const RulePlanReport& r : fl.result.plan_report.rules) {
+        out += "  " + r.rule_id + ": " + r.join_order;
+        if (r.dead) out += " (dead)";
+        if (r.has_cost) {
+          out += " fan-out " + JsonDouble(r.est_fanout) + ", comm " +
+                 JsonDouble(r.est_comm_bytes) + " B/event";
+        }
+        out += "\n";
+      }
+      for (const auto& [relation, sigs] : fl.result.plan_report.index_signatures) {
+        out += "  index " + relation + ":";
+        for (const std::string& sig : sigs) out += " " + sig;
+        out += "\n";
+      }
+    }
     size_t errors = fl.result.errors();
     size_t warnings = fl.result.warnings();
     out += fl.file + ": " + std::to_string(errors) + " error" +
@@ -134,6 +196,10 @@ std::string RenderJson(const std::vector<FileLint>& results) {
         AppendJsonExplanation(out, fl.result.key_explanations[i]);
       }
       out += "]}";
+    }
+    if (!fl.result.plan_report.empty()) {
+      out += ",";
+      AppendJsonPlan(out, fl.result.plan_report);
     }
     out += "}";
   }

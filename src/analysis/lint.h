@@ -23,6 +23,10 @@ struct LintOptions {
   // Include the per-attribute equivalence-key report in text output (the
   // JSON output always carries it when the soundness pass ran).
   bool print_keys = false;
+  // Include the per-rule plan/cost report in text output (the JSON output
+  // carries it whenever the analyzer produced one, i.e. under
+  // `--plan` / AnalyzerOptions::plan_notes).
+  bool print_plan = false;
 };
 
 // One linted file and its analysis result.
@@ -40,8 +44,8 @@ std::string RenderText(const std::vector<FileLint>& results,
                        const LintOptions& options);
 
 // JSON object: {"files":[{"file","errors","warnings","diagnostics":[...],
-// "equivalence_keys":{...}?}],"errors":N,"warnings":M}. Stable schema,
-// documented in docs/analysis.md.
+// "equivalence_keys":{...}?,"plans":{...}?}],"errors":N,"warnings":M}.
+// Stable schema, documented in docs/analysis.md.
 std::string RenderJson(const std::vector<FileLint>& results);
 
 // 0 when clean; 1 when any file has errors (or warnings under --werror).

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/analyzer.h"
 #include "src/core/equivalence_keys.h"
 #include "src/ndlog/program.h"
 #include "src/util/diagnostics.h"
@@ -36,6 +37,16 @@ void RunEquiKeyPass(const Program& program, bool emit_notes,
                     std::vector<Diagnostic>& out,
                     std::vector<KeyExplanation>& explanations,
                     std::string& summary);
+
+// Pass 6: compiles every rule into a join plan and diagnoses unavoidable
+// cross-product joins (W601), unindexable probes (W602) and rules whose
+// trigger relation is unreachable from the input event (W603). `program`
+// may be null (errors elsewhere): the plan warnings still run, only the
+// cost model needs a constructed Program. With `emit_notes` one N604
+// plan/cost note per rule is added and `report` (when non-null) filled.
+void RunPlanPass(const std::vector<Rule>& rules, const Program* program,
+                 bool emit_notes, std::vector<Diagnostic>& out,
+                 PlanReport* report);
 
 }  // namespace analysis_internal
 }  // namespace dpc

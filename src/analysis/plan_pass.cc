@@ -1,0 +1,147 @@
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/cost_model.h"
+#include "src/analysis/passes.h"
+#include "src/analysis/planner.h"
+
+namespace dpc {
+namespace analysis_internal {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+void RunPlanPass(const std::vector<Rule>& rules, const Program* program,
+                 bool emit_notes, std::vector<Diagnostic>& out,
+                 PlanReport* report) {
+  if (rules.empty()) return;
+  ProgramPlan plan = PlanRules(rules);
+
+  // Rule-level reachability: the input event relation seeds the frontier;
+  // a reachable rule that can fire contributes its head relation. Rules
+  // whose trigger never becomes reachable are dead (W603). A rule killed
+  // by its own always-false constraint is diagnosed as W402 by pass 4, not
+  // here — but it stops propagation, so its downstream goes dead.
+  std::set<std::string> reachable = {rules.front().EventAtom().relation};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t r = 0; r < rules.size(); ++r) {
+      if (plan.rules[r].never_fires) continue;
+      if (reachable.count(rules[r].EventAtom().relation) == 0) continue;
+      if (reachable.insert(rules[r].head.relation).second) changed = true;
+    }
+  }
+
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r];
+    const RulePlan& rp = plan.rules[r];
+
+    bool unreachable = reachable.count(rule.EventAtom().relation) == 0;
+    if (unreachable) {
+      AddDiag(out, Severity::kWarning, "W603", rule.loc,
+              "rule " + rule.id + ": trigger relation " +
+                  rule.EventAtom().relation +
+                  " is unreachable from any event (no upstream rule can "
+                  "derive it); the rule is dead");
+    }
+
+    for (const PlanStep& step : rp.steps) {
+      const Atom& atom = rule.atoms[step.atom_index];
+      if (step.cross_product) {
+        AddDiag(out, Severity::kWarning, "W601", atom.loc,
+                "rule " + rule.id + ": condition " + atom.relation +
+                    " shares no bound variable or constant with the "
+                    "event or any earlier join; no ordering avoids this "
+                    "cross-product (plan: " + rp.ToString(rule) + ")");
+      } else if (step.bound_columns.empty()) {
+        AddDiag(out, Severity::kWarning, "W602", atom.loc,
+                "rule " + rule.id + ": probe of " + atom.relation +
+                    " has no bound columns; no index applies and "
+                    "evaluation degrades to a full scan");
+      }
+    }
+  }
+
+  if (!emit_notes) return;
+
+  // Cost estimates need a constructed Program (dependency graph +
+  // equivalence keys); without one the notes still carry the plans.
+  ProgramCostEstimate cost;
+  bool has_cost = program != nullptr;
+  if (has_cost) cost = EstimateCost(*program, plan);
+
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r];
+    const RulePlan& rp = plan.rules[r];
+
+    RulePlanReport rep;
+    rep.rule_id = rule.id;
+    rep.join_order = rp.ToString(rule);
+    for (const PlanStep& step : rp.steps) {
+      if (step.bound_columns.empty()) {
+        ++rep.scan_probes;
+      } else {
+        ++rep.indexed_probes;
+      }
+    }
+    // "Pushed" counts constraints evaluated before the final join
+    // position — the ones the naive leaf-evaluation order would have
+    // paid for at every candidate combination.
+    if (!rp.steps.empty()) {
+      rep.pushed_constraints = rp.pre_constraints.size();
+      for (size_t s = 0; s + 1 < rp.steps.size(); ++s) {
+        rep.pushed_constraints += rp.steps[s].constraints.size();
+      }
+    }
+    rep.folded_constraints = rp.folded_constraints.size();
+    rep.cross_product = rp.HasCrossProduct();
+    rep.dead = rp.never_fires ||
+               reachable.count(rule.EventAtom().relation) == 0;
+    if (has_cost) {
+      rep.has_cost = true;
+      rep.est_fanout = cost.rules[r].fanout;
+      rep.est_comm_bytes = cost.rules[r].comm_bytes;
+    }
+
+    std::string msg = "rule " + rule.id + ": plan " + rep.join_order + "; " +
+                      std::to_string(rep.indexed_probes) + " indexed probe" +
+                      (rep.indexed_probes == 1 ? "" : "s") + ", " +
+                      std::to_string(rep.scan_probes) + " scan" +
+                      (rep.scan_probes == 1 ? "" : "s") + "; " +
+                      std::to_string(rep.pushed_constraints) + " pushed, " +
+                      std::to_string(rep.folded_constraints) +
+                      " folded constraint" +
+                      (rep.folded_constraints == 1 ? "" : "s");
+    if (rep.has_cost) {
+      msg += "; est fan-out " + FormatDouble(rep.est_fanout) +
+             ", est comm " + FormatDouble(rep.est_comm_bytes) + " B/event";
+    }
+    AddDiag(out, Severity::kNote, "N604", rule.loc, msg);
+
+    if (report != nullptr) report->rules.push_back(std::move(rep));
+  }
+
+  if (report != nullptr) {
+    for (const auto& [relation, sigs] : plan.index_signatures) {
+      std::vector<std::string> rendered;
+      rendered.reserve(sigs.size());
+      for (const IndexSignature& sig : sigs) {
+        rendered.push_back(IndexSignatureToString(sig));
+      }
+      report->index_signatures.emplace_back(relation, std::move(rendered));
+    }
+  }
+}
+
+}  // namespace analysis_internal
+}  // namespace dpc

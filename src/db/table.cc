@@ -4,6 +4,48 @@
 
 namespace dpc {
 
+std::string IndexSignatureToString(const IndexSignature& sig) {
+  std::string out = "[";
+  for (size_t i = 0; i < sig.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(sig[i]);
+  }
+  out += "]";
+  return out;
+}
+
+Sha1Digest Table::KeyDigestOf(const IndexSignature& sig, const Tuple& t) {
+  ByteWriter w;
+  for (size_t col : sig) {
+    if (col >= t.arity()) continue;
+    t.at(col).Serialize(w);
+  }
+  return Sha1::Hash(w.bytes().data(), w.size());
+}
+
+Sha1Digest Table::KeyDigestOf(const std::vector<Value>& key) {
+  ByteWriter w;
+  for (const Value& v : key) v.Serialize(w);
+  return Sha1::Hash(w.bytes().data(), w.size());
+}
+
+const std::vector<size_t>* Table::ProbeBucket(
+    const IndexSignature& sig, const std::vector<Value>& key) const {
+  auto it = indexes_.find(sig);
+  if (it == indexes_.end()) {
+    // First probe of this signature: index every slot, dead ones included,
+    // so buckets stay correct when an erased tuple is re-inserted (its
+    // slot is revived in place and never re-indexed).
+    HashIndex index;
+    for (size_t row = 0; row < rows_.size(); ++row) {
+      index.buckets[KeyDigestOf(sig, rows_[row].tuple)].push_back(row);
+    }
+    it = indexes_.emplace(sig, std::move(index)).first;
+  }
+  auto bucket = it->second.buckets.find(KeyDigestOf(key));
+  return bucket == it->second.buckets.end() ? nullptr : &bucket->second;
+}
+
 bool Table::Insert(const Tuple& t) {
   Sha1Digest vid = t.Vid();
   auto it = index_.find(vid);
@@ -15,6 +57,9 @@ bool Table::Insert(const Tuple& t) {
     return true;
   }
   index_.emplace(vid, rows_.size());
+  for (auto& [sig, hash_index] : indexes_) {
+    hash_index.buckets[KeyDigestOf(sig, t)].push_back(rows_.size());
+  }
   rows_.push_back(Slot{t, true});
   ++live_count_;
   return true;

@@ -1,10 +1,13 @@
 // Table: an in-memory relation instance with set semantics and stable
-// iteration order. Per-node databases are small (route entries, name-server
-// delegations), so matching scans linearly; a digest index provides O(1)
-// duplicate detection and deletion.
+// iteration order. A digest index provides O(1) duplicate detection and
+// deletion; in addition, lazily-built hash indexes over planner-chosen
+// column signatures let rule evaluation probe matching tuples instead of
+// scanning the whole relation (src/analysis/planner.h derives the
+// signatures; src/runtime wires them into the hot path).
 #ifndef DPC_DB_TABLE_H_
 #define DPC_DB_TABLE_H_
 
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,6 +15,14 @@
 #include "src/db/tuple.h"
 
 namespace dpc {
+
+// A hash-index key shape: the sorted column positions whose values the
+// index groups by. Derived statically per slow-changing relation by the
+// rule planner from the bound columns of each join probe.
+using IndexSignature = std::vector<size_t>;
+
+// "[c0,c1,...]", e.g. "[0,2]".
+std::string IndexSignatureToString(const IndexSignature& sig);
 
 class Table {
  public:
@@ -39,8 +50,30 @@ class Table {
     }
   }
 
+  // Applies `fn` (in insertion order) to each live tuple whose values at
+  // `sig`'s columns equal `key` (aligned with `sig`, which must be sorted
+  // and non-empty); `fn` returns false to stop early. The first probe of a
+  // signature builds a hash index over it; the index is maintained
+  // incrementally by Insert/Erase thereafter. Callers should still verify
+  // candidates (digest collisions are theoretically possible), which full
+  // unification does anyway.
+  template <typename Fn>
+  void ForEachMatch(const IndexSignature& sig, const std::vector<Value>& key,
+                    Fn&& fn) const {
+    const std::vector<size_t>* bucket = ProbeBucket(sig, key);
+    if (bucket == nullptr) return;
+    for (size_t row : *bucket) {
+      const Slot& slot = rows_[row];
+      if (!slot.live) continue;
+      if (!fn(slot.tuple)) return;
+    }
+  }
+
   size_t size() const { return live_count_; }
   bool empty() const { return live_count_ == 0; }
+
+  // Number of signature indexes built so far (observability/tests).
+  size_t num_indexes() const { return indexes_.size(); }
 
   void Serialize(ByteWriter& w) const;
   size_t SerializedSize() const;
@@ -50,12 +83,31 @@ class Table {
     Tuple tuple;
     bool live;
   };
+  // Key digest -> indexes into rows_ (live and dead: slots are never
+  // physically removed, so buckets stay valid across Erase/re-Insert).
+  struct HashIndex {
+    std::unordered_map<Sha1Digest, std::vector<size_t>, Sha1DigestHash>
+        buckets;
+  };
+
+  // Digest of the tuple's values at `sig`'s columns (out-of-range columns
+  // are skipped; unification re-checks arity anyway).
+  static Sha1Digest KeyDigestOf(const IndexSignature& sig, const Tuple& t);
+  static Sha1Digest KeyDigestOf(const std::vector<Value>& key);
+
+  // Returns the bucket for `key` in the (lazily built) index over `sig`;
+  // nullptr when no tuple matches.
+  const std::vector<size_t>* ProbeBucket(const IndexSignature& sig,
+                                         const std::vector<Value>& key) const;
 
   std::string name_;
   std::vector<Slot> rows_;
   // Tuple digest -> index into rows_.
   std::unordered_map<Sha1Digest, size_t, Sha1DigestHash> index_;
   size_t live_count_ = 0;
+  // Signature -> hash index, built on first probe (mutable: probing is
+  // logically const). std::map keeps diagnostics deterministic.
+  mutable std::map<IndexSignature, HashIndex> indexes_;
 };
 
 // Database: the per-node collection of tables, keyed by relation name.

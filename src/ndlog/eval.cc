@@ -53,6 +53,27 @@ Result<Value> EvalBinary(Expr::Op op, const Value& lhs, const Value& rhs) {
   }
 }
 
+bool MatchAtomImpl(const Atom& atom, const Tuple& tuple, Bindings& env,
+                   std::vector<std::string>* trail) {
+  if (atom.relation != tuple.relation()) return false;
+  if (atom.args.size() != tuple.arity()) return false;
+  for (size_t i = 0; i < atom.args.size(); ++i) {
+    const Term& term = atom.args[i];
+    const Value& v = tuple.at(i);
+    if (term.is_var()) {
+      auto [it, inserted] = env.emplace(term.var, v);
+      if (inserted) {
+        if (trail != nullptr) trail->push_back(term.var);
+      } else if (it->second != v) {
+        return false;
+      }
+    } else if (term.constant != v) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<Value> EvalExpr(const Expr& expr, const Bindings& env,
@@ -86,19 +107,19 @@ Result<Value> EvalExpr(const Expr& expr, const Bindings& env,
 }
 
 bool MatchAtom(const Atom& atom, const Tuple& tuple, Bindings& env) {
-  if (atom.relation != tuple.relation()) return false;
-  if (atom.args.size() != tuple.arity()) return false;
-  for (size_t i = 0; i < atom.args.size(); ++i) {
-    const Term& term = atom.args[i];
-    const Value& v = tuple.at(i);
-    if (term.is_var()) {
-      auto [it, inserted] = env.emplace(term.var, v);
-      if (!inserted && it->second != v) return false;
-    } else if (term.constant != v) {
-      return false;
-    }
+  return MatchAtomImpl(atom, tuple, env, nullptr);
+}
+
+bool MatchAtom(const Atom& atom, const Tuple& tuple, Bindings& env,
+               std::vector<std::string>& trail) {
+  return MatchAtomImpl(atom, tuple, env, &trail);
+}
+
+void UndoTrail(Bindings& env, std::vector<std::string>& trail, size_t mark) {
+  while (trail.size() > mark) {
+    env.erase(trail.back());
+    trail.pop_back();
   }
-  return true;
 }
 
 Result<Tuple> InstantiateAtom(const Atom& atom, const Bindings& env) {
@@ -122,27 +143,39 @@ Result<Tuple> InstantiateAtom(const Atom& atom, const Bindings& env) {
 namespace {
 
 // Recursively joins condition atoms [idx..) against db, then applies
-// assignments and constraints and emits the head.
+// assignments and constraints and emits the head. `env` is extended in
+// place; every new binding is recorded in `trail` and rolled back before
+// returning, so candidates never pay a full environment copy.
 Status JoinConditions(const Rule& rule,
                       const std::vector<const Atom*>& conditions, size_t idx,
                       const Database& db, const FunctionRegistry& fns,
-                      Bindings& env, std::vector<Tuple>& joined,
+                      Bindings& env, std::vector<std::string>& trail,
+                      std::vector<Tuple>& joined,
                       std::vector<RuleFiring>& out) {
   if (idx == conditions.size()) {
     // Assignments run in body order; each may introduce a new binding.
-    Bindings local = env;
-    for (const Assignment& asn : rule.assignments) {
-      DPC_ASSIGN_OR_RETURN(Value v, EvalExpr(*asn.expr, local, fns));
-      auto [it, inserted] = local.emplace(asn.var, v);
-      if (!inserted && it->second != v) return Status::OK();  // no match
-    }
-    for (const Constraint& c : rule.constraints) {
-      DPC_ASSIGN_OR_RETURN(Value v, EvalExpr(*c.expr, local, fns));
-      if (!v.Truthy()) return Status::OK();
-    }
-    DPC_ASSIGN_OR_RETURN(Tuple head, InstantiateAtom(rule.head, local));
-    out.push_back(RuleFiring{std::move(head), joined});
-    return Status::OK();
+    size_t mark = trail.size();
+    Status st = [&]() -> Status {
+      for (const Assignment& asn : rule.assignments) {
+        DPC_ASSIGN_OR_RETURN(Value v, EvalExpr(*asn.expr, env, fns));
+        auto it = env.find(asn.var);
+        if (it == env.end()) {
+          env.emplace(asn.var, std::move(v));
+          trail.push_back(asn.var);
+        } else if (it->second != v) {
+          return Status::OK();  // no match
+        }
+      }
+      for (const Constraint& c : rule.constraints) {
+        DPC_ASSIGN_OR_RETURN(Value v, EvalExpr(*c.expr, env, fns));
+        if (!v.Truthy()) return Status::OK();
+      }
+      DPC_ASSIGN_OR_RETURN(Tuple head, InstantiateAtom(rule.head, env));
+      out.push_back(RuleFiring{std::move(head), joined});
+      return Status::OK();
+    }();
+    UndoTrail(env, trail, mark);
+    return st;
   }
 
   const Atom& atom = *conditions[idx];
@@ -151,14 +184,18 @@ Status JoinConditions(const Rule& rule,
 
   Status st;
   table->ForEach([&](const Tuple& candidate) {
-    Bindings extended = env;
-    if (MatchAtom(atom, candidate, extended)) {
+    size_t mark = trail.size();
+    if (MatchAtom(atom, candidate, env, trail)) {
       joined.push_back(candidate);
-      st = JoinConditions(rule, conditions, idx + 1, db, fns, extended,
+      st = JoinConditions(rule, conditions, idx + 1, db, fns, env, trail,
                           joined, out);
       joined.pop_back();
-      if (!st.ok()) return false;
+      if (!st.ok()) {
+        UndoTrail(env, trail, mark);
+        return false;
+      }
     }
+    UndoTrail(env, trail, mark);
     return true;
   });
   return st;
@@ -176,8 +213,9 @@ Result<std::vector<RuleFiring>> FireRule(const Rule& rule, const Tuple& event,
   }
   std::vector<const Atom*> conditions = rule.ConditionAtoms();
   std::vector<Tuple> joined;
+  std::vector<std::string> trail;
   DPC_RETURN_NOT_OK(
-      JoinConditions(rule, conditions, 0, db, fns, env, joined, out));
+      JoinConditions(rule, conditions, 0, db, fns, env, trail, joined, out));
   return out;
 }
 

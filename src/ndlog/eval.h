@@ -28,8 +28,21 @@ Result<Value> EvalExpr(const Expr& expr, const Bindings& env,
 
 // Unifies `atom` against `tuple`. On success extends `env` (consistently
 // with existing bindings) and returns true. `env` may be partially extended
-// on failure; callers pass a scratch copy.
+// on failure; callers either pass a scratch copy or record the extensions
+// in a trail (below) and roll them back.
 bool MatchAtom(const Atom& atom, const Tuple& tuple, Bindings& env);
+
+// As above, but appends the name of every variable newly bound by this
+// call to `trail` (also on failure), so the caller can undo a failed or
+// explored match with UndoTrail instead of copying the whole environment
+// per candidate tuple.
+bool MatchAtom(const Atom& atom, const Tuple& tuple, Bindings& env,
+               std::vector<std::string>& trail);
+
+// Removes from `env` every binding recorded in `trail` past `mark`, then
+// truncates `trail` back to `mark`. Together with the trailing MatchAtom
+// overload this gives join loops O(bindings-touched) rollback.
+void UndoTrail(Bindings& env, std::vector<std::string>& trail, size_t mark);
 
 // Instantiates `atom` under a complete `env`; fails if any variable is
 // unbound.

@@ -8,6 +8,7 @@ System::System(const Program* program, const Topology* topology,
                MessageChannel* channel, EventQueue* queue,
                FunctionRegistry functions, ProvenanceRecorder* recorder)
     : program_(program),
+      plan_(program != nullptr ? PlanProgram(*program) : ProgramPlan{}),
       topology_(topology),
       channel_(channel),
       queue_(queue),
@@ -116,8 +117,12 @@ void System::ProcessEvent(NodeId node, const Tuple& tuple,
                           const ProvMeta& meta) {
   std::vector<const Rule*> rules = program_->RulesTriggeredBy(tuple.relation());
   for (const Rule* rule : rules) {
+    // RulesTriggeredBy returns pointers into program_->rules(), so the
+    // offset recovers the rule's statically compiled plan.
+    size_t rule_index = static_cast<size_t>(rule - program_->rules().data());
     Result<std::vector<RuleFiring>> firings =
-        FireRule(*rule, tuple, dbs_[node], functions_);
+        FireRulePlanned(*rule, plan_.rules[rule_index], tuple, dbs_[node],
+                        functions_);
     if (!firings.ok()) {
       DPC_LOG(Error) << "rule " << rule->id
                      << " failed: " << firings.status().ToString();

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/analysis/planner.h"
 #include "src/core/recorder.h"
 #include "src/db/table.h"
 #include "src/ndlog/eval.h"
@@ -87,6 +88,9 @@ class System {
 
   const SystemStats& stats() const { return stats_; }
   const Program& program() const { return *program_; }
+  // The statically compiled evaluation plan (one RulePlan per program
+  // rule, in rule order) that ProcessEvent executes via FireRulePlanned.
+  const ProgramPlan& plan() const { return plan_; }
   const FunctionRegistry& functions() const { return functions_; }
   ProvenanceRecorder* recorder() const { return recorder_; }
   const Topology& topology() const { return *topology_; }
@@ -101,6 +105,7 @@ class System {
                                           const ProvMeta& meta) const;
 
   const Program* program_;
+  ProgramPlan plan_;
   const Topology* topology_;
   MessageChannel* channel_;
   EventQueue* queue_;

@@ -71,10 +71,14 @@ size_t CountWarnings(const std::vector<Diagnostic>& diags) {
 }
 
 void SortByLocation(std::vector<Diagnostic>& diags) {
+  // Code is the tie-break at equal positions so rendered output (and the
+  // lint golden files built on it) is identical across standard-library
+  // hash orderings; full ties keep insertion order (stable sort).
   std::stable_sort(diags.begin(), diags.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
                      if (a.loc.valid() != b.loc.valid()) return a.loc.valid();
-                     return a.loc < b.loc;
+                     if (a.loc != b.loc) return a.loc < b.loc;
+                     return a.code < b.code;
                    });
 }
 

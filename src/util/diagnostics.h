@@ -54,8 +54,9 @@ Diagnostic& AddDiag(std::vector<Diagnostic>& out, Severity severity,
 size_t CountErrors(const std::vector<Diagnostic>& diags);
 size_t CountWarnings(const std::vector<Diagnostic>& diags);
 
-// Stable sort by (line, column); diagnostics without a location keep their
-// relative order at the end.
+// Stable sort by (line, column, code); diagnostics without a location keep
+// their relative order at the end. The code tie-break keeps rendered
+// output deterministic across standard-library hash orderings.
 void SortByLocation(std::vector<Diagnostic>& diags);
 
 }  // namespace dpc

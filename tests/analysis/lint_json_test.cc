@@ -144,6 +144,20 @@ class JsonParser {
       failed_ = true;
       ADD_FAILURE() << "bad value at offset " << pos_;
     }
+    // Fractional part (the plan report renders %.1f floats): consumed and
+    // discarded, `number` keeps the integer part.
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      bool frac = false;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        frac = true;
+      }
+      if (!frac) {
+        failed_ = true;
+        ADD_FAILURE() << "bad fraction at offset " << pos_;
+      }
+    }
     v->number = neg ? -n : n;
     return v;
   }
@@ -249,6 +263,47 @@ TEST(LintJsonTest, JsonOutputRoundTripsThroughAParser) {
   ASSERT_GE(chain.array.size(), 2u);
   EXPECT_EQ(chain.array.front()->str, "ev:1");
   EXPECT_FALSE(attrs.array[2]->at("is_key").boolean);
+}
+
+TEST(LintJsonTest, PlanReportRoundTripsThroughAParser) {
+  LintOptions options;
+  options.print_plan = true;
+  options.analyzer.plan_notes = true;
+  std::vector<FileLint> results;
+  results.push_back(LintSource(
+      "fwd.ndlog",
+      "r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).\n"
+      "r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.\n",
+      options));
+
+  std::string json = RenderJson(results);
+  JsonParser parser(json);
+  auto root = parser.Parse();
+  ASSERT_FALSE(parser.failed()) << json;
+
+  const JsonValue& file = *root->at("files").array[0];
+  const JsonValue& plans = file.at("plans");
+  ASSERT_EQ(plans.kind, JsonValue::Kind::kObject);
+  const JsonValue& rules = plans.at("rules");
+  ASSERT_EQ(rules.array.size(), 2u);
+  const JsonValue& r1 = *rules.array[0];
+  EXPECT_EQ(r1.at("rule").str, "r1");
+  EXPECT_EQ(r1.at("join_order").str, "packet -> route[0,1]");
+  EXPECT_EQ(r1.at("indexed_probes").number, 1);
+  EXPECT_EQ(r1.at("scan_probes").number, 0);
+  EXPECT_FALSE(r1.at("cross_product").boolean);
+  EXPECT_FALSE(r1.at("dead").boolean);
+  EXPECT_GE(r1.at("est_fanout").number, 1);
+  const JsonValue& sigs = plans.at("index_signatures");
+  ASSERT_EQ(sigs.array.size(), 1u);
+  EXPECT_EQ(sigs.array[0]->at("relation").str, "route");
+  EXPECT_EQ(sigs.array[0]->at("signatures").array[0]->str, "[0,1]");
+
+  // The text rendering carries the same report when requested.
+  std::string text = RenderText(results, options);
+  EXPECT_NE(text.find("rule plans"), std::string::npos) << text;
+  EXPECT_NE(text.find("r1: packet -> route[0,1]"), std::string::npos) << text;
+  EXPECT_NE(text.find("index route: [0,1]"), std::string::npos) << text;
 }
 
 TEST(LintJsonTest, JsonEscapeHandlesSpecials) {

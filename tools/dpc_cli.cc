@@ -23,8 +23,8 @@
 // The lint subcommand runs the static analyzer over NDlog files without
 // executing them:
 //
-//   dpc_cli lint [--werror] [-f text|json] [--keys] [--interest REL]...
-//                FILE...
+//   dpc_cli lint [--werror] [-f text|json] [--keys] [--plan]
+//                [--interest REL]... FILE...
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -212,13 +212,16 @@ int RunLint(int argc, char** argv) {
     } else if (arg == "--keys") {
       options.print_keys = true;
       options.analyzer.key_notes = true;
+    } else if (arg == "--plan") {
+      options.print_plan = true;
+      options.analyzer.plan_notes = true;
     } else if (arg == "--interest") {
       const char* v = next();
       if (!v) return Fail("--interest needs a relation");
       options.analyzer.program.relations_of_interest.push_back(v);
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: dpc_cli lint [--werror] [-f text|json] [--keys] "
-                  "[--interest REL]... FILE...\n");
+                  "[--plan] [--interest REL]... FILE...\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       return Fail("unknown lint flag " + arg + " (try dpc_cli lint --help)");
@@ -274,7 +277,7 @@ int Run(int argc, char** argv) {
       std::printf("usage: dpc_cli --program FILE --trace FILE "
                   "[--scheme NAME] [--interest REL]...\n"
                   "       dpc_cli lint [--werror] [-f text|json] [--keys] "
-                  "[--interest REL]... FILE...\n");
+                  "[--plan] [--interest REL]... FILE...\n");
       return 0;
     } else {
       return Fail("unknown flag " + arg + " (try --help)");
