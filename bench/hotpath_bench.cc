@@ -1,0 +1,223 @@
+// Microbenchmark for the tuple-identity hot path: repeated Vid() /
+// SerializedSize() / Hash64() reads against the memoized caches vs the
+// recompute-every-time baseline (serialize into a scratch buffer, hash
+// the buffer — what the runtime did before memoization), plus a
+// fig09-style end-to-end forwarding run timed per scheme with the
+// identity-work counters (SHA-1 invocations, bytes serialized, cache hit
+// rates) it generated. Prints a JSON report; the checked-in before/after
+// snapshot lives at BENCH_hotpath.json.
+//
+// Scale knobs: DPC_PAIRS, DPC_RATE, DPC_DURATION.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/apps/experiments.h"
+#include "src/util/hash.h"
+#include "src/util/logging.h"
+#include "src/util/perf.h"
+#include "src/util/rng.h"
+
+namespace dpc {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+Tuple RandomTuple(Rng& rng) {
+  std::vector<Value> values;
+  values.push_back(Value::Int(static_cast<int64_t>(rng.NextBelow(64))));
+  size_t arity = 2 + rng.NextBelow(4);
+  for (size_t i = 1; i < arity; ++i) {
+    if (rng.NextBelow(2) == 0) {
+      values.push_back(Value::Int(static_cast<int64_t>(rng.Next())));
+    } else {
+      values.push_back(
+          Value::Str(std::string(8 + rng.NextBelow(24), 'x')));
+    }
+  }
+  return Tuple("rel" + std::to_string(rng.NextBelow(8)), std::move(values));
+}
+
+// --- repeated identity reads ------------------------------------------------
+
+struct IdentityCase {
+  double uncached_ns_per_read = 0;
+  double cached_ns_per_read = 0;
+  double speedup = 0;
+};
+
+// `reads` identity reads per tuple. The uncached loop reproduces the
+// pre-memoization cost: every read re-serializes the tuple and re-hashes
+// the buffer (SHA-1 for the VID; the size falls out of the buffer).
+IdentityCase BenchRepeatedIdentity(const std::vector<Tuple>& tuples,
+                                   size_t reads) {
+  IdentityCase res;
+  uint64_t sink = 0;
+
+  auto start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < reads; ++r) {
+    for (const Tuple& t : tuples) {
+      ByteWriter w;
+      t.Serialize(w);
+      Sha1Digest d = Sha1::Hash(w.bytes().data(), w.size());
+      sink += d.bytes[0] + w.size();
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  double total_reads = static_cast<double>(reads * tuples.size());
+  res.uncached_ns_per_read = Seconds(start, end) * 1e9 / total_reads;
+
+  start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < reads; ++r) {
+    for (const Tuple& t : tuples) {
+      sink += t.Vid().bytes[0] + t.SerializedSize();
+    }
+  }
+  end = std::chrono::steady_clock::now();
+  res.cached_ns_per_read = Seconds(start, end) * 1e9 / total_reads;
+
+  DPC_CHECK(sink != 0);  // keep the loops alive
+  res.speedup = res.uncached_ns_per_read / res.cached_ns_per_read;
+  return res;
+}
+
+// Same shape for the 64-bit container hash: FNV over a freshly
+// serialized buffer vs the memoized streaming hash.
+IdentityCase BenchRepeatedHash(const std::vector<Tuple>& tuples,
+                               size_t reads) {
+  IdentityCase res;
+  uint64_t sink = 0;
+
+  auto start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < reads; ++r) {
+    for (const Tuple& t : tuples) {
+      ByteWriter w;
+      t.Serialize(w);
+      sink += Fnv1a::HashBytes(w.bytes().data(), w.size());
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  double total_reads = static_cast<double>(reads * tuples.size());
+  res.uncached_ns_per_read = Seconds(start, end) * 1e9 / total_reads;
+
+  start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < reads; ++r) {
+    for (const Tuple& t : tuples) sink += t.Hash64();
+  }
+  end = std::chrono::steady_clock::now();
+  res.cached_ns_per_read = Seconds(start, end) * 1e9 / total_reads;
+
+  DPC_CHECK(sink != 0);
+  res.speedup = res.uncached_ns_per_read / res.cached_ns_per_read;
+  return res;
+}
+
+// Serialization throughput with pre-reserved buffers (MB/s).
+double BenchSerializeMbps(const std::vector<Tuple>& tuples, size_t reads) {
+  size_t bytes = 0;
+  auto start = std::chrono::steady_clock::now();
+  for (size_t r = 0; r < reads; ++r) {
+    for (const Tuple& t : tuples) {
+      ByteWriter w;
+      w.Reserve(t.SerializedSize());
+      t.Serialize(w);
+      bytes += w.size();
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  return static_cast<double>(bytes) / Seconds(start, end) / 1e6;
+}
+
+// --- end-to-end: fig09-style forwarding run ---------------------------------
+
+struct EndToEndCase {
+  std::string scheme;
+  double wall_clock_s = 0;
+  uint64_t sha1_invocations = 0;
+  uint64_t tuple_bytes_serialized = 0;
+  uint64_t vid_cache_hits = 0;
+  uint64_t vid_cache_misses = 0;
+};
+
+std::vector<EndToEndCase> BenchEndToEnd(size_t pairs, double rate,
+                                        double duration) {
+  TransitStubTopology topo = MakeTransitStub();
+  apps::ForwardingWorkload workload = apps::MakeForwardingWorkload(
+      topo, pairs, rate, duration, apps::kDefaultPayloadLen, /*seed=*/42);
+  apps::ExperimentConfig config;
+  config.duration_s = duration;
+  config.snapshot_interval_s = duration / 10;
+
+  std::vector<EndToEndCase> out;
+  for (apps::Scheme scheme : apps::kPaperSchemes) {
+    auto start = std::chrono::steady_clock::now();
+    apps::ExperimentResult r =
+        apps::RunForwarding(scheme, topo, workload, config);
+    auto end = std::chrono::steady_clock::now();
+    DPC_CHECK(r.outputs > 0);
+    EndToEndCase c;
+    c.scheme = r.scheme;
+    c.wall_clock_s = Seconds(start, end);
+    c.sha1_invocations = r.identity.sha1_invocations;
+    c.tuple_bytes_serialized = r.identity.tuple_bytes_serialized;
+    c.vid_cache_hits = r.identity.vid_cache_hits;
+    c.vid_cache_misses = r.identity.vid_cache_misses;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+int Main() {
+  Rng rng(20170514);
+  std::vector<Tuple> tuples;
+  for (int i = 0; i < 256; ++i) tuples.push_back(RandomTuple(rng));
+
+  IdentityCase identity = BenchRepeatedIdentity(tuples, 2000);
+  IdentityCase hash = BenchRepeatedHash(tuples, 2000);
+  double mbps = BenchSerializeMbps(tuples, 2000);
+
+  size_t pairs = apps::EnvSize("DPC_PAIRS", 20);
+  double rate = apps::EnvDouble("DPC_RATE", 10);
+  double duration = apps::EnvDouble("DPC_DURATION", 10);
+  std::vector<EndToEndCase> e2e = BenchEndToEnd(pairs, rate, duration);
+
+  std::printf("{\n  \"bench\": \"hotpath_bench\",\n");
+  std::printf("  \"repeated_identity\": {\"uncached_ns_per_read\": %.1f, "
+              "\"cached_ns_per_read\": %.1f, \"speedup\": %.1f},\n",
+              identity.uncached_ns_per_read, identity.cached_ns_per_read,
+              identity.speedup);
+  std::printf("  \"repeated_hash\": {\"uncached_ns_per_read\": %.1f, "
+              "\"cached_ns_per_read\": %.1f, \"speedup\": %.1f},\n",
+              hash.uncached_ns_per_read, hash.cached_ns_per_read,
+              hash.speedup);
+  std::printf("  \"serialize_mb_per_s\": %.0f,\n", mbps);
+  std::printf("  \"fig09\": {\"pairs\": %zu, \"rate_pps\": %.0f, "
+              "\"duration_s\": %.0f, \"schemes\": [\n",
+              pairs, rate, duration);
+  for (size_t i = 0; i < e2e.size(); ++i) {
+    const EndToEndCase& c = e2e[i];
+    double total_vid = static_cast<double>(c.vid_cache_hits +
+                                           c.vid_cache_misses);
+    std::printf(
+        "    {\"scheme\": \"%s\", \"wall_clock_s\": %.3f, "
+        "\"sha1_invocations\": %llu, \"tuple_bytes_serialized\": %llu, "
+        "\"vid_cache_hit_rate\": %.3f}%s\n",
+        c.scheme.c_str(), c.wall_clock_s,
+        static_cast<unsigned long long>(c.sha1_invocations),
+        static_cast<unsigned long long>(c.tuple_bytes_serialized),
+        total_vid > 0 ? static_cast<double>(c.vid_cache_hits) / total_vid
+                      : 0.0,
+        i + 1 < e2e.size() ? "," : "");
+  }
+  std::printf("  ]}\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dpc
+
+int main() { return dpc::Main(); }

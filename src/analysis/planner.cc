@@ -242,7 +242,7 @@ Result<std::vector<RuleFiring>> FireRulePlanned(const Rule& rule,
   std::sort(body_order.begin(), body_order.end(), [&](size_t a, size_t b) {
     return plan.steps[a].atom_index < plan.steps[b].atom_index;
   });
-  std::vector<const Tuple*> joined(plan.steps.size(), nullptr);
+  std::vector<const TupleRef*> joined(plan.steps.size(), nullptr);
 
   std::function<Status(size_t)> join = [&](size_t idx) -> Status {
     if (idx == plan.steps.size()) {
@@ -260,11 +260,11 @@ Result<std::vector<RuleFiring>> FireRulePlanned(const Rule& rule,
     if (table == nullptr) return Status::OK();
 
     Status st;
-    auto visit = [&](const Tuple& candidate) {
+    auto visit = [&](const TupleRef& candidate) {
       size_t mark = trail.size();
       // Full unification re-verifies the probed columns: the index matches
-      // on digests, and repeated/unbound columns still need binding.
-      if (MatchAtom(atom, candidate, env, trail)) {
+      // on hashes, and repeated/unbound columns still need binding.
+      if (MatchAtom(atom, *candidate, env, trail)) {
         Result<bool> keep = apply(step.assignments, step.constraints);
         if (!keep.ok()) {
           st = keep.status();
@@ -282,7 +282,7 @@ Result<std::vector<RuleFiring>> FireRulePlanned(const Rule& rule,
     };
 
     if (step.bound_columns.empty()) {
-      table->ForEach(visit);
+      table->ForEachRef(visit);
     } else {
       std::vector<Value> key;
       key.reserve(step.bound_columns.size());
@@ -299,7 +299,7 @@ Result<std::vector<RuleFiring>> FireRulePlanned(const Rule& rule,
           key.push_back(t.constant);
         }
       }
-      table->ForEachMatch(step.bound_columns, key, visit);
+      table->ForEachMatchRef(step.bound_columns, key, visit);
     }
     return st;
   };

@@ -57,6 +57,7 @@ ExperimentResult RunExperiment(
   // the measurement window only sees workload traffic.
   bed->system().Run();
   bed->network().ResetAccounting();
+  IdentityCounters identity_before = identity_counters();
 
   for (const WorkloadItem& item : workload) {
     Status st = bed->system().ScheduleInject(item.event, item.time_s);
@@ -102,6 +103,7 @@ ExperimentResult RunExperiment(
   if (bed->transport() != nullptr) {
     result.transport_stats = bed->transport()->stats();
   }
+  result.identity = identity_counters() - identity_before;
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include "src/apps/dns.h"
 #include "src/apps/forwarding.h"
 #include "src/apps/testbed.h"
+#include "src/util/perf.h"
 #include "src/util/stats.h"
 
 namespace dpc::apps {
@@ -56,6 +57,10 @@ struct ExperimentResult {
   // Fault-injection accounting (zero on lossless runs).
   uint64_t dropped_messages = 0;
   TransportStats transport_stats;
+  // Identity-work counters (SHA-1 runs, bytes serialized, cache traffic)
+  // over the measurement window: this run's delta of the process-wide
+  // counters, taken after setup traffic drains.
+  IdentityCounters identity;
 
   // Total storage across nodes at snapshot i.
   size_t TotalStorageAt(size_t i) const;

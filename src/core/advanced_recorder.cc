@@ -24,11 +24,11 @@ Rid AdvancedRecorder::MakeRid(const std::string& rule_id,
   return Sha1::Hash(w.bytes().data(), w.size());
 }
 
-ProvMeta AdvancedRecorder::OnInject(NodeId node, const Tuple& event) {
+ProvMeta AdvancedRecorder::OnInject(NodeId node, const TupleRef& event) {
   NodeState& state = nodes_[node];
   ProvMeta meta;
-  meta.evid = event.Vid();
-  meta.eqkey = keys_.HashOf(event);
+  meta.evid = event->Vid();
+  meta.eqkey = keys_.HashOf(*event);
   // Stage 1: equivalence keys checking against htequi.
   bool first_in_class = state.htequi.insert(meta.eqkey).second;
   meta.exist_flag = !first_in_class;
@@ -53,10 +53,10 @@ void AdvancedRecorder::InsertRuleExecRow(NodeState& state, NodeId node,
 }
 
 ProvMeta AdvancedRecorder::OnRuleFired(NodeId node, const Rule& rule,
-                                       const Tuple& /*event*/,
+                                       const TupleRef& /*event*/,
                                        const ProvMeta& meta,
-                                       const std::vector<Tuple>& slow,
-                                       const Tuple& /*head*/) {
+                                       const std::vector<TupleRef>& slow,
+                                       const TupleRef& /*head*/) {
   if (!meta.maintain) {
     // Stage 2, existFlag = true: execute without recording anything.
     return meta;
@@ -64,8 +64,8 @@ ProvMeta AdvancedRecorder::OnRuleFired(NodeId node, const Rule& rule,
   NodeState& state = nodes_[node];
   std::vector<Vid> slow_vids;
   slow_vids.reserve(slow.size());
-  for (const Tuple& t : slow) {
-    slow_vids.push_back(t.Vid());
+  for (const TupleRef& t : slow) {
+    slow_vids.push_back(t->Vid());
     state.tuples.Put(t);
   }
   Rid rid = MakeRid(rule.id, slow_vids, state.epoch);
@@ -76,22 +76,22 @@ ProvMeta AdvancedRecorder::OnRuleFired(NodeId node, const Rule& rule,
   return out;
 }
 
-void AdvancedRecorder::OnOutput(NodeId node, const Tuple& output,
+void AdvancedRecorder::OnOutput(NodeId node, const TupleRef& output,
                                 const ProvMeta& meta) {
   NodeState& state = nodes_[node];
-  bool of_interest = program_->IsOfInterest(output.relation());
+  bool of_interest = program_->IsOfInterest(output->relation());
 
   if (meta.maintain) {
     // Stage 3, first execution of the class: register the shared tree.
     if (meta.prev.IsNull()) {
-      DPC_LOG(Warning) << "output " << output.ToString()
+      DPC_LOG(Warning) << "output " << output->ToString()
                        << " emitted without any recorded rule execution";
       return;
     }
     state.hmap[meta.eqkey] = meta.prev;
     if (of_interest) {
       state.prov.Insert(
-          ProvEntry{node, output.Vid(), meta.prev, meta.evid});
+          ProvEntry{node, output->Vid(), meta.prev, meta.evid});
     }
     // Flush outputs of this class that overtook the shared tree.
     auto it = state.pending.find(meta.eqkey);
@@ -108,15 +108,15 @@ void AdvancedRecorder::OnOutput(NodeId node, const Tuple& output,
   auto ref = state.hmap.find(meta.eqkey);
   if (ref != state.hmap.end()) {
     state.prov.Insert(
-        ProvEntry{node, output.Vid(), ref->second, meta.evid});
+        ProvEntry{node, output->Vid(), ref->second, meta.evid});
   } else {
     // The shared tree's own output has not arrived yet: park the row.
     state.pending[meta.eqkey].push_back(
-        PendingOutput{output.Vid(), meta.evid});
+        PendingOutput{output->Vid(), meta.evid});
   }
 }
 
-bool AdvancedRecorder::OnSlowInsert(NodeId node, const Tuple& t) {
+bool AdvancedRecorder::OnSlowInsert(NodeId node, const TupleRef& t) {
   nodes_[node].tuples.Put(t);
   return true;  // §5.5: broadcast sig, reset equivalence caches everywhere
 }

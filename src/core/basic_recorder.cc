@@ -22,36 +22,38 @@ Rid BasicRecorder::MakeRid(const std::string& rule_id, NodeId loc,
   return Sha1::Hash(w.bytes().data(), w.size());
 }
 
-ProvMeta BasicRecorder::OnInject(NodeId node, const Tuple& event) {
+ProvMeta BasicRecorder::OnInject(NodeId node, const TupleRef& event) {
   ProvMeta meta;
-  meta.evid = event.Vid();
+  meta.evid = event->Vid();
   nodes_[node].events.Put(event);
   return meta;
 }
 
 ProvMeta BasicRecorder::OnRuleFired(NodeId node, const Rule& rule,
-                                    const Tuple& event, const ProvMeta& meta,
-                                    const std::vector<Tuple>& slow,
-                                    const Tuple& head) {
+                                    const TupleRef& event,
+                                    const ProvMeta& meta,
+                                    const std::vector<TupleRef>& slow,
+                                    const TupleRef& head) {
   (void)head;
   NodeState& state = nodes_[node];
+  const Vid& event_vid = event->Vid();
 
   std::vector<Vid> slow_vids;
   slow_vids.reserve(slow.size());
-  for (const Tuple& t : slow) {
-    slow_vids.push_back(t.Vid());
+  for (const TupleRef& t : slow) {
+    slow_vids.push_back(t->Vid());
     // Keep referenced slow tuples resolvable even if later deleted from the
     // live database (§5.5: deletions do not invalidate provenance).
     state.tuples.Put(t);
   }
 
-  Rid rid = MakeRid(rule.id, node, event.Vid(), slow_vids);
+  Rid rid = MakeRid(rule.id, node, event_vid, slow_vids);
 
   // The VIDS column: slow tuples always; the input event only on the leaf
   // (first) rule, where reconstruction bottoms out (Table 2's rid1 row).
   std::vector<Vid> column_vids;
   bool is_leaf = meta.prev.IsNull();
-  if (is_leaf) column_vids.push_back(event.Vid());
+  if (is_leaf) column_vids.push_back(event_vid);
   column_vids.insert(column_vids.end(), slow_vids.begin(), slow_vids.end());
 
   state.rule_exec.Insert(
@@ -62,16 +64,16 @@ ProvMeta BasicRecorder::OnRuleFired(NodeId node, const Rule& rule,
   return out;
 }
 
-void BasicRecorder::OnOutput(NodeId node, const Tuple& output,
+void BasicRecorder::OnOutput(NodeId node, const TupleRef& output,
                              const ProvMeta& meta) {
-  if (!program_->IsOfInterest(output.relation())) return;
+  if (!program_->IsOfInterest(output->relation())) return;
   if (meta.prev.IsNull()) {
-    DPC_LOG(Warning) << "output " << output.ToString()
+    DPC_LOG(Warning) << "output " << output->ToString()
                      << " emitted without any recorded rule execution";
     return;
   }
   nodes_[node].prov.Insert(
-      ProvEntry{node, output.Vid(), meta.prev, Vid{}});
+      ProvEntry{node, output->Vid(), meta.prev, Vid{}});
 }
 
 void BasicRecorder::SerializeMeta(const ProvMeta& meta, ByteWriter& w) const {

@@ -28,11 +28,12 @@ class BasicRecorder : public ProvenanceRecorder {
 
   std::string name() const override { return "Basic"; }
 
-  ProvMeta OnInject(NodeId node, const Tuple& event) override;
-  ProvMeta OnRuleFired(NodeId node, const Rule& rule, const Tuple& event,
-                       const ProvMeta& meta, const std::vector<Tuple>& slow,
-                       const Tuple& head) override;
-  void OnOutput(NodeId node, const Tuple& output,
+  ProvMeta OnInject(NodeId node, const TupleRef& event) override;
+  ProvMeta OnRuleFired(NodeId node, const Rule& rule, const TupleRef& event,
+                       const ProvMeta& meta,
+                       const std::vector<TupleRef>& slow,
+                       const TupleRef& head) override;
+  void OnOutput(NodeId node, const TupleRef& output,
                 const ProvMeta& meta) override;
 
   void SerializeMeta(const ProvMeta& meta, ByteWriter& w) const override;

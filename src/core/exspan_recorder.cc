@@ -16,9 +16,9 @@ Rid ExspanRecorder::MakeRid(const std::string& rule_id, NodeId loc,
   return Sha1::Hash(w.bytes().data(), w.size());
 }
 
-ProvMeta ExspanRecorder::OnInject(NodeId node, const Tuple& event) {
+ProvMeta ExspanRecorder::OnInject(NodeId node, const TupleRef& event) {
   ProvMeta meta;
-  meta.evid = event.Vid();
+  meta.evid = event->Vid();
   NodeState& state = nodes_[node];
   state.events.Put(event);
   // Input events are base tuples of the derivation: NULL rule reference.
@@ -26,23 +26,24 @@ ProvMeta ExspanRecorder::OnInject(NodeId node, const Tuple& event) {
   return meta;
 }
 
-bool ExspanRecorder::OnSlowInsert(NodeId node, const Tuple& t) {
+bool ExspanRecorder::OnSlowInsert(NodeId node, const TupleRef& t) {
   NodeState& state = nodes_[node];
   state.tuples.Put(t);
-  state.prov.Insert(ProvEntry{node, t.Vid(), NodeRid::Null(), Vid{}});
+  state.prov.Insert(ProvEntry{node, t->Vid(), NodeRid::Null(), Vid{}});
   return false;  // no sig broadcast in ExSPAN
 }
 
 ProvMeta ExspanRecorder::OnRuleFired(NodeId node, const Rule& rule,
-                                     const Tuple& event, const ProvMeta& meta,
-                                     const std::vector<Tuple>& slow,
-                                     const Tuple& head) {
+                                     const TupleRef& event,
+                                     const ProvMeta& meta,
+                                     const std::vector<TupleRef>& slow,
+                                     const TupleRef& head) {
   NodeState& state = nodes_[node];
 
   std::vector<Vid> vids;
   vids.reserve(slow.size() + 1);
-  vids.push_back(event.Vid());
-  for (const Tuple& t : slow) vids.push_back(t.Vid());
+  vids.push_back(event->Vid());
+  for (const TupleRef& t : slow) vids.push_back(t->Vid());
 
   Rid rid = MakeRid(rule.id, node, vids);
   state.rule_exec.Insert(RuleExecEntry{node, rid, rule.id, vids,
@@ -54,9 +55,9 @@ ProvMeta ExspanRecorder::OnRuleFired(NodeId node, const Rule& rule,
   // The head's prov row lives at the head's location; the runtime ships
   // (RLoc, RID) with the head tuple, which we model by carrying it in the
   // metadata and writing the row eagerly.
-  NodeId head_loc = head.Location();
+  NodeId head_loc = head->Location();
   nodes_[head_loc].prov.Insert(
-      ProvEntry{head_loc, head.Vid(), NodeRid{node, rid}, Vid{}});
+      ProvEntry{head_loc, head->Vid(), NodeRid{node, rid}, Vid{}});
   nodes_[head_loc].tuples.Put(head);
 
   ProvMeta out = meta;
@@ -64,7 +65,7 @@ ProvMeta ExspanRecorder::OnRuleFired(NodeId node, const Rule& rule,
   return out;
 }
 
-void ExspanRecorder::OnOutput(NodeId, const Tuple&, const ProvMeta&) {
+void ExspanRecorder::OnOutput(NodeId, const TupleRef&, const ProvMeta&) {
   // The prov row and materialization were written when the deriving rule
   // fired.
 }

@@ -21,13 +21,14 @@ class ExspanRecorder : public ProvenanceRecorder {
 
   std::string name() const override { return "ExSPAN"; }
 
-  ProvMeta OnInject(NodeId node, const Tuple& event) override;
-  ProvMeta OnRuleFired(NodeId node, const Rule& rule, const Tuple& event,
-                       const ProvMeta& meta, const std::vector<Tuple>& slow,
-                       const Tuple& head) override;
-  void OnOutput(NodeId node, const Tuple& output,
+  ProvMeta OnInject(NodeId node, const TupleRef& event) override;
+  ProvMeta OnRuleFired(NodeId node, const Rule& rule, const TupleRef& event,
+                       const ProvMeta& meta,
+                       const std::vector<TupleRef>& slow,
+                       const TupleRef& head) override;
+  void OnOutput(NodeId node, const TupleRef& output,
                 const ProvMeta& meta) override;
-  bool OnSlowInsert(NodeId node, const Tuple& t) override;
+  bool OnSlowInsert(NodeId node, const TupleRef& t) override;
 
   void SerializeMeta(const ProvMeta& meta, ByteWriter& w) const override;
   Result<ProvMeta> DeserializeMeta(ByteReader& r) const override;

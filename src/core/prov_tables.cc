@@ -1,13 +1,17 @@
 #include "src/core/prov_tables.h"
 
+#include <utility>
+
 namespace dpc {
 
 namespace {
 
-// Content key for row-level deduplication.
+// Content key for row-level deduplication. `size_hint` pre-sizes the
+// scratch buffer (entry sizes are known arithmetically).
 template <typename SerializeFn>
-Sha1Digest ContentKey(SerializeFn&& serialize) {
+Sha1Digest ContentKey(size_t size_hint, SerializeFn&& serialize) {
   ByteWriter w;
+  w.Reserve(size_hint);
   serialize(w);
   return Sha1::Hash(w.bytes().data(), w.size());
 }
@@ -15,6 +19,11 @@ Sha1Digest ContentKey(SerializeFn&& serialize) {
 void PutNodeId(ByteWriter& w, NodeId n) {
   w.PutU32(static_cast<uint32_t>(n));
 }
+
+// Fixed wire widths of the digest-based columns.
+constexpr size_t kNodeIdSize = 4;
+constexpr size_t kDigestSize = 20;
+constexpr size_t kNodeRidSize = kNodeIdSize + kDigestSize;
 
 }  // namespace
 
@@ -44,9 +53,8 @@ void ProvEntry::Serialize(ByteWriter& w, bool with_evid) const {
 }
 
 size_t ProvEntry::SerializedSize(bool with_evid) const {
-  ByteWriter w;
-  Serialize(w, with_evid);
-  return w.size();
+  return kNodeIdSize + kDigestSize + kNodeRidSize +
+         (with_evid ? kDigestSize : 0);
 }
 
 Result<ProvEntry> ProvEntry::Deserialize(ByteReader& r, bool with_evid) {
@@ -71,9 +79,9 @@ void RuleExecEntry::Serialize(ByteWriter& w, bool with_next) const {
 }
 
 size_t RuleExecEntry::SerializedSize(bool with_next) const {
-  ByteWriter w;
-  Serialize(w, with_next);
-  return w.size();
+  return kNodeIdSize + kDigestSize + StringSerializedSize(rule_id) +
+         VarintSize(vids.size()) + kDigestSize * vids.size() +
+         (with_next ? kNodeRidSize : 0);
 }
 
 Result<RuleExecEntry> RuleExecEntry::Deserialize(ByteReader& r,
@@ -103,9 +111,8 @@ void RuleExecNodeEntry::Serialize(ByteWriter& w) const {
 }
 
 size_t RuleExecNodeEntry::SerializedSize() const {
-  ByteWriter w;
-  Serialize(w);
-  return w.size();
+  return kNodeIdSize + kDigestSize + StringSerializedSize(rule_id) +
+         VarintSize(vids.size()) + kDigestSize * vids.size();
 }
 
 Result<RuleExecNodeEntry> RuleExecNodeEntry::Deserialize(ByteReader& r) {
@@ -129,9 +136,7 @@ void RuleExecLinkEntry::Serialize(ByteWriter& w) const {
 }
 
 size_t RuleExecLinkEntry::SerializedSize() const {
-  ByteWriter w;
-  Serialize(w);
-  return w.size();
+  return kNodeIdSize + kDigestSize + kNodeRidSize;
 }
 
 Result<RuleExecLinkEntry> RuleExecLinkEntry::Deserialize(ByteReader& r) {
@@ -147,7 +152,8 @@ Result<RuleExecLinkEntry> RuleExecLinkEntry::Deserialize(ByteReader& r) {
 
 bool ProvTable::Insert(const ProvEntry& e) {
   Sha1Digest key =
-      ContentKey([&](ByteWriter& w) { e.Serialize(w, /*with_evid=*/true); });
+      ContentKey(e.SerializedSize(/*with_evid=*/true),
+                 [&](ByteWriter& w) { e.Serialize(w, /*with_evid=*/true); });
   if (!content_keys_.insert(key).second) return false;
   by_vid_.emplace(e.vid, rows_.size());
   bytes_ += e.SerializedSize(with_evid_);
@@ -166,7 +172,8 @@ std::vector<const ProvEntry*> ProvTable::FindByVid(const Vid& vid) const {
 
 bool RuleExecTable::Insert(const RuleExecEntry& e) {
   Sha1Digest key =
-      ContentKey([&](ByteWriter& w) { e.Serialize(w, /*with_next=*/true); });
+      ContentKey(e.SerializedSize(/*with_next=*/true),
+                 [&](ByteWriter& w) { e.Serialize(w, /*with_next=*/true); });
   if (!content_keys_.insert(key).second) return false;
   by_rid_.emplace(e.rid, rows_.size());
   bytes_ += e.SerializedSize(with_next_);
@@ -200,7 +207,8 @@ const RuleExecNodeEntry* RuleExecNodeTable::FindByRid(const Rid& rid) const {
 // --- RuleExecLinkTable ------------------------------------------------------
 
 bool RuleExecLinkTable::Insert(const RuleExecLinkEntry& e) {
-  Sha1Digest key = ContentKey([&](ByteWriter& w) { e.Serialize(w); });
+  Sha1Digest key = ContentKey(e.SerializedSize(),
+                              [&](ByteWriter& w) { e.Serialize(w); });
   if (!content_keys_.insert(key).second) return false;
   by_rid_.emplace(e.rid, rows_.size());
   bytes_ += e.SerializedSize();
@@ -219,15 +227,26 @@ std::vector<const RuleExecLinkEntry*> RuleExecLinkTable::FindByRid(
 // --- TupleStore -------------------------------------------------------------
 
 bool TupleStore::Put(const Tuple& t) {
-  Vid vid = t.Vid();
-  auto [it, inserted] = tuples_.emplace(vid, t);
-  if (inserted) bytes_ += 20 + t.SerializedSize();  // key digest + content
+  const Vid& vid = t.Vid();
+  auto it = tuples_.find(vid);
+  if (it != tuples_.end()) return false;
+  tuples_.emplace(vid, MakeTupleRef(t));
+  bytes_ += kDigestSize + t.SerializedSize();  // key digest + content
+  return true;
+}
+
+bool TupleStore::Put(TupleRef t) {
+  const Vid& vid = t->Vid();
+  auto [it, inserted] = tuples_.emplace(vid, std::move(t));
+  if (inserted) {
+    bytes_ += kDigestSize + it->second->SerializedSize();
+  }
   return inserted;
 }
 
 const Tuple* TupleStore::Find(const Vid& vid) const {
   auto it = tuples_.find(vid);
-  return it == tuples_.end() ? nullptr : &it->second;
+  return it == tuples_.end() ? nullptr : it->second.get();
 }
 
 }  // namespace dpc

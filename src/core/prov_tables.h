@@ -58,6 +58,7 @@ struct ProvEntry {
 
   void Serialize(ByteWriter& w, bool with_evid) const;
   static Result<ProvEntry> Deserialize(ByteReader& r, bool with_evid);
+  // Arithmetic (no buffer); equals the byte count Serialize appends.
   size_t SerializedSize(bool with_evid) const;
 };
 
@@ -195,8 +196,11 @@ class RuleExecLinkTable {
 // ExSPAN, every intermediate/output/base tuple its hash-only rows refer to.
 class TupleStore {
  public:
-  // Returns false if the VID was already present.
+  // Returns false if the VID was already present. The TupleRef overload
+  // shares the caller's allocation; the Tuple overload allocates only when
+  // the VID is actually new.
   bool Put(const Tuple& t);
+  bool Put(TupleRef t);
 
   const Tuple* Find(const Vid& vid) const;
   bool Contains(const Vid& vid) const { return Find(vid) != nullptr; }
@@ -204,14 +208,14 @@ class TupleStore {
   // Applies `fn` to every stored tuple (unspecified order).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (const auto& [_, tuple] : tuples_) fn(tuple);
+    for (const auto& [_, tuple] : tuples_) fn(*tuple);
   }
 
   size_t size() const { return tuples_.size(); }
   size_t SerializedBytes() const { return bytes_; }
 
  private:
-  std::unordered_map<Vid, Tuple, Sha1DigestHash> tuples_;
+  std::unordered_map<Vid, TupleRef, Sha1DigestHash> tuples_;
   size_t bytes_ = 0;
 };
 

@@ -10,7 +10,9 @@ StorageBreakdown& StorageBreakdown::operator+=(const StorageBreakdown& o) {
   return *this;
 }
 
-bool ProvenanceRecorder::OnSlowInsert(NodeId, const Tuple&) { return false; }
+bool ProvenanceRecorder::OnSlowInsert(NodeId, const TupleRef&) {
+  return false;
+}
 
 void ProvenanceRecorder::OnSlowDelete(NodeId, const Tuple&) {}
 

@@ -56,6 +56,9 @@ struct StorageBreakdown {
   StorageBreakdown& operator+=(const StorageBreakdown& o);
 };
 
+// Hooks receive shared-immutable TupleRefs: a recorder that materializes a
+// tuple (TupleStore::Put) retains the runtime's allocation — with its
+// memoized VID/size — instead of copying and re-hashing it.
 class ProvenanceRecorder {
  public:
   virtual ~ProvenanceRecorder() = default;
@@ -63,23 +66,23 @@ class ProvenanceRecorder {
   virtual std::string name() const = 0;
 
   // An event tuple is injected at `node`; returns the metadata to tag.
-  virtual ProvMeta OnInject(NodeId node, const Tuple& event) = 0;
+  virtual ProvMeta OnInject(NodeId node, const TupleRef& event) = 0;
 
   // `rule` fired at `node`, triggered by `event` (carrying `meta`), joining
   // the slow-changing tuples `slow` and deriving `head`. Returns the
   // metadata to tag onto `head`.
   virtual ProvMeta OnRuleFired(NodeId node, const Rule& rule,
-                               const Tuple& event, const ProvMeta& meta,
-                               const std::vector<Tuple>& slow,
-                               const Tuple& head) = 0;
+                               const TupleRef& event, const ProvMeta& meta,
+                               const std::vector<TupleRef>& slow,
+                               const TupleRef& head) = 0;
 
   // A terminal output tuple materialized at `node`.
-  virtual void OnOutput(NodeId node, const Tuple& output,
+  virtual void OnOutput(NodeId node, const TupleRef& output,
                         const ProvMeta& meta) = 0;
 
   // A slow-changing tuple was inserted at `node`. Returns true when the
   // scheme requires a sig broadcast (§5.5).
-  virtual bool OnSlowInsert(NodeId node, const Tuple& t);
+  virtual bool OnSlowInsert(NodeId node, const TupleRef& t);
 
   virtual void OnSlowDelete(NodeId node, const Tuple& t);
 

@@ -8,33 +8,38 @@ ReferenceRecorder::ReferenceRecorder(int num_nodes) {
   nodes_.resize(num_nodes);
 }
 
-ProvMeta ReferenceRecorder::OnInject(NodeId, const Tuple& event) {
+ProvMeta ReferenceRecorder::OnInject(NodeId, const TupleRef& event) {
   ProvMeta meta;
-  meta.evid = event.Vid();
+  meta.evid = event->Vid();
   meta.tree = std::make_shared<ProvTree>();
-  meta.tree->set_event(event);
+  meta.tree->set_event(*event);
   return meta;
 }
 
 ProvMeta ReferenceRecorder::OnRuleFired(NodeId, const Rule& rule,
-                                        const Tuple& /*event*/,
+                                        const TupleRef& /*event*/,
                                         const ProvMeta& meta,
-                                        const std::vector<Tuple>& slow,
-                                        const Tuple& head) {
+                                        const std::vector<TupleRef>& slow,
+                                        const TupleRef& head) {
   ProvMeta out = meta;
   DPC_CHECK(meta.tree != nullptr);
   out.tree = std::make_shared<ProvTree>(*meta.tree);
-  out.tree->AppendStep(ProvStep{rule.id, head, slow});
+  // ProvStep carries tuples by value (trees are serialized wholesale), so
+  // the shared refs are flattened here, at the tree boundary.
+  std::vector<Tuple> slow_tuples;
+  slow_tuples.reserve(slow.size());
+  for (const TupleRef& t : slow) slow_tuples.push_back(*t);
+  out.tree->AppendStep(ProvStep{rule.id, *head, std::move(slow_tuples)});
   return out;
 }
 
-void ReferenceRecorder::OnOutput(NodeId node, const Tuple& output,
+void ReferenceRecorder::OnOutput(NodeId node, const TupleRef& output,
                                  const ProvMeta& meta) {
   DPC_CHECK(meta.tree != nullptr);
   DPC_CHECK(!meta.tree->empty());
-  DPC_DCHECK(meta.tree->Output() == output)
+  DPC_DCHECK(meta.tree->Output() == *output)
       << "tree root " << meta.tree->Output().ToString() << " vs output "
-      << output.ToString();
+      << output->ToString();
   NodeState& state = nodes_[node];
   state.bytes += meta.tree->SerializedSize();
   state.trees.push_back(*meta.tree);

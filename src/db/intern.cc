@@ -1,0 +1,54 @@
+#include "src/db/intern.h"
+
+#include "src/util/perf.h"
+
+namespace dpc {
+
+TupleRef* TupleInterner::FindPooled(const Tuple& t) {
+  auto it = pool_.find(t.Hash64());
+  if (it == pool_.end()) return nullptr;
+  for (TupleRef& ref : it->second) {
+    if (*ref == t) return &ref;
+  }
+  return nullptr;
+}
+
+void TupleInterner::Pool(TupleRef ref) {
+  if (count_ >= max_entries_) {
+    // Epoch flush: cheaper and simpler than LRU, and outstanding refs keep
+    // their tuples alive independently of the pool.
+    pool_.clear();
+    count_ = 0;
+    ++flushes_;
+  }
+  pool_[ref->Hash64()].push_back(std::move(ref));
+  ++count_;
+}
+
+TupleRef TupleInterner::Intern(Tuple t) {
+  if (TupleRef* pooled = FindPooled(t)) {
+    ++hits_;
+    ++identity_counters().tuples_interned;
+    return *pooled;
+  }
+  TupleRef ref = MakeTupleRef(std::move(t));
+  Pool(ref);
+  return ref;
+}
+
+TupleRef TupleInterner::Intern(const TupleRef& t) {
+  if (TupleRef* pooled = FindPooled(*t)) {
+    ++hits_;
+    ++identity_counters().tuples_interned;
+    return *pooled;
+  }
+  Pool(t);
+  return t;
+}
+
+void TupleInterner::Clear() {
+  pool_.clear();
+  count_ = 0;
+}
+
+}  // namespace dpc

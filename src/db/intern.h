@@ -1,0 +1,57 @@
+// TupleInterner: an optional per-node/per-runtime pool of shared-immutable
+// tuples. Interning a tuple whose content is already pooled returns the
+// existing TupleRef — with its memoized VID/size/hash — instead of a fresh
+// allocation, so repeatedly delivered identical tuples are hashed and
+// measured once. Lookup keys on the cheap 64-bit content hash and verifies
+// candidates by full equality, so digest collisions cannot conflate tuples.
+//
+// The pool is bounded: when it reaches `max_entries` live contents it is
+// flushed wholesale (epoch clear). Outstanding TupleRefs stay valid — the
+// pool only drops its own references — so a flush costs future sharing,
+// never correctness.
+#ifndef DPC_DB_INTERN_H_
+#define DPC_DB_INTERN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/db/tuple.h"
+
+namespace dpc {
+
+class TupleInterner {
+ public:
+  static constexpr size_t kDefaultMaxEntries = 1 << 16;
+
+  explicit TupleInterner(size_t max_entries = kDefaultMaxEntries)
+      : max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+  // Returns the pooled ref for `t`'s content, pooling it if new.
+  TupleRef Intern(Tuple t);
+  // As above without consuming the caller's tuple (copies only when new).
+  TupleRef Intern(const TupleRef& t);
+
+  size_t size() const { return count_; }
+  // Intern calls answered by an already-pooled tuple.
+  uint64_t hits() const { return hits_; }
+  // Number of wholesale evictions triggered by the size bound.
+  uint64_t flushes() const { return flushes_; }
+
+  void Clear();
+
+ private:
+  TupleRef* FindPooled(const Tuple& t);
+  void Pool(TupleRef ref);
+
+  size_t max_entries_;
+  // Content hash -> pooled tuples with that hash (collision chain).
+  std::unordered_map<uint64_t, std::vector<TupleRef>> pool_;
+  size_t count_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t flushes_ = 0;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_DB_INTERN_H_

@@ -14,19 +14,19 @@ std::string IndexSignatureToString(const IndexSignature& sig) {
   return out;
 }
 
-Sha1Digest Table::KeyDigestOf(const IndexSignature& sig, const Tuple& t) {
-  ByteWriter w;
+uint64_t Table::KeyHashOf(const IndexSignature& sig, const Tuple& t) {
+  Fnv1a h;
   for (size_t col : sig) {
     if (col >= t.arity()) continue;
-    t.at(col).Serialize(w);
+    t.at(col).HashInto(h);
   }
-  return Sha1::Hash(w.bytes().data(), w.size());
+  return h.hash();
 }
 
-Sha1Digest Table::KeyDigestOf(const std::vector<Value>& key) {
-  ByteWriter w;
-  for (const Value& v : key) v.Serialize(w);
-  return Sha1::Hash(w.bytes().data(), w.size());
+uint64_t Table::KeyHashOf(const std::vector<Value>& key) {
+  Fnv1a h;
+  for (const Value& v : key) v.HashInto(h);
+  return h.hash();
 }
 
 const std::vector<size_t>* Table::ProbeBucket(
@@ -38,38 +38,29 @@ const std::vector<size_t>* Table::ProbeBucket(
     // slot is revived in place and never re-indexed).
     HashIndex index;
     for (size_t row = 0; row < rows_.size(); ++row) {
-      index.buckets[KeyDigestOf(sig, rows_[row].tuple)].push_back(row);
+      index.buckets[KeyHashOf(sig, *rows_[row].tuple)].push_back(row);
     }
     it = indexes_.emplace(sig, std::move(index)).first;
   }
-  auto bucket = it->second.buckets.find(KeyDigestOf(key));
+  auto bucket = it->second.buckets.find(KeyHashOf(key));
   return bucket == it->second.buckets.end() ? nullptr : &bucket->second;
 }
 
 bool Table::Insert(const Tuple& t) {
-  Sha1Digest vid = t.Vid();
-  auto it = index_.find(vid);
-  if (it != index_.end()) {
-    Slot& slot = rows_[it->second];
-    if (slot.live) return false;
-    slot.live = true;
-    ++live_count_;
-    return true;
-  }
-  index_.emplace(vid, rows_.size());
-  for (auto& [sig, hash_index] : indexes_) {
-    hash_index.buckets[KeyDigestOf(sig, t)].push_back(rows_.size());
-  }
-  rows_.push_back(Slot{t, true});
-  ++live_count_;
-  return true;
+  return InsertImpl(t, [&] { return MakeTupleRef(t); });
+}
+
+bool Table::Insert(TupleRef t) {
+  return InsertImpl(*t, [&] { return std::move(t); });
 }
 
 bool Table::Erase(const Tuple& t) {
   auto it = index_.find(t.Vid());
   if (it == index_.end() || !rows_[it->second].live) return false;
-  rows_[it->second].live = false;
+  Slot& slot = rows_[it->second];
+  slot.live = false;
   --live_count_;
+  live_bytes_ -= slot.tuple->SerializedSize();
   return true;
 }
 
@@ -82,7 +73,7 @@ std::vector<Tuple> Table::Snapshot() const {
   std::vector<Tuple> out;
   out.reserve(live_count_);
   for (const auto& slot : rows_) {
-    if (slot.live) out.push_back(slot.tuple);
+    if (slot.live) out.push_back(*slot.tuple);
   }
   return out;
 }
@@ -90,15 +81,14 @@ std::vector<Tuple> Table::Snapshot() const {
 void Table::Serialize(ByteWriter& w) const {
   w.PutString(name_);
   w.PutVarint(live_count_);
+  w.Reserve(live_bytes_);
   for (const auto& slot : rows_) {
-    if (slot.live) slot.tuple.Serialize(w);
+    if (slot.live) slot.tuple->Serialize(w);
   }
 }
 
 size_t Table::SerializedSize() const {
-  ByteWriter w;
-  Serialize(w);
-  return w.size();
+  return StringSerializedSize(name_) + VarintSize(live_count_) + live_bytes_;
 }
 
 Table& Database::GetOrCreate(const std::string& relation) {

@@ -4,12 +4,20 @@
 // column signatures let rule evaluation probe matching tuples instead of
 // scanning the whole relation (src/analysis/planner.h derives the
 // signatures; src/runtime wires them into the hot path).
+//
+// Rows are stored as shared-immutable TupleRefs: evaluation hands the same
+// allocation (with its memoized VID/size/hash) to every rule firing and
+// recorder that joins the row, instead of copying the tuple per candidate.
+// Join-index buckets key on the cheap 64-bit FNV content hash — probing an
+// index never runs SHA-1; the main digest index keeps the SHA-1 VID (which
+// the row's tuple memoizes) as its collision-free identity.
 #ifndef DPC_DB_TABLE_H_
 #define DPC_DB_TABLE_H_
 
 #include <map>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/db/tuple.h"
@@ -31,7 +39,10 @@ class Table {
   const std::string& name() const { return name_; }
 
   // Inserts `t`; returns false if an equal tuple was already present.
+  // The TupleRef overload shares the caller's allocation (no copy); the
+  // Tuple overload allocates only when the tuple is actually new.
   bool Insert(const Tuple& t);
+  bool Insert(TupleRef t);
 
   // Removes `t`; returns false if it was not present.
   bool Erase(const Tuple& t);
@@ -46,6 +57,16 @@ class Table {
   void ForEach(Fn&& fn) const {
     for (const auto& slot : rows_) {
       if (!slot.live) continue;
+      if (!fn(*slot.tuple)) return;
+    }
+  }
+
+  // As ForEach, but hands out the shared row handle so callers (the join
+  // loops) can retain the tuple without copying it.
+  template <typename Fn>
+  void ForEachRef(Fn&& fn) const {
+    for (const auto& slot : rows_) {
+      if (!slot.live) continue;
       if (!fn(slot.tuple)) return;
     }
   }
@@ -54,12 +75,20 @@ class Table {
   // `sig`'s columns equal `key` (aligned with `sig`, which must be sorted
   // and non-empty); `fn` returns false to stop early. The first probe of a
   // signature builds a hash index over it; the index is maintained
-  // incrementally by Insert/Erase thereafter. Callers should still verify
-  // candidates (digest collisions are theoretically possible), which full
-  // unification does anyway.
+  // incrementally by Insert/Erase thereafter. Buckets key on a 64-bit
+  // content hash, so callers must verify candidates (which full
+  // unification does anyway).
   template <typename Fn>
   void ForEachMatch(const IndexSignature& sig, const std::vector<Value>& key,
                     Fn&& fn) const {
+    ForEachMatchRef(sig, key,
+                    [&](const TupleRef& t) { return fn(*t); });
+  }
+
+  // As ForEachMatch, handing out the shared row handle.
+  template <typename Fn>
+  void ForEachMatchRef(const IndexSignature& sig,
+                       const std::vector<Value>& key, Fn&& fn) const {
     const std::vector<size_t>* bucket = ProbeBucket(sig, key);
     if (bucket == nullptr) return;
     for (size_t row : *bucket) {
@@ -76,35 +105,62 @@ class Table {
   size_t num_indexes() const { return indexes_.size(); }
 
   void Serialize(ByteWriter& w) const;
+  // O(1): name + count framing plus the incrementally maintained sum of
+  // live tuples' (memoized) serialized sizes.
   size_t SerializedSize() const;
 
  private:
   struct Slot {
-    Tuple tuple;
+    TupleRef tuple;
     bool live;
   };
-  // Key digest -> indexes into rows_ (live and dead: slots are never
+  // Key hash -> indexes into rows_ (live and dead: slots are never
   // physically removed, so buckets stay valid across Erase/re-Insert).
   struct HashIndex {
-    std::unordered_map<Sha1Digest, std::vector<size_t>, Sha1DigestHash>
-        buckets;
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
   };
 
-  // Digest of the tuple's values at `sig`'s columns (out-of-range columns
-  // are skipped; unification re-checks arity anyway).
-  static Sha1Digest KeyDigestOf(const IndexSignature& sig, const Tuple& t);
-  static Sha1Digest KeyDigestOf(const std::vector<Value>& key);
+  // FNV-1a over the tuple's values at `sig`'s columns (out-of-range
+  // columns are skipped; unification re-checks arity anyway).
+  static uint64_t KeyHashOf(const IndexSignature& sig, const Tuple& t);
+  static uint64_t KeyHashOf(const std::vector<Value>& key);
 
   // Returns the bucket for `key` in the (lazily built) index over `sig`;
   // nullptr when no tuple matches.
   const std::vector<size_t>* ProbeBucket(const IndexSignature& sig,
                                          const std::vector<Value>& key) const;
 
+  // Shared insert body; `make_ref` is invoked only when the tuple is new.
+  template <typename MakeRef>
+  bool InsertImpl(const Tuple& t, MakeRef&& make_ref) {
+    const Sha1Digest& vid = t.Vid();
+    auto it = index_.find(vid);
+    if (it != index_.end()) {
+      Slot& slot = rows_[it->second];
+      if (slot.live) return false;
+      slot.live = true;
+      ++live_count_;
+      live_bytes_ += slot.tuple->SerializedSize();
+      return true;
+    }
+    TupleRef ref = make_ref();
+    index_.emplace(vid, rows_.size());
+    for (auto& [sig, hash_index] : indexes_) {
+      hash_index.buckets[KeyHashOf(sig, *ref)].push_back(rows_.size());
+    }
+    live_bytes_ += ref->SerializedSize();
+    rows_.push_back(Slot{std::move(ref), true});
+    ++live_count_;
+    return true;
+  }
+
   std::string name_;
   std::vector<Slot> rows_;
   // Tuple digest -> index into rows_.
   std::unordered_map<Sha1Digest, size_t, Sha1DigestHash> index_;
   size_t live_count_ = 0;
+  // Sum of live tuples' serialized sizes, maintained by Insert/Erase.
+  size_t live_bytes_ = 0;
   // Signature -> hash index, built on first probe (mutable: probing is
   // logically const). std::map keeps diagnostics deterministic.
   mutable std::map<IndexSignature, HashIndex> indexes_;
@@ -121,6 +177,9 @@ class Database {
   Table* Find(const std::string& relation);
 
   bool Insert(const Tuple& t) { return GetOrCreate(t.relation()).Insert(t); }
+  bool Insert(TupleRef t) {
+    return GetOrCreate(t->relation()).Insert(std::move(t));
+  }
   bool Erase(const Tuple& t);
   bool Contains(const Tuple& t) const;
 

@@ -1,6 +1,7 @@
 #include "src/db/tuple.h"
 
 #include "src/util/logging.h"
+#include "src/util/perf.h"
 
 namespace dpc {
 
@@ -18,13 +19,35 @@ NodeId Tuple::Location() const {
   return static_cast<NodeId>(values_[0].AsInt());
 }
 
-Sha1Digest Tuple::Vid() const {
+const Sha1Digest& Tuple::Vid() const {
+  if ((id_.flags & kHasVid) != 0) {
+    ++identity_counters().vid_cache_hits;
+    return id_.vid;
+  }
+  ++identity_counters().vid_cache_misses;
   ByteWriter w;
+  w.Reserve(SerializedSize());
   Serialize(w);
-  return Sha1::Hash(w.bytes().data(), w.size());
+  id_.vid = Sha1::Hash(w.bytes().data(), w.size());
+  id_.flags |= kHasVid;
+  return id_.vid;
+}
+
+uint64_t Tuple::Hash64() const {
+  if ((id_.flags & kHasHash) != 0) return id_.hash64;
+  Fnv1a h;
+  h.PutString(relation_);
+  h.PutVarint(values_.size());
+  for (const auto& v : values_) v.HashInto(h);
+  id_.hash64 = h.hash();
+  id_.flags |= kHasHash;
+  return id_.hash64;
 }
 
 void Tuple::Serialize(ByteWriter& w) const {
+  size_t size = SerializedSize();
+  w.Reserve(size);
+  identity_counters().tuple_bytes_serialized += size;
   w.PutString(relation_);
   w.PutVarint(values_.size());
   for (const auto& v : values_) v.Serialize(w);
@@ -43,9 +66,12 @@ Result<Tuple> Tuple::Deserialize(ByteReader& r) {
 }
 
 size_t Tuple::SerializedSize() const {
-  ByteWriter w;
-  Serialize(w);
-  return w.size();
+  if ((id_.flags & kHasSize) != 0) return id_.size;
+  size_t size = StringSerializedSize(relation_) + VarintSize(values_.size());
+  for (const auto& v : values_) size += v.SerializedSize();
+  id_.size = size;
+  id_.flags |= kHasSize;
+  return size;
 }
 
 std::string Tuple::ToString() const {

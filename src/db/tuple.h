@@ -1,14 +1,25 @@
 // Tuple: an instance of an NDlog relation. By NDlog convention the first
 // attribute carries the location specifier ("@" attribute): the node id at
 // which the tuple lives.
+//
+// Tuples are immutable after construction (relation and values are only
+// reachable as const), which lets every identity — the SHA-1 VID, the
+// serialized size, and the 64-bit container hash — be computed lazily once
+// and memoized with no invalidation. The caches are copied along with the
+// tuple, so a tuple that flows through tables, stores and recorders pays
+// for each identity at most once per allocation; share a TupleRef to pay
+// at most once per *content*. Single-threaded by design, like the rest of
+// the simulator.
 #ifndef DPC_DB_TUPLE_H_
 #define DPC_DB_TUPLE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/db/value.h"
+#include "src/util/hash.h"
 #include "src/util/result.h"
 #include "src/util/sha1.h"
 #include "src/util/serial.h"
@@ -38,28 +49,73 @@ class Tuple {
   // id for any tuple that participates in distributed execution.
   NodeId Location() const;
 
-  bool operator==(const Tuple& other) const = default;
-  auto operator<=>(const Tuple& other) const = default;
+  // Content equality/ordering over (relation, values); the memoized
+  // identity caches never participate. The cached 64-bit hashes fast-path
+  // inequality when both sides are warm.
+  bool operator==(const Tuple& other) const {
+    if ((id_.flags & other.id_.flags & kHasHash) != 0 &&
+        id_.hash64 != other.id_.hash64) {
+      return false;
+    }
+    return relation_ == other.relation_ && values_ == other.values_;
+  }
+  auto operator<=>(const Tuple& other) const {
+    if (auto c = relation_ <=> other.relation_; c != 0) return c;
+    return values_ <=> other.values_;
+  }
 
   // VID in the paper's storage model: sha1 over the canonical encoding.
-  Sha1Digest Vid() const;
+  // Memoized: SHA-1 runs once per tuple object, ever.
+  const Sha1Digest& Vid() const;
+
+  // Cheap non-cryptographic 64-bit hash (FNV-1a over the canonical
+  // encoding) for unordered containers and join-index buckets; memoized.
+  // Never serialized — in-memory identity only.
+  uint64_t Hash64() const;
 
   void Serialize(ByteWriter& w) const;
   static Result<Tuple> Deserialize(ByteReader& r);
+  // Arithmetic (no buffer materialized) and memoized; always equals the
+  // byte count Serialize appends.
   size_t SerializedSize() const;
 
   // e.g. packet(@1, 1, 3, "data")
   std::string ToString() const;
 
  private:
+  static constexpr uint8_t kHasVid = 1;
+  static constexpr uint8_t kHasSize = 2;
+  static constexpr uint8_t kHasHash = 4;
+
+  // Lazily filled identity memo. Mutable because identity computation is
+  // logically const; safe because tuples are immutable after construction.
+  struct Identity {
+    Sha1Digest vid{};
+    size_t size = 0;
+    uint64_t hash64 = 0;
+    uint8_t flags = 0;
+  };
+
   std::string relation_;
   std::vector<Value> values_;
+  mutable Identity id_;
 };
 
+// Shared-immutable tuple handle. The provenance hot path threads one
+// allocation through Table rows, rule firings, recorder stores and message
+// construction, so a tuple delivered to N consumers is serialized and
+// hashed once, not N times.
+using TupleRef = std::shared_ptr<const Tuple>;
+
+inline TupleRef MakeTupleRef(Tuple t) {
+  return std::make_shared<const Tuple>(std::move(t));
+}
+
 // Hash functor over the canonical encoding, for unordered containers.
+// FNV-1a based: probing a container never runs SHA-1.
 struct TupleHash {
   size_t operator()(const Tuple& t) const {
-    return static_cast<size_t>(t.Vid().Prefix64());
+    return static_cast<size_t>(t.Hash64());
   }
 };
 

@@ -32,9 +32,17 @@ Result<Value> Value::Deserialize(ByteReader& r) {
 }
 
 size_t Value::SerializedSize() const {
-  ByteWriter w;
-  Serialize(w);
-  return w.size();
+  if (is_int()) return 1 + VarintSignedSize(AsInt());
+  return 1 + StringSerializedSize(AsString());
+}
+
+void Value::HashInto(Fnv1a& h) const {
+  h.PutByte(static_cast<uint8_t>(kind()));
+  if (is_int()) {
+    h.PutVarintSigned(AsInt());
+  } else {
+    h.PutString(AsString());
+  }
 }
 
 std::string Value::ToString() const {

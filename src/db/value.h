@@ -8,6 +8,7 @@
 #include <string>
 #include <variant>
 
+#include "src/util/hash.h"
 #include "src/util/result.h"
 #include "src/util/serial.h"
 
@@ -46,7 +47,15 @@ class Value {
   // for storage-size accounting.
   void Serialize(ByteWriter& w) const;
   static Result<Value> Deserialize(ByteReader& r);
+  // Computed arithmetically (kind byte + varint/payload widths); always
+  // equal to the number of bytes Serialize appends, without materializing
+  // a buffer.
   size_t SerializedSize() const;
+
+  // Folds the canonical encoding into `h`, byte-for-byte what Serialize
+  // would write — so container hashes agree with hashes of the serialized
+  // form without allocating.
+  void HashInto(Fnv1a& h) const;
 
   // Display form: integers verbatim, strings double-quoted.
   std::string ToString() const;

@@ -150,7 +150,7 @@ Status JoinConditions(const Rule& rule,
                       const std::vector<const Atom*>& conditions, size_t idx,
                       const Database& db, const FunctionRegistry& fns,
                       Bindings& env, std::vector<std::string>& trail,
-                      std::vector<Tuple>& joined,
+                      std::vector<TupleRef>& joined,
                       std::vector<RuleFiring>& out) {
   if (idx == conditions.size()) {
     // Assignments run in body order; each may introduce a new binding.
@@ -183,9 +183,9 @@ Status JoinConditions(const Rule& rule,
   if (table == nullptr) return Status::OK();
 
   Status st;
-  table->ForEach([&](const Tuple& candidate) {
+  table->ForEachRef([&](const TupleRef& candidate) {
     size_t mark = trail.size();
-    if (MatchAtom(atom, candidate, env, trail)) {
+    if (MatchAtom(atom, *candidate, env, trail)) {
       joined.push_back(candidate);
       st = JoinConditions(rule, conditions, idx + 1, db, fns, env, trail,
                           joined, out);
@@ -212,7 +212,7 @@ Result<std::vector<RuleFiring>> FireRule(const Rule& rule, const Tuple& event,
     return out;  // The event does not instantiate this rule's trigger.
   }
   std::vector<const Atom*> conditions = rule.ConditionAtoms();
-  std::vector<Tuple> joined;
+  std::vector<TupleRef> joined;
   std::vector<std::string> trail;
   DPC_RETURN_NOT_OK(
       JoinConditions(rule, conditions, 0, db, fns, env, trail, joined, out));

@@ -48,11 +48,14 @@ void UndoTrail(Bindings& env, std::vector<std::string>& trail, size_t mark);
 // unbound.
 Result<Tuple> InstantiateAtom(const Atom& atom, const Bindings& env);
 
-// One derivation produced by a rule firing.
+// One derivation produced by a rule firing. The joined condition tuples
+// are shared handles onto the database's own rows, so a firing costs no
+// tuple copies and downstream consumers (recorders) see the rows' memoized
+// identities.
 struct RuleFiring {
   Tuple head;
   // The slow-changing condition tuples that joined, in body-atom order.
-  std::vector<Tuple> slow_tuples;
+  std::vector<TupleRef> slow_tuples;
 };
 
 // Fires `rule` with `event` as the instance of the rule's event atom,

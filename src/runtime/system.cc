@@ -35,13 +35,16 @@ Status System::InsertSlowTuple(const Tuple& t) {
     return Status::OutOfRange("tuple located at unknown node " +
                               std::to_string(node));
   }
-  if (!dbs_[node].Insert(t)) {
+  // One shared allocation serves the database row and the recorder's
+  // materialization; both see the same memoized VID.
+  TupleRef ref = MakeTupleRef(t);
+  if (!dbs_[node].Insert(ref)) {
     return Status::OK();  // already present: no state change, no broadcast
   }
   if (replay_log_ != nullptr) {
     replay_log_->RecordSlowInsert(queue_->now(), t);
   }
-  if (recorder_ != nullptr && recorder_->OnSlowInsert(node, t)) {
+  if (recorder_ != nullptr && recorder_->OnSlowInsert(node, ref)) {
     // §5.5: broadcast a sig so every node resets its equivalence cache.
     // The inserting node resets synchronously — there must be no window
     // where its own cache is stale — and the broadcast covers the rest
@@ -104,77 +107,82 @@ Status System::ScheduleInject(const Tuple& event, SimTime when) {
   if (replay_log_ != nullptr) {
     replay_log_->RecordInject(when, event);
   }
-  queue_->ScheduleAt(when, [this, event, node]() {
+  queue_->ScheduleAt(when, [this, ev = MakeTupleRef(event), node]() {
     ++stats_.events_injected;
     ProvMeta meta;
-    if (recorder_ != nullptr) meta = recorder_->OnInject(node, event);
-    ProcessEvent(node, event, meta);
+    if (recorder_ != nullptr) meta = recorder_->OnInject(node, ev);
+    ProcessEvent(node, ev, meta);
   });
   return Status::OK();
 }
 
-void System::ProcessEvent(NodeId node, const Tuple& tuple,
+void System::ProcessEvent(NodeId node, const TupleRef& tuple,
                           const ProvMeta& meta) {
-  std::vector<const Rule*> rules = program_->RulesTriggeredBy(tuple.relation());
+  std::vector<const Rule*> rules =
+      program_->RulesTriggeredBy(tuple->relation());
   for (const Rule* rule : rules) {
     // RulesTriggeredBy returns pointers into program_->rules(), so the
     // offset recovers the rule's statically compiled plan.
     size_t rule_index = static_cast<size_t>(rule - program_->rules().data());
     Result<std::vector<RuleFiring>> firings =
-        FireRulePlanned(*rule, plan_.rules[rule_index], tuple, dbs_[node],
+        FireRulePlanned(*rule, plan_.rules[rule_index], *tuple, dbs_[node],
                         functions_);
     if (!firings.ok()) {
       DPC_LOG(Error) << "rule " << rule->id
                      << " failed: " << firings.status().ToString();
       continue;
     }
-    for (const RuleFiring& f : *firings) {
+    for (RuleFiring& f : *firings) {
       ++stats_.rule_firings;
+      // One allocation carries the head through the recorder, the local
+      // database / output record, and message construction.
+      TupleRef head = MakeTupleRef(std::move(f.head));
       ProvMeta head_meta = meta;
       if (recorder_ != nullptr) {
         head_meta = recorder_->OnRuleFired(node, *rule, tuple, meta,
-                                           f.slow_tuples, f.head);
+                                           f.slow_tuples, head);
       }
-      NodeId head_loc = f.head.Location();
+      NodeId head_loc = head->Location();
       bool head_is_event =
-          !program_->RulesTriggeredBy(f.head.relation()).empty();
+          !program_->RulesTriggeredBy(head->relation()).empty();
       if (head_is_event) {
         // The pipeline continues: ship (or locally deliver) the new event.
-        SendEvent(node, f.head, head_meta);
+        SendEvent(node, head, head_meta);
       } else if (head_loc == node) {
-        EmitOutput(node, f.head, head_meta);
+        EmitOutput(node, head, head_meta);
       } else {
         // Terminal output materialized remotely (e.g. DNS r4's reply).
-        SendEvent(node, f.head, head_meta);
+        SendEvent(node, head, head_meta);
       }
     }
   }
 }
 
-void System::EmitOutput(NodeId node, const Tuple& tuple,
+void System::EmitOutput(NodeId node, const TupleRef& tuple,
                         const ProvMeta& meta) {
   ++stats_.outputs;
   dbs_[node].Insert(tuple);
   if (recorder_ != nullptr) recorder_->OnOutput(node, tuple, meta);
-  outputs_[node].push_back(OutputRecord{tuple, meta, queue_->now()});
+  outputs_[node].push_back(OutputRecord{*tuple, meta, queue_->now()});
   if (output_callback_) output_callback_(node, outputs_[node].back());
 }
 
 std::vector<uint8_t> System::EncodeEventPayload(const Tuple& tuple,
                                                 const ProvMeta& meta) const {
   ByteWriter w;
+  w.Reserve(tuple.SerializedSize());
   tuple.Serialize(w);
   if (recorder_ != nullptr) recorder_->SerializeMeta(meta, w);
   return w.Take();
 }
 
-void System::SendEvent(NodeId from, const Tuple& tuple,
+void System::SendEvent(NodeId from, const TupleRef& tuple,
                        const ProvMeta& meta) {
   Message msg;
   msg.kind = MessageKind::kEvent;
   msg.src = from;
-  msg.dst = tuple.Location();
-  msg.payload = EncodeEventPayload(tuple, meta);
+  msg.dst = tuple->Location();
+  msg.payload = EncodeEventPayload(*tuple, meta);
   channel_->Send(std::move(msg));
 }
 
@@ -202,10 +210,15 @@ void System::HandleMessage(const Message& msg) {
         meta = std::move(m).value();
       }
       NodeId node = msg.dst;
-      if (!program_->RulesTriggeredBy(tuple->relation()).empty()) {
-        ProcessEvent(node, *tuple, meta);
+      // Intern (when enabled) so repeated identical deliveries share one
+      // allocation and its memoized identities.
+      TupleRef ev = interning_enabled_
+                        ? interner_.Intern(std::move(tuple).value())
+                        : MakeTupleRef(std::move(tuple).value());
+      if (!program_->RulesTriggeredBy(ev->relation()).empty()) {
+        ProcessEvent(node, ev, meta);
       } else {
-        EmitOutput(node, *tuple, meta);
+        EmitOutput(node, ev, meta);
       }
       return;
     }

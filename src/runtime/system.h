@@ -13,6 +13,7 @@
 
 #include "src/analysis/planner.h"
 #include "src/core/recorder.h"
+#include "src/db/intern.h"
 #include "src/db/table.h"
 #include "src/ndlog/eval.h"
 #include "src/ndlog/program.h"
@@ -86,6 +87,13 @@ class System {
   // the System.
   void SetReplayLog(ReplayLog* log) { replay_log_ = log; }
 
+  // When enabled, tuples deserialized from incoming messages are interned:
+  // repeated identical deliveries share one allocation (and its memoized
+  // identities) instead of re-hashing per arrival. Off by default — unique
+  // per-event workloads gain nothing from pooling.
+  void EnableInterning(bool enabled) { interning_enabled_ = enabled; }
+  const TupleInterner& interner() const { return interner_; }
+
   const SystemStats& stats() const { return stats_; }
   const Program& program() const { return *program_; }
   // The statically compiled evaluation plan (one RulePlan per program
@@ -98,9 +106,9 @@ class System {
 
  private:
   void HandleMessage(const Message& msg);
-  void ProcessEvent(NodeId node, const Tuple& tuple, const ProvMeta& meta);
-  void EmitOutput(NodeId node, const Tuple& tuple, const ProvMeta& meta);
-  void SendEvent(NodeId from, const Tuple& tuple, const ProvMeta& meta);
+  void ProcessEvent(NodeId node, const TupleRef& tuple, const ProvMeta& meta);
+  void EmitOutput(NodeId node, const TupleRef& tuple, const ProvMeta& meta);
+  void SendEvent(NodeId from, const TupleRef& tuple, const ProvMeta& meta);
   std::vector<uint8_t> EncodeEventPayload(const Tuple& tuple,
                                           const ProvMeta& meta) const;
 
@@ -113,6 +121,8 @@ class System {
   ProvenanceRecorder* recorder_;
 
   ReplayLog* replay_log_ = nullptr;
+  bool interning_enabled_ = false;
+  TupleInterner interner_;
   std::vector<Database> dbs_;
   std::vector<std::vector<OutputRecord>> outputs_;
   std::function<void(NodeId, const OutputRecord&)> output_callback_;

@@ -1,0 +1,69 @@
+// FNV-1a: the cheap non-cryptographic 64-bit hash used for in-memory
+// container keys (TupleHash, Table's join-index buckets). It folds the same
+// canonical byte encoding that ByteWriter produces, but streams the bytes
+// through the accumulator instead of materializing a buffer — so hashing a
+// tuple for an unordered-container probe never allocates and never touches
+// SHA-1. SHA-1 remains the identity for everything serialized (VIDs, RIDs):
+// FNV hashes are in-memory only and must never enter the byte accounting.
+#ifndef DPC_UTIL_HASH_H_
+#define DPC_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dpc {
+
+// Streaming FNV-1a accumulator whose Put* methods mirror ByteWriter's
+// encodings (LEB128 varints, zigzag, length-prefixed strings). Feeding a
+// value through Fnv1a produces the same hash as Fnv1a::HashBytes over the
+// bytes ByteWriter would have written — a property the differential tests
+// assert.
+class Fnv1a {
+ public:
+  static constexpr uint64_t kOffset = 0xcbf29ce484222325ull;
+  static constexpr uint64_t kPrime = 0x100000001b3ull;
+
+  void PutByte(uint8_t b) { h_ = (h_ ^ b) * kPrime; }
+
+  void PutBytes(const void* data, size_t len) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    for (size_t i = 0; i < len; ++i) PutByte(p[i]);
+  }
+
+  // Unsigned LEB128 varint, byte-for-byte as ByteWriter::PutVarint.
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      PutByte(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    PutByte(static_cast<uint8_t>(v));
+  }
+
+  // Zigzag-encoded signed varint, as ByteWriter::PutVarintSigned.
+  void PutVarintSigned(int64_t v) {
+    PutVarint((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+  }
+
+  // Length-prefixed byte string, as ByteWriter::PutString.
+  void PutString(std::string_view sv) {
+    PutVarint(sv.size());
+    PutBytes(sv.data(), sv.size());
+  }
+
+  uint64_t hash() const { return h_; }
+
+  // One-shot fold over a raw buffer.
+  static uint64_t HashBytes(const void* data, size_t len) {
+    Fnv1a f;
+    f.PutBytes(data, len);
+    return f.hash();
+  }
+
+ private:
+  uint64_t h_ = kOffset;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_UTIL_HASH_H_

@@ -1,0 +1,10 @@
+#include "src/util/perf.h"
+
+namespace dpc {
+
+IdentityCounters& identity_counters() {
+  static IdentityCounters counters;
+  return counters;
+}
+
+}  // namespace dpc

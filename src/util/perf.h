@@ -1,0 +1,42 @@
+// Lightweight process-wide counters for the tuple-identity hot path:
+// SHA-1 digest computations, tuple bytes serialized, identity-cache hit
+// rates, and intern-pool hits. The simulator is single-threaded, so plain
+// uint64_t increments are safe; the counters are monotone and meant to be
+// read as deltas (snapshot before a run, subtract after) — see
+// ExperimentResult::identity in src/apps/experiments.h.
+#ifndef DPC_UTIL_PERF_H_
+#define DPC_UTIL_PERF_H_
+
+#include <cstdint>
+
+namespace dpc {
+
+struct IdentityCounters {
+  // SHA-1 Finish() calls, process-wide (VIDs, RIDs, content keys, ...).
+  uint64_t sha1_invocations = 0;
+  // Bytes appended by Tuple::Serialize (wire messages, digests, stores).
+  uint64_t tuple_bytes_serialized = 0;
+  // Tuple::Vid() calls answered from the memoized digest / computed fresh.
+  uint64_t vid_cache_hits = 0;
+  uint64_t vid_cache_misses = 0;
+  // TupleInterner::Intern calls that found an existing pooled tuple.
+  uint64_t tuples_interned = 0;
+
+  IdentityCounters operator-(const IdentityCounters& o) const {
+    IdentityCounters d;
+    d.sha1_invocations = sha1_invocations - o.sha1_invocations;
+    d.tuple_bytes_serialized = tuple_bytes_serialized - o.tuple_bytes_serialized;
+    d.vid_cache_hits = vid_cache_hits - o.vid_cache_hits;
+    d.vid_cache_misses = vid_cache_misses - o.vid_cache_misses;
+    d.tuples_interned = tuples_interned - o.tuples_interned;
+    return d;
+  }
+};
+
+// The process-wide counter instance. Mutable by the hot paths; callers
+// wanting a measurement window snapshot it and subtract.
+IdentityCounters& identity_counters();
+
+}  // namespace dpc
+
+#endif  // DPC_UTIL_PERF_H_

@@ -19,9 +19,34 @@
 
 namespace dpc {
 
+// Arithmetic sizes of the encodings below, so SerializedSize() can be
+// computed without materializing a buffer. These MUST stay in lockstep with
+// the writers: the storage/bandwidth figures charge exactly these bytes.
+constexpr size_t VarintSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+constexpr size_t VarintSignedSize(int64_t v) {
+  return VarintSize((static_cast<uint64_t>(v) << 1) ^
+                    static_cast<uint64_t>(v >> 63));
+}
+
+inline size_t StringSerializedSize(std::string_view sv) {
+  return VarintSize(sv.size()) + sv.size();
+}
+
 class ByteWriter {
  public:
   void PutU8(uint8_t v) { buf_.push_back(v); }
+
+  // Pre-reserves capacity for `additional` more bytes, cutting reallocation
+  // churn when the final size is known (e.g. from a SerializedSize()).
+  void Reserve(size_t additional) { buf_.reserve(buf_.size() + additional); }
 
   void PutU32(uint32_t v) {
     for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));

@@ -29,7 +29,7 @@ std::vector<std::string> Canon(const std::vector<RuleFiring>& firings) {
   out.reserve(firings.size());
   for (const RuleFiring& f : firings) {
     std::string s = f.head.ToString();
-    for (const Tuple& t : f.slow_tuples) s += " | " + t.ToString();
+    for (const TupleRef& t : f.slow_tuples) s += " | " + t->ToString();
     out.push_back(std::move(s));
   }
   std::sort(out.begin(), out.end());

@@ -156,14 +156,19 @@ TEST(PlannerTest, PlannedFiringRestoresBodyOrderSlowTuples) {
   ASSERT_TRUE(planned.ok());
   ASSERT_EQ(planned->size(), 1u);
   ASSERT_EQ(planned->front().slow_tuples.size(), 2u);
-  EXPECT_EQ(planned->front().slow_tuples[0], sa);
-  EXPECT_EQ(planned->front().slow_tuples[1], sb);
+  EXPECT_EQ(*planned->front().slow_tuples[0], sa);
+  EXPECT_EQ(*planned->front().slow_tuples[1], sb);
 
   auto naive = FireRule(rule, event, db, FunctionRegistry{});
   ASSERT_TRUE(naive.ok());
   ASSERT_EQ(naive->size(), 1u);
   EXPECT_EQ(naive->front().head, planned->front().head);
-  EXPECT_EQ(naive->front().slow_tuples, planned->front().slow_tuples);
+  ASSERT_EQ(naive->front().slow_tuples.size(),
+            planned->front().slow_tuples.size());
+  for (size_t i = 0; i < naive->front().slow_tuples.size(); ++i) {
+    EXPECT_EQ(*naive->front().slow_tuples[i],
+              *planned->front().slow_tuples[i]);
+  }
 }
 
 TEST(PlannerTest, CostModelPricesForwarding) {

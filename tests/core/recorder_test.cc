@@ -89,13 +89,14 @@ TEST_F(MetaRoundTripTest, AdvancedCarriesFlagsHashesAndOptionalRef) {
 
 TEST_F(MetaRoundTripTest, ReferenceShipsTheWholeTree) {
   ReferenceRecorder rec(4);
-  ProvMeta meta = rec.OnInject(0, apps::MakePacket(0, 0, 2, "data"));
+  TupleRef packet = MakeTupleRef(apps::MakePacket(0, 0, 2, "data"));
+  ProvMeta meta = rec.OnInject(0, packet);
   size_t size_at_injection = rec.MetaWireSize(meta);
   const Rule& r1 = program_->rules()[0];
   ProvMeta grown =
-      rec.OnRuleFired(0, r1, apps::MakePacket(0, 0, 2, "data"), meta,
-                      {apps::MakeRoute(0, 2, 1)},
-                      apps::MakePacket(1, 0, 2, "data"));
+      rec.OnRuleFired(0, r1, packet, meta,
+                      {MakeTupleRef(apps::MakeRoute(0, 2, 1))},
+                      MakeTupleRef(apps::MakePacket(1, 0, 2, "data")));
   // The inline tree grows with every hop: the §2.3 argument against
   // shipping provenance with tuples.
   EXPECT_GT(rec.MetaWireSize(grown), size_at_injection);
@@ -177,21 +178,22 @@ TEST(RecorderStorageTest, PendingOutputFlushes) {
                        : program->rules()[1];
 
   // First event (maintains) fires r2 but its output is delayed.
-  Tuple ev1 = apps::MakePacket(2, 0, 2, "first");
+  TupleRef ev1 = MakeTupleRef(apps::MakePacket(2, 0, 2, "first"));
   ProvMeta m1 = rec.OnInject(2, ev1);
   ASSERT_TRUE(m1.maintain);
-  m1 = rec.OnRuleFired(2, r2, ev1, m1, {}, apps::MakeRecv(2, 0, 2, "first"));
+  m1 = rec.OnRuleFired(2, r2, ev1, m1, {},
+                       MakeTupleRef(apps::MakeRecv(2, 0, 2, "first")));
 
   // Second event of the same class overtakes: existFlag set, no hmap yet.
-  Tuple ev2 = apps::MakePacket(2, 0, 2, "second");
+  TupleRef ev2 = MakeTupleRef(apps::MakePacket(2, 0, 2, "second"));
   ProvMeta m2 = rec.OnInject(2, ev2);
   ASSERT_TRUE(m2.exist_flag);
-  rec.OnOutput(2, apps::MakeRecv(2, 0, 2, "second"), m2);
+  rec.OnOutput(2, MakeTupleRef(apps::MakeRecv(2, 0, 2, "second")), m2);
   EXPECT_EQ(rec.PendingOutputs(), 1u);
   EXPECT_EQ(rec.ProvAt(2).size(), 0u);
 
   // The first output lands: both prov rows appear, pending drains.
-  rec.OnOutput(2, apps::MakeRecv(2, 0, 2, "first"), m1);
+  rec.OnOutput(2, MakeTupleRef(apps::MakeRecv(2, 0, 2, "first")), m1);
   EXPECT_EQ(rec.PendingOutputs(), 0u);
   EXPECT_EQ(rec.ProvAt(2).size(), 2u);
 }

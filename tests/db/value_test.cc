@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace dpc {
 namespace {
 
@@ -80,6 +82,34 @@ TEST(ValueTest, DeserializeRejectsBadTag) {
 TEST(ValueTest, SerializedSizeIsCompact) {
   EXPECT_LE(Value::Int(5).SerializedSize(), 2u);      // tag + 1 varint byte
   EXPECT_LE(Value::Str("ab").SerializedSize(), 4u);   // tag + len + 2
+}
+
+// SerializedSize is computed arithmetically (no buffer); it must agree with
+// the bytes Serialize actually appends at every varint width boundary.
+TEST(ValueTest, ArithmeticSizeMatchesBufferAtEveryVarintWidth) {
+  std::vector<Value> samples;
+  // Zigzag varint boundaries: the encoded magnitude crosses a 7-bit
+  // group at |2n| (or |2n|-1 for negatives) == 2^(7k).
+  for (int shift = 0; shift <= 62; ++shift) {
+    int64_t v = int64_t{1} << shift;
+    for (int64_t delta : {-1, 0, 1}) {
+      samples.push_back(Value::Int(v + delta));
+      samples.push_back(Value::Int(-(v + delta)));
+    }
+  }
+  samples.push_back(Value::Int(0));
+  samples.push_back(Value::Int(std::numeric_limits<int64_t>::max()));
+  samples.push_back(Value::Int(std::numeric_limits<int64_t>::min()));
+  // String length-prefix boundaries, empty and long strings included.
+  for (size_t len : {0u, 1u, 127u, 128u, 129u, 16383u, 16384u, 20000u}) {
+    samples.push_back(Value::Str(std::string(len, 's')));
+  }
+
+  for (const Value& v : samples) {
+    ByteWriter w;
+    v.Serialize(w);
+    EXPECT_EQ(v.SerializedSize(), w.size()) << v.ToString().substr(0, 64);
+  }
 }
 
 }  // namespace
