@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "src/apps/experiments.h"
+#include "src/net/event_queue.h"
+#include "src/obs/trace.h"
 #include "src/util/hash.h"
 #include "src/util/logging.h"
 #include "src/util/perf.h"
@@ -132,6 +134,45 @@ double BenchSerializeMbps(const std::vector<Tuple>& tuples, size_t reads) {
   return static_cast<double>(bytes) / Seconds(start, end) / 1e6;
 }
 
+// --- event-queue dispatch: tracing off vs on --------------------------------
+
+struct DispatchCase {
+  double off_ns_per_event = 0;
+  double on_ns_per_event = 0;
+  double overhead_pct = 0;  // of the traced path over the disabled path
+};
+
+// Drains `events` trivial callbacks through a fresh EventQueue and reports
+// ns/dispatch. The disabled-tracing path must stay one predicted branch:
+// the snapshot in BENCH_hotpath.json is the regression gate.
+double DispatchNsPerEvent(size_t events) {
+  EventQueue q;
+  uint64_t sink = 0;
+  for (size_t i = 0; i < events; ++i) {
+    q.ScheduleAt(static_cast<double>(i) * 1e-6, [&sink]() { ++sink; });
+  }
+  auto start = std::chrono::steady_clock::now();
+  q.RunAll();
+  auto end = std::chrono::steady_clock::now();
+  DPC_CHECK(sink == events);
+  return Seconds(start, end) * 1e9 / static_cast<double>(events);
+}
+
+DispatchCase BenchQueueDispatch(size_t events) {
+  DispatchCase res;
+  DPC_CHECK(!Trace().enabled());
+  res.off_ns_per_event = DispatchNsPerEvent(events);
+  // Dispatch spans carry their own timestamps, so a constant clock is
+  // fine here; sized to hold every event so drops don't skew the timing.
+  Trace().Enable([]() { return 0.0; }, events + 16);
+  res.on_ns_per_event = DispatchNsPerEvent(events);
+  Trace().Disable();
+  Trace().Clear();
+  res.overhead_pct =
+      (res.on_ns_per_event / res.off_ns_per_event - 1.0) * 100.0;
+  return res;
+}
+
 // --- end-to-end: fig09-style forwarding run ---------------------------------
 
 struct EndToEndCase {
@@ -179,6 +220,8 @@ int Main() {
   IdentityCase identity = BenchRepeatedIdentity(tuples, 2000);
   IdentityCase hash = BenchRepeatedHash(tuples, 2000);
   double mbps = BenchSerializeMbps(tuples, 2000);
+  DispatchCase dispatch =
+      BenchQueueDispatch(apps::EnvSize("DPC_DISPATCH_EVENTS", 200000));
 
   size_t pairs = apps::EnvSize("DPC_PAIRS", 20);
   double rate = apps::EnvDouble("DPC_RATE", 10);
@@ -195,6 +238,10 @@ int Main() {
               hash.uncached_ns_per_read, hash.cached_ns_per_read,
               hash.speedup);
   std::printf("  \"serialize_mb_per_s\": %.0f,\n", mbps);
+  std::printf("  \"queue_dispatch\": {\"tracing_off_ns_per_event\": %.1f, "
+              "\"tracing_on_ns_per_event\": %.1f, \"overhead_pct\": %.1f},\n",
+              dispatch.off_ns_per_event, dispatch.on_ns_per_event,
+              dispatch.overhead_pct);
   std::printf("  \"fig09\": {\"pairs\": %zu, \"rate_pps\": %.0f, "
               "\"duration_s\": %.0f, \"schemes\": [\n",
               pairs, rate, duration);

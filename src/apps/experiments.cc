@@ -8,14 +8,38 @@
 namespace dpc::apps {
 
 size_t ExperimentResult::TotalStorageAt(size_t i) const {
+  if (i >= per_node_storage.size()) {
+    DPC_LOG(Warning) << "storage snapshot " << i << " requested but only "
+                     << per_node_storage.size() << " were taken";
+    return 0;
+  }
   size_t total = 0;
   for (size_t v : per_node_storage[i]) total += v;
   return total;
 }
 
+// Growth rates need at least two snapshots spanning positive simulated
+// time. A run too short (or too mis-configured) to produce them reports
+// zero growth with a warning — `size() - 1` on an empty snapshot vector
+// must never underflow into an out-of-range index.
+bool ExperimentResult::HasGrowthWindow() const {
+  if (snapshot_times.size() < 2 ||
+      per_node_storage.size() < snapshot_times.size()) {
+    DPC_LOG(Warning) << "growth rate requested with "
+                     << snapshot_times.size() << " snapshot(s); returning 0";
+    return false;
+  }
+  if (snapshot_times.back() <= snapshot_times.front()) {
+    DPC_LOG(Warning) << "growth rate requested over an empty time window; "
+                        "returning 0";
+    return false;
+  }
+  return true;
+}
+
 std::vector<double> ExperimentResult::PerNodeGrowthBps() const {
   std::vector<double> out;
-  if (snapshot_times.size() < 2) return out;
+  if (!HasGrowthWindow()) return out;
   size_t nodes = per_node_storage.front().size();
   double span = snapshot_times.back() - snapshot_times.front();
   for (size_t n = 0; n < nodes; ++n) {
@@ -28,7 +52,7 @@ std::vector<double> ExperimentResult::PerNodeGrowthBps() const {
 }
 
 double ExperimentResult::TotalGrowthBytesPerSec() const {
-  if (snapshot_times.size() < 2) return 0;
+  if (!HasGrowthWindow()) return 0;
   double span = snapshot_times.back() - snapshot_times.front();
   return (static_cast<double>(TotalStorageAt(snapshot_times.size() - 1)) -
           static_cast<double>(TotalStorageAt(0))) /
@@ -45,6 +69,8 @@ ExperimentResult RunExperiment(
   options.loss_seed = config.loss_seed;
   options.reliable_transport = config.reliable_transport;
   options.transport = config.transport;
+  options.trace_path = config.trace_path;
+  options.metrics = config.metrics;
   auto bed_result =
       Testbed::Create(std::move(program), topology, scheme, options);
   DPC_CHECK(bed_result.ok()) << bed_result.status().ToString();
@@ -54,10 +80,14 @@ ExperimentResult RunExperiment(
 
   DPC_CHECK(install(bed->system()).ok());
   // Drain setup traffic (e.g. §5.5 broadcasts) and zero the accounting so
-  // the measurement window only sees workload traffic.
+  // the measurement window only sees workload traffic. The transport's
+  // counters reset symmetrically with the network's: retransmit/dup
+  // counts must describe the same window as the byte counts.
   bed->system().Run();
   bed->network().ResetAccounting();
+  if (bed->transport() != nullptr) bed->transport()->ResetStats();
   IdentityCounters identity_before = identity_counters();
+  MetricsSnapshot metrics_before = GlobalMetrics().Snapshot();
 
   for (const WorkloadItem& item : workload) {
     Status st = bed->system().ScheduleInject(item.event, item.time_s);
@@ -104,6 +134,15 @@ ExperimentResult RunExperiment(
     result.transport_stats = bed->transport()->stats();
   }
   result.identity = identity_counters() - identity_before;
+  if (config.metrics) {
+    result.metrics = GlobalMetrics().Snapshot().Delta(metrics_before);
+  }
+  if (!config.trace_path.empty()) {
+    Status st = bed->FlushTrace();
+    if (!st.ok()) {
+      DPC_LOG(Error) << "trace export failed: " << st.ToString();
+    }
+  }
   return result;
 }
 

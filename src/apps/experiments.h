@@ -14,6 +14,7 @@
 #include "src/apps/dns.h"
 #include "src/apps/forwarding.h"
 #include "src/apps/testbed.h"
+#include "src/obs/metrics.h"
 #include "src/util/perf.h"
 #include "src/util/stats.h"
 
@@ -40,6 +41,11 @@ struct ExperimentConfig {
   // the loss-free outputs despite the injected loss.
   bool reliable_transport = false;
   TransportOptions transport;
+  // When non-empty, trace the run and write Chrome-trace JSON here
+  // (TestbedOptions::trace_path).
+  std::string trace_path;
+  // Capture the run's metrics delta into ExperimentResult::metrics.
+  bool metrics = true;
 };
 
 struct ExperimentResult {
@@ -61,13 +67,23 @@ struct ExperimentResult {
   // over the measurement window: this run's delta of the process-wide
   // counters, taken after setup traffic drains.
   IdentityCounters identity;
+  // Observability counters/histograms over the same window (delta of the
+  // process-wide MetricsRegistry; empty when ExperimentConfig::metrics is
+  // false). Render with metrics.ToText() or metrics.ToJson().
+  MetricsSnapshot metrics;
 
-  // Total storage across nodes at snapshot i.
+  // Total storage across nodes at snapshot i (0 with a warning when
+  // fewer snapshots were taken).
   size_t TotalStorageAt(size_t i) const;
   // Per-node average storage growth rate in bits per simulated second.
   std::vector<double> PerNodeGrowthBps() const;
-  // Aggregate growth rate in bytes per simulated second.
+  // Aggregate growth rate in bytes per simulated second. Both growth
+  // accessors report 0 (with a warning) when the run produced fewer than
+  // two snapshots.
   double TotalGrowthBytesPerSec() const;
+
+ private:
+  bool HasGrowthWindow() const;
 };
 
 // Runs `scheme` over `topology` with pre-installed slow state and the given

@@ -88,7 +88,45 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(Program program,
   bed->system_ = std::make_unique<System>(&bed->program_, topology, channel,
                                           &bed->queue_, DefaultFunctions(),
                                           bed->recorder_.get());
+
+  if (!bed->options_.trace_path.empty() || bed->options_.trace) {
+    if (Trace().enabled()) {
+      DPC_LOG(Warning) << "tracer already enabled by another deployment; "
+                          "rebinding it to this testbed's clock";
+    }
+    // The clock dereferences bed->queue_, so the destructor must disable
+    // the tracer before the queue dies (see ~Testbed).
+    EventQueue* q = &bed->queue_;
+    Trace().Enable([q]() { return q->now(); },
+                   bed->options_.trace_max_events);
+    bed->tracing_ = true;
+  }
+  if (bed->options_.metrics) {
+    bed->metrics_baseline_ = GlobalMetrics().Snapshot();
+  }
   return bed;
+}
+
+Testbed::~Testbed() {
+  if (!tracing_) return;
+  if (!trace_flushed_) {
+    Status st = FlushTrace();
+    if (!st.ok()) {
+      DPC_LOG(Error) << "trace flush failed: " << st.ToString();
+    }
+  }
+  Trace().Disable();  // the clock closes over queue_, which dies next
+}
+
+Status Testbed::FlushTrace() {
+  if (!tracing_ || options_.trace_path.empty()) return Status::OK();
+  trace_flushed_ = true;
+  return Trace().WriteChromeJson(options_.trace_path);
+}
+
+MetricsSnapshot Testbed::MetricsDelta() const {
+  if (!options_.metrics) return MetricsSnapshot{};
+  return GlobalMetrics().Snapshot().Delta(metrics_baseline_);
 }
 
 std::unique_ptr<ProvenanceQuerier> Testbed::MakeQuerier() const {

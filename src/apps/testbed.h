@@ -40,6 +40,20 @@ struct TestbedOptions {
   // to the loss-free outputs even under injected faults.
   bool reliable_transport = false;
   TransportOptions transport;
+
+  // --- observability (src/obs) ---------------------------------------
+  // When non-empty, the process tracer records this deployment (bound to
+  // its event queue's simulated clock) and the Testbed writes the
+  // Chrome-trace JSON here on FlushTrace() / destruction. Only one
+  // deployment can be traced at a time: the tracer is process-wide.
+  std::string trace_path;
+  // Enable tracing without a file (events stay in memory, readable via
+  // dpc::Trace().events() or exported by the caller).
+  bool trace = false;
+  size_t trace_max_events = 2000000;
+  // Capture a metrics baseline at creation so MetricsDelta() isolates
+  // this deployment's activity from earlier runs in the process.
+  bool metrics = true;
 };
 
 // The three schemes the paper's evaluation compares, in its order.
@@ -85,6 +99,19 @@ class Testbed {
     return recorder_->StorageAt(node);
   }
 
+  // True when this testbed enabled the process tracer.
+  bool tracing() const { return tracing_; }
+  // Writes the recorded trace to options.trace_path (no-op Status when
+  // tracing is off or no path was configured). Also called on
+  // destruction, which additionally disables the tracer so its clock
+  // cannot dangle into the destroyed queue.
+  Status FlushTrace();
+  // Metrics recorded since this testbed was created (empty when
+  // options.metrics was false).
+  MetricsSnapshot MetricsDelta() const;
+
+  ~Testbed();
+
  private:
   Testbed(Program program, const Topology* topology, Scheme scheme,
           TestbedOptions options);
@@ -102,6 +129,9 @@ class Testbed {
   BasicRecorder* basic_ = nullptr;
   AdvancedRecorder* advanced_ = nullptr;
   std::unique_ptr<System> system_;
+  bool tracing_ = false;
+  bool trace_flushed_ = false;
+  MetricsSnapshot metrics_baseline_;
 };
 
 }  // namespace dpc::apps

@@ -1,5 +1,6 @@
 #include "src/core/advanced_recorder.h"
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
 namespace dpc {
@@ -33,6 +34,12 @@ ProvMeta AdvancedRecorder::OnInject(NodeId node, const TupleRef& event) {
   bool first_in_class = state.htequi.insert(meta.eqkey).second;
   meta.exist_flag = !first_in_class;
   meta.maintain = first_in_class;
+  // The compression ratio in one pair of counters: shared-class events
+  // skip maintenance entirely.
+  GlobalMetrics()
+      .GetCounter(first_in_class ? "recorder.advanced.new_classes"
+                                 : "recorder.advanced.shared_classes")
+      .IncrementAt(node);
   // The event tuple itself is the per-tree delta (§5.1): always stored.
   state.events.Put(event);
   return meta;
@@ -59,6 +66,9 @@ ProvMeta AdvancedRecorder::OnRuleFired(NodeId node, const Rule& rule,
                                        const TupleRef& /*head*/) {
   if (!meta.maintain) {
     // Stage 2, existFlag = true: execute without recording anything.
+    GlobalMetrics()
+        .GetCounter("recorder.advanced.maintenance_skipped")
+        .IncrementAt(node);
     return meta;
   }
   NodeState& state = nodes_[node];
@@ -70,6 +80,9 @@ ProvMeta AdvancedRecorder::OnRuleFired(NodeId node, const Rule& rule,
   }
   Rid rid = MakeRid(rule.id, slow_vids, state.epoch);
   InsertRuleExecRow(state, node, rid, rule.id, slow_vids, meta.prev);
+  GlobalMetrics()
+      .GetCounter("recorder.advanced.rule_exec_rows")
+      .IncrementAt(node);
 
   ProvMeta out = meta;
   out.prev = NodeRid{node, rid};
@@ -89,15 +102,19 @@ void AdvancedRecorder::OnOutput(NodeId node, const TupleRef& output,
       return;
     }
     state.hmap[meta.eqkey] = meta.prev;
+    Counter& prov_rows =
+        GlobalMetrics().GetCounter("recorder.advanced.prov_rows");
     if (of_interest) {
       state.prov.Insert(
           ProvEntry{node, output->Vid(), meta.prev, meta.evid});
+      prov_rows.IncrementAt(node);
     }
     // Flush outputs of this class that overtook the shared tree.
     auto it = state.pending.find(meta.eqkey);
     if (it != state.pending.end()) {
       for (const PendingOutput& p : it->second) {
         state.prov.Insert(ProvEntry{node, p.vid, meta.prev, p.evid});
+        prov_rows.IncrementAt(node);
       }
       state.pending.erase(it);
     }
@@ -109,10 +126,16 @@ void AdvancedRecorder::OnOutput(NodeId node, const TupleRef& output,
   if (ref != state.hmap.end()) {
     state.prov.Insert(
         ProvEntry{node, output->Vid(), ref->second, meta.evid});
+    GlobalMetrics()
+        .GetCounter("recorder.advanced.prov_rows")
+        .IncrementAt(node);
   } else {
     // The shared tree's own output has not arrived yet: park the row.
     state.pending[meta.eqkey].push_back(
         PendingOutput{output->Vid(), meta.evid});
+    GlobalMetrics()
+        .GetCounter("recorder.advanced.pending_parked")
+        .IncrementAt(node);
   }
 }
 
@@ -126,6 +149,7 @@ void AdvancedRecorder::OnControlSignal(NodeId node) {
   // hmap is retained: existing associations describe past history; the next
   // first-in-class execution overwrites the reference with the new tree.
   // The epoch bump salts post-reset RIDs (see MakeRid).
+  GlobalMetrics().GetCounter("recorder.advanced.cache_resets").IncrementAt(node);
   nodes_[node].htequi.clear();
   ++nodes_[node].epoch;
 }

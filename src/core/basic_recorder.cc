@@ -1,5 +1,6 @@
 #include "src/core/basic_recorder.h"
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
 namespace dpc {
@@ -58,6 +59,7 @@ ProvMeta BasicRecorder::OnRuleFired(NodeId node, const Rule& rule,
 
   state.rule_exec.Insert(
       RuleExecEntry{node, rid, rule.id, column_vids, meta.prev});
+  GlobalMetrics().GetCounter("recorder.basic.rule_exec_rows").IncrementAt(node);
 
   ProvMeta out = meta;
   out.prev = NodeRid{node, rid};
@@ -74,6 +76,7 @@ void BasicRecorder::OnOutput(NodeId node, const TupleRef& output,
   }
   nodes_[node].prov.Insert(
       ProvEntry{node, output->Vid(), meta.prev, Vid{}});
+  GlobalMetrics().GetCounter("recorder.basic.prov_rows").IncrementAt(node);
 }
 
 void BasicRecorder::SerializeMeta(const ProvMeta& meta, ByteWriter& w) const {

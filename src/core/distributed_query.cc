@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 
 namespace dpc {
@@ -37,7 +39,8 @@ struct DistributedQuerier::Impl {
     std::optional<Vid> evid;
     NodeId origin = kNullNode;
     SimTime start = 0;
-    int pending = 0;  // active branch tokens
+    uint64_t qid = 0;  // trace span key / query sequence number
+    int pending = 0;   // active branch tokens
     bool failed = false;
     // The callback fired (result, failure, or deadline); late branch
     // completions must not fire it again.
@@ -66,7 +69,12 @@ DistributedQuerier::DistributedQuerier(const Topology* topology,
       impl_(std::make_unique<Impl>()) {
   DPC_CHECK(topology_ != nullptr);
   DPC_CHECK(queue_ != nullptr);
-  net_.SetDeliveryHandler([this](const Message& msg) { HandleMessage(msg); });
+  net_.SetDeliveryHandler([this](const Message& msg) {
+    Status st = HandleMessage(msg);
+    if (!st.ok()) {
+      DPC_LOG(Warning) << "query frame rejected: " << st.ToString();
+    }
+  });
 }
 
 DistributedQuerier::~DistributedQuerier() = default;
@@ -75,8 +83,12 @@ void DistributedQuerier::EnableReliableTransport(TransportOptions options) {
   DPC_CHECK(!impl_->protocol)
       << "EnableReliableTransport must precede the first query";
   transport_ = std::make_unique<ReliableTransport>(&net_, queue_, options);
-  transport_->SetDeliveryHandler(
-      [this](const Message& msg) { HandleMessage(msg); });
+  transport_->SetDeliveryHandler([this](const Message& msg) {
+    Status st = HandleMessage(msg);
+    if (!st.ok()) {
+      DPC_LOG(Warning) << "query frame rejected: " << st.ToString();
+    }
+  });
   transport_->SetFailureHandler(
       [this](const Message& msg) { HandleDeliveryFailure(msg); });
 }
@@ -122,21 +134,31 @@ std::unique_ptr<DistributedQuerier> DistributedQuerier::ForAdvanced(
   return q;
 }
 
-void DistributedQuerier::HandleMessage(const Message& msg) {
+Status DistributedQuerier::HandleMessage(const Message& msg) {
+  // `msg.payload` is peer bytes: anything undecodable fails the frame
+  // with a Status — never a DPC_CHECK — because a malformed or replayed
+  // message must not take the node down.
   ByteReader r(msg.payload);
   auto id = r.GetU64();
   if (!id.ok()) {
-    DPC_LOG(Error) << "malformed query message";
-    return;
+    GlobalMetrics().GetCounter("query.malformed_messages").IncrementAt(msg.dst);
+    return Status::InvalidArgument("malformed query frame from node " +
+                                   std::to_string(msg.src) + ": " +
+                                   id.status().ToString());
   }
   auto it = continuations_.find(*id);
   if (it == continuations_.end()) {
-    DPC_LOG(Error) << "unknown query continuation " << *id;
-    return;
+    GlobalMetrics()
+        .GetCounter("query.unknown_continuations")
+        .IncrementAt(msg.dst);
+    return Status::NotFound("unknown query continuation " +
+                            std::to_string(*id) + " from node " +
+                            std::to_string(msg.src));
   }
   auto fn = std::move(it->second.fn);
   continuations_.erase(it);
   fn();
+  return Status::OK();
 }
 
 void DistributedQuerier::HandleDeliveryFailure(const Message& msg) {
@@ -175,6 +197,20 @@ struct Protocol {
   void Finish(const CtxPtr& ctx, Result<QueryResult> res) {
     if (ctx->completed) return;
     ctx->completed = true;
+    MetricsRegistry& reg = GlobalMetrics();
+    if (res.ok()) {
+      reg.GetCounter("query.completed").IncrementAt(ctx->origin);
+      reg.GetHistogram("query.latency_s").Observe(res->latency_s);
+      reg.GetHistogram("query.hops").Observe(res->hops);
+    } else {
+      reg.GetCounter("query.failed").IncrementAt(ctx->origin);
+    }
+    if (Trace().enabled()) {
+      Trace().AsyncEnd(ctx->origin, TraceCat::kQuery, "query", ctx->qid,
+                       res.ok() ? "\"outcome\": \"ok\", \"trees\": " +
+                                      std::to_string(res->trees.size())
+                                : std::string("\"outcome\": \"failed\""));
+    }
     ctx->cb(std::move(res));
   }
 
@@ -202,6 +238,12 @@ struct Protocol {
     msg.payload.resize(std::max<size_t>(msg.payload.size(),
                                         carried + cost->request_bytes));
     if (from != to) ctx->hops += topo->Distance(from, to);
+    if (Trace().enabled()) {
+      Trace().Instant(from, TraceCat::kQuery, "hop",
+                      "\"qid\": " + std::to_string(ctx->qid) +
+                          ", \"to\": " + std::to_string(to) +
+                          ", \"bytes\": " + std::to_string(msg.payload.size()));
+    }
     chan->Send(std::move(msg));
   }
 
@@ -229,7 +271,16 @@ struct Protocol {
 
   // Consumes one branch token; completes the query when none remain.
   void Release(const CtxPtr& ctx) {
-    DPC_CHECK(ctx->pending > 0);
+    if (ctx->pending <= 0) {
+      // A duplicate or late branch completion — e.g. a retransmitted
+      // frame whose first copy already finished this query. A peer (or
+      // the network) can provoke this at will, so it must be a counted
+      // no-op rather than a DPC_CHECK abort.
+      GlobalMetrics()
+          .GetCounter("query.duplicate_responses")
+          .IncrementAt(ctx->origin);
+      return;
+    }
     if (--ctx->pending > 0) return;
     if (ctx->failed) {
       Finish(ctx, ctx->failure);
@@ -350,6 +401,12 @@ struct Protocol {
       // true chain survives elsewhere).
       Release(ctx);
       return;
+    }
+    if (Trace().enabled()) {
+      Trace().Instant(at.loc, TraceCat::kQuery, "chain_step",
+                      "\"qid\": " + std::to_string(ctx->qid) +
+                          ", \"rows\": " + std::to_string(rows.size()) +
+                          ", \"depth\": " + std::to_string(chain.size()));
     }
     ctx->pending += static_cast<int>(rows.size()) - 1;
     // Charge what the rows actually occupy on the wire: a fixed ruleExec
@@ -518,6 +575,12 @@ struct Protocol {
     for (const ProvEntry* row : prov_rows) {
       Fetch(ctx, 1, row->SerializedSize(false));
     }
+    if (Trace().enabled()) {
+      Trace().Instant(loc, TraceCat::kQuery, "exspan_step",
+                      "\"qid\": " + std::to_string(ctx->qid) +
+                          ", \"rows\": " + std::to_string(prov_rows.size()) +
+                          ", \"depth\": " + std::to_string(depth));
+    }
     ctx->pending += static_cast<int>(prov_rows.size()) - 1;
     double delay = ProcessingDelay(1 + prov_rows.size(),
                                    tuple->SerializedSize());
@@ -635,8 +698,14 @@ void DistributedQuerier::QueryAsync(const Tuple& output, const Vid* evid,
         proto, [](void* p) { delete static_cast<Protocol*>(p); });
   }
   Protocol* proto = static_cast<Protocol*>(impl_->protocol.get());
+  ctx->qid = next_query_id_++;
   queue_->ScheduleAt(when, [this, proto, ctx]() {
     ctx->start = queue_->now();
+    GlobalMetrics().GetCounter("query.started").IncrementAt(ctx->origin);
+    if (Trace().enabled()) {
+      Trace().AsyncBegin(ctx->origin, TraceCat::kQuery, "query", ctx->qid,
+                         "\"output\": \"" + ctx->output.relation() + "\"");
+    }
     if (impl_->kind == Impl::Kind::kExspan) {
       proto->StartExspan(ctx);
     } else {
@@ -650,6 +719,13 @@ void DistributedQuerier::QueryAsync(const Tuple& output, const Vid* evid,
     queue_->ScheduleAt(when + deadline_s, [ctx, deadline_s]() {
       if (ctx->completed) return;
       ctx->completed = true;
+      MetricsRegistry& reg = GlobalMetrics();
+      reg.GetCounter("query.deadline_exceeded").IncrementAt(ctx->origin);
+      reg.GetCounter("query.failed").IncrementAt(ctx->origin);
+      if (Trace().enabled()) {
+        Trace().AsyncEnd(ctx->origin, TraceCat::kQuery, "query", ctx->qid,
+                         "\"outcome\": \"deadline_exceeded\"");
+      }
       ctx->cb(Status::DeadlineExceeded(
           "query missed its " + std::to_string(deadline_s) + "s deadline"));
     });

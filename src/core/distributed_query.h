@@ -85,6 +85,16 @@ class DistributedQuerier {
   // Null until EnableReliableTransport is called.
   ReliableTransport* transport() { return transport_.get(); }
 
+  // Processes one incoming kQuery frame. Wired as the channel's delivery
+  // handler; public so tests can push arbitrary (malformed, truncated,
+  // duplicated) peer bytes straight at the querier. Returns
+  // InvalidArgument for an undecodable frame and NotFound for a
+  // continuation id this querier no longer (or never) knew — e.g. a
+  // straggler transmission arriving after its frame was abandoned. Both
+  // are counted ("query.malformed_messages" / "query.unknown_
+  // continuations") and neither ever aborts the process.
+  Status HandleMessage(const Message& msg);
+
   // Implementation details (defined in the .cc); public so the protocol
   // driver in the anonymous namespace can reach them.
   struct Impl;
@@ -99,7 +109,6 @@ class DistributedQuerier {
   DistributedQuerier(const Topology* topology, EventQueue* queue,
                      QueryCostModel cost);
 
-  void HandleMessage(const Message& msg);
   void HandleDeliveryFailure(const Message& msg);
 
   const Topology* topology_;
@@ -111,6 +120,7 @@ class DistributedQuerier {
   // In-flight continuations keyed by the id embedded in message payloads.
   std::unordered_map<uint64_t, Continuation> continuations_;
   uint64_t next_continuation_ = 1;
+  uint64_t next_query_id_ = 1;
   std::unique_ptr<Impl> impl_;
 };
 

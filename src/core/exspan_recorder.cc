@@ -1,5 +1,6 @@
 #include "src/core/exspan_recorder.h"
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
 namespace dpc {
@@ -48,6 +49,9 @@ ProvMeta ExspanRecorder::OnRuleFired(NodeId node, const Rule& rule,
   Rid rid = MakeRid(rule.id, node, vids);
   state.rule_exec.Insert(RuleExecEntry{node, rid, rule.id, vids,
                                        NodeRid::Null()});
+  GlobalMetrics()
+      .GetCounter("recorder.exspan.rule_exec_rows")
+      .IncrementAt(node);
   // The event that triggered this rule is materialized here (it is either
   // the locally injected input or an intermediate tuple shipped to us).
   state.tuples.Put(event);

@@ -1,5 +1,6 @@
 #include "src/core/reference_recorder.h"
 
+#include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
 namespace dpc {
@@ -22,8 +23,11 @@ ProvMeta ReferenceRecorder::OnRuleFired(NodeId, const Rule& rule,
                                         const std::vector<TupleRef>& slow,
                                         const TupleRef& head) {
   ProvMeta out = meta;
-  DPC_CHECK(meta.tree != nullptr);
-  out.tree = std::make_shared<ProvTree>(*meta.tree);
+  // Metadata decoded from the wire always carries a tree; a missing one
+  // means a peer (or test) fed us meta from a different scheme. Start a
+  // fresh tree rather than aborting mid-pipeline.
+  out.tree = meta.tree != nullptr ? std::make_shared<ProvTree>(*meta.tree)
+                                  : std::make_shared<ProvTree>();
   // ProvStep carries tuples by value (trees are serialized wholesale), so
   // the shared refs are flattened here, at the tree boundary.
   std::vector<Tuple> slow_tuples;
@@ -35,11 +39,18 @@ ProvMeta ReferenceRecorder::OnRuleFired(NodeId, const Rule& rule,
 
 void ReferenceRecorder::OnOutput(NodeId node, const TupleRef& output,
                                  const ProvMeta& meta) {
-  DPC_CHECK(meta.tree != nullptr);
-  DPC_CHECK(!meta.tree->empty());
-  DPC_DCHECK(meta.tree->Output() == *output)
-      << "tree root " << meta.tree->Output().ToString() << " vs output "
-      << output->ToString();
+  // The meta may have been decoded from untrusted peer bytes: a missing,
+  // empty or mismatched tree is the sender's fault, so drop the record
+  // (counted) instead of DPC_CHECK-aborting the receiving node.
+  if (meta.tree == nullptr || meta.tree->empty() ||
+      meta.tree->Output() != *output) {
+    GlobalMetrics()
+        .GetCounter("recorder.reference.rejected_trees")
+        .IncrementAt(node);
+    DPC_LOG(Warning) << "output " << output->ToString()
+                     << " arrived without a matching provenance tree";
+    return;
+  }
   NodeState& state = nodes_[node];
   state.bytes += meta.tree->SerializedSize();
   state.trees.push_back(*meta.tree);
@@ -48,6 +59,10 @@ void ReferenceRecorder::OnOutput(NodeId node, const TupleRef& output,
 void ReferenceRecorder::SerializeMeta(const ProvMeta& meta,
                                       ByteWriter& w) const {
   w.PutDigest(meta.evid);
+  if (meta.tree == nullptr) {
+    ProvTree().Serialize(w);  // scheme-mismatched meta: ship an empty tree
+    return;
+  }
   meta.tree->Serialize(w);
 }
 

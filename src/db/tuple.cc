@@ -56,6 +56,13 @@ void Tuple::Serialize(ByteWriter& w) const {
 Result<Tuple> Tuple::Deserialize(ByteReader& r) {
   DPC_ASSIGN_OR_RETURN(std::string rel, r.GetString());
   DPC_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  // Every value costs at least one encoded byte, so an arity beyond the
+  // remaining payload is malformed; checking before reserve() keeps a
+  // hostile count from forcing a huge allocation.
+  if (n > r.remaining()) {
+    return Status::ParseError("tuple arity " + std::to_string(n) +
+                              " exceeds remaining payload");
+  }
   std::vector<Value> values;
   values.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {

@@ -47,7 +47,14 @@ class Tuple {
 
   // Location specifier: the first attribute, which must be an integer node
   // id for any tuple that participates in distributed execution.
+  // Location() DPC_CHECKs that invariant — it is for tuples the program
+  // built itself. Tuples decoded from network bytes are untrusted:
+  // validate with HasValidLocation() first (see System::HandleMessage),
+  // so malformed peer input fails with a Status instead of aborting.
   NodeId Location() const;
+  bool HasValidLocation() const {
+    return !values_.empty() && values_[0].is_int();
+  }
 
   // Content equality/ordering over (relation, values); the memoized
   // identity caches never participate. The cached 64-bit hashes fast-path

@@ -1,8 +1,14 @@
 #include "src/net/event_queue.h"
 
+#include <chrono>
+
 #include "src/util/logging.h"
 
 namespace dpc {
+
+EventQueue::EventQueue()
+    : dispatch_counter_(&GlobalMetrics().GetCounter("queue.events_dispatched")),
+      tracer_(&Trace()) {}
 
 TimerId EventQueue::ScheduleAt(SimTime t, Callback fn) {
   DPC_DCHECK(t >= now_) << "scheduling into the past: " << t << " < " << now_;
@@ -33,8 +39,26 @@ bool EventQueue::RunNext() {
   queue_.pop();
   live_.erase(entry.seq);
   now_ = entry.time;
-  entry.fn();
+  ++dispatched_;
+  dispatch_counter_->Increment();
+  if (tracer_->enabled()) {
+    RunTraced(entry);
+  } else {
+    entry.fn();
+  }
   return true;
+}
+
+void EventQueue::RunTraced(Entry& entry) {
+  auto start = std::chrono::steady_clock::now();
+  entry.fn();
+  auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  tracer_->CompleteAt(
+      -1, TraceCat::kQueue, "dispatch", entry.time,
+      "\"seq\": " + std::to_string(entry.seq) +
+          ", \"wall_us\": " + std::to_string(wall / 1000.0));
 }
 
 void EventQueue::RunUntil(SimTime t) {

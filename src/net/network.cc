@@ -1,5 +1,7 @@
 #include "src/net/network.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 
 namespace dpc {
@@ -121,6 +123,13 @@ void Network::Forward(Message msg, NodeId at) {
   ChargeBytes(queue_->now(), wire);
   if (TraversalDropped(at, next)) {
     ++dropped_messages_;
+    GlobalMetrics().GetCounter("network.messages_dropped").IncrementAt(at);
+    if (Trace().enabled()) {
+      Trace().Instant(at, TraceCat::kNetwork, "drop",
+                      "\"next\": " + std::to_string(next) +
+                          ", \"dst\": " + std::to_string(msg.dst) +
+                          ", \"bytes\": " + std::to_string(wire));
+    }
     return;  // the traversal consumed bandwidth but never arrives
   }
   double delay = link.latency_s +

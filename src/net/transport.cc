@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/util/serial.h"
 
@@ -31,6 +33,13 @@ ReliableTransport::ReliableTransport(Network* network, EventQueue* queue,
   DPC_CHECK(queue_ != nullptr);
   DPC_CHECK(options_.initial_rto_s > 0);
   DPC_CHECK(options_.backoff_factor >= 1);
+  MetricsRegistry& reg = GlobalMetrics();
+  metrics_.data_frames_sent = &reg.GetCounter("transport.data_frames_sent");
+  metrics_.retransmissions = &reg.GetCounter("transport.retransmissions");
+  metrics_.acks_sent = &reg.GetCounter("transport.acks_sent");
+  metrics_.duplicates_suppressed =
+      &reg.GetCounter("transport.duplicates_suppressed");
+  metrics_.delivery_failures = &reg.GetCounter("transport.delivery_failures");
   network_->SetDeliveryHandler(
       [this](const Message& msg) { OnNetworkDelivery(msg); });
 }
@@ -45,6 +54,14 @@ void ReliableTransport::Send(Message msg) {
   p.original = std::move(msg);
   p.rto_s = options_.initial_rto_s;
   ++stats_.data_frames_sent;
+  metrics_.data_frames_sent->IncrementAt(p.frame.src);
+  if (Trace().enabled()) {
+    // Span covers first transmission through ack (or abandonment).
+    Trace().AsyncBegin(p.frame.src, TraceCat::kTransport, "frame", seq,
+                       "\"dst\": " + std::to_string(p.frame.dst) +
+                           ", \"bytes\": " +
+                           std::to_string(p.frame.payload.size()));
+  }
   TransmitFrame(p.frame);
   pending_.emplace(seq, std::move(p));
   ArmTimer(seq);
@@ -79,7 +96,12 @@ void ReliableTransport::OnTimeout(uint64_t seq) {
   Pending& p = it->second;
   if (options_.max_attempts > 0 && p.attempts >= options_.max_attempts) {
     ++stats_.delivery_failures;
+    metrics_.delivery_failures->IncrementAt(p.frame.src);
     Message original = std::move(p.original);
+    if (Trace().enabled()) {
+      Trace().AsyncEnd(original.src, TraceCat::kTransport, "frame", seq,
+                       "\"outcome\": \"abandoned\"");
+    }
     pending_.erase(it);
     DPC_LOG(Warning) << "transport: abandoning message to node "
                      << original.dst << " after " << options_.max_attempts
@@ -89,6 +111,12 @@ void ReliableTransport::OnTimeout(uint64_t seq) {
   }
   ++p.attempts;
   ++stats_.retransmissions;
+  metrics_.retransmissions->IncrementAt(p.frame.src);
+  if (Trace().enabled()) {
+    Trace().Instant(p.frame.src, TraceCat::kTransport, "retransmit",
+                    "\"seq\": " + std::to_string(seq) +
+                        ", \"attempt\": " + std::to_string(p.attempts));
+  }
   p.rto_s = std::min(p.rto_s * options_.backoff_factor, options_.max_rto_s);
   TransmitFrame(p.frame);
   ArmTimer(seq);
@@ -106,6 +134,11 @@ void ReliableTransport::OnNetworkDelivery(const Message& msg) {
     auto it = pending_.find(*seq);
     if (it == pending_.end()) return;  // duplicate ack
     queue_->Cancel(it->second.timer);
+    if (Trace().enabled()) {
+      Trace().AsyncEnd(it->second.frame.src, TraceCat::kTransport, "frame",
+                       *seq, "\"outcome\": \"acked\", \"attempts\": " +
+                                 std::to_string(it->second.attempts));
+    }
     pending_.erase(it);
     return;
   }
@@ -125,10 +158,12 @@ void ReliableTransport::OnNetworkDelivery(const Message& msg) {
   w.PutU64(*seq);
   ack.payload = w.Take();
   ++stats_.acks_sent;
+  metrics_.acks_sent->IncrementAt(msg.dst);
   network_->Send(std::move(ack));
 
   if (!delivered_.insert(*seq).second) {
     ++stats_.duplicates_suppressed;
+    metrics_.duplicates_suppressed->IncrementAt(msg.dst);
     return;
   }
   Message original;

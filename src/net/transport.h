@@ -24,6 +24,7 @@
 #include <unordered_set>
 
 #include "src/net/network.h"
+#include "src/obs/metrics.h"
 
 namespace dpc {
 
@@ -42,6 +43,8 @@ struct TransportStats {
   uint64_t acks_sent = 0;             // receiver-side acknowledgements
   uint64_t duplicates_suppressed = 0; // retransmits already applied
   uint64_t delivery_failures = 0;     // frames abandoned after max_attempts
+
+  void Reset() { *this = TransportStats(); }
 };
 
 class ReliableTransport : public MessageChannel {
@@ -72,6 +75,9 @@ class ReliableTransport : public MessageChannel {
   void Broadcast(NodeId from, Message msg) override;
 
   const TransportStats& stats() const { return stats_; }
+  // Zeroes the per-window counters, symmetric with
+  // Network::ResetAccounting (in-flight frames keep their state).
+  void ResetStats() { stats_.Reset(); }
   // Frames sent but not yet acknowledged.
   size_t in_flight() const { return pending_.size(); }
   Network& network() { return *network_; }
@@ -100,6 +106,17 @@ class ReliableTransport : public MessageChannel {
   std::unordered_map<uint64_t, Pending> pending_;
   std::unordered_set<uint64_t> delivered_;
   TransportStats stats_;
+
+  // Registry counters resolved once at construction (see obs/metrics.h);
+  // these mirror stats_ but survive ResetStats-style windowing via
+  // snapshot deltas.
+  struct {
+    Counter* data_frames_sent;
+    Counter* retransmissions;
+    Counter* acks_sent;
+    Counter* duplicates_suppressed;
+    Counter* delivery_failures;
+  } metrics_;
 };
 
 }  // namespace dpc

@@ -1,0 +1,248 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace dpc {
+
+namespace {
+
+// Bucket index for value `v`: 0 for v <= 1, else 1 + floor(log2(v))
+// clamped to the last bucket. Values are observed in their natural unit
+// (seconds, bytes, hops); the log2 ladder keeps the range wide.
+size_t BucketIndex(double v) {
+  if (!(v > 1.0)) return 0;  // also catches NaN and negatives
+  int e = static_cast<int>(std::ceil(std::log2(v)));
+  if (e < 1) e = 1;
+  if (e >= static_cast<int>(Histogram::kBuckets)) {
+    return Histogram::kBuckets - 1;
+  }
+  return static_cast<size_t>(e);
+}
+
+double BucketUpperBound(size_t i) {
+  return i == 0 ? 1.0 : std::ldexp(1.0, static_cast<int>(i));
+}
+
+double QuantileFromBuckets(const std::vector<uint64_t>& buckets,
+                           uint64_t count, double q) {
+  if (count == 0 || buckets.empty()) return 0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  uint64_t target = static_cast<uint64_t>(std::ceil(q * count));
+  if (target == 0) target = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= target) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(buckets.size() - 1);
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+void AppendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Histogram::Observe(double v) {
+  if (std::isnan(v)) return;
+  if (v < 0) v = 0;
+  if (count_ == 0 || v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  ++count_;
+  sum_ += v;
+  ++buckets_[BucketIndex(v)];
+}
+
+double Histogram::Quantile(double q) const {
+  return QuantileFromBuckets(buckets_, count_, q);
+}
+
+void Histogram::Reset() {
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+}
+
+double MetricsSnapshot::Hist::Quantile(double q) const {
+  return QuantileFromBuckets(buckets, count, q);
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& before) const {
+  MetricsSnapshot d;
+  for (const auto& [name, value] : counters) {
+    auto it = before.counters.find(name);
+    uint64_t base = it == before.counters.end() ? 0 : it->second;
+    d.counters[name] = value >= base ? value - base : value;
+  }
+  for (const auto& [name, cells] : counters_per_node) {
+    auto it = before.counters_per_node.find(name);
+    std::vector<uint64_t> out = cells;
+    if (it != before.counters_per_node.end()) {
+      for (size_t i = 0; i < out.size() && i < it->second.size(); ++i) {
+        if (out[i] >= it->second[i]) out[i] -= it->second[i];
+      }
+    }
+    d.counters_per_node[name] = std::move(out);
+  }
+  d.gauges = gauges;
+  for (const auto& [name, h] : histograms) {
+    auto it = before.histograms.find(name);
+    Hist out = h;
+    if (it != before.histograms.end()) {
+      const Hist& b = it->second;
+      if (out.count >= b.count) out.count -= b.count;
+      out.sum -= b.sum;
+      for (size_t i = 0; i < out.buckets.size() && i < b.buckets.size();
+           ++i) {
+        if (out.buckets[i] >= b.buckets[i]) out.buckets[i] -= b.buckets[i];
+      }
+    }
+    d.histograms[name] = std::move(out);
+  }
+  return d;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += name;
+    out += " ";
+    out += std::to_string(value);
+    out += "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out += name;
+    out += " ";
+    out += FormatDouble(value);
+    out += "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    out += name;
+    out += " count=" + std::to_string(h.count);
+    out += " mean=" + FormatDouble(h.mean());
+    out += " p50<=" + FormatDouble(h.Quantile(0.5));
+    out += " p99<=" + FormatDouble(h.Quantile(0.99));
+    out += " max=" + FormatDouble(h.max);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": " + std::to_string(value);
+  }
+  out += "}, \"counters_per_node\": {";
+  first = true;
+  for (const auto& [name, cells] : counters_per_node) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": [";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(cells[i]);
+    }
+    out += "]";
+  }
+  out += "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": " + FormatDouble(value);
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(out, name);
+    out += ": {\"count\": " + std::to_string(h.count);
+    out += ", \"sum\": " + FormatDouble(h.sum);
+    out += ", \"mean\": " + FormatDouble(h.mean());
+    out += ", \"min\": " + FormatDouble(h.min);
+    out += ", \"max\": " + FormatDouble(h.max);
+    out += ", \"p50\": " + FormatDouble(h.Quantile(0.5));
+    out += ", \"p90\": " + FormatDouble(h.Quantile(0.9));
+    out += ", \"p99\": " + FormatDouble(h.Quantile(0.99));
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_) {
+    s.counters[name] = c->value();
+    if (!c->per_node().empty()) s.counters_per_node[name] = c->per_node();
+  }
+  for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Hist out;
+    out.count = h->count();
+    out.sum = h->sum();
+    out.min = h->min();
+    out.max = h->max();
+    out.buckets = h->buckets();
+    s.histograms[name] = std::move(out);
+  }
+  return s;
+}
+
+void MetricsRegistry::Reset() {
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricsRegistry& GlobalMetrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace dpc

@@ -1,0 +1,156 @@
+// MetricsRegistry: process-wide named counters, gauges and histograms —
+// the generalization of the tuple-identity counters in src/util/perf.h to
+// every subsystem (runtime, recorders, transport, distributed queries).
+//
+// The simulator is single-threaded, so metrics are plain variables behind
+// stable references: a hot path looks its Counter up once (by name, a map
+// probe) and then increments through the cached pointer. Counters are
+// monotone and meant to be read as deltas — snapshot before a measurement
+// window, subtract after (MetricsSnapshot::Delta), exactly like
+// IdentityCounters.
+//
+// Per-node scoping: Counter::IncrementAt(node, d) bumps the process total
+// and a per-node cell, so experiment summaries can show where the work
+// happened without a separate registry per node.
+//
+// Naming convention: "<subsystem>.<what>" in snake_case, e.g.
+// "transport.retransmissions", "query.duplicate_responses". The full list
+// lives in docs/observability.md.
+#ifndef DPC_OBS_METRICS_H_
+#define DPC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dpc {
+
+class Counter {
+ public:
+  void Increment(uint64_t d = 1) { value_ += d; }
+  // Bumps the total and the per-node cell (the vector grows on demand;
+  // node < 0 is treated as process-scoped and only bumps the total).
+  void IncrementAt(int32_t node, uint64_t d = 1) {
+    value_ += d;
+    if (node < 0) return;
+    if (per_node_.size() <= static_cast<size_t>(node)) {
+      per_node_.resize(static_cast<size_t>(node) + 1, 0);
+    }
+    per_node_[static_cast<size_t>(node)] += d;
+  }
+
+  uint64_t value() const { return value_; }
+  const std::vector<uint64_t>& per_node() const { return per_node_; }
+  void Reset() {
+    value_ = 0;
+    per_node_.clear();
+  }
+
+ private:
+  uint64_t value_ = 0;
+  std::vector<uint64_t> per_node_;
+};
+
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double d) { value_ += d; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  double value_ = 0;
+};
+
+// Histogram over non-negative values with power-of-two bucket boundaries:
+// bucket i counts observations in (2^(i-1), 2^i] scaled by `scale`
+// (bucket 0 is [0, scale]). Coarse, allocation-free per observation, and
+// good enough for latency / size distributions in a simulator.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ == 0 ? 0 : min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+  const std::vector<uint64_t>& buckets() const { return buckets_; }
+  // Upper bound of the bucket holding quantile `q` in [0, 1]: an
+  // upper estimate of the true quantile.
+  double Quantile(double q) const;
+  void Reset();
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  std::vector<uint64_t> buckets_ = std::vector<uint64_t>(kBuckets, 0);
+};
+
+// A point-in-time copy of every metric, detached from the registry.
+// Counter values (totals, per-node cells, histogram counts/sums/buckets)
+// subtract cleanly via Delta; gauges keep the later value.
+struct MetricsSnapshot {
+  struct Hist {
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    std::vector<uint64_t> buckets;
+
+    double mean() const { return count == 0 ? 0 : sum / count; }
+    double Quantile(double q) const;
+  };
+
+  std::map<std::string, uint64_t> counters;
+  // Only counters that were ever incremented with IncrementAt appear here.
+  std::map<std::string, std::vector<uint64_t>> counters_per_node;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Hist> histograms;
+
+  // This snapshot minus `before`: the activity inside a measurement
+  // window. Histogram min/max are window-approximate (taken from the
+  // later snapshot); gauges are carried over unchanged.
+  MetricsSnapshot Delta(const MetricsSnapshot& before) const;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  // Sorted "name value" lines (the dpc_cli --stats rendering).
+  std::string ToText() const;
+  // A JSON object: {"counters": {...}, "gauges": {...}, ...}.
+  std::string ToJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  // References are stable for the registry's lifetime: hot paths resolve
+  // once and cache the pointer.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  // Zeroes every metric (the objects stay registered: cached pointers
+  // remain valid).
+  void Reset();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// The process-wide registry every subsystem records into.
+MetricsRegistry& GlobalMetrics();
+
+}  // namespace dpc
+
+#endif  // DPC_OBS_METRICS_H_

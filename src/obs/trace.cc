@@ -1,0 +1,211 @@
+#include "src/obs/trace.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace dpc {
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string FormatMicros(double seconds) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  return buf;
+}
+
+}  // namespace
+
+const char* TraceCatName(TraceCat cat) {
+  switch (cat) {
+    case TraceCat::kQueue: return "queue";
+    case TraceCat::kRule: return "rule";
+    case TraceCat::kRecorder: return "recorder";
+    case TraceCat::kNetwork: return "network";
+    case TraceCat::kTransport: return "transport";
+    case TraceCat::kQuery: return "query";
+  }
+  return "?";
+}
+
+void Tracer::Enable(std::function<double()> clock, size_t max_events) {
+  clock_ = std::move(clock);
+  max_events_ = max_events;
+  events_.clear();
+  dropped_ = 0;
+  enabled_ = true;
+}
+
+void Tracer::Disable() {
+  enabled_ = false;
+  clock_ = nullptr;
+}
+
+void Tracer::Clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+void Tracer::Push(TraceEvent ev) {
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(ev));
+}
+
+void Tracer::CompleteAt(NodeId node, TraceCat cat, std::string name,
+                        double ts, std::string args) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.args = std::move(args);
+  ev.ts = ts;
+  ev.node = node;
+  ev.cat = cat;
+  ev.phase = 'X';
+  Push(std::move(ev));
+}
+
+void Tracer::Instant(NodeId node, TraceCat cat, std::string name,
+                     std::string args) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.args = std::move(args);
+  ev.ts = now();
+  ev.node = node;
+  ev.cat = cat;
+  ev.phase = 'i';
+  Push(std::move(ev));
+}
+
+void Tracer::AsyncBegin(NodeId node, TraceCat cat, std::string name,
+                        uint64_t id, std::string args) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.args = std::move(args);
+  ev.ts = now();
+  ev.id = id;
+  ev.node = node;
+  ev.cat = cat;
+  ev.phase = 'b';
+  Push(std::move(ev));
+}
+
+void Tracer::AsyncEnd(NodeId node, TraceCat cat, std::string name,
+                      uint64_t id, std::string args) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.args = std::move(args);
+  ev.ts = now();
+  ev.id = id;
+  ev.node = node;
+  ev.cat = cat;
+  ev.phase = 'e';
+  Push(std::move(ev));
+}
+
+std::string Tracer::ToChromeJson() const {
+  // pid 0 is the simulator itself (node -1); node N maps to pid N + 1.
+  // tid is the category track within the node's process row.
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  auto emit_meta = [&](int pid, int tid, const char* meta,
+                       const std::string& value) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\": \"";
+    out += meta;
+    out += "\", \"ph\": \"M\", \"pid\": " + std::to_string(pid);
+    if (tid >= 0) out += ", \"tid\": " + std::to_string(tid);
+    out += ", \"args\": {\"name\": \"";
+    AppendEscaped(out, value);
+    out += "\"}}";
+  };
+
+  // Emit process/thread names only for (node, cat) pairs that appear.
+  std::vector<uint64_t> seen;  // packed (pid << 8) | tid
+  auto mark_seen = [&](int pid, int tid) {
+    uint64_t key = (static_cast<uint64_t>(pid) << 8) |
+                   static_cast<uint64_t>(tid);
+    for (uint64_t s : seen) {
+      if (s == key) return false;
+    }
+    seen.push_back(key);
+    return true;
+  };
+  for (const TraceEvent& ev : events_) {
+    int pid = ev.node + 1;
+    int tid = static_cast<int>(ev.cat);
+    if (mark_seen(pid, tid)) {
+      emit_meta(pid, -1,
+                "process_name",
+                pid == 0 ? std::string("simulator")
+                         : "node " + std::to_string(ev.node));
+      emit_meta(pid, tid, "thread_name", TraceCatName(ev.cat));
+    }
+  }
+
+  for (const TraceEvent& ev : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\": \"";
+    AppendEscaped(out, ev.name);
+    out += "\", \"cat\": \"";
+    out += TraceCatName(ev.cat);
+    out += "\", \"ph\": \"";
+    out += ev.phase;
+    out += "\", \"ts\": " + FormatMicros(ev.ts);
+    if (ev.phase == 'X') {
+      out += ", \"dur\": " + FormatMicros(ev.dur);
+    }
+    if (ev.phase == 'b' || ev.phase == 'e') {
+      out += ", \"id\": \"" + std::to_string(ev.id) + "\"";
+    }
+    if (ev.phase == 'i') {
+      out += ", \"s\": \"t\"";
+    }
+    out += ", \"pid\": " + std::to_string(ev.node + 1);
+    out += ", \"tid\": " + std::to_string(static_cast<int>(ev.cat));
+    if (!ev.args.empty()) {
+      out += ", \"args\": {" + ev.args + "}";
+    }
+    out += "}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": "
+         "{\"clock\": \"simulated\", \"dropped_events\": \"" +
+         std::to_string(dropped_) + "\"}}\n";
+  return out;
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot write trace to " + path);
+  std::string json = ToChromeJson();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+Tracer& Trace() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+}  // namespace dpc

@@ -1,8 +1,23 @@
 #include "src/runtime/system.h"
 
+#include <chrono>
+
 #include "src/util/logging.h"
 
 namespace dpc {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double WallMicrosSince(WallClock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             WallClock::now() - t0)
+             .count() /
+         1000.0;
+}
+
+}  // namespace
 
 System::System(const Program* program, const Topology* topology,
                MessageChannel* channel, EventQueue* queue,
@@ -20,8 +35,21 @@ System::System(const Program* program, const Topology* topology,
   DPC_CHECK(queue_ != nullptr);
   dbs_.resize(topology_->num_nodes());
   outputs_.resize(topology_->num_nodes());
-  channel_->SetDeliveryHandler(
-      [this](const Message& msg) { HandleMessage(msg); });
+  MetricsRegistry& reg = GlobalMetrics();
+  metrics_.events_injected = &reg.GetCounter("system.events_injected");
+  metrics_.rule_firings = &reg.GetCounter("system.rule_firings");
+  metrics_.outputs = &reg.GetCounter("system.outputs");
+  metrics_.control_signals = &reg.GetCounter("system.control_signals");
+  metrics_.malformed_messages = &reg.GetCounter("system.malformed_messages");
+  metrics_.invalid_heads = &reg.GetCounter("system.invalid_heads");
+  tracer_ = &Trace();
+  channel_->SetDeliveryHandler([this](const Message& msg) {
+    Status st = HandleMessage(msg);
+    if (!st.ok()) {
+      DPC_LOG(Error) << "dropped message from node " << msg.src << ": "
+                     << st.ToString();
+    }
+  });
 }
 
 Status System::InsertSlowTuple(const Tuple& t) {
@@ -50,6 +78,7 @@ Status System::InsertSlowTuple(const Tuple& t) {
     // where its own cache is stale — and the broadcast covers the rest
     // (Network::Broadcast does not echo to the originator).
     ++stats_.control_signals;
+    metrics_.control_signals->IncrementAt(node);
     recorder_->OnControlSignal(node);
     Message sig;
     sig.kind = MessageKind::kControl;
@@ -109,8 +138,20 @@ Status System::ScheduleInject(const Tuple& event, SimTime when) {
   }
   queue_->ScheduleAt(when, [this, ev = MakeTupleRef(event), node]() {
     ++stats_.events_injected;
+    metrics_.events_injected->IncrementAt(node);
     ProvMeta meta;
-    if (recorder_ != nullptr) meta = recorder_->OnInject(node, ev);
+    if (recorder_ != nullptr) {
+      if (tracer_->enabled()) {
+        auto t0 = WallClock::now();
+        meta = recorder_->OnInject(node, ev);
+        tracer_->CompleteAt(node, TraceCat::kRecorder, "on_inject",
+                            queue_->now(),
+                            "\"wall_us\": " +
+                                std::to_string(WallMicrosSince(t0)));
+      } else {
+        meta = recorder_->OnInject(node, ev);
+      }
+    }
     ProcessEvent(node, ev, meta);
   });
   return Status::OK();
@@ -124,9 +165,19 @@ void System::ProcessEvent(NodeId node, const TupleRef& tuple,
     // RulesTriggeredBy returns pointers into program_->rules(), so the
     // offset recovers the rule's statically compiled plan.
     size_t rule_index = static_cast<size_t>(rule - program_->rules().data());
+    const RulePlan& rule_plan = plan_.rules[rule_index];
+    bool tracing = tracer_->enabled();
+    auto eval_start = tracing ? WallClock::now() : WallClock::time_point{};
     Result<std::vector<RuleFiring>> firings =
-        FireRulePlanned(*rule, plan_.rules[rule_index], *tuple, dbs_[node],
-                        functions_);
+        FireRulePlanned(*rule, rule_plan, *tuple, dbs_[node], functions_);
+    if (tracing) {
+      tracer_->CompleteAt(
+          node, TraceCat::kRule, "fire:" + rule->id, queue_->now(),
+          "\"plan_steps\": " + std::to_string(rule_plan.steps.size()) +
+              ", \"firings\": " +
+              std::to_string(firings.ok() ? firings->size() : 0) +
+              ", \"wall_us\": " + std::to_string(WallMicrosSince(eval_start)));
+    }
     if (!firings.ok()) {
       DPC_LOG(Error) << "rule " << rule->id
                      << " failed: " << firings.status().ToString();
@@ -134,13 +185,37 @@ void System::ProcessEvent(NodeId node, const TupleRef& tuple,
     }
     for (RuleFiring& f : *firings) {
       ++stats_.rule_firings;
+      metrics_.rule_firings->IncrementAt(node);
       // One allocation carries the head through the recorder, the local
       // database / output record, and message construction.
       TupleRef head = MakeTupleRef(std::move(f.head));
+      // A head built from untrusted event values can lack an integer
+      // location, or name a node outside the topology. Validate before
+      // the recorder hook (ExSPAN indexes per-node state by it) and
+      // drop the firing (counted) instead of aborting in
+      // Tuple::Location or walking off the node array.
+      if (!head->HasValidLocation() || head->Location() < 0 ||
+          head->Location() >= topology_->num_nodes()) {
+        metrics_.invalid_heads->IncrementAt(node);
+        DPC_LOG(Error) << "rule " << rule->id
+                       << " derived a head without a valid location: "
+                       << head->ToString();
+        continue;
+      }
       ProvMeta head_meta = meta;
       if (recorder_ != nullptr) {
-        head_meta = recorder_->OnRuleFired(node, *rule, tuple, meta,
-                                           f.slow_tuples, head);
+        if (tracing) {
+          auto t0 = WallClock::now();
+          head_meta = recorder_->OnRuleFired(node, *rule, tuple, meta,
+                                             f.slow_tuples, head);
+          tracer_->CompleteAt(node, TraceCat::kRecorder, "on_rule_fired",
+                              queue_->now(),
+                              "\"rule\": \"" + rule->id + "\", \"wall_us\": " +
+                                  std::to_string(WallMicrosSince(t0)));
+        } else {
+          head_meta = recorder_->OnRuleFired(node, *rule, tuple, meta,
+                                             f.slow_tuples, head);
+        }
       }
       NodeId head_loc = head->Location();
       bool head_is_event =
@@ -161,8 +236,19 @@ void System::ProcessEvent(NodeId node, const TupleRef& tuple,
 void System::EmitOutput(NodeId node, const TupleRef& tuple,
                         const ProvMeta& meta) {
   ++stats_.outputs;
+  metrics_.outputs->IncrementAt(node);
   dbs_[node].Insert(tuple);
-  if (recorder_ != nullptr) recorder_->OnOutput(node, tuple, meta);
+  if (recorder_ != nullptr) {
+    if (tracer_->enabled()) {
+      auto t0 = WallClock::now();
+      recorder_->OnOutput(node, tuple, meta);
+      tracer_->CompleteAt(
+          node, TraceCat::kRecorder, "on_output", queue_->now(),
+          "\"wall_us\": " + std::to_string(WallMicrosSince(t0)));
+    } else {
+      recorder_->OnOutput(node, tuple, meta);
+    }
+  }
   outputs_[node].push_back(OutputRecord{*tuple, meta, queue_->now()});
   if (output_callback_) output_callback_(node, outputs_[node].back());
 }
@@ -186,26 +272,40 @@ void System::SendEvent(NodeId from, const TupleRef& tuple,
   channel_->Send(std::move(msg));
 }
 
-void System::HandleMessage(const Message& msg) {
+Status System::HandleMessage(const Message& msg) {
   switch (msg.kind) {
     case MessageKind::kControl: {
       ++stats_.control_signals;
+      metrics_.control_signals->IncrementAt(msg.dst);
       if (recorder_ != nullptr) recorder_->OnControlSignal(msg.dst);
-      return;
+      return Status::OK();
     }
     case MessageKind::kEvent: {
+      // Everything decoded here is untrusted peer bytes: any failure is
+      // a counted Status, never a DPC_CHECK (a malformed message must
+      // cost the sender a dropped event, not the receiver its process).
       ByteReader r(msg.payload);
       Result<Tuple> tuple = Tuple::Deserialize(r);
       if (!tuple.ok()) {
-        DPC_LOG(Error) << "bad event payload: " << tuple.status().ToString();
-        return;
+        metrics_.malformed_messages->IncrementAt(msg.dst);
+        return Status::InvalidArgument("bad event payload from node " +
+                                       std::to_string(msg.src) + ": " +
+                                       tuple.status().ToString());
+      }
+      if (!tuple->HasValidLocation()) {
+        metrics_.malformed_messages->IncrementAt(msg.dst);
+        return Status::InvalidArgument(
+            "event tuple without an integer location from node " +
+            std::to_string(msg.src) + ": " + tuple->ToString());
       }
       ProvMeta meta;
       if (recorder_ != nullptr) {
         Result<ProvMeta> m = recorder_->DeserializeMeta(r);
         if (!m.ok()) {
-          DPC_LOG(Error) << "bad meta payload: " << m.status().ToString();
-          return;
+          metrics_.malformed_messages->IncrementAt(msg.dst);
+          return Status::InvalidArgument("bad meta payload from node " +
+                                         std::to_string(msg.src) + ": " +
+                                         m.status().ToString());
         }
         meta = std::move(m).value();
       }
@@ -220,17 +320,20 @@ void System::HandleMessage(const Message& msg) {
       } else {
         EmitOutput(node, ev, meta);
       }
-      return;
+      return Status::OK();
     }
     case MessageKind::kQuery:
-      DPC_LOG(Warning) << "unexpected query message in System";
-      return;
+      metrics_.malformed_messages->IncrementAt(msg.dst);
+      return Status::InvalidArgument(
+          "unexpected query message in System (query traffic rides the "
+          "querier's own network)");
     case MessageKind::kAck:
       // Transport acks are consumed by ReliableTransport; one arriving
       // here means the channel is the raw Network — drop it.
-      DPC_LOG(Warning) << "unexpected transport ack in System";
-      return;
+      metrics_.malformed_messages->IncrementAt(msg.dst);
+      return Status::InvalidArgument("unexpected transport ack in System");
   }
+  return Status::InvalidArgument("unknown message kind");
 }
 
 std::vector<OutputRecord> System::AllOutputs() const {

@@ -94,6 +94,13 @@ class System {
   void EnableInterning(bool enabled) { interning_enabled_ = enabled; }
   const TupleInterner& interner() const { return interner_; }
 
+  // Processes one incoming message as the channel's delivery handler
+  // does. Public so tests can feed arbitrary peer bytes straight at the
+  // runtime: a malformed event payload (undecodable tuple/meta, missing
+  // integer location) returns InvalidArgument — counted under
+  // "system.malformed_messages" — and never aborts the node.
+  Status HandleMessage(const Message& msg);
+
   const SystemStats& stats() const { return stats_; }
   const Program& program() const { return *program_; }
   // The statically compiled evaluation plan (one RulePlan per program
@@ -105,7 +112,6 @@ class System {
   EventQueue& queue() { return *queue_; }
 
  private:
-  void HandleMessage(const Message& msg);
   void ProcessEvent(NodeId node, const TupleRef& tuple, const ProvMeta& meta);
   void EmitOutput(NodeId node, const TupleRef& tuple, const ProvMeta& meta);
   void SendEvent(NodeId from, const TupleRef& tuple, const ProvMeta& meta);
@@ -127,6 +133,18 @@ class System {
   std::vector<std::vector<OutputRecord>> outputs_;
   std::function<void(NodeId, const OutputRecord&)> output_callback_;
   SystemStats stats_;
+
+  // Registry mirrors of stats_ (per-node scoped), resolved once at
+  // construction; see src/obs/metrics.h.
+  struct {
+    Counter* events_injected;
+    Counter* rule_firings;
+    Counter* outputs;
+    Counter* control_signals;
+    Counter* malformed_messages;
+    Counter* invalid_heads;
+  } metrics_;
+  Tracer* tracer_;
 };
 
 }  // namespace dpc

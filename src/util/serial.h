@@ -137,7 +137,10 @@ class ByteReader {
 
   Result<std::string> GetString() {
     DPC_ASSIGN_OR_RETURN(uint64_t len, GetVarint());
-    if (pos_ + len > size_) return Truncated("string body");
+    // Compare against the remaining bytes rather than `pos_ + len`: a
+    // hostile length near 2^64 would wrap the addition past the check and
+    // reach the allocator.
+    if (len > size_ - pos_) return Truncated("string body");
     std::string s(reinterpret_cast<const char*>(data_ + pos_), len);
     pos_ += len;
     return s;

@@ -1,0 +1,201 @@
+// Malformed-peer-bytes hardening: truncated, garbage and replayed frames
+// pushed straight at System::HandleMessage and
+// DistributedQuerier::HandleMessage must terminate with an error Status —
+// never a DPC_CHECK abort — and show up in the malformed-message
+// counters. Run under ASan in CI, this is the regression gate for the
+// remote-reachable abort paths.
+#include <gtest/gtest.h>
+
+#include "src/apps/forwarding.h"
+#include "src/apps/testbed.h"
+#include "src/core/distributed_query.h"
+#include "src/obs/metrics.h"
+#include "src/util/rng.h"
+#include "src/util/serial.h"
+
+namespace dpc {
+namespace {
+
+using apps::Scheme;
+using apps::Testbed;
+
+Message Make(MessageKind kind, std::vector<uint8_t> payload, NodeId src = 3,
+             NodeId dst = 0) {
+  Message msg;
+  msg.kind = kind;
+  msg.src = src;
+  msg.dst = dst;
+  msg.payload = std::move(payload);
+  return msg;
+}
+
+std::vector<uint8_t> RandomBytes(Rng& rng, size_t n) {
+  std::vector<uint8_t> out(n);
+  for (uint8_t& b : out) b = static_cast<uint8_t>(rng.NextBelow(256));
+  return out;
+}
+
+class MalformedMessageTest : public ::testing::TestWithParam<Scheme> {
+ protected:
+  void SetUp() override {
+    TransitStubParams params;
+    params.num_transit = 2;
+    params.stubs_per_transit = 2;
+    params.nodes_per_stub = 3;
+    topo_ = MakeTransitStub(params);
+    auto program = apps::MakeForwardingProgram();
+    ASSERT_TRUE(program.ok());
+    auto bed = Testbed::Create(std::move(program).value(), &topo_.graph,
+                               GetParam());
+    ASSERT_TRUE(bed.ok());
+    bed_ = std::move(bed).value();
+
+    Rng rng(17);
+    auto pairs = apps::PickCommunicatingPairs(topo_, 3, rng);
+    for (auto [s, d] : pairs) {
+      ASSERT_TRUE(
+          apps::InstallRoutesForPair(bed_->system(), topo_.graph, s, d).ok());
+    }
+    double t = 0;
+    for (auto [s, d] : pairs) {
+      ASSERT_TRUE(bed_->system()
+                      .ScheduleInject(
+                          apps::MakePacket(s, s, d,
+                                           apps::MakePayload(64, s)),
+                          t += 0.001)
+                      .ok());
+    }
+    bed_->system().Run();
+    ASSERT_GT(bed_->system().stats().outputs, 0u);
+  }
+
+  TransitStubTopology topo_;
+  std::unique_ptr<Testbed> bed_;
+};
+
+TEST_P(MalformedMessageTest, SystemRejectsGarbageEventPayloads) {
+  System& sys = bed_->system();
+  uint64_t before =
+      GlobalMetrics().GetCounter("system.malformed_messages").value();
+
+  // Empty, short and random payloads: all must fail tuple decoding.
+  EXPECT_FALSE(sys.HandleMessage(Make(MessageKind::kEvent, {})).ok());
+  EXPECT_FALSE(sys.HandleMessage(Make(MessageKind::kEvent, {0xff})).ok());
+  Rng rng(99);
+  for (int i = 0; i < 200; ++i) {
+    Message msg = Make(MessageKind::kEvent,
+                       RandomBytes(rng, rng.NextBelow(64)));
+    Status st = sys.HandleMessage(msg);  // must return, never abort
+    if (st.ok()) {
+      // Astronomically unlikely: random bytes decoded as a full valid
+      // event. Acceptable as long as the process survived.
+      continue;
+    }
+  }
+
+  // A structurally valid tuple whose location slot is not an integer.
+  Tuple bad("packet", {Value::Str("not-a-node"), Value::Int(1)});
+  ByteWriter w;
+  bad.Serialize(w);
+  EXPECT_FALSE(sys.HandleMessage(Make(MessageKind::kEvent, w.Take())).ok());
+
+  // A valid tuple with the recorder metadata truncated off.
+  Tuple good = apps::MakePacket(0, 0, 1, "payload");
+  ByteWriter w2;
+  good.Serialize(w2);
+  EXPECT_FALSE(sys.HandleMessage(Make(MessageKind::kEvent, w2.Take())).ok());
+
+  EXPECT_GT(GlobalMetrics().GetCounter("system.malformed_messages").value(),
+            before);
+}
+
+TEST_P(MalformedMessageTest, SystemRejectsForeignKinds) {
+  // Query frames ride the querier's own network; acks belong to the
+  // transport. Either arriving at the System is a peer error.
+  EXPECT_FALSE(
+      bed_->system().HandleMessage(Make(MessageKind::kQuery, {1, 2, 3})).ok());
+  EXPECT_FALSE(
+      bed_->system().HandleMessage(Make(MessageKind::kAck, {})).ok());
+  // Control signals carry no payload to decode: always accepted.
+  EXPECT_TRUE(
+      bed_->system().HandleMessage(Make(MessageKind::kControl, {9})).ok());
+}
+
+std::unique_ptr<DistributedQuerier> MakeDistributed(Testbed& bed,
+                                                    const Topology* topo) {
+  switch (bed.scheme()) {
+    case Scheme::kExspan:
+      return DistributedQuerier::ForExspan(bed.exspan(), topo, &bed.queue());
+    case Scheme::kBasic:
+      return DistributedQuerier::ForBasic(bed.basic(), &bed.program(),
+                                          &bed.system().functions(), topo,
+                                          &bed.queue());
+    default:
+      return DistributedQuerier::ForAdvanced(bed.advanced(), &bed.program(),
+                                             &bed.system().functions(), topo,
+                                             &bed.queue());
+  }
+}
+
+TEST_P(MalformedMessageTest, QuerierRejectsTruncatedAndUnknownFrames) {
+  auto querier = MakeDistributed(*bed_, &topo_.graph);
+
+  // Truncated: fewer than the 8 id bytes.
+  EXPECT_TRUE(querier->HandleMessage(Make(MessageKind::kQuery, {}))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(querier->HandleMessage(Make(MessageKind::kQuery, {1, 2, 3}))
+                  .IsInvalidArgument());
+
+  // Well-formed id, but no such continuation: the late/replayed case.
+  ByteWriter w;
+  w.PutU64(12345);
+  EXPECT_TRUE(querier->HandleMessage(Make(MessageKind::kQuery, w.Take()))
+                  .IsNotFound());
+
+  // Fuzz: no live continuations, so every frame must fail cleanly.
+  Rng rng(4242);
+  for (int i = 0; i < 500; ++i) {
+    Message msg = Make(MessageKind::kQuery,
+                       RandomBytes(rng, rng.NextBelow(32)));
+    EXPECT_FALSE(querier->HandleMessage(msg).ok());
+  }
+}
+
+TEST_P(MalformedMessageTest, ReplayedFramesAfterCompletionAreCountedNoOps) {
+  auto querier = MakeDistributed(*bed_, &topo_.graph);
+  OutputRecord out = bed_->system().AllOutputs().front();
+  bool use_evid = GetParam() == Scheme::kAdvanced;
+  auto res = querier->QueryAndWait(out.tuple,
+                                   use_evid ? &out.meta.evid : nullptr);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+
+  // The protocol allocated continuation ids starting at 0; after the
+  // query completed they are all retired, so replaying them must be a
+  // counted error, not a crash or a double-release.
+  uint64_t before =
+      GlobalMetrics().GetCounter("query.unknown_continuations").value();
+  for (uint64_t id = 0; id < 64; ++id) {
+    ByteWriter w;
+    w.PutU64(id);
+    EXPECT_TRUE(querier->HandleMessage(Make(MessageKind::kQuery, w.Take()))
+                    .IsNotFound());
+  }
+  EXPECT_EQ(
+      GlobalMetrics().GetCounter("query.unknown_continuations").value(),
+      before + 64);
+
+  // The querier still works after the abuse.
+  auto again = querier->QueryAndWait(out.tuple,
+                                     use_evid ? &out.meta.evid : nullptr);
+  EXPECT_TRUE(again.ok()) << again.status().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, MalformedMessageTest,
+                         ::testing::Values(Scheme::kExspan, Scheme::kBasic,
+                                           Scheme::kAdvanced),
+                         [](const auto& info) {
+                           return std::string(apps::SchemeName(info.param));
+                         });
+
+}  // namespace
+}  // namespace dpc

@@ -1,0 +1,152 @@
+// MetricsRegistry / Tracer unit coverage: counter + per-node scoping,
+// histogram bucketing, snapshot deltas and renderings, tracer buffering
+// with bounded drops.
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/obs/trace.h"
+
+namespace dpc {
+namespace {
+
+TEST(CounterTest, IncrementAndPerNode) {
+  Counter c;
+  c.Increment();
+  c.Increment(4);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_TRUE(c.per_node().empty());
+
+  c.IncrementAt(2, 3);
+  c.IncrementAt(0);
+  EXPECT_EQ(c.value(), 9u);
+  ASSERT_EQ(c.per_node().size(), 3u);
+  EXPECT_EQ(c.per_node()[0], 1u);
+  EXPECT_EQ(c.per_node()[1], 0u);
+  EXPECT_EQ(c.per_node()[2], 3u);
+
+  // node < 0 is process-scoped: total only.
+  c.IncrementAt(-1, 7);
+  EXPECT_EQ(c.value(), 16u);
+  EXPECT_EQ(c.per_node().size(), 3u);
+
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_TRUE(c.per_node().empty());
+}
+
+TEST(HistogramTest, BucketsAndQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0);
+  EXPECT_EQ(h.Quantile(0.5), 0);
+
+  for (int i = 0; i < 100; ++i) h.Observe(1.0);
+  h.Observe(1000.0);
+  EXPECT_EQ(h.count(), 101u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.mean(), 1100.0 / 101.0, 1e-9);
+  // The median bucket holds the 1.0 observations; the tail sees 1000.
+  EXPECT_LE(h.Quantile(0.5), 2.0);
+  EXPECT_GE(h.Quantile(0.999), 1000.0 / 2);
+
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsRegistryTest, StableReferencesAndSnapshot) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("test.a");
+  Counter& a2 = reg.GetCounter("test.a");
+  EXPECT_EQ(&a, &a2);  // hot paths cache this pointer
+
+  a.IncrementAt(1, 10);
+  reg.GetGauge("test.g").Set(2.5);
+  reg.GetHistogram("test.h").Observe(4.0);
+
+  MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.counters.at("test.a"), 10u);
+  ASSERT_EQ(snap.counters_per_node.at("test.a").size(), 2u);
+  EXPECT_EQ(snap.counters_per_node.at("test.a")[1], 10u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.g"), 2.5);
+  EXPECT_EQ(snap.histograms.at("test.h").count, 1u);
+
+  reg.Reset();
+  EXPECT_EQ(reg.GetCounter("test.a").value(), 0u);
+  EXPECT_EQ(&reg.GetCounter("test.a"), &a);  // still the same object
+}
+
+TEST(MetricsSnapshotTest, DeltaIsolatesAWindow) {
+  MetricsRegistry reg;
+  reg.GetCounter("test.n").IncrementAt(0, 5);
+  reg.GetHistogram("test.h").Observe(1.0);
+  MetricsSnapshot before = reg.Snapshot();
+
+  reg.GetCounter("test.n").IncrementAt(0, 2);
+  reg.GetCounter("test.fresh").Increment();
+  reg.GetHistogram("test.h").Observe(3.0);
+  MetricsSnapshot delta = reg.Snapshot().Delta(before);
+
+  EXPECT_EQ(delta.counters.at("test.n"), 2u);
+  EXPECT_EQ(delta.counters_per_node.at("test.n")[0], 2u);
+  EXPECT_EQ(delta.counters.at("test.fresh"), 1u);
+  EXPECT_EQ(delta.histograms.at("test.h").count, 1u);
+  EXPECT_DOUBLE_EQ(delta.histograms.at("test.h").sum, 3.0);
+}
+
+TEST(MetricsSnapshotTest, RenderingsNameEveryMetric) {
+  MetricsRegistry reg;
+  reg.GetCounter("test.render").Increment(3);
+  reg.GetGauge("test.gauge").Set(1.5);
+  reg.GetHistogram("test.lat").Observe(0.25);
+  MetricsSnapshot snap = reg.Snapshot();
+
+  std::string text = snap.ToText();
+  EXPECT_NE(text.find("test.render"), std::string::npos);
+  EXPECT_NE(text.find("test.lat"), std::string::npos);
+
+  std::string json = snap.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.render\": 3"), std::string::npos);
+
+  EXPECT_FALSE(snap.empty());
+  EXPECT_TRUE(MetricsSnapshot{}.empty());
+}
+
+TEST(TracerTest, RecordsAndBoundsTheBuffer) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+
+  double sim_now = 1.5;
+  t.Enable([&sim_now]() { return sim_now; }, /*max_events=*/3);
+  ASSERT_TRUE(t.enabled());
+  EXPECT_DOUBLE_EQ(t.now(), 1.5);
+
+  t.Instant(0, TraceCat::kNetwork, "drop");
+  t.CompleteAt(1, TraceCat::kRule, "fire:r1", 2.0, "\"rows\": 3");
+  t.AsyncBegin(0, TraceCat::kQuery, "query", 7);
+  // Buffer full: further events are dropped and counted, never grown.
+  t.AsyncEnd(0, TraceCat::kQuery, "query", 7);
+  t.Instant(0, TraceCat::kNetwork, "drop");
+  EXPECT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.dropped_events(), 2u);
+
+  std::string json = t.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"fire:r1\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\""), std::string::npos);
+
+  t.Disable();
+  EXPECT_FALSE(t.enabled());
+  EXPECT_EQ(t.events().size(), 3u);  // still exportable after Disable
+  t.Clear();
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.dropped_events(), 0u);
+}
+
+}  // namespace
+}  // namespace dpc

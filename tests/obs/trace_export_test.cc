@@ -1,0 +1,203 @@
+// Trace-export golden test: the fwd and DNS experiment drivers must emit
+// Chrome-trace/Perfetto JSON with the documented shape — traceEvents
+// array, metadata rows, the span taxonomy (queue dispatch, rule firings,
+// query lifecycle) and monotonically non-decreasing timestamps — and the
+// ExperimentResult must carry the run's metrics snapshot.
+//
+// The repo has no JSON parser, so shape checks scan the exported string;
+// CI additionally round-trips an export through `python3 -m json.tool`.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/apps/experiments.h"
+#include "src/core/distributed_query.h"
+#include "src/obs/trace.h"
+
+namespace dpc {
+namespace {
+
+using apps::ExperimentConfig;
+using apps::ExperimentResult;
+using apps::Scheme;
+using apps::Testbed;
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Every "ts": value in the export, in file order.
+std::vector<double> ExtractTimestamps(const std::string& json) {
+  std::vector<double> out;
+  const std::string key = "\"ts\": ";
+  for (size_t pos = json.find(key); pos != std::string::npos;
+       pos = json.find(key, pos + key.size())) {
+    out.push_back(std::strtod(json.c_str() + pos + key.size(), nullptr));
+  }
+  return out;
+}
+
+void ExpectChromeTraceShape(const std::string& json) {
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(json.rfind("{\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"clock\": \"simulated\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\""), std::string::npos);
+  // Process/thread metadata rows name the per-node tracks.
+  EXPECT_NE(json.find("\"ph\": \"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"simulator\""), std::string::npos);
+
+  // Events append in dispatch order, so exported sim timestamps must be
+  // non-decreasing (metadata rows carry no ts and are skipped naturally).
+  std::vector<double> ts = ExtractTimestamps(json);
+  ASSERT_FALSE(ts.empty());
+  for (size_t i = 1; i < ts.size(); ++i) {
+    ASSERT_GE(ts[i], ts[i - 1]) << "timestamp regression at event " << i;
+  }
+}
+
+TEST(TraceExportTest, ForwardingRunExportsValidTrace) {
+  TransitStubParams params;
+  TransitStubTopology topo = MakeTransitStub(params);
+  apps::ForwardingWorkload workload = apps::MakeForwardingWorkload(
+      topo, /*pairs=*/5, /*rate_pps=*/10, /*duration_s=*/2,
+      apps::kDefaultPayloadLen, /*seed=*/42);
+  ExperimentConfig config;
+  config.duration_s = 2;
+  config.snapshot_interval_s = 1;
+  config.trace_path = ::testing::TempDir() + "fwd_trace.json";
+
+  ExperimentResult r =
+      apps::RunForwarding(Scheme::kAdvanced, topo, workload, config);
+  ASSERT_GT(r.outputs, 0u);
+
+  std::string json = ReadAll(config.trace_path);
+  ExpectChromeTraceShape(json);
+  // The taxonomy's synchronous spans: queue dispatch plus per-rule
+  // firings with their planner step counts and recorder maintenance.
+  EXPECT_NE(json.find("\"dispatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"fire:"), std::string::npos);
+  EXPECT_NE(json.find("\"plan_steps\":"), std::string::npos);
+  EXPECT_NE(json.find("\"on_rule_fired\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+
+  // The run's metrics ride in the result.
+  ASSERT_FALSE(r.metrics.empty());
+  EXPECT_GT(r.metrics.counters.at("queue.events_dispatched"), 0u);
+  EXPECT_GT(r.metrics.counters.at("system.rule_firings"), 0u);
+  EXPECT_GT(r.metrics.counters.at("system.outputs"), 0u);
+  EXPECT_FALSE(r.metrics.ToText().empty());
+}
+
+TEST(TraceExportTest, DnsRunExportsValidTrace) {
+  apps::DnsParams params;
+  params.num_servers = 20;
+  params.num_urls = 10;
+  params.trunk_depth = 6;
+  apps::DnsUniverse universe = apps::MakeDnsUniverse(params);
+  std::vector<apps::WorkloadItem> workload = apps::MakeDnsWorkload(
+      universe, /*count=*/40, /*rate_rps=*/40, /*zipf_theta=*/0.9,
+      /*seed=*/7);
+  ExperimentConfig config;
+  config.duration_s = 2;
+  config.snapshot_interval_s = 1;
+  config.trace_path = ::testing::TempDir() + "dns_trace.json";
+
+  ExperimentResult r =
+      apps::RunDns(Scheme::kBasic, universe, workload, config);
+  ASSERT_GT(r.outputs, 0u);
+
+  std::string json = ReadAll(config.trace_path);
+  ExpectChromeTraceShape(json);
+  EXPECT_NE(json.find("\"fire:"), std::string::npos);
+  ASSERT_FALSE(r.metrics.empty());
+  EXPECT_GT(r.metrics.counters.at("system.rule_firings"), 0u);
+}
+
+// Distributed queries show up as async spans with per-hop instants.
+TEST(TraceExportTest, DistributedQuerySpans) {
+  TransitStubParams params;
+  params.num_transit = 2;
+  params.stubs_per_transit = 2;
+  params.nodes_per_stub = 3;
+  TransitStubTopology topo = MakeTransitStub(params);
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+  apps::TestbedOptions options;
+  options.trace = true;  // in-memory trace, no file
+  auto bed_result = Testbed::Create(std::move(program).value(), &topo.graph,
+                                    Scheme::kAdvanced, options);
+  ASSERT_TRUE(bed_result.ok());
+  auto bed = std::move(bed_result).value();
+  ASSERT_TRUE(bed->tracing());
+
+  Rng rng(5);
+  auto pairs = apps::PickCommunicatingPairs(topo, 3, rng);
+  for (auto [s, d] : pairs) {
+    ASSERT_TRUE(
+        apps::InstallRoutesForPair(bed->system(), topo.graph, s, d).ok());
+  }
+  double t = 0;
+  for (auto [s, d] : pairs) {
+    ASSERT_TRUE(bed->system()
+                    .ScheduleInject(
+                        apps::MakePacket(s, s, d, apps::MakePayload(64, s)),
+                        t += 0.001)
+                    .ok());
+  }
+  bed->system().Run();
+  ASSERT_GT(bed->system().stats().outputs, 0u);
+
+  auto querier = DistributedQuerier::ForAdvanced(
+      bed->advanced(), &bed->program(), &bed->system().functions(),
+      &topo.graph, &bed->queue());
+  OutputRecord out = bed->system().AllOutputs().front();
+  auto res = querier->QueryAndWait(out.tuple, &out.meta.evid);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+
+  bool saw_begin = false, saw_end = false, saw_hop = false;
+  for (const TraceEvent& ev : Trace().events()) {
+    if (ev.cat != TraceCat::kQuery) continue;
+    if (ev.name == "query" && ev.phase == 'b') saw_begin = true;
+    if (ev.name == "query" && ev.phase == 'e') saw_end = true;
+    if (ev.name == "hop" && ev.phase == 'i') saw_hop = true;
+  }
+  EXPECT_TRUE(saw_begin);
+  EXPECT_TRUE(saw_end);
+  EXPECT_TRUE(saw_hop);
+
+  MetricsSnapshot delta = bed->MetricsDelta();
+  EXPECT_GE(delta.counters.at("query.started"), 1u);
+  EXPECT_GE(delta.counters.at("query.completed"), 1u);
+  EXPECT_GE(delta.histograms.at("query.latency_s").count, 1u);
+}
+
+// Satellite hardening: growth accessors on degenerate results must warn
+// and report zero, never underflow `size() - 1`.
+TEST(TraceExportTest, EmptySnapshotGrowthIsZero) {
+  ExperimentResult r;
+  EXPECT_TRUE(r.PerNodeGrowthBps().empty());
+  EXPECT_EQ(r.TotalGrowthBytesPerSec(), 0);
+  EXPECT_EQ(r.TotalStorageAt(3), 0u);
+
+  r.snapshot_times = {1.0};  // one snapshot: still no window
+  r.per_node_storage = {{10, 20}};
+  EXPECT_TRUE(r.PerNodeGrowthBps().empty());
+  EXPECT_EQ(r.TotalGrowthBytesPerSec(), 0);
+
+  r.snapshot_times = {1.0, 1.0};  // zero-width window
+  r.per_node_storage = {{10, 20}, {30, 40}};
+  EXPECT_TRUE(r.PerNodeGrowthBps().empty());
+  EXPECT_EQ(r.TotalGrowthBytesPerSec(), 0);
+}
+
+}  // namespace
+}  // namespace dpc

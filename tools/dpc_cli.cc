@@ -25,6 +25,16 @@
 //
 //   dpc_cli lint [--werror] [-f text|json] [--keys] [--plan]
 //                [--interest REL]... FILE...
+//
+// The trace subcommand runs a trace script with the observability layer
+// enabled, exports the run as Chrome-trace/Perfetto JSON (open it in
+// ui.perfetto.dev) and optionally prints the metrics summary:
+//
+//   dpc_cli trace --program FILE --script FILE [--scheme NAME]
+//                 [--out trace.json] [--stats] [--interest REL]...
+//
+// `--stats` also works in plain run mode to print the metrics registry
+// after the script completes.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -36,6 +46,7 @@
 #include "src/core/query.h"
 #include "src/core/snapshot.h"
 #include "src/ndlog/parser.h"
+#include "src/obs/trace.h"
 #include "src/util/stats.h"
 
 namespace dpc {
@@ -246,65 +257,35 @@ int RunLint(int argc, char** argv) {
   return LintExitCode(results, options);
 }
 
-int Run(int argc, char** argv) {
-  if (argc > 1 && std::strcmp(argv[1], "lint") == 0) {
-    return RunLint(argc, argv);
-  }
-  std::string program_path, trace_path, scheme_name = "advanced";
+// Flags shared by the plain run mode and the trace subcommand.
+struct RunConfig {
+  std::string program_path;
+  std::string script_path;  // the command script (run mode's --trace)
+  std::string scheme_name = "advanced";
   std::vector<std::string> interests;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    if (arg == "--program") {
-      const char* v = next();
-      if (!v) return Fail("--program needs a file");
-      program_path = v;
-    } else if (arg == "--trace") {
-      const char* v = next();
-      if (!v) return Fail("--trace needs a file");
-      trace_path = v;
-    } else if (arg == "--scheme") {
-      const char* v = next();
-      if (!v) return Fail("--scheme needs a name");
-      scheme_name = v;
-    } else if (arg == "--interest") {
-      const char* v = next();
-      if (!v) return Fail("--interest needs a relation");
-      interests.push_back(v);
-    } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: dpc_cli --program FILE --trace FILE "
-                  "[--scheme NAME] [--interest REL]...\n"
-                  "       dpc_cli lint [--werror] [-f text|json] [--keys] "
-                  "[--plan] [--interest REL]... FILE...\n");
-      return 0;
-    } else {
-      return Fail("unknown flag " + arg + " (try --help)");
-    }
-  }
-  if (program_path.empty() || trace_path.empty()) {
-    return Fail("--program and --trace are required (try --help)");
-  }
+  std::string trace_out;  // Chrome-trace JSON path ("" = no tracing)
+  bool stats = false;     // print the metrics registry at the end
+};
 
-  auto scheme = ParseScheme(scheme_name);
+int RunScript(const RunConfig& config) {
+  auto scheme = ParseScheme(config.scheme_name);
   if (!scheme.ok()) return Fail(scheme.status().ToString());
-  auto source = ReadFile(program_path);
+  auto source = ReadFile(config.program_path);
   if (!source.ok()) return Fail(source.status().ToString());
-  auto trace_text = ReadFile(trace_path);
-  if (!trace_text.ok()) return Fail(trace_text.status().ToString());
+  auto script_text = ReadFile(config.script_path);
+  if (!script_text.ok()) return Fail(script_text.status().ToString());
 
   ProgramOptions options;
-  options.name = program_path;
-  options.relations_of_interest = interests;
+  options.name = config.program_path;
+  options.relations_of_interest = config.interests;
   auto program = Program::Parse(*source, options);
   if (!program.ok()) return Fail(program.status().ToString());
 
-  // First pass over the trace: topology declarations.
+  // First pass over the script: topology declarations.
   Topology topo;
   std::vector<std::string> lines;
   {
-    std::istringstream ss(*trace_text);
+    std::istringstream ss(*script_text);
     std::string line;
     int lineno = 0;
     while (std::getline(ss, line)) {
@@ -330,15 +311,18 @@ int Run(int argc, char** argv) {
       }
     }
   }
-  if (topo.num_nodes() == 0) return Fail("trace declares no nodes");
+  if (topo.num_nodes() == 0) return Fail("script declares no nodes");
   topo.ComputeRoutes();
 
-  auto bed = Testbed::Create(std::move(program).value(), &topo, *scheme);
+  apps::TestbedOptions bed_options;
+  bed_options.trace_path = config.trace_out;
+  auto bed = Testbed::Create(std::move(program).value(), &topo, *scheme,
+                             std::move(bed_options));
   if (!bed.ok()) return Fail(bed.status().ToString());
 
   TraceRunner runner;
   runner.bed = std::move(bed).value();
-  std::printf("# %s on %d nodes under %s\n", program_path.c_str(),
+  std::printf("# %s on %d nodes under %s\n", config.program_path.c_str(),
               topo.num_nodes(), apps::SchemeName(*scheme));
   int lineno = 0;
   for (const std::string& line : lines) {
@@ -346,7 +330,116 @@ int Run(int argc, char** argv) {
     int rc = runner.Execute(line, lineno);
     if (rc != 0) return rc;
   }
+  if (config.stats) {
+    std::fputs(runner.bed->MetricsDelta().ToText().c_str(), stdout);
+  }
+  if (!config.trace_out.empty()) {
+    Status st = runner.bed->FlushTrace();
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("wrote %zu trace events to %s (%llu dropped)\n",
+                Trace().events().size(), config.trace_out.c_str(),
+                static_cast<unsigned long long>(Trace().dropped_events()));
+  }
   return 0;
+}
+
+// dpc_cli trace: the run machinery with the observability layer on. The
+// command script stays under --script here because --trace historically
+// names the script in run mode; --out is the Chrome-trace JSON.
+int RunTraceExport(int argc, char** argv) {
+  RunConfig config;
+  config.trace_out = "trace.json";
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--program") {
+      const char* v = next();
+      if (!v) return Fail("--program needs a file");
+      config.program_path = v;
+    } else if (arg == "--script" || arg == "--trace") {
+      const char* v = next();
+      if (!v) return Fail(arg + " needs a file");
+      config.script_path = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return Fail("--out needs a file");
+      config.trace_out = v;
+    } else if (arg == "--scheme") {
+      const char* v = next();
+      if (!v) return Fail("--scheme needs a name");
+      config.scheme_name = v;
+    } else if (arg == "--interest") {
+      const char* v = next();
+      if (!v) return Fail("--interest needs a relation");
+      config.interests.push_back(v);
+    } else if (arg == "--stats") {
+      config.stats = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: dpc_cli trace --program FILE --script FILE "
+                  "[--scheme NAME] [--out trace.json] [--stats] "
+                  "[--interest REL]...\n");
+      return 0;
+    } else {
+      return Fail("unknown trace flag " + arg + " (try dpc_cli trace --help)");
+    }
+  }
+  if (config.program_path.empty() || config.script_path.empty()) {
+    return Fail("trace needs --program and --script (try dpc_cli trace "
+                "--help)");
+  }
+  return RunScript(config);
+}
+
+int Run(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "lint") == 0) {
+    return RunLint(argc, argv);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "trace") == 0) {
+    return RunTraceExport(argc, argv);
+  }
+  RunConfig config;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--program") {
+      const char* v = next();
+      if (!v) return Fail("--program needs a file");
+      config.program_path = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (!v) return Fail("--trace needs a file");
+      config.script_path = v;
+    } else if (arg == "--scheme") {
+      const char* v = next();
+      if (!v) return Fail("--scheme needs a name");
+      config.scheme_name = v;
+    } else if (arg == "--interest") {
+      const char* v = next();
+      if (!v) return Fail("--interest needs a relation");
+      config.interests.push_back(v);
+    } else if (arg == "--stats") {
+      config.stats = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: dpc_cli --program FILE --trace FILE "
+                  "[--scheme NAME] [--stats] [--interest REL]...\n"
+                  "       dpc_cli lint [--werror] [-f text|json] [--keys] "
+                  "[--plan] [--interest REL]... FILE...\n"
+                  "       dpc_cli trace --program FILE --script FILE "
+                  "[--scheme NAME] [--out trace.json] [--stats] "
+                  "[--interest REL]...\n");
+      return 0;
+    } else {
+      return Fail("unknown flag " + arg + " (try --help)");
+    }
+  }
+  if (config.program_path.empty() || config.script_path.empty()) {
+    return Fail("--program and --trace are required (try --help)");
+  }
+  return RunScript(config);
 }
 
 }  // namespace
