@@ -11,6 +11,7 @@ namespace dpc {
 
 using analysis_internal::RunConstraintPass;
 using analysis_internal::RunEquiKeyPass;
+using analysis_internal::RunLocalityPass;
 using analysis_internal::RunPlanPass;
 using analysis_internal::RunSchemaPass;
 using analysis_internal::RunVariableLintPass;
@@ -73,6 +74,13 @@ AnalysisResult AnalyzeRules(std::vector<Rule> rules,
   if (options.explain_keys && program) {
     RunEquiKeyPass(*program, options.key_notes, res.diagnostics,
                    res.key_explanations, res.key_summary);
+  }
+
+  // Pass 7 shares pass 5/6's preconditions: locality classifications of an
+  // ill-formed DELP would be meaningless, and the keyedness check needs
+  // the constructed Program's dependency graph.
+  if (options.shard && program) {
+    RunLocalityPass(rules, *program, res.diagnostics, &res.shard_report);
   }
 
   SortByLocation(res.diagnostics);

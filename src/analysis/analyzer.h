@@ -20,6 +20,12 @@
 //      joins, unindexable probes and dead rules; with plan notes
 //      enabled it also emits a per-rule plan/cost report backed by
 //      the static cost model.                             W601-W603, N604
+//   7. Shard locality (opt-in, `--shard`): classifies every rule as
+//      node-local or cross-shard from its head/event location terms,
+//      flags cross-shard rules whose destination is not determined by
+//      an equivalence key (the §5.5 cache-reset hazard), and rejects
+//      condition atoms not co-located with the event.
+//                                                         N701, W702, E703
 //
 // Parse failures surface as code E001. The `dpc_cli lint` subcommand
 // (src/analysis/lint.h) renders results as text or JSON.
@@ -49,6 +55,12 @@ struct AnalyzerOptions {
   // and fill AnalysisResult::plan_report. The plan warnings (W601-W603)
   // are always on.
   bool plan_notes = false;
+  // Run the shard-locality pass (N701/W702/E703) and fill
+  // AnalysisResult::shard_report. Off by default: W702 is expected on
+  // correct programs whose destination is data-dependent (e.g. dns.ndlog),
+  // so the pass is an opt-in readiness check for the sharded runtime, not
+  // part of the always-on lint.
+  bool shard = false;
 };
 
 // One rule's compiled plan and cost estimate, as surfaced by pass 6 with
@@ -85,6 +97,40 @@ struct PlanReport {
   bool empty() const { return rules.empty() && index_signatures.empty(); }
 };
 
+// One rule's shard-locality classification, as surfaced by pass 7
+// (`dpc-lint --shard`).
+struct RuleShardReport {
+  std::string rule_id;
+  // Rendered location terms of the event atom and the head.
+  std::string event_loc;
+  std::string head_loc;
+  // The head location term equals the event location term: the firing
+  // stays on the shard that owns the triggering event.
+  bool node_local = false;
+  // For cross-shard rules: the destination is determined by an
+  // equivalence key of the input event (or is a constant node), so the
+  // sharded runtime can route the firing — and the §5.5 cache resets it
+  // implies — without consulting another shard. Trivially true for
+  // node-local rules.
+  bool keyed = false;
+  // Condition atoms whose location term differs from the event's (each
+  // also reported as E703).
+  size_t mixed_conditions = 0;
+};
+
+// Pass-7 report, in rule order.
+struct ShardReport {
+  std::vector<RuleShardReport> rules;
+
+  size_t node_local() const {
+    size_t n = 0;
+    for (const RuleShardReport& r : rules) n += r.node_local ? 1 : 0;
+    return n;
+  }
+  size_t cross_shard() const { return rules.size() - node_local(); }
+  bool empty() const { return rules.empty(); }
+};
+
 struct AnalysisResult {
   // All diagnostics, sorted by source location.
   std::vector<Diagnostic> diagnostics;
@@ -94,6 +140,10 @@ struct AnalysisResult {
 
   // Per-rule plan/cost report (empty unless pass 6 ran with plan notes).
   PlanReport plan_report;
+
+  // Per-rule shard-locality report (empty unless pass 7 ran, i.e. under
+  // AnalyzerOptions::shard on an error-free program).
+  ShardReport shard_report;
 
   // Equivalence-key soundness report (empty unless pass 5 ran).
   std::vector<KeyExplanation> key_explanations;

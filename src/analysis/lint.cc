@@ -65,6 +65,26 @@ void AppendJsonPlanRule(std::string& out, const RulePlanReport& r) {
   out += "}";
 }
 
+void AppendJsonShardRule(std::string& out, const RuleShardReport& r) {
+  out += "{\"rule\":\"" + JsonEscape(r.rule_id) + "\",\"event_loc\":\"" +
+         JsonEscape(r.event_loc) + "\",\"head_loc\":\"" +
+         JsonEscape(r.head_loc) + "\",\"node_local\":";
+  out += r.node_local ? "true" : "false";
+  out += ",\"keyed\":";
+  out += r.keyed ? "true" : "false";
+  out += ",\"mixed_conditions\":" + std::to_string(r.mixed_conditions) + "}";
+}
+
+void AppendJsonShard(std::string& out, const ShardReport& shard) {
+  out += "\"shards\":{\"rules\":[";
+  for (size_t i = 0; i < shard.rules.size(); ++i) {
+    if (i > 0) out += ",";
+    AppendJsonShardRule(out, shard.rules[i]);
+  }
+  out += "],\"node_local\":" + std::to_string(shard.node_local()) +
+         ",\"cross_shard\":" + std::to_string(shard.cross_shard()) + "}";
+}
+
 void AppendJsonPlan(std::string& out, const PlanReport& plan) {
   out += "\"plans\":{\"rules\":[";
   for (size_t i = 0; i < plan.rules.size(); ++i) {
@@ -160,6 +180,27 @@ std::string RenderText(const std::vector<FileLint>& results,
         out += "\n";
       }
     }
+    if (options.print_shard && !fl.result.shard_report.empty()) {
+      const ShardReport& shard = fl.result.shard_report;
+      out += fl.file + ": shard locality (" +
+             std::to_string(shard.node_local()) + " node-local, " +
+             std::to_string(shard.cross_shard()) + " cross-shard)\n";
+      for (const RuleShardReport& r : shard.rules) {
+        out += "  " + r.rule_id + ": ";
+        if (r.node_local) {
+          out += "node-local (@" + r.event_loc + ")";
+        } else {
+          out += "cross-shard (@" + r.event_loc + " -> @" + r.head_loc +
+                 (r.keyed ? "), keyed" : "), unkeyed");
+        }
+        if (r.mixed_conditions > 0) {
+          out += ", " + std::to_string(r.mixed_conditions) +
+                 " mislocated condition" +
+                 (r.mixed_conditions == 1 ? "" : "s");
+        }
+        out += "\n";
+      }
+    }
     size_t errors = fl.result.errors();
     size_t warnings = fl.result.warnings();
     out += fl.file + ": " + std::to_string(errors) + " error" +
@@ -200,6 +241,10 @@ std::string RenderJson(const std::vector<FileLint>& results) {
     if (!fl.result.plan_report.empty()) {
       out += ",";
       AppendJsonPlan(out, fl.result.plan_report);
+    }
+    if (!fl.result.shard_report.empty()) {
+      out += ",";
+      AppendJsonShard(out, fl.result.shard_report);
     }
     out += "}";
   }

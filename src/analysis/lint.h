@@ -27,6 +27,10 @@ struct LintOptions {
   // carries it whenever the analyzer produced one, i.e. under
   // `--plan` / AnalyzerOptions::plan_notes).
   bool print_plan = false;
+  // Include the shard-locality report in text output (the JSON output
+  // carries it whenever the analyzer produced one, i.e. under
+  // `--shard` / AnalyzerOptions::shard).
+  bool print_shard = false;
 };
 
 // One linted file and its analysis result.
@@ -44,8 +48,8 @@ std::string RenderText(const std::vector<FileLint>& results,
                        const LintOptions& options);
 
 // JSON object: {"files":[{"file","errors","warnings","diagnostics":[...],
-// "equivalence_keys":{...}?,"plans":{...}?}],"errors":N,"warnings":M}.
-// Stable schema, documented in docs/analysis.md.
+// "equivalence_keys":{...}?,"plans":{...}?,"shards":{...}?}],
+// "errors":N,"warnings":M}. Stable schema, documented in docs/analysis.md.
 std::string RenderJson(const std::vector<FileLint>& results);
 
 // 0 when clean; 1 when any file has errors (or warnings under --werror).

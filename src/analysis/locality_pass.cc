@@ -1,0 +1,128 @@
+// Pass 7: shard-locality classification (N701, W702, E703).
+//
+// The sharded runtime the roadmap targets partitions nodes across worker
+// threads. A rule firing is cheap when it stays on the shard that owns the
+// triggering event and expensive — a cross-shard handoff plus, for the
+// advanced scheme, a §5.5 co-located cache reset at the destination — when
+// it does not. All of that is decidable statically from the location
+// terms:
+//
+//   node-local   head(@L, ...) :- event(@L, ...), ...     N701 note
+//   cross-shard  head(@X, ...) :- event(@L, ...), ...     X != L
+//
+// A cross-shard rule is routable when its destination is a function of the
+// event alone: a constant node, or a location variable reachable from an
+// equivalence-key attribute of the input event in the dependency graph
+// (§5.2) — two key-equivalent events then agree on the destination shard,
+// so the per-equivalence-class state of §5.3/§5.5 stays shard-partitioned.
+// A cross-shard rule whose destination is *not* keyed defeats that
+// partitioning (W702): the cache reset for an equivalence class may land
+// on any shard, forcing cross-shard coordination the runtime cannot
+// amortize.
+//
+// Condition atoms are joined at the event's node; a condition whose
+// location term differs from the event's cannot be evaluated on one shard
+// at all (E703).
+#include <string>
+#include <vector>
+
+#include "src/analysis/passes.h"
+#include "src/core/dependency_graph.h"
+#include "src/core/equivalence_keys.h"
+
+namespace dpc {
+namespace analysis_internal {
+
+namespace {
+
+// Syntactic equality of two location terms: same variable, or same
+// constant value.
+bool SameLocTerm(const Term& a, const Term& b) {
+  if (a.is_var() != b.is_var()) return false;
+  if (a.is_var()) return a.var == b.var;
+  return a.constant == b.constant;
+}
+
+}  // namespace
+
+void RunLocalityPass(const std::vector<Rule>& rules, const Program& program,
+                     std::vector<Diagnostic>& out, ShardReport* report) {
+  if (rules.empty()) return;
+
+  DependencyGraph graph = DependencyGraph::Build(program);
+  Result<EquivalenceKeys> keys = ComputeEquivalenceKeys(program, graph);
+  if (!keys.ok()) {
+    AddDiag(out, Severity::kError, "E502", SourceLoc{},
+            "internal: Program constructed but equivalence keys failed in "
+            "the locality pass: " +
+                keys.status().message());
+    return;
+  }
+  const std::string& input = keys.value().event_relation();
+
+  for (const Rule& rule : rules) {
+    if (rule.atoms.empty()) continue;  // E102 elsewhere; pass runs clean
+    const Atom& event = rule.EventAtom();
+    if (event.args.empty() || rule.head.args.empty()) continue;
+    const Term& event_loc = event.args[0];
+
+    RuleShardReport rep;
+    rep.rule_id = rule.id;
+    rep.event_loc = event_loc.ToString();
+    rep.head_loc = rule.head.args[0].ToString();
+
+    for (const Atom* cond : rule.ConditionAtoms()) {
+      if (!cond->args.empty() && SameLocTerm(cond->args[0], event_loc)) {
+        continue;
+      }
+      ++rep.mixed_conditions;
+      std::string cond_loc =
+          cond->args.empty() ? "<none>" : cond->args[0].ToString();
+      AddDiag(out, Severity::kError, "E703", cond->loc,
+              "rule " + rule.id + ": condition " + cond->relation +
+                  " is at location " + cond_loc + " but the event is at " +
+                  rep.event_loc +
+                  "; conditions must be co-located with their triggering "
+                  "event to evaluate on one shard");
+    }
+
+    rep.node_local = SameLocTerm(rule.head.args[0], event_loc);
+    if (rep.node_local) {
+      rep.keyed = true;
+      AddDiag(out, Severity::kNote, "N701", rule.loc,
+              "rule " + rule.id + ": node-local — head location " +
+                  rep.head_loc +
+                  " equals the event location; the firing never leaves "
+                  "the event's shard");
+    } else if (!rule.head.args[0].is_var()) {
+      // Constant destination: every firing lands on one fixed shard.
+      rep.keyed = true;
+    } else {
+      // Destination is keyed when the head's location attribute is
+      // reachable from some equivalence-key attribute of the input event:
+      // key-equivalent events then route to the same shard.
+      AttrNode head_loc_attr{rule.head.relation, 0};
+      for (size_t k : keys.value().indices()) {
+        if (graph.Reachable(AttrNode{input, k}, head_loc_attr)) {
+          rep.keyed = true;
+          break;
+        }
+      }
+      if (!rep.keyed) {
+        AddDiag(out, Severity::kWarning, "W702", rule.loc,
+                "rule " + rule.id + ": cross-shard — head location " +
+                    rep.head_loc +
+                    " is not determined by any equivalence key of input "
+                    "event " +
+                    input +
+                    "; the §5.5 cache reset for an equivalence class may "
+                    "land on any shard (cache-reset hazard)");
+      }
+    }
+
+    if (report != nullptr) report->rules.push_back(std::move(rep));
+  }
+}
+
+}  // namespace analysis_internal
+}  // namespace dpc

@@ -48,6 +48,17 @@ void RunPlanPass(const std::vector<Rule>& rules, const Program* program,
                  bool emit_notes, std::vector<Diagnostic>& out,
                  PlanReport* report);
 
+// Pass 7 (opt-in): shard-locality classification. A rule is node-local
+// when its head location term equals its event location term (N701 note);
+// otherwise it is cross-shard, and if its destination is neither a
+// constant node nor reachable from an equivalence key of the input event
+// in the dependency graph, the sharded runtime cannot route its §5.5
+// cache resets — W702. Condition atoms not co-located with the event are
+// E703 errors. Requires a constructed Program (dependency graph +
+// equivalence keys), hence an error-free front half.
+void RunLocalityPass(const std::vector<Rule>& rules, const Program& program,
+                     std::vector<Diagnostic>& out, ShardReport* report);
+
 }  // namespace analysis_internal
 }  // namespace dpc
 

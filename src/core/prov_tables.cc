@@ -227,24 +227,31 @@ std::vector<const RuleExecLinkEntry*> RuleExecLinkTable::FindByRid(
 // --- TupleStore -------------------------------------------------------------
 
 bool TupleStore::Put(const Tuple& t) {
+  // Identity is computed before taking the lock: Vid/SerializedSize are
+  // themselves thread-safe and possibly slow on first touch.
   const Vid& vid = t.Vid();
+  size_t content_bytes = t.SerializedSize();
+  MutexLock lock(mu_);
   auto it = tuples_.find(vid);
   if (it != tuples_.end()) return false;
   tuples_.emplace(vid, MakeTupleRef(t));
-  bytes_ += kDigestSize + t.SerializedSize();  // key digest + content
+  bytes_ += kDigestSize + content_bytes;  // key digest + content
   return true;
 }
 
 bool TupleStore::Put(TupleRef t) {
   const Vid& vid = t->Vid();
+  size_t content_bytes = t->SerializedSize();
+  MutexLock lock(mu_);
   auto [it, inserted] = tuples_.emplace(vid, std::move(t));
   if (inserted) {
-    bytes_ += kDigestSize + it->second->SerializedSize();
+    bytes_ += kDigestSize + content_bytes;
   }
   return inserted;
 }
 
 const Tuple* TupleStore::Find(const Vid& vid) const {
+  MutexLock lock(mu_);
   auto it = tuples_.find(vid);
   return it == tuples_.end() ? nullptr : it->second.get();
 }

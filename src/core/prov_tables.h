@@ -20,6 +20,7 @@
 #include "src/db/tuple.h"
 #include "src/util/serial.h"
 #include "src/util/sha1.h"
+#include "src/util/thread_annotations.h"
 
 namespace dpc {
 
@@ -194,29 +195,75 @@ class RuleExecLinkTable {
 // Materialized tuple contents keyed by VID: input events at their injection
 // node (all schemes; the irreducible per-event "delta" of §5.1) and, for
 // ExSPAN, every intermediate/output/base tuple its hash-only rows refer to.
+//
+// Thread-safe: the map is mutex-guarded because a tuple injected on one
+// shard can be referenced (and thus stored/looked-up) from another. Find
+// returns a pointer to the shared-immutable tuple, which stays valid under
+// concurrent Puts — the map owns TupleRefs, so rehashing moves the refs,
+// never the tuples.
 class TupleStore {
  public:
+  TupleStore() = default;
+
+  // Movable for single-owner handoff (snapshot restore, container
+  // growth). Moving locks the source; the moved-from store is empty and
+  // must not be raced by other threads during the move.
+  TupleStore(TupleStore&& other) noexcept {
+    MutexLock lock(other.mu_);
+    tuples_ = std::move(other.tuples_);
+    bytes_ = other.bytes_;
+    other.tuples_.clear();
+    other.bytes_ = 0;
+  }
+  TupleStore& operator=(TupleStore&& other) noexcept {
+    if (this != &other) {
+      std::unordered_map<Vid, TupleRef, Sha1DigestHash> taken;
+      size_t taken_bytes = 0;
+      {
+        MutexLock lock(other.mu_);
+        taken = std::move(other.tuples_);
+        taken_bytes = other.bytes_;
+        other.tuples_.clear();
+        other.bytes_ = 0;
+      }
+      MutexLock lock(mu_);
+      tuples_ = std::move(taken);
+      bytes_ = taken_bytes;
+    }
+    return *this;
+  }
+
   // Returns false if the VID was already present. The TupleRef overload
   // shares the caller's allocation; the Tuple overload allocates only when
   // the VID is actually new.
-  bool Put(const Tuple& t);
-  bool Put(TupleRef t);
+  bool Put(const Tuple& t) DPC_EXCLUDES(mu_);
+  bool Put(TupleRef t) DPC_EXCLUDES(mu_);
 
-  const Tuple* Find(const Vid& vid) const;
+  const Tuple* Find(const Vid& vid) const DPC_EXCLUDES(mu_);
   bool Contains(const Vid& vid) const { return Find(vid) != nullptr; }
 
-  // Applies `fn` to every stored tuple (unspecified order).
+  // Applies `fn` to every stored tuple (unspecified order), holding the
+  // store lock throughout: `fn` must not call back into this store.
   template <typename Fn>
-  void ForEach(Fn&& fn) const {
+  void ForEach(Fn&& fn) const DPC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     for (const auto& [_, tuple] : tuples_) fn(*tuple);
   }
 
-  size_t size() const { return tuples_.size(); }
-  size_t SerializedBytes() const { return bytes_; }
+  size_t size() const DPC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return tuples_.size();
+  }
+  size_t SerializedBytes() const DPC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return bytes_;
+  }
 
  private:
-  std::unordered_map<Vid, TupleRef, Sha1DigestHash> tuples_;
-  size_t bytes_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<Vid, TupleRef, Sha1DigestHash> tuples_
+      DPC_GUARDED_BY(mu_);
+  size_t bytes_ DPC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dpc

@@ -26,9 +26,10 @@ void TupleInterner::Pool(TupleRef ref) {
 }
 
 TupleRef TupleInterner::Intern(Tuple t) {
+  MutexLock lock(mu_);
   if (TupleRef* pooled = FindPooled(t)) {
     ++hits_;
-    ++identity_counters().tuples_interned;
+    identity_cells().tuples_interned.Bump();
     return *pooled;
   }
   TupleRef ref = MakeTupleRef(std::move(t));
@@ -37,9 +38,10 @@ TupleRef TupleInterner::Intern(Tuple t) {
 }
 
 TupleRef TupleInterner::Intern(const TupleRef& t) {
+  MutexLock lock(mu_);
   if (TupleRef* pooled = FindPooled(*t)) {
     ++hits_;
-    ++identity_counters().tuples_interned;
+    identity_cells().tuples_interned.Bump();
     return *pooled;
   }
   Pool(t);
@@ -47,6 +49,7 @@ TupleRef TupleInterner::Intern(const TupleRef& t) {
 }
 
 void TupleInterner::Clear() {
+  MutexLock lock(mu_);
   pool_.clear();
   count_ = 0;
 }

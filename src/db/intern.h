@@ -9,6 +9,10 @@
 // flushed wholesale (epoch clear). Outstanding TupleRefs stay valid — the
 // pool only drops its own references — so a flush costs future sharing,
 // never correctness.
+//
+// Thread-safe: the pool is guarded by an internal mutex, so shard workers
+// interning concurrently (same or different contents) always get refs
+// whose contents equal what they passed in.
 #ifndef DPC_DB_INTERN_H_
 #define DPC_DB_INTERN_H_
 
@@ -17,6 +21,7 @@
 #include <vector>
 
 #include "src/db/tuple.h"
+#include "src/util/thread_annotations.h"
 
 namespace dpc {
 
@@ -28,28 +33,39 @@ class TupleInterner {
       : max_entries_(max_entries == 0 ? 1 : max_entries) {}
 
   // Returns the pooled ref for `t`'s content, pooling it if new.
-  TupleRef Intern(Tuple t);
+  TupleRef Intern(Tuple t) DPC_EXCLUDES(mu_);
   // As above without consuming the caller's tuple (copies only when new).
-  TupleRef Intern(const TupleRef& t);
+  TupleRef Intern(const TupleRef& t) DPC_EXCLUDES(mu_);
 
-  size_t size() const { return count_; }
+  size_t size() const DPC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return count_;
+  }
   // Intern calls answered by an already-pooled tuple.
-  uint64_t hits() const { return hits_; }
+  uint64_t hits() const DPC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return hits_;
+  }
   // Number of wholesale evictions triggered by the size bound.
-  uint64_t flushes() const { return flushes_; }
+  uint64_t flushes() const DPC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return flushes_;
+  }
 
-  void Clear();
+  void Clear() DPC_EXCLUDES(mu_);
 
  private:
-  TupleRef* FindPooled(const Tuple& t);
-  void Pool(TupleRef ref);
+  TupleRef* FindPooled(const Tuple& t) DPC_REQUIRES(mu_);
+  void Pool(TupleRef ref) DPC_REQUIRES(mu_);
 
+  mutable Mutex mu_;
   size_t max_entries_;
   // Content hash -> pooled tuples with that hash (collision chain).
-  std::unordered_map<uint64_t, std::vector<TupleRef>> pool_;
-  size_t count_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t flushes_ = 0;
+  std::unordered_map<uint64_t, std::vector<TupleRef>> pool_
+      DPC_GUARDED_BY(mu_);
+  size_t count_ DPC_GUARDED_BY(mu_) = 0;
+  uint64_t hits_ DPC_GUARDED_BY(mu_) = 0;
+  uint64_t flushes_ DPC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace dpc

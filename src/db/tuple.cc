@@ -1,5 +1,7 @@
 #include "src/db/tuple.h"
 
+#include <thread>
+
 #include "src/util/logging.h"
 #include "src/util/perf.h"
 
@@ -20,34 +22,51 @@ NodeId Tuple::Location() const {
 }
 
 const Sha1Digest& Tuple::Vid() const {
-  if ((id_.flags & kHasVid) != 0) {
-    ++identity_counters().vid_cache_hits;
+  if (id_.vid_state.load(std::memory_order_acquire) == kVidReady) {
+    identity_cells().vid_cache_hits.Bump();
     return id_.vid;
   }
-  ++identity_counters().vid_cache_misses;
-  ByteWriter w;
-  w.Reserve(SerializedSize());
-  Serialize(w);
-  id_.vid = Sha1::Hash(w.bytes().data(), w.size());
-  id_.flags |= kHasVid;
+  uint8_t expected = kVidEmpty;
+  if (id_.vid_state.compare_exchange_strong(expected, kVidBusy,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+    identity_cells().vid_cache_misses.Bump();
+    ByteWriter w;
+    w.Reserve(SerializedSize());
+    Serialize(w);
+    id_.vid = Sha1::Hash(w.bytes().data(), w.size());
+    id_.vid_state.store(kVidReady, std::memory_order_release);
+    return id_.vid;
+  }
+  // Another thread claimed the computation (expected now holds kVidBusy or
+  // kVidReady). SHA-1 over a small buffer is short; wait for the publish
+  // instead of redundantly recomputing.
+  while (id_.vid_state.load(std::memory_order_acquire) != kVidReady) {
+    std::this_thread::yield();
+  }
+  identity_cells().vid_cache_hits.Bump();
   return id_.vid;
 }
 
 uint64_t Tuple::Hash64() const {
-  if ((id_.flags & kHasHash) != 0) return id_.hash64;
+  if (id_.hash_ready.load(std::memory_order_acquire) != 0) {
+    return id_.hash64.load(std::memory_order_relaxed);
+  }
   Fnv1a h;
   h.PutString(relation_);
   h.PutVarint(values_.size());
   for (const auto& v : values_) v.HashInto(h);
-  id_.hash64 = h.hash();
-  id_.flags |= kHasHash;
-  return id_.hash64;
+  // Racing computers store the same deterministic value, so the plain
+  // store-then-publish is idempotent.
+  id_.hash64.store(h.hash(), std::memory_order_relaxed);
+  id_.hash_ready.store(1, std::memory_order_release);
+  return h.hash();
 }
 
 void Tuple::Serialize(ByteWriter& w) const {
   size_t size = SerializedSize();
   w.Reserve(size);
-  identity_counters().tuple_bytes_serialized += size;
+  identity_cells().tuple_bytes_serialized.Bump(size);
   w.PutString(relation_);
   w.PutVarint(values_.size());
   for (const auto& v : values_) v.Serialize(w);
@@ -73,11 +92,11 @@ Result<Tuple> Tuple::Deserialize(ByteReader& r) {
 }
 
 size_t Tuple::SerializedSize() const {
-  if ((id_.flags & kHasSize) != 0) return id_.size;
+  size_t cached = id_.size.load(std::memory_order_relaxed);
+  if (cached != 0) return cached;
   size_t size = StringSerializedSize(relation_) + VarintSize(values_.size());
   for (const auto& v : values_) size += v.SerializedSize();
-  id_.size = size;
-  id_.flags |= kHasSize;
+  id_.size.store(size, std::memory_order_relaxed);
   return size;
 }
 

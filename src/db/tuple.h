@@ -8,11 +8,21 @@
 // and memoized with no invalidation. The caches are copied along with the
 // tuple, so a tuple that flows through tables, stores and recorders pays
 // for each identity at most once per allocation; share a TupleRef to pay
-// at most once per *content*. Single-threaded by design, like the rest of
-// the simulator.
+// at most once per *content*.
+//
+// Concurrency: the memo fields are atomically published, so many threads
+// may race a first-touch Vid()/Hash64()/SerializedSize() on one shared
+// TupleRef (the sharded runtime will). Size and hash are plain atomic
+// cells — racing computers store the same deterministic value. The VID is
+// 20 bytes and cannot be stored atomically, so a single computer claims it
+// by CAS and publishes with a release store; late arrivals briefly spin on
+// the ready flag (one SHA-1 over a small buffer) instead of recomputing.
+// The warm-read fast path is one acquire load and a branch — a plain load
+// on x86/ARM load-acquire, so the memoization stays free of lock prefixes.
 #ifndef DPC_DB_TUPLE_H_
 #define DPC_DB_TUPLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -58,10 +68,14 @@ class Tuple {
 
   // Content equality/ordering over (relation, values); the memoized
   // identity caches never participate. The cached 64-bit hashes fast-path
-  // inequality when both sides are warm.
+  // inequality when both sides are warm (acquire loads pair with the
+  // release publish in Hash64, so an observed ready flag guarantees the
+  // hash value is the real one).
   bool operator==(const Tuple& other) const {
-    if ((id_.flags & other.id_.flags & kHasHash) != 0 &&
-        id_.hash64 != other.id_.hash64) {
+    if (id_.hash_ready.load(std::memory_order_acquire) != 0 &&
+        other.id_.hash_ready.load(std::memory_order_acquire) != 0 &&
+        id_.hash64.load(std::memory_order_relaxed) !=
+            other.id_.hash64.load(std::memory_order_relaxed)) {
       return false;
     }
     return relation_ == other.relation_ && values_ == other.values_;
@@ -90,17 +104,46 @@ class Tuple {
   std::string ToString() const;
 
  private:
-  static constexpr uint8_t kHasVid = 1;
-  static constexpr uint8_t kHasSize = 2;
-  static constexpr uint8_t kHasHash = 4;
+  // vid_state values: the 20-byte digest is published by a single winner.
+  static constexpr uint8_t kVidEmpty = 0;
+  static constexpr uint8_t kVidBusy = 1;
+  static constexpr uint8_t kVidReady = 2;
 
   // Lazily filled identity memo. Mutable because identity computation is
-  // logically const; safe because tuples are immutable after construction.
+  // logically const; safe because tuples are immutable after construction
+  // and every field is atomically published (see the header comment).
+  // Copying snapshots whatever the source has published; atomics are not
+  // copyable, hence the hand-written copy operations (moves degrade to
+  // copies, which is fine — the memo is 40-odd bytes).
   struct Identity {
     Sha1Digest vid{};
-    size_t size = 0;
-    uint64_t hash64 = 0;
-    uint8_t flags = 0;
+    // 0 means "not computed": a real serialized size is always >= 2
+    // (one length byte for the relation name, one varint for the arity).
+    std::atomic<size_t> size{0};
+    std::atomic<uint64_t> hash64{0};
+    std::atomic<uint8_t> hash_ready{0};
+    std::atomic<uint8_t> vid_state{kVidEmpty};
+
+    Identity() = default;
+    Identity(const Identity& o) { *this = o; }
+    Identity& operator=(const Identity& o) {
+      size.store(o.size.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+      if (o.hash_ready.load(std::memory_order_acquire) != 0) {
+        hash64.store(o.hash64.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+        hash_ready.store(1, std::memory_order_relaxed);
+      } else {
+        hash_ready.store(0, std::memory_order_relaxed);
+      }
+      if (o.vid_state.load(std::memory_order_acquire) == kVidReady) {
+        vid = o.vid;
+        vid_state.store(kVidReady, std::memory_order_relaxed);
+      } else {
+        vid_state.store(kVidEmpty, std::memory_order_relaxed);
+      }
+      return *this;
+    }
   };
 
   std::string relation_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace dpc {
 
@@ -58,28 +59,125 @@ void AppendJsonString(std::string& out, const std::string& s) {
   out += '"';
 }
 
+// Atomic CAS-add / CAS-min / CAS-max for doubles (atomic<double> has no
+// fetch_add in the dialect we target). All relaxed: metrics order does not
+// carry data dependencies.
+void AtomicAdd(std::atomic<double>& a, double d) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
 }  // namespace
+
+Counter::~Counter() {
+  for (auto& slot : blocks_) {
+    delete[] slot.load(std::memory_order_acquire);
+  }
+}
+
+std::atomic<uint64_t>& Counter::Cell(size_t n) {
+  size_t b = BlockIndex(n);
+  std::atomic<uint64_t>* block = blocks_[b].load(std::memory_order_acquire);
+  if (block == nullptr) {
+    MutexLock lock(mu_);
+    block = blocks_[b].load(std::memory_order_relaxed);
+    if (block == nullptr) {
+      // Value-initialized: all cells zero. Published with release so the
+      // zeroes are visible to the acquire load above.
+      block = new std::atomic<uint64_t>[BlockSize(b)]();
+      blocks_[b].store(block, std::memory_order_release);
+    }
+  }
+  return block[n - BlockBase(b)];
+}
+
+void Counter::IncrementAt(int32_t node, uint64_t d) {
+  value_.fetch_add(d, std::memory_order_relaxed);
+  if (node < 0) return;
+  size_t n = static_cast<size_t>(node);
+  Cell(n).fetch_add(d, std::memory_order_relaxed);
+  size_t want = n + 1;
+  size_t cur = nodes_.load(std::memory_order_relaxed);
+  while (cur < want &&
+         !nodes_.compare_exchange_weak(cur, want,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<uint64_t> Counter::per_node() const {
+  size_t n = nodes_.load(std::memory_order_acquire);
+  std::vector<uint64_t> out(n, 0);
+  for (size_t b = 0; b < kMaxBlocks && BlockBase(b) < n; ++b) {
+    const std::atomic<uint64_t>* block =
+        blocks_[b].load(std::memory_order_acquire);
+    if (block == nullptr) continue;
+    size_t limit = std::min(BlockSize(b), n - BlockBase(b));
+    for (size_t i = 0; i < limit; ++i) {
+      out[BlockBase(b) + i] = block[i].load(std::memory_order_relaxed);
+    }
+  }
+  return out;
+}
+
+void Counter::Reset() {
+  value_.store(0, std::memory_order_relaxed);
+  nodes_.store(0, std::memory_order_relaxed);
+  for (size_t b = 0; b < kMaxBlocks; ++b) {
+    std::atomic<uint64_t>* block = blocks_[b].load(std::memory_order_acquire);
+    if (block == nullptr) continue;
+    for (size_t i = 0; i < BlockSize(b); ++i) {
+      block[i].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+Histogram::Histogram()
+    : min_(std::numeric_limits<double>::infinity()) {}
 
 void Histogram::Observe(double v) {
   if (std::isnan(v)) return;
   if (v < 0) v = 0;
-  if (count_ == 0 || v < min_) min_ = v;
-  if (v > max_) max_ = v;
-  ++count_;
-  sum_ += v;
-  ++buckets_[BucketIndex(v)];
+  AtomicMin(min_, v);
+  AtomicMax(max_, v);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::buckets() const {
+  std::vector<uint64_t> out(kBuckets, 0);
+  for (size_t i = 0; i < kBuckets; ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 double Histogram::Quantile(double q) const {
-  return QuantileFromBuckets(buckets_, count_, q);
+  return QuantileFromBuckets(buckets(), count(), q);
 }
 
 void Histogram::Reset() {
-  count_ = 0;
-  sum_ = 0;
-  min_ = 0;
-  max_ = 0;
-  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 
 double MetricsSnapshot::Hist::Quantile(double q) const {
@@ -198,28 +296,33 @@ std::string MetricsSnapshot::ToJson() const {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MutexLock lock(mu_);
   MetricsSnapshot s;
   for (const auto& [name, c] : counters_) {
     s.counters[name] = c->value();
-    if (!c->per_node().empty()) s.counters_per_node[name] = c->per_node();
+    std::vector<uint64_t> cells = c->per_node();
+    if (!cells.empty()) s.counters_per_node[name] = std::move(cells);
   }
   for (const auto& [name, g] : gauges_) s.gauges[name] = g->value();
   for (const auto& [name, h] : histograms_) {
@@ -235,6 +338,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
+  MutexLock lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

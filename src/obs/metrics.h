@@ -2,16 +2,25 @@
 // the generalization of the tuple-identity counters in src/util/perf.h to
 // every subsystem (runtime, recorders, transport, distributed queries).
 //
-// The simulator is single-threaded, so metrics are plain variables behind
-// stable references: a hot path looks its Counter up once (by name, a map
-// probe) and then increments through the cached pointer. Counters are
-// monotone and meant to be read as deltas — snapshot before a measurement
-// window, subtract after (MetricsSnapshot::Delta), exactly like
-// IdentityCounters.
+// Thread-safety model: registration (GetCounter/GetGauge/GetHistogram) and
+// whole-registry operations (Snapshot/Reset) take the registry mutex, but
+// the metric objects themselves are lock-free — a hot path looks its
+// Counter up once (by name, a map probe under the lock) and then
+// increments through the cached pointer with a relaxed atomic add, never
+// touching the registry again. References are stable for the registry's
+// lifetime, so cached pointers stay valid across Snapshot/Reset and may be
+// shared by any number of shard threads.
+//
+// Counters are monotone and meant to be read as deltas — snapshot before a
+// measurement window, subtract after (MetricsSnapshot::Delta), exactly
+// like IdentityCounters.
 //
 // Per-node scoping: Counter::IncrementAt(node, d) bumps the process total
 // and a per-node cell, so experiment summaries can show where the work
-// happened without a separate registry per node.
+// happened without a separate registry per node. The cells live in chained
+// fixed-position blocks (block i holds 64<<i cells) that are allocated on
+// demand and never move, so concurrent IncrementAt calls are plain atomic
+// adds even while the logical node range is growing.
 //
 // Naming convention: "<subsystem>.<what>" in snake_case, e.g.
 // "transport.retransmissions", "query.duplicate_responses". The full list
@@ -19,78 +28,123 @@
 #ifndef DPC_OBS_METRICS_H_
 #define DPC_OBS_METRICS_H_
 
+#include <array>
+#include <atomic>
+#include <bit>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/util/thread_annotations.h"
+
 namespace dpc {
 
 class Counter {
  public:
-  void Increment(uint64_t d = 1) { value_ += d; }
-  // Bumps the total and the per-node cell (the vector grows on demand;
-  // node < 0 is treated as process-scoped and only bumps the total).
-  void IncrementAt(int32_t node, uint64_t d = 1) {
-    value_ += d;
-    if (node < 0) return;
-    if (per_node_.size() <= static_cast<size_t>(node)) {
-      per_node_.resize(static_cast<size_t>(node) + 1, 0);
-    }
-    per_node_[static_cast<size_t>(node)] += d;
-  }
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+  ~Counter();
 
-  uint64_t value() const { return value_; }
-  const std::vector<uint64_t>& per_node() const { return per_node_; }
-  void Reset() {
-    value_ = 0;
-    per_node_.clear();
+  void Increment(uint64_t d = 1) {
+    value_.fetch_add(d, std::memory_order_relaxed);
   }
+  // Bumps the total and the per-node cell (cell blocks are allocated on
+  // demand; node < 0 is treated as process-scoped and only bumps the
+  // total).
+  void IncrementAt(int32_t node, uint64_t d = 1) DPC_EXCLUDES(mu_);
+
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  // Snapshot of the per-node cells, sized to the highest node ever
+  // incremented plus one (empty if IncrementAt was never called).
+  std::vector<uint64_t> per_node() const;
+  void Reset() DPC_EXCLUDES(mu_);
 
  private:
-  uint64_t value_ = 0;
-  std::vector<uint64_t> per_node_;
+  // Cell blocks: block b holds 64<<b cells and covers global node indices
+  // [64*(2^b - 1), 64*(2^(b+1) - 1)). For a node n the block index is
+  // bit_width((n>>6) + 1) - 1. int32_t node ids need at most 26 blocks.
+  static constexpr size_t kBlockBits = 6;  // first block: 64 cells
+  static constexpr size_t kMaxBlocks = 26;
+
+  static size_t BlockIndex(size_t n) {
+    return std::bit_width((n >> kBlockBits) + 1) - 1;
+  }
+  static size_t BlockBase(size_t b) {
+    return ((size_t{1} << b) - 1) << kBlockBits;
+  }
+  static size_t BlockSize(size_t b) { return size_t{1} << (kBlockBits + b); }
+
+  // Returns the cell for node index `n`, allocating its block if needed.
+  std::atomic<uint64_t>& Cell(size_t n) DPC_EXCLUDES(mu_);
+
+  std::atomic<uint64_t> value_{0};
+  // Acquire-loaded by readers/incrementers; allocation is serialized by
+  // mu_ and published with a release store. Blocks never move or shrink.
+  std::array<std::atomic<std::atomic<uint64_t>*>, kMaxBlocks> blocks_{};
+  // Logical per-node size: max(node)+1 over all IncrementAt calls,
+  // maintained with a CAS-max.
+  std::atomic<size_t> nodes_{0};
+  Mutex mu_;  // serializes block allocation only
 };
 
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  void Add(double d) { value_ += d; }
-  double value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 // Histogram over non-negative values with power-of-two bucket boundaries:
 // bucket i counts observations in (2^(i-1), 2^i] scaled by `scale`
 // (bucket 0 is [0, scale]). Coarse, allocation-free per observation, and
-// good enough for latency / size distributions in a simulator.
+// good enough for latency / size distributions in a simulator. Observe is
+// lock-free (atomic bucket/count adds, CAS loops for sum/min/max);
+// concurrent readers see each observation's fields tear-free but a reader
+// racing a writer may see count/sum/buckets at slightly different points
+// in time — snapshot between measurement phases for exact totals.
 class Histogram {
  public:
   static constexpr size_t kBuckets = 64;
 
+  Histogram();
+
   void Observe(double v);
 
-  uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return count_ == 0 ? 0 : min_; }
-  double max() const { return max_; }
-  double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
-  const std::vector<uint64_t>& buckets() const { return buckets_; }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const {
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  }
+  double max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    uint64_t n = count();
+    return n == 0 ? 0 : sum() / n;
+  }
+  std::vector<uint64_t> buckets() const;
   // Upper bound of the bucket holding quantile `q` in [0, 1]: an
   // upper estimate of the true quantile.
   double Quantile(double q) const;
   void Reset();
 
  private:
-  uint64_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
-  std::vector<uint64_t> buckets_ = std::vector<uint64_t>(kBuckets, 0);
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0};
+  // +infinity until the first observation; min() maps "no data" to 0.
+  std::atomic<double> min_;
+  std::atomic<double> max_{0};
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
 };
 
 // A point-in-time copy of every metric, detached from the registry.
@@ -132,20 +186,23 @@ struct MetricsSnapshot {
 class MetricsRegistry {
  public:
   // References are stable for the registry's lifetime: hot paths resolve
-  // once and cache the pointer.
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
-  Histogram& GetHistogram(const std::string& name);
+  // once and cache the pointer, then mutate lock-free.
+  Counter& GetCounter(const std::string& name) DPC_EXCLUDES(mu_);
+  Gauge& GetGauge(const std::string& name) DPC_EXCLUDES(mu_);
+  Histogram& GetHistogram(const std::string& name) DPC_EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const DPC_EXCLUDES(mu_);
   // Zeroes every metric (the objects stay registered: cached pointers
   // remain valid).
-  void Reset();
+  void Reset() DPC_EXCLUDES(mu_);
 
  private:
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      DPC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ DPC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      DPC_GUARDED_BY(mu_);
 };
 
 // The process-wide registry every subsystem records into.

@@ -46,24 +46,34 @@ const char* TraceCatName(TraceCat cat) {
 }
 
 void Tracer::Enable(std::function<double()> clock, size_t max_events) {
+  MutexLock lock(mu_);
   clock_ = std::move(clock);
   max_events_ = max_events;
   events_.clear();
   dropped_ = 0;
-  enabled_ = true;
+  enabled_.store(true, std::memory_order_release);
 }
 
 void Tracer::Disable() {
-  enabled_ = false;
+  MutexLock lock(mu_);
+  enabled_.store(false, std::memory_order_release);
   clock_ = nullptr;
 }
 
 void Tracer::Clear() {
+  MutexLock lock(mu_);
   events_.clear();
   dropped_ = 0;
 }
 
-void Tracer::Push(TraceEvent ev) {
+double Tracer::NowLocked() const { return clock_ ? clock_() : 0.0; }
+
+double Tracer::now() const {
+  MutexLock lock(mu_);
+  return NowLocked();
+}
+
+void Tracer::PushLocked(TraceEvent ev) {
   if (events_.size() >= max_events_) {
     ++dropped_;
     return;
@@ -80,7 +90,8 @@ void Tracer::CompleteAt(NodeId node, TraceCat cat, std::string name,
   ev.node = node;
   ev.cat = cat;
   ev.phase = 'X';
-  Push(std::move(ev));
+  MutexLock lock(mu_);
+  PushLocked(std::move(ev));
 }
 
 void Tracer::Instant(NodeId node, TraceCat cat, std::string name,
@@ -88,11 +99,12 @@ void Tracer::Instant(NodeId node, TraceCat cat, std::string name,
   TraceEvent ev;
   ev.name = std::move(name);
   ev.args = std::move(args);
-  ev.ts = now();
   ev.node = node;
   ev.cat = cat;
   ev.phase = 'i';
-  Push(std::move(ev));
+  MutexLock lock(mu_);
+  ev.ts = NowLocked();
+  PushLocked(std::move(ev));
 }
 
 void Tracer::AsyncBegin(NodeId node, TraceCat cat, std::string name,
@@ -100,12 +112,13 @@ void Tracer::AsyncBegin(NodeId node, TraceCat cat, std::string name,
   TraceEvent ev;
   ev.name = std::move(name);
   ev.args = std::move(args);
-  ev.ts = now();
   ev.id = id;
   ev.node = node;
   ev.cat = cat;
   ev.phase = 'b';
-  Push(std::move(ev));
+  MutexLock lock(mu_);
+  ev.ts = NowLocked();
+  PushLocked(std::move(ev));
 }
 
 void Tracer::AsyncEnd(NodeId node, TraceCat cat, std::string name,
@@ -113,15 +126,38 @@ void Tracer::AsyncEnd(NodeId node, TraceCat cat, std::string name,
   TraceEvent ev;
   ev.name = std::move(name);
   ev.args = std::move(args);
-  ev.ts = now();
   ev.id = id;
   ev.node = node;
   ev.cat = cat;
   ev.phase = 'e';
-  Push(std::move(ev));
+  MutexLock lock(mu_);
+  ev.ts = NowLocked();
+  PushLocked(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  MutexLock lock(mu_);
+  return events_;
+}
+
+size_t Tracer::event_count() const {
+  MutexLock lock(mu_);
+  return events_.size();
+}
+
+uint64_t Tracer::dropped_events() const {
+  MutexLock lock(mu_);
+  return dropped_;
 }
 
 std::string Tracer::ToChromeJson() const {
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+  {
+    MutexLock lock(mu_);
+    events = events_;
+    dropped = dropped_;
+  }
   // pid 0 is the simulator itself (node -1); node N maps to pid N + 1.
   // tid is the category track within the node's process row.
   std::string out = "{\"traceEvents\": [\n";
@@ -150,7 +186,7 @@ std::string Tracer::ToChromeJson() const {
     seen.push_back(key);
     return true;
   };
-  for (const TraceEvent& ev : events_) {
+  for (const TraceEvent& ev : events) {
     int pid = ev.node + 1;
     int tid = static_cast<int>(ev.cat);
     if (mark_seen(pid, tid)) {
@@ -162,7 +198,7 @@ std::string Tracer::ToChromeJson() const {
     }
   }
 
-  for (const TraceEvent& ev : events_) {
+  for (const TraceEvent& ev : events) {
     if (!first) out += ",\n";
     first = false;
     out += "{\"name\": \"";
@@ -190,7 +226,7 @@ std::string Tracer::ToChromeJson() const {
   }
   out += "\n], \"displayTimeUnit\": \"ms\", \"otherData\": "
          "{\"clock\": \"simulated\", \"dropped_events\": \"" +
-         std::to_string(dropped_) + "\"}}\n";
+         std::to_string(dropped) + "\"}}\n";
   return out;
 }
 

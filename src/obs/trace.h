@@ -18,15 +18,24 @@
 // distributed query, its per-hop chain steps — are async begin/end pairs
 // keyed by id. See docs/observability.md for the span taxonomy and how
 // to open exports in Perfetto.
+//
+// Thread-safety: enabled() is a relaxed atomic load (still the one
+// predictable branch at every instrumentation site); the buffer, clock,
+// bound and dropped counter are guarded by an internal mutex, so shard
+// threads may record concurrently and events interleave whole, never
+// torn. Inspection copies the buffer out under the lock — see
+// docs/concurrency.md for the full contract.
 #ifndef DPC_OBS_TRACE_H_
 #define DPC_OBS_TRACE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "src/util/status.h"
+#include "src/util/thread_annotations.h"
 
 namespace dpc {
 
@@ -60,52 +69,58 @@ struct TraceEvent {
 class Tracer {
  public:
   // The one-branch guard every instrumentation site checks first.
-  bool enabled() const { return enabled_; }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
   // Starts recording. `clock` supplies the simulated time for events that
   // do not pass one explicitly (recorders, transport); bind it to the
   // deployment's EventQueue. Clears any previous buffer.
-  void Enable(std::function<double()> clock, size_t max_events = 2000000);
+  void Enable(std::function<double()> clock, size_t max_events = 2000000)
+      DPC_EXCLUDES(mu_);
   // Stops recording and drops the clock (which may dangle afterwards);
   // the buffered events stay readable/exportable until the next Enable.
-  void Disable();
-  void Clear();
+  void Disable() DPC_EXCLUDES(mu_);
+  void Clear() DPC_EXCLUDES(mu_);
 
-  double now() const { return clock_ ? clock_() : 0.0; }
+  double now() const DPC_EXCLUDES(mu_);
 
   // --- recording (call only when enabled()) ---------------------------
 
   // Zero-duration slice at sim time `ts` (pass now() when at hand).
   void CompleteAt(NodeId node, TraceCat cat, std::string name, double ts,
-                  std::string args = {});
+                  std::string args = {}) DPC_EXCLUDES(mu_);
   // Marker at the current sim time.
   void Instant(NodeId node, TraceCat cat, std::string name,
-               std::string args = {});
+               std::string args = {}) DPC_EXCLUDES(mu_);
   // Async span over simulated time, keyed by (cat, id).
   void AsyncBegin(NodeId node, TraceCat cat, std::string name, uint64_t id,
-                  std::string args = {});
+                  std::string args = {}) DPC_EXCLUDES(mu_);
   void AsyncEnd(NodeId node, TraceCat cat, std::string name, uint64_t id,
-                std::string args = {});
+                std::string args = {}) DPC_EXCLUDES(mu_);
 
   // --- inspection / export --------------------------------------------
 
-  const std::vector<TraceEvent>& events() const { return events_; }
-  uint64_t dropped_events() const { return dropped_; }
+  // A copy of the buffer (stable even while recording continues).
+  std::vector<TraceEvent> events() const DPC_EXCLUDES(mu_);
+  size_t event_count() const DPC_EXCLUDES(mu_);
+  uint64_t dropped_events() const DPC_EXCLUDES(mu_);
 
   // Chrome-trace JSON ({"traceEvents": [...]}; open in ui.perfetto.dev
   // or chrome://tracing). Timestamps are exported in microseconds of
   // simulated time, in recording order (monotonically non-decreasing).
-  std::string ToChromeJson() const;
-  Status WriteChromeJson(const std::string& path) const;
+  // Renders from a copy taken under the lock.
+  std::string ToChromeJson() const DPC_EXCLUDES(mu_);
+  Status WriteChromeJson(const std::string& path) const DPC_EXCLUDES(mu_);
 
  private:
-  void Push(TraceEvent ev);
+  void PushLocked(TraceEvent ev) DPC_REQUIRES(mu_);
+  double NowLocked() const DPC_REQUIRES(mu_);
 
-  bool enabled_ = false;
-  std::function<double()> clock_;
-  size_t max_events_ = 0;
-  uint64_t dropped_ = 0;
-  std::vector<TraceEvent> events_;
+  std::atomic<bool> enabled_{false};
+  mutable Mutex mu_;
+  std::function<double()> clock_ DPC_GUARDED_BY(mu_);
+  size_t max_events_ DPC_GUARDED_BY(mu_) = 0;
+  uint64_t dropped_ DPC_GUARDED_BY(mu_) = 0;
+  std::vector<TraceEvent> events_ DPC_GUARDED_BY(mu_);
 };
 
 // The process-wide tracer (same pattern as GlobalMetrics). Named Trace()

@@ -1,10 +1,77 @@
 #include "src/util/perf.h"
 
+#include <vector>
+
+#include "src/util/thread_annotations.h"
+
 namespace dpc {
 
-IdentityCounters& identity_counters() {
-  static IdentityCounters counters;
-  return counters;
+namespace {
+
+// Registry of every live thread's cell block plus the totals folded in by
+// exited threads. Heap-allocated Meyers singleton (never destroyed) so
+// thread-local destructors running at process exit can still deregister.
+struct CellRegistry {
+  Mutex mu;
+  std::vector<const IdentityCells*> live DPC_GUARDED_BY(mu);
+  IdentityCounters retired DPC_GUARDED_BY(mu);
+};
+
+CellRegistry& Registry() {
+  static CellRegistry* registry = new CellRegistry();
+  return *registry;
+}
+
+void AccumulateInto(IdentityCounters& total, const IdentityCells& cells) {
+  total.sha1_invocations += cells.sha1_invocations.load();
+  total.tuple_bytes_serialized += cells.tuple_bytes_serialized.load();
+  total.vid_cache_hits += cells.vid_cache_hits.load();
+  total.vid_cache_misses += cells.vid_cache_misses.load();
+  total.tuples_interned += cells.tuples_interned.load();
+}
+
+}  // namespace
+
+IdentityCells::IdentityCells() {
+  CellRegistry& reg = Registry();
+  MutexLock lock(reg.mu);
+  reg.live.push_back(this);
+}
+
+IdentityCells::~IdentityCells() {
+  // Drop the fast-path alias so it never dangles past this destructor.
+  perf_internal::tls_cells = nullptr;
+  CellRegistry& reg = Registry();
+  MutexLock lock(reg.mu);
+  AccumulateInto(reg.retired, *this);
+  for (auto it = reg.live.begin(); it != reg.live.end(); ++it) {
+    if (*it == this) {
+      reg.live.erase(it);
+      break;
+    }
+  }
+}
+
+namespace perf_internal {
+
+thread_local IdentityCells* tls_cells = nullptr;
+
+IdentityCells& InitIdentityCells() {
+  thread_local IdentityCells cells;
+  tls_cells = &cells;
+  return cells;
+}
+
+}  // namespace perf_internal
+
+IdentityCounters identity_counters() {
+  CellRegistry& reg = Registry();
+  MutexLock lock(reg.mu);
+  IdentityCounters total = reg.retired;
+  for (const IdentityCells* cells : reg.live) {
+    AccumulateInto(total, *cells);
+  }
+  return total;
 }
 
 }  // namespace dpc

@@ -121,7 +121,7 @@ void Sha1::ProcessBlock(const uint8_t* block) {
 }
 
 Sha1Digest Sha1::Finish() {
-  ++identity_counters().sha1_invocations;
+  identity_cells().sha1_invocations.Bump();
   uint64_t bit_len = total_len_ * 8;
   // Padding: 0x80, zeros, then 64-bit big-endian bit length.
   uint8_t pad = 0x80;

@@ -1,0 +1,84 @@
+// Clang Thread Safety Analysis annotations and the annotated mutex the
+// rest of the tree locks with. The sharded runtime (ROADMAP item 1) will
+// run recorder hooks, metrics, tracing and tuple identity from many worker
+// threads; these macros let clang prove at compile time that every access
+// to shared mutable state holds the right lock (`-Wthread-safety`,
+// promoted to an error on clang builds — see the top-level CMakeLists).
+// On GCC and other compilers the annotations expand to nothing and
+// dpc::Mutex is a zero-cost veneer over std::mutex.
+//
+// The contract table — which object is guarded by which lock and which
+// future shard threads touch it — lives in docs/concurrency.md.
+#ifndef DPC_UTIL_THREAD_ANNOTATIONS_H_
+#define DPC_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+#if defined(__clang__)
+#define DPC_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define DPC_THREAD_ANNOTATION(x)
+#endif
+
+// A type that acts as a lock (dpc::Mutex below).
+#define DPC_CAPABILITY(x) DPC_THREAD_ANNOTATION(capability(x))
+// A RAII type that acquires in its constructor, releases in its destructor.
+#define DPC_SCOPED_CAPABILITY DPC_THREAD_ANNOTATION(scoped_lockable)
+
+// Data members: reads and writes require holding `x`.
+#define DPC_GUARDED_BY(x) DPC_THREAD_ANNOTATION(guarded_by(x))
+// Pointer members: the pointee (not the pointer) is guarded by `x`.
+#define DPC_PT_GUARDED_BY(x) DPC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Functions: the caller must hold / must not hold the given locks.
+#define DPC_REQUIRES(...) \
+  DPC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define DPC_EXCLUDES(...) DPC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Functions that acquire / release locks themselves.
+#define DPC_ACQUIRE(...) \
+  DPC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define DPC_RELEASE(...) \
+  DPC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// Escape hatch for code the analysis cannot follow (use sparingly and say
+// why at the use site).
+#define DPC_NO_THREAD_SAFETY_ANALYSIS \
+  DPC_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace dpc {
+
+// std::mutex with the capability annotation clang's analysis needs
+// (libstdc++'s std::mutex carries no annotations, so locking it directly
+// is invisible to the checker). Lock through MutexLock below so scopes
+// stay balanced by construction.
+class DPC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DPC_ACQUIRE() { mu_.lock(); }
+  void Unlock() DPC_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock over dpc::Mutex, visible to the analysis as a scoped
+// capability: the lock is held exactly for the enclosing scope.
+class DPC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DPC_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() DPC_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_UTIL_THREAD_ANNOTATIONS_H_

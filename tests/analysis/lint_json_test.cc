@@ -306,6 +306,60 @@ TEST(LintJsonTest, PlanReportRoundTripsThroughAParser) {
   EXPECT_NE(text.find("index route: [0,1]"), std::string::npos) << text;
 }
 
+TEST(LintJsonTest, ShardReportRoundTripsThroughAParser) {
+  LintOptions options;
+  options.print_shard = true;
+  options.analyzer.shard = true;
+  std::vector<FileLint> results;
+  results.push_back(LintSource(
+      "fwd.ndlog",
+      "r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).\n"
+      "r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.\n",
+      options));
+
+  std::string json = RenderJson(results);
+  JsonParser parser(json);
+  auto root = parser.Parse();
+  ASSERT_FALSE(parser.failed()) << json;
+
+  const JsonValue& file = *root->at("files").array[0];
+  const JsonValue& shards = file.at("shards");
+  ASSERT_EQ(shards.kind, JsonValue::Kind::kObject);
+  EXPECT_EQ(shards.at("node_local").number, 1);
+  EXPECT_EQ(shards.at("cross_shard").number, 1);
+  const JsonValue& rules = shards.at("rules");
+  ASSERT_EQ(rules.array.size(), 2u);
+  const JsonValue& r1 = *rules.array[0];
+  EXPECT_EQ(r1.at("rule").str, "r1");
+  EXPECT_EQ(r1.at("event_loc").str, "L");
+  EXPECT_EQ(r1.at("head_loc").str, "N");
+  EXPECT_FALSE(r1.at("node_local").boolean);
+  EXPECT_TRUE(r1.at("keyed").boolean);
+  EXPECT_EQ(r1.at("mixed_conditions").number, 0);
+  const JsonValue& r2 = *rules.array[1];
+  EXPECT_TRUE(r2.at("node_local").boolean);
+
+  // The text rendering carries the same report when requested.
+  std::string text = RenderText(results, options);
+  EXPECT_NE(text.find("shard locality (1 node-local, 1 cross-shard)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("r1: cross-shard (@L -> @N), keyed"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("r2: node-local (@L)"), std::string::npos) << text;
+
+  // Without --shard the section is absent entirely.
+  LintOptions off;
+  std::vector<FileLint> plain;
+  plain.push_back(LintSource(
+      "fwd.ndlog",
+      "r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).\n"
+      "r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.\n",
+      off));
+  EXPECT_EQ(RenderJson(plain).find("\"shards\""), std::string::npos);
+}
+
 TEST(LintJsonTest, JsonEscapeHandlesSpecials) {
   EXPECT_EQ(JsonEscape("plain"), "plain");
   EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");

@@ -1,0 +1,197 @@
+// Pass 7 (shard locality): N701/W702/E703 classification on the two
+// shipped example programs and on minimal synthetic DELPs that isolate
+// each code.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/analysis/analyzer.h"
+
+namespace dpc {
+namespace {
+
+AnalysisResult AnalyzeShard(std::string_view source) {
+  AnalyzerOptions options;
+  options.shard = true;
+  return AnalyzeSource(source, options);
+}
+
+size_t CountCode(const AnalysisResult& res, const std::string& code) {
+  size_t n = 0;
+  for (const Diagnostic& d : res.diagnostics) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+const RuleShardReport& RuleReport(const AnalysisResult& res,
+                                  const std::string& id) {
+  for (const RuleShardReport& r : res.shard_report.rules) {
+    if (r.rule_id == id) return r;
+  }
+  ADD_FAILURE() << "no shard report for rule " << id;
+  static RuleShardReport empty;
+  return empty;
+}
+
+constexpr const char* kForwarding =
+    "r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).\n"
+    "r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.\n";
+
+constexpr const char* kDns =
+    "r1 request(@RT, URL, HST, RQID) :- url(@HST, URL, RQID),\n"
+    "                                   rootServer(@HST, RT).\n"
+    "r2 request(@SV, URL, HST, RQID) :- request(@X, URL, HST, RQID),\n"
+    "                                   nameServer(@X, DM, SV),\n"
+    "                                   f_isSubDomain(DM, URL) == true.\n"
+    "r3 dnsResult(@X, URL, IPADDR, HST, RQID) :-\n"
+    "                                   request(@X, URL, HST, RQID),\n"
+    "                                   addressRecord(@X, URL, IPADDR).\n"
+    "r4 reply(@HST, URL, IPADDR, RQID) :-\n"
+    "                                   dnsResult(@X, URL, IPADDR, HST, "
+    "RQID).\n";
+
+TEST(LocalityPassTest, ForwardingRecursiveRuleIsCrossShardButKeyed) {
+  AnalysisResult res = AnalyzeShard(kForwarding);
+  ASSERT_EQ(res.shard_report.rules.size(), 2u);
+
+  // r1 forwards the packet to the next hop: cross-shard, but the
+  // destination is the head location of the input event relation itself
+  // (packet:0), which is an equivalence key — routable.
+  const RuleShardReport& r1 = RuleReport(res, "r1");
+  EXPECT_FALSE(r1.node_local);
+  EXPECT_TRUE(r1.keyed);
+  EXPECT_EQ(r1.event_loc, "L");
+  EXPECT_EQ(r1.head_loc, "N");
+  EXPECT_EQ(r1.mixed_conditions, 0u);
+
+  // r2 delivers locally.
+  const RuleShardReport& r2 = RuleReport(res, "r2");
+  EXPECT_TRUE(r2.node_local);
+  EXPECT_TRUE(r2.keyed);
+
+  EXPECT_EQ(res.shard_report.node_local(), 1u);
+  EXPECT_EQ(res.shard_report.cross_shard(), 1u);
+  EXPECT_EQ(CountCode(res, "N701"), 1u);
+  EXPECT_EQ(CountCode(res, "W702"), 0u);
+  EXPECT_EQ(CountCode(res, "E703"), 0u);
+}
+
+TEST(LocalityPassTest, DnsFlagsUnkeyedCrossShardHops) {
+  AnalysisResult res = AnalyzeShard(kDns);
+  ASSERT_EQ(res.shard_report.rules.size(), 4u);
+
+  // r1/r2 route the request to a server picked out of slow-changing
+  // state (rootServer/nameServer) by attributes that are not equivalence
+  // keys of url: the destination shard is not a function of the event's
+  // equivalence class — W702.
+  EXPECT_FALSE(RuleReport(res, "r1").node_local);
+  EXPECT_FALSE(RuleReport(res, "r1").keyed);
+  EXPECT_FALSE(RuleReport(res, "r2").node_local);
+  EXPECT_FALSE(RuleReport(res, "r2").keyed);
+
+  // r3 resolves locally.
+  EXPECT_TRUE(RuleReport(res, "r3").node_local);
+
+  // r4 replies to the originating host, which is carried from the url
+  // event (url:0 -> request:2 -> dnsResult:3 -> reply:0): keyed.
+  EXPECT_FALSE(RuleReport(res, "r4").node_local);
+  EXPECT_TRUE(RuleReport(res, "r4").keyed);
+
+  EXPECT_EQ(res.shard_report.node_local(), 1u);
+  EXPECT_EQ(res.shard_report.cross_shard(), 3u);
+  EXPECT_EQ(CountCode(res, "N701"), 1u);
+  EXPECT_EQ(CountCode(res, "W702"), 2u);
+  EXPECT_EQ(CountCode(res, "E703"), 0u);
+}
+
+TEST(LocalityPassTest, NodeLocalRuleGetsN701) {
+  AnalysisResult res =
+      AnalyzeShard("r1 out(@L, X) :- ev(@L, X), s(@L, X).\n");
+  ASSERT_EQ(res.shard_report.rules.size(), 1u);
+  EXPECT_TRUE(res.shard_report.rules[0].node_local);
+  EXPECT_TRUE(res.shard_report.rules[0].keyed);
+  EXPECT_EQ(CountCode(res, "N701"), 1u);
+  EXPECT_EQ(CountCode(res, "W702"), 0u);
+  EXPECT_EQ(res.errors(), 0u);
+}
+
+TEST(LocalityPassTest, UnkeyedDestinationGetsW702) {
+  // The destination N comes from the pick table joined only on location:
+  // two key-equivalent events can route to different shards.
+  AnalysisResult res =
+      AnalyzeShard("r1 out(@N, X) :- ev(@L, X), pick(@L, N).\n");
+  ASSERT_EQ(res.shard_report.rules.size(), 1u);
+  EXPECT_FALSE(res.shard_report.rules[0].node_local);
+  EXPECT_FALSE(res.shard_report.rules[0].keyed);
+  EXPECT_EQ(CountCode(res, "W702"), 1u);
+  EXPECT_EQ(res.errors(), 0u);
+}
+
+TEST(LocalityPassTest, ConstantDestinationIsKeyed) {
+  AnalysisResult res =
+      AnalyzeShard("r1 out(@5, X) :- ev(@L, X), s(@L, X).\n");
+  ASSERT_EQ(res.shard_report.rules.size(), 1u);
+  EXPECT_FALSE(res.shard_report.rules[0].node_local);
+  EXPECT_TRUE(res.shard_report.rules[0].keyed);
+  EXPECT_EQ(res.shard_report.rules[0].head_loc, "5");
+  EXPECT_EQ(CountCode(res, "W702"), 0u);
+}
+
+TEST(LocalityPassTest, RecursiveDestinationThroughKeyIsKeyed) {
+  // Recursive rule: the head location attribute is ev:0, itself an
+  // equivalence key (same shape as forwarding's r1).
+  AnalysisResult res =
+      AnalyzeShard("r1 ev(@N, X) :- ev(@L, X), s(@L, X, N).\n");
+  ASSERT_EQ(res.shard_report.rules.size(), 1u);
+  EXPECT_FALSE(res.shard_report.rules[0].node_local);
+  EXPECT_TRUE(res.shard_report.rules[0].keyed);
+  EXPECT_EQ(CountCode(res, "W702"), 0u);
+}
+
+TEST(LocalityPassTest, MislocatedConditionGetsE703) {
+  AnalysisResult res =
+      AnalyzeShard("r1 out(@L, X) :- ev(@L, X), s(@M, X, M).\n");
+  ASSERT_EQ(res.shard_report.rules.size(), 1u);
+  EXPECT_EQ(res.shard_report.rules[0].mixed_conditions, 1u);
+  EXPECT_EQ(CountCode(res, "E703"), 1u);
+  EXPECT_GE(res.errors(), 1u);
+}
+
+TEST(LocalityPassTest, PassIsOffByDefaultAndSkipsIllFormedPrograms) {
+  AnalyzerOptions off;
+  AnalysisResult res = AnalyzeSource(kDns, off);
+  EXPECT_TRUE(res.shard_report.empty());
+  EXPECT_EQ(CountCode(res, "W702"), 0u);
+
+  // Front-half errors (unbound head variable) suppress the pass: no
+  // locality classification of a broken DELP.
+  AnalysisResult broken =
+      AnalyzeShard("r1 out(@Z, X) :- ev(@L, X), s(@L, X).\n");
+  EXPECT_GT(broken.errors(), 0u);
+  EXPECT_TRUE(broken.shard_report.empty());
+}
+
+TEST(LocalityPassTest, DiagnosticsAreDeterministicallyOrdered) {
+  AnalysisResult a = AnalyzeShard(kDns);
+  AnalysisResult b = AnalyzeShard(kDns);
+  ASSERT_EQ(a.diagnostics.size(), b.diagnostics.size());
+  for (size_t i = 0; i < a.diagnostics.size(); ++i) {
+    EXPECT_EQ(a.diagnostics[i].code, b.diagnostics[i].code);
+    EXPECT_EQ(a.diagnostics[i].message, b.diagnostics[i].message);
+  }
+  // Sorted by source location, like every other pass's output.
+  for (size_t i = 1; i < a.diagnostics.size(); ++i) {
+    EXPECT_LE(a.diagnostics[i - 1].loc.line, a.diagnostics[i].loc.line);
+  }
+  // The report itself is in rule order.
+  ASSERT_EQ(a.shard_report.rules.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.shard_report.rules[i].rule_id,
+              "r" + std::to_string(i + 1));
+  }
+}
+
+}  // namespace
+}  // namespace dpc

@@ -23,7 +23,7 @@
 // The lint subcommand runs the static analyzer over NDlog files without
 // executing them:
 //
-//   dpc_cli lint [--werror] [-f text|json] [--keys] [--plan]
+//   dpc_cli lint [--werror] [-f text|json] [--keys] [--plan] [--shard]
 //                [--interest REL]... FILE...
 //
 // The trace subcommand runs a trace script with the observability layer
@@ -226,13 +226,16 @@ int RunLint(int argc, char** argv) {
     } else if (arg == "--plan") {
       options.print_plan = true;
       options.analyzer.plan_notes = true;
+    } else if (arg == "--shard") {
+      options.print_shard = true;
+      options.analyzer.shard = true;
     } else if (arg == "--interest") {
       const char* v = next();
       if (!v) return Fail("--interest needs a relation");
       options.analyzer.program.relations_of_interest.push_back(v);
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: dpc_cli lint [--werror] [-f text|json] [--keys] "
-                  "[--plan] [--interest REL]... FILE...\n");
+                  "[--plan] [--shard] [--interest REL]... FILE...\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       return Fail("unknown lint flag " + arg + " (try dpc_cli lint --help)");
@@ -337,7 +340,7 @@ int RunScript(const RunConfig& config) {
     Status st = runner.bed->FlushTrace();
     if (!st.ok()) return Fail(st.ToString());
     std::printf("wrote %zu trace events to %s (%llu dropped)\n",
-                Trace().events().size(), config.trace_out.c_str(),
+                Trace().event_count(), config.trace_out.c_str(),
                 static_cast<unsigned long long>(Trace().dropped_events()));
   }
   return 0;
@@ -427,7 +430,7 @@ int Run(int argc, char** argv) {
       std::printf("usage: dpc_cli --program FILE --trace FILE "
                   "[--scheme NAME] [--stats] [--interest REL]...\n"
                   "       dpc_cli lint [--werror] [-f text|json] [--keys] "
-                  "[--plan] [--interest REL]... FILE...\n"
+                  "[--plan] [--shard] [--interest REL]... FILE...\n"
                   "       dpc_cli trace --program FILE --script FILE "
                   "[--scheme NAME] [--out trace.json] [--stats] "
                   "[--interest REL]...\n");
