@@ -7,8 +7,10 @@
 // rates) it generated. Prints a JSON report; the checked-in before/after
 // snapshot lives at BENCH_hotpath.json.
 //
-// Scale knobs: DPC_PAIRS, DPC_RATE, DPC_DURATION.
+// Scale knobs: DPC_PAIRS, DPC_RATE, DPC_DURATION; sharded-runtime case:
+// DPC_SHARDS, DPC_SHARD_PAIRS, DPC_SHARD_RATE, DPC_SHARD_DURATION.
 #include <chrono>
+#include <thread>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -212,6 +214,68 @@ std::vector<EndToEndCase> BenchEndToEnd(size_t pairs, double rate,
   return out;
 }
 
+// --- sharded runtime: 1-shard vs N-shard wall clock -------------------------
+
+struct ShardedCase {
+  int nodes = 0;
+  int shards = 0;
+  double wall_1shard_s = 0;
+  double wall_nshard_s = 0;
+  double speedup = 0;
+  bool accounting_identical = false;
+  uint64_t outputs = 0;
+  uint64_t events_injected = 0;
+};
+
+// A 1000+-node transit-stub deployment run on the classic single queue and
+// on the sharded parallel engine. Reports measured wall clocks (whatever
+// the host can actually deliver — see host_cores in the JSON) and verifies
+// the sharded run's accounting is byte-identical.
+ShardedCase BenchSharded(int shards, size_t pairs, double rate,
+                         double duration) {
+  TransitStubParams params;
+  params.num_transit = 8;
+  params.stubs_per_transit = 4;
+  params.nodes_per_stub = 32;  // 8 + 8*4*32 = 1032 nodes
+  TransitStubTopology topo = MakeTransitStub(params);
+  apps::ForwardingWorkload workload = apps::MakeForwardingWorkload(
+      topo, pairs, rate, duration, apps::kDefaultPayloadLen, /*seed=*/42);
+  apps::ExperimentConfig config;
+  config.duration_s = duration;
+  config.snapshot_interval_s = duration / 4;
+  config.metrics = false;
+
+  ShardedCase c;
+  c.nodes = topo.graph.num_nodes();
+  c.shards = shards;
+
+  auto start = std::chrono::steady_clock::now();
+  apps::ExperimentResult r1 =
+      apps::RunForwarding(apps::Scheme::kAdvanced, topo, workload, config);
+  c.wall_1shard_s = Seconds(start, std::chrono::steady_clock::now());
+
+  config.shards = shards;
+  start = std::chrono::steady_clock::now();
+  apps::ExperimentResult rn =
+      apps::RunForwarding(apps::Scheme::kAdvanced, topo, workload, config);
+  c.wall_nshard_s = Seconds(start, std::chrono::steady_clock::now());
+
+  DPC_CHECK(r1.outputs > 0);
+  c.outputs = rn.outputs;
+  c.events_injected = rn.events_injected;
+  c.speedup = c.wall_1shard_s / c.wall_nshard_s;
+  c.accounting_identical =
+      r1.per_node_storage == rn.per_node_storage &&
+      r1.final_storage.prov == rn.final_storage.prov &&
+      r1.final_storage.rule_exec == rn.final_storage.rule_exec &&
+      r1.final_storage.event_store == rn.final_storage.event_store &&
+      r1.final_storage.tuple_store == rn.final_storage.tuple_store &&
+      r1.total_network_bytes == rn.total_network_bytes &&
+      r1.total_messages == rn.total_messages &&
+      r1.outputs == rn.outputs;
+  return c;
+}
+
 int Main() {
   Rng rng(20170514);
   std::vector<Tuple> tuples;
@@ -227,6 +291,12 @@ int Main() {
   double rate = apps::EnvDouble("DPC_RATE", 10);
   double duration = apps::EnvDouble("DPC_DURATION", 10);
   std::vector<EndToEndCase> e2e = BenchEndToEnd(pairs, rate, duration);
+
+  ShardedCase sharded = BenchSharded(
+      static_cast<int>(apps::EnvSize("DPC_SHARDS", 8)),
+      apps::EnvSize("DPC_SHARD_PAIRS", 64),
+      apps::EnvDouble("DPC_SHARD_RATE", 20),
+      apps::EnvDouble("DPC_SHARD_DURATION", 5));
 
   std::printf("{\n  \"bench\": \"hotpath_bench\",\n");
   std::printf("  \"repeated_identity\": {\"uncached_ns_per_read\": %.1f, "
@@ -260,7 +330,21 @@ int Main() {
                       : 0.0,
         i + 1 < e2e.size() ? "," : "");
   }
-  std::printf("  ]}\n}\n");
+  std::printf("  ]},\n");
+  std::printf(
+      "  \"sharded\": {\"nodes\": %d, \"shards\": %d, "
+      "\"host_cores\": %u,\n"
+      "    \"wall_clock_1shard_s\": %.3f, \"wall_clock_%dshard_s\": %.3f, "
+      "\"speedup\": %.2f,\n"
+      "    \"events_injected\": %llu, \"outputs\": %llu, "
+      "\"accounting_identical\": %s}\n",
+      sharded.nodes, sharded.shards,
+      std::thread::hardware_concurrency(), sharded.wall_1shard_s,
+      sharded.shards, sharded.wall_nshard_s, sharded.speedup,
+      static_cast<unsigned long long>(sharded.events_injected),
+      static_cast<unsigned long long>(sharded.outputs),
+      sharded.accounting_identical ? "true" : "false");
+  std::printf("}\n");
   return 0;
 }
 

@@ -69,6 +69,7 @@ ExperimentResult RunExperiment(
   options.loss_seed = config.loss_seed;
   options.reliable_transport = config.reliable_transport;
   options.transport = config.transport;
+  options.shards = config.shards;
   options.trace_path = config.trace_path;
   options.metrics = config.metrics;
   auto bed_result =
@@ -89,17 +90,17 @@ ExperimentResult RunExperiment(
   IdentityCounters identity_before = identity_counters();
   MetricsSnapshot metrics_before = GlobalMetrics().Snapshot();
 
-  for (const WorkloadItem& item : workload) {
-    Status st = bed->system().ScheduleInject(item.event, item.time_s);
-    DPC_CHECK(st.ok()) << st.ToString();
-  }
-
   ExperimentResult result;
   result.scheme = SchemeName(scheme);
 
+  // Snapshots and slow-state updates read/mutate cross-shard state, so on
+  // the sharded engine they run as global actions at window barriers —
+  // after everything earlier than t, before anything at exactly t. They
+  // are scheduled before the injects so the single-queue run executes
+  // same-time ties in the same order the engine defines.
   int num_nodes = topology->num_nodes();
-  auto snapshot = [&]() {
-    result.snapshot_times.push_back(bed->queue().now());
+  auto snapshot = [&result, &bed, num_nodes](double t) {
+    result.snapshot_times.push_back(t);
     std::vector<size_t> row(num_nodes);
     for (NodeId n = 0; n < num_nodes; ++n) {
       row[n] = bed->recorder().StorageAt(n).Total();
@@ -109,14 +110,19 @@ ExperimentResult RunExperiment(
 
   for (double t = 0; t <= config.duration_s + 1e-9;
        t += config.snapshot_interval_s) {
-    bed->queue().ScheduleAt(t, snapshot);
+    bed->ScheduleGlobal(t, [&snapshot, t]() { snapshot(t); });
   }
   if (periodic_update && config.route_update_interval_s > 0) {
     for (double t = config.route_update_interval_s; t < config.duration_s;
          t += config.route_update_interval_s) {
-      bed->queue().ScheduleAt(
+      bed->ScheduleGlobal(
           t, [&bed, &periodic_update, t]() { periodic_update(bed->system(), t); });
     }
+  }
+
+  for (const WorkloadItem& item : workload) {
+    Status st = bed->system().ScheduleInject(item.event, item.time_s);
+    DPC_CHECK(st.ok()) << st.ToString();
   }
 
   bed->system().RunUntil(config.duration_s);

@@ -41,6 +41,9 @@ struct ExperimentConfig {
   // the loss-free outputs despite the injected loss.
   bool reliable_transport = false;
   TransportOptions transport;
+  // Runtime shard count (TestbedOptions::shards): > 1 runs the workload
+  // on the parallel sharded engine. Results are byte-identical to 1.
+  int shards = 1;
   // When non-empty, trace the run and write Chrome-trace JSON here
   // (TestbedOptions::trace_path).
   std::string trace_path;

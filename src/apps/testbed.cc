@@ -89,16 +89,49 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(Program program,
                                           &bed->queue_, DefaultFunctions(),
                                           bed->recorder_.get());
 
+  int shards = bed->options_.shards;
+  if (shards < 1) shards = 1;
+  if (shards > n) shards = n;
+  if (shards > 1 && bed->options_.reliable_transport) {
+    DPC_LOG(Warning) << "testbed: reliable_transport is not cross-shard "
+                        "safe; running with 1 shard";
+    shards = 1;
+  }
+  if (shards > 1) {
+    SimTime lookahead =
+        MinCrossShardLatency(*topology, ShardMap(n, shards));
+    if (lookahead <= 0) {
+      DPC_LOG(Warning) << "testbed: zero cross-shard lookahead (a "
+                          "zero-latency link crosses shards); running "
+                          "with 1 shard";
+      shards = 1;
+    }
+  }
+  bed->shards_ = shards;
+  if (shards > 1) {
+    bed->engine_ =
+        std::make_unique<ShardEngine>(topology, shards, &bed->queue_);
+    bed->network_.BindShardEngine(bed->engine_.get());
+    bed->system_->BindShardEngine(bed->engine_.get());
+  }
+
   if (!bed->options_.trace_path.empty() || bed->options_.trace) {
     if (Trace().enabled()) {
       DPC_LOG(Warning) << "tracer already enabled by another deployment; "
                           "rebinding it to this testbed's clock";
     }
-    // The clock dereferences bed->queue_, so the destructor must disable
-    // the tracer before the queue dies (see ~Testbed).
-    EventQueue* q = &bed->queue_;
-    Trace().Enable([q]() { return q->now(); },
-                   bed->options_.trace_max_events);
+    // The clock dereferences bed->queue_ (or the engine's barrier clock
+    // when sharded — shard-safe, at window granularity), so the destructor
+    // must disable the tracer before those die (see ~Testbed).
+    if (bed->engine_ != nullptr) {
+      ShardEngine* e = bed->engine_.get();
+      Trace().Enable([e]() { return e->now(); },
+                     bed->options_.trace_max_events);
+    } else {
+      EventQueue* q = &bed->queue_;
+      Trace().Enable([q]() { return q->now(); },
+                     bed->options_.trace_max_events);
+    }
     bed->tracing_ = true;
   }
   if (bed->options_.metrics) {
@@ -122,6 +155,14 @@ Status Testbed::FlushTrace() {
   if (!tracing_ || options_.trace_path.empty()) return Status::OK();
   trace_flushed_ = true;
   return Trace().WriteChromeJson(options_.trace_path);
+}
+
+void Testbed::ScheduleGlobal(SimTime t, std::function<void()> fn) {
+  if (engine_ != nullptr) {
+    engine_->ScheduleGlobal(t, std::move(fn));
+  } else {
+    queue_.ScheduleAt(t, std::move(fn));
+  }
 }
 
 MetricsSnapshot Testbed::MetricsDelta() const {

@@ -12,6 +12,7 @@
 #include "src/core/exspan_recorder.h"
 #include "src/core/query.h"
 #include "src/core/reference_recorder.h"
+#include "src/net/shard_engine.h"
 #include "src/net/transport.h"
 #include "src/runtime/system.h"
 
@@ -40,6 +41,16 @@ struct TestbedOptions {
   // to the loss-free outputs even under injected faults.
   bool reliable_transport = false;
   TransportOptions transport;
+
+  // Number of runtime shards (src/net/shard_engine.h). 1 = the classic
+  // single-threaded queue (no engine at all). N > 1 partitions the nodes
+  // into N contiguous blocks, each driven by its own worker thread under
+  // conservative lookahead windows; results (outputs, provenance tables,
+  // bandwidth accounting) are byte-identical to shards = 1. Clamped to 1
+  // when the topology has no usable cross-shard lookahead (a zero-latency
+  // cross-shard link) or when reliable_transport is set (the transport's
+  // timer cancellation is not cross-shard safe; see docs/concurrency.md).
+  int shards = 1;
 
   // --- observability (src/obs) ---------------------------------------
   // When non-empty, the process tracer records this deployment (bound to
@@ -76,6 +87,15 @@ class Testbed {
   System& system() { return *system_; }
   EventQueue& queue() { return queue_; }
   Network& network() { return network_; }
+  // Effective shard count after clamping (1 = no engine).
+  int shards() const { return shards_; }
+  // Null when shards() == 1.
+  ShardEngine* shard_engine() { return engine_.get(); }
+  // Schedules `fn` at simulated time `t` as a global action: on the
+  // sharded engine it runs at a window barrier after everything earlier
+  // than `t`, alone; unsharded it is a plain queue event. Use for
+  // snapshots and fault flips that read or mutate cross-shard state.
+  void ScheduleGlobal(SimTime t, std::function<void()> fn);
   // Null unless TestbedOptions::reliable_transport was set.
   ReliableTransport* transport() { return transport_.get(); }
   const TestbedOptions& options() const { return options_; }
@@ -129,6 +149,11 @@ class Testbed {
   BasicRecorder* basic_ = nullptr;
   AdvancedRecorder* advanced_ = nullptr;
   std::unique_ptr<System> system_;
+  // Declared after system_/network_ users but destroyed first: the
+  // destructor joins the worker threads while queue_ (shard 0) and the
+  // handlers they run are still alive.
+  std::unique_ptr<ShardEngine> engine_;
+  int shards_ = 1;
   bool tracing_ = false;
   bool trace_flushed_ = false;
   MetricsSnapshot metrics_baseline_;

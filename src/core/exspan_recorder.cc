@@ -57,21 +57,30 @@ ProvMeta ExspanRecorder::OnRuleFired(NodeId node, const Rule& rule,
   state.tuples.Put(event);
 
   // The head's prov row lives at the head's location; the runtime ships
-  // (RLoc, RID) with the head tuple, which we model by carrying it in the
-  // metadata and writing the row eagerly.
-  NodeId head_loc = head->Location();
-  nodes_[head_loc].prov.Insert(
-      ProvEntry{head_loc, head->Vid(), NodeRid{node, rid}, Vid{}});
-  nodes_[head_loc].tuples.Put(head);
-
+  // (RLoc, RID) with the head tuple in the metadata, and the row
+  // materializes when the tuple arrives (OnArrival / OnOutput) — at the
+  // head's node, on the head's shard. Writing nodes_[head_loc] from here
+  // would be a cross-shard race under the parallel runtime.
   ProvMeta out = meta;
   out.prev = NodeRid{node, rid};
   return out;
 }
 
-void ExspanRecorder::OnOutput(NodeId, const TupleRef&, const ProvMeta&) {
-  // The prov row and materialization were written when the deriving rule
-  // fired.
+void ExspanRecorder::OnArrival(NodeId node, const TupleRef& tuple,
+                               const ProvMeta& meta) {
+  NodeState& state = nodes_[node];
+  state.prov.Insert(ProvEntry{node, tuple->Vid(), meta.prev, Vid{}});
+  state.tuples.Put(tuple);
+}
+
+void ExspanRecorder::OnOutput(NodeId node, const TupleRef& output,
+                              const ProvMeta& meta) {
+  // Terminal heads reach here both via local derivation and via the
+  // network (HandleMessage routes non-event arrivals to EmitOutput), so
+  // the shipped (RLoc, RID) row is written exactly once.
+  NodeState& state = nodes_[node];
+  state.prov.Insert(ProvEntry{node, output->Vid(), meta.prev, Vid{}});
+  state.tuples.Put(output);
 }
 
 void ExspanRecorder::SerializeMeta(const ProvMeta& meta,

@@ -28,6 +28,8 @@ class ExspanRecorder : public ProvenanceRecorder {
                        const TupleRef& head) override;
   void OnOutput(NodeId node, const TupleRef& output,
                 const ProvMeta& meta) override;
+  void OnArrival(NodeId node, const TupleRef& tuple,
+                 const ProvMeta& meta) override;
   bool OnSlowInsert(NodeId node, const TupleRef& t) override;
 
   void SerializeMeta(const ProvMeta& meta, ByteWriter& w) const override;

@@ -18,6 +18,8 @@ void ProvenanceRecorder::OnSlowDelete(NodeId, const Tuple&) {}
 
 void ProvenanceRecorder::OnControlSignal(NodeId) {}
 
+void ProvenanceRecorder::OnArrival(NodeId, const TupleRef&, const ProvMeta&) {}
+
 size_t ProvenanceRecorder::MetaWireSize(const ProvMeta& meta) const {
   ByteWriter w;
   SerializeMeta(meta, w);

@@ -80,6 +80,14 @@ class ProvenanceRecorder {
   virtual void OnOutput(NodeId node, const TupleRef& output,
                         const ProvMeta& meta) = 0;
 
+  // An event tuple arrived at `node` over the network (before its rules
+  // fire). Default no-op. Recorders that materialize shipped provenance
+  // rows must do it here — at the arrival node, on the arrival shard —
+  // never by writing another node's state from the sender's hook (the
+  // sharded runtime runs hooks concurrently; see docs/concurrency.md).
+  virtual void OnArrival(NodeId node, const TupleRef& tuple,
+                         const ProvMeta& meta);
+
   // A slow-changing tuple was inserted at `node`. Returns true when the
   // scheme requires a sig broadcast (§5.5).
   virtual bool OnSlowInsert(NodeId node, const TupleRef& t);

@@ -1,6 +1,7 @@
 #include "src/net/event_queue.h"
 
 #include <chrono>
+#include <limits>
 
 #include "src/util/logging.h"
 
@@ -8,13 +9,21 @@ namespace dpc {
 
 EventQueue::EventQueue()
     : dispatch_counter_(&GlobalMetrics().GetCounter("queue.events_dispatched")),
+      past_schedule_counter_(
+          &GlobalMetrics().GetCounter("queue.past_schedules")),
       tracer_(&Trace()) {}
 
 TimerId EventQueue::ScheduleAt(SimTime t, Callback fn) {
-  DPC_DCHECK(t >= now_) << "scheduling into the past: " << t << " < " << now_;
+  if (t < now_) {
+    // Clamp rather than rewind: time never runs backwards. Counted so a
+    // shard engine misconfigured with too little lookahead is visible.
+    ++past_schedules_;
+    past_schedule_counter_->Increment();
+    t = now_;
+  }
   TimerId id = next_seq_++;
   live_.insert(id);
-  queue_.push(Entry{t < now_ ? now_ : t, id, std::move(fn)});
+  queue_.push(Entry{t, id, std::move(fn)});
   return id;
 }
 
@@ -68,6 +77,24 @@ void EventQueue::RunUntil(SimTime t) {
     SkipCanceled();
   }
   if (now_ < t) now_ = t;
+}
+
+SimTime EventQueue::PeekTime() {
+  SkipCanceled();
+  return queue_.empty() ? std::numeric_limits<SimTime>::infinity()
+                        : queue_.top().time;
+}
+
+size_t EventQueue::RunWindow(SimTime end_exclusive, size_t max_events) {
+  size_t n = 0;
+  SkipCanceled();
+  while (!queue_.empty() && queue_.top().time < end_exclusive) {
+    RunNext();
+    ++n;
+    if (max_events != 0 && n >= max_events) break;
+    SkipCanceled();
+  }
+  return n;
 }
 
 void EventQueue::RunAll(size_t max_events) {

@@ -27,8 +27,11 @@ class EventQueue {
 
   EventQueue();
 
-  // Schedules `fn` at absolute time `t` (>= now). The returned TimerId may
-  // be passed to Cancel before the event fires.
+  // Schedules `fn` at absolute time `t` (>= now). A stale `t < now()` is
+  // clamped to now() and counted in the "queue.past_schedules" metric —
+  // time never runs backwards, and under sharding a stale cross-shard
+  // timestamp must not time-travel. The returned TimerId may be passed to
+  // Cancel before the event fires.
   TimerId ScheduleAt(SimTime t, Callback fn);
 
   // Schedules `fn` `delay` seconds from now.
@@ -59,6 +62,25 @@ class EventQueue {
   // (0 = unlimited).
   void RunAll(size_t max_events = 0);
 
+  // --- shard-engine primitives (src/net/shard_engine.h) ----------------
+
+  // Time of the earliest live event, or +infinity when none are pending.
+  SimTime PeekTime();
+
+  // Runs every live event with time < `end_exclusive` (the conservative
+  // PDES window [now, end)), bounded by `max_events` (0 = unlimited).
+  // Unlike RunUntil, now() is left at the last executed event — the
+  // engine advances it explicitly at barriers. Returns events executed.
+  size_t RunWindow(SimTime end_exclusive, size_t max_events = 0);
+
+  // Advances now() to `t` without running anything (t < now() is a no-op).
+  void AdvanceTo(SimTime t) {
+    if (now_ < t) now_ = t;
+  }
+
+  // Stale schedules clamped to now() over this queue's lifetime.
+  uint64_t past_schedules() const { return past_schedules_; }
+
  private:
   struct Entry {
     SimTime time;
@@ -86,9 +108,11 @@ class EventQueue {
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t dispatched_ = 0;
+  uint64_t past_schedules_ = 0;
   // Cached at construction so the per-dispatch cost is one pointer bump
   // plus one branch on the tracer flag.
   Counter* dispatch_counter_;
+  Counter* past_schedule_counter_;
   Tracer* tracer_;
 };
 

@@ -1,5 +1,6 @@
 #include "src/net/network.h"
 
+#include "src/net/shard_engine.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/logging.h"
@@ -12,6 +13,31 @@ uint64_t PackPair(NodeId a, NodeId b) {
   return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
          static_cast<uint32_t>(b);
 }
+
+// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// FNV-1a over the message identity fields, for sends that did not assign
+// a tx_id themselves. `| 1` keeps 0 meaning "unassigned".
+uint64_t ContentTxId(const Message& msg) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix_byte = [&h](uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  };
+  mix_byte(static_cast<uint8_t>(msg.kind));
+  for (int shift = 0; shift < 32; shift += 8) {
+    mix_byte(static_cast<uint8_t>(static_cast<uint32_t>(msg.src) >> shift));
+    mix_byte(static_cast<uint8_t>(static_cast<uint32_t>(msg.dst) >> shift));
+  }
+  for (uint8_t b : msg.payload) mix_byte(b);
+  return h | 1;
+}
 }  // namespace
 
 size_t Message::WireSize() const {
@@ -19,26 +45,62 @@ size_t Message::WireSize() const {
 }
 
 Network::Network(const Topology* topology, EventQueue* queue)
-    : topology_(topology), queue_(queue) {
+    : topology_(topology),
+      queue_(queue),
+      accounts_(1),
+      drop_counter_(&GlobalMetrics().GetCounter("network.messages_dropped")) {
   DPC_CHECK(topology_ != nullptr);
   DPC_CHECK(queue_ != nullptr);
 }
 
-void Network::ChargeBytes(double time, size_t bytes) {
-  total_bytes_ += bytes;
+void Network::BindShardEngine(ShardEngine* engine) {
+  engine_ = engine;
+  accounts_.clear();
+  accounts_.resize(engine_ != nullptr ? engine_->num_shards() : 1);
+}
+
+Network::ShardAccount& Network::AccountFor(NodeId at) {
+  return accounts_[engine_ != nullptr ? engine_->shard_of(at) : 0];
+}
+
+SimTime Network::SimNow() const {
+  if (engine_ != nullptr) {
+    int shard = ShardEngine::current_shard();
+    if (shard >= 0) return engine_->queue(shard).now();
+    return engine_->now();
+  }
+  return queue_->now();
+}
+
+void Network::ScheduleAtNodeAfter(NodeId node, double delay,
+                                  std::function<void()> fn) {
+  SimTime t = SimNow() + delay;
+  if (engine_ != nullptr) {
+    engine_->ScheduleAtNode(node, t, std::move(fn));
+  } else {
+    queue_->ScheduleAt(t, std::move(fn));
+  }
+}
+
+void Network::ChargeBytes(ShardAccount& acct, double time, size_t bytes) {
+  acct.bytes += bytes;
   size_t bucket = static_cast<size_t>(time / bucket_width_s_);
-  if (bucket_bytes_.size() <= bucket) bucket_bytes_.resize(bucket + 1, 0);
-  bucket_bytes_[bucket] += bytes;
+  if (acct.bucket_bytes.size() <= bucket) {
+    acct.bucket_bytes.resize(bucket + 1, 0);
+  }
+  acct.bucket_bytes[bucket] += bytes;
 }
 
 void Network::Send(Message msg) {
   DPC_CHECK(msg.src >= 0 && msg.src < topology_->num_nodes());
   DPC_CHECK(msg.dst >= 0 && msg.dst < topology_->num_nodes());
-  ++total_messages_;
+  if (msg.tx_id == 0) msg.tx_id = ContentTxId(msg);
+  ++AccountFor(msg.src).messages;
   if (msg.src == msg.dst) {
-    queue_->ScheduleAfter(local_delay_s_, [this, m = std::move(msg)]() {
-      if (handler_) handler_(m);
-    });
+    ScheduleAtNodeAfter(msg.dst, local_delay_s_,
+                        [this, m = std::move(msg)]() {
+                          if (handler_) handler_(m);
+                        });
     return;
   }
   NodeId src = msg.src;
@@ -48,7 +110,7 @@ void Network::Send(Message msg) {
 void Network::SetLossRate(double rate, uint64_t seed) {
   DPC_CHECK(rate >= 0 && rate < 1);
   loss_rate_ = rate;
-  loss_rng_ = std::make_unique<Rng>(seed);
+  loss_seed_ = seed;
 }
 
 Status Network::CheckLink(NodeId a, NodeId b) const {
@@ -57,11 +119,6 @@ Status Network::CheckLink(NodeId a, NodeId b) const {
                                    " and " + std::to_string(b));
   }
   return Status::OK();
-}
-
-Rng& Network::LossRng() {
-  if (loss_rng_ == nullptr) loss_rng_ = std::make_unique<Rng>(1);
-  return *loss_rng_;
 }
 
 Status Network::SetLinkLossRate(NodeId a, NodeId b, double rate) {
@@ -85,7 +142,13 @@ Status Network::SetLinkUp(NodeId a, NodeId b, bool up) {
 
 Status Network::ScheduleLinkUp(NodeId a, NodeId b, bool up, SimTime at) {
   DPC_RETURN_NOT_OK(CheckLink(a, b));
-  queue_->ScheduleAt(at, [this, a, b, up]() { (void)SetLinkUp(a, b, up); });
+  auto flip = [this, a, b, up]() { (void)SetLinkUp(a, b, up); };
+  if (engine_ != nullptr) {
+    // Fault state is read by every shard: flip it at a window barrier.
+    engine_->ScheduleGlobal(at, std::move(flip));
+  } else {
+    queue_->ScheduleAt(at, std::move(flip));
+  }
   return Status::OK();
 }
 
@@ -100,19 +163,33 @@ Status Network::SetPartition(std::vector<int> group_of_node) {
 }
 
 void Network::SchedulePartition(std::vector<int> group_of_node, SimTime at) {
-  queue_->ScheduleAt(at, [this, groups = std::move(group_of_node)]() {
+  auto apply = [this, groups = std::move(group_of_node)]() {
     Status st = SetPartition(groups);
     DPC_CHECK(st.ok()) << st.ToString();
-  });
+  };
+  if (engine_ != nullptr) {
+    engine_->ScheduleGlobal(at, std::move(apply));
+  } else {
+    queue_->ScheduleAt(at, std::move(apply));
+  }
 }
 
-bool Network::TraversalDropped(NodeId at, NodeId next) {
+bool Network::TraversalDropped(NodeId at, NodeId next,
+                               const Message& msg) const {
   if (links_down_.count(PackPair(at, next)) > 0) return true;
   if (!partition_.empty() && partition_[at] != partition_[next]) return true;
   double rate = loss_rate_;
   auto it = link_loss_.find(PackPair(at, next));
   if (it != link_loss_.end()) rate = it->second;
-  return rate > 0 && LossRng().NextDouble() < rate;
+  if (rate <= 0) return false;
+  // Deterministic draw: a pure function of (seed, transmission, directed
+  // hop), so the same traversal drops — or survives — regardless of what
+  // other traffic exists or how nodes are sharded.
+  uint64_t hop = (static_cast<uint64_t>(static_cast<uint32_t>(at)) << 32) |
+                 static_cast<uint32_t>(next);
+  uint64_t h = Mix64(loss_seed_ ^ Mix64(msg.tx_id ^ Mix64(hop)));
+  double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return u < rate;
 }
 
 void Network::Forward(Message msg, NodeId at) {
@@ -120,10 +197,10 @@ void Network::Forward(Message msg, NodeId at) {
   DPC_CHECK(next != kNullNode) << "no route from " << at << " to " << msg.dst;
   const LinkProps& link = topology_->Link(at, next);
   size_t wire = msg.WireSize();
-  ChargeBytes(queue_->now(), wire);
-  if (TraversalDropped(at, next)) {
-    ++dropped_messages_;
-    GlobalMetrics().GetCounter("network.messages_dropped").IncrementAt(at);
+  ChargeBytes(AccountFor(at), SimNow(), wire);
+  if (TraversalDropped(at, next, msg)) {
+    ++AccountFor(at).dropped;
+    drop_counter_->IncrementAt(at);
     if (Trace().enabled()) {
       Trace().Instant(at, TraceCat::kNetwork, "drop",
                       "\"next\": " + std::to_string(next) +
@@ -134,7 +211,7 @@ void Network::Forward(Message msg, NodeId at) {
   }
   double delay = link.latency_s +
                  static_cast<double>(wire) * 8.0 / link.bandwidth_bps;
-  queue_->ScheduleAfter(delay, [this, m = std::move(msg), next]() mutable {
+  ScheduleAtNodeAfter(next, delay, [this, m = std::move(msg), next]() mutable {
     if (next == m.dst) {
       if (handler_) handler_(m);
     } else {
@@ -149,15 +226,49 @@ void Network::Broadcast(NodeId from, Message msg) {
     Message copy = msg;
     copy.src = from;
     copy.dst = n;
+    copy.tx_id = 0;  // re-derive per destination
     Send(std::move(copy));
   }
 }
 
+uint64_t Network::total_bytes_sent() const {
+  uint64_t sum = 0;
+  for (const ShardAccount& a : accounts_) sum += a.bytes;
+  return sum;
+}
+
+uint64_t Network::total_messages() const {
+  uint64_t sum = 0;
+  for (const ShardAccount& a : accounts_) sum += a.messages;
+  return sum;
+}
+
+uint64_t Network::dropped_messages() const {
+  uint64_t sum = 0;
+  for (const ShardAccount& a : accounts_) sum += a.dropped;
+  return sum;
+}
+
+std::vector<uint64_t> Network::bucket_bytes() const {
+  std::vector<uint64_t> merged;
+  for (const ShardAccount& a : accounts_) {
+    if (a.bucket_bytes.size() > merged.size()) {
+      merged.resize(a.bucket_bytes.size(), 0);
+    }
+    for (size_t i = 0; i < a.bucket_bytes.size(); ++i) {
+      merged[i] += a.bucket_bytes[i];
+    }
+  }
+  return merged;
+}
+
 void Network::ResetAccounting() {
-  total_bytes_ = 0;
-  total_messages_ = 0;
-  dropped_messages_ = 0;
-  bucket_bytes_.clear();
+  for (ShardAccount& a : accounts_) {
+    a.bytes = 0;
+    a.messages = 0;
+    a.dropped = 0;
+    a.bucket_bytes.clear();
+  }
 }
 
 }  // namespace dpc

@@ -7,6 +7,13 @@
 // per-link loss, links going down/up at a simulated time, node partitions)
 // drops traversals. Layer a ReliableTransport (transport.h) on top when a
 // workload must survive those faults.
+//
+// Sharded runtime (src/net/shard_engine.h): after BindShardEngine, every
+// hop is scheduled on the shard owning the node it executes at, and the
+// bandwidth/drop accounting is kept in per-shard slots (each written only
+// by its owning worker) merged on read. Loss draws are a pure hash of
+// (seed, tx_id, link) — no shared RNG stream — so the set of dropped
+// traversals is identical at any shard count.
 #ifndef DPC_NET_NETWORK_H_
 #define DPC_NET_NETWORK_H_
 
@@ -20,10 +27,12 @@
 #include "src/db/tuple.h"
 #include "src/net/event_queue.h"
 #include "src/net/topology.h"
-#include "src/util/rng.h"
 #include "src/util/stats.h"
 
 namespace dpc {
+
+class Counter;
+class ShardEngine;
 
 enum class MessageKind : uint8_t {
   kEvent = 0,    // an event tuple propagating through a DELP
@@ -36,6 +45,12 @@ struct Message {
   MessageKind kind = MessageKind::kEvent;
   NodeId src = kNullNode;
   NodeId dst = kNullNode;
+  // Simulation-local transmission identity keying the deterministic loss
+  // draw for each link traversal. Not serialized and not charged to
+  // WireSize. 0 = unassigned: Send derives one from the message content.
+  // ReliableTransport assigns a fresh id per (seq, attempt) so a
+  // retransmission of identical bytes gets an independent draw.
+  uint64_t tx_id = 0;
   std::vector<uint8_t> payload;
 
   size_t WireSize() const;
@@ -55,6 +70,7 @@ class MessageChannel {
   virtual ~MessageChannel() = default;
 
   // Installs the handler invoked when a message reaches its destination.
+  // Under the sharded runtime it runs on the destination's shard thread.
   virtual void SetDeliveryHandler(DeliveryHandler handler) = 0;
 
   // Sends `msg` from msg.src to msg.dst.
@@ -70,6 +86,11 @@ class Network : public MessageChannel {
  public:
   Network(const Topology* topology, EventQueue* queue);
 
+  // Routes hop scheduling through `engine` (each hop executes on the shard
+  // owning the node it is at) and widens the accounting to one slot per
+  // shard. Call before any traffic; the engine must outlive the Network.
+  void BindShardEngine(ShardEngine* engine);
+
   void SetDeliveryHandler(DeliveryHandler handler) override {
     handler_ = std::move(handler);
   }
@@ -81,16 +102,21 @@ class Network : public MessageChannel {
   void Broadcast(NodeId from, Message msg) override;
 
   // --- accounting ---
-  uint64_t total_bytes_sent() const { return total_bytes_; }
-  uint64_t total_messages() const { return total_messages_; }
+  // Sums over the per-shard slots. Exact while the engine is idle or
+  // between windows (tests, experiment teardown); during a window a
+  // concurrent read would be a benign-but-torn snapshot, so don't.
+  uint64_t total_bytes_sent() const;
+  uint64_t total_messages() const;
+  uint64_t dropped_messages() const;
 
   // Bytes charged per `bucket` seconds of simulated time since t=0.
-  // bandwidth(t) = bucket_bytes[i] / bucket for t in bucket i.
-  const std::vector<uint64_t>& bucket_bytes() const { return bucket_bytes_; }
+  // bandwidth(t) = bucket_bytes[i] / bucket for t in bucket i. By value:
+  // the merge of the per-shard bucket vectors.
+  std::vector<uint64_t> bucket_bytes() const;
   double bucket_width_s() const { return bucket_width_s_; }
   void set_bucket_width_s(double w) { bucket_width_s_ = w; }
 
-  // Resets counters (not pending traffic).
+  // Resets counters (not pending traffic). Idle-only.
   void ResetAccounting();
 
   const Topology* topology() const { return topology_; }
@@ -102,20 +128,27 @@ class Network : public MessageChannel {
   // All injected faults drop individual link traversals. Local deliveries
   // (src == dst) are never dropped. Dropped traversals are still charged
   // to bandwidth (the bytes were sent) and counted in dropped_messages().
+  //
+  // Fault state is mutated only while the shard engine is idle (setup
+  // code, or Schedule* callbacks which run as global actions at a window
+  // barrier) and read by workers during windows; the engine's barrier
+  // provides the happens-before, so the maps below need no lock.
 
   // Uniform loss: drop each traversal independently with probability
-  // `rate` (deterministic given `seed`).
+  // `rate`. Deterministic given `seed`: whether a traversal drops is a
+  // pure hash of (seed, msg.tx_id, link), independent of arrival order
+  // and shard count.
   void SetLossRate(double rate, uint64_t seed = 1);
 
   // Per-link loss overriding the uniform rate on that link (either
-  // direction). Draws come from the same seeded stream as SetLossRate.
+  // direction). Keyed by the same seed as SetLossRate.
   Status SetLinkLossRate(NodeId a, NodeId b, double rate);
 
   // Takes link (a, b) down / back up. While down, every traversal of the
   // link is dropped; routing is unchanged (the paper's routes are static),
   // so recovery is the transport layer's job.
   Status SetLinkUp(NodeId a, NodeId b, bool up);
-  // Same, at simulated time `at`.
+  // Same, at simulated time `at` (a global action when sharded).
   Status ScheduleLinkUp(NodeId a, NodeId b, bool up, SimTime at);
 
   // Partitions the nodes: a traversal is dropped when its endpoints are in
@@ -124,27 +157,41 @@ class Network : public MessageChannel {
   Status SetPartition(std::vector<int> group_of_node);
   void SchedulePartition(std::vector<int> group_of_node, SimTime at);
 
-  uint64_t dropped_messages() const { return dropped_messages_; }
-
  private:
+  // Accounting slot for activity at node `at`: written only by the worker
+  // owning `at`'s shard (or the coordinator while the engine is idle), so
+  // plain uint64_t fields suffice. Padded to avoid false sharing.
+  struct alignas(64) ShardAccount {
+    uint64_t bytes = 0;
+    uint64_t messages = 0;
+    uint64_t dropped = 0;
+    std::vector<uint64_t> bucket_bytes;
+  };
+
   void Forward(Message msg, NodeId at);
-  void ChargeBytes(double time, size_t bytes);
-  // True when fault injection says this traversal never arrives.
-  bool TraversalDropped(NodeId at, NodeId next);
+  void ChargeBytes(ShardAccount& acct, double time, size_t bytes);
+  // True when fault injection says this traversal never arrives. Pure in
+  // (fault state, msg.tx_id, at, next).
+  bool TraversalDropped(NodeId at, NodeId next, const Message& msg) const;
   Status CheckLink(NodeId a, NodeId b) const;
-  Rng& LossRng();
+  ShardAccount& AccountFor(NodeId at);
+  // Simulated time in the calling context: the executing shard's clock on
+  // a worker, the engine's global clock (or queue time) otherwise.
+  SimTime SimNow() const;
+  // Schedules `fn` at SimNow() + delay on the shard owning `node`.
+  void ScheduleAtNodeAfter(NodeId node, double delay,
+                           std::function<void()> fn);
 
   const Topology* topology_;
   EventQueue* queue_;
+  ShardEngine* engine_ = nullptr;
   DeliveryHandler handler_;
   double local_delay_s_ = 1e-6;
-  uint64_t total_bytes_ = 0;
-  uint64_t total_messages_ = 0;
   double bucket_width_s_ = 1.0;
-  std::vector<uint64_t> bucket_bytes_;
+  std::vector<ShardAccount> accounts_;  // one per shard; size 1 unsharded
   double loss_rate_ = 0;
-  uint64_t dropped_messages_ = 0;
-  std::unique_ptr<Rng> loss_rng_;
+  uint64_t loss_seed_ = 1;
+  Counter* drop_counter_;
   // Fault state keyed by the (min, max) node pair packed into 64 bits.
   std::unordered_map<uint64_t, double> link_loss_;
   std::unordered_set<uint64_t> links_down_;

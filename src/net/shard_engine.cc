@@ -1,0 +1,270 @@
+#include "src/net/shard_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <chrono>
+#include <limits>
+#include <tuple>
+
+#include "src/util/logging.h"
+
+namespace dpc {
+
+namespace {
+
+constexpr SimTime kInf = std::numeric_limits<SimTime>::infinity();
+
+// Which shard the calling thread is executing a window for; -1 outside
+// windows. The coordinator doubles as shard 0's worker, so this is set
+// around every window, including the inline one.
+thread_local int tls_current_shard = -1;
+
+}  // namespace
+
+ShardMap::ShardMap(int num_nodes, int num_shards) {
+  if (num_shards < 1) num_shards = 1;
+  if (num_nodes > 0 && num_shards > num_nodes) num_shards = num_nodes;
+  num_shards_ = num_shards;
+  shard_of_.resize(static_cast<size_t>(num_nodes));
+  int base = num_nodes / num_shards;
+  int extra = num_nodes % num_shards;
+  int node = 0;
+  for (int s = 0; s < num_shards; ++s) {
+    int len = base + (s < extra ? 1 : 0);
+    for (int i = 0; i < len; ++i) shard_of_[node++] = s;
+  }
+}
+
+SimTime MinCrossShardLatency(const Topology& topology, const ShardMap& map) {
+  SimTime min_latency = kInf;
+  topology.ForEachLink([&](NodeId a, NodeId b, const LinkProps& props) {
+    if (map.shard_of(a) != map.shard_of(b) && props.latency_s < min_latency) {
+      min_latency = props.latency_s;
+    }
+  });
+  return min_latency;
+}
+
+ShardEngine::ShardEngine(const Topology* topology, int num_shards,
+                         EventQueue* shard0)
+    : topology_(topology),
+      map_(topology != nullptr ? topology->num_nodes() : 0, num_shards),
+      lookahead_(0) {
+  DPC_CHECK(topology_ != nullptr);
+  DPC_CHECK(shard0 != nullptr);
+  lookahead_ = MinCrossShardLatency(*topology_, map_);
+  DPC_CHECK(map_.num_shards() == 1 || lookahead_ > 0)
+      << "zero cross-shard lookahead: a zero-latency link crosses shards";
+  queues_.push_back(shard0);
+  for (int s = 1; s < map_.num_shards(); ++s) {
+    owned_queues_.push_back(std::make_unique<EventQueue>());
+    queues_.push_back(owned_queues_.back().get());
+  }
+  mail_.resize(static_cast<size_t>(map_.num_shards()) * map_.num_shards());
+  MetricsRegistry& reg = GlobalMetrics();
+  windows_counter_ = &reg.GetCounter("shard.windows");
+  cross_shard_counter_ = &reg.GetCounter("shard.cross_shard_messages");
+  global_actions_counter_ = &reg.GetCounter("shard.global_actions");
+  tracer_ = &Trace();
+}
+
+ShardEngine::~ShardEngine() {
+  {
+    std::lock_guard<std::mutex> lk(barrier_mu_);
+    stop_ = true;
+  }
+  worker_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ShardEngine::current_shard() { return tls_current_shard; }
+
+SimTime ShardEngine::LocalNow() {
+  int cur = tls_current_shard;
+  return cur >= 0 ? queues_[cur]->now() : now();
+}
+
+void ShardEngine::ScheduleAtNode(NodeId node, SimTime t,
+                                 EventQueue::Callback fn) {
+  int dst = map_.shard_of(node);
+  int cur = tls_current_shard;
+  if (cur == dst || cur < 0) {
+    // Same shard, or the idle coordinator (setup, global actions): the
+    // destination queue is not concurrently running.
+    queues_[dst]->ScheduleAt(t, std::move(fn));
+    return;
+  }
+  // Cross-shard from a worker mid-window: only this thread writes this
+  // slot; the coordinator merges it at the barrier.
+  mail_[static_cast<size_t>(dst) * map_.num_shards() + cur].mail.push_back(
+      Mail{t, std::move(fn)});
+}
+
+void ShardEngine::ScheduleGlobal(SimTime t, std::function<void()> fn) {
+  DPC_CHECK(tls_current_shard < 0)
+      << "ScheduleGlobal must be called from the coordinator";
+  globals_.push(GlobalAction{t, next_global_seq_++, std::move(fn)});
+}
+
+void ShardEngine::StartWorkers() {
+  if (!workers_.empty() || map_.num_shards() == 1) return;
+  workers_.reserve(map_.num_shards() - 1);
+  for (int s = 1; s < map_.num_shards(); ++s) {
+    workers_.emplace_back([this, s] { WorkerLoop(s); });
+  }
+}
+
+void ShardEngine::RunShardWindow(int shard) {
+  tls_current_shard = shard;
+  size_t n = queues_[shard]->RunWindow(horizon_, window_cap_);
+  tls_current_shard = -1;
+  if (n != 0) window_events_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void ShardEngine::WorkerLoop(int shard) {
+  uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(barrier_mu_);
+      worker_cv_.wait(lk, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+    }
+    // horizon_ / window_cap_ were written before the epoch bump and are
+    // stable for the whole window; the wait above orders the reads.
+    RunShardWindow(shard);
+    {
+      std::lock_guard<std::mutex> lk(barrier_mu_);
+      ++done_count_;
+      if (done_count_ == map_.num_shards() - 1) coord_cv_.notify_one();
+    }
+  }
+}
+
+void ShardEngine::DrainMailboxes() {
+  const int n = map_.num_shards();
+  // (time, source shard, push index): the merge order is a pure function
+  // of simulated time and shard topology, never of thread interleaving,
+  // so destination-queue sequence numbers — and with them all same-time
+  // tie-breaks — are identical for every shard count.
+  std::vector<std::tuple<SimTime, int, size_t>> order;
+  for (int dst = 0; dst < n; ++dst) {
+    order.clear();
+    for (int src = 0; src < n; ++src) {
+      std::vector<Mail>& slot = mail_[static_cast<size_t>(dst) * n + src].mail;
+      for (size_t i = 0; i < slot.size(); ++i) {
+        order.emplace_back(slot[i].time, src, i);
+      }
+    }
+    if (order.empty()) continue;
+    std::sort(order.begin(), order.end());
+    for (const auto& [t, src, i] : order) {
+      queues_[dst]->ScheduleAt(
+          t, std::move(mail_[static_cast<size_t>(dst) * n + src].mail[i].fn));
+    }
+    cross_shard_messages_ += order.size();
+    cross_shard_counter_->IncrementAt(dst);
+    for (int src = 0; src < n; ++src) {
+      mail_[static_cast<size_t>(dst) * n + src].mail.clear();
+    }
+  }
+}
+
+void ShardEngine::RunLoop(SimTime until, size_t max_events) {
+  DPC_CHECK(tls_current_shard < 0)
+      << "re-entrant ShardEngine run from a worker";
+  StartWorkers();
+  const int n = map_.num_shards();
+  size_t ran_this_call = 0;
+  for (;;) {
+    DrainMailboxes();
+    SimTime tq = kInf;
+    for (EventQueue* q : queues_) tq = std::min(tq, q->PeekTime());
+    // Global actions run alone, on this thread, once everything earlier
+    // than their time has executed — and before anything at exactly it.
+    while (!globals_.empty() && globals_.top().time <= tq &&
+           globals_.top().time <= until) {
+      GlobalAction action =
+          std::move(const_cast<GlobalAction&>(globals_.top()));
+      globals_.pop();
+      SimTime at = std::max(now(), action.time);
+      global_now_.store(at, std::memory_order_relaxed);
+      for (EventQueue* q : queues_) q->AdvanceTo(action.time);
+      action.fn();
+      global_actions_counter_->Increment();
+      tq = kInf;
+      for (EventQueue* q : queues_) tq = std::min(tq, q->PeekTime());
+    }
+    SimTime next_global = globals_.empty() ? kInf : globals_.top().time;
+    SimTime start = std::min(tq, next_global);
+    if (start == kInf || start > until) break;
+
+    // Conservative window [start, horizon): an event at t >= start only
+    // reaches another shard at t + lookahead >= horizon, so shards are
+    // causally independent inside the window. The horizon also never
+    // crosses the next global action or the caller's time bound.
+    SimTime horizon = tq + lookahead_;
+    horizon = std::min(horizon, next_global);
+    if (until != kInf) {
+      horizon = std::min(
+          horizon, std::nextafter(until, kInf));  // events at `until` run
+    }
+    window_events_.store(0, std::memory_order_relaxed);
+    bool tracing = tracer_->enabled();
+    auto wall0 = tracing ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
+    {
+      std::lock_guard<std::mutex> lk(barrier_mu_);
+      horizon_ = horizon;
+      window_cap_ = max_events == 0 ? 0 : max_events - ran_this_call;
+      done_count_ = 0;
+      ++epoch_;
+    }
+    worker_cv_.notify_all();
+    RunShardWindow(0);
+    if (n > 1) {
+      std::unique_lock<std::mutex> lk(barrier_mu_);
+      coord_cv_.wait(lk, [&] { return done_count_ == n - 1; });
+    }
+    size_t executed = window_events_.load(std::memory_order_relaxed);
+    ran_this_call += executed;
+    events_executed_ += executed;
+    ++windows_;
+    windows_counter_->Increment();
+    SimTime reached = horizon;
+    if (reached == kInf) {
+      reached = 0;
+      for (EventQueue* q : queues_) reached = std::max(reached, q->now());
+    }
+    if (reached > now()) {
+      global_now_.store(reached, std::memory_order_relaxed);
+    }
+    if (tracing) {
+      auto wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - wall0)
+                      .count();
+      tracer_->CompleteAt(
+          -1, TraceCat::kShard, "window", start,
+          "\"horizon\": " + std::to_string(horizon) +
+              ", \"events\": " + std::to_string(executed) +
+              ", \"wall_us\": " + std::to_string(wall / 1000.0));
+    }
+    if (max_events != 0 && ran_this_call >= max_events) {
+      size_t left = 0;
+      for (EventQueue* q : queues_) left += q->pending();
+      DPC_LOG(Warning) << "ShardEngine stopped after " << ran_this_call
+                       << " events with " << left << " pending";
+      return;
+    }
+  }
+}
+
+void ShardEngine::RunAll(size_t max_events) { RunLoop(kInf, max_events); }
+
+void ShardEngine::RunUntil(SimTime t) {
+  RunLoop(t, 0);
+  for (EventQueue* q : queues_) q->AdvanceTo(t);
+  if (t > now()) global_now_.store(t, std::memory_order_relaxed);
+}
+
+}  // namespace dpc

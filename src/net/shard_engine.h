@@ -1,0 +1,193 @@
+// ShardEngine: the conservative parallel discrete-event runtime (classic
+// conservative PDES, Chandy–Misra style with a global window barrier).
+//
+// Nodes are partitioned into shards; each shard owns one EventQueue and is
+// driven by one worker thread. The engine repeatedly:
+//
+//   1. drains cross-shard mailboxes into the destination queues, merged in
+//      deterministic (time, source shard, push index) order;
+//   2. computes T = the minimum pending event time across all shards, and
+//      a horizon E = T + L, where the lookahead L is the minimum latency
+//      of any link whose endpoints live in different shards;
+//   3. releases every shard to run its events with time < E concurrently
+//      (a "window"), then barriers.
+//
+// Safety argument: an event executing at time t >= T on one shard can only
+// affect another shard through a link of latency >= L, so its effects land
+// at t + L >= T + L = E — beyond the window every other shard is currently
+// executing. Cross-shard sends therefore never violate causality, and
+// because the mailbox merge order is a pure function of simulated time and
+// shard topology (never of thread interleaving), an N-shard run schedules
+// exactly the same (time, seq) event order into every queue as the 1-shard
+// run — byte-identical storage accounting falls out.
+//
+// Objects reachable from event callbacks must be either shard-confined
+// (per-node recorder state, per-node databases) or thread-safe (tracer,
+// metrics, tuple store — see docs/concurrency.md). The engine itself owns
+// no simulation state beyond the queues and mailboxes.
+#ifndef DPC_NET_SHARD_ENGINE_H_
+#define DPC_NET_SHARD_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "src/net/event_queue.h"
+#include "src/net/topology.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace dpc {
+
+// Deterministic node -> shard assignment: contiguous blocks of near-equal
+// size, so transit-stub locality keeps most traffic shard-local.
+class ShardMap {
+ public:
+  ShardMap(int num_nodes, int num_shards);
+
+  int num_shards() const { return num_shards_; }
+  int shard_of(NodeId n) const { return shard_of_[n]; }
+
+ private:
+  int num_shards_;
+  std::vector<int> shard_of_;
+};
+
+// Minimum latency over links whose endpoints land in different shards;
+// +infinity when every link is shard-internal (shards never interact and
+// windows are unbounded).
+SimTime MinCrossShardLatency(const Topology& topology, const ShardMap& map);
+
+class ShardEngine {
+ public:
+  // `shard0` is the externally owned queue driving shard 0 (the Testbed's
+  // queue, so single-shard call sites keep working unchanged); the engine
+  // owns the queues for shards 1..N-1. `topology` must outlive the engine.
+  // Requires num_shards >= 1 and, when num_shards > 1, a strictly positive
+  // cross-shard lookahead (callers clamp to 1 shard otherwise).
+  ShardEngine(const Topology* topology, int num_shards, EventQueue* shard0);
+  ~ShardEngine();
+
+  ShardEngine(const ShardEngine&) = delete;
+  ShardEngine& operator=(const ShardEngine&) = delete;
+
+  int num_shards() const { return map_.num_shards(); }
+  int shard_of(NodeId n) const { return map_.shard_of(n); }
+  EventQueue& queue(int shard) { return *queues_[shard]; }
+  SimTime lookahead_s() const { return lookahead_; }
+
+  // Index of the shard the calling thread is currently executing a window
+  // for, or -1 outside windows (the idle coordinator).
+  static int current_shard();
+
+  // Latest barrier time (atomic; safe to read from any thread, e.g. as a
+  // tracer clock). During a global action this is the action's time.
+  SimTime now() const { return global_now_.load(std::memory_order_relaxed); }
+
+  // Simulated time as seen by the calling thread: the executing shard's
+  // queue clock inside a window, the barrier clock outside.
+  SimTime LocalNow();
+
+  // Schedules `fn` at time `t` on the shard owning `node`. Same-shard (and
+  // idle-coordinator) schedules go straight into the queue; cross-shard
+  // schedules from a worker are mailbox pushes, merged at the next barrier
+  // in (time, source shard, push index) order. The conservative window
+  // guarantees t is never in the destination's past.
+  void ScheduleAtNode(NodeId node, SimTime t, EventQueue::Callback fn);
+
+  // Schedules `fn` to run on the coordinator thread, alone, at the first
+  // barrier where every event with time < `t` has executed — before any
+  // event at exactly `t`. Global actions see a quiescent simulation
+  // (storage snapshots, fault-state flips, slow-tuple updates). Must be
+  // called from the coordinator (idle or inside another global action).
+  void ScheduleGlobal(SimTime t, std::function<void()> fn);
+
+  // Runs windows until every queue, mailbox and global action drains.
+  // `max_events` bounds the total events executed (0 = unlimited).
+  void RunAll(size_t max_events = 0);
+
+  // Runs until everything with time <= t (events and global actions) has
+  // executed; every shard clock then advances to t.
+  void RunUntil(SimTime t);
+
+  // Total events executed across all shards over the engine's lifetime.
+  uint64_t events_executed() const { return events_executed_; }
+  // Windows (parallel phases) run so far.
+  uint64_t windows() const { return windows_; }
+  // Cross-shard mailbox messages merged so far.
+  uint64_t cross_shard_messages() const { return cross_shard_messages_; }
+
+ private:
+  struct Mail {
+    SimTime time;
+    EventQueue::Callback fn;
+  };
+  // One slot per (dst shard, src shard): only src's worker thread writes
+  // during a window, only the coordinator reads at the barrier, so slots
+  // need no locks. Padded so neighboring writers don't false-share.
+  struct alignas(64) MailSlot {
+    std::vector<Mail> mail;
+  };
+  struct GlobalAction {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const GlobalAction& o) const {
+      return time != o.time ? time > o.time : seq > o.seq;
+    }
+  };
+
+  void StartWorkers();
+  void WorkerLoop(int shard);
+  // Runs one shard's window [*, horizon_) with the thread-local shard set.
+  void RunShardWindow(int shard);
+  // Coordinator: merges mailbox mail into destination queues.
+  void DrainMailboxes();
+  // Coordinator: drives windows until drained / past `until` / budget.
+  void RunLoop(SimTime until, size_t max_events);
+
+  const Topology* topology_;
+  ShardMap map_;
+  SimTime lookahead_;
+  std::vector<EventQueue*> queues_;             // [shard] -> queue
+  std::vector<std::unique_ptr<EventQueue>> owned_queues_;  // shards 1..N-1
+  std::vector<MailSlot> mail_;                  // [dst * N + src]
+  std::priority_queue<GlobalAction, std::vector<GlobalAction>,
+                      std::greater<GlobalAction>>
+      globals_;
+  uint64_t next_global_seq_ = 0;
+
+  // Window barrier: the coordinator publishes horizon_ and bumps epoch_;
+  // each worker runs its window and reports via done_count_. Plain
+  // std::mutex/condition_variable (not dpc::Mutex) because the annotated
+  // wrapper has no condition-variable interop; TSan still checks it.
+  std::mutex barrier_mu_;
+  std::condition_variable worker_cv_;
+  std::condition_variable coord_cv_;
+  uint64_t epoch_ = 0;
+  int done_count_ = 0;
+  bool stop_ = false;
+  SimTime horizon_ = 0;
+  size_t window_cap_ = 0;  // per-shard per-window event bound (0 = none)
+  std::vector<std::thread> workers_;  // shards 1..N-1; shard 0 runs inline
+  std::atomic<uint64_t> window_events_{0};
+
+  std::atomic<SimTime> global_now_{0};
+  uint64_t events_executed_ = 0;
+  uint64_t windows_ = 0;
+  uint64_t cross_shard_messages_ = 0;
+
+  Counter* windows_counter_;
+  Counter* cross_shard_counter_;
+  Counter* global_actions_counter_;
+  Tracer* tracer_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_NET_SHARD_ENGINE_H_

@@ -42,6 +42,13 @@ class Topology {
     return adjacency_[n];
   }
 
+  // Invokes fn(a, b, props) for every link, in insertion order (used by
+  // the shard engine to derive its cross-shard lookahead).
+  template <typename Fn>
+  void ForEachLink(Fn fn) const {
+    for (const auto& l : links_) fn(l.a, l.b, l.props);
+  }
+
   // Recomputes all-pairs hop-count shortest paths (BFS from every node;
   // neighbor order breaks ties deterministically). Must be called after the
   // last AddLink and before any routing query below.

@@ -24,6 +24,17 @@ std::vector<uint8_t> WrapPayload(FrameType type, uint64_t seq,
   return out;
 }
 
+// Per-transmission identity for the deterministic loss hash: a fresh id
+// per (seq, attempt) — and per (seq, ack#) for acks, salted apart — so
+// retransmissions of identical bytes draw independently.
+uint64_t FrameTxId(uint64_t seq, uint32_t attempt, bool ack) {
+  uint64_t x = seq * 0x9e3779b97f4a7c15ULL + attempt +
+               (ack ? 0x517cc1b727220a95ULL : 0);
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return (x ^ (x >> 31)) | 1;
+}
+
 }  // namespace
 
 ReliableTransport::ReliableTransport(Network* network, EventQueue* queue,
@@ -53,7 +64,8 @@ void ReliableTransport::Send(Message msg) {
   p.frame.payload = WrapPayload(kDataFrame, seq, msg.payload);
   p.original = std::move(msg);
   p.rto_s = options_.initial_rto_s;
-  ++stats_.data_frames_sent;
+  p.frame.tx_id = FrameTxId(seq, 1, /*ack=*/false);
+  stats_.data_frames_sent.fetch_add(1, std::memory_order_relaxed);
   metrics_.data_frames_sent->IncrementAt(p.frame.src);
   if (Trace().enabled()) {
     // Span covers first transmission through ack (or abandonment).
@@ -95,7 +107,7 @@ void ReliableTransport::OnTimeout(uint64_t seq) {
   if (it == pending_.end()) return;  // acked in the meantime
   Pending& p = it->second;
   if (options_.max_attempts > 0 && p.attempts >= options_.max_attempts) {
-    ++stats_.delivery_failures;
+    stats_.delivery_failures.fetch_add(1, std::memory_order_relaxed);
     metrics_.delivery_failures->IncrementAt(p.frame.src);
     Message original = std::move(p.original);
     if (Trace().enabled()) {
@@ -110,7 +122,9 @@ void ReliableTransport::OnTimeout(uint64_t seq) {
     return;
   }
   ++p.attempts;
-  ++stats_.retransmissions;
+  p.frame.tx_id = FrameTxId(seq, static_cast<uint32_t>(p.attempts),
+                            /*ack=*/false);
+  stats_.retransmissions.fetch_add(1, std::memory_order_relaxed);
   metrics_.retransmissions->IncrementAt(p.frame.src);
   if (Trace().enabled()) {
     Trace().Instant(p.frame.src, TraceCat::kTransport, "retransmit",
@@ -157,12 +171,13 @@ void ReliableTransport::OnNetworkDelivery(const Message& msg) {
   w.PutU8(kAckFrame);
   w.PutU64(*seq);
   ack.payload = w.Take();
-  ++stats_.acks_sent;
+  ack.tx_id = FrameTxId(*seq, ++ack_counts_[*seq], /*ack=*/true);
+  stats_.acks_sent.fetch_add(1, std::memory_order_relaxed);
   metrics_.acks_sent->IncrementAt(msg.dst);
   network_->Send(std::move(ack));
 
   if (!delivered_.insert(*seq).second) {
-    ++stats_.duplicates_suppressed;
+    stats_.duplicates_suppressed.fetch_add(1, std::memory_order_relaxed);
     metrics_.duplicates_suppressed->IncrementAt(msg.dst);
     return;
   }

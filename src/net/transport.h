@@ -19,6 +19,7 @@
 #ifndef DPC_NET_TRANSPORT_H_
 #define DPC_NET_TRANSPORT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
@@ -37,14 +38,47 @@ struct TransportOptions {
   int max_attempts = 16;
 };
 
+// Plain snapshot of the transport counters (what callers consume).
 struct TransportStats {
   uint64_t data_frames_sent = 0;      // first transmissions
   uint64_t retransmissions = 0;       // timeout-triggered resends
   uint64_t acks_sent = 0;             // receiver-side acknowledgements
   uint64_t duplicates_suppressed = 0; // retransmits already applied
   uint64_t delivery_failures = 0;     // frames abandoned after max_attempts
+};
 
-  void Reset() { *this = TransportStats(); }
+// The live counters. Atomic fields so concurrent bumps never lose updates
+// and Reset never tears: the old `*this = TransportStats()` reset wrote
+// five plain words non-atomically, so a reader racing it could observe a
+// half-zeroed struct (and a writer racing it could resurrect a stale
+// increment). Per-field atomic stores make reset race-safe; Snapshot is
+// field-wise consistent (exact when quiescent, which is when tests and
+// experiment teardown read it).
+struct AtomicTransportStats {
+  std::atomic<uint64_t> data_frames_sent{0};
+  std::atomic<uint64_t> retransmissions{0};
+  std::atomic<uint64_t> acks_sent{0};
+  std::atomic<uint64_t> duplicates_suppressed{0};
+  std::atomic<uint64_t> delivery_failures{0};
+
+  TransportStats Snapshot() const {
+    TransportStats s;
+    s.data_frames_sent = data_frames_sent.load(std::memory_order_relaxed);
+    s.retransmissions = retransmissions.load(std::memory_order_relaxed);
+    s.acks_sent = acks_sent.load(std::memory_order_relaxed);
+    s.duplicates_suppressed =
+        duplicates_suppressed.load(std::memory_order_relaxed);
+    s.delivery_failures = delivery_failures.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    data_frames_sent.store(0, std::memory_order_relaxed);
+    retransmissions.store(0, std::memory_order_relaxed);
+    acks_sent.store(0, std::memory_order_relaxed);
+    duplicates_suppressed.store(0, std::memory_order_relaxed);
+    delivery_failures.store(0, std::memory_order_relaxed);
+  }
 };
 
 class ReliableTransport : public MessageChannel {
@@ -74,9 +108,10 @@ class ReliableTransport : public MessageChannel {
   // Reliable §5.5 broadcast: a unicast Send to every node but `from`.
   void Broadcast(NodeId from, Message msg) override;
 
-  const TransportStats& stats() const { return stats_; }
+  TransportStats stats() const { return stats_.Snapshot(); }
   // Zeroes the per-window counters, symmetric with
   // Network::ResetAccounting (in-flight frames keep their state).
+  // Race-safe: per-field atomic stores, no struct-wide tear.
   void ResetStats() { stats_.Reset(); }
   // Frames sent but not yet acknowledged.
   size_t in_flight() const { return pending_.size(); }
@@ -105,7 +140,11 @@ class ReliableTransport : public MessageChannel {
   uint64_t next_seq_ = 1;
   std::unordered_map<uint64_t, Pending> pending_;
   std::unordered_set<uint64_t> delivered_;
-  TransportStats stats_;
+  // Acks sent per seq: varies each re-ack's tx_id so a lost ack's
+  // replacement gets an independent loss draw (a fixed ack tx_id would
+  // make hash-keyed loss drop every re-ack of an unlucky seq forever).
+  std::unordered_map<uint64_t, uint32_t> ack_counts_;
+  AtomicTransportStats stats_;
 
   // Registry counters resolved once at construction (see obs/metrics.h);
   // these mirror stats_ but survive ResetStats-style windowing via

@@ -41,6 +41,7 @@ const char* TraceCatName(TraceCat cat) {
     case TraceCat::kNetwork: return "network";
     case TraceCat::kTransport: return "transport";
     case TraceCat::kQuery: return "query";
+    case TraceCat::kShard: return "shard";
   }
   return "?";
 }

@@ -50,6 +50,7 @@ enum class TraceCat : uint8_t {
   kNetwork = 3,    // raw network (drops)
   kTransport = 4,  // reliable-transport frames / retransmits / acks
   kQuery = 5,      // distributed provenance queries
+  kShard = 6,      // shard-engine windows / barriers (shard_engine.h)
 };
 
 const char* TraceCatName(TraceCat cat);

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "src/net/shard_engine.h"
+
 #include "src/util/logging.h"
 
 namespace dpc {
@@ -70,14 +72,14 @@ Status System::InsertSlowTuple(const Tuple& t) {
     return Status::OK();  // already present: no state change, no broadcast
   }
   if (replay_log_ != nullptr) {
-    replay_log_->RecordSlowInsert(queue_->now(), t);
+    replay_log_->RecordSlowInsert(GlobalNow(), t);
   }
   if (recorder_ != nullptr && recorder_->OnSlowInsert(node, ref)) {
     // §5.5: broadcast a sig so every node resets its equivalence cache.
     // The inserting node resets synchronously — there must be no window
     // where its own cache is stale — and the broadcast covers the rest
     // (Network::Broadcast does not echo to the originator).
-    ++stats_.control_signals;
+    stats_.control_signals.fetch_add(1, std::memory_order_relaxed);
     metrics_.control_signals->IncrementAt(node);
     recorder_->OnControlSignal(node);
     Message sig;
@@ -102,7 +104,7 @@ Status System::DeleteSlowTuple(const Tuple& t) {
     return Status::NotFound("tuple not present: " + t.ToString());
   }
   if (replay_log_ != nullptr) {
-    replay_log_->RecordSlowDelete(queue_->now(), t);
+    replay_log_->RecordSlowDelete(GlobalNow(), t);
   }
   // Deletions never invalidate stored provenance (§5.5): provenance is
   // monotone execution history.
@@ -136,8 +138,8 @@ Status System::ScheduleInject(const Tuple& event, SimTime when) {
   if (replay_log_ != nullptr) {
     replay_log_->RecordInject(when, event);
   }
-  queue_->ScheduleAt(when, [this, ev = MakeTupleRef(event), node]() {
-    ++stats_.events_injected;
+  auto inject = [this, ev = MakeTupleRef(event), node]() {
+    stats_.events_injected.fetch_add(1, std::memory_order_relaxed);
     metrics_.events_injected->IncrementAt(node);
     ProvMeta meta;
     if (recorder_ != nullptr) {
@@ -145,7 +147,7 @@ Status System::ScheduleInject(const Tuple& event, SimTime when) {
         auto t0 = WallClock::now();
         meta = recorder_->OnInject(node, ev);
         tracer_->CompleteAt(node, TraceCat::kRecorder, "on_inject",
-                            queue_->now(),
+                            NowFor(node),
                             "\"wall_us\": " +
                                 std::to_string(WallMicrosSince(t0)));
       } else {
@@ -153,7 +155,12 @@ Status System::ScheduleInject(const Tuple& event, SimTime when) {
       }
     }
     ProcessEvent(node, ev, meta);
-  });
+  };
+  if (engine_ != nullptr) {
+    engine_->ScheduleAtNode(node, when, std::move(inject));
+  } else {
+    queue_->ScheduleAt(when, std::move(inject));
+  }
   return Status::OK();
 }
 
@@ -172,7 +179,7 @@ void System::ProcessEvent(NodeId node, const TupleRef& tuple,
         FireRulePlanned(*rule, rule_plan, *tuple, dbs_[node], functions_);
     if (tracing) {
       tracer_->CompleteAt(
-          node, TraceCat::kRule, "fire:" + rule->id, queue_->now(),
+          node, TraceCat::kRule, "fire:" + rule->id, NowFor(node),
           "\"plan_steps\": " + std::to_string(rule_plan.steps.size()) +
               ", \"firings\": " +
               std::to_string(firings.ok() ? firings->size() : 0) +
@@ -184,7 +191,7 @@ void System::ProcessEvent(NodeId node, const TupleRef& tuple,
       continue;
     }
     for (RuleFiring& f : *firings) {
-      ++stats_.rule_firings;
+      stats_.rule_firings.fetch_add(1, std::memory_order_relaxed);
       metrics_.rule_firings->IncrementAt(node);
       // One allocation carries the head through the recorder, the local
       // database / output record, and message construction.
@@ -209,7 +216,7 @@ void System::ProcessEvent(NodeId node, const TupleRef& tuple,
           head_meta = recorder_->OnRuleFired(node, *rule, tuple, meta,
                                              f.slow_tuples, head);
           tracer_->CompleteAt(node, TraceCat::kRecorder, "on_rule_fired",
-                              queue_->now(),
+                              NowFor(node),
                               "\"rule\": \"" + rule->id + "\", \"wall_us\": " +
                                   std::to_string(WallMicrosSince(t0)));
         } else {
@@ -235,7 +242,7 @@ void System::ProcessEvent(NodeId node, const TupleRef& tuple,
 
 void System::EmitOutput(NodeId node, const TupleRef& tuple,
                         const ProvMeta& meta) {
-  ++stats_.outputs;
+  stats_.outputs.fetch_add(1, std::memory_order_relaxed);
   metrics_.outputs->IncrementAt(node);
   dbs_[node].Insert(tuple);
   if (recorder_ != nullptr) {
@@ -243,13 +250,13 @@ void System::EmitOutput(NodeId node, const TupleRef& tuple,
       auto t0 = WallClock::now();
       recorder_->OnOutput(node, tuple, meta);
       tracer_->CompleteAt(
-          node, TraceCat::kRecorder, "on_output", queue_->now(),
+          node, TraceCat::kRecorder, "on_output", NowFor(node),
           "\"wall_us\": " + std::to_string(WallMicrosSince(t0)));
     } else {
       recorder_->OnOutput(node, tuple, meta);
     }
   }
-  outputs_[node].push_back(OutputRecord{*tuple, meta, queue_->now()});
+  outputs_[node].push_back(OutputRecord{*tuple, meta, NowFor(node)});
   if (output_callback_) output_callback_(node, outputs_[node].back());
 }
 
@@ -275,7 +282,7 @@ void System::SendEvent(NodeId from, const TupleRef& tuple,
 Status System::HandleMessage(const Message& msg) {
   switch (msg.kind) {
     case MessageKind::kControl: {
-      ++stats_.control_signals;
+      stats_.control_signals.fetch_add(1, std::memory_order_relaxed);
       metrics_.control_signals->IncrementAt(msg.dst);
       if (recorder_ != nullptr) recorder_->OnControlSignal(msg.dst);
       return Status::OK();
@@ -316,6 +323,10 @@ Status System::HandleMessage(const Message& msg) {
                         ? interner_.Intern(std::move(tuple).value())
                         : MakeTupleRef(std::move(tuple).value());
       if (!program_->RulesTriggeredBy(ev->relation()).empty()) {
+        // Arrival-side provenance materialization (ExSPAN's shipped
+        // (RLoc, RID) row) happens here, on the destination's shard;
+        // terminal arrivals get theirs from EmitOutput's OnOutput.
+        if (recorder_ != nullptr) recorder_->OnArrival(node, ev, meta);
         ProcessEvent(node, ev, meta);
       } else {
         EmitOutput(node, ev, meta);
@@ -334,6 +345,31 @@ Status System::HandleMessage(const Message& msg) {
       return Status::InvalidArgument("unexpected transport ack in System");
   }
   return Status::InvalidArgument("unknown message kind");
+}
+
+void System::Run(size_t max_events) {
+  if (engine_ != nullptr) {
+    engine_->RunAll(max_events);
+  } else {
+    queue_->RunAll(max_events);
+  }
+}
+
+void System::RunUntil(SimTime t) {
+  if (engine_ != nullptr) {
+    engine_->RunUntil(t);
+  } else {
+    queue_->RunUntil(t);
+  }
+}
+
+SimTime System::NowFor(NodeId node) const {
+  return engine_ != nullptr ? engine_->queue(engine_->shard_of(node)).now()
+                            : queue_->now();
+}
+
+SimTime System::GlobalNow() const {
+  return engine_ != nullptr ? engine_->now() : queue_->now();
 }
 
 std::vector<OutputRecord> System::AllOutputs() const {

@@ -17,12 +17,16 @@
 #include "src/db/table.h"
 #include "src/ndlog/eval.h"
 #include "src/ndlog/program.h"
+#include <atomic>
+
 #include "src/net/event_queue.h"
 #include "src/net/network.h"
 #include "src/runtime/replay.h"
 #include "src/util/result.h"
 
 namespace dpc {
+
+class ShardEngine;
 
 // A terminal output tuple together with the provenance metadata it arrived
 // with (used by tests and provenance queries).
@@ -49,6 +53,14 @@ class System {
          MessageChannel* channel, EventQueue* queue,
          FunctionRegistry functions, ProvenanceRecorder* recorder);
 
+  // Runs this System on a sharded parallel engine (src/net/shard_engine.h):
+  // injections route to the owning shard's queue and Run/RunUntil drive
+  // conservative windows instead of `queue`. Call before the first
+  // ScheduleInject/Run; the engine must outlive the System. The channel
+  // must be bound to the same engine (Network::BindShardEngine) so
+  // deliveries execute on the destination node's shard.
+  void BindShardEngine(ShardEngine* engine) { engine_ = engine; }
+
   // --- state management -----------------------------------------------
 
   // Inserts a slow-changing (base) tuple into its node's database. If the
@@ -63,9 +75,9 @@ class System {
   // `when`.
   Status ScheduleInject(const Tuple& event, SimTime when);
 
-  // Runs the simulation until the queue drains (bounded by `max_events`).
-  void Run(size_t max_events = 0) { queue_->RunAll(max_events); }
-  void RunUntil(SimTime t) { queue_->RunUntil(t); }
+  // Runs the simulation until the queue(s) drain (bounded by `max_events`).
+  void Run(size_t max_events = 0);
+  void RunUntil(SimTime t);
 
   // --- observation -------------------------------------------------------
 
@@ -101,7 +113,17 @@ class System {
   // "system.malformed_messages" — and never aborts the node.
   Status HandleMessage(const Message& msg);
 
-  const SystemStats& stats() const { return stats_; }
+  // Snapshot of the run counters. By value: the internal counters are
+  // atomics bumped from shard workers, and a struct copy of them taken
+  // while idle (or between windows) is exact.
+  SystemStats stats() const {
+    SystemStats s;
+    s.events_injected = stats_.events_injected.load(std::memory_order_relaxed);
+    s.rule_firings = stats_.rule_firings.load(std::memory_order_relaxed);
+    s.outputs = stats_.outputs.load(std::memory_order_relaxed);
+    s.control_signals = stats_.control_signals.load(std::memory_order_relaxed);
+    return s;
+  }
   const Program& program() const { return *program_; }
   // The statically compiled evaluation plan (one RulePlan per program
   // rule, in rule order) that ProcessEvent executes via FireRulePlanned.
@@ -117,6 +139,11 @@ class System {
   void SendEvent(NodeId from, const TupleRef& tuple, const ProvMeta& meta);
   std::vector<uint8_t> EncodeEventPayload(const Tuple& tuple,
                                           const ProvMeta& meta) const;
+  // Simulated time at `node`'s shard (== queue_->now() unsharded). Inside
+  // an event callback at `node` this is the executing event's time.
+  SimTime NowFor(NodeId node) const;
+  // Barrier/global time when sharded, queue time otherwise (idle-only).
+  SimTime GlobalNow() const;
 
   const Program* program_;
   ProgramPlan plan_;
@@ -129,10 +156,22 @@ class System {
   ReplayLog* replay_log_ = nullptr;
   bool interning_enabled_ = false;
   TupleInterner interner_;
+  ShardEngine* engine_ = nullptr;
+  // Per-node state: confined to the shard owning the node (one thread at
+  // a time; the engine's barriers order cross-window handoffs).
   std::vector<Database> dbs_;
   std::vector<std::vector<OutputRecord>> outputs_;
+  // Invoked from the emitting node's shard thread: must be thread-safe
+  // when running sharded.
   std::function<void(NodeId, const OutputRecord&)> output_callback_;
-  SystemStats stats_;
+  // Atomics: bumped concurrently from shard workers, lost-update-free.
+  struct AtomicSystemStats {
+    std::atomic<uint64_t> events_injected{0};
+    std::atomic<uint64_t> rule_firings{0};
+    std::atomic<uint64_t> outputs{0};
+    std::atomic<uint64_t> control_signals{0};
+  };
+  AtomicSystemStats stats_;
 
   // Registry mirrors of stats_ (per-node scoped), resolved once at
   // construction; see src/obs/metrics.h.

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 namespace dpc {
@@ -27,6 +28,40 @@ TEST(EventQueueTest, TiesBreakInScheduleOrder) {
   }
   q.RunAll();
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, PastSchedulesClampToNowAndAreCounted) {
+  // Regression: scheduling at t < now() used to be a debug-check abort
+  // (and in release builds silently created an event in the past, which
+  // the priority queue would run with time flowing backwards). It must
+  // clamp to now() and count the occurrence.
+  EventQueue q;
+  std::vector<double> fired_at;
+  q.ScheduleAt(5.0, [&] {
+    q.ScheduleAt(2.0, [&] { fired_at.push_back(q.now()); });  // the past
+    q.ScheduleAt(5.0, [&] { fired_at.push_back(q.now()); });  // now: fine
+  });
+  q.RunAll();
+  ASSERT_EQ(fired_at.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired_at[0], 5.0);  // clamped, not 2.0
+  EXPECT_DOUBLE_EQ(fired_at[1], 5.0);
+  EXPECT_EQ(q.past_schedules(), 1u);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);  // time never ran backwards
+}
+
+TEST(EventQueueTest, PeekTimeAndRunWindow) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 1.0);
+  // Window end is exclusive: the event at exactly 3.0 stays pending.
+  EXPECT_EQ(q.RunWindow(3.0), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(q.PeekTime(), 3.0);
+  EXPECT_EQ(q.RunWindow(10.0), 1u);
+  EXPECT_TRUE(std::isinf(q.PeekTime()));  // drained
 }
 
 TEST(EventQueueTest, CallbacksCanScheduleMore) {

@@ -194,21 +194,73 @@ TEST_F(NetworkTest, LossIsDeterministicPerSeed) {
   auto run = [&](uint64_t seed) {
     EventQueue q;
     Network net(&topo_, &q);
-    int delivered = 0;
-    net.SetDeliveryHandler([&](const Message&) { ++delivered; });
+    std::vector<uint64_t> delivered;
+    net.SetDeliveryHandler(
+        [&](const Message& m) { delivered.push_back(m.tx_id); });
     net.SetLossRate(0.5, seed);
-    Message m;
     for (int i = 0; i < 50; ++i) {
+      Message m;
       m.src = 0;
       m.dst = 3;
-      net.Send(m);
+      m.tx_id = static_cast<uint64_t>(i) + 1;  // 50 distinct transmissions
+      net.Send(std::move(m));
     }
     q.RunAll();
     return delivered;
   };
-  EXPECT_EQ(run(42), run(42));
-  EXPECT_GT(run(42), 0);
-  EXPECT_LT(run(42), 50);
+  EXPECT_EQ(run(42), run(42));  // same seed: the same transmissions survive
+  EXPECT_GT(run(42).size(), 0u);
+  EXPECT_LT(run(42).size(), 50u);
+  EXPECT_NE(run(42), run(43));  // different seed: a different drop set
+}
+
+TEST_F(NetworkTest, LossIsAPureFunctionOfTransmissionIdentity) {
+  // The drop decision hashes (seed, tx_id, link) — it does not consume a
+  // shared RNG stream — so whether a given transmission survives is
+  // independent of what other traffic exists or in what order it is sent.
+  auto survives = [&](uint64_t tx_id, int decoys) {
+    EventQueue q;
+    Network net(&topo_, &q);
+    int got = 0;
+    net.SetDeliveryHandler([&](const Message& m) {
+      if (m.tx_id == 0xabcdef) ++got;
+    });
+    net.SetLossRate(0.5, /*seed=*/42);
+    for (int i = 0; i < decoys; ++i) {
+      Message d;
+      d.src = 0;
+      d.dst = 3;
+      d.tx_id = 1000 + static_cast<uint64_t>(i);
+      net.Send(std::move(d));
+    }
+    Message m;
+    m.src = 0;
+    m.dst = 3;
+    m.tx_id = tx_id;
+    net.Send(std::move(m));
+    q.RunAll();
+    return got;
+  };
+  int alone = survives(0xabcdef, 0);
+  EXPECT_EQ(alone, survives(0xabcdef, 7));
+  EXPECT_EQ(alone, survives(0xabcdef, 31));
+}
+
+TEST_F(NetworkTest, SendDerivesTxIdFromContent) {
+  // Unassigned tx_id (0) is filled in from the message content, so
+  // byte-identical raw sends share one loss fate and distinct payloads
+  // draw independently.
+  std::vector<uint64_t> seen;
+  net_->SetDeliveryHandler(
+      [&](const Message& m) { seen.push_back(m.tx_id); });
+  net_->Send(MakeMsg(0, 3, 10));
+  net_->Send(MakeMsg(0, 3, 10));
+  net_->Send(MakeMsg(0, 3, 25));
+  queue_.RunAll();
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_NE(seen[0], 0u);
+  EXPECT_EQ(seen[0], seen[1]);  // same bytes, same identity
+  EXPECT_NE(seen[0], seen[2]);  // different payload, different identity
 }
 
 TEST(MessageTest, WireSizeIncludesHeader) {

@@ -1,0 +1,181 @@
+// ShardEngine: partitioning, lookahead, window execution, deterministic
+// cross-shard mailbox merge, and global actions.
+#include "src/net/shard_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+namespace dpc {
+namespace {
+
+Topology MakeLine(int n, double latency_s) {
+  Topology topo;
+  topo.AddNodes(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    EXPECT_TRUE(topo.AddLink(i, i + 1, LinkProps{latency_s, 1e6}).ok());
+  }
+  topo.ComputeRoutes();
+  return topo;
+}
+
+TEST(ShardMapTest, ContiguousNearEqualBlocks) {
+  ShardMap map(10, 4);
+  EXPECT_EQ(map.num_shards(), 4);
+  std::vector<int> sizes(4, 0);
+  int prev = 0;
+  for (NodeId n = 0; n < 10; ++n) {
+    int s = map.shard_of(n);
+    EXPECT_GE(s, prev);  // contiguous blocks: shard ids never go back
+    prev = s;
+    ++sizes[s];
+  }
+  for (int s : sizes) {
+    EXPECT_GE(s, 2);
+    EXPECT_LE(s, 3);
+  }
+}
+
+TEST(ShardMapTest, ClampsShardsToNodes) {
+  ShardMap map(3, 8);
+  EXPECT_EQ(map.num_shards(), 3);
+}
+
+TEST(ShardEngineTest, LookaheadIsMinCrossShardLatency) {
+  Topology topo;
+  topo.AddNodes(4);
+  // 2 shards of {0,1} and {2,3}: link 1--2 crosses, the others don't.
+  ASSERT_TRUE(topo.AddLink(0, 1, LinkProps{0.001, 1e6}).ok());
+  ASSERT_TRUE(topo.AddLink(1, 2, LinkProps{0.040, 1e6}).ok());
+  ASSERT_TRUE(topo.AddLink(2, 3, LinkProps{0.002, 1e6}).ok());
+  topo.ComputeRoutes();
+  ShardMap map(4, 2);
+  EXPECT_DOUBLE_EQ(MinCrossShardLatency(topo, map), 0.040);
+  // All links shard-internal: no cross-shard interaction, infinite windows.
+  EXPECT_TRUE(std::isinf(MinCrossShardLatency(topo, ShardMap(4, 1))));
+
+  EventQueue q;
+  ShardEngine engine(&topo, 2, &q);
+  EXPECT_DOUBLE_EQ(engine.lookahead_s(), 0.040);
+}
+
+TEST(ShardEngineTest, RunsEventsAcrossShardsInTimeOrder) {
+  Topology topo = MakeLine(6, 0.010);
+  EventQueue q;
+  ShardEngine engine(&topo, 3, &q);
+  ASSERT_EQ(engine.num_shards(), 3);
+
+  // One log per node: only the owning shard's worker writes it.
+  std::vector<std::vector<double>> log(6);
+  for (NodeId n = 0; n < 6; ++n) {
+    for (int k = 1; k <= 3; ++k) {
+      double t = 0.1 * k + 0.01 * n;
+      engine.ScheduleAtNode(n, t, [&log, &engine, n]() {
+        log[n].push_back(engine.queue(engine.shard_of(n)).now());
+      });
+    }
+  }
+  engine.RunAll();
+  for (NodeId n = 0; n < 6; ++n) {
+    ASSERT_EQ(log[n].size(), 3u) << "node " << n;
+    EXPECT_LT(log[n][0], log[n][1]);
+    EXPECT_LT(log[n][1], log[n][2]);
+  }
+  EXPECT_EQ(engine.events_executed(), 18u);
+  EXPECT_GT(engine.windows(), 0u);
+}
+
+// The determinism core: per-node execution histories of a cross-shard
+// ping workload are identical at 1 and 3 shards — mailbox merges replace
+// direct schedules without disturbing times or same-time tie order.
+TEST(ShardEngineTest, CrossShardMergeMatchesSingleShardRun) {
+  auto run = [](int shards) {
+    Topology topo = MakeLine(6, 0.010);
+    EventQueue q;
+    ShardEngine engine(&topo, shards, &q);
+    std::vector<std::vector<double>> log(6);
+    // Each hop schedules the next at + one lookahead (the minimum legal
+    // cross-shard delay), bouncing 0 -> 5 -> 0 ... with two same-time
+    // events per arrival to exercise tie order.
+    std::function<void(NodeId, int)> hop = [&](NodeId at, int remaining) {
+      log[at].push_back(engine.queue(engine.shard_of(at)).now());
+      if (remaining == 0) return;
+      NodeId next = at == 0 ? 5 : 0;
+      double t = engine.queue(engine.shard_of(at)).now() + 0.010;
+      engine.ScheduleAtNode(next, t, [&hop, next, remaining]() {
+        hop(next, remaining - 1);
+      });
+      engine.ScheduleAtNode(next, t, [&log, next]() {
+        log[next].push_back(-1.0);  // tie marker: must stay after the hop
+      });
+    };
+    engine.ScheduleAtNode(0, 0.5, [&hop]() { hop(0, 8); });
+    engine.RunAll();
+    if (shards > 1) EXPECT_GT(engine.cross_shard_messages(), 0u);
+    return log;
+  };
+  auto log1 = run(1);
+  auto log3 = run(3);
+  EXPECT_EQ(log1, log3);
+  EXPECT_FALSE(log1[0].empty());
+  EXPECT_FALSE(log1[5].empty());
+}
+
+TEST(ShardEngineTest, GlobalActionsRunAloneBetweenWindows) {
+  Topology topo = MakeLine(4, 0.010);
+  EventQueue q;
+  ShardEngine engine(&topo, 2, &q);
+
+  std::atomic<int> executed{0};
+  for (NodeId n = 0; n < 4; ++n) {
+    engine.ScheduleAtNode(n, 1.0, [&executed]() { ++executed; });
+    engine.ScheduleAtNode(n, 2.0, [&executed]() { ++executed; });
+  }
+  int at_global = -1;
+  double global_now = -1;
+  engine.ScheduleGlobal(2.0, [&]() {
+    // Everything earlier than t=2 has run; nothing at exactly 2 has.
+    at_global = executed.load();
+    global_now = engine.now();
+    EXPECT_EQ(ShardEngine::current_shard(), -1);
+  });
+  engine.RunAll();
+  EXPECT_EQ(at_global, 4);
+  EXPECT_DOUBLE_EQ(global_now, 2.0);
+  EXPECT_EQ(executed.load(), 8);
+}
+
+TEST(ShardEngineTest, RunUntilAdvancesEveryShardClock) {
+  Topology topo = MakeLine(4, 0.010);
+  EventQueue q;
+  ShardEngine engine(&topo, 2, &q);
+  int fired = 0;
+  engine.ScheduleAtNode(0, 1.0, [&fired]() { ++fired; });
+  engine.ScheduleAtNode(3, 5.0, [&fired]() { ++fired; });
+  engine.RunUntil(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(engine.now(), 3.0);
+  for (int s = 0; s < engine.num_shards(); ++s) {
+    EXPECT_DOUBLE_EQ(engine.queue(s).now(), 3.0);
+  }
+  engine.RunAll();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ShardEngineTest, SingleShardAdoptsExternalQueue) {
+  Topology topo = MakeLine(4, 0.010);
+  EventQueue q;
+  ShardEngine engine(&topo, 1, &q);
+  int fired = 0;
+  engine.ScheduleAtNode(2, 1.0, [&fired]() { ++fired; });
+  EXPECT_EQ(q.pending(), 1u);  // went straight into the adopted queue
+  engine.RunAll();
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 1.0);
+}
+
+}  // namespace
+}  // namespace dpc

@@ -268,6 +268,7 @@ struct RunConfig {
   std::vector<std::string> interests;
   std::string trace_out;  // Chrome-trace JSON path ("" = no tracing)
   bool stats = false;     // print the metrics registry at the end
+  int shards = 1;         // runtime shard count (TestbedOptions::shards)
 };
 
 int RunScript(const RunConfig& config) {
@@ -319,6 +320,7 @@ int RunScript(const RunConfig& config) {
 
   apps::TestbedOptions bed_options;
   bed_options.trace_path = config.trace_out;
+  bed_options.shards = config.shards;
   auto bed = Testbed::Create(std::move(program).value(), &topo, *scheme,
                              std::move(bed_options));
   if (!bed.ok()) return Fail(bed.status().ToString());
@@ -379,10 +381,15 @@ int RunTraceExport(int argc, char** argv) {
       config.interests.push_back(v);
     } else if (arg == "--stats") {
       config.stats = true;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (!v) return Fail("--shards needs a count");
+      config.shards = std::atoi(v);
+      if (config.shards < 1) return Fail("--shards must be >= 1");
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: dpc_cli trace --program FILE --script FILE "
                   "[--scheme NAME] [--out trace.json] [--stats] "
-                  "[--interest REL]...\n");
+                  "[--shards N] [--interest REL]...\n");
       return 0;
     } else {
       return Fail("unknown trace flag " + arg + " (try dpc_cli trace --help)");
@@ -426,9 +433,15 @@ int Run(int argc, char** argv) {
       config.interests.push_back(v);
     } else if (arg == "--stats") {
       config.stats = true;
+    } else if (arg == "--shards") {
+      const char* v = next();
+      if (!v) return Fail("--shards needs a count");
+      config.shards = std::atoi(v);
+      if (config.shards < 1) return Fail("--shards must be >= 1");
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: dpc_cli --program FILE --trace FILE "
-                  "[--scheme NAME] [--stats] [--interest REL]...\n"
+                  "[--scheme NAME] [--stats] [--shards N] "
+                  "[--interest REL]...\n"
                   "       dpc_cli lint [--werror] [-f text|json] [--keys] "
                   "[--plan] [--shard] [--interest REL]... FILE...\n"
                   "       dpc_cli trace --program FILE --script FILE "
