@@ -11,9 +11,11 @@ namespace dpc {
 
 using analysis_internal::RunConstraintPass;
 using analysis_internal::RunEquiKeyPass;
+using analysis_internal::RunGrowthPass;
 using analysis_internal::RunLocalityPass;
 using analysis_internal::RunPlanPass;
 using analysis_internal::RunSchemaPass;
+using analysis_internal::RunStoragePass;
 using analysis_internal::RunVariableLintPass;
 
 SourceLoc ExtractLocFromMessage(const std::string& message) {
@@ -81,6 +83,19 @@ AnalysisResult AnalyzeRules(std::vector<Rule> rules,
   // the constructed Program's dependency graph.
   if (options.shard && program) {
     RunLocalityPass(rules, *program, res.diagnostics, &res.shard_report);
+  }
+
+  // Pass 8 runs whenever the front half is clean: W801/E804 are defect
+  // checks, so they are always on; only the certification notes (and the
+  // report) are opt-in. Pass 9 is a pure report and needs the Program.
+  if (clean) {
+    RunGrowthPass(rules, program ? &*program : nullptr, options.growth_notes,
+                  res.diagnostics,
+                  options.growth_notes ? &res.growth_report : nullptr);
+  }
+  if (options.storage && program) {
+    RunStoragePass(rules, *program, options.storage_params, res.diagnostics,
+                   &res.storage_report);
   }
 
   SortByLocation(res.diagnostics);

@@ -26,12 +26,27 @@
 //      an equivalence key (the §5.5 cache-reset hazard), and rejects
 //      condition atoms not co-located with the event.
 //                                                         N701, W702, E703
+//   8. Derivation boundedness: builds the predicate-level trigger graph,
+//      detects recursive cycles and attempts a boundedness proof per
+//      cycle (strictly-decreasing guarded integer argument, finite
+//      derivable-event support, or topology-consuming relocation);
+//      unproven cycles are potentially unbounded derivations, identity
+//      self-loops provably divergent, and certified programs get a
+//      certification note.                    W801, N802, N803, N804, E804
+//   9. Static storage model (opt-in, `--storage`): prices expected
+//      provenance bytes per rule firing and per program for all four
+//      schemes (ExSPAN / Basic / Advanced / Advanced+inter-class) from
+//      schema widths, equivalence keys and trigger rates, and warns when
+//      the Advanced scheme is predicted to save less than a configurable
+//      margin over ExSPAN or cannot share trees at all.
+//                                                         N901, W902, W903
 //
 // Parse failures surface as code E001. The `dpc_cli lint` subcommand
 // (src/analysis/lint.h) renders results as text or JSON.
 #ifndef DPC_ANALYSIS_ANALYZER_H_
 #define DPC_ANALYSIS_ANALYZER_H_
 
+#include <map>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -42,6 +57,41 @@
 #include "src/util/diagnostics.h"
 
 namespace dpc {
+
+// Workload knobs of the pass-9 static storage model (cost_model.h's
+// EstimateStorage). Everything the schema cannot answer — how many events
+// arrive, how wide their values serialize, how deep recursion runs — is a
+// parameter here, exactly like cardinalities fed to a query optimizer.
+struct StorageParams {
+  // Injected input events, assumed pairwise content-distinct.
+  double events = 1000.0;
+  // Expected traversals of each recursive trigger-graph cycle per chain
+  // (forwarding: expected hop count; DNS: expected delegation depth).
+  double recursion_depth = 4.0;
+  // Distinct equivalence classes as a fraction of `events`; < 0 derives a
+  // crude default from the key arity and `distinct_per_column`.
+  double class_fraction = -1.0;
+  // Assumed distinct values per event attribute, used only to derive
+  // `class_fraction` when it is negative.
+  double distinct_per_column = 16.0;
+  // Slow-changing rows inserted across all slow relations, split evenly.
+  double slow_rows = 0.0;
+  // Serialized bytes per attribute value (kind tag + payload); the
+  // per-relation map overrides it for relations with known widths.
+  double value_bytes = 12.0;
+  std::map<std::string, double> value_bytes_by_relation;
+  // Expected matching rows per condition-atom probe (joins assumed to be
+  // keyed lookups). With `use_plan_fanout` the per-rule fan-out comes from
+  // the pass-6 cost model instead.
+  double fanout = 1.0;
+  bool use_plan_fanout = false;
+  // W902 fires when the Advanced scheme is predicted to save less than
+  // this fraction of the ExSPAN total.
+  double advanced_margin = 0.25;
+  // Stated relative error of the estimates, surfaced in the report and
+  // asserted by the differential test (storage_model_test.cc).
+  double error_bound = 0.25;
+};
 
 struct AnalyzerOptions {
   // Program name and relations of interest (checked by the schema pass).
@@ -61,6 +111,15 @@ struct AnalyzerOptions {
   // so the pass is an opt-in readiness check for the sharded runtime, not
   // part of the always-on lint.
   bool shard = false;
+  // Emit pass 8's certification notes (N802/N803 per proved cycle, N804
+  // for a certified program) and fill AnalysisResult::growth_report. The
+  // boundedness warnings/errors (W801, E804) are always on.
+  bool growth_notes = false;
+  // Run the pass-9 static storage model (N901 notes, W902/W903 warnings)
+  // and fill AnalysisResult::storage_report. Opt-in like --shard: the
+  // model is a report, not a defect check.
+  bool storage = false;
+  StorageParams storage_params;
 };
 
 // One rule's compiled plan and cost estimate, as surfaced by pass 6 with
@@ -131,6 +190,75 @@ struct ShardReport {
   bool empty() const { return rules.empty(); }
 };
 
+// Pass-8 classification of one recursive trigger-graph cycle.
+struct CycleGrowthReport {
+  // Representative cycle through the component, e.g. "packet -> packet".
+  std::string path;
+  // Rules whose event and head both lie on the cycle, in rule order.
+  std::vector<std::string> rule_ids;
+  // Which proof certified the cycle: "decreasing-arg", "finite-support",
+  // "topology"; "divergent" for identity self-loops; empty when unproven.
+  std::string proof;
+  // Human-readable proof witness or failure explanation.
+  std::string detail;
+  bool bounded = false;      // certified, possibly conditionally
+  bool conditional = false;  // bounded only under the stated condition
+  bool divergent = false;    // provably re-fires identically forever
+};
+
+// Pass-8 report (filled under AnalyzerOptions::growth_notes).
+struct GrowthReport {
+  bool analyzed = false;
+  // Any trigger-graph cycle exists (the program can re-derive an event
+  // relation it already derived).
+  bool recursive = false;
+  // Rules on the longest acyclic derivation chain from the input event
+  // (intra-cycle re-entries not counted).
+  size_t max_chain_depth = 0;
+  std::vector<CycleGrowthReport> cycles;
+  // No unproven or divergent cycles: every derivation chain is bounded
+  // (subject to the conditional cycles' stated conditions).
+  bool certified = false;
+
+  bool empty() const { return !analyzed; }
+};
+
+// Pass-9 estimate for one rule: expected firings per injected input event
+// and expected provenance bytes appended per firing, by scheme.
+struct RuleStorageReport {
+  std::string rule_id;
+  double firings_per_event = 0.0;
+  double exspan_bytes = 0.0;
+  double basic_bytes = 0.0;
+  double advanced_bytes = 0.0;     // per *maintaining* firing
+  double interclass_bytes = 0.0;   // idem, split node/link tables
+};
+
+// Pass-9 program-level totals for one scheme under StorageParams.
+struct SchemeStorageReport {
+  std::string scheme;  // "exspan", "basic", "advanced", "advanced-interclass"
+  double prov = 0.0;
+  double rule_exec = 0.0;
+  double event_store = 0.0;
+  double tuple_store = 0.0;
+
+  double total() const { return prov + rule_exec + event_store + tuple_store; }
+};
+
+// Pass-9 report (filled under AnalyzerOptions::storage).
+struct StorageReport {
+  bool analyzed = false;
+  double events = 0.0;       // workload size the totals assume
+  double classes = 0.0;      // expected distinct equivalence classes
+  double error_bound = 0.0;  // stated relative error of the model
+  // Predicted (exspan_total - advanced_total) / exspan_total.
+  double advanced_savings = 0.0;
+  std::vector<RuleStorageReport> rules;
+  std::vector<SchemeStorageReport> schemes;
+
+  bool empty() const { return !analyzed; }
+};
+
 struct AnalysisResult {
   // All diagnostics, sorted by source location.
   std::vector<Diagnostic> diagnostics;
@@ -144,6 +272,13 @@ struct AnalysisResult {
   // Per-rule shard-locality report (empty unless pass 7 ran, i.e. under
   // AnalyzerOptions::shard on an error-free program).
   ShardReport shard_report;
+
+  // Boundedness report (empty unless pass 8 ran with growth notes).
+  GrowthReport growth_report;
+
+  // Static storage model report (empty unless pass 9 ran, i.e. under
+  // AnalyzerOptions::storage on an error-free program).
+  StorageReport storage_report;
 
   // Equivalence-key soundness report (empty unless pass 5 ran).
   std::vector<KeyExplanation> key_explanations;

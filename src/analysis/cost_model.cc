@@ -1,11 +1,14 @@
 #include "src/analysis/cost_model.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 
+#include "src/analysis/trigger_graph.h"
 #include "src/core/dependency_graph.h"
 #include "src/core/equivalence_keys.h"
+#include "src/util/serial.h"
 
 namespace dpc {
 
@@ -92,6 +95,304 @@ ProgramCostEstimate EstimateCost(const Program& program,
     est.rules.push_back(std::move(rc));
   }
   return est;
+}
+
+namespace {
+
+// Wire sizes of the provenance-table entries, mirroring the Serialize
+// methods in src/core/prov_tables.cc (which the differential test in
+// tests/analysis/storage_model_test.cc keeps honest end-to-end).
+constexpr double kNodeIdBytes = 4;
+constexpr double kDigestBytes = 20;
+constexpr double kNodeRidBytes = kNodeIdBytes + kDigestBytes;
+constexpr double kProvBytes = kNodeIdBytes + kDigestBytes + kNodeRidBytes;
+constexpr double kLinkBytes = kNodeIdBytes + kDigestBytes + kNodeRidBytes;
+// Content-addressed store rows prefix the serialized payload with a key.
+constexpr double kStoreKeyBytes = kDigestBytes;
+
+// RuleExecEntry bytes for a firing of `rule` referencing `nvids` vids.
+double RuleExecBytes(const Rule& rule, size_t nvids, bool with_next) {
+  return kNodeIdBytes + kDigestBytes +
+         static_cast<double>(StringSerializedSize(rule.id) +
+                             VarintSize(nvids)) +
+         kDigestBytes * static_cast<double>(nvids) +
+         (with_next ? kNodeRidBytes : 0.0);
+}
+
+}  // namespace
+
+StorageReport EstimateStorage(const Program& program, const ProgramPlan& plan,
+                              const StorageParams& params,
+                              const CostParams& cost_params) {
+  StorageReport rep;
+  rep.analyzed = true;
+  rep.error_bound = params.error_bound;
+  rep.events = params.events;
+
+  const std::vector<Rule>& rules = program.rules();
+  const double events = params.events;
+
+  // Expected distinct equivalence classes. With no explicit fraction, a
+  // crude default: the non-location key attributes draw independently
+  // from `distinct_per_column` values each.
+  size_t key_count = 0;
+  std::vector<size_t> key_indices;
+  if (auto keys = ComputeEquivalenceKeys(program); keys.ok()) {
+    key_indices = keys->indices();
+    key_count = key_indices.size();
+  }
+  double fraction = params.class_fraction;
+  if (fraction < 0.0) {
+    double non_loc = key_count > 0 ? static_cast<double>(key_count - 1) : 0.0;
+    fraction = std::min(
+        1.0, std::pow(params.distinct_per_column, non_loc) /
+                 std::max(1.0, events));
+  }
+  double classes = std::clamp(fraction, 0.0, 1.0) * events;
+  classes = std::min(events, std::max(std::min(1.0, events), classes));
+  rep.classes = classes;
+
+  // Per-rule join fan-out (expected firings per triggering event).
+  ProgramCostEstimate cost;
+  if (params.use_plan_fanout) cost = EstimateCost(program, plan, cost_params);
+  std::vector<double> fan(rules.size(), 0.0);
+  for (size_t r = 0; r < rules.size(); ++r) {
+    if (plan.rules[r].never_fires) continue;
+    fan[r] = params.use_plan_fanout
+                 ? cost.rules[r].fanout
+                 : std::pow(params.fanout,
+                            static_cast<double>(
+                                rules[r].ConditionAtoms().size()));
+  }
+
+  // Entry rate per trigger-graph component: chains reaching the component
+  // per injected event. Component ids are in reverse topological order
+  // (successors smaller), so one descending sweep propagates rates along
+  // cross-component edges. A rule exiting a cyclic component is assumed
+  // guarded (forwarding's D == L, DNS's addressRecord probe): it fires
+  // once per chain entering the cycle, not once per traversal.
+  TriggerGraph graph = TriggerGraph::Build(rules);
+  std::vector<double> comp_rate(graph.num_components(), 0.0);
+  size_t input_idx = graph.IndexOf(program.input_event_relation());
+  if (input_idx != TriggerGraph::npos) {
+    comp_rate[graph.ComponentOf(input_idx)] = 1.0;
+  }
+  for (size_t c = graph.num_components(); c-- > 0;) {
+    for (const TriggerEdge& e : graph.edges()) {
+      if (graph.ComponentOf(e.from) != static_cast<int>(c)) continue;
+      int to = graph.ComponentOf(e.to);
+      if (to == static_cast<int>(c)) continue;  // intra-cycle: no new entry
+      comp_rate[to] += comp_rate[c] * fan[e.rule_index];
+    }
+  }
+
+  // F_r: expected firings per injected input event. Rules inside a cyclic
+  // component fire once per traversal.
+  std::vector<double> firings(rules.size(), 0.0);
+  for (size_t r = 0; r < rules.size(); ++r) {
+    size_t ev = graph.IndexOf(rules[r].EventAtom().relation);
+    if (ev == TriggerGraph::npos) continue;
+    double rate = comp_rate[graph.ComponentOf(ev)];
+    firings[r] = rate * fan[r] * (graph.RuleInCycle(r) ? params.recursion_depth
+                                                       : 1.0);
+  }
+
+  // Cross-class sharing of rule-exec rows. The advanced recorder derives
+  // every row id from (rule, slow vids) alone — never from the class key —
+  // and the tables are content-addressed, so two classes whose chains
+  // consume the same slow tuples share rows. A rule's rows are
+  // class-distinct only when a slow condition binds a value flowing from a
+  // non-location equivalence key (`keyed_slow`), and that distinctness
+  // propagates to every downstream rule through the chained `next` pointer
+  // (`tainted`). Classes that differ only in the event location are
+  // approximated as sharing, the common co-located-workload case.
+  std::vector<char> keyed_slow(rules.size(), 0);
+  std::vector<char> tainted(rules.size(), 0);
+  {
+    DependencyGraph dep = DependencyGraph::Build(program);
+    std::set<AttrNode> key_reach;
+    for (size_t i : key_indices) {
+      if (i == 0) continue;
+      for (const AttrNode& n :
+           dep.ReachableSet(AttrNode{program.input_event_relation(), i})) {
+        key_reach.insert(n);
+      }
+    }
+    for (size_t r = 0; r < rules.size(); ++r) {
+      const Rule& rule = rules[r];
+      // Variables of this rule carrying key-derived values: event-atom
+      // positions whose attribute is key-reachable, closed over the
+      // rule's assignments. A slow row is selected per class only when a
+      // join column is bound to such a variable — a constraint-mediated
+      // dependence (f_isSubDomain) narrows the candidates but typically
+      // leaves the matched rows shared across co-zoned classes.
+      std::set<std::string> key_vars;
+      const Atom& ev = rule.EventAtom();
+      for (size_t i = 0; i < ev.args.size(); ++i) {
+        if (ev.args[i].is_var() &&
+            key_reach.count(AttrNode{ev.relation, i}) > 0) {
+          key_vars.insert(ev.args[i].var);
+        }
+      }
+      bool grew = true;
+      while (grew) {
+        grew = false;
+        for (const Assignment& as : rule.assignments) {
+          if (key_vars.count(as.var) > 0) continue;
+          std::vector<std::string> used;
+          as.expr->CollectVars(used);
+          for (const std::string& v : used) {
+            if (key_vars.count(v) > 0) {
+              key_vars.insert(as.var);
+              grew = true;
+              break;
+            }
+          }
+        }
+      }
+      for (const Atom* cond : rule.ConditionAtoms()) {
+        for (const Term& t : cond->args) {
+          if (t.is_var() && key_vars.count(t.var) > 0) keyed_slow[r] = 1;
+        }
+      }
+    }
+    std::set<std::string> tainted_rel;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t r = 0; r < rules.size(); ++r) {
+        if (keyed_slow[r] == 0 &&
+            tainted_rel.count(rules[r].EventAtom().relation) == 0) {
+          continue;
+        }
+        if (tainted_rel.insert(rules[r].head.relation).second) changed = true;
+      }
+    }
+    for (size_t r = 0; r < rules.size(); ++r) {
+      tainted[r] = keyed_slow[r] != 0 ||
+                   tainted_rel.count(rules[r].EventAtom().relation) > 0;
+    }
+  }
+
+  // Serialized tuple bytes per relation: relation-name string + arity
+  // varint + per-value bytes (src/db/tuple.cc).
+  std::map<std::string, size_t> arity;
+  for (const Rule& rule : rules) {
+    arity.emplace(rule.head.relation, rule.head.args.size());
+    for (const Atom& atom : rule.atoms) {
+      arity.emplace(atom.relation, atom.args.size());
+    }
+  }
+  auto tuple_bytes = [&](const std::string& rel) {
+    auto vb = params.value_bytes_by_relation.find(rel);
+    double per_value = vb != params.value_bytes_by_relation.end()
+                           ? vb->second
+                           : params.value_bytes;
+    size_t a = arity.count(rel) > 0 ? arity.at(rel) : 0;
+    return static_cast<double>(StringSerializedSize(rel) + VarintSize(a)) +
+           static_cast<double>(a) * per_value;
+  };
+
+  // Slow-changing rows are assumed spread evenly over the slow relations,
+  // so the model prices them at the mean slow-tuple width.
+  double slow_tb = 0.0;
+  {
+    std::set<std::string> slow;
+    for (const Rule& rule : rules) {
+      for (const Atom* cond : rule.ConditionAtoms()) slow.insert(cond->relation);
+    }
+    for (const std::string& rel : slow) slow_tb += tuple_bytes(rel);
+    if (!slow.empty()) slow_tb /= static_cast<double>(slow.size());
+  }
+  const double slow_rows = params.slow_rows;
+  const double event_tb = tuple_bytes(program.input_event_relation());
+  const double event_store = events * (kStoreKeyBytes + event_tb);
+
+  SchemeStorageReport exspan{.scheme = "exspan"};
+  SchemeStorageReport basic{.scheme = "basic"};
+  SchemeStorageReport advanced{.scheme = "advanced"};
+  SchemeStorageReport interclass{.scheme = "advanced-interclass"};
+  exspan.event_store = basic.event_store = advanced.event_store =
+      interclass.event_store = event_store;
+
+  // ExSPAN materializes the injected event in the tuple store too, and
+  // keeps one prov row per injected event plus one per slow row.
+  exspan.prov = events * kProvBytes + slow_rows * kProvBytes;
+  exspan.tuple_store = events * (kStoreKeyBytes + event_tb) +
+                       slow_rows * (kStoreKeyBytes + slow_tb);
+
+  double basic_slow_refs = 0.0;
+  double advanced_slow_refs = 0.0;
+
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r];
+    const double f = firings[r];
+    const size_t nslow = rule.ConditionAtoms().size();
+    // Delivered head of interest: only those firings append prov rows
+    // under the compressed schemes.
+    const bool interesting =
+        program.RoleOf(rule.head.relation) == RelationRole::kTerminal &&
+        program.IsOfInterest(rule.head.relation);
+
+    const double ex_exec = RuleExecBytes(rule, 1 + nslow, /*with_next=*/false);
+    const double chained_exec = RuleExecBytes(rule, nslow, /*with_next=*/true);
+    const double node_exec = RuleExecBytes(rule, nslow, /*with_next=*/false);
+
+    exspan.prov += events * f * kProvBytes;
+    exspan.rule_exec += events * f * ex_exec;
+    exspan.tuple_store +=
+        events * f * (kStoreKeyBytes + tuple_bytes(rule.head.relation));
+
+    basic.prov += interesting ? events * f * kProvBytes : 0.0;
+    basic.rule_exec += events * f * chained_exec;
+    basic_slow_refs += events * f * static_cast<double>(nslow);
+
+    // Rows shared across classes collapse to one copy per chain position
+    // (f rows program-wide); class-distinct rows cost one copy per class.
+    const double chain_copies = tainted[r] ? classes * f : f;
+    const double node_copies = keyed_slow[r] ? classes * f : f;
+
+    advanced.prov +=
+        interesting ? events * f * (kProvBytes + kDigestBytes) : 0.0;
+    advanced.rule_exec += chain_copies * chained_exec;
+    advanced_slow_refs += node_copies * static_cast<double>(nslow);
+
+    // Inter-class sharing splits the row: the node part (rule + slow vids)
+    // shares whenever the slow bindings do, even below a class-distinct
+    // prefix; only the link row chains through `next`.
+    interclass.rule_exec +=
+        node_copies * node_exec + chain_copies * kLinkBytes;
+
+    RuleStorageReport rr;
+    rr.rule_id = rule.id;
+    rr.firings_per_event = f;
+    rr.exspan_bytes = kProvBytes + ex_exec + kStoreKeyBytes +
+                      tuple_bytes(rule.head.relation);
+    rr.basic_bytes = chained_exec + (interesting ? kProvBytes : 0.0);
+    rr.advanced_bytes =
+        chained_exec + (interesting ? kProvBytes + kDigestBytes : 0.0);
+    rr.interclass_bytes = node_exec + kLinkBytes +
+                          (interesting ? kProvBytes + kDigestBytes : 0.0);
+    rep.rules.push_back(std::move(rr));
+  }
+
+  // The compressed schemes materialize only the slow tuples their firings
+  // reference (deduplicated, so capped by the live rows); exactly one rule
+  // consumes each raw injected event, whose vid the leaf firing records.
+  basic.rule_exec += events * kDigestBytes;
+  basic.tuple_store =
+      std::min(slow_rows, basic_slow_refs) * (kStoreKeyBytes + slow_tb);
+  advanced.tuple_store =
+      std::min(slow_rows, advanced_slow_refs) * (kStoreKeyBytes + slow_tb);
+  interclass.prov = advanced.prov;
+  interclass.tuple_store = advanced.tuple_store;
+
+  rep.schemes = {exspan, basic, advanced, interclass};
+  if (exspan.total() > 0.0) {
+    rep.advanced_savings =
+        (exspan.total() - advanced.total()) / exspan.total();
+  }
+  return rep;
 }
 
 }  // namespace dpc

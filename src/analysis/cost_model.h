@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/analysis/analyzer.h"
 #include "src/analysis/planner.h"
 #include "src/ndlog/program.h"
 
@@ -77,6 +78,32 @@ struct ProgramCostEstimate {
 ProgramCostEstimate EstimateCost(const Program& program,
                                  const ProgramPlan& plan,
                                  const CostParams& params = {});
+
+// Pass-9 static storage model: prices the per-program provenance bytes of
+// all four recording schemes under the StorageParams workload, from the
+// exact wire sizes of src/core/prov_tables.h:
+//
+//   ProvEntry            48 B (+20 B evid under Advanced)
+//   RuleExecEntry        24 B + rule-id string + vid-count varint
+//                        + 20 B per vid (+24 B next pointer when chained)
+//   RuleExecNodeEntry    like RuleExecEntry, no next pointer
+//   RuleExecLinkEntry    48 B
+//   store row            20 B content key + serialized tuple
+//
+// Per-rule firing counts come from the trigger graph's condensation: the
+// rate of each strongly connected component is propagated from the input
+// event along cross-component edges (a component is entered once per
+// upstream chain, and a rule that exits a recursive cycle is assumed
+// guarded, firing once per entry), and rules inside a cyclic component
+// fire `recursion_depth` times per entry. The model assumes injected
+// events are pairwise content-distinct, every derived tuple is distinct
+// within its chain, and exactly one rule consumes each raw injected event
+// (the DELP chain convention). `plan` must have been compiled from
+// `program`; `cost_params` only matters under
+// StorageParams::use_plan_fanout.
+StorageReport EstimateStorage(const Program& program, const ProgramPlan& plan,
+                              const StorageParams& params,
+                              const CostParams& cost_params = {});
 
 }  // namespace dpc
 

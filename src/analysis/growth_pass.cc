@@ -1,0 +1,499 @@
+// Pass 8: derivation-boundedness certification (W801, N802, N803, N804,
+// E804).
+//
+// A DELP is recursive when its predicate-level trigger graph has a cycle
+// (forwarding's packet -> packet, DNS's request -> request): an injected
+// event can re-derive an event relation already on its chain, and without
+// a bound the recorders' provenance tables grow forever. The pass tries
+// three proofs per cycle, strongest first:
+//
+//   decreasing-arg   some integer argument position is non-increasing
+//                    through every cycle rule, strictly decreases through
+//                    at least one (H := V - c via the pass-4 folding
+//                    machinery), and a cycle rule guards it from below
+//                    (V > 0). TTL-style recursion: at most (initial /
+//                    decrement) traversals.                        N802
+//   finite-support   every head attribute of every cycle rule is drawn
+//                    from slow-changing state, a constant, or preserved
+//                    from the event; the derivable-event set of one
+//                    injection is then a subset of a finite product, and
+//                    the content-deduplicated provenance tables (prov /
+//                    rule_exec / tuple stores key rows by content) stop
+//                    growing once it saturates.                    N802
+//   topology         every cycle rule relocates to a destination read
+//                    from a slow-changing condition atom: each traversal
+//                    consumes an edge of the slow-state location graph,
+//                    so the hop count is bounded whenever that graph is
+//                    acyclic (forwarding routes, DNS delegation).
+//                    Conditional certification.                    N803
+//
+// A cycle rule whose head is its event atom verbatim re-fires identically
+// forever once it fires at all (conditions are slow-changing, constraints
+// deterministic): provably divergent, E804. Cycles with no proof get W801
+// with the cycle path. Programs whose cycles are all certified — or with
+// no cycles — get an N804 certification note carrying the maximum
+// derivation chain depth.
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/analysis/passes.h"
+#include "src/analysis/trigger_graph.h"
+#include "src/core/dependency_graph.h"
+#include "src/core/equivalence_keys.h"
+#include "src/ndlog/eval.h"
+#include "src/ndlog/functions.h"
+
+namespace dpc {
+namespace analysis_internal {
+
+namespace {
+
+// Folds a variable-free expression to an integer (pass-4 machinery); no
+// value when the expression mentions variables, calls unknown functions,
+// or folds to a non-integer.
+bool FoldToInt(const ExprPtr& e, int64_t* out) {
+  std::vector<std::string> vars;
+  e->CollectVars(vars);
+  if (!vars.empty()) return false;
+  Result<Value> v = EvalExpr(*e, Bindings{}, FunctionRegistry{});
+  if (!v.ok() || !v->is_int()) return false;
+  *out = v->AsInt();
+  return true;
+}
+
+const Assignment* FindAssignment(const Rule& rule, const std::string& var) {
+  for (const Assignment& asn : rule.assignments) {
+    if (asn.var == var) return &asn;
+  }
+  return nullptr;
+}
+
+bool VarInAtom(const Atom& atom, const std::string& var) {
+  for (const Term& t : atom.args) {
+    if (t.is_var() && t.var == var) return true;
+  }
+  return false;
+}
+
+bool VarInConditions(const Rule& rule, const std::string& var) {
+  for (const Atom* cond : rule.ConditionAtoms()) {
+    if (VarInAtom(*cond, var)) return true;
+  }
+  return false;
+}
+
+// --- proof: identity self-loop (E804) --------------------------------
+
+bool SameTerm(const Term& a, const Term& b) {
+  if (a.is_var() != b.is_var()) return false;
+  return a.is_var() ? a.var == b.var : a.constant == b.constant;
+}
+
+// head == event atom verbatim: the derived event is content-identical to
+// the triggering one, so if the rule fires once it re-fires forever (its
+// conditions are slow-changing and its constraints deterministic).
+bool IsIdentitySelfLoop(const Rule& rule) {
+  const Atom& event = rule.EventAtom();
+  if (rule.head.relation != event.relation) return false;
+  if (rule.head.args.size() != event.args.size()) return false;
+  for (size_t i = 0; i < event.args.size(); ++i) {
+    if (!SameTerm(rule.head.args[i], event.args[i])) return false;
+  }
+  return true;
+}
+
+// --- proof: strictly-decreasing guarded integer argument (N802) ------
+
+// Delta of head position `pos` relative to event position `pos` through
+// `rule`: 0 when preserved verbatim, +c for H := V - c (c folded from a
+// variable-free subexpression), no value otherwise.
+bool ArgDelta(const Rule& rule, size_t pos, int64_t* delta) {
+  const Atom& event = rule.EventAtom();
+  if (pos >= event.args.size() || pos >= rule.head.args.size()) return false;
+  const Term& ev = event.args[pos];
+  const Term& hd = rule.head.args[pos];
+  if (!ev.is_var() || !hd.is_var()) return false;
+  if (hd.var == ev.var) {
+    *delta = 0;
+    return true;
+  }
+  const Assignment* asn = FindAssignment(rule, hd.var);
+  if (asn == nullptr || asn->expr->kind != Expr::Kind::kBinary) return false;
+  const Expr& e = *asn->expr;
+  int64_t c = 0;
+  if (e.op == Expr::Op::kSub && e.lhs->kind == Expr::Kind::kVar &&
+      e.lhs->var == ev.var && FoldToInt(e.rhs, &c)) {
+    *delta = c;
+    return true;
+  }
+  if (e.op == Expr::Op::kAdd) {
+    if (e.lhs->kind == Expr::Kind::kVar && e.lhs->var == ev.var &&
+        FoldToInt(e.rhs, &c)) {
+      *delta = -c;
+      return true;
+    }
+    if (e.rhs->kind == Expr::Kind::kVar && e.rhs->var == ev.var &&
+        FoldToInt(e.lhs, &c)) {
+      *delta = -c;
+      return true;
+    }
+  }
+  return false;
+}
+
+// A constraint bounding `var` from below: var > c, var >= c, c < var,
+// c <= var, with c variable-free.
+bool HasLowerBoundGuard(const Rule& rule, const std::string& var) {
+  for (const Constraint& cons : rule.constraints) {
+    if (cons.expr->kind != Expr::Kind::kBinary) continue;
+    const Expr& e = *cons.expr;
+    int64_t c = 0;
+    if ((e.op == Expr::Op::kGt || e.op == Expr::Op::kGe) &&
+        e.lhs->kind == Expr::Kind::kVar && e.lhs->var == var &&
+        FoldToInt(e.rhs, &c)) {
+      return true;
+    }
+    if ((e.op == Expr::Op::kLt || e.op == Expr::Op::kLe) &&
+        e.rhs->kind == Expr::Kind::kVar && e.rhs->var == var &&
+        FoldToInt(e.lhs, &c)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Tries the decreasing-argument proof over `cycle_rules`. On success
+// fills `detail` with the witness position and guard.
+bool ProveDecreasingArg(const std::vector<const Rule*>& cycle_rules,
+                        std::string* detail) {
+  if (cycle_rules.empty()) return false;
+  size_t max_pos = cycle_rules.front()->EventAtom().args.size();
+  for (const Rule* rule : cycle_rules) {
+    max_pos = std::min(max_pos, rule->EventAtom().args.size());
+    max_pos = std::min(max_pos, rule->head.args.size());
+  }
+  for (size_t pos = 0; pos < max_pos; ++pos) {
+    int64_t total = 0;
+    bool ok = true;
+    bool guarded = false;
+    const Rule* strict = nullptr;
+    for (const Rule* rule : cycle_rules) {
+      int64_t delta = 0;
+      if (!ArgDelta(*rule, pos, &delta) || delta < 0) {
+        ok = false;
+        break;
+      }
+      if (delta > 0 && strict == nullptr) strict = rule;
+      total += delta;
+      const Term& ev = rule->EventAtom().args[pos];
+      if (ev.is_var() && HasLowerBoundGuard(*rule, ev.var)) guarded = true;
+    }
+    if (!ok || total <= 0 || !guarded) continue;
+    *detail = "argument " + std::to_string(pos) + " of " +
+              strict->EventAtom().relation +
+              " strictly decreases through rule " + strict->id +
+              " (total decrement " + std::to_string(total) +
+              " per traversal) and is guarded from below";
+    return true;
+  }
+  return false;
+}
+
+// --- proof: finite derivable-event support (N802) --------------------
+
+// Classification of where a head argument's value can come from.
+enum class ArgSource {
+  kFinite,    // constant, slow-changing state, or a function of those
+  kEventPos,  // preserved from an event argument position
+  kInfinite,  // event-payload arithmetic: unbounded across traversals
+};
+
+ArgSource ClassifyVar(const Rule& rule, const std::string& var,
+                      size_t* event_pos);
+
+// An expression is finitely sourced when every variable it mentions is;
+// event-position copies inside arithmetic are conservatively infinite
+// (only verbatim preservation keeps a value invariant over traversals).
+ArgSource ClassifyExpr(const Rule& rule, const ExprPtr& expr,
+                       size_t* event_pos) {
+  if (expr->kind == Expr::Kind::kConst) return ArgSource::kFinite;
+  if (expr->kind == Expr::Kind::kVar) {
+    return ClassifyVar(rule, expr->var, event_pos);
+  }
+  std::vector<std::string> vars;
+  expr->CollectVars(vars);
+  for (const std::string& v : vars) {
+    size_t ignored = 0;
+    if (ClassifyVar(rule, v, &ignored) != ArgSource::kFinite) {
+      return ArgSource::kInfinite;
+    }
+  }
+  return ArgSource::kFinite;
+}
+
+ArgSource ClassifyVar(const Rule& rule, const std::string& var,
+                      size_t* event_pos) {
+  if (VarInConditions(rule, var)) return ArgSource::kFinite;
+  const Atom& event = rule.EventAtom();
+  for (size_t i = 0; i < event.args.size(); ++i) {
+    if (event.args[i].is_var() && event.args[i].var == var) {
+      *event_pos = i;
+      return ArgSource::kEventPos;
+    }
+  }
+  if (const Assignment* asn = FindAssignment(rule, var)) {
+    return ClassifyExpr(rule, asn->expr, event_pos);
+  }
+  return ArgSource::kInfinite;  // unbound: rejected elsewhere (E106)
+}
+
+// Greatest-fixpoint finiteness of every (cycle relation, position): start
+// all finite, demote positions fed by event-payload arithmetic or by
+// already-infinite positions, iterate to stability. All-finite means the
+// derivable-event set of one injection is a subset of
+// (slow projections x constants x injected values): finite, so the
+// content-deduplicated provenance tables saturate.
+bool ProveFiniteSupport(const std::vector<const Rule*>& cycle_rules,
+                        const std::set<std::string>& cycle_relations,
+                        std::string* detail) {
+  std::map<std::pair<std::string, size_t>, bool> finite;
+  for (const Rule* rule : cycle_rules) {
+    for (size_t j = 0; j < rule->head.args.size(); ++j) {
+      finite[{rule->head.relation, j}] = true;
+    }
+    for (size_t j = 0; j < rule->EventAtom().args.size(); ++j) {
+      finite[{rule->EventAtom().relation, j}] = true;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule* rule : cycle_rules) {
+      for (size_t j = 0; j < rule->head.args.size(); ++j) {
+        auto& slot = finite[{rule->head.relation, j}];
+        if (!slot) continue;
+        const Term& t = rule->head.args[j];
+        if (!t.is_var()) continue;
+        size_t pos = 0;
+        ArgSource src = ClassifyVar(*rule, t.var, &pos);
+        bool still_finite =
+            src == ArgSource::kFinite ||
+            (src == ArgSource::kEventPos &&
+             finite[{rule->EventAtom().relation, pos}]);
+        if (src == ArgSource::kInfinite) still_finite = false;
+        if (!still_finite) {
+          slot = false;
+          changed = true;
+        }
+      }
+    }
+  }
+  for (const auto& [key, is_finite] : finite) {
+    if (cycle_relations.count(key.first) > 0 && !is_finite) return false;
+  }
+  *detail =
+      "every cycle-head attribute is a constant, read from slow-changing "
+      "state, or preserved from the event: the derivable-event set of one "
+      "injection is finite and the content-deduplicated provenance tables "
+      "saturate";
+  return true;
+}
+
+// --- proof: topology consumption (N803, conditional) -----------------
+
+// Every cycle rule relocates (head location term differs from the
+// event's) to a variable read from a slow-changing condition atom: each
+// traversal consumes one edge of the slow-state location graph.
+bool Relocates(const Rule& rule) {
+  if (rule.head.args.empty() || rule.EventAtom().args.empty()) return false;
+  return !SameTerm(rule.head.args[0], rule.EventAtom().args[0]);
+}
+
+bool ProveTopology(const std::vector<const Rule*>& cycle_rules,
+                   std::string* detail) {
+  for (const Rule* rule : cycle_rules) {
+    if (!Relocates(*rule)) return false;
+    if (rule->head.args.empty()) return false;
+    const Term& dest = rule->head.args[0];
+    if (!dest.is_var() || !VarInConditions(*rule, dest.var)) return false;
+  }
+  *detail =
+      "every cycle traversal relocates to a destination read from "
+      "slow-changing state, consuming one edge of the slow-state location "
+      "graph; bounded whenever that graph is acyclic";
+  return true;
+}
+
+}  // namespace
+
+void RunGrowthPass(const std::vector<Rule>& rules, const Program* program,
+                   bool emit_notes, std::vector<Diagnostic>& out,
+                   GrowthReport* report) {
+  if (rules.empty()) return;
+  TriggerGraph graph = TriggerGraph::Build(rules);
+
+  GrowthReport local;
+  GrowthReport& rep = report != nullptr ? *report : local;
+  rep.analyzed = true;
+
+  // Longest derivation chain, one pass in rule order (the DELP chain
+  // convention): each rule extends the chain of its event relation.
+  std::map<std::string, size_t> rel_depth;
+  rel_depth[rules.front().EventAtom().relation] = 0;
+  for (const Rule& rule : rules) {
+    if (rule.atoms.empty()) continue;
+    auto it = rel_depth.find(rule.EventAtom().relation);
+    if (it == rel_depth.end()) continue;
+    size_t d = it->second + 1;
+    auto [slot, inserted] = rel_depth.emplace(rule.head.relation, d);
+    if (!inserted && d > slot->second) slot->second = d;
+    rep.max_chain_depth = std::max(rep.max_chain_depth, d);
+  }
+
+  // Pass-7-style keyed-destination detail for N803 (best effort; the
+  // proof itself needs only the rule shapes).
+  auto keyed_destination = [&](const Rule& rule) {
+    if (program == nullptr || rule.head.args.empty() ||
+        !rule.head.args[0].is_var()) {
+      return false;
+    }
+    DependencyGraph dep = DependencyGraph::Build(*program);
+    auto keys = ComputeEquivalenceKeys(*program, dep);
+    if (!keys.ok()) return false;
+    AttrNode head_loc{rule.head.relation, 0};
+    for (size_t k : keys->indices()) {
+      if (dep.Reachable(AttrNode{program->input_event_relation(), k},
+                        head_loc)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  bool all_certified = true;
+  for (size_t c = 0; c < graph.num_components(); ++c) {
+    if (!graph.ComponentCyclic(static_cast<int>(c))) continue;
+    rep.recursive = true;
+
+    CycleGrowthReport cycle;
+    cycle.path = graph.CyclePath(static_cast<int>(c));
+    std::set<std::string> cycle_relations;
+    for (size_t v : graph.ComponentMembers(static_cast<int>(c))) {
+      cycle_relations.insert(graph.relations()[v]);
+    }
+    std::vector<const Rule*> cycle_rules;
+    SourceLoc cycle_loc;
+    for (const TriggerEdge& e : graph.edges()) {
+      if (graph.ComponentOf(e.from) != static_cast<int>(c) ||
+          graph.ComponentOf(e.to) != static_cast<int>(c)) {
+        continue;
+      }
+      cycle_rules.push_back(&rules[e.rule_index]);
+      cycle.rule_ids.push_back(rules[e.rule_index].id);
+      if (!cycle_loc.valid()) cycle_loc = rules[e.rule_index].loc;
+    }
+
+    const Rule* divergent_rule = nullptr;
+    for (const Rule* rule : cycle_rules) {
+      if (IsIdentitySelfLoop(*rule)) {
+        divergent_rule = rule;
+        break;
+      }
+    }
+
+    std::string detail;
+    if (divergent_rule != nullptr) {
+      cycle.divergent = true;
+      cycle.proof = "divergent";
+      cycle.detail = "rule " + divergent_rule->id +
+                     " derives its own triggering event verbatim; once it "
+                     "fires it re-fires identically forever (conditions are "
+                     "slow-changing, constraints deterministic)";
+      all_certified = false;
+      AddDiag(out, Severity::kError, "E804", divergent_rule->loc,
+              "rule " + divergent_rule->id +
+                  ": provably divergent derivation (cycle " + cycle.path +
+                  "): " + cycle.detail);
+    } else if (ProveDecreasingArg(cycle_rules, &detail)) {
+      cycle.bounded = true;
+      cycle.proof = "decreasing-arg";
+      cycle.detail = detail;
+      if (emit_notes) {
+        AddDiag(out, Severity::kNote, "N802", cycle_loc,
+                "recursive cycle " + cycle.path +
+                    " is bounded (decreasing argument): " + detail);
+      }
+    } else if (ProveFiniteSupport(cycle_rules, cycle_relations, &detail)) {
+      cycle.bounded = true;
+      cycle.proof = "finite-support";
+      cycle.detail = detail;
+      if (emit_notes) {
+        AddDiag(out, Severity::kNote, "N802", cycle_loc,
+                "recursive cycle " + cycle.path +
+                    " is bounded (finite support): " + detail);
+      }
+    } else if (ProveTopology(cycle_rules, &detail)) {
+      cycle.bounded = true;
+      cycle.conditional = true;
+      cycle.proof = "topology";
+      if (!cycle_rules.empty() && keyed_destination(*cycle_rules.front())) {
+        detail += "; the destination is determined by equivalence keys of "
+                  "the input event";
+      }
+      cycle.detail = detail;
+      if (emit_notes) {
+        AddDiag(out, Severity::kNote, "N803", cycle_loc,
+                "recursive cycle " + cycle.path +
+                    " is conditionally bounded (topology): " + detail);
+      }
+    } else {
+      all_certified = false;
+      std::string rule_list;
+      for (const std::string& id : cycle.rule_ids) {
+        if (!rule_list.empty()) rule_list += ", ";
+        rule_list += id;
+      }
+      cycle.detail =
+          "no boundedness proof: no guarded decreasing argument, head "
+          "attributes carry event-payload arithmetic, and the cycle does "
+          "not consume topology";
+      AddDiag(out, Severity::kWarning, "W801", cycle_loc,
+              "potentially unbounded derivation: cycle " + cycle.path +
+                  " (rules " + rule_list +
+                  ") has no boundedness proof; provenance tables may grow "
+                  "without bound");
+    }
+    rep.cycles.push_back(std::move(cycle));
+  }
+
+  rep.certified = all_certified;
+  if (emit_notes && all_certified) {
+    std::string msg;
+    if (!rep.recursive) {
+      msg = "derivation bounded: the trigger graph is acyclic; every chain "
+            "fires at most " +
+            std::to_string(rep.max_chain_depth) +
+            " rule" + (rep.max_chain_depth == 1 ? "" : "s") +
+            " per injected event";
+    } else {
+      size_t conditional = 0;
+      for (const CycleGrowthReport& cy : rep.cycles) {
+        if (cy.conditional) ++conditional;
+      }
+      msg = "derivation bounded: all " + std::to_string(rep.cycles.size()) +
+            " recursive cycle" + (rep.cycles.size() == 1 ? "" : "s") +
+            " certified" +
+            (conditional > 0
+                 ? " (" + std::to_string(conditional) +
+                       " conditional on acyclic slow-state topology)"
+                 : "") +
+            "; acyclic chain depth " + std::to_string(rep.max_chain_depth);
+    }
+    AddDiag(out, Severity::kNote, "N804", rules.front().loc, msg);
+  }
+}
+
+}  // namespace analysis_internal
+}  // namespace dpc

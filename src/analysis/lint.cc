@@ -47,6 +47,14 @@ std::string JsonDouble(double v) {
   return buf;
 }
 
+// Fraction-valued fields (error bounds, savings ratios) live in [0, 1],
+// where one decimal place would round 0.25 to "0.2"; keep four.
+std::string JsonFraction(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
 void AppendJsonPlanRule(std::string& out, const RulePlanReport& r) {
   out += "{\"rule\":\"" + JsonEscape(r.rule_id) + "\",\"join_order\":\"" +
          JsonEscape(r.join_order) +
@@ -83,6 +91,63 @@ void AppendJsonShard(std::string& out, const ShardReport& shard) {
   }
   out += "],\"node_local\":" + std::to_string(shard.node_local()) +
          ",\"cross_shard\":" + std::to_string(shard.cross_shard()) + "}";
+}
+
+void AppendJsonGrowth(std::string& out, const GrowthReport& growth) {
+  out += "\"growth\":{\"recursive\":";
+  out += growth.recursive ? "true" : "false";
+  out += ",\"certified\":";
+  out += growth.certified ? "true" : "false";
+  out += ",\"max_chain_depth\":" + std::to_string(growth.max_chain_depth) +
+         ",\"cycles\":[";
+  for (size_t i = 0; i < growth.cycles.size(); ++i) {
+    const CycleGrowthReport& c = growth.cycles[i];
+    if (i > 0) out += ",";
+    out += "{\"path\":\"" + JsonEscape(c.path) + "\",\"rules\":[";
+    for (size_t r = 0; r < c.rule_ids.size(); ++r) {
+      if (r > 0) out += ",";
+      out += "\"" + JsonEscape(c.rule_ids[r]) + "\"";
+    }
+    out += "],\"proof\":\"" + JsonEscape(c.proof) + "\",\"detail\":\"" +
+           JsonEscape(c.detail) + "\",\"bounded\":";
+    out += c.bounded ? "true" : "false";
+    out += ",\"conditional\":";
+    out += c.conditional ? "true" : "false";
+    out += ",\"divergent\":";
+    out += c.divergent ? "true" : "false";
+    out += "}";
+  }
+  out += "]}";
+}
+
+void AppendJsonStorage(std::string& out, const StorageReport& storage) {
+  out += "\"storage\":{\"events\":" + JsonDouble(storage.events) +
+         ",\"classes\":" + JsonDouble(storage.classes) +
+         ",\"error_bound\":" + JsonFraction(storage.error_bound) +
+         ",\"advanced_savings\":" + JsonFraction(storage.advanced_savings) +
+         ",\"rules\":[";
+  for (size_t i = 0; i < storage.rules.size(); ++i) {
+    const RuleStorageReport& r = storage.rules[i];
+    if (i > 0) out += ",";
+    out += "{\"rule\":\"" + JsonEscape(r.rule_id) +
+           "\",\"firings_per_event\":" + JsonDouble(r.firings_per_event) +
+           ",\"exspan_bytes\":" + JsonDouble(r.exspan_bytes) +
+           ",\"basic_bytes\":" + JsonDouble(r.basic_bytes) +
+           ",\"advanced_bytes\":" + JsonDouble(r.advanced_bytes) +
+           ",\"interclass_bytes\":" + JsonDouble(r.interclass_bytes) + "}";
+  }
+  out += "],\"schemes\":[";
+  for (size_t i = 0; i < storage.schemes.size(); ++i) {
+    const SchemeStorageReport& s = storage.schemes[i];
+    if (i > 0) out += ",";
+    out += "{\"scheme\":\"" + JsonEscape(s.scheme) +
+           "\",\"prov\":" + JsonDouble(s.prov) +
+           ",\"rule_exec\":" + JsonDouble(s.rule_exec) +
+           ",\"event_store\":" + JsonDouble(s.event_store) +
+           ",\"tuple_store\":" + JsonDouble(s.tuple_store) +
+           ",\"total\":" + JsonDouble(s.total()) + "}";
+  }
+  out += "]}";
 }
 
 void AppendJsonPlan(std::string& out, const PlanReport& plan) {
@@ -201,6 +266,46 @@ std::string RenderText(const std::vector<FileLint>& results,
         out += "\n";
       }
     }
+    if (options.print_growth && !fl.result.growth_report.empty()) {
+      const GrowthReport& growth = fl.result.growth_report;
+      out += fl.file + ": derivation growth (";
+      out += growth.recursive ? "recursive" : "non-recursive";
+      out += growth.certified ? ", certified" : ", NOT certified";
+      out += ", chain depth " + std::to_string(growth.max_chain_depth) + ")\n";
+      for (const CycleGrowthReport& c : growth.cycles) {
+        out += "  cycle " + c.path + ": ";
+        if (c.divergent) {
+          out += "divergent";
+        } else if (c.bounded) {
+          out += c.proof + (c.conditional ? " (conditional)" : "");
+        } else {
+          out += "unproven";
+        }
+        out += " — " + c.detail + "\n";
+      }
+    }
+    if (options.print_storage && !fl.result.storage_report.empty()) {
+      const StorageReport& storage = fl.result.storage_report;
+      out += fl.file + ": storage model (" + JsonDouble(storage.events) +
+             " events, " + JsonDouble(storage.classes) +
+             " classes, advanced saves " +
+             JsonDouble(storage.advanced_savings * 100.0) + "%)\n";
+      for (const RuleStorageReport& r : storage.rules) {
+        out += "  " + r.rule_id + ": " + JsonDouble(r.firings_per_event) +
+               " firings/event; B/firing exspan " +
+               JsonDouble(r.exspan_bytes) + ", basic " +
+               JsonDouble(r.basic_bytes) + ", advanced " +
+               JsonDouble(r.advanced_bytes) + ", inter-class " +
+               JsonDouble(r.interclass_bytes) + "\n";
+      }
+      for (const SchemeStorageReport& s : storage.schemes) {
+        out += "  " + s.scheme + ": prov " + JsonDouble(s.prov) +
+               " + ruleExec " + JsonDouble(s.rule_exec) + " + events " +
+               JsonDouble(s.event_store) + " + tuples " +
+               JsonDouble(s.tuple_store) + " = " + JsonDouble(s.total()) +
+               " B\n";
+      }
+    }
     size_t errors = fl.result.errors();
     size_t warnings = fl.result.warnings();
     out += fl.file + ": " + std::to_string(errors) + " error" +
@@ -245,6 +350,14 @@ std::string RenderJson(const std::vector<FileLint>& results) {
     if (!fl.result.shard_report.empty()) {
       out += ",";
       AppendJsonShard(out, fl.result.shard_report);
+    }
+    if (!fl.result.growth_report.empty()) {
+      out += ",";
+      AppendJsonGrowth(out, fl.result.growth_report);
+    }
+    if (!fl.result.storage_report.empty()) {
+      out += ",";
+      AppendJsonStorage(out, fl.result.storage_report);
     }
     out += "}";
   }

@@ -31,6 +31,14 @@ struct LintOptions {
   // carries it whenever the analyzer produced one, i.e. under
   // `--shard` / AnalyzerOptions::shard).
   bool print_shard = false;
+  // Include the boundedness-certification report in text output (the JSON
+  // output carries it whenever the analyzer produced one, i.e. under
+  // `--growth` / AnalyzerOptions::growth_notes).
+  bool print_growth = false;
+  // Include the storage-model report in text output (the JSON output
+  // carries it whenever the analyzer produced one, i.e. under
+  // `--storage` / AnalyzerOptions::storage).
+  bool print_storage = false;
 };
 
 // One linted file and its analysis result.
@@ -48,8 +56,9 @@ std::string RenderText(const std::vector<FileLint>& results,
                        const LintOptions& options);
 
 // JSON object: {"files":[{"file","errors","warnings","diagnostics":[...],
-// "equivalence_keys":{...}?,"plans":{...}?,"shards":{...}?}],
-// "errors":N,"warnings":M}. Stable schema, documented in docs/analysis.md.
+// "equivalence_keys":{...}?,"plans":{...}?,"shards":{...}?,"growth":{...}?,
+// "storage":{...}?}],"errors":N,"warnings":M}. Stable schema, documented
+// in docs/analysis.md.
 std::string RenderJson(const std::vector<FileLint>& results);
 
 // 0 when clean; 1 when any file has errors (or warnings under --werror).

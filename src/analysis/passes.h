@@ -59,6 +59,36 @@ void RunPlanPass(const std::vector<Rule>& rules, const Program* program,
 void RunLocalityPass(const std::vector<Rule>& rules, const Program& program,
                      std::vector<Diagnostic>& out, ShardReport* report);
 
+// Pass 8: derivation boundedness. Builds the predicate-level trigger
+// graph, detects recursive cycles, and attempts a boundedness proof per
+// cycle: a strictly-decreasing guarded integer argument (N802), finite
+// derivable-event support — every cycle-head attribute drawn from
+// slow-changing state, so content-deduplicated provenance tables saturate
+// (N802) — or topology consumption — every cycle hop relocates to a
+// destination read from slow-changing state (N803, conditional on that
+// state being acyclic). Unproven cycles are W801 "potentially unbounded
+// derivation" with the cycle path; a cycle rule whose head is its event
+// verbatim re-fires identically forever (E804). A program whose cycles
+// are all certified (or that has none) gets an N804 certification note.
+// W801/E804 are always on; the notes and `report` fill under
+// `emit_notes`. `program` may be null (keyed-destination details are then
+// omitted from N803).
+void RunGrowthPass(const std::vector<Rule>& rules, const Program* program,
+                   bool emit_notes, std::vector<Diagnostic>& out,
+                   GrowthReport* report);
+
+// Pass 9 (opt-in): static per-scheme storage model. Reuses the pass-6
+// cost machinery (plans, trigger rates, equivalence keys) to price
+// expected provenance bytes per rule firing and per program for ExSPAN,
+// Basic, Advanced and Advanced+inter-class, emitting N901 notes, W902
+// when Advanced is predicted to save less than params.advanced_margin of
+// the ExSPAN total, and W903 when every event attribute is an equivalence
+// key (each event its own class; Advanced cannot share trees). Requires a
+// constructed Program, hence an error-free front half.
+void RunStoragePass(const std::vector<Rule>& rules, const Program& program,
+                    const StorageParams& params, std::vector<Diagnostic>& out,
+                    StorageReport* report);
+
 }  // namespace analysis_internal
 }  // namespace dpc
 

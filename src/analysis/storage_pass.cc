@@ -1,0 +1,81 @@
+// Pass 9: static per-scheme storage model (N901, W902, W903).
+//
+// A thin diagnostic front end over cost_model.cc's EstimateStorage: one
+// N901 note per rule (expected firings and bytes appended per firing, by
+// scheme), one N901 note per scheme with the program totals under the
+// StorageParams workload, W902 when the Advanced scheme is predicted to
+// save less than the configured margin of the ExSPAN total, and W903 when
+// every input-event attribute is an equivalence key — each event is then
+// its own class and the Advanced scheme cannot share provenance trees.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/analysis/cost_model.h"
+#include "src/analysis/passes.h"
+#include "src/analysis/planner.h"
+#include "src/core/equivalence_keys.h"
+
+namespace dpc {
+namespace analysis_internal {
+
+namespace {
+
+std::string Fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+void RunStoragePass(const std::vector<Rule>& rules, const Program& program,
+                    const StorageParams& params, std::vector<Diagnostic>& out,
+                    StorageReport* report) {
+  if (rules.empty()) return;
+  ProgramPlan plan = PlanRules(rules);
+  StorageReport local = EstimateStorage(program, plan, params);
+  if (report != nullptr) *report = local;
+  const StorageReport& rep = report != nullptr ? *report : local;
+
+  for (size_t r = 0; r < rules.size() && r < rep.rules.size(); ++r) {
+    const RuleStorageReport& rr = rep.rules[r];
+    AddDiag(out, Severity::kNote, "N901", rules[r].loc,
+            "rule " + rr.rule_id + ": est " + Fmt(rr.firings_per_event) +
+                " firings/event; B/firing exspan " + Fmt(rr.exspan_bytes) +
+                ", basic " + Fmt(rr.basic_bytes) + ", advanced " +
+                Fmt(rr.advanced_bytes) + ", inter-class " +
+                Fmt(rr.interclass_bytes));
+  }
+  for (const SchemeStorageReport& s : rep.schemes) {
+    AddDiag(out, Severity::kNote, "N901", rules.front().loc,
+            "scheme " + s.scheme + ": prov " + Fmt(s.prov) + " + ruleExec " +
+                Fmt(s.rule_exec) + " + events " + Fmt(s.event_store) +
+                " + tuples " + Fmt(s.tuple_store) + " = " + Fmt(s.total()) +
+                " B (" + Fmt(rep.events) + " events, " + Fmt(rep.classes) +
+                " classes, +/-" + Fmt(rep.error_bound * 100.0) + "%)");
+  }
+
+  if (rep.advanced_savings < params.advanced_margin) {
+    AddDiag(out, Severity::kWarning, "W902", rules.front().loc,
+            "the Advanced scheme is predicted to save only " +
+                Fmt(rep.advanced_savings * 100.0) +
+                "% of the ExSPAN storage total (margin " +
+                Fmt(params.advanced_margin * 100.0) +
+                "%); compression may not pay for its bookkeeping under "
+                "this workload");
+  }
+
+  size_t event_arity = rules.front().EventAtom().args.size();
+  if (auto keys = ComputeEquivalenceKeys(program);
+      keys.ok() && keys->indices().size() == event_arity && event_arity > 0) {
+    AddDiag(out, Severity::kWarning, "W903", rules.front().loc,
+            "every attribute of input event " +
+                program.input_event_relation() +
+                " is an equivalence key: each event forms its own class and "
+                "the Advanced scheme cannot share provenance trees");
+  }
+}
+
+}  // namespace analysis_internal
+}  // namespace dpc

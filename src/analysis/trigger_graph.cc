@@ -1,0 +1,172 @@
+#include "src/analysis/trigger_graph.h"
+
+#include <algorithm>
+#include <map>
+
+namespace dpc {
+
+namespace {
+
+// Iterative Tarjan SCC. DELP trigger graphs are tiny (one node per event
+// relation), but lint runs over arbitrary input files, so no recursion.
+struct TarjanState {
+  const std::vector<std::vector<size_t>>& adj;
+  std::vector<int> index;
+  std::vector<int> lowlink;
+  std::vector<bool> on_stack;
+  std::vector<size_t> stack;
+  std::vector<int>& scc;
+  int next_index = 0;
+  int next_component = 0;
+
+  TarjanState(size_t n, const std::vector<std::vector<size_t>>& a,
+              std::vector<int>& out)
+      : adj(a), index(n, -1), lowlink(n, 0), on_stack(n, false), scc(out) {}
+
+  void Run(size_t root) {
+    // Explicit DFS frame: (node, next successor position).
+    std::vector<std::pair<size_t, size_t>> frames;
+    frames.emplace_back(root, 0);
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      auto& [v, pos] = frames.back();
+      if (pos < adj[v].size()) {
+        size_t w = adj[v][pos++];
+        if (index[w] < 0) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.emplace_back(w, 0);
+        } else if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        size_t w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          scc[w] = next_component;
+        } while (w != v);
+        ++next_component;
+      }
+      size_t done = v;
+      frames.pop_back();
+      if (!frames.empty()) {
+        size_t parent = frames.back().first;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[done]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+TriggerGraph TriggerGraph::Build(const std::vector<Rule>& rules) {
+  TriggerGraph g;
+  std::map<std::string, size_t> index;
+  auto intern = [&](const std::string& rel) {
+    auto [it, inserted] = index.emplace(rel, g.relations_.size());
+    if (inserted) g.relations_.push_back(rel);
+    return it->second;
+  };
+  // Event relations are exactly the event atoms; heads join the node set
+  // only when they are themselves event relations (they trigger a rule).
+  for (const Rule& rule : rules) {
+    if (rule.atoms.empty()) continue;
+    intern(rule.EventAtom().relation);
+  }
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const Rule& rule = rules[r];
+    if (rule.atoms.empty()) continue;
+    auto head = index.find(rule.head.relation);
+    if (head == index.end()) continue;  // terminal head: chain ends here
+    g.edges_.push_back(
+        TriggerEdge{index.at(rule.EventAtom().relation), head->second, r});
+  }
+
+  size_t n = g.relations_.size();
+  std::vector<std::vector<size_t>> adj(n);
+  for (const TriggerEdge& e : g.edges_) adj[e.from].push_back(e.to);
+
+  g.scc_.assign(n, -1);
+  TarjanState tarjan(n, adj, g.scc_);
+  for (size_t v = 0; v < n; ++v) {
+    if (tarjan.index[v] < 0) tarjan.Run(v);
+  }
+  g.num_components_ = static_cast<size_t>(tarjan.next_component);
+
+  // Cyclic: more than one member, or a self-loop edge.
+  std::vector<size_t> members(g.num_components_, 0);
+  for (size_t v = 0; v < n; ++v) ++members[g.scc_[v]];
+  g.cyclic_.assign(g.num_components_, false);
+  for (size_t c = 0; c < g.num_components_; ++c) {
+    g.cyclic_[c] = members[c] > 1;
+  }
+  for (const TriggerEdge& e : g.edges_) {
+    if (e.from == e.to) g.cyclic_[g.scc_[e.from]] = true;
+  }
+  return g;
+}
+
+size_t TriggerGraph::IndexOf(const std::string& relation) const {
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i] == relation) return i;
+  }
+  return npos;
+}
+
+bool TriggerGraph::RuleInCycle(size_t rule_index) const {
+  for (const TriggerEdge& e : edges_) {
+    if (e.rule_index != rule_index) continue;
+    return scc_[e.from] == scc_[e.to] && cyclic_[scc_[e.from]];
+  }
+  return false;
+}
+
+std::vector<size_t> TriggerGraph::ComponentMembers(int component) const {
+  std::vector<size_t> members;
+  for (size_t v = 0; v < relations_.size(); ++v) {
+    if (scc_[v] == component) members.push_back(v);
+  }
+  return members;
+}
+
+std::string TriggerGraph::CyclePath(int component) const {
+  std::vector<size_t> members = ComponentMembers(component);
+  if (members.empty()) return "";
+  // Walk intra-component edges from the first member, preferring unvisited
+  // relations, until the walk returns to the start; good enough for a
+  // representative "a -> b -> a" path.
+  size_t start = members.front();
+  std::string path = relations_[start];
+  std::vector<bool> visited(relations_.size(), false);
+  visited[start] = true;
+  size_t at = start;
+  for (size_t hop = 0; hop <= members.size(); ++hop) {
+    size_t next = npos;
+    for (const TriggerEdge& e : edges_) {
+      if (e.from != at || scc_[e.to] != component) continue;
+      if (e.to == start && hop > 0) {
+        next = e.to;
+        break;
+      }
+      if (next == npos && !visited[e.to]) next = e.to;
+    }
+    if (next == npos) {
+      // Self-loop component (or walk exhausted): close the cycle.
+      next = start;
+    }
+    path += " -> " + relations_[next];
+    if (next == start) break;
+    visited[next] = true;
+    at = next;
+  }
+  return path;
+}
+
+}  // namespace dpc

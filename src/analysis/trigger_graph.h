@@ -1,0 +1,76 @@
+// Predicate-level trigger graph over a DELP's event relations.
+//
+// A relation is an *event relation* when it appears as some rule's event
+// atom: tuples of that relation flow through the runtime and trigger rule
+// evaluation. Every rule whose head is itself an event relation extends
+// the derivation chain, contributing the edge
+//
+//     event(r) --r--> head(r)
+//
+// Recursion — forwarding's packet -> packet hop, DNS's request -> request
+// delegation — shows up as a cycle in this graph. Pass 8 (growth_pass.cc)
+// classifies each strongly connected component with a cycle and attempts a
+// boundedness proof; the static storage model (cost_model.cc) uses the
+// condensation to propagate per-chain trigger rates without looping.
+#ifndef DPC_ANALYSIS_TRIGGER_GRAPH_H_
+#define DPC_ANALYSIS_TRIGGER_GRAPH_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/ndlog/ast.h"
+
+namespace dpc {
+
+struct TriggerEdge {
+  size_t from = 0;        // index into TriggerGraph::relations
+  size_t to = 0;          // index into TriggerGraph::relations
+  size_t rule_index = 0;  // the rule contributing this edge
+};
+
+class TriggerGraph {
+ public:
+  static TriggerGraph Build(const std::vector<Rule>& rules);
+
+  // Event relations in first-appearance order (event atoms first, then
+  // heads that are event relations).
+  const std::vector<std::string>& relations() const { return relations_; }
+  const std::vector<TriggerEdge>& edges() const { return edges_; }
+
+  // Index of `relation` in relations(), or npos when it is not an event
+  // relation.
+  static constexpr size_t npos = static_cast<size_t>(-1);
+  size_t IndexOf(const std::string& relation) const;
+
+  // Strongly connected components of the trigger graph, by relation
+  // index. Component ids are assigned in reverse topological order of the
+  // condensation (a component's successors always carry smaller ids).
+  int ComponentOf(size_t relation_index) const { return scc_[relation_index]; }
+  size_t num_components() const { return num_components_; }
+  // A component is cyclic when it has more than one relation or a
+  // self-loop edge: derivations can revisit it.
+  bool ComponentCyclic(int component) const { return cyclic_[component]; }
+
+  // True when `rule_index` is an intra-component edge of a cyclic
+  // component — the rule re-derives an event relation of its own cycle.
+  bool RuleInCycle(size_t rule_index) const;
+
+  // Relation indices of `component`, in relations() order.
+  std::vector<size_t> ComponentMembers(int component) const;
+
+  // A representative cycle through `component` (which must be cyclic),
+  // rendered as "a -> b -> a" for the W801/N80x diagnostics.
+  std::string CyclePath(int component) const;
+
+ private:
+  std::vector<std::string> relations_;
+  std::vector<TriggerEdge> edges_;
+  std::vector<int> scc_;
+  std::vector<bool> cyclic_;
+  size_t num_components_ = 0;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_ANALYSIS_TRIGGER_GRAPH_H_

@@ -1,0 +1,209 @@
+// Pass 8 (derivation boundedness): the examples must certify, synthetic
+// unbounded recursion must be flagged W801 with its cycle path, a
+// TTL-guarded variant must be certified by the decreasing-argument proof,
+// and an identity self-loop is provably divergent (E804).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "src/analysis/analyzer.h"
+#include "src/analysis/trigger_graph.h"
+
+namespace dpc {
+namespace {
+
+const Diagnostic* FindCode(const AnalysisResult& result,
+                           const std::string& code) {
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+std::string ReadExample(const std::string& name) {
+  // The test may run from the repo root, build/ or build/tests.
+  std::ifstream in;
+  for (const char* prefix : {"", "../", "../../", "../../../"}) {
+    in.open(std::string(prefix) + "examples/ndlog/" + name);
+    if (in.good()) break;
+    in.close();
+    in.clear();
+  }
+  EXPECT_TRUE(in.good()) << "cannot open examples/ndlog/" << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+AnalyzerOptions WithGrowthNotes() {
+  AnalyzerOptions options;
+  options.growth_notes = true;
+  return options;
+}
+
+TEST(TriggerGraphTest, FindsSelfLoopAndChainComponents) {
+  auto program = Program::Parse(
+      "r1 packet(@N, S, D) :- packet(@L, S, D), route(@L, D, N).\n"
+      "r2 recv(@L, S, D) :- packet(@L, S, D), D == L.\n");
+  ASSERT_TRUE(program.ok());
+  TriggerGraph graph = TriggerGraph::Build(program->rules());
+
+  // One event relation (packet; recv is terminal) with a self-loop edge.
+  ASSERT_EQ(graph.relations().size(), 1u);
+  EXPECT_EQ(graph.relations()[0], "packet");
+  ASSERT_EQ(graph.edges().size(), 1u);
+  EXPECT_TRUE(graph.ComponentCyclic(graph.ComponentOf(0)));
+  EXPECT_TRUE(graph.RuleInCycle(0));
+  EXPECT_FALSE(graph.RuleInCycle(1));
+  EXPECT_EQ(graph.CyclePath(graph.ComponentOf(0)), "packet -> packet");
+}
+
+TEST(GrowthPassTest, ForwardingExampleIsCertified) {
+  AnalysisResult result =
+      AnalyzeSource(ReadExample("forwarding.ndlog"), WithGrowthNotes());
+  EXPECT_EQ(FindCode(result, "W801"), nullptr);
+  EXPECT_EQ(FindCode(result, "E804"), nullptr);
+
+  const Diagnostic* cycle_note = FindCode(result, "N802");
+  ASSERT_NE(cycle_note, nullptr);
+  EXPECT_NE(cycle_note->message.find("packet -> packet"), std::string::npos);
+
+  const Diagnostic* cert = FindCode(result, "N804");
+  ASSERT_NE(cert, nullptr);
+  EXPECT_NE(cert->message.find("bounded"), std::string::npos);
+
+  const GrowthReport& rep = result.growth_report;
+  ASSERT_FALSE(rep.empty());
+  EXPECT_TRUE(rep.recursive);
+  EXPECT_TRUE(rep.certified);
+  EXPECT_EQ(rep.max_chain_depth, 2u);
+  ASSERT_EQ(rep.cycles.size(), 1u);
+  EXPECT_TRUE(rep.cycles[0].bounded);
+  EXPECT_EQ(rep.cycles[0].proof, "finite-support");
+  EXPECT_EQ(rep.cycles[0].rule_ids, std::vector<std::string>{"r1"});
+}
+
+TEST(GrowthPassTest, DnsExampleIsCertified) {
+  AnalysisResult result =
+      AnalyzeSource(ReadExample("dns.ndlog"), WithGrowthNotes());
+  EXPECT_EQ(FindCode(result, "W801"), nullptr);
+  ASSERT_NE(FindCode(result, "N804"), nullptr);
+
+  const GrowthReport& rep = result.growth_report;
+  EXPECT_TRUE(rep.recursive);
+  EXPECT_TRUE(rep.certified);
+  EXPECT_EQ(rep.max_chain_depth, 4u);  // url -> request -> dnsResult -> reply
+  ASSERT_EQ(rep.cycles.size(), 1u);
+  EXPECT_EQ(rep.cycles[0].path, "request -> request");
+  EXPECT_TRUE(rep.cycles[0].bounded);
+}
+
+TEST(GrowthPassTest, PayloadArithmeticWithoutGuardIsW801) {
+  // A counter incremented around a non-relocating self-loop: no decreasing
+  // argument, no finite support (C2 grows), no topology consumption.
+  AnalysisResult result = AnalyzeSource(
+      "r1 tick(@L, C2) :- tick(@L, C), clock(@L, T), C2 := C + T.\n",
+      WithGrowthNotes());
+  const Diagnostic* w = FindCode(result, "W801");
+  ASSERT_NE(w, nullptr);
+  EXPECT_EQ(w->severity, Severity::kWarning);
+  EXPECT_NE(w->message.find("tick -> tick"), std::string::npos);
+  EXPECT_NE(w->message.find("r1"), std::string::npos);
+  EXPECT_NE(w->message.find("unbounded"), std::string::npos);
+  EXPECT_EQ(FindCode(result, "N804"), nullptr);
+  EXPECT_FALSE(result.growth_report.certified);
+  ASSERT_EQ(result.growth_report.cycles.size(), 1u);
+  EXPECT_FALSE(result.growth_report.cycles[0].bounded);
+  EXPECT_TRUE(result.growth_report.cycles[0].proof.empty());
+}
+
+TEST(GrowthPassTest, W801IsOnWithoutGrowthNotes) {
+  AnalysisResult result = AnalyzeSource(
+      "r1 tick(@L, C2) :- tick(@L, C), clock(@L, T), C2 := C + T.\n");
+  EXPECT_NE(FindCode(result, "W801"), nullptr);
+  // The notes and the report stay opt-in.
+  EXPECT_EQ(FindCode(result, "N804"), nullptr);
+  EXPECT_TRUE(result.growth_report.empty());
+}
+
+TEST(GrowthPassTest, TtlGuardedVariantCertifiesByDecreasingArgument) {
+  AnalysisResult result = AnalyzeSource(
+      "r1 probe(@N, S, T2) :- probe(@L, S, T), link(@L, N), T > 0, "
+      "T2 := T - 1.\n"
+      "r2 seen(@L, S) :- probe(@L, S, T).\n",
+      WithGrowthNotes());
+  EXPECT_EQ(FindCode(result, "W801"), nullptr);
+  const Diagnostic* note = FindCode(result, "N802");
+  ASSERT_NE(note, nullptr);
+  EXPECT_NE(note->message.find("decreasing argument"), std::string::npos);
+  ASSERT_EQ(result.growth_report.cycles.size(), 1u);
+  const CycleGrowthReport& cycle = result.growth_report.cycles[0];
+  EXPECT_EQ(cycle.proof, "decreasing-arg");
+  EXPECT_TRUE(cycle.bounded);
+  EXPECT_FALSE(cycle.conditional);
+  EXPECT_NE(cycle.detail.find("argument 2"), std::string::npos);
+  EXPECT_TRUE(result.growth_report.certified);
+}
+
+TEST(GrowthPassTest, UnguardedDecrementFallsBackToTopologyProof) {
+  // Without the T > 0 guard the decreasing-argument proof must not fire;
+  // the hop still consumes a slow-state link edge, so the cycle is
+  // conditionally bounded (N803), not W801.
+  AnalysisResult result = AnalyzeSource(
+      "r1 probe(@N, S, T2) :- probe(@L, S, T), link(@L, N), T2 := T - 1.\n"
+      "r2 seen(@L, S) :- probe(@L, S, T).\n",
+      WithGrowthNotes());
+  EXPECT_EQ(FindCode(result, "W801"), nullptr);
+  const Diagnostic* note = FindCode(result, "N803");
+  ASSERT_NE(note, nullptr);
+  EXPECT_NE(note->message.find("topology"), std::string::npos);
+  ASSERT_EQ(result.growth_report.cycles.size(), 1u);
+  EXPECT_EQ(result.growth_report.cycles[0].proof, "topology");
+  EXPECT_TRUE(result.growth_report.cycles[0].conditional);
+  EXPECT_TRUE(result.growth_report.certified);
+}
+
+TEST(GrowthPassTest, IdentitySelfLoopIsProvablyDivergent) {
+  AnalysisResult result = AnalyzeSource(
+      "r1 ping(@L, X) :- ping(@L, X), peer(@L, X).\n", WithGrowthNotes());
+  const Diagnostic* e = FindCode(result, "E804");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->severity, Severity::kError);
+  EXPECT_NE(e->message.find("divergent"), std::string::npos);
+  EXPECT_EQ(FindCode(result, "W801"), nullptr);
+  EXPECT_EQ(FindCode(result, "N804"), nullptr);
+  ASSERT_EQ(result.growth_report.cycles.size(), 1u);
+  EXPECT_TRUE(result.growth_report.cycles[0].divergent);
+  EXPECT_FALSE(result.growth_report.certified);
+}
+
+TEST(GrowthPassTest, NonRecursiveProgramGetsAcyclicCertification) {
+  AnalysisResult result = AnalyzeSource(
+      "r1 mid(@N, X) :- start(@L, X), hop(@L, N).\n"
+      "r2 done(@L, X) :- mid(@L, X).\n",
+      WithGrowthNotes());
+  const Diagnostic* cert = FindCode(result, "N804");
+  ASSERT_NE(cert, nullptr);
+  EXPECT_NE(cert->message.find("acyclic"), std::string::npos);
+  EXPECT_FALSE(result.growth_report.recursive);
+  EXPECT_TRUE(result.growth_report.certified);
+  EXPECT_TRUE(result.growth_report.cycles.empty());
+  EXPECT_EQ(result.growth_report.max_chain_depth, 2u);
+}
+
+TEST(GrowthPassTest, GrowthPassSkippedWhenFrontHalfHasErrors) {
+  // E103 (broken chain) suppresses the back half, including pass 8: no
+  // W801/E804 on a program that could not be validated.
+  AnalysisResult result = AnalyzeSource(
+      "r1 tick(@L, C2) :- tick(@L, C), clock(@L, T), C2 := C + T.\n"
+      "r2 other(@L, X) :- unrelated(@L, X).\n",
+      WithGrowthNotes());
+  ASSERT_NE(FindCode(result, "E103"), nullptr);
+  EXPECT_EQ(FindCode(result, "W801"), nullptr);
+  EXPECT_EQ(FindCode(result, "N804"), nullptr);
+  EXPECT_TRUE(result.growth_report.empty());
+}
+
+}  // namespace
+}  // namespace dpc

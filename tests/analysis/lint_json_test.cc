@@ -360,6 +360,146 @@ TEST(LintJsonTest, ShardReportRoundTripsThroughAParser) {
   EXPECT_EQ(RenderJson(plain).find("\"shards\""), std::string::npos);
 }
 
+TEST(LintJsonTest, GrowthReportRoundTripsThroughAParser) {
+  LintOptions options;
+  options.print_growth = true;
+  options.analyzer.growth_notes = true;
+  std::vector<FileLint> results;
+  results.push_back(LintSource(
+      "fwd.ndlog",
+      "r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).\n"
+      "r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.\n",
+      options));
+
+  std::string json = RenderJson(results);
+  JsonParser parser(json);
+  auto root = parser.Parse();
+  ASSERT_FALSE(parser.failed()) << json;
+
+  const JsonValue& file = *root->at("files").array[0];
+  const JsonValue& growth = file.at("growth");
+  ASSERT_EQ(growth.kind, JsonValue::Kind::kObject);
+  EXPECT_TRUE(growth.at("recursive").boolean);
+  EXPECT_TRUE(growth.at("certified").boolean);
+  EXPECT_EQ(growth.at("max_chain_depth").number, 2);
+  const JsonValue& cycles = growth.at("cycles");
+  ASSERT_EQ(cycles.array.size(), 1u);
+  const JsonValue& cycle = *cycles.array[0];
+  EXPECT_EQ(cycle.at("path").str, "packet -> packet");
+  ASSERT_EQ(cycle.at("rules").array.size(), 1u);
+  EXPECT_EQ(cycle.at("rules").array[0]->str, "r1");
+  EXPECT_EQ(cycle.at("proof").str, "finite-support");
+  EXPECT_TRUE(cycle.at("bounded").boolean);
+  EXPECT_FALSE(cycle.at("conditional").boolean);
+  EXPECT_FALSE(cycle.at("divergent").boolean);
+
+  // The text rendering carries the same report when requested.
+  std::string text = RenderText(results, options);
+  EXPECT_NE(text.find("derivation growth"), std::string::npos) << text;
+  EXPECT_NE(text.find("packet -> packet"), std::string::npos) << text;
+
+  // Without --growth the section is absent entirely.
+  LintOptions off;
+  std::vector<FileLint> plain;
+  plain.push_back(LintSource(
+      "fwd.ndlog",
+      "r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).\n"
+      "r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.\n",
+      off));
+  EXPECT_EQ(RenderJson(plain).find("\"growth\""), std::string::npos);
+}
+
+TEST(LintJsonTest, StorageReportRoundTripsThroughAParser) {
+  LintOptions options;
+  options.print_storage = true;
+  options.analyzer.storage = true;
+  std::vector<FileLint> results;
+  results.push_back(LintSource(
+      "fwd.ndlog",
+      "r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).\n"
+      "r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.\n",
+      options));
+
+  std::string json = RenderJson(results);
+  JsonParser parser(json);
+  auto root = parser.Parse();
+  ASSERT_FALSE(parser.failed()) << json;
+
+  const JsonValue& file = *root->at("files").array[0];
+  const JsonValue& storage = file.at("storage");
+  ASSERT_EQ(storage.kind, JsonValue::Kind::kObject);
+  EXPECT_GT(storage.at("events").number, 0);
+  EXPECT_GT(storage.at("classes").number, 0);
+  const JsonValue& rules = storage.at("rules");
+  ASSERT_EQ(rules.array.size(), 2u);
+  EXPECT_EQ(rules.array[0]->at("rule").str, "r1");
+  EXPECT_GT(rules.array[0]->at("exspan_bytes").number, 0);
+  EXPECT_GT(rules.array[0]->at("advanced_bytes").number, 0);
+  const JsonValue& schemes = storage.at("schemes");
+  ASSERT_EQ(schemes.array.size(), 4u);
+  EXPECT_EQ(schemes.array[0]->at("scheme").str, "exspan");
+  EXPECT_EQ(schemes.array[1]->at("scheme").str, "basic");
+  EXPECT_EQ(schemes.array[2]->at("scheme").str, "advanced");
+  EXPECT_EQ(schemes.array[3]->at("scheme").str, "advanced-interclass");
+  for (const auto& s : schemes.array) {
+    EXPECT_GT(s->at("total").number, 0) << s->at("scheme").str;
+  }
+
+  // The text rendering carries the same report when requested.
+  std::string text = RenderText(results, options);
+  EXPECT_NE(text.find("storage model"), std::string::npos) << text;
+  EXPECT_NE(text.find("exspan"), std::string::npos) << text;
+
+  // Without --storage the section is absent entirely.
+  LintOptions off;
+  std::vector<FileLint> plain;
+  plain.push_back(LintSource(
+      "fwd.ndlog",
+      "r1 packet(@N, S, D, DT) :- packet(@L, S, D, DT), route(@L, D, N).\n"
+      "r2 recv(@L, S, D, DT)   :- packet(@L, S, D, DT), D == L.\n",
+      off));
+  EXPECT_EQ(RenderJson(plain).find("\"storage\""), std::string::npos);
+}
+
+TEST(LintJsonTest, JsonStaysValidOnEarlyErrorsWithAllReportsEnabled) {
+  // A parse failure (E001) and a front-half error (E103) both suppress the
+  // back-half passes; the JSON must remain well-formed with every opt-in
+  // report requested, just without the growth/storage sections.
+  LintOptions options;
+  options.print_keys = true;
+  options.print_plan = true;
+  options.print_shard = true;
+  options.print_growth = true;
+  options.print_storage = true;
+  options.analyzer.plan_notes = true;
+  options.analyzer.shard = true;
+  options.analyzer.growth_notes = true;
+  options.analyzer.storage = true;
+
+  std::vector<FileLint> results;
+  results.push_back(LintSource("broken.ndlog", "not ndlog at all", options));
+  results.push_back(LintSource(
+      "chain.ndlog",
+      "r1 a(@L, X) :- b(@L, X), s(@L, X).\n"
+      "r2 c(@L, X) :- d(@L, X), s(@L, X).\n",
+      options));
+
+  std::string json = RenderJson(results);
+  JsonParser parser(json);
+  auto root = parser.Parse();
+  ASSERT_FALSE(parser.failed()) << json;
+  ASSERT_EQ(root->at("files").array.size(), 2u);
+  EXPECT_GT(root->at("errors").number, 0);
+  EXPECT_EQ(json.find("\"growth\""), std::string::npos);
+  EXPECT_EQ(json.find("\"storage\""), std::string::npos);
+
+  // Rendering text with every section requested must not crash either.
+  EXPECT_FALSE(RenderText(results, options).empty());
+
+  // And the exit code reports failure regardless of --werror.
+  EXPECT_EQ(LintExitCode(results, options), 1);
+}
+
 TEST(LintJsonTest, JsonEscapeHandlesSpecials) {
   EXPECT_EQ(JsonEscape("plain"), "plain");
   EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");

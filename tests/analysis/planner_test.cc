@@ -231,6 +231,35 @@ TEST(PlanPassTest, RuleDownstreamOfNeverFiringRuleIsW603) {
   EXPECT_EQ(w603, 1u);
 }
 
+TEST(PlanPassTest, MutuallyRecursiveDeadGroupIsFullyW603) {
+  // r2 and r3 derive each other's triggers, but the only path into the
+  // group runs through the always-false r1. The reachability fixpoint must
+  // not let the group bootstrap itself off its own heads: both members are
+  // dead, and each gets its own W603.
+  AnalysisResult res = AnalyzeSource(
+      "r1 c(@L, X) :- a(@L, X), s(@L, X), 1 == 2.\n"
+      "r2 d(@L, X) :- c(@L, X), s(@L, X).\n"
+      "r3 c(@L, X) :- d(@L, X), s(@L, X).\n",
+      AnalyzerOptions{});
+  EXPECT_TRUE(HasCode(res, "W402")) << RenderCodes(CodesOf(res));
+  std::vector<int> w603_lines;
+  for (const Diagnostic& d : res.diagnostics) {
+    if (d.code == "W603") w603_lines.push_back(d.loc.line);
+  }
+  EXPECT_EQ(w603_lines, (std::vector<int>{2, 3}));
+}
+
+TEST(PlanPassTest, LiveMutualRecursionIsNotW603) {
+  // The same shape with a live entry edge: nothing is dead.
+  AnalysisResult res = AnalyzeSource(
+      "r1 c(@L, X) :- a(@L, X), s(@L, X).\n"
+      "r2 d(@L, X) :- c(@L, X), s(@L, X).\n"
+      "r3 c(@L, X) :- d(@L, X), s(@L, X).\n",
+      AnalyzerOptions{});
+  EXPECT_FALSE(HasCode(res, "W603")) << RenderCodes(CodesOf(res));
+  EXPECT_FALSE(HasCode(res, "W402"));
+}
+
 TEST(PlanPassTest, PlanNotesEmitN604AndFillTheReport) {
   AnalyzerOptions options;
   options.plan_notes = true;

@@ -1,0 +1,292 @@
+// Differential validation of the pass-9 static storage model: for the two
+// worked examples and for a family of random chain DELPs, EstimateStorage's
+// per-scheme, per-component byte predictions must agree with the bytes the
+// real recorders measure (Testbed::TotalStorage) within the model's stated
+// error bound. The workload parameters are chosen so every model assumption
+// (trigger rates, class counts, value widths) is exactly realizable.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/analysis/cost_model.h"
+#include "src/analysis/planner.h"
+#include "src/apps/testbed.h"
+#include "src/util/rng.h"
+
+namespace dpc {
+namespace {
+
+using apps::Scheme;
+using apps::Testbed;
+
+std::string ReadExample(const std::string& name) {
+  // The test may run from the repo root, build/ or build/tests.
+  std::ifstream in;
+  for (const char* prefix : {"", "../", "../../", "../../../"}) {
+    in.open(std::string(prefix) + "examples/ndlog/" + name);
+    if (in.good()) break;
+    in.close();
+    in.clear();
+  }
+  EXPECT_TRUE(in.good()) << "cannot open examples/ndlog/" << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+const SchemeStorageReport& SchemeNamed(const StorageReport& rep,
+                                       const std::string& name) {
+  for (const SchemeStorageReport& s : rep.schemes) {
+    if (s.scheme == name) return s;
+  }
+  ADD_FAILURE() << "no scheme named " << name;
+  static SchemeStorageReport empty;
+  return empty;
+}
+
+// The model's stated contract: each predicted component is within
+// `rel` (StorageParams::error_bound) of the measured bytes, with a small
+// absolute allowance for components of a few table rows where a single
+// row is already a large fraction of the total.
+void ExpectClose(double model, size_t measured, double rel,
+                 const std::string& what) {
+  double m = static_cast<double>(measured);
+  double tol = std::max(rel * m, 192.0);
+  EXPECT_NEAR(model, m, tol) << what << ": model " << model << " vs measured "
+                             << m;
+}
+
+void ExpectSchemeClose(const SchemeStorageReport& model,
+                       const StorageBreakdown& measured, double rel,
+                       const std::string& label) {
+  ExpectClose(model.prov, measured.prov, rel, label + " prov");
+  ExpectClose(model.rule_exec, measured.rule_exec, rel, label + " rule_exec");
+  ExpectClose(model.event_store, measured.event_store, rel,
+              label + " event_store");
+  ExpectClose(model.tuple_store, measured.tuple_store, rel,
+              label + " tuple_store");
+  ExpectClose(model.total(), measured.Total(), rel, label + " total");
+}
+
+StorageBreakdown Measure(const Program& program, const Topology& topo,
+                         Scheme scheme, const std::vector<Tuple>& slow,
+                         const std::vector<Tuple>& events) {
+  auto bed_or = Testbed::Create(program, &topo, scheme);
+  EXPECT_TRUE(bed_or.ok()) << bed_or.status().ToString();
+  if (!bed_or.ok()) return {};
+  auto bed = std::move(bed_or).value();
+  for (const Tuple& t : slow) {
+    EXPECT_TRUE(bed->system().InsertSlowTuple(t).ok()) << t.ToString();
+  }
+  // Inject well after the slow inserts so the advanced recorders' class
+  // caches are not reset mid-workload (slow updates broadcast a reset).
+  double t = 0.5;
+  for (const Tuple& e : events) {
+    EXPECT_TRUE(bed->system().ScheduleInject(e, t).ok()) << e.ToString();
+    t += 0.001;
+  }
+  bed->system().Run();
+  return bed->TotalStorage();
+}
+
+struct SchemePair {
+  const char* name;
+  Scheme scheme;
+};
+
+constexpr SchemePair kSchemes[] = {
+    {"exspan", Scheme::kExspan},
+    {"basic", Scheme::kBasic},
+    {"advanced", Scheme::kAdvanced},
+    {"advanced-interclass", Scheme::kAdvancedInterClass},
+};
+
+// §2's packet-forwarding DELP on an 8-node line: 40 packets injected at
+// node 0 all travel 7 hops to node 7, so recursion_depth is exactly 7 and
+// every route row is referenced. All packets share (location, D) — one
+// equivalence class.
+TEST(StorageModelTest, ForwardingDifferential) {
+  auto program_or = Program::Parse(ReadExample("forwarding.ndlog"));
+  ASSERT_TRUE(program_or.ok()) << program_or.status().ToString();
+  const Program& program = *program_or;
+
+  const int n = 8;
+  const int kEvents = 40;
+  Topology topo;
+  topo.AddNodes(n);
+  for (int x = 0; x + 1 < n; ++x) {
+    ASSERT_TRUE(topo.AddLink(x, x + 1, LinkProps{0.001, 1e9}).ok());
+  }
+  topo.ComputeRoutes();
+
+  std::vector<Tuple> slow;
+  for (int x = 0; x + 1 < n; ++x) {
+    slow.push_back(
+        Tuple::Make("route", x, {Value::Int(n - 1), Value::Int(x + 1)}));
+  }
+  std::vector<Tuple> events;
+  for (int i = 0; i < kEvents; ++i) {
+    events.push_back(Tuple::Make(
+        "packet", 0, {Value::Int(i), Value::Int(n - 1), Value::Int(i)}));
+  }
+
+  StorageParams params;
+  params.events = kEvents;
+  params.recursion_depth = n - 1;
+  params.class_fraction = 1.0 / kEvents;
+  params.slow_rows = n - 1;
+  params.value_bytes = 2.0;  // all attributes are ints < 64
+
+  StorageReport rep =
+      EstimateStorage(program, PlanRules(program.rules()), params);
+  ASSERT_FALSE(rep.empty());
+  EXPECT_DOUBLE_EQ(rep.events, kEvents);
+  EXPECT_NEAR(rep.classes, 1.0, 1e-9);
+
+  for (const SchemePair& s : kSchemes) {
+    StorageBreakdown measured = Measure(program, topo, s.scheme, slow, events);
+    ExpectSchemeClose(SchemeNamed(rep, s.name), measured, rep.error_bound,
+                      std::string("forwarding/") + s.name);
+  }
+}
+
+// §6's DNS DELP on a 5-node line: host 0, root server 1, a three-step
+// delegation chain over nameServer rows at nodes 1..3, and the address
+// records at node 4. Twenty same-length URLs, each its own equivalence
+// class (class_fraction 1), delegation depth exactly 3.
+TEST(StorageModelTest, DnsDifferential) {
+  auto program_or = Program::Parse(ReadExample("dns.ndlog"));
+  ASSERT_TRUE(program_or.ok()) << program_or.status().ToString();
+  const Program& program = *program_or;
+
+  const int kEvents = 20;
+  const int kDepth = 3;
+  Topology topo;
+  topo.AddNodes(kDepth + 2);
+  for (int x = 0; x + 1 < kDepth + 2; ++x) {
+    ASSERT_TRUE(topo.AddLink(x, x + 1, LinkProps{0.001, 1e9}).ok());
+  }
+  topo.ComputeRoutes();
+
+  std::vector<std::string> urls;
+  for (int i = 0; i < kEvents; ++i) {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "u%02d.com", i);
+    urls.emplace_back(buf);
+  }
+
+  std::vector<Tuple> slow;
+  slow.push_back(Tuple::Make("rootServer", 0, {Value::Int(1)}));
+  for (int j = 1; j <= kDepth; ++j) {
+    slow.push_back(
+        Tuple::Make("nameServer", j, {Value::Str("com"), Value::Int(j + 1)}));
+  }
+  for (int i = 0; i < kEvents; ++i) {
+    slow.push_back(Tuple::Make("addressRecord", kDepth + 1,
+                               {Value::Str(urls[i]), Value::Int(40 + i)}));
+  }
+  std::vector<Tuple> events;
+  for (int i = 0; i < kEvents; ++i) {
+    events.push_back(
+        Tuple::Make("url", 0, {Value::Str(urls[i]), Value::Int(i)}));
+  }
+
+  StorageParams params;
+  params.events = kEvents;
+  params.recursion_depth = kDepth;
+  params.class_fraction = 1.0;  // every URL is distinct
+  params.slow_rows = static_cast<double>(slow.size());
+  params.value_bytes = 2.0;
+  // Mean serialized bytes per attribute, from the widths above (ints < 64
+  // are 2 bytes, a 7-char URL string is 9, "com" is 5).
+  params.value_bytes_by_relation = {
+      {"url", 13.0 / 3},           {"request", 15.0 / 4},
+      {"nameServer", 3.0},         {"addressRecord", 13.0 / 3},
+      {"dnsResult", 17.0 / 5},     {"reply", 15.0 / 4},
+      {"rootServer", 2.0},
+  };
+
+  StorageReport rep =
+      EstimateStorage(program, PlanRules(program.rules()), params);
+  ASSERT_FALSE(rep.empty());
+  EXPECT_NEAR(rep.classes, kEvents, 1e-9);
+
+  for (const SchemePair& s : kSchemes) {
+    StorageBreakdown measured = Measure(program, topo, s.scheme, slow, events);
+    ExpectSchemeClose(SchemeNamed(rep, s.name), measured, rep.error_bound,
+                      std::string("dns/") + s.name);
+  }
+}
+
+// Random single-node chain DELPs: rule i joins the event on A against a
+// slow table s{i} holding exactly one row per residue, so the trigger rate
+// of every rule is exactly 1 and the class count is exactly distinct_a.
+// The model must track the measured bytes for every scheme and component.
+class RandomChainStorageTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomChainStorageTest, ModelMatchesMeasurement) {
+  Rng rng(GetParam() * 2654435761ULL + 99);
+  const int k = 1 + static_cast<int>(rng.NextBelow(4));
+  const int distinct_a = 1 + static_cast<int>(rng.NextBelow(6));
+  const int num_events = 20 + static_cast<int>(rng.NextBelow(30));
+
+  std::string src;
+  for (int i = 1; i <= k; ++i) {
+    src += "r" + std::to_string(i) + " e" + std::to_string(i) +
+           "(@L, A, B) :- e" + std::to_string(i - 1) +
+           "(@L, A, B), s" + std::to_string(i) + "(@L, A).\n";
+  }
+  SCOPED_TRACE(src);
+
+  auto program_or = Program::Parse(src);
+  ASSERT_TRUE(program_or.ok()) << program_or.status().ToString();
+  const Program& program = *program_or;
+
+  Topology topo;
+  topo.AddNodes(1);
+  topo.ComputeRoutes();
+
+  std::vector<Tuple> slow;
+  for (int i = 1; i <= k; ++i) {
+    for (int a = 0; a < distinct_a; ++a) {
+      slow.push_back(Tuple::Make("s" + std::to_string(i), 0, {Value::Int(a)}));
+    }
+  }
+  std::vector<Tuple> events;
+  for (int i = 0; i < num_events; ++i) {
+    events.push_back(Tuple::Make(
+        "e0", 0, {Value::Int(i % distinct_a), Value::Int(i)}));
+  }
+
+  StorageParams params;
+  params.events = num_events;
+  params.class_fraction = static_cast<double>(distinct_a) / num_events;
+  params.slow_rows = static_cast<double>(slow.size());
+  params.value_bytes = 2.0;  // ints stay below 64
+
+  StorageReport rep =
+      EstimateStorage(program, PlanRules(program.rules()), params);
+  ASSERT_FALSE(rep.empty());
+  EXPECT_NEAR(rep.classes, distinct_a, 1e-9);
+  ASSERT_EQ(rep.rules.size(), static_cast<size_t>(k));
+  for (const RuleStorageReport& r : rep.rules) {
+    EXPECT_NEAR(r.firings_per_event, 1.0, 1e-9) << r.rule_id;
+  }
+
+  for (const SchemePair& s : kSchemes) {
+    StorageBreakdown measured = Measure(program, topo, s.scheme, slow, events);
+    ExpectSchemeClose(SchemeNamed(rep, s.name), measured, rep.error_bound,
+                      std::string("chain/") + s.name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomChainStorageTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace dpc

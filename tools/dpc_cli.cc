@@ -24,6 +24,8 @@
 // executing them:
 //
 //   dpc_cli lint [--werror] [-f text|json] [--keys] [--plan] [--shard]
+//                [--growth] [--storage] [--storage-events N]
+//                [--storage-depth D] [--storage-margin F]
 //                [--interest REL]... FILE...
 //
 // The trace subcommand runs a trace script with the observability layer
@@ -229,13 +231,33 @@ int RunLint(int argc, char** argv) {
     } else if (arg == "--shard") {
       options.print_shard = true;
       options.analyzer.shard = true;
+    } else if (arg == "--growth") {
+      options.print_growth = true;
+      options.analyzer.growth_notes = true;
+    } else if (arg == "--storage") {
+      options.print_storage = true;
+      options.analyzer.storage = true;
+    } else if (arg == "--storage-events") {
+      const char* v = next();
+      if (!v) return Fail("--storage-events needs a count");
+      options.analyzer.storage_params.events = std::atof(v);
+    } else if (arg == "--storage-depth") {
+      const char* v = next();
+      if (!v) return Fail("--storage-depth needs a recursion depth");
+      options.analyzer.storage_params.recursion_depth = std::atof(v);
+    } else if (arg == "--storage-margin") {
+      const char* v = next();
+      if (!v) return Fail("--storage-margin needs a fraction");
+      options.analyzer.storage_params.advanced_margin = std::atof(v);
     } else if (arg == "--interest") {
       const char* v = next();
       if (!v) return Fail("--interest needs a relation");
       options.analyzer.program.relations_of_interest.push_back(v);
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: dpc_cli lint [--werror] [-f text|json] [--keys] "
-                  "[--plan] [--shard] [--interest REL]... FILE...\n");
+                  "[--plan] [--shard] [--growth] [--storage] "
+                  "[--storage-events N] [--storage-depth D] "
+                  "[--storage-margin F] [--interest REL]... FILE...\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       return Fail("unknown lint flag " + arg + " (try dpc_cli lint --help)");
@@ -443,7 +465,8 @@ int Run(int argc, char** argv) {
                   "[--scheme NAME] [--stats] [--shards N] "
                   "[--interest REL]...\n"
                   "       dpc_cli lint [--werror] [-f text|json] [--keys] "
-                  "[--plan] [--shard] [--interest REL]... FILE...\n"
+                  "[--plan] [--shard] [--growth] [--storage] "
+                  "[--interest REL]... FILE...\n"
                   "       dpc_cli trace --program FILE --script FILE "
                   "[--scheme NAME] [--out trace.json] [--stats] "
                   "[--interest REL]...\n");
