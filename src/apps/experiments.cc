@@ -70,6 +70,7 @@ ExperimentResult RunExperiment(
   options.reliable_transport = config.reliable_transport;
   options.transport = config.transport;
   options.shards = config.shards;
+  options.batch_eval = config.batch_eval;
   options.trace_path = config.trace_path;
   options.metrics = config.metrics;
   auto bed_result =

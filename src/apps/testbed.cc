@@ -88,6 +88,7 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(Program program,
   bed->system_ = std::make_unique<System>(&bed->program_, topology, channel,
                                           &bed->queue_, DefaultFunctions(),
                                           bed->recorder_.get());
+  bed->system_->SetBatchEval(bed->options_.batch_eval);
 
   int shards = bed->options_.shards;
   if (shards < 1) shards = 1;

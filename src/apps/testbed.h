@@ -52,6 +52,12 @@ struct TestbedOptions {
   // timer cancellation is not cross-shard safe; see docs/concurrency.md).
   int shards = 1;
 
+  // Set-at-a-time batch evaluation (System::SetBatchEval): same-instant,
+  // same-(node, relation) events evaluate each rule plan once per batch.
+  // On by default; results are byte-identical either way (docs/perf.md),
+  // so this knob exists for differential testing and benchmarking.
+  bool batch_eval = true;
+
   // --- observability (src/obs) ---------------------------------------
   // When non-empty, the process tracer records this deployment (bound to
   // its event queue's simulated clock) and the Testbed writes the

@@ -29,8 +29,7 @@ uint64_t Table::KeyHashOf(const std::vector<Value>& key) {
   return h.hash();
 }
 
-const std::vector<size_t>* Table::ProbeBucket(
-    const IndexSignature& sig, const std::vector<Value>& key) const {
+const Table::HashIndex& Table::IndexFor(const IndexSignature& sig) const {
   auto it = indexes_.find(sig);
   if (it == indexes_.end()) {
     // First probe of this signature: index every slot, dead ones included,
@@ -42,8 +41,34 @@ const std::vector<size_t>* Table::ProbeBucket(
     }
     it = indexes_.emplace(sig, std::move(index)).first;
   }
-  auto bucket = it->second.buckets.find(KeyHashOf(key));
-  return bucket == it->second.buckets.end() ? nullptr : &bucket->second;
+  return it->second;
+}
+
+const std::vector<size_t>* Table::ProbeBucketByHash(const IndexSignature& sig,
+                                                    uint64_t key_hash) const {
+  const HashIndex& index = IndexFor(sig);
+  auto bucket = index.buckets.find(key_hash);
+  return bucket == index.buckets.end() ? nullptr : &bucket->second;
+}
+
+const std::vector<size_t>* Table::ProbeBucket(
+    const IndexSignature& sig, const std::vector<Value>& key) const {
+  return ProbeBucketByHash(sig, KeyHashOf(key));
+}
+
+void Table::CollectFromIndex(const HashIndex& index, uint64_t key_hash,
+                             std::vector<const TupleRef*>& out) const {
+  auto it = index.buckets.find(key_hash);
+  if (it == index.buckets.end()) return;
+  for (size_t row : it->second) {
+    const Slot& slot = rows_[row];
+    if (slot.live) out.push_back(&slot.tuple);
+  }
+}
+
+void Table::CollectMatchRefs(const IndexSignature& sig, uint64_t key_hash,
+                             std::vector<const TupleRef*>& out) const {
+  CollectFromIndex(IndexFor(sig), key_hash, out);
 }
 
 bool Table::Insert(const Tuple& t) {

@@ -98,6 +98,36 @@ class Table {
     }
   }
 
+  // One signature's lazily built hash index. Opaque to callers: obtain
+  // with IndexFor, probe with CollectFromIndex. Handles are stable across
+  // Insert/Erase (the index map's nodes never move and buckets are
+  // maintained incrementally); only table destruction invalidates them.
+  struct HashIndex {
+    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  };
+
+  // Resolves (building on first use) the index over `sig`, so repeated
+  // probes skip the per-probe signature lookup. The batch evaluator
+  // resolves each plan step's index once per batch.
+  const HashIndex& IndexFor(const IndexSignature& sig) const;
+
+  // Appends (in insertion order) the shared row handles of the live
+  // tuples in `key_hash`'s bucket of `index` (which must belong to this
+  // table). `key_hash` must have been produced the way KeyHashOf does
+  // (each key value's HashInto, in column order); buckets key on that
+  // hash alone, so callers must verify candidates by full unification as
+  // with ForEachMatchRef.
+  void CollectFromIndex(const HashIndex& index, uint64_t key_hash,
+                        std::vector<const TupleRef*>& out) const;
+
+  // IndexFor + CollectFromIndex in one call, for single probes.
+  void CollectMatchRefs(const IndexSignature& sig, uint64_t key_hash,
+                        std::vector<const TupleRef*>& out) const;
+
+  // FNV-1a over `key`'s values, matching the per-tuple hash the index
+  // buckets key on. Public so batch callers can hash once and probe many.
+  static uint64_t KeyHashOf(const std::vector<Value>& key);
+
   size_t size() const { return live_count_; }
   bool empty() const { return live_count_ == 0; }
 
@@ -114,21 +144,17 @@ class Table {
     TupleRef tuple;
     bool live;
   };
-  // Key hash -> indexes into rows_ (live and dead: slots are never
-  // physically removed, so buckets stay valid across Erase/re-Insert).
-  struct HashIndex {
-    std::unordered_map<uint64_t, std::vector<size_t>> buckets;
-  };
 
   // FNV-1a over the tuple's values at `sig`'s columns (out-of-range
   // columns are skipped; unification re-checks arity anyway).
   static uint64_t KeyHashOf(const IndexSignature& sig, const Tuple& t);
-  static uint64_t KeyHashOf(const std::vector<Value>& key);
 
   // Returns the bucket for `key` in the (lazily built) index over `sig`;
   // nullptr when no tuple matches.
   const std::vector<size_t>* ProbeBucket(const IndexSignature& sig,
                                          const std::vector<Value>& key) const;
+  const std::vector<size_t>* ProbeBucketByHash(const IndexSignature& sig,
+                                               uint64_t key_hash) const;
 
   // Shared insert body; `make_ref` is invoked only when the tuple is new.
   template <typename MakeRef>

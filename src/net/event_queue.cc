@@ -7,13 +7,21 @@
 
 namespace dpc {
 
+namespace {
+// The queue whose callback this thread is currently executing. Shard
+// workers each dispatch from their own queue, so thread_local is exact.
+thread_local EventQueue* tls_dispatching_queue = nullptr;
+}  // namespace
+
+EventQueue* EventQueue::Current() { return tls_dispatching_queue; }
+
 EventQueue::EventQueue()
     : dispatch_counter_(&GlobalMetrics().GetCounter("queue.events_dispatched")),
       past_schedule_counter_(
           &GlobalMetrics().GetCounter("queue.past_schedules")),
       tracer_(&Trace()) {}
 
-TimerId EventQueue::ScheduleAt(SimTime t, Callback fn) {
+TimerId EventQueue::ScheduleAtTagged(SimTime t, uint64_t tag, Callback fn) {
   if (t < now_) {
     // Clamp rather than rewind: time never runs backwards. Counted so a
     // shard engine misconfigured with too little lookahead is visible.
@@ -23,7 +31,7 @@ TimerId EventQueue::ScheduleAt(SimTime t, Callback fn) {
   }
   TimerId id = next_seq_++;
   live_.insert(id);
-  queue_.push(Entry{t, id, std::move(fn)});
+  queue_.push(Entry{t, id, tag, std::move(fn)});
   return id;
 }
 
@@ -48,14 +56,47 @@ bool EventQueue::RunNext() {
   queue_.pop();
   live_.erase(entry.seq);
   now_ = entry.time;
+  Dispatch(entry);
+  return true;
+}
+
+void EventQueue::Dispatch(Entry& entry) {
   ++dispatched_;
   dispatch_counter_->Increment();
+  EventQueue* prev = tls_dispatching_queue;
+  tls_dispatching_queue = this;
   if (tracer_->enabled()) {
     RunTraced(entry);
   } else {
     entry.fn();
   }
-  return true;
+  tls_dispatching_queue = prev;
+}
+
+uint64_t EventQueue::HeadTagAtNow() {
+  SkipCanceled();
+  if (queue_.empty() || queue_.top().time != now_) return 0;
+  return queue_.top().tag;
+}
+
+size_t EventQueue::DrainAtTime(uint64_t tag) {
+  if (tag == 0) return 0;
+  size_t n = 0;
+  for (;;) {
+    SkipCanceled();
+    if (queue_.empty()) break;
+    const Entry& head = queue_.top();
+    // Bitwise time equality is deliberately conservative: two float
+    // timestamps that differ at all are different instants, and a batch
+    // must never pull an event forward in simulated time.
+    if (head.time != now_ || head.tag != tag) break;
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    live_.erase(entry.seq);
+    Dispatch(entry);
+    ++n;
+  }
+  return n;
 }
 
 void EventQueue::RunTraced(Entry& entry) {

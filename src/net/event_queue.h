@@ -32,7 +32,16 @@ class EventQueue {
   // time never runs backwards, and under sharding a stale cross-shard
   // timestamp must not time-travel. The returned TimerId may be passed to
   // Cancel before the event fires.
-  TimerId ScheduleAt(SimTime t, Callback fn);
+  TimerId ScheduleAt(SimTime t, Callback fn) {
+    return ScheduleAtTagged(t, 0, std::move(fn));
+  }
+
+  // As ScheduleAt, carrying a batch tag: a nonzero tag marks the event as
+  // drainable into a same-(tag, time) batch by DrainAtTime. The runtime
+  // tags event deliveries with their (destination node, relation) so all
+  // same-predicate events landing at one node at one instant can be
+  // evaluated set-at-a-time (src/runtime/batch_eval.h).
+  TimerId ScheduleAtTagged(SimTime t, uint64_t tag, Callback fn);
 
   // Schedules `fn` `delay` seconds from now.
   TimerId ScheduleAfter(SimTime delay, Callback fn) {
@@ -81,10 +90,35 @@ class EventQueue {
   // Stale schedules clamped to now() over this queue's lifetime.
   uint64_t past_schedules() const { return past_schedules_; }
 
+  // --- batch-draining primitives (src/runtime/batch_eval.h) -------------
+
+  // The queue a callback on this thread is currently being dispatched
+  // from, or nullptr outside dispatch. Lets the runtime tell "I am the
+  // event the queue just popped" (safe to drain peers) from a direct call
+  // (e.g. a test feeding HandleMessage by hand — nothing to drain).
+  static EventQueue* Current();
+
+  // Tag of the earliest live entry if its time equals now(), else 0.
+  // Inside a dispatch this asks: does the very next event fire at this
+  // same instant, with this same tag?
+  uint64_t HeadTagAtNow();
+
+  // Runs — exactly as RunNext would, dispatch counter and trace span
+  // included — every contiguous head entry whose time equals now() and
+  // whose tag equals `tag` (nonzero), in sequence order. Stops at the
+  // first entry with a different time or tag, so the drain never crosses
+  // a same-instant untagged event (e.g. a slow-table update), never
+  // reorders relative to RunWindow/RunNext, and — since every drained
+  // entry fires at now(), inside the window that admitted the current
+  // event — never crosses a shard window boundary. Returns the number
+  // drained.
+  size_t DrainAtTime(uint64_t tag);
+
  private:
   struct Entry {
     SimTime time;
     uint64_t seq;
+    uint64_t tag;
     Callback fn;
   };
   struct Later {
@@ -99,6 +133,8 @@ class EventQueue {
   // Out-of-line traced dispatch, so RunNext's disabled-tracing path stays
   // a single predicted branch.
   void RunTraced(Entry& entry);
+  // Shared dispatch body: counters, Current() scope, traced-or-not run.
+  void Dispatch(Entry& entry);
 
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   // Ids scheduled but not yet fired or canceled; keeps Cancel a no-op for

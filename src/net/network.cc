@@ -73,12 +73,12 @@ SimTime Network::SimNow() const {
 }
 
 void Network::ScheduleAtNodeAfter(NodeId node, double delay,
-                                  std::function<void()> fn) {
+                                  std::function<void()> fn, uint64_t tag) {
   SimTime t = SimNow() + delay;
   if (engine_ != nullptr) {
-    engine_->ScheduleAtNode(node, t, std::move(fn));
+    engine_->ScheduleAtNode(node, t, std::move(fn), tag);
   } else {
-    queue_->ScheduleAt(t, std::move(fn));
+    queue_->ScheduleAtTagged(t, tag, std::move(fn));
   }
 }
 
@@ -97,10 +97,12 @@ void Network::Send(Message msg) {
   if (msg.tx_id == 0) msg.tx_id = ContentTxId(msg);
   ++AccountFor(msg.src).messages;
   if (msg.src == msg.dst) {
+    uint64_t tag = msg.batch_tag;
     ScheduleAtNodeAfter(msg.dst, local_delay_s_,
                         [this, m = std::move(msg)]() {
                           if (handler_) handler_(m);
-                        });
+                        },
+                        tag);
     return;
   }
   NodeId src = msg.src;
@@ -211,13 +213,19 @@ void Network::Forward(Message msg, NodeId at) {
   }
   double delay = link.latency_s +
                  static_cast<double>(wire) * 8.0 / link.bandwidth_bps;
-  ScheduleAtNodeAfter(next, delay, [this, m = std::move(msg), next]() mutable {
-    if (next == m.dst) {
-      if (handler_) handler_(m);
-    } else {
-      Forward(std::move(m), next);
-    }
-  });
+  // Only the final hop — the entry that invokes the delivery handler — is
+  // tagged; intermediate Forward hops never join a batch.
+  uint64_t tag = next == msg.dst ? msg.batch_tag : 0;
+  ScheduleAtNodeAfter(
+      next, delay,
+      [this, m = std::move(msg), next]() mutable {
+        if (next == m.dst) {
+          if (handler_) handler_(m);
+        } else {
+          Forward(std::move(m), next);
+        }
+      },
+      tag);
 }
 
 void Network::Broadcast(NodeId from, Message msg) {

@@ -51,6 +51,11 @@ struct Message {
   // ReliableTransport assigns a fresh id per (seq, attempt) so a
   // retransmission of identical bytes gets an independent draw.
   uint64_t tx_id = 0;
+  // Simulation-local batch tag (not serialized, no wire cost): nonzero on
+  // kEvent messages whose delivery may join a same-instant set-at-a-time
+  // batch at the destination (src/runtime/batch_eval.h). The tag rides to
+  // the final hop's queue entry; intermediate hops stay untagged.
+  uint64_t batch_tag = 0;
   std::vector<uint8_t> payload;
 
   size_t WireSize() const;
@@ -178,9 +183,10 @@ class Network : public MessageChannel {
   // Simulated time in the calling context: the executing shard's clock on
   // a worker, the engine's global clock (or queue time) otherwise.
   SimTime SimNow() const;
-  // Schedules `fn` at SimNow() + delay on the shard owning `node`.
+  // Schedules `fn` at SimNow() + delay on the shard owning `node`,
+  // carrying `tag` as the queue entry's batch tag.
   void ScheduleAtNodeAfter(NodeId node, double delay,
-                           std::function<void()> fn);
+                           std::function<void()> fn, uint64_t tag = 0);
 
   const Topology* topology_;
   EventQueue* queue_;

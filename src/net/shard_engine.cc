@@ -85,19 +85,19 @@ SimTime ShardEngine::LocalNow() {
 }
 
 void ShardEngine::ScheduleAtNode(NodeId node, SimTime t,
-                                 EventQueue::Callback fn) {
+                                 EventQueue::Callback fn, uint64_t tag) {
   int dst = map_.shard_of(node);
   int cur = tls_current_shard;
   if (cur == dst || cur < 0) {
     // Same shard, or the idle coordinator (setup, global actions): the
     // destination queue is not concurrently running.
-    queues_[dst]->ScheduleAt(t, std::move(fn));
+    queues_[dst]->ScheduleAtTagged(t, tag, std::move(fn));
     return;
   }
   // Cross-shard from a worker mid-window: only this thread writes this
   // slot; the coordinator merges it at the barrier.
   mail_[static_cast<size_t>(dst) * map_.num_shards() + cur].mail.push_back(
-      Mail{t, std::move(fn)});
+      Mail{t, tag, std::move(fn)});
 }
 
 void ShardEngine::ScheduleGlobal(SimTime t, std::function<void()> fn) {
@@ -159,8 +159,8 @@ void ShardEngine::DrainMailboxes() {
     if (order.empty()) continue;
     std::sort(order.begin(), order.end());
     for (const auto& [t, src, i] : order) {
-      queues_[dst]->ScheduleAt(
-          t, std::move(mail_[static_cast<size_t>(dst) * n + src].mail[i].fn));
+      Mail& m = mail_[static_cast<size_t>(dst) * n + src].mail[i];
+      queues_[dst]->ScheduleAtTagged(t, m.tag, std::move(m.fn));
     }
     cross_shard_messages_ += order.size();
     cross_shard_counter_->IncrementAt(dst);

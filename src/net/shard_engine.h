@@ -97,8 +97,11 @@ class ShardEngine {
   // idle-coordinator) schedules go straight into the queue; cross-shard
   // schedules from a worker are mailbox pushes, merged at the next barrier
   // in (time, source shard, push index) order. The conservative window
-  // guarantees t is never in the destination's past.
-  void ScheduleAtNode(NodeId node, SimTime t, EventQueue::Callback fn);
+  // guarantees t is never in the destination's past. A nonzero `tag`
+  // reaches the destination queue as the entry's batch tag
+  // (EventQueue::ScheduleAtTagged) whichever path the schedule takes.
+  void ScheduleAtNode(NodeId node, SimTime t, EventQueue::Callback fn,
+                      uint64_t tag = 0);
 
   // Schedules `fn` to run on the coordinator thread, alone, at the first
   // barrier where every event with time < `t` has executed — before any
@@ -125,6 +128,7 @@ class ShardEngine {
  private:
   struct Mail {
     SimTime time;
+    uint64_t tag;
     EventQueue::Callback fn;
   };
   // One slot per (dst shard, src shard): only src's worker thread writes

@@ -42,6 +42,7 @@ const char* TraceCatName(TraceCat cat) {
     case TraceCat::kTransport: return "transport";
     case TraceCat::kQuery: return "query";
     case TraceCat::kShard: return "shard";
+    case TraceCat::kBatch: return "batch";
   }
   return "?";
 }

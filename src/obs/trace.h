@@ -51,6 +51,7 @@ enum class TraceCat : uint8_t {
   kTransport = 4,  // reliable-transport frames / retransmits / acks
   kQuery = 5,      // distributed provenance queries
   kShard = 6,      // shard-engine windows / barriers (shard_engine.h)
+  kBatch = 7,      // set-at-a-time batch plan executions (batch_eval.h)
 };
 
 const char* TraceCatName(TraceCat cat);

@@ -1,12 +1,19 @@
 #include "src/runtime/system.h"
 
 #include <chrono>
+#include <set>
+#include <utility>
 
 #include "src/net/shard_engine.h"
+#include "src/runtime/batch_eval.h"
 
 #include "src/util/logging.h"
 
 namespace dpc {
+
+thread_local std::vector<System::PendingEvent>* System::tls_collector_ =
+    nullptr;
+thread_local System* System::tls_collector_owner_ = nullptr;
 
 namespace {
 
@@ -44,6 +51,45 @@ System::System(const Program* program, const Topology* topology,
   metrics_.control_signals = &reg.GetCounter("system.control_signals");
   metrics_.malformed_messages = &reg.GetCounter("system.malformed_messages");
   metrics_.invalid_heads = &reg.GetCounter("system.invalid_heads");
+  metrics_.batch_size = &reg.GetHistogram("system.batch_size");
+  batched_firings_counters_.reserve(program_->rules().size());
+  for (const Rule& r : program_->rules()) {
+    batched_firings_counters_.push_back(
+        &reg.GetCounter("system.batched_firings." + r.id));
+  }
+  // Static batchability (docs/perf.md): a trigger relation batches only
+  // when no rule it triggers derives a head relation that any rule it
+  // triggers also conditions on — EmitOutput inserts heads into the local
+  // database synchronously, and a same-instant insert visible to later
+  // events under tuple-at-a-time must not be hidden by pre-collecting the
+  // batch. (Event heads are exempt implicitly: they travel through the
+  // network with a strictly positive local delay.)
+  {
+    std::set<std::string> trigger_relations;
+    for (const Rule& r : program_->rules()) {
+      trigger_relations.insert(r.EventAtom().relation);
+    }
+    uint64_t ordinal = 1;
+    for (const std::string& rel : trigger_relations) {
+      std::vector<const Rule*> triggered = program_->RulesTriggeredBy(rel);
+      std::set<std::string> condition_relations;
+      for (const Rule* r : triggered) {
+        for (size_t i = 0; i < r->atoms.size(); ++i) {
+          if (i != r->event_index) {
+            condition_relations.insert(r->atoms[i].relation);
+          }
+        }
+      }
+      bool batchable = true;
+      for (const Rule* r : triggered) {
+        if (condition_relations.count(r->head.relation) > 0) {
+          batchable = false;
+          break;
+        }
+      }
+      if (batchable) batch_relation_ids_.emplace(rel, ordinal++);
+    }
+  }
   tracer_ = &Trace();
   channel_->SetDeliveryHandler([this](const Message& msg) {
     Status st = HandleMessage(msg);
@@ -138,30 +184,151 @@ Status System::ScheduleInject(const Tuple& event, SimTime when) {
   if (replay_log_ != nullptr) {
     replay_log_->RecordInject(when, event);
   }
-  auto inject = [this, ev = MakeTupleRef(event), node]() {
+  uint64_t tag = BatchTagFor(node, event.relation());
+  auto inject = [this, ev = MakeTupleRef(event), node, tag]() {
     stats_.events_injected.fetch_add(1, std::memory_order_relaxed);
     metrics_.events_injected->IncrementAt(node);
-    ProvMeta meta;
-    if (recorder_ != nullptr) {
-      if (tracer_->enabled()) {
-        auto t0 = WallClock::now();
-        meta = recorder_->OnInject(node, ev);
-        tracer_->CompleteAt(node, TraceCat::kRecorder, "on_inject",
-                            NowFor(node),
-                            "\"wall_us\": " +
-                                std::to_string(WallMicrosSince(t0)));
-      } else {
-        meta = recorder_->OnInject(node, ev);
-      }
-    }
-    ProcessEvent(node, ev, meta);
+    Dispatch(node, ev, ProvMeta{}, /*is_arrival=*/false, tag);
   };
   if (engine_ != nullptr) {
-    engine_->ScheduleAtNode(node, when, std::move(inject));
+    engine_->ScheduleAtNode(node, when, std::move(inject), tag);
   } else {
-    queue_->ScheduleAt(when, std::move(inject));
+    queue_->ScheduleAtTagged(when, tag, std::move(inject));
   }
   return Status::OK();
+}
+
+uint64_t System::BatchTagFor(NodeId node, const std::string& relation) const {
+  if (!batch_eval_) return 0;
+  auto it = batch_relation_ids_.find(relation);
+  if (it == batch_relation_ids_.end()) return 0;
+  // (node + 1) keeps the tag nonzero for node 0; the ordinal separates
+  // relations landing at the same node at the same instant.
+  return (static_cast<uint64_t>(static_cast<uint32_t>(node + 1)) << 32) |
+         it->second;
+}
+
+ProvMeta System::RunEventHook(NodeId node, const TupleRef& tuple,
+                              const ProvMeta& meta, bool is_arrival) {
+  if (recorder_ == nullptr) return meta;
+  if (is_arrival) {
+    // Arrival-side provenance materialization (ExSPAN's shipped
+    // (RLoc, RID) row) happens here, on the destination's shard;
+    // terminal arrivals get theirs from EmitOutput's OnOutput.
+    recorder_->OnArrival(node, tuple, meta);
+    return meta;
+  }
+  if (tracer_->enabled()) {
+    auto t0 = WallClock::now();
+    ProvMeta m = recorder_->OnInject(node, tuple);
+    tracer_->CompleteAt(
+        node, TraceCat::kRecorder, "on_inject", NowFor(node),
+        "\"wall_us\": " + std::to_string(WallMicrosSince(t0)));
+    return m;
+  }
+  return recorder_->OnInject(node, tuple);
+}
+
+void System::Dispatch(NodeId node, const TupleRef& tuple, const ProvMeta& meta,
+                      bool is_arrival, uint64_t tag) {
+  if (tls_collector_ != nullptr) {
+    if (tls_collector_owner_ == this) {
+      // A batch drain is collecting on this thread: defer the event.
+      tls_collector_->push_back(PendingEvent{tuple, meta, is_arrival});
+      return;
+    }
+    // Another System's drain is in progress (shared queue, colliding
+    // tags): process tuple-at-a-time rather than nest a second drain.
+  } else if (batch_eval_ && tag != 0 &&
+             TryProcessBatch(node, tuple, meta, is_arrival, tag)) {
+    return;
+  }
+  ProvMeta m = RunEventHook(node, tuple, meta, is_arrival);
+  ProcessEvent(node, tuple, m);
+}
+
+bool System::TryProcessBatch(NodeId node, const TupleRef& tuple,
+                             const ProvMeta& meta, bool is_arrival,
+                             uint64_t tag) {
+  EventQueue* q = EventQueue::Current();
+  // Only the event the queue itself just popped may drain its peers: a
+  // direct HandleMessage call (tests, replay) has no queue context, and
+  // the next entry must fire at this same instant with this same tag.
+  if (q == nullptr || q->HeadTagAtNow() != tag) return false;
+  std::vector<PendingEvent> batch;
+  batch.push_back(PendingEvent{tuple, meta, is_arrival});
+  tls_collector_ = &batch;
+  tls_collector_owner_ = this;
+  q->DrainAtTime(tag);
+  tls_collector_ = nullptr;
+  tls_collector_owner_ = nullptr;
+  ProcessBatch(node, batch);
+  return true;
+}
+
+void System::ProcessBatch(NodeId node, std::vector<PendingEvent>& batch) {
+  metrics_.batch_size->Observe(static_cast<double>(batch.size()));
+  std::vector<const Rule*> rules =
+      program_->RulesTriggeredBy(batch.front().tuple->relation());
+  std::vector<const Tuple*> events;
+  events.reserve(batch.size());
+  for (const PendingEvent& pe : batch) events.push_back(pe.tuple.get());
+
+  // Phase A: evaluate each rule once over the whole batch. Pure — reads
+  // the local database only — so every event sees exactly the state it
+  // would have seen tuple-at-a-time (the static batchability guard rules
+  // out same-instant local inserts into probed relations).
+  bool tracing = tracer_->enabled();
+  std::vector<std::vector<BatchEventFirings>> results(rules.size());
+  for (size_t ri = 0; ri < rules.size(); ++ri) {
+    const Rule* rule = rules[ri];
+    size_t rule_index = static_cast<size_t>(rule - program_->rules().data());
+    auto eval_start = tracing ? WallClock::now() : WallClock::time_point{};
+    results[ri] = FireRuleBatched(*rule, plan_.rules[rule_index], events,
+                                  dbs_[node], functions_);
+    uint64_t firings = 0;
+    for (size_t e = 0; e < results[ri].size(); ++e) {
+      firings += FiringsOf(results[ri], e).size();
+    }
+    batched_firings_counters_[rule_index]->IncrementAt(node, firings);
+    if (tracing) {
+      tracer_->CompleteAt(
+          node, TraceCat::kBatch, "batch:" + rule->id, NowFor(node),
+          "\"batch_size\": " + std::to_string(batch.size()) +
+              ", \"firings\": " + std::to_string(firings) +
+              ", \"wall_us\": " + std::to_string(WallMicrosSince(eval_start)));
+    }
+  }
+
+  // Phase B: emit per event, in batch (= queue sequence) order — the
+  // identical interleaving of recorder hooks, sends and outputs as N
+  // separate dispatches, so downstream tie-breaks cannot diverge.
+  for (size_t e = 0; e < batch.size(); ++e) {
+    PendingEvent& pe = batch[e];
+    ProvMeta meta = RunEventHook(node, pe.tuple, pe.meta, pe.is_arrival);
+    for (size_t ri = 0; ri < rules.size(); ++ri) {
+      BatchEventFirings& own = results[ri][e];
+      if (!own.status.ok()) {
+        DPC_LOG(Error) << "rule " << rules[ri]->id
+                       << " failed: " << own.status.ToString();
+        continue;
+      }
+      // A memoized duplicate emits the representative's firings; a
+      // representative some duplicate still needs keeps its firings
+      // intact, so emission copies instead of moving out of them.
+      BatchEventFirings& bf =
+          own.same_as >= 0 ? results[ri][static_cast<size_t>(own.same_as)]
+                           : own;
+      for (RuleFiring& f : bf.firings) {
+        if (bf.shared) {
+          RuleFiring copy = f;
+          EmitFiring(node, *rules[ri], pe.tuple, meta, copy);
+        } else {
+          EmitFiring(node, *rules[ri], pe.tuple, meta, f);
+        }
+      }
+    }
+  }
 }
 
 void System::ProcessEvent(NodeId node, const TupleRef& tuple,
@@ -191,52 +358,56 @@ void System::ProcessEvent(NodeId node, const TupleRef& tuple,
       continue;
     }
     for (RuleFiring& f : *firings) {
-      stats_.rule_firings.fetch_add(1, std::memory_order_relaxed);
-      metrics_.rule_firings->IncrementAt(node);
-      // One allocation carries the head through the recorder, the local
-      // database / output record, and message construction.
-      TupleRef head = MakeTupleRef(std::move(f.head));
-      // A head built from untrusted event values can lack an integer
-      // location, or name a node outside the topology. Validate before
-      // the recorder hook (ExSPAN indexes per-node state by it) and
-      // drop the firing (counted) instead of aborting in
-      // Tuple::Location or walking off the node array.
-      if (!head->HasValidLocation() || head->Location() < 0 ||
-          head->Location() >= topology_->num_nodes()) {
-        metrics_.invalid_heads->IncrementAt(node);
-        DPC_LOG(Error) << "rule " << rule->id
-                       << " derived a head without a valid location: "
-                       << head->ToString();
-        continue;
-      }
-      ProvMeta head_meta = meta;
-      if (recorder_ != nullptr) {
-        if (tracing) {
-          auto t0 = WallClock::now();
-          head_meta = recorder_->OnRuleFired(node, *rule, tuple, meta,
-                                             f.slow_tuples, head);
-          tracer_->CompleteAt(node, TraceCat::kRecorder, "on_rule_fired",
-                              NowFor(node),
-                              "\"rule\": \"" + rule->id + "\", \"wall_us\": " +
-                                  std::to_string(WallMicrosSince(t0)));
-        } else {
-          head_meta = recorder_->OnRuleFired(node, *rule, tuple, meta,
-                                             f.slow_tuples, head);
-        }
-      }
-      NodeId head_loc = head->Location();
-      bool head_is_event =
-          !program_->RulesTriggeredBy(head->relation()).empty();
-      if (head_is_event) {
-        // The pipeline continues: ship (or locally deliver) the new event.
-        SendEvent(node, head, head_meta);
-      } else if (head_loc == node) {
-        EmitOutput(node, head, head_meta);
-      } else {
-        // Terminal output materialized remotely (e.g. DNS r4's reply).
-        SendEvent(node, head, head_meta);
-      }
+      EmitFiring(node, *rule, tuple, meta, f);
     }
+  }
+}
+
+void System::EmitFiring(NodeId node, const Rule& rule, const TupleRef& tuple,
+                        const ProvMeta& meta, RuleFiring& f) {
+  stats_.rule_firings.fetch_add(1, std::memory_order_relaxed);
+  metrics_.rule_firings->IncrementAt(node);
+  // One allocation carries the head through the recorder, the local
+  // database / output record, and message construction.
+  TupleRef head = MakeTupleRef(std::move(f.head));
+  // A head built from untrusted event values can lack an integer
+  // location, or name a node outside the topology. Validate before
+  // the recorder hook (ExSPAN indexes per-node state by it) and
+  // drop the firing (counted) instead of aborting in
+  // Tuple::Location or walking off the node array.
+  if (!head->HasValidLocation() || head->Location() < 0 ||
+      head->Location() >= topology_->num_nodes()) {
+    metrics_.invalid_heads->IncrementAt(node);
+    DPC_LOG(Error) << "rule " << rule.id
+                   << " derived a head without a valid location: "
+                   << head->ToString();
+    return;
+  }
+  ProvMeta head_meta = meta;
+  if (recorder_ != nullptr) {
+    if (tracer_->enabled()) {
+      auto t0 = WallClock::now();
+      head_meta = recorder_->OnRuleFired(node, rule, tuple, meta,
+                                         f.slow_tuples, head);
+      tracer_->CompleteAt(node, TraceCat::kRecorder, "on_rule_fired",
+                          NowFor(node),
+                          "\"rule\": \"" + rule.id + "\", \"wall_us\": " +
+                              std::to_string(WallMicrosSince(t0)));
+    } else {
+      head_meta = recorder_->OnRuleFired(node, rule, tuple, meta,
+                                         f.slow_tuples, head);
+    }
+  }
+  NodeId head_loc = head->Location();
+  bool head_is_event = !program_->RulesTriggeredBy(head->relation()).empty();
+  if (head_is_event) {
+    // The pipeline continues: ship (or locally deliver) the new event.
+    SendEvent(node, head, head_meta);
+  } else if (head_loc == node) {
+    EmitOutput(node, head, head_meta);
+  } else {
+    // Terminal output materialized remotely (e.g. DNS r4's reply).
+    SendEvent(node, head, head_meta);
   }
 }
 
@@ -276,6 +447,10 @@ void System::SendEvent(NodeId from, const TupleRef& tuple,
   msg.src = from;
   msg.dst = tuple->Location();
   msg.payload = EncodeEventPayload(*tuple, meta);
+  // Tag the delivery so same-instant arrivals of a batchable trigger
+  // relation drain into one batch at the destination (docs/perf.md). The
+  // network attaches the tag to the final-hop delivery entry only.
+  msg.batch_tag = BatchTagFor(msg.dst, tuple->relation());
   channel_->Send(std::move(msg));
 }
 
@@ -323,11 +498,7 @@ Status System::HandleMessage(const Message& msg) {
                         ? interner_.Intern(std::move(tuple).value())
                         : MakeTupleRef(std::move(tuple).value());
       if (!program_->RulesTriggeredBy(ev->relation()).empty()) {
-        // Arrival-side provenance materialization (ExSPAN's shipped
-        // (RLoc, RID) row) happens here, on the destination's shard;
-        // terminal arrivals get theirs from EmitOutput's OnOutput.
-        if (recorder_ != nullptr) recorder_->OnArrival(node, ev, meta);
-        ProcessEvent(node, ev, meta);
+        Dispatch(node, ev, meta, /*is_arrival=*/true, msg.batch_tag);
       } else {
         EmitOutput(node, ev, meta);
       }

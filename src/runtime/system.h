@@ -8,7 +8,9 @@
 #define DPC_RUNTIME_SYSTEM_H_
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "src/analysis/planner.h"
@@ -106,6 +108,15 @@ class System {
   void EnableInterning(bool enabled) { interning_enabled_ = enabled; }
   const TupleInterner& interner() const { return interner_; }
 
+  // Toggles set-at-a-time batch evaluation (on by default): same-instant,
+  // same-(node, relation) events drain into one batch whose rules are
+  // evaluated once per batch (src/runtime/batch_eval.h), with firings,
+  // recorder hooks and sends emitted in exactly the tuple-at-a-time order
+  // — provenance bytes, storage accounting and query answers are
+  // byte-identical either way (docs/perf.md).
+  void SetBatchEval(bool enabled) { batch_eval_ = enabled; }
+  bool batch_eval() const { return batch_eval_; }
+
   // Processes one incoming message as the channel's delivery handler
   // does. Public so tests can feed arbitrary peer bytes straight at the
   // runtime: a malformed event payload (undecodable tuple/meta, missing
@@ -134,6 +145,38 @@ class System {
   EventQueue& queue() { return *queue_; }
 
  private:
+  // One same-instant batch member awaiting deferred processing: the event
+  // plus everything Phase B needs to replay its hooks in original order.
+  struct PendingEvent {
+    TupleRef tuple;
+    ProvMeta meta;    // arrival meta; unused for injections
+    bool is_arrival;  // false: injection (OnInject produces the meta)
+  };
+
+  // Shared entry for injected and delivered trigger events. Appends to the
+  // active batch collector when one is draining, starts a batch when the
+  // queue's next entry carries the same tag, and otherwise processes the
+  // event tuple-at-a-time.
+  void Dispatch(NodeId node, const TupleRef& tuple, const ProvMeta& meta,
+                bool is_arrival, uint64_t tag);
+  bool TryProcessBatch(NodeId node, const TupleRef& tuple,
+                       const ProvMeta& meta, bool is_arrival, uint64_t tag);
+  // Phase A: per-rule set-at-a-time evaluation (pure; reads dbs_ only).
+  // Phase B: per event in batch order, pre-hooks then firing emission —
+  // the exact tuple-at-a-time sequence of recorder calls and sends.
+  void ProcessBatch(NodeId node, std::vector<PendingEvent>& batch);
+  // OnArrival (arrivals) / OnInject (injections, returns the meta).
+  ProvMeta RunEventHook(NodeId node, const TupleRef& tuple,
+                        const ProvMeta& meta, bool is_arrival);
+  // Routes one rule firing: counters, head validation, OnRuleFired, then
+  // send/output. Shared by ProcessEvent and ProcessBatch so emission is
+  // identical byte-for-byte on both paths.
+  void EmitFiring(NodeId node, const Rule& rule, const TupleRef& tuple,
+                  const ProvMeta& meta, RuleFiring& f);
+  // Batch tag for deliveries of `relation` at `node`; 0 when the relation
+  // is not statically batchable or batching is off.
+  uint64_t BatchTagFor(NodeId node, const std::string& relation) const;
+
   void ProcessEvent(NodeId node, const TupleRef& tuple, const ProvMeta& meta);
   void EmitOutput(NodeId node, const TupleRef& tuple, const ProvMeta& meta);
   void SendEvent(NodeId from, const TupleRef& tuple, const ProvMeta& meta);
@@ -155,8 +198,21 @@ class System {
 
   ReplayLog* replay_log_ = nullptr;
   bool interning_enabled_ = false;
+  bool batch_eval_ = true;
   TupleInterner interner_;
   ShardEngine* engine_ = nullptr;
+  // Statically batchable trigger relations -> tag ordinal (>= 1), computed
+  // once at construction. A trigger relation is batchable when no
+  // triggered rule derives a head that is a condition relation of a
+  // triggered rule — otherwise a same-instant local output could be
+  // visible to later batch members under tuple-at-a-time evaluation but
+  // not under a pre-collected batch. Read-only after the constructor.
+  std::map<std::string, uint64_t> batch_relation_ids_;
+  // The batch collector active on this thread, if any: DrainAtTime runs
+  // peers' queue entries whose Dispatch must append here instead of
+  // processing. Thread-local because shard workers batch independently.
+  static thread_local std::vector<PendingEvent>* tls_collector_;
+  static thread_local System* tls_collector_owner_;
   // Per-node state: confined to the shard owning the node (one thread at
   // a time; the engine's barriers order cross-window handoffs).
   std::vector<Database> dbs_;
@@ -182,7 +238,11 @@ class System {
     Counter* control_signals;
     Counter* malformed_messages;
     Counter* invalid_heads;
+    Histogram* batch_size;
   } metrics_;
+  // Firings produced via the batched path, one counter per program rule
+  // ("system.batched_firings.<rule id>"), indexed by rule position.
+  std::vector<Counter*> batched_firings_counters_;
   Tracer* tracer_;
 };
 

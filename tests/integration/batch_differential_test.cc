@@ -1,0 +1,301 @@
+// Batch-evaluation differential: set-at-a-time evaluation must be an
+// implementation detail. For the same program, topology, workload and
+// seed, a run with batch_eval on must produce byte-identical accounting,
+// storage, provenance query answers — and under injected loss the
+// identical drop set — as the tuple-at-a-time run, for every compression
+// scheme and at every shard count. Plus the same-instant ordering
+// regression: events landing at one simulated tick fire in schedule
+// (sequence) order whether or not they are drained into a batch.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "src/apps/dns.h"
+#include "src/apps/experiments.h"
+#include "src/apps/forwarding.h"
+#include "src/apps/testbed.h"
+#include "src/core/query.h"
+
+namespace dpc {
+namespace {
+
+using apps::ExperimentConfig;
+using apps::ExperimentResult;
+using apps::Scheme;
+using apps::Testbed;
+
+TransitStubTopology MakeTopo() {
+  TransitStubParams params;
+  params.num_transit = 2;
+  params.stubs_per_transit = 2;
+  params.nodes_per_stub = 4;
+  return MakeTransitStub(params);
+}
+
+// Field-by-field equality of two experiment runs' accounting (the same
+// identity the shard-determinism suite asserts across shard counts).
+void ExpectIdenticalResults(const ExperimentResult& a,
+                            const ExperimentResult& b,
+                            const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(a.events_injected, b.events_injected);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.total_network_bytes, b.total_network_bytes);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.dropped_messages, b.dropped_messages);
+  EXPECT_EQ(a.bandwidth_buckets, b.bandwidth_buckets);
+  EXPECT_EQ(a.snapshot_times, b.snapshot_times);
+  EXPECT_EQ(a.per_node_storage, b.per_node_storage);
+  EXPECT_EQ(a.final_storage.prov, b.final_storage.prov);
+  EXPECT_EQ(a.final_storage.rule_exec, b.final_storage.rule_exec);
+  EXPECT_EQ(a.final_storage.event_store, b.final_storage.event_store);
+  EXPECT_EQ(a.final_storage.tuple_store, b.final_storage.tuple_store);
+}
+
+// All four non-reference schemes: the paper's three plus inter-class
+// sharing. The batch path must be invisible to every one of them.
+constexpr Scheme kAllSchemes[] = {Scheme::kExspan, Scheme::kBasic,
+                                  Scheme::kAdvanced,
+                                  Scheme::kAdvancedInterClass};
+
+class BatchDifferentialTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(BatchDifferentialTest, ForwardingResultsIdenticalBatchedVsUnbatched) {
+  Scheme scheme = GetParam();
+  TransitStubTopology topo = MakeTopo();
+  // A fixed-count workload spread over the duration lands multiple
+  // packets on shared trunk nodes at coincident instants — batches form.
+  auto workload =
+      apps::MakeForwardingWorkload(topo, /*pairs=*/8, /*rate_pps=*/40,
+                                   /*duration_s=*/1.5, /*payload_len=*/64,
+                                   /*seed=*/7);
+  auto run = [&](bool batch_eval, int shards) {
+    ExperimentConfig config;
+    config.duration_s = 1.5;
+    config.snapshot_interval_s = 0.5;
+    config.shards = shards;
+    config.batch_eval = batch_eval;
+    config.metrics = false;
+    return apps::RunForwarding(scheme, topo, workload, config);
+  };
+  ExperimentResult batched = run(true, 1);
+  ASSERT_GT(batched.outputs, 0u);
+  ExpectIdenticalResults(batched, run(false, 1), "batched vs unbatched");
+  // And across shard counts: draining never crosses a shard window, so
+  // the sharded batched run equals the single-queue unbatched run.
+  ExpectIdenticalResults(batched, run(true, 8), "batched shards 1 vs 8");
+  ExpectIdenticalResults(batched, run(false, 8),
+                         "batched vs unbatched at 8 shards");
+}
+
+TEST_P(BatchDifferentialTest, DnsResultsIdenticalBatchedVsUnbatched) {
+  Scheme scheme = GetParam();
+  apps::DnsParams params;
+  params.num_servers = 24;
+  params.num_urls = 12;
+  params.trunk_depth = 8;
+  apps::DnsUniverse universe = apps::MakeDnsUniverse(params);
+  auto workload = apps::MakeDnsWorkload(universe, /*count=*/60,
+                                        /*rate_rps=*/50, /*zipf_theta=*/0.9,
+                                        /*seed=*/13);
+  auto run = [&](bool batch_eval) {
+    ExperimentConfig config;
+    config.duration_s = 60.0 / 50;
+    config.snapshot_interval_s = 0.4;
+    config.batch_eval = batch_eval;
+    config.metrics = false;
+    return apps::RunDns(scheme, universe, workload, config);
+  };
+  ExperimentResult batched = run(true);
+  ASSERT_GT(batched.outputs, 0u);
+  ExpectIdenticalResults(batched, run(false), "dns batched vs unbatched");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, BatchDifferentialTest, ::testing::ValuesIn(kAllSchemes),
+    [](const auto& info) {
+      // Gtest parameter names must be alphanumeric ("Advanced+InterClass"
+      // is not), so strip the punctuation out of the scheme name.
+      std::string name;
+      for (char c : std::string(apps::SchemeName(info.param))) {
+        if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9')) {
+          name += c;
+        }
+      }
+      return name;
+    });
+
+// Under hash-keyed loss the drop set is a pure function of (seed,
+// transmission, link); batching must not perturb a single transmission,
+// so the lossy batched run drops exactly the same traversals.
+TEST(BatchDifferentialLossTest, LossyRunsDropIdenticalSets) {
+  TransitStubTopology topo = MakeTopo();
+  auto workload = apps::MakeForwardingWorkload(topo, 8, 40, 1.5, 64, 11);
+  auto run = [&](bool batch_eval) {
+    ExperimentConfig config;
+    config.duration_s = 1.5;
+    config.snapshot_interval_s = 0.5;
+    config.loss_rate = 0.2;
+    config.loss_seed = 77;
+    config.batch_eval = batch_eval;
+    config.metrics = false;
+    return apps::RunForwarding(Scheme::kAdvanced, topo, workload, config);
+  };
+  ExperimentResult batched = run(true);
+  ASSERT_GT(batched.dropped_messages, 0u);
+  ASSERT_GT(batched.outputs, 0u);
+  ExpectIdenticalResults(batched, run(false), "lossy batched vs unbatched");
+}
+
+// Provenance queries answer identically with batching on or off: same
+// trees, same structure, for every delivered output — and outputs arrive
+// in the same order (AllOutputs is the recorded delivery sequence).
+TEST(BatchDifferentialQueryTest, QueryAnswersIdenticalBatchedVsUnbatched) {
+  TransitStubTopology topo = MakeTopo();
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+  Rng rng(5);
+  auto pairs = apps::PickCommunicatingPairs(topo, 6, rng);
+
+  auto run = [&](bool batch_eval) {
+    apps::TestbedOptions options;
+    options.batch_eval = batch_eval;
+    options.metrics = false;
+    auto bed = Testbed::Create(*program, &topo.graph, Scheme::kAdvanced,
+                               options);
+    EXPECT_TRUE(bed.ok());
+    for (auto [s, d] : pairs) {
+      EXPECT_TRUE(
+          apps::InstallRoutesForPair((*bed)->system(), topo.graph, s, d)
+              .ok());
+    }
+    // Several rounds at the SAME instant per round: maximal batches.
+    for (int round = 0; round < 4; ++round) {
+      for (auto [s, d] : pairs) {
+        EXPECT_TRUE((*bed)
+                        ->system()
+                        .ScheduleInject(
+                            apps::MakePacket(
+                                s, s, d,
+                                apps::MakePayload(32, round * 100 + s)),
+                            0.002 * (round + 1))
+                        .ok());
+      }
+    }
+    (*bed)->system().Run();
+    auto querier = (*bed)->MakeQuerier();
+    std::ostringstream answers;
+    for (const OutputRecord& out : (*bed)->system().AllOutputs()) {
+      answers << out.tuple.ToString() << " @" << out.time << "\n";
+      Vid evid = out.meta.evid;
+      auto res = querier->Query(out.tuple, &evid);
+      EXPECT_TRUE(res.ok()) << res.status().ToString();
+      if (!res.ok()) continue;
+      for (const ProvTree& tree : res->trees) {
+        answers << tree.ToString() << "\n";
+      }
+    }
+    return answers.str();
+  };
+
+  std::string batched = run(true);
+  ASSERT_FALSE(batched.empty());
+  EXPECT_EQ(batched, run(false));
+}
+
+// Same-instant ordering regression: injections scheduled out of arrival
+// order at one tick must fire in schedule (sequence) order — the batch
+// drain preserves the queue's tie-break, so the recorded output sequence
+// is identical with batching on and off.
+TEST(BatchOrderingTest, SameInstantInjectionsFireInScheduleOrder) {
+  TransitStubTopology topo = MakeTopo();
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+  Rng rng(9);
+  auto pairs = apps::PickCommunicatingPairs(topo, 6, rng);
+
+  auto run = [&](bool batch_eval) {
+    apps::TestbedOptions options;
+    options.batch_eval = batch_eval;
+    options.metrics = false;
+    auto bed = Testbed::Create(*program, &topo.graph, Scheme::kBasic,
+                               options);
+    EXPECT_TRUE(bed.ok());
+    for (auto [s, d] : pairs) {
+      EXPECT_TRUE(
+          apps::InstallRoutesForPair((*bed)->system(), topo.graph, s, d)
+              .ok());
+    }
+    // Everything at t = 0.5, deliberately scrambled across pairs: the
+    // injection sequence, not the pair order, defines the tie-break.
+    int seq = 0;
+    for (int round = 0; round < 3; ++round) {
+      for (size_t p = pairs.size(); p-- > 0;) {
+        auto [s, d] = pairs[p];
+        EXPECT_TRUE(
+            (*bed)
+                ->system()
+                .ScheduleInject(
+                    apps::MakePacket(s, s, d, apps::MakePayload(16, seq++)),
+                    0.5)
+                .ok());
+      }
+    }
+    (*bed)->system().Run();
+    std::ostringstream sequence;
+    for (const OutputRecord& out : (*bed)->system().AllOutputs()) {
+      sequence << out.tuple.ToString() << "\n";
+    }
+    EXPECT_GT((*bed)->system().AllOutputs().size(), 1u);
+    return sequence.str();
+  };
+
+  std::string batched = run(true);
+  ASSERT_FALSE(batched.empty());
+  EXPECT_EQ(batched, run(false));
+}
+
+// The differential only means something if batches actually form: with
+// metrics on, the batched run must record multi-event batches and
+// per-rule batched firings.
+TEST(BatchDifferentialTest2, BatchesActuallyFormOnCoincidentWorkload) {
+  TransitStubTopology topo = MakeTopo();
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+  Rng rng(5);
+  auto pairs = apps::PickCommunicatingPairs(topo, 6, rng);
+  apps::TestbedOptions options;
+  auto bed =
+      Testbed::Create(*program, &topo.graph, Scheme::kBasic, options);
+  ASSERT_TRUE(bed.ok());
+  for (auto [s, d] : pairs) {
+    ASSERT_TRUE(
+        apps::InstallRoutesForPair((*bed)->system(), topo.graph, s, d).ok());
+  }
+  for (auto [s, d] : pairs) {
+    ASSERT_TRUE((*bed)
+                    ->system()
+                    .ScheduleInject(
+                        apps::MakePacket(s, s, d, apps::MakePayload(16, s)),
+                        0.25)
+                    .ok());
+  }
+  (*bed)->system().Run();
+  MetricsSnapshot delta = (*bed)->MetricsDelta();
+  auto hist = delta.histograms.find("system.batch_size");
+  ASSERT_NE(hist, delta.histograms.end());
+  EXPECT_GT(hist->second.count, 0u);
+  EXPECT_GT(hist->second.max, 1.0);  // at least one multi-event batch
+  uint64_t batched_firings = 0;
+  for (const auto& [name, value] : delta.counters) {
+    if (name.rfind("system.batched_firings.", 0) == 0) {
+      batched_firings += value;
+    }
+  }
+  EXPECT_GT(batched_firings, 0u);
+}
+
+}  // namespace
+}  // namespace dpc

@@ -53,21 +53,25 @@ void ExpectIdenticalResults(const ExperimentResult& a,
   EXPECT_EQ(a.final_storage.tuple_store, b.final_storage.tuple_store);
 }
 
+// Parameterized over (scheme, seed, batch_eval): the shard identity must
+// hold with set-at-a-time evaluation on and off — batch drains never
+// cross a shard window, so sharding and batching compose.
 class ShardDeterminismTest
-    : public ::testing::TestWithParam<std::tuple<Scheme, uint64_t>> {};
+    : public ::testing::TestWithParam<std::tuple<Scheme, uint64_t, bool>> {};
 
 TEST_P(ShardDeterminismTest, ForwardingAccountingIdenticalAcrossShardCounts) {
-  auto [scheme, seed] = GetParam();
+  auto [scheme, seed, batch_eval] = GetParam();
   TransitStubTopology topo = MakeTopo();
   auto workload =
       apps::MakeForwardingWorkload(topo, /*pairs=*/8, /*rate_pps=*/40,
                                    /*duration_s=*/1.5, /*payload_len=*/64,
                                    seed);
-  auto run = [&](int shards) {
+  auto run = [&, batch_eval = batch_eval](int shards) {
     ExperimentConfig config;
     config.duration_s = 1.5;
     config.snapshot_interval_s = 0.5;
     config.shards = shards;
+    config.batch_eval = batch_eval;
     config.metrics = false;
     return apps::RunForwarding(scheme, topo, workload, config);
   };
@@ -78,7 +82,7 @@ TEST_P(ShardDeterminismTest, ForwardingAccountingIdenticalAcrossShardCounts) {
 }
 
 TEST_P(ShardDeterminismTest, DnsAccountingIdenticalAcrossShardCounts) {
-  auto [scheme, seed] = GetParam();
+  auto [scheme, seed, batch_eval] = GetParam();
   apps::DnsParams params;
   params.num_servers = 24;
   params.num_urls = 12;
@@ -87,11 +91,12 @@ TEST_P(ShardDeterminismTest, DnsAccountingIdenticalAcrossShardCounts) {
   auto workload = apps::MakeDnsWorkload(universe, /*count=*/60,
                                         /*rate_rps=*/50, /*zipf_theta=*/0.9,
                                         seed);
-  auto run = [&](int shards) {
+  auto run = [&, batch_eval = batch_eval](int shards) {
     ExperimentConfig config;
     config.duration_s = 60.0 / 50;
     config.snapshot_interval_s = 0.4;
     config.shards = shards;
+    config.batch_eval = batch_eval;
     config.metrics = false;
     return apps::RunDns(scheme, universe, workload, config);
   };
@@ -105,10 +110,12 @@ INSTANTIATE_TEST_SUITE_P(
     SchemesAndSeeds, ShardDeterminismTest,
     ::testing::Combine(::testing::Values(Scheme::kExspan, Scheme::kBasic,
                                          Scheme::kAdvanced),
-                       ::testing::Values(1u, 23u)),
+                       ::testing::Values(1u, 23u),
+                       ::testing::Bool()),
     [](const auto& info) {
       return std::string(apps::SchemeName(std::get<0>(info.param))) + "Seed" +
-             std::to_string(std::get<1>(info.param));
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "Batched" : "Unbatched");
     });
 
 // Under hash-keyed loss the drop set is a pure function of (seed,

@@ -154,6 +154,98 @@ TEST(EventQueueTest, CancelFromInsideCallback) {
   EXPECT_TRUE(q.empty());
 }
 
+TEST(EventQueueDrainTest, DrainsContiguousSameTagSameTimeRun) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAtTagged(1.0, 7, [&] {
+    order.push_back(0);
+    // Inside the dispatch of the first tag-7 event: the next three
+    // entries fire at this instant with this tag, so the drain runs
+    // exactly them, in schedule order, and stops at the tag-9 entry.
+    EXPECT_EQ(q.HeadTagAtNow(), 7u);
+    EXPECT_EQ(q.DrainAtTime(7), 3u);
+    EXPECT_EQ(q.HeadTagAtNow(), 9u);
+  });
+  for (int i = 1; i <= 3; ++i) {
+    q.ScheduleAtTagged(1.0, 7, [&order, i] { order.push_back(i); });
+  }
+  q.ScheduleAtTagged(1.0, 9, [&] { order.push_back(4); });
+  q.ScheduleAtTagged(1.0, 7, [&] { order.push_back(5); });  // after 9: kept
+  q.RunAll();
+  // The drain never reorders: the post-drain events still run in the
+  // exact sequence RunAll alone would have used.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(EventQueueDrainTest, DrainStopsAtLaterTimeAndUntaggedEvents) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAtTagged(1.0, 5, [&] {
+    order.push_back(0);
+    EXPECT_EQ(q.DrainAtTime(5), 1u);  // only the same-instant peer
+  });
+  q.ScheduleAtTagged(1.0, 5, [&order] { order.push_back(1); });
+  q.ScheduleAt(1.0, [&order] { order.push_back(2); });  // untagged barrier
+  q.ScheduleAtTagged(1.0, 5, [&order] { order.push_back(3); });
+  q.ScheduleAtTagged(2.0, 5, [&] {
+    order.push_back(4);
+    // Same tag, but the next entry is at a later time: nothing drains.
+    EXPECT_EQ(q.HeadTagAtNow(), 0u);
+    EXPECT_EQ(q.DrainAtTime(5), 0u);
+  });
+  q.ScheduleAtTagged(3.0, 5, [&order] { order.push_back(5); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueueDrainTest, DrainCountsDispatchesAndSkipsCanceled) {
+  EventQueue q;
+  int fired = 0;
+  q.ScheduleAtTagged(1.0, 3, [&] {
+    ++fired;
+    EXPECT_EQ(q.DrainAtTime(3), 1u);  // the canceled peer is not run
+  });
+  TimerId victim = q.ScheduleAtTagged(1.0, 3, [&] { ++fired; });
+  q.ScheduleAtTagged(1.0, 3, [&] { ++fired; });
+  q.Cancel(victim);
+  q.RunAll();
+  EXPECT_EQ(fired, 2);
+  // Drained entries count as dispatches exactly as RunNext would count
+  // them (replay and trace accounting key off this).
+  EXPECT_EQ(q.dispatched(), 2u);
+}
+
+TEST(EventQueueDrainTest, DrainNeverCrossesRunWindowBoundary) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAtTagged(1.0, 4, [&] {
+    order.push_back(0);
+    // Drained peers fire at now(), which is strictly inside the window
+    // that admitted this event — entries at the window edge have a later
+    // time and are left alone.
+    EXPECT_EQ(q.DrainAtTime(4), 1u);
+  });
+  q.ScheduleAtTagged(1.0, 4, [&order] { order.push_back(1); });
+  q.ScheduleAtTagged(2.0, 4, [&order] { order.push_back(2); });
+  // RunWindow pops one entry itself; the drain dispatched the peer from
+  // inside that entry's callback (both count in dispatched()).
+  EXPECT_EQ(q.RunWindow(/*end_exclusive=*/2.0), 1u);
+  EXPECT_EQ(q.dispatched(), 2u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(q.pending(), 1u);  // the t=2.0 event stayed for the next window
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueueDrainTest, CurrentIsSetOnlyDuringDispatch) {
+  EXPECT_EQ(EventQueue::Current(), nullptr);
+  EventQueue q;
+  q.ScheduleAt(1.0, [&] { EXPECT_EQ(EventQueue::Current(), &q); });
+  q.RunAll();
+  EXPECT_EQ(EventQueue::Current(), nullptr);
+}
+
 TEST(EventQueueTest, MaxEventsGuardStops) {
   EventQueue q;
   int fired = 0;
