@@ -1,0 +1,271 @@
+// Durability-cost benchmark for the WAL layer: a fig09-style forwarding
+// run per paper scheme with journaling off, on, and on-with-checkpoints
+// (wall-clock overhead of the write-ahead log), plus recovery latency as
+// a function of WAL tail length — cold replay of the whole log and
+// checkpoint-plus-tail replay. Prints a JSON report; the checked-in
+// snapshot lives at BENCH_recovery.json.
+//
+// Scale knobs: DPC_PAIRS, DPC_RATE, DPC_DURATION (overhead section);
+// DPC_RECOVERY_MAX_ROUNDS (latency section).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/apps/experiments.h"
+#include "src/apps/forwarding.h"
+#include "src/apps/testbed.h"
+#include "src/core/wal_recorder.h"
+#include "src/util/logging.h"
+
+namespace dpc {
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point start,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+// Scoped temp dir for the WAL files of one benchmark case.
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/dpc-recovery-bench-XXXXXX";
+    DPC_CHECK(mkdtemp(tmpl) != nullptr);
+    path_ = tmpl;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+size_t DirBytes(const std::string& dir) {
+  size_t total = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+// --- WAL overhead on an end-to-end forwarding run ---------------------------
+
+struct OverheadCase {
+  std::string scheme;
+  double wall_off_s = 0;
+  double wall_wal_s = 0;
+  double wall_wal_buffered_s = 0;
+  double wall_wal_ckpt_s = 0;
+  double overhead_pct = 0;           // flush-per-record journaling
+  double buffered_overhead_pct = 0;  // group-commit journaling
+  double ckpt_overhead_pct = 0;      // journaling + periodic checkpoints
+  // Journaling cost as a share of the SIMULATED duration — what the same
+  // absolute cost would mean for a deployment processing this workload in
+  // real time (the simulator baseline runs ~30x faster than real time, so
+  // overhead_pct against it is a worst case).
+  double cost_pct_of_sim_time = 0;
+  double wal_mb = 0;                 // on-disk log size, no checkpoints
+};
+
+std::vector<OverheadCase> BenchOverhead(size_t pairs, double rate,
+                                        double duration) {
+  TransitStubTopology topo = MakeTransitStub();
+  apps::ForwardingWorkload workload = apps::MakeForwardingWorkload(
+      topo, pairs, rate, duration, apps::kDefaultPayloadLen, /*seed=*/42);
+  apps::ExperimentConfig config;
+  config.duration_s = duration;
+  config.snapshot_interval_s = duration / 10;
+  config.metrics = false;
+
+  std::vector<OverheadCase> out;
+  for (apps::Scheme scheme : apps::kPaperSchemes) {
+    OverheadCase c;
+
+    auto start = std::chrono::steady_clock::now();
+    apps::ExperimentResult off =
+        apps::RunForwarding(scheme, topo, workload, config);
+    c.wall_off_s = Seconds(start, std::chrono::steady_clock::now());
+    c.scheme = off.scheme;
+    DPC_CHECK(off.outputs > 0);
+
+    {
+      TempDir wal_dir;
+      config.wal_dir = wal_dir.path();
+      start = std::chrono::steady_clock::now();
+      apps::ExperimentResult on =
+          apps::RunForwarding(scheme, topo, workload, config);
+      c.wall_wal_s = Seconds(start, std::chrono::steady_clock::now());
+      DPC_CHECK(on.outputs == off.outputs);
+      c.wal_mb = static_cast<double>(DirBytes(wal_dir.path())) / 1e6;
+    }
+    {
+      TempDir wal_dir;
+      config.wal_dir = wal_dir.path();
+      config.wal_buffered = true;
+      start = std::chrono::steady_clock::now();
+      apps::ExperimentResult on =
+          apps::RunForwarding(scheme, topo, workload, config);
+      c.wall_wal_buffered_s = Seconds(start, std::chrono::steady_clock::now());
+      DPC_CHECK(on.outputs == off.outputs);
+      config.wal_buffered = false;
+    }
+    {
+      TempDir wal_dir;
+      config.wal_dir = wal_dir.path();
+      config.wal_checkpoint_interval_s = duration / 4;
+      start = std::chrono::steady_clock::now();
+      apps::ExperimentResult on =
+          apps::RunForwarding(scheme, topo, workload, config);
+      c.wall_wal_ckpt_s = Seconds(start, std::chrono::steady_clock::now());
+      DPC_CHECK(on.outputs == off.outputs);
+      config.wal_checkpoint_interval_s = 0;
+    }
+    config.wal_dir.clear();
+
+    c.overhead_pct = (c.wall_wal_s / c.wall_off_s - 1.0) * 100.0;
+    c.buffered_overhead_pct =
+        (c.wall_wal_buffered_s / c.wall_off_s - 1.0) * 100.0;
+    c.ckpt_overhead_pct = (c.wall_wal_ckpt_s / c.wall_off_s - 1.0) * 100.0;
+    c.cost_pct_of_sim_time = (c.wall_wal_s - c.wall_off_s) / duration * 100.0;
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+// --- recovery latency vs WAL tail length ------------------------------------
+
+struct RecoveryCase {
+  size_t rounds = 0;
+  bool checkpointed = false;
+  uint64_t records_replayed = 0;
+  uint64_t records_skipped = 0;
+  double recover_ms = 0;
+};
+
+constexpr int kLineNodes = 8;
+
+Topology MakeLineTopo() {
+  Topology topo;
+  topo.AddNodes(kLineNodes);
+  for (int i = 0; i + 1 < kLineNodes; ++i) {
+    DPC_CHECK(topo.AddLink(i, i + 1, LinkProps{0.001, 1e9}).ok());
+  }
+  topo.ComputeRoutes();
+  return topo;
+}
+
+// Runs `rounds` two-direction forwarding rounds against a journaled
+// Advanced-scheme deployment, optionally cutting one checkpoint halfway,
+// then times WalRecorder::Recover() into a fresh testbed.
+RecoveryCase BenchRecovery(const Program& program, const Topology& topo,
+                           size_t rounds, bool checkpointed) {
+  RecoveryCase c;
+  c.rounds = rounds;
+  c.checkpointed = checkpointed;
+
+  TempDir wal_dir;
+  apps::TestbedOptions options;
+  options.wal_dir = wal_dir.path();
+  {
+    auto bed = apps::Testbed::Create(program, &topo, apps::Scheme::kAdvanced,
+                                     options);
+    DPC_CHECK(bed.ok());
+    apps::Testbed& b = **bed;
+    DPC_CHECK(
+        apps::InstallRoutesForPair(b.system(), topo, 0, kLineNodes - 1).ok());
+    DPC_CHECK(
+        apps::InstallRoutesForPair(b.system(), topo, kLineNodes - 1, 0).ok());
+    double t = 0;
+    for (size_t round = 0; round < rounds; ++round) {
+      if (checkpointed && round == rounds / 2) {
+        b.system().Run();
+        DPC_CHECK(b.wal()->Checkpoint().ok());
+      }
+      DPC_CHECK(b.system()
+                    .ScheduleInject(apps::MakePacket(
+                                        0, 0, kLineNodes - 1,
+                                        apps::MakePayload(24, round)),
+                                    t += 0.003)
+                    .ok());
+      DPC_CHECK(b.system()
+                    .ScheduleInject(apps::MakePacket(
+                                        kLineNodes - 1, kLineNodes - 1, 0,
+                                        apps::MakePayload(24, 100000 + round)),
+                                    t += 0.003)
+                    .ok());
+    }
+    b.system().Run();
+  }
+
+  auto bed = apps::Testbed::Create(program, &topo, apps::Scheme::kAdvanced,
+                                   options);
+  DPC_CHECK(bed.ok());
+  auto start = std::chrono::steady_clock::now();
+  auto stats = (*bed)->wal()->Recover();
+  c.recover_ms = Seconds(start, std::chrono::steady_clock::now()) * 1e3;
+  DPC_CHECK(stats.ok());
+  c.records_replayed = stats->records_replayed;
+  c.records_skipped = stats->records_skipped;
+  return c;
+}
+
+int Main() {
+  size_t pairs = apps::EnvSize("DPC_PAIRS", 20);
+  double rate = apps::EnvDouble("DPC_RATE", 10);
+  double duration = apps::EnvDouble("DPC_DURATION", 10);
+  std::vector<OverheadCase> overhead = BenchOverhead(pairs, rate, duration);
+
+  size_t max_rounds = apps::EnvSize("DPC_RECOVERY_MAX_ROUNDS", 512);
+  auto program = apps::MakeForwardingProgram();
+  Topology topo = MakeLineTopo();
+  std::vector<RecoveryCase> recovery;
+  for (size_t rounds = 8; rounds <= max_rounds; rounds *= 4) {
+    recovery.push_back(BenchRecovery(*program, topo, rounds, false));
+  }
+  recovery.push_back(BenchRecovery(*program, topo, max_rounds, true));
+
+  std::printf("{\n  \"bench\": \"recovery_bench\",\n");
+  std::printf("  \"wal_overhead\": {\"pairs\": %zu, \"rate_pps\": %.0f, "
+              "\"duration_s\": %.0f, \"schemes\": [\n",
+              pairs, rate, duration);
+  for (size_t i = 0; i < overhead.size(); ++i) {
+    const OverheadCase& c = overhead[i];
+    std::printf(
+        "    {\"scheme\": \"%s\", \"wall_off_s\": %.3f, "
+        "\"wall_wal_s\": %.3f, \"overhead_pct\": %.1f, "
+        "\"wall_wal_buffered_s\": %.3f, \"buffered_overhead_pct\": %.1f, "
+        "\"wall_wal_ckpt_s\": %.3f, \"ckpt_overhead_pct\": %.1f, "
+        "\"cost_pct_of_sim_time\": %.2f, \"wal_mb\": %.2f}%s\n",
+        c.scheme.c_str(), c.wall_off_s, c.wall_wal_s, c.overhead_pct,
+        c.wall_wal_buffered_s, c.buffered_overhead_pct, c.wall_wal_ckpt_s,
+        c.ckpt_overhead_pct, c.cost_pct_of_sim_time, c.wal_mb,
+        i + 1 < overhead.size() ? "," : "");
+  }
+  std::printf("  ]},\n");
+  std::printf("  \"recovery_latency\": [\n");
+  for (size_t i = 0; i < recovery.size(); ++i) {
+    const RecoveryCase& c = recovery[i];
+    std::printf(
+        "    {\"rounds\": %zu, \"checkpointed\": %s, "
+        "\"records_replayed\": %llu, \"records_skipped\": %llu, "
+        "\"recover_ms\": %.2f}%s\n",
+        c.rounds, c.checkpointed ? "true" : "false",
+        static_cast<unsigned long long>(c.records_replayed),
+        static_cast<unsigned long long>(c.records_skipped), c.recover_ms,
+        i + 1 < recovery.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace dpc
+
+int main() { return dpc::Main(); }

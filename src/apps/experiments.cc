@@ -73,6 +73,8 @@ ExperimentResult RunExperiment(
   options.batch_eval = config.batch_eval;
   options.trace_path = config.trace_path;
   options.metrics = config.metrics;
+  options.wal_dir = config.wal_dir;
+  options.wal_buffered = config.wal_buffered;
   auto bed_result =
       Testbed::Create(std::move(program), topology, scheme, options);
   DPC_CHECK(bed_result.ok()) << bed_result.status().ToString();
@@ -90,6 +92,18 @@ ExperimentResult RunExperiment(
   if (bed->transport() != nullptr) bed->transport()->ResetStats();
   IdentityCounters identity_before = identity_counters();
   MetricsSnapshot metrics_before = GlobalMetrics().Snapshot();
+
+  // The setup drain leaves the clock wherever the last setup event ran —
+  // under reliable transport with loss, a broadcast's retransmission
+  // ladder can take tens of simulated seconds. Rebase the measured phase
+  // there: scheduling it at absolute workload times would land in the
+  // past, and the queue's monotonic clamp would pile every inject onto a
+  // single instant, manufacturing same-time collisions whose ordering is
+  // not defined across shard counts. A drained run aligns every shard
+  // queue to the same end time (ShardEngine::RunLoop), so t0 — and with
+  // it every rebased timestamp — is identical at any shard count.
+  const double t0 = bed->queue().now();
+  bed->network().set_bucket_origin_s(t0);
 
   ExperimentResult result;
   result.scheme = SchemeName(scheme);
@@ -111,22 +125,37 @@ ExperimentResult RunExperiment(
 
   for (double t = 0; t <= config.duration_s + 1e-9;
        t += config.snapshot_interval_s) {
-    bed->ScheduleGlobal(t, [&snapshot, t]() { snapshot(t); });
+    bed->ScheduleGlobal(t0 + t, [&snapshot, t]() { snapshot(t); });
   }
   if (periodic_update && config.route_update_interval_s > 0) {
     for (double t = config.route_update_interval_s; t < config.duration_s;
          t += config.route_update_interval_s) {
       bed->ScheduleGlobal(
-          t, [&bed, &periodic_update, t]() { periodic_update(bed->system(), t); });
+          t0 + t,
+          [&bed, &periodic_update, t]() { periodic_update(bed->system(), t); });
+    }
+  }
+
+  // Periodic WAL checkpoints are global actions too: they serialize every
+  // node's tables, which must not race shard workers.
+  if (bed->wal() != nullptr && config.wal_checkpoint_interval_s > 0) {
+    for (double t = config.wal_checkpoint_interval_s; t < config.duration_s;
+         t += config.wal_checkpoint_interval_s) {
+      bed->ScheduleGlobal(t0 + t, [&bed]() {
+        Status st = bed->wal()->Checkpoint();
+        if (!st.ok()) {
+          DPC_LOG(Error) << "wal checkpoint failed: " << st.ToString();
+        }
+      });
     }
   }
 
   for (const WorkloadItem& item : workload) {
-    Status st = bed->system().ScheduleInject(item.event, item.time_s);
+    Status st = bed->system().ScheduleInject(item.event, t0 + item.time_s);
     DPC_CHECK(st.ok()) << st.ToString();
   }
 
-  bed->system().RunUntil(config.duration_s);
+  bed->system().RunUntil(t0 + config.duration_s);
   bed->system().Run();  // drain in-flight traffic past the window
 
   result.final_storage = bed->TotalStorage();

@@ -53,6 +53,17 @@ struct ExperimentConfig {
   std::string trace_path;
   // Capture the run's metrics delta into ExperimentResult::metrics.
   bool metrics = true;
+  // Durability: when non-empty, journal every recorder mutation to
+  // per-node WALs under this directory (TestbedOptions::wal_dir) and cut
+  // compacted checkpoints every wal_checkpoint_interval_s of measured
+  // time (0 = WAL only, no periodic checkpoints). The interval doubles as
+  // the recovery-granularity knob: a crash replays at most one interval's
+  // worth of log.
+  std::string wal_dir;
+  double wal_checkpoint_interval_s = 0;
+  // Group-commit WAL appends (TestbedOptions::wal_buffered): cheaper, but
+  // a crash loses the buffered tail.
+  bool wal_buffered = false;
 };
 
 struct ExperimentResult {

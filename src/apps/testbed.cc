@@ -75,6 +75,22 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(Program program,
     }
   }
 
+  ProvenanceRecorder* recorder = bed->recorder_.get();
+  if (!bed->options_.wal_dir.empty()) {
+    if (!recorder->SupportsNodeState()) {
+      return Status::InvalidArgument(
+          std::string("wal_dir: scheme ") + SchemeName(scheme) +
+          " has no node-state serialization, so it cannot be journaled");
+    }
+    WalOptions wal;
+    wal.dir = bed->options_.wal_dir;
+    wal.sync_each_record = bed->options_.wal_sync;
+    wal.flush_each_record = !bed->options_.wal_buffered;
+    DPC_ASSIGN_OR_RETURN(
+        bed->wal_, WalRecorder::Attach(recorder, &bed->program_, n, wal));
+    recorder = bed->wal_.get();
+  }
+
   if (bed->options_.loss_rate > 0) {
     bed->network_.SetLossRate(bed->options_.loss_rate,
                               bed->options_.loss_seed);
@@ -87,17 +103,12 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(Program program,
   }
   bed->system_ = std::make_unique<System>(&bed->program_, topology, channel,
                                           &bed->queue_, DefaultFunctions(),
-                                          bed->recorder_.get());
+                                          recorder);
   bed->system_->SetBatchEval(bed->options_.batch_eval);
 
   int shards = bed->options_.shards;
   if (shards < 1) shards = 1;
   if (shards > n) shards = n;
-  if (shards > 1 && bed->options_.reliable_transport) {
-    DPC_LOG(Warning) << "testbed: reliable_transport is not cross-shard "
-                        "safe; running with 1 shard";
-    shards = 1;
-  }
   if (shards > 1) {
     SimTime lookahead =
         MinCrossShardLatency(*topology, ShardMap(n, shards));
@@ -114,6 +125,12 @@ Result<std::unique_ptr<Testbed>> Testbed::Create(Program program,
         std::make_unique<ShardEngine>(topology, shards, &bed->queue_);
     bed->network_.BindShardEngine(bed->engine_.get());
     bed->system_->BindShardEngine(bed->engine_.get());
+    if (bed->transport_ != nullptr) {
+      // Retransmission timers move onto the owning shard's queue: sender
+      // state is per node, so arming and (ack-triggered) cancellation both
+      // happen on the source node's shard.
+      bed->transport_->BindShardEngine(bed->engine_.get());
+    }
   }
 
   if (!bed->options_.trace_path.empty() || bed->options_.trace) {

@@ -12,6 +12,7 @@
 #include "src/core/exspan_recorder.h"
 #include "src/core/query.h"
 #include "src/core/reference_recorder.h"
+#include "src/core/wal_recorder.h"
 #include "src/net/shard_engine.h"
 #include "src/net/transport.h"
 #include "src/runtime/system.h"
@@ -48,9 +49,25 @@ struct TestbedOptions {
   // conservative lookahead windows; results (outputs, provenance tables,
   // bandwidth accounting) are byte-identical to shards = 1. Clamped to 1
   // when the topology has no usable cross-shard lookahead (a zero-latency
-  // cross-shard link) or when reliable_transport is set (the transport's
-  // timer cancellation is not cross-shard safe; see docs/concurrency.md).
+  // cross-shard link). Reliable transport is shard-safe: retransmission
+  // timers live on the sending node's shard queue (src/net/transport.h).
   int shards = 1;
+
+  // --- durability (src/core/wal_recorder.h) --------------------------
+  // When non-empty, a WalRecorder wraps the scheme's recorder and logs
+  // every mutation to per-node WAL files under this directory (which must
+  // exist). Checkpoints and crash recovery go through Testbed::wal().
+  // Not supported for Scheme::kReference (it has no node-state
+  // serialization) — Create fails.
+  std::string wal_dir;
+  // fsync every WAL record (survive power loss, not just a killed
+  // process). Slow; off by default.
+  bool wal_sync = false;
+  // Group-commit: buffer WAL appends and flush only at checkpoints and
+  // shutdown. Much cheaper than the default flush-per-record, but a
+  // kill -9 loses the buffered tail — recovery then reconstructs a
+  // consistent prefix of the run rather than everything acknowledged.
+  bool wal_buffered = false;
 
   // Set-at-a-time batch evaluation (System::SetBatchEval): same-instant,
   // same-(node, relation) events evaluate each rule plan once per batch.
@@ -106,7 +123,12 @@ class Testbed {
   ReliableTransport* transport() { return transport_.get(); }
   const TestbedOptions& options() const { return options_; }
   const Topology& topology() const { return *topology_; }
+  // The scheme's recorder (the WAL decorator's inner when wal_dir is set).
   ProvenanceRecorder& recorder() { return *recorder_; }
+  // Null unless TestbedOptions::wal_dir was set. Checkpoint() and
+  // Recover() must run while the deployment is idle or at a
+  // ScheduleGlobal barrier.
+  WalRecorder* wal() { return wal_.get(); }
 
   // Typed access; nullptr when the scheme does not match.
   ReferenceRecorder* reference() { return reference_; }
@@ -150,6 +172,9 @@ class Testbed {
   Network network_;
   std::unique_ptr<ReliableTransport> transport_;
   std::unique_ptr<ProvenanceRecorder> recorder_;
+  // Destroyed before recorder_ (declared after): the decorator holds a
+  // raw pointer to the scheme recorder it wraps.
+  std::unique_ptr<WalRecorder> wal_;
   ReferenceRecorder* reference_ = nullptr;
   ExspanRecorder* exspan_ = nullptr;
   BasicRecorder* basic_ = nullptr;

@@ -1,5 +1,8 @@
 #include "src/core/advanced_recorder.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "src/obs/metrics.h"
 #include "src/util/logging.h"
 
@@ -140,8 +143,12 @@ void AdvancedRecorder::OnOutput(NodeId node, const TupleRef& output,
 }
 
 bool AdvancedRecorder::OnSlowInsert(NodeId node, const TupleRef& t) {
-  nodes_[node].tuples.Put(t);
-  return true;  // §5.5: broadcast sig, reset equivalence caches everywhere
+  // §5.5: broadcast sig (reset equivalence caches everywhere) only when the
+  // slow state actually changed. A duplicate declaration — e.g. a resumed
+  // deployment re-installing routes over WAL-recovered tables — is a no-op
+  // and must not burn an epoch, or the compressed state would diverge from
+  // an uninterrupted run.
+  return nodes_[node].tuples.Put(t);
 }
 
 void AdvancedRecorder::OnControlSignal(NodeId node) {
@@ -187,6 +194,95 @@ NodeSnapshot AdvancedRecorder::SnapshotAt(NodeId node) const {
       /*rule_exec_with_next=*/true, state.events, state.tuples,
       options_.inter_class_sharing ? &state.exec_nodes : nullptr,
       options_.inter_class_sharing ? &state.exec_links : nullptr);
+}
+
+void AdvancedRecorder::SerializeNodeState(NodeId node, ByteWriter& w) const {
+  SnapshotAt(node).Serialize(w);
+  const NodeState& state = nodes_[node];
+  w.PutVarint(state.epoch);
+  // Hash containers serialize in sorted-by-digest order so the blob is
+  // canonical; the per-class pending lists keep their insertion order
+  // (flush order decides prov row order, which must survive recovery).
+  std::vector<Sha1Digest> keys(state.htequi.begin(), state.htequi.end());
+  std::sort(keys.begin(), keys.end());
+  w.PutVarint(keys.size());
+  for (const Sha1Digest& k : keys) w.PutDigest(k);
+  std::vector<std::pair<Sha1Digest, NodeRid>> hmap(state.hmap.begin(),
+                                                   state.hmap.end());
+  std::sort(hmap.begin(), hmap.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.PutVarint(hmap.size());
+  for (const auto& [k, v] : hmap) {
+    w.PutDigest(k);
+    v.Serialize(w);
+  }
+  std::vector<const decltype(state.pending)::value_type*> pending;
+  for (const auto& kv : state.pending) pending.push_back(&kv);
+  std::sort(pending.begin(), pending.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  w.PutVarint(pending.size());
+  for (const auto* kv : pending) {
+    w.PutDigest(kv->first);
+    w.PutVarint(kv->second.size());
+    for (const PendingOutput& po : kv->second) {
+      w.PutDigest(po.vid);
+      w.PutDigest(po.evid);
+    }
+  }
+}
+
+Status AdvancedRecorder::RestoreNodeState(NodeId node, ByteReader& r) {
+  DPC_ASSIGN_OR_RETURN(NodeSnapshot snap, NodeSnapshot::Deserialize(r));
+  if (snap.node != node) {
+    return Status::InvalidArgument("snapshot is for node " +
+                                   std::to_string(snap.node));
+  }
+  if (!snap.prov_with_evid || !snap.rule_exec_with_next) {
+    return Status::InvalidArgument("snapshot schema is not Advanced's");
+  }
+  DPC_ASSIGN_OR_RETURN(RestoredTables tables, RestoreTables(snap));
+  NodeState& state = nodes_[node];
+  state.prov = std::move(tables.prov);
+  state.rule_exec = std::move(tables.rule_exec);
+  state.exec_nodes = std::move(tables.exec_nodes);
+  state.exec_links = std::move(tables.exec_links);
+  state.events = std::move(tables.events);
+  state.tuples = std::move(tables.tuples);
+  DPC_ASSIGN_OR_RETURN(state.epoch, r.GetVarint());
+  state.htequi.clear();
+  DPC_ASSIGN_OR_RETURN(uint64_t n_keys, r.GetVarint());
+  for (uint64_t i = 0; i < n_keys; ++i) {
+    DPC_ASSIGN_OR_RETURN(Sha1Digest k, r.GetDigest());
+    state.htequi.insert(k);
+  }
+  state.hmap.clear();
+  DPC_ASSIGN_OR_RETURN(uint64_t n_hmap, r.GetVarint());
+  for (uint64_t i = 0; i < n_hmap; ++i) {
+    DPC_ASSIGN_OR_RETURN(Sha1Digest k, r.GetDigest());
+    DPC_ASSIGN_OR_RETURN(NodeRid v, NodeRid::Deserialize(r));
+    state.hmap[k] = v;
+  }
+  state.pending.clear();
+  DPC_ASSIGN_OR_RETURN(uint64_t n_pending, r.GetVarint());
+  for (uint64_t i = 0; i < n_pending; ++i) {
+    DPC_ASSIGN_OR_RETURN(Sha1Digest k, r.GetDigest());
+    DPC_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+    // Each entry is two digests; a count the remaining bytes cannot hold
+    // is hostile, and must not reach the allocator via reserve().
+    if (n > r.remaining() / 40) {
+      return Status::ParseError("pending-output count exceeds input");
+    }
+    std::vector<PendingOutput> outs;
+    outs.reserve(n);
+    for (uint64_t j = 0; j < n; ++j) {
+      PendingOutput po;
+      DPC_ASSIGN_OR_RETURN(po.vid, r.GetDigest());
+      DPC_ASSIGN_OR_RETURN(po.evid, r.GetDigest());
+      outs.push_back(po);
+    }
+    state.pending[k] = std::move(outs);
+  }
+  return Status::OK();
 }
 
 StorageBreakdown AdvancedRecorder::StorageAt(NodeId node) const {

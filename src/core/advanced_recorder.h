@@ -78,6 +78,15 @@ class AdvancedRecorder : public ProvenanceRecorder {
   // Portable snapshot of this node's tables (checkpoint/restore).
   NodeSnapshot SnapshotAt(NodeId node) const;
 
+  // Durability: snapshot tables plus the scheme-private auxiliary state
+  // (htequi, hmap, pending, §5.5 epoch), all in sorted canonical order.
+  bool SupportsNodeState() const override { return true; }
+  void SerializeNodeState(NodeId node, ByteWriter& w) const override;
+  Status RestoreNodeState(NodeId node, ByteReader& r) override;
+  uint64_t StateEpoch(NodeId node) const override {
+    return nodes_[node].epoch;
+  }
+
   // Number of pending (unflushed) output associations; 0 once quiescent.
   size_t PendingOutputs() const;
 

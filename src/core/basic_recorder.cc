@@ -97,6 +97,28 @@ NodeSnapshot BasicRecorder::SnapshotAt(NodeId node) const {
                         state.events, state.tuples);
 }
 
+void BasicRecorder::SerializeNodeState(NodeId node, ByteWriter& w) const {
+  SnapshotAt(node).Serialize(w);
+}
+
+Status BasicRecorder::RestoreNodeState(NodeId node, ByteReader& r) {
+  DPC_ASSIGN_OR_RETURN(NodeSnapshot snap, NodeSnapshot::Deserialize(r));
+  if (snap.node != node) {
+    return Status::InvalidArgument("snapshot is for node " +
+                                   std::to_string(snap.node));
+  }
+  if (snap.prov_with_evid || !snap.rule_exec_with_next) {
+    return Status::InvalidArgument("snapshot schema is not Basic's");
+  }
+  DPC_ASSIGN_OR_RETURN(RestoredTables tables, RestoreTables(snap));
+  NodeState& state = nodes_[node];
+  state.prov = std::move(tables.prov);
+  state.rule_exec = std::move(tables.rule_exec);
+  state.events = std::move(tables.events);
+  state.tuples = std::move(tables.tuples);
+  return Status::OK();
+}
+
 StorageBreakdown BasicRecorder::StorageAt(NodeId node) const {
   const NodeState& state = nodes_[node];
   StorageBreakdown s;

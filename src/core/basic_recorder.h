@@ -52,6 +52,11 @@ class BasicRecorder : public ProvenanceRecorder {
   // Portable snapshot of this node's tables (checkpoint/restore).
   NodeSnapshot SnapshotAt(NodeId node) const;
 
+  // Durability: the node state is exactly the snapshot tables.
+  bool SupportsNodeState() const override { return true; }
+  void SerializeNodeState(NodeId node, ByteWriter& w) const override;
+  Status RestoreNodeState(NodeId node, ByteReader& r) override;
+
   static Rid MakeRid(const std::string& rule_id, NodeId loc,
                      const Vid& event_vid, const std::vector<Vid>& slow_vids);
 

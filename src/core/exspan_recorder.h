@@ -52,6 +52,11 @@ class ExspanRecorder : public ProvenanceRecorder {
   // Portable snapshot of this node's tables (checkpoint/restore).
   NodeSnapshot SnapshotAt(NodeId node) const;
 
+  // Durability: the node state is exactly the snapshot tables.
+  bool SupportsNodeState() const override { return true; }
+  void SerializeNodeState(NodeId node, ByteWriter& w) const override;
+  Status RestoreNodeState(NodeId node, ByteReader& r) override;
+
   // The RID scheme of Table 1: sha1 over rule id, firing location, and the
   // VIDs of every body tuple (event first, then conditions in body order).
   static Rid MakeRid(const std::string& rule_id, NodeId loc,

@@ -1,5 +1,7 @@
 #include "src/core/recorder.h"
 
+#include "src/util/logging.h"
+
 namespace dpc {
 
 StorageBreakdown& StorageBreakdown::operator+=(const StorageBreakdown& o) {
@@ -24,6 +26,15 @@ size_t ProvenanceRecorder::MetaWireSize(const ProvMeta& meta) const {
   ByteWriter w;
   SerializeMeta(meta, w);
   return w.size();
+}
+
+void ProvenanceRecorder::SerializeNodeState(NodeId, ByteWriter&) const {
+  DPC_CHECK(false) << name() << " does not support node-state durability";
+}
+
+Status ProvenanceRecorder::RestoreNodeState(NodeId, ByteReader&) {
+  return Status::NotImplemented(name() +
+                                " does not support node-state durability");
 }
 
 StorageBreakdown ProvenanceRecorder::TotalStorage(int num_nodes) const {

@@ -108,6 +108,21 @@ class ProvenanceRecorder {
 
   // Sum of StorageAt over all nodes.
   StorageBreakdown TotalStorage(int num_nodes) const;
+
+  // --- durability (src/core/wal.*, src/core/wal_recorder.*) -----------
+  // A recorder that opts in can serialize one node's complete state — the
+  // snapshot tables plus any scheme-private auxiliary state (the Advanced
+  // scheme's htequi/hmap/pending and §5.5 epoch) — into a checkpoint blob
+  // and restore it into a freshly constructed recorder. The encoding is
+  // canonical (containers sorted), so two recorders holding the same
+  // logical state produce byte-identical blobs.
+  virtual bool SupportsNodeState() const { return false; }
+  // Requires SupportsNodeState(); restoring overwrites the node's state.
+  virtual void SerializeNodeState(NodeId node, ByteWriter& w) const;
+  virtual Status RestoreNodeState(NodeId node, ByteReader& r);
+  // The node's §5.5 epoch (0 for schemes without epochs); recorded in
+  // checkpoint headers as the boundary marker.
+  virtual uint64_t StateEpoch(NodeId /*node*/) const { return 0; }
 };
 
 }  // namespace dpc

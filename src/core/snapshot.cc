@@ -1,5 +1,7 @@
 #include "src/core/snapshot.h"
 
+#include <algorithm>
+
 namespace dpc {
 
 namespace {
@@ -100,6 +102,15 @@ NodeSnapshot SnapshotTables(NodeId node, const ProvTable& prov,
   if (exec_links != nullptr) s.exec_links = exec_links->rows();
   events.ForEach([&](const Tuple& t) { s.events.push_back(t); });
   tuples.ForEach([&](const Tuple& t) { s.tuples.push_back(t); });
+  // TupleStore iteration order follows its hash map; sort by VID so the
+  // snapshot — and everything derived from it (checkpoint blobs, the
+  // storage figures' serialized files) — is canonical: two stores holding
+  // the same tuples serialize byte-identically.
+  auto by_vid = [](const Tuple& a, const Tuple& b) {
+    return a.Vid() < b.Vid();
+  };
+  std::sort(s.events.begin(), s.events.end(), by_vid);
+  std::sort(s.tuples.begin(), s.tuples.end(), by_vid);
   return s;
 }
 

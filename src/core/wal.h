@@ -1,0 +1,150 @@
+// Write-ahead log and checkpoint codec for recorder durability.
+//
+// The paper's recorders are in-memory strategy objects; a deployment that
+// must survive a node crash needs the per-node prov/ruleExec state to be
+// reconstructible from disk. This module provides the two on-disk
+// artifacts (see docs/persistence.md for the full design):
+//
+//   * a per-node WAL of logical recorder mutations — one WalRecord per
+//     hook invocation (inject, rule-fired, output, arrival, slow-changing
+//     insert/delete, §5.5 control signal), framed with a length prefix and
+//     an FNV-1a checksum so torn tails and bit flips are detected, never
+//     trusted;
+//   * a per-node checkpoint file: the recorder's full node state
+//     (serialized via ProvenanceRecorder::SerializeNodeState, which reuses
+//     the src/core/snapshot.* table encoding) plus the WAL sequence
+//     watermark it covers and the node's §5.5 epoch at the boundary.
+//
+// Recovery = restore the latest checkpoint, then replay the WAL tail
+// (records with seq > watermark) through the real recorder hooks — the
+// same code path that built the state originally, so the recovered tables
+// are byte-identical to an uninterrupted run's.
+//
+// Every decode path returns Status/Result: a truncated, bit-flipped, or
+// hostile-length file is reported (and counted by the caller's metrics),
+// never an abort. Replay stops at the first corrupt frame — everything
+// before it is intact by checksum.
+#ifndef DPC_CORE_WAL_H_
+#define DPC_CORE_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/db/tuple.h"
+#include "src/util/result.h"
+#include "src/util/serial.h"
+
+namespace dpc {
+
+// One logical recorder mutation. Kinds mirror the ProvenanceRecorder
+// hooks; fields beyond (seq, kind, node) are populated per kind.
+enum class WalRecordKind : uint8_t {
+  kInject = 1,         // tuple = injected event
+  kRuleFired = 2,      // rule_id, tuple = trigger event, meta, slow, head
+  kOutput = 3,         // tuple = output, meta
+  kArrival = 4,        // tuple = arrived event, meta
+  kSlowInsert = 5,     // tuple = slow-changing tuple
+  kSlowDelete = 6,     // tuple = slow-changing tuple
+  kControlSignal = 7,  // (node only)
+};
+
+struct WalRecord {
+  // Per-node sequence number, monotone from 1; checkpoints record the
+  // highest seq they cover so replay can skip the prefix.
+  uint64_t seq = 0;
+  WalRecordKind kind = WalRecordKind::kInject;
+  NodeId node = 0;
+  std::string rule_id;        // kRuleFired: resolved against the Program
+  Tuple tuple;                // primary tuple (see kind comments)
+  Tuple head;                 // kRuleFired: the derived head tuple
+  std::vector<Tuple> slow;    // kRuleFired: joined slow-changing tuples
+  // Scheme-encoded ProvMeta (ProvenanceRecorder::SerializeMeta), opaque
+  // to the WAL: replay decodes it with the owning recorder.
+  std::vector<uint8_t> meta;
+
+  void Serialize(ByteWriter& w) const;
+  static Result<WalRecord> Deserialize(ByteReader& r);
+};
+
+// Appends checksummed frames to one node's WAL file. Frame layout:
+//   [u32 payload length][u64 FNV-1a of payload][payload]
+// By default each append is flushed to the OS, so the log survives a
+// kill -9 (an fsync per record — surviving power loss — is available via
+// `sync`). Group-commit mode (`flush_each` off) buffers appends and
+// flushes only on an explicit Flush()/Reset()/close: much cheaper, but a
+// crash loses the buffered tail and recovery yields a consistent prefix.
+// Single-writer: the owning node's hooks run on one shard worker.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(WalWriter&&) noexcept;
+  WalWriter& operator=(WalWriter&&) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  // Opens `path` for appending (created if missing).
+  static Result<WalWriter> Open(const std::string& path, bool sync = false,
+                                bool flush_each = true);
+
+  Status Append(const WalRecord& record);
+  // Pushes buffered appends to the OS (page cache; plus fsync with `sync`).
+  Status Flush();
+  // Truncates the log to empty (after a checkpoint made it redundant).
+  Status Reset();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  bool sync_ = false;
+  bool flush_each_ = true;
+  uint64_t bytes_written_ = 0;
+  // Append scratch space, reused frame to frame (single-writer).
+  ByteWriter scratch_;
+  ByteWriter header_;
+};
+
+// The decoded prefix of a WAL file: every record up to the first corrupt
+// or torn frame (if any). A missing file reads as an empty, intact log.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  // 1 when decoding stopped at a bad frame (short header, hostile length,
+  // checksum mismatch, or payload decode failure); 0 for a clean log.
+  uint64_t corrupt_frames = 0;
+  uint64_t bytes_scanned = 0;
+};
+
+// Never fails on corruption (that is reported in the result); only an
+// unreadable file yields an error Status.
+Result<WalReadResult> ReadWal(const std::string& path);
+
+// A node's checkpoint: header + one SerializeNodeState blob, checksummed
+// like a WAL frame and written atomically (tmp + rename).
+struct CheckpointData {
+  NodeId node = 0;
+  // Highest WAL seq the state covers; replay skips records <= watermark.
+  uint64_t watermark = 0;
+  // The node's §5.5 epoch at the checkpoint boundary (0 for schemes
+  // without epochs): checkpoints are cut at global barriers, so the epoch
+  // is always a consistent boundary value, never mid-update.
+  uint64_t epoch = 0;
+  std::vector<uint8_t> state;  // ProvenanceRecorder::SerializeNodeState
+};
+
+Status WriteCheckpoint(const std::string& path, const CheckpointData& data);
+// ParseError on any malformed content (bad magic, hostile length,
+// checksum mismatch); NotFound when the file does not exist.
+Result<CheckpointData> ReadCheckpoint(const std::string& path);
+
+// Canonical file names under a WAL directory.
+std::string WalPath(const std::string& dir, NodeId node);
+std::string CheckpointPath(const std::string& dir, NodeId node);
+
+}  // namespace dpc
+
+#endif  // DPC_CORE_WAL_H_

@@ -1,0 +1,317 @@
+#include "src/core/wal_recorder.h"
+
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/logging.h"
+#include "src/util/perf.h"
+
+namespace dpc {
+
+WalRecorder::WalRecorder(ProvenanceRecorder* inner, const Program* program,
+                         WalOptions options)
+    : inner_(inner), program_(program), options_(std::move(options)) {
+  for (const Rule& rule : program_->rules()) {
+    rules_by_id_[rule.id] = &rule;
+  }
+  MetricsRegistry& reg = GlobalMetrics();
+  metrics_.records = &reg.GetCounter("wal.records");
+  metrics_.bytes = &reg.GetCounter("wal.bytes");
+  metrics_.checkpoints = &reg.GetCounter("wal.checkpoints");
+  metrics_.checkpoint_bytes = &reg.GetCounter("wal.checkpoint_bytes");
+  metrics_.replayed = &reg.GetCounter("wal.records_replayed");
+  metrics_.corrupt_frames = &reg.GetCounter("wal.corrupt_frames");
+  metrics_.decode_errors = &reg.GetCounter("wal.decode_errors");
+}
+
+Result<std::unique_ptr<WalRecorder>> WalRecorder::Attach(
+    ProvenanceRecorder* inner, const Program* program, int num_nodes,
+    WalOptions options) {
+  DPC_CHECK(inner != nullptr && program != nullptr);
+  if (!inner->SupportsNodeState()) {
+    return Status::InvalidArgument(
+        inner->name() + " does not support node-state durability");
+  }
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("WAL directory must be set");
+  }
+  std::unique_ptr<WalRecorder> wal(
+      new WalRecorder(inner, program, std::move(options)));
+  wal->logs_.resize(static_cast<size_t>(num_nodes));
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    // Sequence numbers continue past everything already on disk, so a
+    // restarted deployment appends records replay will order correctly.
+    uint64_t last = 0;
+    Result<CheckpointData> ckpt =
+        ReadCheckpoint(CheckpointPath(wal->options_.dir, n));
+    if (ckpt.ok()) last = ckpt->watermark;
+    DPC_ASSIGN_OR_RETURN(WalReadResult log,
+                         ReadWal(WalPath(wal->options_.dir, n)));
+    for (const WalRecord& rec : log.records) {
+      if (rec.seq > last) last = rec.seq;
+    }
+    DPC_ASSIGN_OR_RETURN(
+        WalWriter writer,
+        WalWriter::Open(WalPath(wal->options_.dir, n),
+                        wal->options_.sync_each_record,
+                        wal->options_.flush_each_record));
+    wal->logs_[n].writer = std::move(writer);
+    wal->logs_[n].next_seq = last + 1;
+  }
+  return wal;
+}
+
+std::vector<uint8_t> WalRecorder::EncodeMeta(const ProvMeta& meta) const {
+  ByteWriter w;
+  inner_->SerializeMeta(meta, w);
+  return w.Take();
+}
+
+void WalRecorder::Log(WalRecord record) {
+  NodeLog& log = logs_[static_cast<size_t>(record.node)];
+  record.seq = log.next_seq++;
+  uint64_t before = log.writer.bytes_written();
+  Status st = log.writer.Append(record);
+  if (!st.ok()) {
+    // Durability is degraded but the run itself is fine; surface loudly
+    // rather than killing the deployment mid-flight.
+    DPC_LOG(Error) << "wal: append failed: " << st.ToString();
+    return;
+  }
+  records_logged_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.records->IncrementAt(record.node);
+  metrics_.bytes->IncrementAt(record.node,
+                              log.writer.bytes_written() - before);
+}
+
+ProvMeta WalRecorder::OnInject(NodeId node, const TupleRef& event) {
+  WalRecord rec;
+  rec.kind = WalRecordKind::kInject;
+  rec.node = node;
+  rec.tuple = *event;
+  Log(std::move(rec));
+  return inner_->OnInject(node, event);
+}
+
+ProvMeta WalRecorder::OnRuleFired(NodeId node, const Rule& rule,
+                                  const TupleRef& event, const ProvMeta& meta,
+                                  const std::vector<TupleRef>& slow,
+                                  const TupleRef& head) {
+  WalRecord rec;
+  rec.kind = WalRecordKind::kRuleFired;
+  rec.node = node;
+  rec.rule_id = rule.id;
+  rec.tuple = *event;
+  rec.head = *head;
+  rec.slow.reserve(slow.size());
+  for (const TupleRef& t : slow) rec.slow.push_back(*t);
+  rec.meta = EncodeMeta(meta);
+  Log(std::move(rec));
+  return inner_->OnRuleFired(node, rule, event, meta, slow, head);
+}
+
+void WalRecorder::OnOutput(NodeId node, const TupleRef& output,
+                           const ProvMeta& meta) {
+  WalRecord rec;
+  rec.kind = WalRecordKind::kOutput;
+  rec.node = node;
+  rec.tuple = *output;
+  rec.meta = EncodeMeta(meta);
+  Log(std::move(rec));
+  inner_->OnOutput(node, output, meta);
+}
+
+void WalRecorder::OnArrival(NodeId node, const TupleRef& tuple,
+                            const ProvMeta& meta) {
+  WalRecord rec;
+  rec.kind = WalRecordKind::kArrival;
+  rec.node = node;
+  rec.tuple = *tuple;
+  rec.meta = EncodeMeta(meta);
+  Log(std::move(rec));
+  inner_->OnArrival(node, tuple, meta);
+}
+
+bool WalRecorder::OnSlowInsert(NodeId node, const TupleRef& t) {
+  WalRecord rec;
+  rec.kind = WalRecordKind::kSlowInsert;
+  rec.node = node;
+  rec.tuple = *t;
+  Log(std::move(rec));
+  return inner_->OnSlowInsert(node, t);
+}
+
+void WalRecorder::OnSlowDelete(NodeId node, const Tuple& t) {
+  WalRecord rec;
+  rec.kind = WalRecordKind::kSlowDelete;
+  rec.node = node;
+  rec.tuple = t;
+  Log(std::move(rec));
+  inner_->OnSlowDelete(node, t);
+}
+
+void WalRecorder::OnControlSignal(NodeId node) {
+  WalRecord rec;
+  rec.kind = WalRecordKind::kControlSignal;
+  rec.node = node;
+  Log(std::move(rec));
+  inner_->OnControlSignal(node);
+}
+
+Status WalRecorder::Checkpoint() {
+  uint64_t total_bytes = 0;
+  for (NodeId n = 0; n < static_cast<NodeId>(logs_.size()); ++n) {
+    CheckpointData data;
+    data.node = n;
+    data.watermark = logs_[n].next_seq - 1;
+    data.epoch = inner_->StateEpoch(n);
+    ByteWriter w;
+    inner_->SerializeNodeState(n, w);
+    data.state = w.Take();
+    total_bytes += data.state.size();
+    DPC_RETURN_NOT_OK(
+        WriteCheckpoint(CheckpointPath(options_.dir, n), data));
+    metrics_.checkpoint_bytes->IncrementAt(n, data.state.size());
+  }
+  // Only after every node's checkpoint landed do the logs become
+  // redundant; a crash in the loop above leaves old checkpoints plus
+  // complete logs, which recovery handles.
+  for (NodeLog& log : logs_) {
+    DPC_RETURN_NOT_OK(log.writer.Reset());
+  }
+  ++checkpoints_cut_;
+  metrics_.checkpoints->Increment();
+  if (Trace().enabled()) {
+    Trace().Instant(-1, TraceCat::kRecorder, "wal.checkpoint",
+                    "\"nodes\": " + std::to_string(logs_.size()) +
+                        ", \"bytes\": " + std::to_string(total_bytes));
+  }
+  return Status::OK();
+}
+
+Status WalRecorder::ReplayRecord(const WalRecord& rec) {
+  switch (rec.kind) {
+    case WalRecordKind::kInject:
+      inner_->OnInject(rec.node, MakeTupleRef(rec.tuple));
+      return Status::OK();
+    case WalRecordKind::kRuleFired: {
+      auto it = rules_by_id_.find(rec.rule_id);
+      if (it == rules_by_id_.end()) {
+        return Status::ParseError("wal: unknown rule '" + rec.rule_id +
+                                  "' (program changed since the log?)");
+      }
+      ByteReader r(rec.meta);
+      DPC_ASSIGN_OR_RETURN(ProvMeta meta, inner_->DeserializeMeta(r));
+      std::vector<TupleRef> slow;
+      slow.reserve(rec.slow.size());
+      for (const Tuple& t : rec.slow) slow.push_back(MakeTupleRef(t));
+      inner_->OnRuleFired(rec.node, *it->second, MakeTupleRef(rec.tuple),
+                          meta, slow, MakeTupleRef(rec.head));
+      return Status::OK();
+    }
+    case WalRecordKind::kOutput: {
+      ByteReader r(rec.meta);
+      DPC_ASSIGN_OR_RETURN(ProvMeta meta, inner_->DeserializeMeta(r));
+      inner_->OnOutput(rec.node, MakeTupleRef(rec.tuple), meta);
+      return Status::OK();
+    }
+    case WalRecordKind::kArrival: {
+      ByteReader r(rec.meta);
+      DPC_ASSIGN_OR_RETURN(ProvMeta meta, inner_->DeserializeMeta(r));
+      inner_->OnArrival(rec.node, MakeTupleRef(rec.tuple), meta);
+      return Status::OK();
+    }
+    case WalRecordKind::kSlowInsert:
+      inner_->OnSlowInsert(rec.node, MakeTupleRef(rec.tuple));
+      return Status::OK();
+    case WalRecordKind::kSlowDelete:
+      inner_->OnSlowDelete(rec.node, rec.tuple);
+      return Status::OK();
+    case WalRecordKind::kControlSignal:
+      inner_->OnControlSignal(rec.node);
+      return Status::OK();
+  }
+  return Status::ParseError("wal: unknown record kind");
+}
+
+Result<WalRecoveryStats> WalRecorder::Recover() {
+  WalRecoveryStats stats;
+  std::vector<std::pair<NodeId, uint64_t>> corrupt_by_node;
+  NodeId failed_node = kNullNode;
+  Status failure = Status::OK();
+  {
+    // Replay re-executes recorder work the original run already counted;
+    // suppress its side channels so accounting stays a pure function of
+    // the live run (docs/persistence.md). The wal.* bumps describing the
+    // recovery itself happen below, after the guards release.
+    MetricsPauseGuard pause_metrics;
+    IdentityPauseGuard pause_identity;
+    for (NodeId n = 0; n < static_cast<NodeId>(logs_.size()); ++n) {
+      uint64_t watermark = 0;
+      Result<CheckpointData> ckpt =
+          ReadCheckpoint(CheckpointPath(options_.dir, n));
+      if (ckpt.ok()) {
+        ByteReader r(ckpt->state);
+        Status st = inner_->RestoreNodeState(n, r);
+        if (!st.ok()) {
+          failed_node = n;
+          failure = std::move(st);
+          break;
+        }
+        watermark = ckpt->watermark;
+        ++stats.nodes_with_checkpoint;
+      } else if (ckpt.status().code() != StatusCode::kNotFound) {
+        // The log beyond the watermark was truncated when this checkpoint
+        // was cut, so a corrupt checkpoint is unrecoverable data loss — a
+        // reported error, never an abort.
+        failed_node = n;
+        failure = ckpt.status();
+        break;
+      }
+      Result<WalReadResult> log = ReadWal(WalPath(options_.dir, n));
+      if (!log.ok()) {
+        failed_node = n;
+        failure = log.status();
+        break;
+      }
+      if (log->corrupt_frames != 0) {
+        // A torn or bit-flipped tail: everything before it is intact and
+        // replayed; the loss is reported, never trusted or fatal.
+        stats.corrupt_frames += log->corrupt_frames;
+        corrupt_by_node.emplace_back(n, log->corrupt_frames);
+      }
+      for (const WalRecord& rec : log->records) {
+        if (rec.seq <= watermark) {
+          ++stats.records_skipped;
+          continue;
+        }
+        Status st = ReplayRecord(rec);
+        if (!st.ok()) {
+          failed_node = n;
+          failure = std::move(st);
+          break;
+        }
+        ++stats.records_replayed;
+      }
+      if (!failure.ok()) break;
+    }
+  }
+  for (const auto& [node, count] : corrupt_by_node) {
+    metrics_.corrupt_frames->IncrementAt(node, count);
+  }
+  if (!failure.ok()) {
+    metrics_.decode_errors->IncrementAt(failed_node);
+    return failure;
+  }
+  metrics_.replayed->Increment(stats.records_replayed);
+  if (Trace().enabled()) {
+    Trace().Instant(-1, TraceCat::kRecorder, "wal.recover",
+                    "\"replayed\": " + std::to_string(stats.records_replayed) +
+                        ", \"skipped\": " +
+                        std::to_string(stats.records_skipped));
+  }
+  return stats;
+}
+
+}  // namespace dpc

@@ -1,0 +1,161 @@
+// WalRecorder: the durability layer under a ProvenanceRecorder.
+//
+// A decorator that logs every recorder mutation to a per-node write-ahead
+// log (src/core/wal.h) before forwarding it to the wrapped scheme, cuts
+// periodic compacted checkpoints (SerializeNodeState per node, atomic
+// tmp+rename, then the now-redundant WAL prefix is truncated), and
+// rebuilds the wrapped recorder after a crash by restoring the latest
+// checkpoint and replaying the WAL tail through the real hooks — the same
+// code path that built the state originally, so recovered tables are
+// byte-identical to an uninterrupted run's (docs/persistence.md).
+//
+// Shard safety: node n's hooks run on n's shard (or the idle
+// coordinator), so each per-node WAL writer has a single writer thread —
+// the same ownership discipline as the recorder state it journals.
+// Checkpoint() and Recover() touch every node and must run at a global
+// barrier (Testbed::ScheduleGlobal) or while the run is idle.
+//
+// Replay runs under MetricsPauseGuard and IdentityPauseGuard: rebuilding
+// state must not re-increment recorder.* metrics or the identity
+// counters, or a recovered process would double-report work it already
+// did before the crash.
+#ifndef DPC_CORE_WAL_RECORDER_H_
+#define DPC_CORE_WAL_RECORDER_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/recorder.h"
+#include "src/core/wal.h"
+#include "src/ndlog/program.h"
+
+namespace dpc {
+
+class Counter;
+
+struct WalOptions {
+  // Directory holding node-N.wal / node-N.ckpt; must exist.
+  std::string dir;
+  // fsync every record (survive power loss, not just kill -9). Off by
+  // default: every append is still flushed to the OS page cache.
+  bool sync_each_record = false;
+  // Flush every record to the OS (the kill -9 guarantee). Turning this off
+  // is group-commit: appends sit in the stdio buffer until a checkpoint or
+  // shutdown, a crash loses the buffered tail, and recovery returns a
+  // consistent prefix instead of everything acknowledged.
+  bool flush_each_record = true;
+};
+
+// What Recover() did, for logs/tests.
+struct WalRecoveryStats {
+  int nodes_with_checkpoint = 0;
+  uint64_t records_replayed = 0;
+  uint64_t records_skipped = 0;   // already covered by a checkpoint
+  uint64_t corrupt_frames = 0;    // torn/corrupt WAL tails hit (per node)
+};
+
+class WalRecorder : public ProvenanceRecorder {
+ public:
+  // `inner` must support node-state durability (every paper scheme does;
+  // the tree-shipping ReferenceRecorder does not) and must outlive the
+  // decorator. Scans any existing log files so appended sequence numbers
+  // continue after a restart.
+  static Result<std::unique_ptr<WalRecorder>> Attach(
+      ProvenanceRecorder* inner, const Program* program, int num_nodes,
+      WalOptions options);
+
+  // --- logging hooks: journal, then forward ---------------------------
+  std::string name() const override { return inner_->name(); }
+  ProvMeta OnInject(NodeId node, const TupleRef& event) override;
+  ProvMeta OnRuleFired(NodeId node, const Rule& rule, const TupleRef& event,
+                       const ProvMeta& meta,
+                       const std::vector<TupleRef>& slow,
+                       const TupleRef& head) override;
+  void OnOutput(NodeId node, const TupleRef& output,
+                const ProvMeta& meta) override;
+  void OnArrival(NodeId node, const TupleRef& tuple,
+                 const ProvMeta& meta) override;
+  bool OnSlowInsert(NodeId node, const TupleRef& t) override;
+  void OnSlowDelete(NodeId node, const Tuple& t) override;
+  void OnControlSignal(NodeId node) override;
+
+  // --- pass-through ----------------------------------------------------
+  void SerializeMeta(const ProvMeta& meta, ByteWriter& w) const override {
+    inner_->SerializeMeta(meta, w);
+  }
+  Result<ProvMeta> DeserializeMeta(ByteReader& r) const override {
+    return inner_->DeserializeMeta(r);
+  }
+  StorageBreakdown StorageAt(NodeId node) const override {
+    return inner_->StorageAt(node);
+  }
+  bool SupportsNodeState() const override { return true; }
+  void SerializeNodeState(NodeId node, ByteWriter& w) const override {
+    inner_->SerializeNodeState(node, w);
+  }
+  Status RestoreNodeState(NodeId node, ByteReader& r) override {
+    return inner_->RestoreNodeState(node, r);
+  }
+  uint64_t StateEpoch(NodeId node) const override {
+    return inner_->StateEpoch(node);
+  }
+
+  // --- durability operations (idle / global-barrier only) -------------
+  // Writes every node's checkpoint (watermark = last journaled seq,
+  // epoch = the node's §5.5 boundary epoch), then truncates the logs the
+  // checkpoints made redundant.
+  Status Checkpoint();
+  // Restores each node from its checkpoint (when present) and replays the
+  // WAL tail through the wrapped recorder's hooks. Call on a freshly
+  // constructed deployment before running. Corrupt WAL tails stop that
+  // node's replay (counted, not fatal); a corrupt checkpoint is fatal for
+  // recovery because the log it covered was truncated.
+  Result<WalRecoveryStats> Recover();
+
+  ProvenanceRecorder* inner() { return inner_; }
+  uint64_t records_logged() const {
+    return records_logged_.load(std::memory_order_relaxed);
+  }
+  uint64_t checkpoints_cut() const { return checkpoints_cut_; }
+
+ private:
+  WalRecorder(ProvenanceRecorder* inner, const Program* program,
+              WalOptions options);
+
+  struct NodeLog {
+    WalWriter writer;
+    uint64_t next_seq = 1;
+  };
+
+  // Journals `record` (seq assigned here) on the owning node's log.
+  void Log(WalRecord record);
+  std::vector<uint8_t> EncodeMeta(const ProvMeta& meta) const;
+  Status ReplayRecord(const WalRecord& record);
+
+  ProvenanceRecorder* inner_;
+  const Program* program_;
+  WalOptions options_;
+  std::vector<NodeLog> logs_;
+  std::unordered_map<std::string, const Rule*> rules_by_id_;
+  // Sharded runtimes log from every worker thread; per-node writer state
+  // is shard-local but this process-wide tally is not.
+  std::atomic<uint64_t> records_logged_{0};
+  uint64_t checkpoints_cut_ = 0;  // mutated only at global barriers
+
+  struct {
+    Counter* records;
+    Counter* bytes;
+    Counter* checkpoints;
+    Counter* checkpoint_bytes;
+    Counter* replayed;
+    Counter* corrupt_frames;
+    Counter* decode_errors;
+  } metrics_;
+};
+
+}  // namespace dpc
+
+#endif  // DPC_CORE_WAL_RECORDER_H_

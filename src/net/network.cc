@@ -84,7 +84,9 @@ void Network::ScheduleAtNodeAfter(NodeId node, double delay,
 
 void Network::ChargeBytes(ShardAccount& acct, double time, size_t bytes) {
   acct.bytes += bytes;
-  size_t bucket = static_cast<size_t>(time / bucket_width_s_);
+  double rel = time - bucket_origin_s_;
+  if (rel < 0) rel = 0;
+  size_t bucket = static_cast<size_t>(rel / bucket_width_s_);
   if (acct.bucket_bytes.size() <= bucket) {
     acct.bucket_bytes.resize(bucket + 1, 0);
   }

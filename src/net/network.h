@@ -114,12 +114,18 @@ class Network : public MessageChannel {
   uint64_t total_messages() const;
   uint64_t dropped_messages() const;
 
-  // Bytes charged per `bucket` seconds of simulated time since t=0.
-  // bandwidth(t) = bucket_bytes[i] / bucket for t in bucket i. By value:
-  // the merge of the per-shard bucket vectors.
+  // Bytes charged per `bucket` seconds of simulated time since the bucket
+  // origin (t=0 by default). bandwidth(t) = bucket_bytes[i] / bucket for
+  // t - origin in bucket i. By value: the merge of the per-shard bucket
+  // vectors.
   std::vector<uint64_t> bucket_bytes() const;
   double bucket_width_s() const { return bucket_width_s_; }
   void set_bucket_width_s(double w) { bucket_width_s_ = w; }
+  // Rebases bucket 0 at `t0`: an experiment whose measured phase starts
+  // after a setup drain keys its bandwidth series off the phase start, not
+  // absolute sim time (which would prepend one empty bucket per elapsed
+  // width). Idle-only, like set_bucket_width_s.
+  void set_bucket_origin_s(double t0) { bucket_origin_s_ = t0; }
 
   // Resets counters (not pending traffic). Idle-only.
   void ResetAccounting();
@@ -194,6 +200,7 @@ class Network : public MessageChannel {
   DeliveryHandler handler_;
   double local_delay_s_ = 1e-6;
   double bucket_width_s_ = 1.0;
+  double bucket_origin_s_ = 0;
   std::vector<ShardAccount> accounts_;  // one per shard; size 1 unsharded
   double loss_rate_ = 0;
   uint64_t loss_seed_ = 1;

@@ -257,6 +257,17 @@ void ShardEngine::RunLoop(SimTime until, size_t max_events) {
       return;
     }
   }
+  // Align every shard clock to the run's end. A drained single queue
+  // leaves `now` at the globally last executed event; without this, each
+  // shard queue would stop at its own last local event, and a follow-up
+  // phase that schedules at an absolute time in the past (e.g. an
+  // experiment reusing t=0 after a setup drain) would clamp to a
+  // different instant on every shard — breaking the shard-count
+  // differential the moment any schedule lands in the past.
+  SimTime end = 0;
+  for (EventQueue* q : queues_) end = std::max(end, q->now());
+  for (EventQueue* q : queues_) q->AdvanceTo(end);
+  if (end > now()) global_now_.store(end, std::memory_order_relaxed);
 }
 
 void ShardEngine::RunAll(size_t max_events) { RunLoop(kInf, max_events); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/net/shard_engine.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/logging.h"
@@ -25,10 +26,14 @@ std::vector<uint8_t> WrapPayload(FrameType type, uint64_t seq,
 }
 
 // Per-transmission identity for the deterministic loss hash: a fresh id
-// per (seq, attempt) — and per (seq, ack#) for acks, salted apart — so
-// retransmissions of identical bytes draw independently.
-uint64_t FrameTxId(uint64_t seq, uint32_t attempt, bool ack) {
-  uint64_t x = seq * 0x9e3779b97f4a7c15ULL + attempt +
+// per (src, seq, attempt) — and per (src, seq, ack#) for acks, salted
+// apart — so retransmissions of identical bytes draw independently. The
+// source node salts the hash because sequence numbers are per source:
+// without it, node 3's frame 7 and node 9's frame 7 would share a loss
+// fate on a common link.
+uint64_t FrameTxId(NodeId src, uint64_t seq, uint32_t attempt, bool ack) {
+  uint64_t x = (static_cast<uint64_t>(src) + 1) * 0xd6e8feb86659fd93ULL +
+               seq * 0x9e3779b97f4a7c15ULL + attempt +
                (ack ? 0x517cc1b727220a95ULL : 0);
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
@@ -44,6 +49,7 @@ ReliableTransport::ReliableTransport(Network* network, EventQueue* queue,
   DPC_CHECK(queue_ != nullptr);
   DPC_CHECK(options_.initial_rto_s > 0);
   DPC_CHECK(options_.backoff_factor >= 1);
+  nodes_.resize(static_cast<size_t>(network_->topology()->num_nodes()));
   MetricsRegistry& reg = GlobalMetrics();
   metrics_.data_frames_sent = &reg.GetCounter("transport.data_frames_sent");
   metrics_.retransmissions = &reg.GetCounter("transport.retransmissions");
@@ -55,8 +61,22 @@ ReliableTransport::ReliableTransport(Network* network, EventQueue* queue,
       [this](const Message& msg) { OnNetworkDelivery(msg); });
 }
 
+size_t ReliableTransport::in_flight() const {
+  size_t total = 0;
+  for (const NodeState& n : nodes_) total += n.pending.size();
+  return total;
+}
+
+EventQueue* ReliableTransport::QueueFor(NodeId node) {
+  if (engine_ != nullptr) return &engine_->queue(engine_->shard_of(node));
+  return queue_;
+}
+
 void ReliableTransport::Send(Message msg) {
-  uint64_t seq = next_seq_++;
+  NodeId src = msg.src;
+  DPC_CHECK(src >= 0 && static_cast<size_t>(src) < nodes_.size());
+  NodeState& sender = nodes_[static_cast<size_t>(src)];
+  uint64_t seq = sender.next_seq++;
   Pending p;
   p.frame.kind = msg.kind;
   p.frame.src = msg.src;
@@ -64,7 +84,7 @@ void ReliableTransport::Send(Message msg) {
   p.frame.payload = WrapPayload(kDataFrame, seq, msg.payload);
   p.original = std::move(msg);
   p.rto_s = options_.initial_rto_s;
-  p.frame.tx_id = FrameTxId(seq, 1, /*ack=*/false);
+  p.frame.tx_id = FrameTxId(src, seq, 1, /*ack=*/false);
   stats_.data_frames_sent.fetch_add(1, std::memory_order_relaxed);
   metrics_.data_frames_sent->IncrementAt(p.frame.src);
   if (Trace().enabled()) {
@@ -75,8 +95,8 @@ void ReliableTransport::Send(Message msg) {
                            std::to_string(p.frame.payload.size()));
   }
   TransmitFrame(p.frame);
-  pending_.emplace(seq, std::move(p));
-  ArmTimer(seq);
+  sender.pending.emplace(seq, std::move(p));
+  ArmTimer(src, seq);
 }
 
 void ReliableTransport::Broadcast(NodeId from, Message msg) {
@@ -95,16 +115,18 @@ void ReliableTransport::TransmitFrame(const Message& frame) {
   network_->Send(std::move(copy));
 }
 
-void ReliableTransport::ArmTimer(uint64_t seq) {
-  auto it = pending_.find(seq);
-  if (it == pending_.end()) return;
-  it->second.timer =
-      queue_->ScheduleAfter(it->second.rto_s, [this, seq]() { OnTimeout(seq); });
+void ReliableTransport::ArmTimer(NodeId src, uint64_t seq) {
+  NodeState& sender = nodes_[static_cast<size_t>(src)];
+  auto it = sender.pending.find(seq);
+  if (it == sender.pending.end()) return;
+  it->second.timer = QueueFor(src)->ScheduleAfter(
+      it->second.rto_s, [this, src, seq]() { OnTimeout(src, seq); });
 }
 
-void ReliableTransport::OnTimeout(uint64_t seq) {
-  auto it = pending_.find(seq);
-  if (it == pending_.end()) return;  // acked in the meantime
+void ReliableTransport::OnTimeout(NodeId src, uint64_t seq) {
+  NodeState& sender = nodes_[static_cast<size_t>(src)];
+  auto it = sender.pending.find(seq);
+  if (it == sender.pending.end()) return;  // acked in the meantime
   Pending& p = it->second;
   if (options_.max_attempts > 0 && p.attempts >= options_.max_attempts) {
     stats_.delivery_failures.fetch_add(1, std::memory_order_relaxed);
@@ -114,7 +136,7 @@ void ReliableTransport::OnTimeout(uint64_t seq) {
       Trace().AsyncEnd(original.src, TraceCat::kTransport, "frame", seq,
                        "\"outcome\": \"abandoned\"");
     }
-    pending_.erase(it);
+    sender.pending.erase(it);
     DPC_LOG(Warning) << "transport: abandoning message to node "
                      << original.dst << " after " << options_.max_attempts
                      << " attempts";
@@ -122,7 +144,7 @@ void ReliableTransport::OnTimeout(uint64_t seq) {
     return;
   }
   ++p.attempts;
-  p.frame.tx_id = FrameTxId(seq, static_cast<uint32_t>(p.attempts),
+  p.frame.tx_id = FrameTxId(src, seq, static_cast<uint32_t>(p.attempts),
                             /*ack=*/false);
   stats_.retransmissions.fetch_add(1, std::memory_order_relaxed);
   metrics_.retransmissions->IncrementAt(p.frame.src);
@@ -133,7 +155,7 @@ void ReliableTransport::OnTimeout(uint64_t seq) {
   }
   p.rto_s = std::min(p.rto_s * options_.backoff_factor, options_.max_rto_s);
   TransmitFrame(p.frame);
-  ArmTimer(seq);
+  ArmTimer(src, seq);
 }
 
 void ReliableTransport::OnNetworkDelivery(const Message& msg) {
@@ -145,15 +167,18 @@ void ReliableTransport::OnNetworkDelivery(const Message& msg) {
     return;
   }
   if (*type == kAckFrame) {
-    auto it = pending_.find(*seq);
-    if (it == pending_.end()) return;  // duplicate ack
-    queue_->Cancel(it->second.timer);
+    // The ack is delivered at the original sender (msg.dst), on its shard:
+    // the pending map and its timer both belong to that node's slice.
+    NodeState& sender = nodes_[static_cast<size_t>(msg.dst)];
+    auto it = sender.pending.find(*seq);
+    if (it == sender.pending.end()) return;  // duplicate ack
+    QueueFor(msg.dst)->Cancel(it->second.timer);
     if (Trace().enabled()) {
       Trace().AsyncEnd(it->second.frame.src, TraceCat::kTransport, "frame",
                        *seq, "\"outcome\": \"acked\", \"attempts\": " +
                                  std::to_string(it->second.attempts));
     }
-    pending_.erase(it);
+    sender.pending.erase(it);
     return;
   }
   if (*type != kDataFrame) {
@@ -161,6 +186,9 @@ void ReliableTransport::OnNetworkDelivery(const Message& msg) {
                    << static_cast<int>(*type);
     return;
   }
+  // Receiver side, on msg.dst's shard; dedup per peer because sequence
+  // numbers are per source node.
+  PeerRx& rx = nodes_[static_cast<size_t>(msg.dst)].rx[msg.src];
   // Acknowledge every data frame, duplicates included: the previous ack
   // may have been the casualty.
   Message ack;
@@ -171,12 +199,12 @@ void ReliableTransport::OnNetworkDelivery(const Message& msg) {
   w.PutU8(kAckFrame);
   w.PutU64(*seq);
   ack.payload = w.Take();
-  ack.tx_id = FrameTxId(*seq, ++ack_counts_[*seq], /*ack=*/true);
+  ack.tx_id = FrameTxId(msg.src, *seq, ++rx.ack_counts[*seq], /*ack=*/true);
   stats_.acks_sent.fetch_add(1, std::memory_order_relaxed);
   metrics_.acks_sent->IncrementAt(msg.dst);
   network_->Send(std::move(ack));
 
-  if (!delivered_.insert(*seq).second) {
+  if (!rx.delivered.insert(*seq).second) {
     stats_.duplicates_suppressed.fetch_add(1, std::memory_order_relaxed);
     metrics_.duplicates_suppressed->IncrementAt(msg.dst);
     return;

@@ -16,6 +16,17 @@
 //
 // Everything is driven by the shared EventQueue, so runs are deterministic
 // for a given loss seed. See docs/transport.md for the protocol write-up.
+//
+// Shard safety: all transport state is partitioned per node. Sender state
+// (sequence counter, in-flight frames, retransmission timers) lives with
+// the frame's source node; receiver state (dedup sets, ack counts) lives
+// with the destination, keyed per peer. After BindShardEngine every timer
+// is armed on the owning shard's EventQueue, and every code path that
+// touches node n's slice runs on n's shard (sends and timeouts at the
+// source, data deliveries at the destination, acks back at the source) or
+// on the idle coordinator between windows — so no lock is needed and the
+// per-source sequence numbers are shard-count invariant, which keeps the
+// hash-keyed drop set byte-identical at any shard count.
 #ifndef DPC_NET_TRANSPORT_H_
 #define DPC_NET_TRANSPORT_H_
 
@@ -23,9 +34,14 @@
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "src/net/network.h"
 #include "src/obs/metrics.h"
+
+namespace dpc {
+class ShardEngine;
+}
 
 namespace dpc {
 
@@ -89,6 +105,13 @@ class ReliableTransport : public MessageChannel {
   ReliableTransport(Network* network, EventQueue* queue,
                     TransportOptions options = {});
 
+  // Routes retransmission timers through the owning shard's EventQueue so
+  // cross-node timer arming/cancellation is shard-safe. Mirrors
+  // Network::BindShardEngine; call before the engine starts running (the
+  // testbed binds both together). Pass nullptr to fall back to the classic
+  // single-queue mode.
+  void BindShardEngine(ShardEngine* engine) { engine_ = engine; }
+
   void SetDeliveryHandler(DeliveryHandler handler) override {
     handler_ = std::move(handler);
   }
@@ -113,8 +136,9 @@ class ReliableTransport : public MessageChannel {
   // Network::ResetAccounting (in-flight frames keep their state).
   // Race-safe: per-field atomic stores, no struct-wide tear.
   void ResetStats() { stats_.Reset(); }
-  // Frames sent but not yet acknowledged.
-  size_t in_flight() const { return pending_.size(); }
+  // Frames sent but not yet acknowledged (across all source nodes). Only
+  // meaningful when the run is quiescent.
+  size_t in_flight() const;
   Network& network() { return *network_; }
   const TransportOptions& options() const { return options_; }
 
@@ -127,23 +151,43 @@ class ReliableTransport : public MessageChannel {
     TimerId timer = 0;
   };
 
+  // Receiver-side state a node keeps about one peer. Sequence numbers are
+  // per source node, so the dedup set and ack counters must be keyed by
+  // the peer too — a global seq-keyed set would collide across sources.
+  struct PeerRx {
+    std::unordered_set<uint64_t> delivered;
+    // Acks sent per seq: varies each re-ack's tx_id so a lost ack's
+    // replacement gets an independent loss draw (a fixed ack tx_id would
+    // make hash-keyed loss drop every re-ack of an unlucky seq forever).
+    std::unordered_map<uint64_t, uint32_t> ack_counts;
+  };
+
+  // One node's slice of the transport. Touched only from the owning
+  // shard's worker (or the idle coordinator), never concurrently.
+  struct NodeState {
+    uint64_t next_seq = 1;                        // sender: per-src seq space
+    std::unordered_map<uint64_t, Pending> pending;  // sender: in-flight
+    std::unordered_map<NodeId, PeerRx> rx;          // receiver: per peer src
+  };
+
+  // The EventQueue that owns `node`: its shard's queue when an engine is
+  // bound, the classic shared queue otherwise.
+  EventQueue* QueueFor(NodeId node);
+
   void TransmitFrame(const Message& frame);
-  void ArmTimer(uint64_t seq);
-  void OnTimeout(uint64_t seq);
+  void ArmTimer(NodeId src, uint64_t seq);
+  void OnTimeout(NodeId src, uint64_t seq);
   void OnNetworkDelivery(const Message& msg);
 
   Network* network_;
   EventQueue* queue_;
+  ShardEngine* engine_ = nullptr;
   TransportOptions options_;
   DeliveryHandler handler_;
   FailureHandler failure_handler_;
-  uint64_t next_seq_ = 1;
-  std::unordered_map<uint64_t, Pending> pending_;
-  std::unordered_set<uint64_t> delivered_;
-  // Acks sent per seq: varies each re-ack's tx_id so a lost ack's
-  // replacement gets an independent loss draw (a fixed ack tx_id would
-  // make hash-keyed loss drop every re-ack of an unlucky seq forever).
-  std::unordered_map<uint64_t, uint32_t> ack_counts_;
+  // Indexed by NodeId; sized once at construction so concurrent shards
+  // never observe a reallocation.
+  std::vector<NodeState> nodes_;
   AtomicTransportStats stats_;
 
   // Registry counters resolved once at construction (see obs/metrics.h);

@@ -107,6 +107,7 @@ std::atomic<uint64_t>& Counter::Cell(size_t n) {
 }
 
 void Counter::IncrementAt(int32_t node, uint64_t d) {
+  if (metrics_internal::TlsPaused()) [[unlikely]] return;
   value_.fetch_add(d, std::memory_order_relaxed);
   if (node < 0) return;
   size_t n = static_cast<size_t>(node);
@@ -150,6 +151,7 @@ Histogram::Histogram()
     : min_(std::numeric_limits<double>::infinity()) {}
 
 void Histogram::Observe(double v) {
+  if (metrics_internal::TlsPaused()) [[unlikely]] return;
   if (std::isnan(v)) return;
   if (v < 0) v = 0;
   AtomicMin(min_, v);

@@ -41,6 +41,35 @@
 
 namespace dpc {
 
+namespace metrics_internal {
+// True while a MetricsPauseGuard is live on this thread: metric mutations
+// become no-ops so replayed work (WAL recovery) is not counted twice.
+// A function-local slot (constant-initialized, no init guard) rather than
+// an extern thread_local: cross-TU extern TLS goes through the wrapper
+// call, which GCC's -fsanitize=null flags as a possibly-null access.
+inline bool& TlsPaused() {
+  static thread_local bool paused = false;
+  return paused;
+}
+}  // namespace metrics_internal
+
+// Suppresses Counter/Histogram mutations from the constructing thread for
+// the guard's lifetime. WAL replay drives the recorder hooks — the same
+// code that bumped recorder.* metrics during the original run — and a
+// recovered process must not report that work again. Nestable.
+class MetricsPauseGuard {
+ public:
+  MetricsPauseGuard() : prev_(metrics_internal::TlsPaused()) {
+    metrics_internal::TlsPaused() = true;
+  }
+  ~MetricsPauseGuard() { metrics_internal::TlsPaused() = prev_; }
+  MetricsPauseGuard(const MetricsPauseGuard&) = delete;
+  MetricsPauseGuard& operator=(const MetricsPauseGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 class Counter {
  public:
   Counter() = default;
@@ -49,6 +78,7 @@ class Counter {
   ~Counter();
 
   void Increment(uint64_t d = 1) {
+    if (metrics_internal::TlsPaused()) [[unlikely]] return;
     value_.fetch_add(d, std::memory_order_relaxed);
   }
   // Bumps the total and the per-node cell (cell blocks are allocated on

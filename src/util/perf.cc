@@ -39,8 +39,11 @@ IdentityCells::IdentityCells() {
 }
 
 IdentityCells::~IdentityCells() {
-  // Drop the fast-path alias so it never dangles past this destructor.
-  perf_internal::tls_cells = nullptr;
+  // Drop the fast-path alias so it never dangles past this destructor
+  // (only if it still points here: a scratch block dying must not clear
+  // the alias a pause guard already restored).
+  if (perf_internal::TlsCells() == this) perf_internal::TlsCells() = nullptr;
+  if (!registered_) return;  // scratch block: counts are discarded
   CellRegistry& reg = Registry();
   MutexLock lock(reg.mu);
   AccumulateInto(reg.retired, *this);
@@ -54,11 +57,9 @@ IdentityCells::~IdentityCells() {
 
 namespace perf_internal {
 
-thread_local IdentityCells* tls_cells = nullptr;
-
 IdentityCells& InitIdentityCells() {
   thread_local IdentityCells cells;
-  tls_cells = &cells;
+  TlsCells() = &cells;
   return cells;
 }
 

@@ -70,10 +70,18 @@ struct IdentityCells {
   OwnedCounter vid_cache_misses;
   OwnedCounter tuples_interned;
 
+  // Tag for scratch cell blocks that never join the registry: their
+  // counts are discarded, not retired (see IdentityPauseGuard).
+  struct Unregistered {};
+
   IdentityCells();
+  explicit IdentityCells(Unregistered) : registered_(false) {}
   ~IdentityCells();
   IdentityCells(const IdentityCells&) = delete;
   IdentityCells& operator=(const IdentityCells&) = delete;
+
+ private:
+  bool registered_ = true;
 };
 
 namespace perf_internal {
@@ -81,15 +89,21 @@ namespace perf_internal {
 // TLS slot the compiler reads without an init guard or wrapper call,
 // keeping the cached-identity hot path at a couple of instructions.
 // Null until the first identity_cells() call on this thread (and again
-// during thread teardown, after the cells were retired).
-extern thread_local IdentityCells* tls_cells;
+// during thread teardown, after the cells were retired). Exposed as a
+// function-local slot rather than an extern thread_local: cross-TU
+// extern TLS goes through the wrapper call, which GCC's -fsanitize=null
+// flags as a possibly-null access.
+inline IdentityCells*& TlsCells() {
+  static thread_local IdentityCells* cells = nullptr;
+  return cells;
+}
 IdentityCells& InitIdentityCells();  // slow path: construct + register
 }  // namespace perf_internal
 
 // The calling thread's cells: the mutation side of the API. Hot paths do
 // e.g. identity_cells().vid_cache_hits.Bump().
 inline IdentityCells& identity_cells() {
-  IdentityCells* cells = perf_internal::tls_cells;
+  IdentityCells* cells = perf_internal::TlsCells();
   if (cells == nullptr) [[unlikely]] {
     return perf_internal::InitIdentityCells();
   }
@@ -98,6 +112,26 @@ inline IdentityCells& identity_cells() {
 
 // Exact aggregate over all threads, live and exited: the read side.
 IdentityCounters identity_counters();
+
+// Discards this thread's identity-counter increments for the guard's
+// lifetime by pointing the TLS fast path at an unregistered scratch block.
+// Used by WAL replay (src/core/wal_recorder.*): re-running the recorder
+// hooks recomputes every digest, and counting that work again would break
+// the accounting identity a recovered run must preserve. Nestable; only
+// pauses the constructing thread (recovery is single-threaded).
+class IdentityPauseGuard {
+ public:
+  IdentityPauseGuard() : prev_(perf_internal::TlsCells()) {
+    perf_internal::TlsCells() = &scratch_;
+  }
+  ~IdentityPauseGuard() { perf_internal::TlsCells() = prev_; }
+  IdentityPauseGuard(const IdentityPauseGuard&) = delete;
+  IdentityPauseGuard& operator=(const IdentityPauseGuard&) = delete;
+
+ private:
+  IdentityCells* prev_;
+  IdentityCells scratch_{IdentityCells::Unregistered{}};
+};
 
 }  // namespace dpc
 

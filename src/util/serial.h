@@ -86,6 +86,8 @@ class ByteWriter {
   const std::vector<uint8_t>& bytes() const { return buf_; }
   size_t size() const { return buf_.size(); }
   std::vector<uint8_t> Take() { return std::move(buf_); }
+  // Empties the buffer but keeps its capacity — for reuse across frames.
+  void Clear() { buf_.clear(); }
 
  private:
   std::vector<uint8_t> buf_;

@@ -19,6 +19,11 @@
 //   snapshot PREFIX              write per-node table snapshots to
 //                                PREFIX-nodeN.dpcs (exspan/basic/advanced)
 //   query recv(@2, 0, 2, "x")    print the tuple's provenance tree(s)
+//   checkpoint                   cut a compacted WAL checkpoint
+//                                (needs --wal-dir)
+//   crash-at 1.5                 die with _Exit(137) at t=1.5s during the
+//                                next run — a kill -9 drill; restart with
+//                                --recover to rebuild from disk
 //
 // The lint subcommand runs the static analyzer over NDlog files without
 // executing them:
@@ -38,6 +43,7 @@
 // `--stats` also works in plain run mode to print the metrics registry
 // after the script completes.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -180,6 +186,28 @@ struct TraceRunner {
       std::printf("wrote %d snapshot files (%zu bytes)\n", nodes, total);
       return 0;
     }
+    if (cmd == "checkpoint") {
+      if (bed->wal() == nullptr) return error("checkpoint needs --wal-dir");
+      Status st = bed->wal()->Checkpoint();
+      if (!st.ok()) return error(st.ToString());
+      std::printf("checkpoint cut (%llu total, %llu records journaled)\n",
+                  static_cast<unsigned long long>(bed->wal()->checkpoints_cut()),
+                  static_cast<unsigned long long>(bed->wal()->records_logged()));
+      return 0;
+    }
+    if (cmd == "crash-at") {
+      double when = 0;
+      if (!(ss >> when)) return error("crash-at needs a time");
+      // _Exit skips destructors and stdio flushing — the closest a process
+      // can get to kill -9 from inside. The WAL survives because every
+      // append was already flushed (WalWriter::Append).
+      bed->ScheduleGlobal(when, [when]() {
+        std::fprintf(stderr, "dpc_cli: crash-at t=%g: simulating kill -9\n",
+                     when);
+        std::_Exit(137);
+      });
+      return 0;
+    }
     if (cmd == "query") {
       if (querier == nullptr) querier = bed->MakeQuerier();
       if (querier == nullptr) {
@@ -291,6 +319,8 @@ struct RunConfig {
   std::string trace_out;  // Chrome-trace JSON path ("" = no tracing)
   bool stats = false;     // print the metrics registry at the end
   int shards = 1;         // runtime shard count (TestbedOptions::shards)
+  std::string wal_dir;    // journal recorder mutations here (must exist)
+  bool recover = false;   // rebuild from wal_dir before running the script
 };
 
 int RunScript(const RunConfig& config) {
@@ -343,12 +373,26 @@ int RunScript(const RunConfig& config) {
   apps::TestbedOptions bed_options;
   bed_options.trace_path = config.trace_out;
   bed_options.shards = config.shards;
+  bed_options.wal_dir = config.wal_dir;
   auto bed = Testbed::Create(std::move(program).value(), &topo, *scheme,
                              std::move(bed_options));
   if (!bed.ok()) return Fail(bed.status().ToString());
 
   TraceRunner runner;
   runner.bed = std::move(bed).value();
+  if (config.recover) {
+    if (runner.bed->wal() == nullptr) {
+      return Fail("--recover needs --wal-dir");
+    }
+    auto stats = runner.bed->wal()->Recover();
+    if (!stats.ok()) return Fail(stats.status().ToString());
+    std::printf("recovered: %d node checkpoint(s), %llu record(s) replayed, "
+                "%llu skipped, %llu corrupt frame(s)\n",
+                stats->nodes_with_checkpoint,
+                static_cast<unsigned long long>(stats->records_replayed),
+                static_cast<unsigned long long>(stats->records_skipped),
+                static_cast<unsigned long long>(stats->corrupt_frames));
+  }
   std::printf("# %s on %d nodes under %s\n", config.program_path.c_str(),
               topo.num_nodes(), apps::SchemeName(*scheme));
   int lineno = 0;
@@ -408,10 +452,17 @@ int RunTraceExport(int argc, char** argv) {
       if (!v) return Fail("--shards needs a count");
       config.shards = std::atoi(v);
       if (config.shards < 1) return Fail("--shards must be >= 1");
+    } else if (arg == "--wal-dir") {
+      const char* v = next();
+      if (!v) return Fail("--wal-dir needs a directory");
+      config.wal_dir = v;
+    } else if (arg == "--recover") {
+      config.recover = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: dpc_cli trace --program FILE --script FILE "
                   "[--scheme NAME] [--out trace.json] [--stats] "
-                  "[--shards N] [--interest REL]...\n");
+                  "[--shards N] [--wal-dir DIR] [--recover] "
+                  "[--interest REL]...\n");
       return 0;
     } else {
       return Fail("unknown trace flag " + arg + " (try dpc_cli trace --help)");
@@ -460,10 +511,16 @@ int Run(int argc, char** argv) {
       if (!v) return Fail("--shards needs a count");
       config.shards = std::atoi(v);
       if (config.shards < 1) return Fail("--shards must be >= 1");
+    } else if (arg == "--wal-dir") {
+      const char* v = next();
+      if (!v) return Fail("--wal-dir needs a directory");
+      config.wal_dir = v;
+    } else if (arg == "--recover") {
+      config.recover = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: dpc_cli --program FILE --trace FILE "
                   "[--scheme NAME] [--stats] [--shards N] "
-                  "[--interest REL]...\n"
+                  "[--wal-dir DIR] [--recover] [--interest REL]...\n"
                   "       dpc_cli lint [--werror] [-f text|json] [--keys] "
                   "[--plan] [--shard] [--growth] [--storage] "
                   "[--interest REL]... FILE...\n"
