@@ -4,6 +4,7 @@
 #include <cstring>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -43,6 +44,24 @@ Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
   std::fclose(f);
   if (bad) return IoError("read", path);
   return bytes;
+}
+
+// Makes a rename in `path`'s directory durable: without this a power
+// loss can roll back the rename even though the renamed file's contents
+// were fsynced. No-op on platforms without directory fsync.
+Status SyncParentDir(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return IoError("open", dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return IoError("fsync", dir);
+#else
+  (void)path;
+#endif
+  return Status::OK();
 }
 
 }  // namespace
@@ -251,7 +270,33 @@ Result<WalReadResult> ReadWal(const std::string& path) {
   return out;
 }
 
-Status WriteCheckpoint(const std::string& path, const CheckpointData& data) {
+Status TruncateWal(const std::string& path, uint64_t bytes) {
+#if defined(__unix__) || defined(__APPLE__)
+  if (::truncate(path.c_str(), static_cast<off_t>(bytes)) != 0) {
+    if (errno == ENOENT) return Status::OK();
+    return IoError("truncate", path);
+  }
+  return Status::OK();
+#else
+  // Portable fallback: rewrite the intact prefix under a fresh file.
+  Result<std::vector<uint8_t>> all = ReadFileBytes(path);
+  if (!all.ok()) {
+    if (all.status().code() == StatusCode::kNotFound) return Status::OK();
+    return all.status();
+  }
+  if (bytes > all->size()) bytes = all->size();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IoError("truncate", path);
+  bool ok = bytes == 0 ||
+            std::fwrite(all->data(), 1, bytes, f) == bytes;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) return IoError("truncate", path);
+  return Status::OK();
+#endif
+}
+
+Status WriteCheckpoint(const std::string& path, const CheckpointData& data,
+                       bool sync) {
   // The checksum covers the whole payload — watermark and epoch included.
   // A flipped watermark would silently change which WAL records replay,
   // so the header gets no less protection than the state blob.
@@ -292,6 +337,12 @@ Status WriteCheckpoint(const std::string& path, const CheckpointData& data) {
     std::remove(tmp.c_str());
     return IoError("rename", tmp);
   }
+  // Power-loss ordering: the rename itself lives in the directory, so a
+  // caller about to truncate the WAL this checkpoint supersedes needs
+  // the directory entry on disk first — otherwise the truncation can
+  // persist while the rename rolls back, losing the records between the
+  // old and new watermarks. Only the fsync-per-record mode pays for it.
+  if (sync) DPC_RETURN_NOT_OK(SyncParentDir(path));
   return Status::OK();
 }
 

@@ -123,6 +123,13 @@ struct WalReadResult {
 // unreadable file yields an error Status.
 Result<WalReadResult> ReadWal(const std::string& path);
 
+// Truncates a WAL file to its intact prefix (WalReadResult::bytes_scanned)
+// so a writer reopened in append mode lands at a decodable position. A
+// torn tail left by a crash would otherwise sit between the intact prefix
+// and everything appended after restart, making the new records
+// unreachable to ReadWal. A missing file is OK (nothing to truncate).
+Status TruncateWal(const std::string& path, uint64_t bytes);
+
 // A node's checkpoint: header + one SerializeNodeState blob, checksummed
 // like a WAL frame and written atomically (tmp + rename).
 struct CheckpointData {
@@ -136,7 +143,13 @@ struct CheckpointData {
   std::vector<uint8_t> state;  // ProvenanceRecorder::SerializeNodeState
 };
 
-Status WriteCheckpoint(const std::string& path, const CheckpointData& data);
+// With `sync` the tmp file is fsynced before the rename and the parent
+// directory after it, so the new checkpoint is durable against power loss
+// before the caller may truncate the WAL it supersedes. Without `sync`
+// the write is still atomic against process crashes (tmp + rename), just
+// not ordered against power loss.
+Status WriteCheckpoint(const std::string& path, const CheckpointData& data,
+                       bool sync = false);
 // ParseError on any malformed content (bad magic, hostile length,
 // checksum mismatch); NotFound when the file does not exist.
 Result<CheckpointData> ReadCheckpoint(const std::string& path);

@@ -23,6 +23,7 @@ WalRecorder::WalRecorder(ProvenanceRecorder* inner, const Program* program,
   metrics_.replayed = &reg.GetCounter("wal.records_replayed");
   metrics_.corrupt_frames = &reg.GetCounter("wal.corrupt_frames");
   metrics_.decode_errors = &reg.GetCounter("wal.decode_errors");
+  metrics_.append_errors = &reg.GetCounter("wal.append_errors");
 }
 
 Result<std::unique_ptr<WalRecorder>> WalRecorder::Attach(
@@ -51,6 +52,19 @@ Result<std::unique_ptr<WalRecorder>> WalRecorder::Attach(
     for (const WalRecord& rec : log.records) {
       if (rec.seq > last) last = rec.seq;
     }
+    if (log.corrupt_frames != 0) {
+      // A torn tail from a crash. Appending after it would strand every
+      // new record behind a frame ReadWal refuses to cross — a later
+      // Recover() would silently lose everything this process journals.
+      // Cut the log back to its intact prefix before reopening; the loss
+      // itself is reported by the next Recover().
+      DPC_LOG(Warning) << "wal: node " << n << " log has a corrupt tail; "
+                       << "truncating to " << log.bytes_scanned
+                       << " intact bytes";
+      DPC_RETURN_NOT_OK(
+          TruncateWal(WalPath(wal->options_.dir, n), log.bytes_scanned));
+      wal->logs_[n].corrupt_frames_truncated = log.corrupt_frames;
+    }
     DPC_ASSIGN_OR_RETURN(
         WalWriter writer,
         WalWriter::Open(WalPath(wal->options_.dir, n),
@@ -74,9 +88,17 @@ void WalRecorder::Log(WalRecord record) {
   uint64_t before = log.writer.bytes_written();
   Status st = log.writer.Append(record);
   if (!st.ok()) {
-    // Durability is degraded but the run itself is fine; surface loudly
-    // rather than killing the deployment mid-flight.
+    // The mutation goes unjournaled: from here on the journal is only a
+    // prefix of the in-memory state, and a crash loses the divergence.
+    // Under the fsync-per-record contract that is not a degradation to
+    // ride out — acknowledging unjournaled mutations is a lie — so fail
+    // hard; otherwise mark durability as degraded (sticky, metered) and
+    // keep the run alive.
+    DPC_CHECK(!options_.sync_each_record)
+        << "wal: append failed under sync_each_record: " << st.ToString();
     DPC_LOG(Error) << "wal: append failed: " << st.ToString();
+    durability_degraded_.store(true, std::memory_order_relaxed);
+    metrics_.append_errors->IncrementAt(record.node);
     return;
   }
   records_logged_.fetch_add(1, std::memory_order_relaxed);
@@ -170,8 +192,8 @@ Status WalRecorder::Checkpoint() {
     inner_->SerializeNodeState(n, w);
     data.state = w.Take();
     total_bytes += data.state.size();
-    DPC_RETURN_NOT_OK(
-        WriteCheckpoint(CheckpointPath(options_.dir, n), data));
+    DPC_RETURN_NOT_OK(WriteCheckpoint(CheckpointPath(options_.dir, n), data,
+                                      options_.sync_each_record));
     metrics_.checkpoint_bytes->IncrementAt(n, data.state.size());
   }
   // Only after every node's checkpoint landed do the logs become
@@ -275,11 +297,15 @@ Result<WalRecoveryStats> WalRecorder::Recover() {
         failure = log.status();
         break;
       }
-      if (log->corrupt_frames != 0) {
-        // A torn or bit-flipped tail: everything before it is intact and
-        // replayed; the loss is reported, never trusted or fatal.
-        stats.corrupt_frames += log->corrupt_frames;
-        corrupt_by_node.emplace_back(n, log->corrupt_frames);
+      // A torn or bit-flipped tail: everything before it is intact and
+      // replayed; the loss is reported, never trusted or fatal. Includes
+      // frames Attach already truncated away (reported once, here).
+      uint64_t corrupt =
+          log->corrupt_frames + logs_[n].corrupt_frames_truncated;
+      logs_[n].corrupt_frames_truncated = 0;
+      if (corrupt != 0) {
+        stats.corrupt_frames += corrupt;
+        corrupt_by_node.emplace_back(n, corrupt);
       }
       for (const WalRecord& rec : log->records) {
         if (rec.seq <= watermark) {

@@ -62,7 +62,9 @@ class WalRecorder : public ProvenanceRecorder {
   // `inner` must support node-state durability (every paper scheme does;
   // the tree-shipping ReferenceRecorder does not) and must outlive the
   // decorator. Scans any existing log files so appended sequence numbers
-  // continue after a restart.
+  // continue after a restart; a torn tail left by a crash is truncated to
+  // the intact prefix so post-restart appends land at a decodable
+  // position (the loss is reported by the next Recover()).
   static Result<std::unique_ptr<WalRecorder>> Attach(
       ProvenanceRecorder* inner, const Program* program, int num_nodes,
       WalOptions options);
@@ -120,6 +122,15 @@ class WalRecorder : public ProvenanceRecorder {
     return records_logged_.load(std::memory_order_relaxed);
   }
   uint64_t checkpoints_cut() const { return checkpoints_cut_; }
+  // Sticky: set when any append failed (disk full, I/O error) and the
+  // mutation went unjournaled — from then on the journal is a prefix of
+  // the in-memory state and a crash loses the divergence. Also counted
+  // per node in wal.append_errors. Under sync_each_record an append
+  // failure is fatal instead: that mode is an explicit durability
+  // contract, and acknowledging unjournaled mutations would break it.
+  bool durability_degraded() const {
+    return durability_degraded_.load(std::memory_order_relaxed);
+  }
 
  private:
   WalRecorder(ProvenanceRecorder* inner, const Program* program,
@@ -128,6 +139,9 @@ class WalRecorder : public ProvenanceRecorder {
   struct NodeLog {
     WalWriter writer;
     uint64_t next_seq = 1;
+    // Torn frames found (and truncated away) when Attach scanned this
+    // node's log; surfaced through the next Recover()'s stats/metrics.
+    uint64_t corrupt_frames_truncated = 0;
   };
 
   // Journals `record` (seq assigned here) on the owning node's log.
@@ -143,6 +157,7 @@ class WalRecorder : public ProvenanceRecorder {
   // Sharded runtimes log from every worker thread; per-node writer state
   // is shard-local but this process-wide tally is not.
   std::atomic<uint64_t> records_logged_{0};
+  std::atomic<bool> durability_degraded_{false};
   uint64_t checkpoints_cut_ = 0;  // mutated only at global barriers
 
   struct {
@@ -153,6 +168,7 @@ class WalRecorder : public ProvenanceRecorder {
     Counter* replayed;
     Counter* corrupt_frames;
     Counter* decode_errors;
+    Counter* append_errors;
   } metrics_;
 };
 

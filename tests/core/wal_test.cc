@@ -6,6 +6,12 @@
 #include <gtest/gtest.h>
 #include <stdlib.h>
 
+#ifdef __linux__
+#include <sys/resource.h>
+
+#include <csignal>
+#endif
+
 #include <cctype>
 #include <cstdint>
 #include <filesystem>
@@ -18,6 +24,7 @@
 #include "src/apps/testbed.h"
 #include "src/core/query.h"
 #include "src/core/wal.h"
+#include "src/obs/metrics.h"
 #include "src/util/serial.h"
 
 namespace dpc {
@@ -293,6 +300,53 @@ TEST(WalFuzzTest, BitFlipsAreDetectedByTheChecksum) {
   }
 }
 
+// The crash-restart append hazard: a torn tail must be cut back to the
+// intact prefix before reopening for append, or every record written
+// after the restart sits behind a frame ReadWal refuses to cross.
+TEST(WalWriterTest, TruncateWalMakesPostTearAppendsReadable) {
+  TempDir dir("waltear");
+  std::string path = WalPath(dir.path, 0);
+  {
+    auto writer = WalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    for (uint64_t seq = 1; seq <= 3; ++seq) {
+      WalRecord rec = MakeRuleFiredRecord();
+      rec.seq = seq;
+      ASSERT_TRUE(writer->Append(rec).ok());
+    }
+  }
+  {
+    // A torn frame: header bytes of a record that never finished.
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const char garbage[] = {0x10, 0x00, 0x00, 0x00, 0x5a, 0x5a, 0x5a};
+    out.write(garbage, sizeof(garbage));
+    ASSERT_TRUE(out.good());
+  }
+  auto torn = ReadWal(path);
+  ASSERT_TRUE(torn.ok());
+  ASSERT_EQ(torn->records.size(), 3u);
+  ASSERT_EQ(torn->corrupt_frames, 1u);
+
+  // Without the truncation, this append would be unreachable.
+  ASSERT_TRUE(TruncateWal(path, torn->bytes_scanned).ok());
+  auto writer = WalWriter::Open(path);
+  ASSERT_TRUE(writer.ok());
+  WalRecord rec = MakeRuleFiredRecord();
+  rec.seq = 4;
+  ASSERT_TRUE(writer->Append(rec).ok());
+
+  auto got = ReadWal(path);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->corrupt_frames, 0u);
+  ASSERT_EQ(got->records.size(), 4u);
+  EXPECT_EQ(got->records.back().seq, 4u);
+}
+
+TEST(WalWriterTest, TruncateWalOnAMissingFileIsOk) {
+  TempDir dir("waltearmiss");
+  EXPECT_TRUE(TruncateWal(WalPath(dir.path, 0), 0).ok());
+}
+
 TEST(WalFuzzTest, HostileLengthIsRejectedNotAllocated) {
   TempDir dir("wallen");
   std::string path = dir.path + "/hostile.wal";
@@ -322,6 +376,25 @@ TEST(CheckpointTest, RoundTripsHeaderAndState) {
   EXPECT_EQ(got->epoch, 9u);
   EXPECT_EQ(got->state, data.state);
   // No .tmp litter: the write is tmp + rename.
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+// The sync mode adds tmp-file + directory fsyncs (power-loss ordering
+// against the WAL truncation that follows); the bytes on disk and the
+// atomic tmp+rename cutover are identical to the default mode.
+TEST(CheckpointTest, SyncModeRoundTripsIdentically) {
+  TempDir dir("ckptsync");
+  CheckpointData data;
+  data.node = 2;
+  data.watermark = 55;
+  data.epoch = 1;
+  data.state = {9, 8, 7};
+  std::string path = CheckpointPath(dir.path, 2);
+  ASSERT_TRUE(WriteCheckpoint(path, data, /*sync=*/true).ok());
+  auto got = ReadCheckpoint(path);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(got->watermark, 55u);
+  EXPECT_EQ(got->state, data.state);
   EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
 }
 
@@ -433,6 +506,50 @@ std::string QueryAnswers(Testbed& bed) {
   }
   return answers.str();
 }
+
+#ifdef __linux__
+// A failed append (here: disk full, simulated with a zero RLIMIT_FSIZE)
+// leaves the in-memory recorder ahead of the journal. The run survives,
+// but the divergence must be visible: a sticky durability_degraded flag
+// plus per-node wal.append_errors counts — not just a transient log line.
+TEST(WalDurabilityTest, AppendFailureSetsStickyDegradedFlag) {
+  TempDir dir("waldeg");
+  Topology topo = MakeLineTopo(3);
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+  apps::TestbedOptions options;
+  options.wal_dir = dir.path;
+  auto bed = Testbed::Create(*program, &topo, Scheme::kBasic, options);
+  ASSERT_TRUE(bed.ok()) << bed.status().ToString();
+  ASSERT_NE((*bed)->wal(), nullptr);
+  EXPECT_FALSE((*bed)->wal()->durability_degraded());
+
+  MetricsSnapshot before = GlobalMetrics().Snapshot();
+  // Any WAL growth now fails with EFBIG (SIGXFSZ ignored so the failure
+  // surfaces as an error return, not a process kill).
+  struct rlimit old_limit;
+  ASSERT_EQ(getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  auto old_handler = std::signal(SIGXFSZ, SIG_IGN);
+  struct rlimit tiny = {0, old_limit.rlim_max};
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &tiny), 0);
+
+  ASSERT_TRUE(apps::InstallRoutesForPair((*bed)->system(), topo, 0, 2).ok());
+  ASSERT_TRUE((*bed)
+                  ->system()
+                  .ScheduleInject(
+                      apps::MakePacket(0, 0, 2, apps::MakePayload(24, 1)),
+                      0.001)
+                  .ok());
+  (*bed)->system().Run();
+
+  ASSERT_EQ(setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  std::signal(SIGXFSZ, old_handler);
+
+  EXPECT_TRUE((*bed)->wal()->durability_degraded());
+  MetricsSnapshot delta = GlobalMetrics().Snapshot().Delta(before);
+  EXPECT_GT(delta.counters["wal.append_errors"], 0u);
+}
+#endif  // __linux__
 
 class NodeStateRoundTripTest : public ::testing::TestWithParam<Scheme> {};
 

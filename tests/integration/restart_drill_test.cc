@@ -419,6 +419,67 @@ TEST(RestartDrillCorruptionTest, TornTailRecoversThePrefix) {
   EXPECT_EQ(delta.counters["wal.corrupt_frames"], 1u);
 }
 
+// The second-crash hazard: a restarted deployment must truncate a torn
+// tail before appending, or everything it journals after the restart sits
+// behind the corrupt frame — reachable by nothing — and a second crash
+// silently loses acknowledged-durable records.
+TEST(RestartDrillCorruptionTest, AppendsAfterATornTailStayRecoverable) {
+  Topology topo = MakeLineTopo(4);
+  TempDir dir("drilltorn2");
+  int last = topo.num_nodes() - 1;
+  auto program = apps::MakeForwardingProgram();
+  ASSERT_TRUE(program.ok());
+
+  // First life: a full run, then a mid-frame tear of one node's log —
+  // the on-disk state a crash can leave.
+  {
+    TestbedOptions options;
+    options.wal_dir = dir.path;
+    auto victim = MakeDeployment(Scheme::kBasic, topo, options);
+    victim->system().Run();
+  }
+  std::string torn_path = WalPath(dir.path, last);
+  auto size = std::filesystem::file_size(torn_path);
+  ASSERT_GT(size, 8u);
+  std::filesystem::resize_file(torn_path, size - 3);
+
+  // Second life: recover the intact prefix (the tear is reported once,
+  // here) and keep working; Attach cut the torn frame away, so these
+  // appends land at a decodable position.
+  std::string resumed_fingerprint;
+  {
+    TestbedOptions options;
+    options.wal_dir = dir.path;
+    auto resumed = MakeDeployment(Scheme::kBasic, topo, options, 0);
+    auto stats = resumed->wal()->Recover();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(stats->corrupt_frames, 1u);
+    ASSERT_TRUE(
+        apps::InstallRoutesForPair(resumed->system(), topo, 0, last).ok());
+    for (int round = 0; round < 3; ++round) {
+      ASSERT_TRUE(resumed->system()
+                      .ScheduleInject(apps::MakePacket(
+                                          0, 0, last,
+                                          apps::MakePayload(32, round)),
+                                      0.004 * (round + 1))
+                      .ok());
+    }
+    resumed->system().Run();
+    resumed_fingerprint = StateFingerprint(*resumed);
+  }
+
+  // Second crash: every record the second life journaled must replay —
+  // the log is clean end to end, nothing stranded, nothing lost.
+  TestbedOptions options;
+  options.wal_dir = dir.path;
+  auto recovered = MakeDeployment(Scheme::kBasic, topo, options, 0);
+  auto stats = recovered->wal()->Recover();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->corrupt_frames, 0u);
+  EXPECT_GT(stats->records_replayed, 0u);
+  EXPECT_EQ(resumed_fingerprint, StateFingerprint(*recovered));
+}
+
 // ---------------------------------------------------------------------
 // WAL replay oracle over random DELPs: for 50 generated programs (random
 // chain length, relocation, value rewrites — the random_delp_test
